@@ -1,0 +1,52 @@
+//! Cost of the Algorithm 3 lifting step: constrained-LS FISTA vs the
+//! literal min-gauge program, across sketch dimensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pir_core::lift::{lift_constrained_ls, lift_min_gauge, sketch_smoothness, AffinePreimage};
+use pir_dp::NoiseRng;
+use pir_geometry::L1Ball;
+use pir_sketch::GaussianSketch;
+use std::hint::black_box;
+
+fn bench_lift(c: &mut Criterion) {
+    let d = 400usize;
+    let set = L1Ball::unit(d);
+    let mut group = c.benchmark_group("lift_d400");
+    group.sample_size(20);
+    for m in [20usize, 60] {
+        let mut rng = NoiseRng::seed_from_u64(m as u64);
+        let sketch = GaussianSketch::sample(m, d, &mut rng);
+        let mut theta_true = vec![0.0; d];
+        theta_true[5] = 0.8;
+        let target = sketch.apply(&theta_true).unwrap();
+        let smooth = sketch_smoothness(&sketch);
+        group.bench_with_input(BenchmarkId::new("constrained_ls/m", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(
+                    lift_constrained_ls(
+                        &sketch,
+                        black_box(&target),
+                        &set,
+                        smooth,
+                        200,
+                        &vec![0.0; d],
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+        let affine = AffinePreimage::new(&sketch).unwrap();
+        group.bench_with_input(BenchmarkId::new("min_gauge/m", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(
+                    lift_min_gauge(&sketch, black_box(&target), &set, &affine, 15, 60)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lift);
+criterion_main!(benches);

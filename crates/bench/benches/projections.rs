@@ -1,0 +1,42 @@
+//! Euclidean-projection cost per constraint set — the dominant inner-loop
+//! operation of `NOISYPROJGRAD` and the lifting FISTA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pir_dp::NoiseRng;
+use pir_geometry::{
+    ConvexSet, GroupL1Ball, L1Ball, L2Ball, LinfBall, LpBall, PolytopeHull, Simplex,
+};
+use std::hint::black_box;
+
+fn bench_projections(c: &mut Criterion) {
+    let d = 1000usize;
+    let mut rng = NoiseRng::seed_from_u64(1);
+    let x: Vec<f64> = rng.gaussian_vec(d, 1.0);
+
+    let sets: Vec<(&str, Box<dyn ConvexSet>)> = vec![
+        ("l2", Box::new(L2Ball::unit(d))),
+        ("l1", Box::new(L1Ball::unit(d))),
+        ("linf", Box::new(LinfBall::new(d, 0.5))),
+        ("simplex", Box::new(Simplex::standard(d))),
+        ("group_l1_k10", Box::new(GroupL1Ball::new(d, 10, 1.0))),
+        ("lp_1.5", Box::new(LpBall::new(d, 1.5, 1.0))),
+    ];
+    let mut group = c.benchmark_group("projection_d1000");
+    for (name, set) in &sets {
+        group.bench_with_input(BenchmarkId::from_parameter(name), set, |b, set| {
+            b.iter(|| black_box(set.project(black_box(&x))));
+        });
+    }
+    group.finish();
+
+    // The hull projection is iterative; bench at a smaller dimension.
+    let dh = 100usize;
+    let hull = PolytopeHull::cross_polytope(dh, 1.0).with_projection_iters(300);
+    let xh: Vec<f64> = rng.gaussian_vec(dh, 1.0);
+    c.bench_function("projection_hull_d100_fw300", |b| {
+        b.iter(|| black_box(hull.project(black_box(&xh))));
+    });
+}
+
+criterion_group!(benches, bench_projections);
+criterion_main!(benches);

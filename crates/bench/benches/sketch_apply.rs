@@ -1,0 +1,37 @@
+//! Cost of the sketching front-end of Algorithm 3: projecting a covariate
+//! and the norm-preserving embedding, across ambient dimensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pir_dp::NoiseRng;
+use pir_sketch::GaussianSketch;
+use std::hint::black_box;
+
+fn bench_apply(c: &mut Criterion) {
+    let m = 100usize;
+    let mut group = c.benchmark_group("sketch_apply_m100");
+    for d in [1000usize, 10_000] {
+        let mut rng = NoiseRng::seed_from_u64(d as u64);
+        let sketch = GaussianSketch::sample(m, d, &mut rng);
+        let x = rng.unit_sphere(d);
+        group.bench_with_input(BenchmarkId::new("apply/d", d), &d, |b, _| {
+            b.iter(|| black_box(sketch.apply(black_box(&x)).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("embed_normalized/d", d), &d, |b, _| {
+            b.iter(|| black_box(sketch.embed_normalized(black_box(&x)).unwrap()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sketch_sample");
+    group.sample_size(20);
+    for d in [1000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("d", d), &d, |b, &d| {
+            let mut rng = NoiseRng::seed_from_u64(9);
+            b.iter(|| black_box(GaussianSketch::sample(m, d, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E9 — Gordon vs adaptive adversaries (Theorem 5.1 / Corollary 5.2 and
+//! footnote 10): an unconstrained adaptive covariate can be annihilated
+//! by any fixed sketch (`Φx = 0`), but a covariate restricted to a
+//! low-width domain `S` has distortion at most `γ` once
+//! `m ≥ C·max{w(S)², ln(1/β)}/γ²`. This experiment also *calibrates* the
+//! universal constant `C` used by the other experiments.
+
+use pir_bench::{report, scaled};
+use pir_datagen::adaptive;
+use pir_dp::NoiseRng;
+use pir_geometry::{KSparseDomain, WidthSet};
+use pir_linalg::vector;
+use pir_sketch::GaussianSketch;
+
+fn main() {
+    report::banner(
+        "E9",
+        "Adaptive inputs: JL annihilation vs Gordon-width protection",
+        "unconstrained adaptive distortion ≈ 1 ∀m<d; k-sparse adaptive distortion ≤ γ(m) = √(w²/m·C⁻¹)",
+    );
+    let d = scaled(400, 150);
+    let k = 3;
+    let tries = scaled(120, 40);
+    let mut rng = NoiseRng::seed_from_u64(17);
+    let domain = KSparseDomain::new(d, k, 1.0);
+    let w = domain.width_bound();
+    println!("d = {d}, domain = {k}-sparse unit vectors, w(S) ≲ {w:.2}");
+    println!();
+
+    let mut table = report::Table::new(&[
+        "m",
+        "unconstrained |‖Φx‖²−1|",
+        "k-sparse |‖Φx‖²−1|",
+        "implied C = m·γ²/w²",
+    ]);
+    let mut calibrated_c = 0.0f64;
+    for m in [8usize, 16, 32, 64, 128, 256] {
+        let sketch = GaussianSketch::sample(m, d, &mut rng);
+        let unconstrained = match adaptive::null_space_direction(&sketch, &mut rng) {
+            Some(x) => (vector::norm2_sq(&sketch.apply(&x).unwrap()) - 1.0).abs(),
+            None => 0.0,
+        };
+        let (_, sparse_dist) = adaptive::worst_sparse_direction(&sketch, k, tries, &mut rng);
+        // Invert Gordon: the measured worst distortion γ satisfies
+        // m = C·w²/γ², so C = m·γ²/w².
+        let implied_c = m as f64 * sparse_dist * sparse_dist / (w * w);
+        calibrated_c = calibrated_c.max(implied_c);
+        table.row(&[
+            m.to_string(),
+            report::f(unconstrained),
+            report::f(sparse_dist),
+            report::f(implied_c),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "calibration: taking the max implied constant over the sweep gives \
+         C ≈ {calibrated_c:.3}; any gordon_constant ≥ this value makes the \
+         Gordon dimension rule sound for this domain. The experiments in this \
+         repository use 0.05–1.0 (see EXPERIMENTS.md)."
+    );
+    println!(
+        "reading: the unconstrained column sits at ≈ 1 for every m < d — adaptivity \
+         destroys plain JL. The width-restricted column decays like 1/√m, exactly \
+         Gordon's γ ∝ w(S)/√m."
+    );
+}

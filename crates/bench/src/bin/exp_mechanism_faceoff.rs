@@ -1,0 +1,160 @@
+//! E5 — the paper's §1.1 / Remark 4.3 comparisons on one stream family:
+//!
+//! 1. naive per-step recomputation ≻ (worse than) generic τ-transform
+//!    ≻ PrivIncReg1, at small-to-moderate `d`;
+//! 2. the crossover: PrivIncReg2 overtakes PrivIncReg1 as `d` grows with
+//!    `T` fixed (the §5.2 “d ≫ T^{4/3}” narrative);
+//! 3. the trivial mechanism as the sanity ceiling.
+
+use pir_bench::{median, report, runner, scaled};
+use pir_core::baselines::{naive_recompute, TrivialMechanism};
+use pir_core::evaluate::evaluate_squared_loss;
+use pir_core::{
+    IncrementalMechanism, PrivIncErm, PrivIncReg1, PrivIncReg1Config, PrivIncReg2,
+    PrivIncReg2Config, TauRule,
+};
+use pir_datagen::{linear_stream, CovariateKind, LinearModel};
+use pir_dp::{NoiseRng, PrivacyParams};
+use pir_erm::{NoisyGdSolver, SquaredLoss};
+use pir_geometry::{KSparseDomain, L1Ball, WidthSet};
+
+const K: usize = 3;
+
+fn stream_for(d: usize, t: usize, seed: u64) -> Vec<pir_erm::DataPoint> {
+    let mut rng = NoiseRng::seed_from_u64(seed);
+    // Anchored-sparse: dimension-independent signal strength so the
+    // trivial mechanism's level is the same reference at every d.
+    let mut theta_star = vec![0.0; d];
+    theta_star[0] = 0.95;
+    let model = LinearModel { theta_star, noise_std: 0.03 };
+    linear_stream(t, d, CovariateKind::AnchoredSparse { k: K }, &model, &mut rng)
+}
+
+fn eval(
+    mech: &mut dyn IncrementalMechanism,
+    stream: &[pir_erm::DataPoint],
+    d: usize,
+) -> (f64, f64) {
+    let rep = evaluate_squared_loss(
+        mech,
+        stream,
+        Box::new(L1Ball::unit(d)),
+        (stream.len() / 8).max(1),
+    )
+    .unwrap();
+    (rep.max_excess(), rep.final_excess())
+}
+
+/// One full face-off at a given dimension; returns
+/// (trivial, naive, generic, mech1, mech2) final excesses.
+fn faceoff(d: usize, t: usize, eps: f64, seed: u64) -> [f64; 5] {
+    let params = PrivacyParams::approx(eps, 1e-6).unwrap();
+    let stream = stream_for(d, t, seed);
+    let mut rng = NoiseRng::seed_from_u64(seed ^ 0x5a5a);
+
+    let set = L1Ball::unit(d);
+    let mut trivial = TrivialMechanism::new(&set);
+    let (_, triv) = eval(&mut trivial, &stream, d);
+
+    let mut naive = naive_recompute(
+        Box::new(SquaredLoss),
+        Box::new(NoisyGdSolver { iters: 8, beta: 0.1 }),
+        Box::new(L1Ball::unit(d)),
+        t,
+        &params,
+        rng.fork(),
+    )
+    .unwrap();
+    let (_, nav) = eval(&mut naive, &stream, d);
+
+    let mut generic = PrivIncErm::new(
+        Box::new(SquaredLoss),
+        Box::new(NoisyGdSolver { iters: 16, beta: 0.1 }),
+        Box::new(L1Ball::unit(d)),
+        t,
+        &params,
+        TauRule::Convex,
+        rng.fork(),
+    )
+    .unwrap();
+    let (_, gen) = eval(&mut generic, &stream, d);
+
+    let mut mech1 = PrivIncReg1::new(
+        Box::new(L1Ball::unit(d)),
+        t,
+        &params,
+        &mut rng,
+        PrivIncReg1Config::default(),
+    )
+    .unwrap();
+    let (_, m1) = eval(&mut mech1, &stream, d);
+
+    let mut mech2 = PrivIncReg2::new(
+        Box::new(L1Ball::unit(d)),
+        KSparseDomain::new(d, K, 1.0).width_bound(),
+        t,
+        &params,
+        &mut rng,
+        PrivIncReg2Config { gordon_constant: 0.02, lift_iters: 60, ..Default::default() },
+    )
+    .unwrap();
+    let (_, m2) = eval(&mut mech2, &stream, d);
+
+    [triv, nav, gen, m1, m2]
+}
+
+fn main() {
+    report::banner(
+        "E5",
+        "Mechanism face-off on sparse regression streams",
+        "naive ≻ generic ≻ mech1 at small d (Rmk 4.3); mech2 overtakes mech1 at large d (§5.2)",
+    );
+    let t = scaled(1024, 256);
+    let eps = 50.0; // shape regime for the d-crossover — see the E3 regime note
+    let reps = scaled(3, 2) as u64;
+    let d_values: Vec<usize> = vec![16, 64, 256];
+
+    let cells: Vec<(usize, u64)> =
+        d_values.iter().flat_map(|&d| (0..reps).map(move |r| (d, r))).collect();
+    let results = runner::parallel_map(cells.clone(), |&(d, r)| faceoff(d, t, eps, 10 + r));
+
+    let mut table = report::Table::new(&[
+        "d",
+        "T",
+        "trivial",
+        "naive τ=1",
+        "generic τ*",
+        "mech1 (√d)",
+        "mech2 (W)",
+    ]);
+    for &d in &d_values {
+        let per_mech: Vec<Vec<f64>> = (0..5)
+            .map(|i| {
+                cells
+                    .iter()
+                    .zip(&results)
+                    .filter(|((dd, _), _)| *dd == d)
+                    .map(|(_, v)| v[i])
+                    .collect()
+            })
+            .collect();
+        table.row(&[
+            d.to_string(),
+            t.to_string(),
+            report::f(median(&per_mech[0])),
+            report::f(median(&per_mech[1])),
+            report::f(median(&per_mech[2])),
+            report::f(median(&per_mech[3])),
+            report::f(median(&per_mech[4])),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "readings: (i) the naive baseline pays the √T composition penalty at every d; \
+         (ii) mech1 beats the generic transform (Remark 4.3); (iii) mech1's √d noise \
+         grows down the column while mech2's width-driven noise stays flat — the \
+         crossover the paper predicts for d ≫ T^{{4/3}} (final excesses; medians over \
+         {reps} seeds)."
+    );
+}

@@ -1,0 +1,98 @@
+//! A2 — ablation of DESIGN.md decision 5: per-timestep descent strategy
+//! and iteration budget.
+//!
+//! The paper-literal `NOISYPROJGRAD` uses the Proposition B.1 worst-case
+//! step size `η = ‖C‖/(√r(α + L_t))`; with the union-bounded `α` this
+//! step is tiny at practical scales, so the optimizer barely tracks the
+//! moving minimizer and the measured risk is *optimization*-dominated.
+//! The default `RidgedQuadraticFista` strategy minimizes the released
+//! quadratic directly (same post-processing privacy status, same
+//! `O(α‖C‖)` guarantee) and realizes the Theorem 4.2 noise-dominated
+//! behaviour already at small iteration budgets.
+
+use pir_bench::{median, report, runner, scaled};
+use pir_core::evaluate::evaluate_squared_loss;
+use pir_core::{DescentStrategy, PrivIncReg1, PrivIncReg1Config};
+use pir_datagen::{linear_stream, sparse_theta, CovariateKind, LinearModel};
+use pir_dp::{NoiseRng, PrivacyParams};
+use pir_geometry::L2Ball;
+
+fn run_cell(strategy: DescentStrategy, iters: usize, seed: u64) -> f64 {
+    let d = 8;
+    let t = scaled(768, 256);
+    let params = PrivacyParams::approx(4.0, 1e-6).unwrap();
+    let mut rng = NoiseRng::seed_from_u64(seed);
+    let model = LinearModel { theta_star: sparse_theta(d, d, 0.7, &mut rng), noise_std: 0.05 };
+    let stream =
+        linear_stream(t, d, CovariateKind::DenseSphere { radius: 0.95 }, &model, &mut rng);
+    let mut mech = PrivIncReg1::new(
+        Box::new(L2Ball::unit(d)),
+        t,
+        &params,
+        &mut rng,
+        PrivIncReg1Config {
+            max_pgd_iters: iters,
+            warm_start: true,
+            beta: 0.05,
+            strategy,
+        },
+    )
+    .unwrap();
+    let rep = evaluate_squared_loss(&mut mech, &stream, Box::new(L2Ball::unit(d)), (t / 8).max(1))
+        .unwrap();
+    rep.max_excess()
+}
+
+fn main() {
+    report::banner(
+        "A2",
+        "Per-timestep descent ablation: paper NOISYPROJGRAD vs ridged-quadratic FISTA",
+        "FISTA on the released quadratic attains the O(α‖C‖) guarantee at small budgets; \
+         the Prop B.1 step needs far more iterations (Corollary B.2 is sufficient, not tight)",
+    );
+    let reps = scaled(5, 3) as u64;
+    let budgets = [1usize, 4, 16, 64, 256];
+
+    let cells: Vec<(usize, bool, u64)> = budgets
+        .iter()
+        .flat_map(|&c| {
+            [(c, true), (c, false)]
+                .into_iter()
+                .flat_map(move |(c, fista)| (0..reps).map(move |r| (c, fista, r)))
+        })
+        .collect();
+    let results = runner::parallel_map(cells.clone(), |&(c, fista, r)| {
+        let strategy = if fista {
+            DescentStrategy::RidgedQuadraticFista
+        } else {
+            DescentStrategy::PaperNoisyPgd
+        };
+        run_cell(strategy, c, 400 + r)
+    });
+
+    let mut table = report::Table::new(&[
+        "iteration budget",
+        "ridged FISTA (median max excess)",
+        "paper NOISYPROJGRAD (median max excess)",
+    ]);
+    for &c in &budgets {
+        let grab = |fista: bool| -> f64 {
+            let vals: Vec<f64> = cells
+                .iter()
+                .zip(&results)
+                .filter(|((cc, ff, _), _)| *cc == c && *ff == fista)
+                .map(|(_, v)| *v)
+                .collect();
+            median(&vals)
+        };
+        table.row(&[c.to_string(), report::f(grab(true)), report::f(grab(false))]);
+    }
+    table.print();
+    println!();
+    println!(
+        "reading: the FISTA column saturates by ≈16 iterations at the noise-driven \
+         risk level; the paper-literal column stays optimization-dominated even at \
+         256 iterations per step — this is DESIGN.md decision 5, and why \
+         RidgedQuadraticFista is the default strategy."
+    );
+}

@@ -1,0 +1,106 @@
+//! E7 — §5.2 robustness extension: streams where a `p_off` fraction of
+//! covariates falls outside the sparse domain `G`. The robust mechanism
+//! zeroes those points inside the private pipeline; its guarantee is on
+//! the `G`-restricted objective with `W = w(G) + w(C)`.
+
+use pir_bench::{median, report, runner, scaled};
+use pir_core::baselines::ExactIncrementalRestricted;
+use pir_core::{IncrementalMechanism, PrivIncReg2Config, RobustPrivIncReg2};
+use pir_datagen::{mixture_stream, sparse_theta, LinearModel};
+use pir_dp::{NoiseRng, PrivacyParams};
+use pir_geometry::{KSparseDomain, L1Ball, WidthSet};
+
+const K: usize = 3;
+
+/// Returns (G-restricted max excess, fraction substituted).
+fn run_cell(d: usize, t: usize, p_off: f64, seed: u64) -> (f64, f64) {
+    let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+    let mut rng = NoiseRng::seed_from_u64(seed);
+    let model = LinearModel { theta_star: sparse_theta(d, 2, 0.4, &mut rng), noise_std: 0.02 };
+    let stream = mixture_stream(t, d, K, p_off, &model, &mut rng);
+    let dom = KSparseDomain::new(d, K, 1.0);
+    let mut mech = RobustPrivIncReg2::new(
+        Box::new(L1Ball::unit(d)),
+        dom.width_bound(),
+        {
+            let dom = KSparseDomain::new(d, K, 1.0);
+            Box::new(move |x: &[f64]| dom.contains(x, 1e-9))
+        },
+        t,
+        &params,
+        &mut rng,
+        PrivIncReg2Config { gordon_constant: 0.05, lift_iters: 60, ..Default::default() },
+    )
+    .unwrap();
+    let eval_dom = KSparseDomain::new(d, K, 1.0);
+    let mut oracle = ExactIncrementalRestricted::new(
+        Box::new(L1Ball::unit(d)),
+        Box::new(move |x: &[f64]| eval_dom.contains(x, 1e-9)),
+    );
+    let mut max_excess = 0.0f64;
+    for (i, z) in stream.iter().enumerate() {
+        let theta = mech.observe(z).unwrap();
+        oracle.observe(z).unwrap();
+        if (i + 1) % (t / 8).max(1) == 0 {
+            let excess = (oracle.risk_of(&theta).unwrap() - oracle.opt().unwrap()).max(0.0);
+            max_excess = max_excess.max(excess);
+        }
+    }
+    (max_excess, mech.substituted() as f64 / t as f64)
+}
+
+fn main() {
+    report::banner(
+        "E7",
+        "Robust extension: contaminated streams, G-restricted guarantee",
+        "G-restricted excess stays at the clean-stream level for any off-domain fraction",
+    );
+    let d = scaled(300, 100);
+    let t = scaled(384, 128);
+    let reps = scaled(3, 2) as u64;
+    let p_values = [0.0, 0.25, 0.5, 0.75];
+
+    let cells: Vec<(usize, u64)> = p_values
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| (0..reps).map(move |r| (i, r)))
+        .collect();
+    let results =
+        runner::parallel_map(cells.clone(), |&(i, r)| run_cell(d, t, p_values[i], 60 + r));
+
+    let mut table = report::Table::new(&[
+        "p_off",
+        "substituted frac (measured)",
+        "G-restricted max excess (median)",
+        "in-G points",
+    ]);
+    for (i, &p) in p_values.iter().enumerate() {
+        let ex: Vec<f64> = cells
+            .iter()
+            .zip(&results)
+            .filter(|((ii, _), _)| *ii == i)
+            .map(|(_, v)| v.0)
+            .collect();
+        let sub: Vec<f64> = cells
+            .iter()
+            .zip(&results)
+            .filter(|((ii, _), _)| *ii == i)
+            .map(|(_, v)| v.1)
+            .collect();
+        let in_g = ((1.0 - median(&sub)) * t as f64).round() as usize;
+        table.row(&[
+            format!("{p}"),
+            report::f(median(&sub)),
+            report::f(median(&ex)),
+            in_g.to_string(),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "reading: the substituted fraction tracks p_off, and the G-restricted excess \
+         does not blow up as contamination grows (it can even shrink — fewer in-G \
+         points means a shorter effective stream). DP holds unconditionally: zeroed \
+         points are ordinary norm-0 stream items under the sensitivity-2 calibration."
+    );
+}

@@ -1,0 +1,143 @@
+//! E1 — Table 1, row 1 (Theorem 3.1(1)): the generic transformation with
+//! a convex loss has excess risk `≈ (Td)^{1/3}·L‖C‖/ε^{2/3}`, achieved at
+//! the recomputation interval `τ* = (Td)^{1/3}/ε^{2/3}`.
+
+use pir_bench::{fitting, median, report, runner, scaled};
+#[allow(unused_imports)]
+use pir_bench::fitting as _fitting;
+use pir_core::evaluate::evaluate_generic;
+use pir_core::{PrivIncErm, TauRule};
+use pir_datagen::{classification_stream, sparse_theta, CovariateKind};
+use pir_dp::{NoiseRng, PrivacyParams};
+use pir_erm::{LogisticLoss, NoisyGdSolver};
+use pir_geometry::L2Ball;
+
+fn run_cell(d: usize, t: usize, eps: f64, rule: TauRule, seed: u64) -> f64 {
+    let params = PrivacyParams::approx(eps, 1e-6).unwrap();
+    let mut rng = NoiseRng::seed_from_u64(seed);
+    let theta_star = sparse_theta(d, d.min(4), 0.9, &mut rng);
+    let stream = classification_stream(
+        t,
+        d,
+        CovariateKind::DenseSphere { radius: 0.95 },
+        &theta_star,
+        0.4,
+        &mut rng,
+    );
+    let mut mech = PrivIncErm::new(
+        Box::new(LogisticLoss),
+        Box::new(NoisyGdSolver { iters: 32, beta: 0.05 }),
+        Box::new(L2Ball::unit(d)),
+        t,
+        &params,
+        rule,
+        rng.fork(),
+    )
+    .unwrap();
+    let rep = evaluate_generic(
+        &mut mech,
+        &stream,
+        &LogisticLoss,
+        &L2Ball::unit(d),
+        (t / 8).max(1),
+        1200,
+    )
+    .unwrap();
+    rep.max_excess()
+}
+
+fn main() {
+    report::banner(
+        "E1",
+        "Generic transformation, convex loss (logistic): (Td)^{1/3}/ε^{2/3}",
+        "α ≈ (Td)^{1/3}·L‖C‖·polylog/ε^{2/3} at τ = (Td)^{1/3}/ε^{2/3} (Thm 3.1(1))",
+    );
+    let reps = scaled(3, 2) as u64;
+
+    // Sweep T at fixed d.
+    let t_values: Vec<usize> = vec![64, 128, 256, 512]
+        .into_iter()
+        .map(|t| scaled(t, 32).max(32))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let cells: Vec<(usize, u64)> =
+        t_values.iter().flat_map(|&t| (0..reps).map(move |r| (t, r))).collect();
+    let results = runner::parallel_map(cells.clone(), |&(t, r)| {
+        run_cell(10, t, 1.0, TauRule::Convex, 100 + t as u64 + r)
+    });
+    let mut table = report::Table::new(&["d", "T", "ε", "max excess (median)"]);
+    let mut t_axis = Vec::new();
+    let mut ex_t = Vec::new();
+    for &t in &t_values {
+        let vals: Vec<f64> = cells
+            .iter()
+            .zip(&results)
+            .filter(|((tt, _), _)| *tt == t)
+            .map(|(_, v)| *v)
+            .collect();
+        let m = median(&vals);
+        table.row(&["10".into(), t.to_string(), "1.0".into(), report::f(m)]);
+        t_axis.push(t as f64);
+        ex_t.push(m);
+    }
+    table.print();
+    let t_slope = fitting::loglog_slope(&t_axis, &ex_t);
+    println!(
+        "measured excess-vs-T slope: {t_slope:.3} (paper leading term: 1/3). Regime \
+         note: at ε = 1 and laptop-scale T the generic transformation's doubly \
+         composed noise keeps it in the min{{·, T}} clause (slope → 1); the τ* \
+         balancing property below is the scale-independent check."
+    );
+    println!();
+
+    // Sweep d at fixed T.
+    let d_values = [5usize, 20, 80];
+    let t_fixed = scaled(256, 64);
+    let cells_d: Vec<(usize, u64)> =
+        d_values.iter().flat_map(|&d| (0..reps).map(move |r| (d, r))).collect();
+    let results_d = runner::parallel_map(cells_d.clone(), |&(d, r)| {
+        run_cell(d, t_fixed, 1.0, TauRule::Convex, 300 + d as u64 + r)
+    });
+    let mut table_d = report::Table::new(&["d", "T", "ε", "max excess (median)"]);
+    let mut d_axis = Vec::new();
+    let mut ex_d = Vec::new();
+    for &d in &d_values {
+        let vals: Vec<f64> = cells_d
+            .iter()
+            .zip(&results_d)
+            .filter(|((dd, _), _)| *dd == d)
+            .map(|(_, v)| *v)
+            .collect();
+        let m = median(&vals);
+        table_d.row(&[d.to_string(), t_fixed.to_string(), "1.0".into(), report::f(m)]);
+        d_axis.push(d as f64);
+        ex_d.push(m);
+    }
+    table_d.print();
+    let d_slope = fitting::loglog_slope(&d_axis, &ex_d);
+    println!(
+        "measured excess-vs-d slope: {d_slope:.3} (paper leading term: 1/3; flat in \
+         the min{{·, T}}-clamped regime since the trivial level is d-insensitive \
+         for logistic loss)."
+    );
+    println!();
+
+    // τ ablation at one cell: the Theorem 3.1(1) τ* should be within a
+    // small factor of the best fixed τ.
+    let (d, t) = (10usize, scaled(256, 64));
+    let mut table_tau = report::Table::new(&["τ rule", "τ", "max excess (median)"]);
+    let star = TauRule::Convex.resolve(&LogisticLoss, &L2Ball::unit(d), t, 1.0);
+    for (label, rule) in [
+        ("naive τ=1".to_string(), TauRule::Fixed(1)),
+        (format!("theorem τ*={star}"), TauRule::Convex),
+        ("stale τ=T/2".to_string(), TauRule::Fixed(t / 2)),
+    ] {
+        let vals: Vec<f64> =
+            (0..reps).map(|r| run_cell(d, t, 1.0, rule, 500 + r)).collect();
+        let tau = rule.resolve(&LogisticLoss, &L2Ball::unit(d), t, 1.0);
+        table_tau.row(&[label, tau.to_string(), report::f(median(&vals))]);
+    }
+    table_tau.print();
+    println!("reading: τ* balances staleness against per-invocation noise (§3).");
+}

@@ -1,0 +1,173 @@
+//! E2 — Table 1, row 2 (Theorem 3.1(2)): with a `ν`-strongly convex loss
+//! and the output-perturbation batch solver, the generic transformation's
+//! excess risk improves to `≈ √d·L^{3/2}‖C‖^{1/2}/(√ν·ε)` — notably
+//! **independent of the stream length `T`**.
+//!
+//! Two parts:
+//! 1. **Noise driver** (scale-independent): the output-perturbation noise
+//!    magnitude `‖θ_priv − θ̂_batch‖` scales as `√d·2L/(ν·n·ε)` — the
+//!    argmin sensitivity of Theorem 3.1(2)'s proof. Measured exactly.
+//! 2. **End-to-end excess** over streams (informational at small scale:
+//!    the doubly composed budget keeps ε′ tiny, so the `min{·, T}` clause
+//!    binds at ε ≈ 1 — see the E3 regime note).
+
+use pir_bench::{fitting, median, report, runner, scaled};
+use pir_core::evaluate::evaluate_generic;
+use pir_core::{PrivIncErm, TauRule};
+use pir_datagen::{linear_stream, sparse_theta, CovariateKind, LinearModel};
+use pir_dp::{NoiseRng, PrivacyParams};
+use pir_erm::{
+    solve_exact, OutputPerturbationSolver, PrivateBatchSolver, Regularized, SquaredLoss,
+};
+use pir_geometry::L2Ball;
+use pir_linalg::vector;
+
+/// Distance between the private batch output and the exact batch solution
+/// — the Gaussian perturbation norm (post-projection).
+fn noise_driver(d: usize, n: usize, nu: f64, eps: f64, seed: u64) -> f64 {
+    let params = PrivacyParams::approx(eps, 1e-6).unwrap();
+    let mut rng = NoiseRng::seed_from_u64(seed);
+    let model = LinearModel { theta_star: sparse_theta(d, d, 0.5, &mut rng), noise_std: 0.05 };
+    let batch =
+        linear_stream(n, d, CovariateKind::DenseSphere { radius: 0.95 }, &model, &mut rng);
+    let loss = Regularized::new(SquaredLoss, nu);
+    let set = L2Ball::unit(d);
+    let exact = solve_exact(&loss, &batch, &set, 2000).unwrap();
+    let solver = OutputPerturbationSolver { exact_iters: 2000 };
+    let priv_out = solver.solve(&loss, &batch, &set, &params, &mut rng).unwrap();
+    vector::distance(&priv_out, &exact)
+}
+
+fn run_stream_cell(d: usize, t: usize, nu: f64, eps: f64, seed: u64) -> f64 {
+    let params = PrivacyParams::approx(eps, 1e-6).unwrap();
+    let mut rng = NoiseRng::seed_from_u64(seed);
+    let model = LinearModel { theta_star: sparse_theta(d, d, 0.6, &mut rng), noise_std: 0.05 };
+    let stream =
+        linear_stream(t, d, CovariateKind::DenseSphere { radius: 0.95 }, &model, &mut rng);
+    let loss = Regularized::new(SquaredLoss, nu);
+    let mut mech = PrivIncErm::new(
+        Box::new(Regularized::new(SquaredLoss, nu)),
+        Box::new(OutputPerturbationSolver { exact_iters: 800 }),
+        Box::new(L2Ball::unit(d)),
+        t,
+        &params,
+        TauRule::StronglyConvex,
+        rng.fork(),
+    )
+    .unwrap();
+    let rep =
+        evaluate_generic(&mut mech, &stream, &loss, &L2Ball::unit(d), (t / 8).max(1), 1000)
+            .unwrap();
+    rep.max_excess()
+}
+
+fn main() {
+    report::banner(
+        "E2",
+        "Generic transformation, strongly convex loss: √d/(√ν ε), T-free",
+        "noise driver ‖θ_priv − θ̂‖ ∝ √d·2L/(ν n ε); end-to-end excess T-free up to min{·,T}",
+    );
+    let reps = scaled(6, 3) as u64;
+    let eps = 20.0; // single-shot solver: moderate ε already in-regime
+
+    // Part 1a: √d scaling of the perturbation.
+    let d_values = [4usize, 16, 64, 256];
+    let mut table = report::Table::new(&["d", "n", "ν", "ε", "‖θ_priv − θ̂‖ (median)"]);
+    let mut d_axis = Vec::new();
+    let mut dist_d = Vec::new();
+    for &d in &d_values {
+        let vals: Vec<f64> =
+            (0..reps).map(|r| noise_driver(d, 400, 0.5, eps, 11 + d as u64 + r)).collect();
+        let m = median(&vals);
+        table.row(&[d.to_string(), "400".into(), "0.5".into(), format!("{eps}"), report::f(m)]);
+        d_axis.push(d as f64);
+        dist_d.push(m);
+    }
+    table.print();
+    println!(
+        "{}",
+        fitting::verdict("‖Δθ‖ vs d", fitting::loglog_slope(&d_axis, &dist_d), 0.5, 0.2)
+    );
+    println!();
+
+    // Part 1b: 1/(ν·n) scaling.
+    let mut table_nn = report::Table::new(&["ν", "n", "‖θ_priv − θ̂‖ (median)"]);
+    let mut nu_axis = Vec::new();
+    let mut dist_nu = Vec::new();
+    for &nu in &[0.25f64, 0.5, 1.0, 2.0] {
+        let vals: Vec<f64> = (0..reps)
+            .map(|r| noise_driver(16, 400, nu, eps, 170 + (nu * 8.0) as u64 + r))
+            .collect();
+        let m = median(&vals);
+        table_nn.row(&[format!("{nu}"), "400".into(), report::f(m)]);
+        nu_axis.push(nu);
+        dist_nu.push(m);
+    }
+    let mut n_axis = Vec::new();
+    let mut dist_n = Vec::new();
+    for &n in &[100usize, 200, 400, 800] {
+        let vals: Vec<f64> =
+            (0..reps).map(|r| noise_driver(16, n, 0.5, eps, 370 + n as u64 + r)).collect();
+        let m = median(&vals);
+        table_nn.row(&["0.5".into(), n.to_string(), report::f(m)]);
+        n_axis.push(n as f64);
+        dist_n.push(m);
+    }
+    table_nn.print();
+    println!(
+        "{}",
+        fitting::verdict(
+            "‖Δθ‖ vs ν (sensitivity ∝ 1/ν)",
+            fitting::loglog_slope(&nu_axis, &dist_nu),
+            -1.0,
+            0.3
+        )
+    );
+    println!(
+        "{}",
+        fitting::verdict(
+            "‖Δθ‖ vs n (sensitivity ∝ 1/n)",
+            fitting::loglog_slope(&n_axis, &dist_n),
+            -1.0,
+            0.3
+        )
+    );
+    println!();
+
+    // Part 2: end-to-end excess over streams (informational).
+    let cells: Vec<(usize, u64)> = [32usize, 64, 128, 256]
+        .iter()
+        .flat_map(|&t| (0..reps.min(3)).map(move |r| (scaled(t * 4, t), r)))
+        .collect();
+    let results =
+        runner::parallel_map(cells.clone(), |&(t, r)| run_stream_cell(16, t, 0.5, 1.0, 80 + r));
+    let mut table_t = report::Table::new(&["d", "T", "ν", "ε", "max excess (median)"]);
+    let t_list: Vec<usize> = {
+        let mut v: Vec<usize> = cells.iter().map(|(t, _)| *t).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    for &t in &t_list {
+        let vals: Vec<f64> = cells
+            .iter()
+            .zip(&results)
+            .filter(|((tt, _), _)| *tt == t)
+            .map(|(_, v)| *v)
+            .collect();
+        table_t.row(&[
+            "16".into(),
+            t.to_string(),
+            "0.5".into(),
+            "1.0".into(),
+            report::f(median(&vals)),
+        ]);
+    }
+    table_t.print();
+    println!(
+        "regime note: at ε = 1, τ(ν) from Theorem 3.1(2) forces many invocations and \
+         the per-invocation budget collapses, so the end-to-end excess tracks the \
+         trivial level (min{{·, T}} clause) — the noise-driver checks above verify \
+         the bound's √d/(νn) machinery directly, where it is measurable."
+    );
+}

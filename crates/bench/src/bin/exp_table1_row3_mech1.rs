@@ -1,0 +1,175 @@
+//! E3 — Table 1, row 3, Mechanism 1 (Theorem 4.2, Remark 4.3):
+//! `PrivIncReg1` has excess risk `≈ √d·‖C‖²·polylog(T)·√log(1/δ)/ε`, with
+//! the `min{·, T}` clause.
+//!
+//! **Regime note (recorded in EXPERIMENTS.md):** with the paper's own
+//! noise constants (`σ ≈ √2·log₂T·Δ₂·√ln(2/δ)/ε` per tree node), at
+//! `ε ≈ 1` and laptop-scale `T ≤ 10⁴` the noise term exceeds the trivial
+//! excess — the bound's `min{·, T}` clause is active and the mechanism
+//! (correctly) degrades to trivial-level behaviour. Because the mechanism
+//! is *exactly linear in σ ∝ 1/ε*, the bound's shape is measured in the
+//! signal-dominated regime (larger ε·T) where the theorem's leading term
+//! is the binding one; the `ε = 1` row is reported for honesty.
+
+use pir_bench::{fitting, median, report, runner, scaled};
+use pir_core::evaluate::evaluate_squared_loss;
+use pir_core::{PrivIncReg1, PrivIncReg1Config};
+use pir_datagen::{linear_stream, CovariateKind, LinearModel};
+use pir_dp::{NoiseRng, PrivacyParams};
+use pir_geometry::L2Ball;
+
+/// Anchored stream: y = 0.9·x₀ with dimension-independent Var(y).
+fn run_cell(d: usize, t: usize, eps: f64, seed: u64) -> f64 {
+    let params = PrivacyParams::approx(eps, 1e-6).unwrap();
+    let mut rng = NoiseRng::seed_from_u64(seed);
+    let mut theta_star = vec![0.0; d];
+    theta_star[0] = 0.9;
+    let model = LinearModel { theta_star, noise_std: 0.02 };
+    let stream =
+        linear_stream(t, d, CovariateKind::Anchored { radius: 0.95 }, &model, &mut rng);
+    let mut mech = PrivIncReg1::new(
+        Box::new(L2Ball::unit(d)),
+        t,
+        &params,
+        &mut rng,
+        PrivIncReg1Config::default(),
+    )
+    .unwrap();
+    let report =
+        evaluate_squared_loss(&mut mech, &stream, Box::new(L2Ball::unit(d)), (t / 16).max(1))
+            .unwrap();
+    report.max_excess()
+}
+
+fn main() {
+    report::banner(
+        "E3",
+        "PrivIncReg1 excess risk: √d scaling, polylog-T, 1/ε scaling",
+        "α ≈ √d·‖C‖²·polylog(T)/ε, min{·,T} (Theorem 4.2); beats the generic (Td)^{1/3}",
+    );
+    let reps = scaled(5, 3) as u64;
+    let t_fixed = scaled(4096, 1024);
+    let eps_shape = 100.0;
+
+    // Sweep 1: dimension at fixed T, ε (shape regime).
+    let d_values: Vec<usize> = vec![4, 8, 16, 32, 64, 128];
+    let cells: Vec<(usize, u64)> =
+        d_values.iter().flat_map(|&d| (0..reps).map(move |r| (d, r))).collect();
+    let results = runner::parallel_map(cells.clone(), |&(d, r)| {
+        run_cell(d, t_fixed, eps_shape, 1000 + 37 * d as u64 + r)
+    });
+    let mut table = report::Table::new(&["d", "T", "ε", "max excess (median)"]);
+    let mut d_axis = Vec::new();
+    let mut ex_axis = Vec::new();
+    for &d in &d_values {
+        let vals: Vec<f64> = cells
+            .iter()
+            .zip(&results)
+            .filter(|((dd, _), _)| *dd == d)
+            .map(|(_, v)| *v)
+            .collect();
+        let m = median(&vals);
+        table.row(&[d.to_string(), t_fixed.to_string(), format!("{eps_shape}"), report::f(m)]);
+        d_axis.push(d as f64);
+        ex_axis.push(m);
+    }
+    table.print();
+    let d_slope = fitting::loglog_slope(&d_axis, &ex_axis);
+    println!("{}", fitting::verdict("excess vs d", d_slope, 0.5, 0.25));
+    println!();
+
+    // Sweep 2: stream length at fixed d, ε — polylog only.
+    let t_values: Vec<usize> = vec![1024, 2048, 4096, 8192, 16384]
+        .into_iter()
+        .map(|t| scaled(t, 256).max(256))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let cells_t: Vec<(usize, u64)> =
+        t_values.iter().flat_map(|&t| (0..reps).map(move |r| (t, r))).collect();
+    let results_t = runner::parallel_map(cells_t.clone(), |&(t, r)| {
+        run_cell(8, t, eps_shape, 2000 + t as u64 + r)
+    });
+    let mut table_t = report::Table::new(&["d", "T", "ε", "max excess (median)"]);
+    let mut t_axis = Vec::new();
+    let mut ex_t = Vec::new();
+    for &t in &t_values {
+        let vals: Vec<f64> = cells_t
+            .iter()
+            .zip(&results_t)
+            .filter(|((tt, _), _)| *tt == t)
+            .map(|(_, v)| *v)
+            .collect();
+        let m = median(&vals);
+        table_t.row(&["8".into(), t.to_string(), format!("{eps_shape}"), report::f(m)]);
+        t_axis.push(t as f64);
+        ex_t.push(m);
+    }
+    table_t.print();
+    let t_slope = fitting::loglog_slope(&t_axis, &ex_t);
+    println!(
+        "{}",
+        fitting::verdict(
+            "excess vs T (polylog ⇒ slope ≪ 1; trivial would be 1.0)",
+            t_slope,
+            0.2,
+            0.3
+        )
+    );
+    println!();
+
+    // Sweep 3: privacy level at fixed d, T.
+    let eps_values = [25.0, 50.0, 100.0, 200.0, 400.0];
+    let cells_e: Vec<(u64, u64)> = (0..eps_values.len() as u64)
+        .flat_map(|i| (0..reps).map(move |r| (i, r)))
+        .collect();
+    let results_e = runner::parallel_map(cells_e.clone(), |&(i, r)| {
+        run_cell(16, t_fixed, eps_values[i as usize], 3000 + i * 17 + r)
+    });
+    let mut table_e = report::Table::new(&["d", "T", "ε", "max excess (median)"]);
+    let mut e_axis = Vec::new();
+    let mut ex_e = Vec::new();
+    for (i, &eps) in eps_values.iter().enumerate() {
+        let vals: Vec<f64> = cells_e
+            .iter()
+            .zip(&results_e)
+            .filter(|((ii, _), _)| *ii == i as u64)
+            .map(|(_, v)| *v)
+            .collect();
+        let m = median(&vals);
+        table_e.row(&["16".into(), t_fixed.to_string(), format!("{eps}"), report::f(m)]);
+        e_axis.push(eps);
+        ex_e.push(m);
+    }
+    table_e.print();
+    let e_slope = fitting::loglog_slope(&e_axis, &ex_e);
+    println!("{}", fitting::verdict("excess vs ε (bound ∝ 1/ε)", e_slope, -1.0, 0.4));
+    println!();
+
+    // Honesty row: the ε = 1 regime, where min{·, T} is active.
+    let clamped: Vec<f64> =
+        (0..reps).map(|r| run_cell(16, scaled(1024, 256), 1.0, 4000 + r)).collect();
+    let trivial_level = {
+        // Trivial excess ≈ Σ y² for this stream (θ = 0).
+        let mut rng = NoiseRng::seed_from_u64(4242);
+        let mut theta_star = vec![0.0; 16];
+        theta_star[0] = 0.9;
+        let model = LinearModel { theta_star, noise_std: 0.02 };
+        let stream = linear_stream(
+            scaled(1024, 256),
+            16,
+            CovariateKind::Anchored { radius: 0.95 },
+            &model,
+            &mut rng,
+        );
+        stream.iter().map(|z| z.y * z.y).sum::<f64>()
+    };
+    println!(
+        "ε = 1 regime check (d=16, T={}): measured excess {} vs trivial level ≈ {} — \
+         the min{{·, T}} clause is active at single-digit ε on laptop-scale streams, \
+         exactly as the constants in Theorem 4.2 predict.",
+        scaled(1024, 256),
+        report::f(median(&clamped)),
+        report::f(trivial_level)
+    );
+}

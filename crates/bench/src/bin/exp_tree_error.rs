@@ -1,0 +1,85 @@
+//! E8 — Proposition C.1: the Tree Mechanism's release error is
+//! `O(Δ₂(√d + √log(1/β))·log^{3/2}T/ε·√log(1/δ))` — *poly-logarithmic* in
+//! the stream length, versus the `√T` growth naive per-step noising
+//! would give.
+
+use pir_bench::{fitting, median, report, scaled};
+use pir_continual::TreeMechanism;
+use pir_dp::{NoiseRng, PrivacyParams};
+use pir_linalg::vector;
+
+fn max_error(d: usize, t_max: usize, seed: u64) -> f64 {
+    let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+    let mut mech =
+        TreeMechanism::new(d, t_max, 1.0, &params, NoiseRng::seed_from_u64(seed)).unwrap();
+    let mut items = NoiseRng::seed_from_u64(seed ^ 0xabcd);
+    let mut acc = vec![0.0; d];
+    let mut worst = 0.0f64;
+    for _ in 0..t_max {
+        let v = items.unit_sphere(d);
+        vector::axpy(1.0, &v, &mut acc);
+        let s = mech.update(&v).unwrap();
+        worst = worst.max(vector::distance(&s, &acc));
+    }
+    worst
+}
+
+fn main() {
+    report::banner(
+        "E8",
+        "Tree Mechanism error vs stream length and dimension (Prop. C.1)",
+        "max_t ‖s_t − Σv_i‖ grows polylog in T (log^{3/2}) and like √d in d",
+    );
+    let reps = scaled(5, 3) as u64;
+    let t_values: Vec<usize> = vec![1 << 6, 1 << 8, 1 << 10, 1 << 12];
+    let d_values: Vec<usize> = vec![1, 4, 16, 64];
+
+    let mut table = report::Table::new(&["d", "T", "measured max err (median)", "Prop C.1 bound"]);
+    let mut t_axis = Vec::new();
+    let mut err_axis_t = Vec::new();
+    for &t in &t_values {
+        let d = 16;
+        let errs: Vec<f64> = (0..reps).map(|r| max_error(d, t, 100 + r)).collect();
+        let m = median(&errs);
+        let bound = TreeMechanism::new(
+            d,
+            t,
+            1.0,
+            &PrivacyParams::approx(1.0, 1e-6).unwrap(),
+            NoiseRng::seed_from_u64(0),
+        )
+        .unwrap()
+        .error_bound(0.01);
+        table.row(&[d.to_string(), t.to_string(), report::f(m), report::f(bound)]);
+        t_axis.push(t as f64);
+        err_axis_t.push(m);
+    }
+    let mut d_axis = Vec::new();
+    let mut err_axis_d = Vec::new();
+    for &d in &d_values {
+        let t = 1 << 10;
+        let errs: Vec<f64> = (0..reps).map(|r| max_error(d, t, 200 + r)).collect();
+        let m = median(&errs);
+        let bound = TreeMechanism::new(
+            d,
+            t,
+            1.0,
+            &PrivacyParams::approx(1.0, 1e-6).unwrap(),
+            NoiseRng::seed_from_u64(0),
+        )
+        .unwrap()
+        .error_bound(0.01);
+        table.row(&[d.to_string(), t.to_string(), report::f(m), report::f(bound)]);
+        d_axis.push(d as f64);
+        err_axis_d.push(m);
+    }
+    table.print();
+
+    // Shape checks: error vs T must be far below the √T slope of naive
+    // noising (polylog in T means a tiny log–log slope); error vs d ≈ √d.
+    let t_slope = fitting::loglog_slope(&t_axis, &err_axis_t);
+    let d_slope = fitting::loglog_slope(&d_axis, &err_axis_d);
+    println!();
+    println!("{}", fitting::verdict("error vs T (polylog ⇒ slope ≪ 0.5)", t_slope, 0.15, 0.2));
+    println!("{}", fitting::verdict("error vs d", d_slope, 0.5, 0.2));
+}

@@ -1,0 +1,69 @@
+//! Log–log slope fitting for shape checks: the paper reports bounds like
+//! `α ≈ T^{1/3}` or `α ≈ √d`; we fit `log y = a + b·log x` by ordinary
+//! least squares and compare `b` against the predicted exponent.
+
+/// Least-squares slope of `log y` against `log x`.
+///
+/// # Panics
+/// Panics if fewer than two points or any non-positive value is supplied
+/// (log–log fits need strictly positive data).
+pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points to fit a slope");
+    let lx: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "log-log fit needs positive x");
+            x.ln()
+        })
+        .collect();
+    let ly: Vec<f64> = ys
+        .iter()
+        .map(|&y| {
+            assert!(y > 0.0, "log-log fit needs positive y");
+            y.ln()
+        })
+        .collect();
+    let n = lx.len() as f64;
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let cov: f64 = lx.iter().zip(&ly).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let var: f64 = lx.iter().map(|a| (a - mx) * (a - mx)).sum();
+    cov / var
+}
+
+/// Human-readable verdict line comparing a fitted exponent against the
+/// predicted one within a tolerance band.
+pub fn verdict(label: &str, fitted: f64, predicted: f64, tol: f64) -> String {
+    let ok = (fitted - predicted).abs() <= tol;
+    format!(
+        "{label}: fitted exponent {fitted:.3} vs paper {predicted:.3} (±{tol:.2}) → {}",
+        if ok { "SHAPE OK" } else { "SHAPE DEVIATES" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_power_laws_exactly() {
+        let xs: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(0.5)).collect();
+        assert!((loglog_slope(&xs, &ys) - 0.5).abs() < 1e-12);
+        let ys2: Vec<f64> = xs.iter().map(|x| 0.1 * x.powf(1.0 / 3.0)).collect();
+        assert!((loglog_slope(&xs, &ys2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verdict_strings() {
+        assert!(verdict("t", 0.52, 0.5, 0.1).contains("SHAPE OK"));
+        assert!(verdict("t", 0.9, 0.5, 0.1).contains("DEVIATES"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive() {
+        let _ = loglog_slope(&[1.0, 2.0], &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Parallel sweep execution over crossbeam scoped threads: experiment
+//! grids are embarrassingly parallel (one mechanism run per cell), so we
+//! fan out across cores and reassemble in input order.
+
+/// Map `f` over `inputs` in parallel, preserving order. Falls back to
+/// sequential execution for a single input or a single CPU.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    if n <= 1 {
+        return inputs.iter().map(&f).collect();
+    }
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    if workers <= 1 {
+        return inputs.iter().map(&f).collect();
+    }
+    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let inputs_ref = &inputs;
+    let f_ref = &f;
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                let out = f_ref(&inputs_ref[i]);
+                let mut guard = results_mutex.lock().expect("runner mutex poisoned");
+                guard[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results.into_iter().map(|o| o.expect("all cells computed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = parallel_map(inputs, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn single_input_sequential_path() {
+        let out = parallel_map(vec![5usize], |&x| x + 1);
+        assert_eq!(out, vec![6]);
+    }
+}

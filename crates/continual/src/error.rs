@@ -1,0 +1,58 @@
+use pir_dp::DpError;
+use std::fmt;
+
+/// Errors produced by the continual-release mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContinualError {
+    /// A stream item had the wrong dimension.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension supplied.
+        found: usize,
+    },
+    /// More than the declared `T` items were pushed into a fixed-horizon
+    /// mechanism.
+    StreamOverflow {
+        /// The declared horizon.
+        t_max: usize,
+    },
+    /// A stream item contained NaN/∞.
+    NonFinite,
+    /// A stream item violated the declared norm bound (its participation
+    /// would invalidate the sensitivity the noise was calibrated for).
+    NormBoundViolated {
+        /// Declared per-item L2-norm bound.
+        bound: f64,
+        /// Norm of the offending item.
+        found: f64,
+    },
+    /// An underlying DP-parameter error.
+    Dp(DpError),
+}
+
+impl fmt::Display for ContinualError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContinualError::DimensionMismatch { expected, found } => {
+                write!(f, "stream item dimension mismatch (expected {expected}, found {found})")
+            }
+            ContinualError::StreamOverflow { t_max } => {
+                write!(f, "stream overflow: mechanism was constructed for T = {t_max} items")
+            }
+            ContinualError::NonFinite => write!(f, "stream item contains NaN/infinite entries"),
+            ContinualError::NormBoundViolated { bound, found } => {
+                write!(f, "stream item norm {found} exceeds declared bound {bound}")
+            }
+            ContinualError::Dp(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ContinualError {}
+
+impl From<DpError> for ContinualError {
+    fn from(e: DpError) -> Self {
+        ContinualError::Dp(e)
+    }
+}

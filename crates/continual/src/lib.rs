@@ -1,0 +1,32 @@
+//! # pir-continual
+//!
+//! Mechanisms for *private continual release* of streaming sums — the
+//! substrate the paper's Algorithms 2 and 3 build on.
+//!
+//! - [`TreeMechanism`] (Algorithm 4 / Appendix C of the paper; Dwork et al.
+//!   `[16]`, Chan et al. `[7]`): releases, at every timestep `t ≤ T`, a
+//!   noisy prefix sum `s_t ≈ Σ_{i≤t} υ_i` of a stream of `d`-dimensional
+//!   vectors, using `O(d log T)` space and per-release error
+//!   `O(Δ₂ (√d + √log(1/β)) log^{3/2} T · √log(1/δ) / ε)` (Prop. C.1).
+//! - [`HybridMechanism`] (footnote 13; Chan et al.): removes the
+//!   known-`T` requirement by running one fresh tree per dyadic epoch;
+//!   each item is consumed by exactly one tree, so the privacy guarantee
+//!   is unchanged and the error grows by only a `√log t` factor.
+//! - [`PrivateCounter`]: the classical binary-counting special case for
+//!   bit streams under pure `ε`-DP (Laplace node noise).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+mod error;
+pub mod hybrid;
+pub mod tree;
+
+pub use counter::PrivateCounter;
+pub use error::ContinualError;
+pub use hybrid::HybridMechanism;
+pub use tree::TreeMechanism;
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, ContinualError>;

@@ -1,0 +1,401 @@
+//! The Tree Mechanism for continual private release of vector sums
+//! (Algorithm 4 / Appendix C of the paper).
+//!
+//! The stream `υ_1, …, υ_T ∈ R^d` is laid out at the leaves of a (virtual)
+//! binary tree; every internal node stores the partial sum of the leaves
+//! below it. Each prefix `[1, t]` decomposes into at most
+//! `⌈log₂ T⌉ + 1` dyadic ranges, so the release `s_t` is the sum of that
+//! many noisy node values — each perturbed once, when the node completes —
+//! and each stream item contributes to at most `⌈log₂ T⌉ + 1` nodes.
+//! Calibrating the per-node Gaussian noise to
+//! `σ = √2 · log₂(T) · Δ₂ · √(ln(2/δ)) / ε` (the paper's Algorithm 4,
+//! Step 8) makes the whole output sequence `(ε, δ)`-DP with respect to a
+//! single-item change of the stream.
+//!
+//! Only the `O(log T)` *active* partial sums are retained, so memory is
+//! `O(d log T)` — the property Remark §1.1 highlights.
+
+use crate::error::ContinualError;
+use crate::Result;
+use pir_dp::{NoiseRng, PrivacyParams};
+use pir_linalg::vector;
+
+/// Continual-release Tree Mechanism over `d`-dimensional vector streams.
+///
+/// ```
+/// use pir_continual::TreeMechanism;
+/// use pir_dp::{NoiseRng, PrivacyParams};
+///
+/// let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+/// let mut mech =
+///     TreeMechanism::new(2, 8, 1.0, &params, NoiseRng::seed_from_u64(7)).unwrap();
+/// // Stream vectors of norm ≤ 1; every update returns a private prefix sum.
+/// let s1 = mech.update(&[0.6, 0.0]).unwrap();
+/// let s2 = mech.update(&[0.0, 0.6]).unwrap();
+/// assert_eq!(s2.len(), 2);
+/// // Re-querying is free post-processing and returns the same release.
+/// assert_eq!(mech.query(), s2);
+/// # let _ = s1;
+/// ```
+#[derive(Debug)]
+pub struct TreeMechanism {
+    dim: usize,
+    t_max: usize,
+    levels: usize,
+    /// Per-node Gaussian standard deviation.
+    sigma: f64,
+    /// Optional per-item L2-norm contract; violations are rejected.
+    max_norm: Option<f64>,
+    /// Declared L2-sensitivity `Δ₂` of the streaming sum.
+    sensitivity: f64,
+    /// Items consumed so far (`t`).
+    t: usize,
+    /// Clean partial sums `a_j` (paper's notation), one per level.
+    a: Vec<Vec<f64>>,
+    /// Noisy partial sums `b_j`, one per level.
+    b: Vec<Vec<f64>>,
+    rng: NoiseRng,
+}
+
+/// `⌈log₂ T⌉ + 1`, the number of tree levels (and the maximum number of
+/// dyadic ranges in a prefix decomposition).
+fn levels_for(t_max: usize) -> usize {
+    if t_max <= 1 {
+        1
+    } else {
+        (usize::BITS - (t_max - 1).leading_zeros()) as usize + 1
+    }
+}
+
+impl TreeMechanism {
+    /// Tree Mechanism with the paper's noise calibration for a stream whose
+    /// items satisfy `‖υ_t‖₂ ≤ max_norm` (enforced on every update). Under
+    /// replacement neighbors the streaming sum then has L2-sensitivity
+    /// `Δ₂ = 2·max_norm`.
+    ///
+    /// # Errors
+    /// [`ContinualError::Dp`] for invalid privacy parameters (the Gaussian
+    /// calibration needs `δ > 0`) or a non-positive `max_norm`.
+    pub fn new(
+        dim: usize,
+        t_max: usize,
+        max_norm: f64,
+        params: &PrivacyParams,
+        rng: NoiseRng,
+    ) -> Result<Self> {
+        if !(max_norm.is_finite() && max_norm > 0.0) {
+            return Err(ContinualError::Dp(pir_dp::DpError::InvalidSensitivity {
+                value: max_norm,
+            }));
+        }
+        let mut mech = Self::with_sensitivity(dim, t_max, 2.0 * max_norm, params, rng)?;
+        mech.max_norm = Some(max_norm);
+        Ok(mech)
+    }
+
+    /// Tree Mechanism from an explicit L2-sensitivity `Δ₂` of the streaming
+    /// sum (the paper's `TREEMECH(ε, δ, Δ₂)` signature). No per-item norm
+    /// enforcement is performed — the sensitivity contract is the caller's.
+    ///
+    /// Per-node noise is `σ = √2 · max(1, log₂ T) · Δ₂ · √(ln(2/δ)) / ε`,
+    /// i.e. the standard deviation of the paper's
+    /// `N(0, 2 log₂²(T) Δ₂² ln(2/δ)/ε² · I_d)` node perturbation.
+    ///
+    /// # Errors
+    /// [`ContinualError::Dp`] on invalid `Δ₂` or privacy parameters.
+    pub fn with_sensitivity(
+        dim: usize,
+        t_max: usize,
+        sensitivity: f64,
+        params: &PrivacyParams,
+        rng: NoiseRng,
+    ) -> Result<Self> {
+        if !(sensitivity.is_finite() && sensitivity > 0.0) {
+            return Err(ContinualError::Dp(pir_dp::DpError::InvalidSensitivity {
+                value: sensitivity,
+            }));
+        }
+        if params.delta() == 0.0 {
+            return Err(ContinualError::Dp(pir_dp::DpError::InvalidParams {
+                reason: "the Gaussian tree mechanism requires delta > 0".to_string(),
+            }));
+        }
+        let log_t = (t_max.max(2) as f64).log2().max(1.0);
+        let sigma = (2.0f64).sqrt() * log_t * sensitivity * (2.0 / params.delta()).ln().sqrt()
+            / params.epsilon();
+        Ok(Self::with_sigma_and_sensitivity(dim, t_max, sigma, sensitivity, rng))
+    }
+
+    /// Tree Mechanism with explicit per-node noise `σ` — the raw knob used
+    /// by tests and ablations. `σ = 0` gives exact (non-private) prefix
+    /// sums, the noiseless limit property tests rely on.
+    pub fn with_sigma(dim: usize, t_max: usize, sigma: f64, rng: NoiseRng) -> Self {
+        Self::with_sigma_and_sensitivity(dim, t_max, sigma, 0.0, rng)
+    }
+
+    fn with_sigma_and_sensitivity(
+        dim: usize,
+        t_max: usize,
+        sigma: f64,
+        sensitivity: f64,
+        rng: NoiseRng,
+    ) -> Self {
+        let levels = levels_for(t_max);
+        TreeMechanism {
+            dim,
+            t_max,
+            levels,
+            sigma,
+            max_norm: None,
+            sensitivity,
+            t: 0,
+            a: vec![vec![0.0; dim]; levels],
+            b: vec![vec![0.0; dim]; levels],
+            rng,
+        }
+    }
+
+    /// Stream dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Declared horizon `T`.
+    pub fn t_max(&self) -> usize {
+        self.t_max
+    }
+
+    /// Items consumed so far.
+    pub fn len(&self) -> usize {
+        self.t
+    }
+
+    /// Whether no items have been consumed yet.
+    pub fn is_empty(&self) -> bool {
+        self.t == 0
+    }
+
+    /// Per-node noise standard deviation in use.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Number of tree levels `⌈log₂ T⌉ + 1`.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Consume the next stream item and return the private prefix sum
+    /// `s_t ≈ Σ_{i ≤ t} υ_i`.
+    ///
+    /// # Errors
+    /// Rejects wrong-dimension, non-finite, over-horizon, and (when
+    /// constructed via [`TreeMechanism::new`]) norm-violating items.
+    pub fn update(&mut self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.dim {
+            return Err(ContinualError::DimensionMismatch { expected: self.dim, found: v.len() });
+        }
+        if !vector::is_finite(v) {
+            return Err(ContinualError::NonFinite);
+        }
+        if self.t >= self.t_max {
+            return Err(ContinualError::StreamOverflow { t_max: self.t_max });
+        }
+        if let Some(bound) = self.max_norm {
+            let n = vector::norm2(v);
+            if n > bound * (1.0 + 1e-9) {
+                return Err(ContinualError::NormBoundViolated { bound, found: n });
+            }
+        }
+        self.t += 1;
+        let t = self.t;
+        // i ← index of the lowest set bit of t (paper Step 3).
+        let i = t.trailing_zeros() as usize;
+        debug_assert!(i < self.levels, "bit index exceeds tree height");
+        // a_i ← Σ_{j<i} a_j + υ_t (paper Step 4); zero the lower levels.
+        let (low, high) = self.a.split_at_mut(i);
+        let ai = &mut high[0];
+        ai.copy_from_slice(v);
+        for aj in low.iter_mut() {
+            vector::axpy(1.0, aj, ai);
+            aj.iter_mut().for_each(|x| *x = 0.0);
+        }
+        for bj in self.b.iter_mut().take(i) {
+            bj.iter_mut().for_each(|x| *x = 0.0);
+        }
+        // b_i ← a_i + N(0, σ² I) (paper Step 8).
+        let bi = &mut self.b[i];
+        bi.copy_from_slice(&self.a[i]);
+        if self.sigma > 0.0 {
+            for x in bi.iter_mut() {
+                *x += self.rng.gaussian(0.0, self.sigma);
+            }
+        }
+        Ok(self.query())
+    }
+
+    /// Recompute the current private prefix sum `s_t` from the stored noisy
+    /// partial sums (pure post-processing; free of privacy cost). Returns
+    /// the zero vector before any update.
+    pub fn query(&self) -> Vec<f64> {
+        let mut s = vec![0.0; self.dim];
+        let t = self.t;
+        for j in 0..self.levels {
+            if t & (1 << j) != 0 {
+                vector::axpy(1.0, &self.b[j], &mut s);
+            }
+        }
+        s
+    }
+
+    /// Proposition C.1 error bound: with probability at least `1 − β`,
+    /// `‖s_t − Σ υ_i‖ ≤ σ √(levels) (√d + √(2 ln(1/β)))` — at most
+    /// `levels` noisy nodes enter any release, each `N(0, σ² I_d)`.
+    pub fn error_bound(&self, beta: f64) -> f64 {
+        debug_assert!(beta > 0.0 && beta < 1.0);
+        self.sigma
+            * (self.levels as f64).sqrt()
+            * ((self.dim as f64).sqrt() + (2.0 * (1.0 / beta).ln()).sqrt())
+    }
+
+    /// Declared L2-sensitivity `Δ₂` (0 when constructed via `with_sigma`).
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// Approximate resident memory in `f64` slots (`2 · levels · d`): the
+    /// `O(d log T)` space claim of Appendix C.
+    pub fn memory_slots(&self) -> usize {
+        2 * self.levels * self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> NoiseRng {
+        NoiseRng::seed_from_u64(1234)
+    }
+
+    fn params() -> PrivacyParams {
+        PrivacyParams::approx(1.0, 1e-5).unwrap()
+    }
+
+    #[test]
+    fn levels_formula() {
+        assert_eq!(levels_for(1), 1);
+        assert_eq!(levels_for(2), 2);
+        assert_eq!(levels_for(3), 3);
+        assert_eq!(levels_for(4), 3);
+        assert_eq!(levels_for(8), 4);
+        assert_eq!(levels_for(9), 5);
+        assert_eq!(levels_for(1024), 11);
+    }
+
+    #[test]
+    fn noiseless_tree_returns_exact_prefix_sums() {
+        let mut mech = TreeMechanism::with_sigma(3, 16, 0.0, rng());
+        let mut acc = vec![0.0; 3];
+        for t in 1..=16usize {
+            let v = vec![t as f64, -(t as f64), 0.5];
+            vector::axpy(1.0, &v, &mut acc);
+            let s = mech.update(&v).unwrap();
+            assert!(vector::distance(&s, &acc) < 1e-9, "t={t}");
+            // query() agrees with the update's return value.
+            assert!(vector::distance(&mech.query(), &s) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noisy_tree_error_stays_within_bound() {
+        let mut mech = TreeMechanism::new(4, 64, 1.0, &params(), rng()).unwrap();
+        let bound = mech.error_bound(0.001);
+        let mut acc = vec![0.0; 4];
+        let mut max_err: f64 = 0.0;
+        let mut item_rng = NoiseRng::seed_from_u64(7);
+        for _ in 0..64 {
+            let v = item_rng.unit_sphere(4);
+            vector::axpy(1.0, &v, &mut acc);
+            let s = mech.update(&v).unwrap();
+            max_err = max_err.max(vector::distance(&s, &acc));
+        }
+        assert!(max_err <= bound, "max_err {max_err} > bound {bound}");
+        assert!(max_err > 0.0, "noise should actually be injected");
+    }
+
+    #[test]
+    fn update_validations() {
+        let mut mech = TreeMechanism::new(2, 2, 1.0, &params(), rng()).unwrap();
+        assert!(matches!(
+            mech.update(&[1.0]),
+            Err(ContinualError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(mech.update(&[f64::NAN, 0.0]), Err(ContinualError::NonFinite)));
+        assert!(matches!(
+            mech.update(&[3.0, 4.0]), // norm 5 > 1
+            Err(ContinualError::NormBoundViolated { .. })
+        ));
+        mech.update(&[0.6, 0.0]).unwrap();
+        mech.update(&[0.0, 0.6]).unwrap();
+        assert!(matches!(
+            mech.update(&[0.1, 0.1]),
+            Err(ContinualError::StreamOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn constructor_validations() {
+        assert!(TreeMechanism::new(2, 8, 0.0, &params(), rng()).is_err());
+        assert!(TreeMechanism::with_sensitivity(2, 8, -1.0, &params(), rng()).is_err());
+        let pure = PrivacyParams::new(1.0, 0.0).unwrap();
+        assert!(TreeMechanism::with_sensitivity(2, 8, 1.0, &pure, rng()).is_err());
+    }
+
+    #[test]
+    fn sigma_matches_paper_formula() {
+        let p = params();
+        let mech = TreeMechanism::with_sensitivity(1, 1024, 2.0, &p, rng()).unwrap();
+        let expect = (2.0f64).sqrt() * 10.0 * 2.0 * (2.0f64 / 1e-5).ln().sqrt() / 1.0;
+        assert!((mech.sigma() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_is_logarithmic_in_t() {
+        let m1 = TreeMechanism::with_sigma(10, 1 << 10, 0.0, rng());
+        let m2 = TreeMechanism::with_sigma(10, 1 << 20, 0.0, rng());
+        // Doubling the exponent roughly doubles (not squares) the footprint.
+        assert!(m2.memory_slots() <= 2 * m1.memory_slots() + 2 * 10);
+    }
+
+    #[test]
+    fn noise_reuse_is_consistent_across_queries() {
+        // Repeated query() calls must return the *same* release (noise is
+        // attached to nodes, not redrawn per query) — otherwise averaging
+        // queries would wash out the privacy noise.
+        let mut mech = TreeMechanism::new(2, 8, 1.0, &params(), rng()).unwrap();
+        mech.update(&[0.5, 0.5]).unwrap();
+        let q1 = mech.query();
+        let q2 = mech.query();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn t_equal_one_horizon() {
+        let mut mech = TreeMechanism::with_sigma(1, 1, 0.0, rng());
+        let s = mech.update(&[5.0]).unwrap();
+        assert_eq!(s, vec![5.0]);
+        assert!(mech.update(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn error_bound_grows_polylog_in_t() {
+        let p = params();
+        let m_small = TreeMechanism::with_sensitivity(4, 1 << 6, 2.0, &p, rng()).unwrap();
+        let m_large = TreeMechanism::with_sensitivity(4, 1 << 12, 2.0, &p, rng()).unwrap();
+        let ratio = m_large.error_bound(0.01) / m_small.error_bound(0.01);
+        // log^{3/2} scaling: (12/6)^{3/2} ≈ 2.83 ≪ (2^12/2^6)^{1/2} = 8.
+        assert!(ratio < 4.0, "ratio {ratio}");
+        assert!(ratio > 1.5, "ratio {ratio}");
+    }
+}

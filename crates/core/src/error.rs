@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors produced by the incremental mechanisms.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The stream exceeded the declared horizon `T`.
+    StreamOverflow {
+        /// Declared horizon.
+        t_max: usize,
+    },
+    /// A stream item violated the domain contract.
+    InvalidPoint {
+        /// What went wrong.
+        reason: String,
+    },
+    /// Bad mechanism configuration.
+    InvalidConfig {
+        /// What went wrong.
+        reason: String,
+    },
+    /// Error from the DP layer.
+    Dp(pir_dp::DpError),
+    /// Error from the continual-release layer.
+    Continual(pir_continual::ContinualError),
+    /// Error from the ERM layer.
+    Erm(pir_erm::ErmError),
+    /// Error from the linear-algebra layer.
+    Linalg(pir_linalg::LinalgError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::StreamOverflow { t_max } => {
+                write!(f, "stream overflow: mechanism was constructed for T = {t_max}")
+            }
+            CoreError::InvalidPoint { reason } => write!(f, "invalid stream point: {reason}"),
+            CoreError::InvalidConfig { reason } => {
+                write!(f, "invalid mechanism configuration: {reason}")
+            }
+            CoreError::Dp(e) => write!(f, "{e}"),
+            CoreError::Continual(e) => write!(f, "{e}"),
+            CoreError::Erm(e) => write!(f, "{e}"),
+            CoreError::Linalg(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<pir_dp::DpError> for CoreError {
+    fn from(e: pir_dp::DpError) -> Self {
+        CoreError::Dp(e)
+    }
+}
+
+impl From<pir_continual::ContinualError> for CoreError {
+    fn from(e: pir_continual::ContinualError) -> Self {
+        CoreError::Continual(e)
+    }
+}
+
+impl From<pir_erm::ErmError> for CoreError {
+    fn from(e: pir_erm::ErmError) -> Self {
+        CoreError::Erm(e)
+    }
+}
+
+impl From<pir_linalg::LinalgError> for CoreError {
+    fn from(e: pir_linalg::LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}

@@ -1,0 +1,156 @@
+//! The *private gradient function* of Definition 5.
+//!
+//! For the least-squares loss, the gradient has the linear form
+//! `∇L(θ; Γ_t) = 2(X_tᵀX_t θ − X_tᵀy_t)` (equation (2) of the paper), so
+//! a private estimate of the two streaming sums `Σ x_i x_iᵀ` and
+//! `Σ x_i y_i` yields a function `g_t(θ) = 2(Q_t θ − q_t)` that can be
+//! evaluated at *any* `θ` without further privacy cost (post-processing).
+
+use crate::error::CoreError;
+use crate::Result;
+use pir_linalg::{vector, Matrix};
+
+/// A released private gradient function `g(θ) = 2(Qθ − q)`.
+#[derive(Debug, Clone)]
+pub struct PrivateGradientFn {
+    q_matrix: Matrix,
+    q_vector: Vec<f64>,
+    /// Uniform gradient-error bound `α` such that w.p. `≥ 1 − β`,
+    /// `sup_{θ∈C} ‖g(θ) − ∇L(θ)‖ ≤ α` (Lemma 4.1 of the paper).
+    alpha: f64,
+}
+
+impl PrivateGradientFn {
+    /// Assemble from released noisy statistics.
+    ///
+    /// `matrix_error` and `vector_error` are the high-probability error
+    /// bounds of the two underlying Tree Mechanism releases
+    /// (Proposition C.1); `diameter` is `‖C‖`. Lemma 4.1 combines them:
+    /// `‖g(θ) − ∇L(θ)‖ ≤ 2(‖Q − Σxxᵀ‖·‖θ‖ + ‖q − Σxy‖)
+    ///                 ≤ 2(matrix_error·diameter + vector_error)`.
+    ///
+    /// The noisy second-moment matrix is symmetrized on entry (the true
+    /// statistic is symmetric; symmetry keeps the induced quadratic model
+    /// well-behaved).
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] on a non-square `q_matrix` or a
+    /// dimension mismatch with `q_vector`.
+    pub fn new(
+        mut q_matrix: Matrix,
+        q_vector: Vec<f64>,
+        matrix_error: f64,
+        vector_error: f64,
+        diameter: f64,
+    ) -> Result<Self> {
+        if q_matrix.rows() != q_matrix.cols() {
+            return Err(CoreError::InvalidConfig {
+                reason: "private gradient needs a square second-moment matrix".to_string(),
+            });
+        }
+        if q_matrix.rows() != q_vector.len() {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "second-moment dimension {} != first-moment dimension {}",
+                    q_matrix.rows(),
+                    q_vector.len()
+                ),
+            });
+        }
+        q_matrix.symmetrize_mut();
+        let alpha = 2.0 * (matrix_error * diameter + vector_error);
+        Ok(PrivateGradientFn { q_matrix, q_vector, alpha })
+    }
+
+    /// Dimension of the gradient.
+    pub fn dim(&self) -> usize {
+        self.q_vector.len()
+    }
+
+    /// The Lemma 4.1 uniform error bound `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Evaluate `g(θ) = 2(Qθ − q)` — pure post-processing, free of
+    /// privacy cost (the point Definition 5 is built around).
+    ///
+    /// # Errors
+    /// Dimension mismatch.
+    pub fn eval(&self, theta: &[f64]) -> Result<Vec<f64>> {
+        let mut g = self.q_matrix.matvec(theta)?;
+        vector::axpy(-1.0, &self.q_vector, &mut g);
+        vector::scale_mut(&mut g, 2.0);
+        Ok(g)
+    }
+
+    /// The released second-moment estimate `Q`.
+    pub fn second_moment(&self) -> &Matrix {
+        &self.q_matrix
+    }
+
+    /// The released first-moment estimate `q`.
+    pub fn first_moment(&self) -> &[f64] {
+        &self.q_vector
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_linear_gradient_form() {
+        // Q = I, q = (1, 0): g(θ) = 2(θ − q).
+        let g = PrivateGradientFn::new(Matrix::identity(2), vec![1.0, 0.0], 0.0, 0.0, 1.0)
+            .unwrap();
+        assert_eq!(g.eval(&[0.0, 0.0]).unwrap(), vec![-2.0, 0.0]);
+        assert_eq!(g.eval(&[1.0, 1.0]).unwrap(), vec![0.0, 2.0]);
+        assert!(g.eval(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn alpha_combines_component_errors_lemma41() {
+        let g = PrivateGradientFn::new(Matrix::identity(3), vec![0.0; 3], 0.5, 0.25, 2.0)
+            .unwrap();
+        assert!((g.alpha() - 2.0 * (0.5 * 2.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetrizes_noisy_second_moment() {
+        let q = Matrix::from_rows(&[&[1.0, 0.4], &[0.0, 1.0]]).unwrap();
+        let g = PrivateGradientFn::new(q, vec![0.0, 0.0], 0.0, 0.0, 1.0).unwrap();
+        assert_eq!(g.second_moment().get(0, 1), 0.2);
+        assert_eq!(g.second_moment().get(1, 0), 0.2);
+    }
+
+    #[test]
+    fn rejects_mismatched_shapes() {
+        assert!(PrivateGradientFn::new(Matrix::zeros(2, 3), vec![0.0; 2], 0.0, 0.0, 1.0)
+            .is_err());
+        assert!(PrivateGradientFn::new(Matrix::identity(2), vec![0.0; 3], 0.0, 0.0, 1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn matches_true_gradient_within_alpha_for_exact_statistics() {
+        // With exact statistics (zero tree error) g equals ∇L exactly.
+        let xs = [vec![0.6, 0.0], vec![0.3, 0.4]];
+        let ys = [0.5, -0.2];
+        let mut xtx = Matrix::zeros(2, 2);
+        let mut xty = vec![0.0; 2];
+        for (x, y) in xs.iter().zip(&ys) {
+            xtx.add_outer(1.0, x, x).unwrap();
+            vector::axpy(*y, x, &mut xty);
+        }
+        let g = PrivateGradientFn::new(xtx.clone(), xty.clone(), 0.0, 0.0, 1.0).unwrap();
+        let theta = [0.2, -0.7];
+        let expect = {
+            let mut e = xtx.matvec(&theta).unwrap();
+            vector::axpy(-1.0, &xty, &mut e);
+            vector::scale(&e, 2.0)
+        };
+        assert!(vector::distance(&g.eval(&theta).unwrap(), &expect) < 1e-12);
+        assert_eq!(g.alpha(), 0.0);
+    }
+}

@@ -1,0 +1,491 @@
+//! Algorithm 3 — `PRIVINCREG2`: beyond-worst-case private incremental
+//! linear regression via Gaussian sketching and gauge lifting.
+//!
+//! Pipeline per timestep (paper Steps 4–10):
+//! 1. rescale-and-project the covariate: `Φx̃` with `‖Φx̃‖ = ‖x‖ ≤ 1`
+//!    (keeps the projected streams' sensitivity at 2);
+//! 2. Tree Mechanism over `Φx̃·y ∈ R^m` and `(Φx̃)(Φx̃)ᵀ ∈ R^{m²}` at
+//!    `(ε/2, δ/2)` each;
+//! 3. private gradient function in the *projected* space and
+//!    `NOISYPROJGRAD` over a Euclidean ball `B₂^m((1+γ)‖C‖) ⊇ ΦC`
+//!    (implementation choice: exact Euclidean projection onto the image
+//!    set `ΦC` has no closed form; by Gordon's theorem the ball is a
+//!    `(1+γ)`-tight superset, and the subsequent lifting step restores
+//!    feasibility in `C` — see DESIGN.md, decision 3);
+//! 4. lift `ϑ_t ∈ R^m` back to `θ_t ∈ C ⊆ R^d` (Step 9) via
+//!    [`crate::lift::lift_constrained_ls`].
+//!
+//! The sketch dimension `m` follows Gordon's rule with
+//! `γ = W^{1/3}/T^{1/3}` and `W = w(X) + w(C)`, giving Theorem 5.7's
+//! `≈ T^{1/3} W^{2/3}/ε` risk. Memory: `O(m² log T + d)`.
+
+use crate::descent::{minimize_private_objective, DescentStrategy};
+use crate::error::CoreError;
+use crate::gradient_fn::PrivateGradientFn;
+use crate::lift::{lift_constrained_ls, sketch_smoothness};
+use crate::stream::IncrementalMechanism;
+use crate::Result;
+use pir_continual::TreeMechanism;
+use pir_dp::{NoiseRng, PrivacyParams};
+use pir_erm::DataPoint;
+use pir_geometry::{ConvexSet, L2Ball, WidthSet};
+use pir_linalg::{vector, Matrix};
+use pir_sketch::{gordon, GaussianSketch};
+
+/// Tuning knobs for [`PrivIncReg2`].
+#[derive(Debug, Clone, Copy)]
+pub struct PrivIncReg2Config {
+    /// Confidence parameter `β`.
+    pub beta: f64,
+    /// Override the distortion `γ` (default: `W^{1/3}/T^{1/3}`).
+    pub gamma: Option<f64>,
+    /// Override the sketch dimension `m` (default: Gordon's rule).
+    pub m_override: Option<usize>,
+    /// Gordon constant `C` (DESIGN.md decision on constants; default 1).
+    pub gordon_constant: f64,
+    /// Cap on per-step `NOISYPROJGRAD` iterations.
+    pub max_pgd_iters: usize,
+    /// FISTA iterations for the lifting step.
+    pub lift_iters: usize,
+    /// Per-timestep minimization strategy (see [`DescentStrategy`]).
+    pub strategy: DescentStrategy,
+}
+
+impl Default for PrivIncReg2Config {
+    fn default() -> Self {
+        PrivIncReg2Config {
+            beta: 0.05,
+            gamma: None,
+            m_override: None,
+            gordon_constant: 1.0,
+            max_pgd_iters: 64,
+            lift_iters: 200,
+            strategy: DescentStrategy::default(),
+        }
+    }
+}
+
+/// The sketched private incremental regression mechanism
+/// (Algorithm 3, Theorem 5.7).
+#[derive(Debug)]
+pub struct PrivIncReg2 {
+    set: Box<dyn ConvexSet>,
+    t_max: usize,
+    config: PrivIncReg2Config,
+    sketch: GaussianSketch,
+    /// `B₂^m((1+γ)‖C‖) ⊇ ΦC` — the search region in the projected space.
+    proj_ball: L2Ball,
+    gamma: f64,
+    combined_width: f64,
+    lift_smoothness: f64,
+    tree_xy: TreeMechanism,
+    tree_xx: TreeMechanism,
+    /// Last projected-space iterate (warm start for the per-step PGD).
+    last_vartheta: Vec<f64>,
+    /// Last lifted release (warm start for the lift FISTA).
+    last_theta: Vec<f64>,
+    t: usize,
+}
+
+impl PrivIncReg2 {
+    /// Build the mechanism.
+    ///
+    /// `domain_width` is (a bound on) the Gaussian width `w(X)` of the
+    /// covariate domain — analytic bounds are on the
+    /// [`WidthSet`] implementations (e.g.
+    /// [`pir_geometry::KSparseDomain::width_bound`]), or use the
+    /// Monte-Carlo estimate from [`pir_geometry::width::monte_carlo`].
+    ///
+    /// # Errors
+    /// Invalid configuration or privacy parameters.
+    pub fn new(
+        set: Box<dyn ConvexSet>,
+        domain_width: f64,
+        t_max: usize,
+        params: &PrivacyParams,
+        rng: &mut NoiseRng,
+        config: PrivIncReg2Config,
+    ) -> Result<Self> {
+        if t_max == 0 {
+            return Err(CoreError::InvalidConfig { reason: "t_max must be positive".into() });
+        }
+        if !(domain_width.is_finite() && domain_width >= 0.0) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("domain width must be finite and non-negative, got {domain_width}"),
+            });
+        }
+        let d = set.dim();
+        let combined_width = domain_width + set.width_bound();
+        let gamma = match config.gamma {
+            Some(g) if g > 0.0 && g < 1.0 => g,
+            Some(g) => {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!("gamma must lie in (0,1), got {g}"),
+                })
+            }
+            None => gordon::gamma_for(combined_width, t_max),
+        };
+        let m = match config.m_override {
+            Some(m) if m >= 1 && m <= d => m,
+            Some(m) => {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!("m override {m} outside [1, d={d}]"),
+                })
+            }
+            None => {
+                let gp = gordon::GordonParams::new(gamma, config.beta)
+                    .with_constant(config.gordon_constant);
+                gordon::dimension(combined_width, d, &gp)
+            }
+        };
+        let sketch = GaussianSketch::sample(m, d, rng);
+        let lift_smoothness = sketch_smoothness(&sketch);
+        let proj_ball = L2Ball::new(m, (1.0 + gamma) * set.diameter());
+        let half = params.halve();
+        // ‖Φx̃·y‖ = ‖x‖·|y| ≤ 1 and ‖(Φx̃)(Φx̃)ᵀ‖_F = ‖x‖² ≤ 1.
+        let tree_xy = TreeMechanism::new(m, t_max, 1.0, &half, rng.fork())?;
+        let tree_xx = TreeMechanism::new(m * m, t_max, 1.0, &half, rng.fork())?;
+        let last_theta = set.project(&vec![0.0; d]);
+        Ok(PrivIncReg2 {
+            set,
+            t_max,
+            config,
+            sketch,
+            proj_ball,
+            gamma,
+            combined_width,
+            lift_smoothness,
+            tree_xy,
+            tree_xx,
+            last_vartheta: vec![0.0; m],
+            last_theta,
+            t: 0,
+        })
+    }
+
+    /// The sampled sketch dimension `m`.
+    pub fn m(&self) -> usize {
+        self.sketch.m()
+    }
+
+    /// The distortion parameter `γ` in use.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The combined width `W = w(X) + w(C)` the mechanism was sized for.
+    pub fn combined_width(&self) -> f64 {
+        self.combined_width
+    }
+
+    /// The constraint set.
+    pub fn set(&self) -> &dyn ConvexSet {
+        self.set.as_ref()
+    }
+
+    /// The sketch (immutable — fixed for the stream's lifetime).
+    pub fn sketch(&self) -> &GaussianSketch {
+        &self.sketch
+    }
+
+    /// Resident memory in `f64` slots: `O(m² log T + m·d)` (the `m·d`
+    /// term is the sketch itself).
+    pub fn memory_slots(&self) -> usize {
+        self.tree_xx.memory_slots()
+            + self.tree_xy.memory_slots()
+            + self.sketch.m() * self.sketch.d()
+    }
+
+    /// Projected-space gradient-error bound (Lemma 4.1 applied in `R^m`,
+    /// with the Proposition A.1 spectral sharpening).
+    fn gradient_alpha(&self) -> f64 {
+        let beta_each = self.config.beta / (2.0 * self.t_max as f64);
+        let m = self.sketch.m() as f64;
+        let levels = self.tree_xx.levels() as f64;
+        let me = self.tree_xx.sigma()
+            * levels.sqrt()
+            * (2.0 * m.sqrt() + (2.0 * (1.0 / beta_each).ln()).sqrt());
+        let ve = self.tree_xy.error_bound(beta_each);
+        2.0 * (me * self.proj_ball.diameter() + ve)
+    }
+
+    /// Theorem 5.7 leading-term bound
+    /// `≈ √m·log^{3/2}T·√log(1/δ)·‖C‖²/ε` folded through Corollary B.2
+    /// (the `OPT`-dependent terms are data-dependent and reported by the
+    /// evaluation harness instead).
+    pub fn risk_bound_leading(&self) -> f64 {
+        2.0 * self.gradient_alpha() * self.proj_ball.diameter()
+    }
+
+    fn step(&mut self, z: &DataPoint) -> Result<Vec<f64>> {
+        let d = self.set.dim();
+        z.validate(d).map_err(|e| CoreError::InvalidPoint { reason: e.to_string() })?;
+        if self.t >= self.t_max {
+            return Err(CoreError::StreamOverflow { t_max: self.t_max });
+        }
+        self.t += 1;
+        let m = self.sketch.m();
+
+        // Step 4: norm-preserving embedding (zero covariates contribute
+        // zero statistics, matching the robust-extension convention).
+        let embedded = self
+            .sketch
+            .embed_normalized(&z.x)
+            .map_err(CoreError::Linalg)?
+            .unwrap_or_else(|| vec![0.0; m]);
+
+        // Steps 5–6: tree updates in the projected space.
+        let pxy = vector::scale(&embedded, z.y);
+        let q_t = self.tree_xy.update(&pxy)?;
+        let outer = Matrix::outer(&embedded, &embedded);
+        let qmat_flat = self.tree_xx.update(outer.as_slice())?;
+        let q_matrix = Matrix::from_vec(m, m, qmat_flat).map_err(CoreError::Linalg)?;
+
+        // Step 7: private gradient function over ΦC (here: its ball hull).
+        let beta_each = self.config.beta / (2.0 * self.t_max as f64);
+        let levels = self.tree_xx.levels() as f64;
+        let me = self.tree_xx.sigma()
+            * levels.sqrt()
+            * (2.0 * (m as f64).sqrt() + (2.0 * (1.0 / beta_each).ln()).sqrt());
+        let grad = PrivateGradientFn::new(
+            q_matrix,
+            q_t,
+            me,
+            self.tree_xy.error_bound(beta_each),
+            self.proj_ball.diameter(),
+        )?;
+
+        // Step 8: constrained minimization in the projected space (the
+        // paper's NOISYPROJGRAD or the default ridged-quadratic FISTA —
+        // both post-processing; see crate::descent).
+        let alpha = grad.alpha().max(1e-12);
+        let lipschitz = 2.0 * self.t as f64 * (1.0 + self.proj_ball.diameter());
+        let vartheta = minimize_private_objective(
+            self.config.strategy,
+            &grad,
+            &self.proj_ball,
+            me,
+            alpha,
+            lipschitz,
+            self.config.max_pgd_iters,
+            &self.last_vartheta,
+        );
+        self.last_vartheta = vartheta.clone();
+
+        // Step 9: lift back to C.
+        let theta = lift_constrained_ls(
+            &self.sketch,
+            &vartheta,
+            &self.set,
+            self.lift_smoothness,
+            self.config.lift_iters,
+            &self.last_theta,
+        )?;
+        self.last_theta = theta.clone();
+        Ok(theta)
+    }
+}
+
+impl IncrementalMechanism for PrivIncReg2 {
+    fn name(&self) -> String {
+        format!("priv-inc-reg-2 (sketched, m={})", self.sketch.m())
+    }
+
+    fn dim(&self) -> usize {
+        self.set.dim()
+    }
+
+    fn t(&self) -> usize {
+        self.t
+    }
+
+    fn observe(&mut self, z: &DataPoint) -> Result<Vec<f64>> {
+        self.step(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pir_geometry::{KSparseDomain, L1Ball};
+
+    fn params() -> PrivacyParams {
+        PrivacyParams::approx(1.0, 1e-5).unwrap()
+    }
+
+    /// Sparse-signal Lasso stream: y = θ*ᵀx with 1-sparse θ*.
+    fn sparse_stream(n: usize, d: usize, k: usize, seed: u64) -> Vec<DataPoint> {
+        let mut rng = NoiseRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                // k-sparse covariate with unit-bounded norm.
+                let mut x = vec![0.0; d];
+                for _ in 0..k {
+                    let i = rng.uniform_index(d);
+                    x[i] = rng.uniform_in(-1.0, 1.0);
+                }
+                let norm = vector::norm2(&x);
+                if norm > 1.0 {
+                    vector::scale_mut(&mut x, 0.95 / norm);
+                }
+                let y = (0.7 * x[0]).clamp(-1.0, 1.0);
+                DataPoint::new(x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sketch_dimension_follows_gordon_rule() {
+        let mut rng = NoiseRng::seed_from_u64(1);
+        let d = 400;
+        let set = L1Ball::unit(d);
+        let domain = KSparseDomain::new(d, 4, 1.0);
+        // With the conservative default constant C = 1 the Gordon rule
+        // only compresses at large T/d; a realistic constant (swept in
+        // experiment E9) compresses already at this scale.
+        let mech = PrivIncReg2::new(
+            Box::new(set),
+            domain.width_bound(),
+            256,
+            &params(),
+            &mut rng,
+            PrivIncReg2Config { gordon_constant: 0.1, ..Default::default() },
+        )
+        .unwrap();
+        assert!(mech.m() < d, "projection should compress: m={}", mech.m());
+        assert!(mech.m() >= 1);
+        assert!(mech.gamma() > 0.0 && mech.gamma() < 1.0);
+        // m follows the (W/γ)² scaling: quadrupling the constant roughly
+        // quadruples m (before clamping).
+        let mut rng2 = NoiseRng::seed_from_u64(1);
+        let mech4 = PrivIncReg2::new(
+            Box::new(L1Ball::unit(d)),
+            KSparseDomain::new(d, 4, 1.0).width_bound(),
+            256,
+            &params(),
+            &mut rng2,
+            PrivIncReg2Config { gordon_constant: 0.2, ..Default::default() },
+        )
+        .unwrap();
+        let ratio = mech4.m() as f64 / mech.m() as f64;
+        assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn releases_stay_in_constraint_set() {
+        let mut rng = NoiseRng::seed_from_u64(2);
+        let d = 50;
+        let set = L1Ball::unit(d);
+        let mut mech = PrivIncReg2::new(
+            Box::new(set),
+            KSparseDomain::new(d, 3, 1.0).width_bound(),
+            16,
+            &params(),
+            &mut rng,
+            PrivIncReg2Config { m_override: Some(10), ..Default::default() },
+        )
+        .unwrap();
+        for z in sparse_stream(16, d, 3, 7) {
+            let theta = mech.observe(&z).unwrap();
+            assert!(vector::norm1(&theta) <= 1.0 + 1e-6, "L1 norm violated");
+        }
+    }
+
+    #[test]
+    fn zero_covariates_are_tolerated() {
+        let mut rng = NoiseRng::seed_from_u64(3);
+        let d = 20;
+        let mut mech = PrivIncReg2::new(
+            Box::new(L1Ball::unit(d)),
+            2.0,
+            4,
+            &params(),
+            &mut rng,
+            PrivIncReg2Config { m_override: Some(5), ..Default::default() },
+        )
+        .unwrap();
+        let theta = mech.observe(&DataPoint::new(vec![0.0; d], 0.5)).unwrap();
+        assert_eq!(theta.len(), d);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut rng = NoiseRng::seed_from_u64(4);
+        let bad_gamma = PrivIncReg2Config { gamma: Some(1.5), ..Default::default() };
+        assert!(PrivIncReg2::new(
+            Box::new(L1Ball::unit(10)),
+            1.0,
+            8,
+            &params(),
+            &mut rng,
+            bad_gamma
+        )
+        .is_err());
+        let bad_m = PrivIncReg2Config { m_override: Some(100), ..Default::default() };
+        assert!(PrivIncReg2::new(
+            Box::new(L1Ball::unit(10)),
+            1.0,
+            8,
+            &params(),
+            &mut rng,
+            bad_m
+        )
+        .is_err());
+        assert!(PrivIncReg2::new(
+            Box::new(L1Ball::unit(10)),
+            f64::NAN,
+            8,
+            &params(),
+            &mut rng,
+            PrivIncReg2Config::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn tracks_sparse_signal_at_generous_epsilon() {
+        let loose = PrivacyParams::approx(1e6, 1e-5).unwrap();
+        let mut rng = NoiseRng::seed_from_u64(5);
+        let d = 60;
+        let mut mech = PrivIncReg2::new(
+            Box::new(L1Ball::unit(d)),
+            KSparseDomain::new(d, 2, 1.0).width_bound(),
+            128,
+            &loose,
+            &mut rng,
+            PrivIncReg2Config {
+                m_override: Some(40),
+                max_pgd_iters: 200,
+                lift_iters: 400,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut last = vec![0.0; d];
+        for z in sparse_stream(128, d, 2, 9) {
+            last = mech.observe(&z).unwrap();
+        }
+        // Signal is 0.7·e₀; the sketched mechanism should find most of it.
+        assert!(last[0] > 0.3, "recovered coefficient too small: {}", last[0]);
+        let off_mass: f64 = last[1..].iter().map(|v| v.abs()).sum();
+        assert!(off_mass < 0.7, "off-support mass {off_mass}");
+    }
+
+    #[test]
+    fn memory_is_m_squared_not_d_squared() {
+        let mut rng = NoiseRng::seed_from_u64(6);
+        let d = 500;
+        let mech = PrivIncReg2::new(
+            Box::new(L1Ball::unit(d)),
+            3.0,
+            64,
+            &params(),
+            &mut rng,
+            PrivIncReg2Config { m_override: Some(20), ..Default::default() },
+        )
+        .unwrap();
+        // d² alone would be 250 000 slots per tree level; we should be
+        // far below even one such level (m²·levels + m·d).
+        assert!(mech.memory_slots() < d * d / 2, "memory {}", mech.memory_slots());
+    }
+}

@@ -1,0 +1,26 @@
+//! The streaming interface shared by all mechanisms.
+
+use crate::Result;
+use pir_erm::DataPoint;
+
+/// A private incremental ERM mechanism: consumes the stream one point at a
+/// time and releases an estimator after *every* arrival. The full release
+/// sequence is what the `(ε, δ)` event-level guarantee covers
+/// (Definition 4 of the paper).
+pub trait IncrementalMechanism {
+    /// Human-readable mechanism name (used in experiment tables).
+    fn name(&self) -> String;
+
+    /// Ambient dimension `d` of the estimators it releases.
+    fn dim(&self) -> usize;
+
+    /// Number of stream points consumed so far.
+    fn t(&self) -> usize;
+
+    /// Consume the next point `z_t = (x_t, y_t)` and release
+    /// `θ_t^{priv} ∈ C`.
+    ///
+    /// # Errors
+    /// Domain-contract violations, stream overflow, or internal failures.
+    fn observe(&mut self, z: &DataPoint) -> Result<Vec<f64>>;
+}

@@ -1,0 +1,160 @@
+//! Adaptive covariate choice against a fixed sketch `Φ` — the failure
+//! mode of vanilla Johnson–Lindenstrauss under adaptivity (§5 of the
+//! paper, footnote 10) and the threat model Gordon's theorem neutralizes.
+//!
+//! A JL guarantee holds for points chosen *before* `Φ`; once releases
+//! depend on `Φ`, an adversary can steer later covariates toward the
+//! null space of `Φ`, making `‖Φx‖ ≪ ‖x‖` and corrupting the projected
+//! regression. Gordon's theorem is immune *within a set `S` of bounded
+//! width*: if `m ≳ w(S)²/γ²`, **no** point of `S` — adaptively chosen or
+//! not — has distortion above `γ`. Experiment E9 measures exactly this:
+//! unconstrained adversaries achieve distortion ≈ 1, while `S`-restricted
+//! adversaries are capped near `γ`.
+
+use pir_dp::NoiseRng;
+use pir_linalg::{vector, CholeskyFactor};
+use pir_sketch::GaussianSketch;
+
+/// An unconstrained adaptive direction: a unit vector in the null space
+/// of `Φ` (so `Φx = 0` exactly while `‖x‖ = 1`) — the strongest possible
+/// distortion. Exists whenever `m < d`. Returns `None` for `m ≥ d` or if
+/// the Gram factorization fails.
+pub fn null_space_direction(sketch: &GaussianSketch, rng: &mut NoiseRng) -> Option<Vec<f64>> {
+    if sketch.m() >= sketch.d() {
+        return None;
+    }
+    let gram = sketch.matrix().gram_rows();
+    let chol = CholeskyFactor::factor(&gram, 1e-10).ok()?;
+    // Project a random direction onto ker Φ: x − Φᵀ(ΦΦᵀ)⁻¹Φx.
+    for _ in 0..16 {
+        let x = rng.unit_sphere(sketch.d());
+        let px = sketch.apply(&x).ok()?;
+        let z = chol.solve(&px).ok()?;
+        let corr = sketch.apply_t(&z).ok()?;
+        let resid = vector::sub(&x, &corr);
+        if let Some(u) = vector::normalize(&resid) {
+            return Some(u);
+        }
+    }
+    None
+}
+
+/// A `k`-sparse adaptive direction: the adversary is *restricted to the
+/// domain* `S` of k-sparse unit vectors and searches `tries` random
+/// supports, on each solving for the direction minimizing `‖Φx‖/‖x‖`
+/// within the support (smallest singular direction of the `m×k` column
+/// submatrix, found by inverse power iteration on the `k×k` Gram).
+///
+/// Returns the worst direction found and its achieved distortion
+/// `|‖Φx‖² − 1|` (for the unit vector `x`).
+pub fn worst_sparse_direction(
+    sketch: &GaussianSketch,
+    k: usize,
+    tries: usize,
+    rng: &mut NoiseRng,
+) -> (Vec<f64>, f64) {
+    assert!(k >= 1 && k <= sketch.d());
+    assert!(tries >= 1);
+    let d = sketch.d();
+    let mut best_x = vector::basis(d, 0);
+    let mut best_dist = {
+        let px = sketch.apply(&best_x).expect("dims fixed");
+        (vector::norm2_sq(&px) - 1.0).abs()
+    };
+    for _ in 0..tries {
+        let perm = rng.permutation(d);
+        let support: Vec<usize> = perm[..k].to_vec();
+        // k×k Gram of the selected columns.
+        let mut gram = pir_linalg::Matrix::zeros(k, k);
+        for (a, &ia) in support.iter().enumerate() {
+            for (b, &ib) in support.iter().enumerate() {
+                let mut s = 0.0;
+                for r in 0..sketch.m() {
+                    s += sketch.matrix().get(r, ia) * sketch.matrix().get(r, ib);
+                }
+                gram.set(a, b, s);
+            }
+        }
+        // Inverse power iteration for the smallest eigenvector.
+        let chol = match CholeskyFactor::factor(&gram, 1e-9) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let mut v = vec![1.0 / (k as f64).sqrt(); k];
+        for _ in 0..50 {
+            let w = match chol.solve(&v) {
+                Ok(w) => w,
+                Err(_) => break,
+            };
+            if let Some(u) = vector::normalize(&w) {
+                v = u;
+            } else {
+                break;
+            }
+        }
+        let mut x = vec![0.0; d];
+        for (a, &ia) in support.iter().enumerate() {
+            x[ia] = v[a];
+        }
+        if let Some(u) = vector::normalize(&x) {
+            let px = sketch.apply(&u).expect("dims fixed");
+            let dist = (vector::norm2_sq(&px) - 1.0).abs();
+            if dist > best_dist {
+                best_dist = dist;
+                best_x = u;
+            }
+        }
+    }
+    (best_x, best_dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_space_attack_achieves_full_distortion() {
+        let mut rng = NoiseRng::seed_from_u64(1);
+        let sketch = GaussianSketch::sample(8, 40, &mut rng);
+        let x = null_space_direction(&sketch, &mut rng).expect("null space exists");
+        assert!((vector::norm2(&x) - 1.0).abs() < 1e-9);
+        let px = sketch.apply(&x).unwrap();
+        assert!(vector::norm2(&px) < 1e-6, "‖Φx‖ = {}", vector::norm2(&px));
+    }
+
+    #[test]
+    fn no_null_space_when_m_geq_d() {
+        let mut rng = NoiseRng::seed_from_u64(2);
+        let sketch = GaussianSketch::sample(10, 10, &mut rng);
+        assert!(null_space_direction(&sketch, &mut rng).is_none());
+    }
+
+    #[test]
+    fn sparse_adversary_is_weaker_than_unconstrained_at_gordon_m() {
+        // m sized well above w(k-sparse)² keeps even the adaptive sparse
+        // adversary's distortion moderate, while the unconstrained one
+        // achieves distortion 1 (null space).
+        let mut rng = NoiseRng::seed_from_u64(3);
+        let d = 120;
+        let k = 2;
+        let sketch = GaussianSketch::sample(60, d, &mut rng);
+        let (_x, dist) = worst_sparse_direction(&sketch, k, 60, &mut rng);
+        assert!(dist < 0.9, "sparse adversary distortion {dist}");
+        let null = null_space_direction(&sketch, &mut rng).unwrap();
+        let null_dist =
+            (vector::norm2_sq(&sketch.apply(&null).unwrap()) - 1.0).abs();
+        assert!(null_dist > 0.99);
+        assert!(dist < null_dist);
+    }
+
+    #[test]
+    fn sparse_adversary_worsens_when_m_shrinks() {
+        let mut rng = NoiseRng::seed_from_u64(4);
+        let d = 120;
+        let (_, d_small) =
+            worst_sparse_direction(&GaussianSketch::sample(4, d, &mut rng), 3, 40, &mut rng);
+        let (_, d_large) =
+            worst_sparse_direction(&GaussianSketch::sample(80, d, &mut rng), 3, 40, &mut rng);
+        assert!(d_small > d_large, "small-m {d_small} !> large-m {d_large}");
+    }
+}

@@ -1,0 +1,426 @@
+//! # pir-datagen
+//!
+//! Synthetic stream generators for the experiments: every generator
+//! guarantees the paper's §2 normalization (`‖x‖₂ ≤ 1`, `|y| ≤ 1`) so its
+//! output can be fed to any mechanism without further preprocessing.
+//!
+//! Families:
+//! - [`linear_stream`] — `y = ⟨x, θ*⟩ + w` with dense-Gaussian, k-sparse,
+//!   or L1-bounded covariates (the §5.2 instances);
+//! - [`classification_stream`] — logistic labels in `{−1, +1}` for the
+//!   generic-ERM experiments (E1);
+//! - [`drift_stream`] — the survey-monitoring motivation of §1: the true
+//!   parameter moves mid-stream;
+//! - [`mixture_stream`] — §5.2 robust extension: a `p_off` fraction of
+//!   covariates falls outside the low-width domain `G`;
+//! - [`adaptive`] — adversarial covariate choice against a *fixed* sketch
+//!   `Φ` (the failure mode Gordon's theorem defends against, E9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+
+use pir_dp::NoiseRng;
+use pir_erm::DataPoint;
+use pir_linalg::vector;
+
+/// Covariate distribution families.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CovariateKind {
+    /// Uniform on the sphere of the given radius (`≤ 1`).
+    DenseSphere {
+        /// Radius (≤ 1).
+        radius: f64,
+    },
+    /// `k`-sparse supports with i.i.d. uniform entries, normalized into
+    /// the unit ball.
+    Sparse {
+        /// Non-zeros per covariate.
+        k: usize,
+    },
+    /// L1-ball-bounded covariates (each `‖x‖₁ ≤ radius ≤ 1`).
+    L1Bounded {
+        /// L1 radius (≤ 1).
+        radius: f64,
+    },
+    /// *Anchored* covariates: coordinate 0 is uniform in
+    /// `(−radius/√2, radius/√2)` and the remaining mass is a sphere
+    /// sample — so a signal on coordinate 0 has **dimension-independent**
+    /// strength `Var(y) ≈ θ₀²·radius²/6`. Shape experiments use this to
+    /// keep the trivial mechanism's excess level constant across `d`.
+    Anchored {
+        /// Overall norm bound (≤ 1).
+        radius: f64,
+    },
+    /// Anchored + sparse: coordinate 0 as in [`CovariateKind::Anchored`],
+    /// plus `k − 1` random sparse coordinates. The vector is k-sparse, so
+    /// it lies in the low-width domain of §5.2, with a
+    /// dimension-independent signal on coordinate 0.
+    AnchoredSparse {
+        /// Total non-zeros per covariate (≥ 1).
+        k: usize,
+    },
+}
+
+impl CovariateKind {
+    /// Draw one covariate in `R^d`.
+    pub fn sample(&self, d: usize, rng: &mut NoiseRng) -> Vec<f64> {
+        match *self {
+            CovariateKind::DenseSphere { radius } => {
+                assert!(radius > 0.0 && radius <= 1.0, "radius must lie in (0,1]");
+                vector::scale(&rng.unit_sphere(d), radius)
+            }
+            CovariateKind::Sparse { k } => {
+                assert!(k >= 1 && k <= d, "sparsity must lie in [1, d]");
+                let mut x = vec![0.0; d];
+                // Sample k distinct coordinates via a partial shuffle.
+                let perm = rng.permutation(d);
+                for &i in perm.iter().take(k) {
+                    x[i] = rng.uniform_in(-1.0, 1.0);
+                }
+                let n = vector::norm2(&x);
+                if n > 1.0 {
+                    vector::scale_mut(&mut x, 0.98 / n);
+                }
+                x
+            }
+            CovariateKind::Anchored { radius } => {
+                assert!(radius > 0.0 && radius <= 1.0, "radius must lie in (0,1]");
+                let a = radius / std::f64::consts::SQRT_2;
+                let x0 = rng.uniform_in(-a, a);
+                let mut x = if d > 1 {
+                    let tail = rng.unit_sphere(d - 1);
+                    let mut v = vec![0.0; d];
+                    let tail_scale = (radius * radius - x0 * x0).max(0.0).sqrt()
+                        * rng.uniform_open().sqrt();
+                    for (i, t) in tail.iter().enumerate() {
+                        v[i + 1] = tail_scale * t;
+                    }
+                    v
+                } else {
+                    vec![0.0; 1]
+                };
+                x[0] = x0;
+                x
+            }
+            CovariateKind::AnchoredSparse { k } => {
+                assert!(k >= 1 && k <= d, "sparsity must lie in [1, d]");
+                let mut x = vec![0.0; d];
+                let a = 1.0 / std::f64::consts::SQRT_2;
+                x[0] = rng.uniform_in(-a, a);
+                if k > 1 && d > 1 {
+                    let perm = rng.permutation(d - 1);
+                    for &j in perm.iter().take(k - 1) {
+                        x[j + 1] = rng.uniform_in(-0.5, 0.5);
+                    }
+                }
+                let n = vector::norm2(&x);
+                if n > 1.0 {
+                    vector::scale_mut(&mut x, 0.98 / n);
+                }
+                x
+            }
+            CovariateKind::L1Bounded { radius } => {
+                assert!(radius > 0.0 && radius <= 1.0, "radius must lie in (0,1]");
+                // Dirichlet-like: exponential magnitudes normalized to the
+                // L1 sphere, then shrunk by a uniform factor.
+                let mut x: Vec<f64> =
+                    (0..d).map(|_| -rng.uniform_open().ln() * rng.uniform_in(-1.0, 1.0).signum())
+                        .collect();
+                let n1 = vector::norm1(&x);
+                let shrink = radius * rng.uniform_open() / n1.max(1e-12);
+                vector::scale_mut(&mut x, shrink);
+                x
+            }
+        }
+    }
+}
+
+/// A ground-truth linear model with label noise.
+#[derive(Debug, Clone)]
+pub struct LinearModel {
+    /// The true parameter `θ*`.
+    pub theta_star: Vec<f64>,
+    /// Standard deviation of the Gaussian label noise `w`.
+    pub noise_std: f64,
+}
+
+impl LinearModel {
+    /// Label for a covariate: `clamp(⟨x, θ*⟩ + w, −1, 1)` (the clamp
+    /// enforces the `|y| ≤ 1` contract; with `‖θ*‖·‖x‖ ≤ 1 − 3σ` it is
+    /// almost never active).
+    pub fn label(&self, x: &[f64], rng: &mut NoiseRng) -> f64 {
+        let clean = vector::dot(x, &self.theta_star);
+        (clean + rng.gaussian(0.0, self.noise_std)).clamp(-1.0, 1.0)
+    }
+}
+
+/// A `k`-sparse ground-truth parameter with `‖θ*‖₂ = scale` (first `k`
+/// support positions chosen by the RNG).
+pub fn sparse_theta(d: usize, k: usize, scale: f64, rng: &mut NoiseRng) -> Vec<f64> {
+    assert!(k >= 1 && k <= d);
+    let mut theta = vec![0.0; d];
+    let perm = rng.permutation(d);
+    for &i in perm.iter().take(k) {
+        theta[i] = rng.gaussian(0.0, 1.0);
+    }
+    let n = vector::norm2(&theta).max(1e-12);
+    vector::scale_mut(&mut theta, scale / n);
+    theta
+}
+
+/// Regression stream `y_t = ⟨x_t, θ*⟩ + w_t` of length `n`.
+pub fn linear_stream(
+    n: usize,
+    d: usize,
+    covariates: CovariateKind,
+    model: &LinearModel,
+    rng: &mut NoiseRng,
+) -> Vec<DataPoint> {
+    assert_eq!(model.theta_star.len(), d, "model dimension mismatch");
+    (0..n)
+        .map(|_| {
+            let x = covariates.sample(d, rng);
+            let y = model.label(&x, rng);
+            DataPoint::new(x, y)
+        })
+        .collect()
+}
+
+/// Binary classification stream with logistic labels
+/// `P(y = 1 | x) = σ(⟨x, θ*⟩/temperature)`.
+pub fn classification_stream(
+    n: usize,
+    d: usize,
+    covariates: CovariateKind,
+    theta_star: &[f64],
+    temperature: f64,
+    rng: &mut NoiseRng,
+) -> Vec<DataPoint> {
+    assert_eq!(theta_star.len(), d);
+    assert!(temperature > 0.0);
+    (0..n)
+        .map(|_| {
+            let x = covariates.sample(d, rng);
+            let p = 1.0 / (1.0 + (-vector::dot(&x, theta_star) / temperature).exp());
+            let y = if rng.uniform_open() < p { 1.0 } else { -1.0 };
+            DataPoint::new(x, y)
+        })
+        .collect()
+}
+
+/// Survey-monitoring stream (§1 motivation): the true parameter is
+/// `theta_a` for the first `switch_at` points, then drifts linearly to
+/// `theta_b` over the remainder — the regression summary must be
+/// re-evaluated continually.
+pub fn drift_stream(
+    n: usize,
+    d: usize,
+    covariates: CovariateKind,
+    theta_a: &[f64],
+    theta_b: &[f64],
+    switch_at: usize,
+    noise_std: f64,
+    rng: &mut NoiseRng,
+) -> Vec<DataPoint> {
+    assert_eq!(theta_a.len(), d);
+    assert_eq!(theta_b.len(), d);
+    (0..n)
+        .map(|t| {
+            let frac = if t < switch_at || n == switch_at {
+                0.0
+            } else {
+                (t - switch_at) as f64 / (n - switch_at) as f64
+            };
+            let theta: Vec<f64> =
+                theta_a.iter().zip(theta_b).map(|(a, b)| a + frac * (b - a)).collect();
+            let x = covariates.sample(d, rng);
+            let y =
+                (vector::dot(&x, &theta) + rng.gaussian(0.0, noise_std)).clamp(-1.0, 1.0);
+            DataPoint::new(x, y)
+        })
+        .collect()
+}
+
+/// §5.2 robust-extension stream: with probability `p_off` the covariate
+/// is dense (off the sparse domain `G`), otherwise `k`-sparse (in `G`).
+/// Labels always follow the model so that in-domain points carry signal.
+pub fn mixture_stream(
+    n: usize,
+    d: usize,
+    k: usize,
+    p_off: f64,
+    model: &LinearModel,
+    rng: &mut NoiseRng,
+) -> Vec<DataPoint> {
+    assert!((0.0..=1.0).contains(&p_off));
+    (0..n)
+        .map(|_| {
+            let x = if rng.uniform_open() < p_off {
+                CovariateKind::DenseSphere { radius: 0.95 }.sample(d, rng)
+            } else {
+                CovariateKind::Sparse { k }.sample(d, rng)
+            };
+            let y = model.label(&x, rng);
+            DataPoint::new(x, y)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pir_erm::validate_dataset;
+
+    fn rng() -> NoiseRng {
+        NoiseRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn all_generators_respect_the_normalization_contract() {
+        let mut r = rng();
+        let d = 12;
+        let model =
+            LinearModel { theta_star: sparse_theta(d, 3, 0.8, &mut r), noise_std: 0.05 };
+        for kind in [
+            CovariateKind::DenseSphere { radius: 0.9 },
+            CovariateKind::Sparse { k: 3 },
+            CovariateKind::L1Bounded { radius: 1.0 },
+            CovariateKind::Anchored { radius: 0.95 },
+            CovariateKind::AnchoredSparse { k: 3 },
+        ] {
+            let data = linear_stream(200, d, kind, &model, &mut r);
+            validate_dataset(&data, d).expect("contract violated");
+        }
+        let cls = classification_stream(100, d, CovariateKind::Sparse { k: 2 },
+            &model.theta_star, 0.5, &mut r);
+        validate_dataset(&cls, d).unwrap();
+        let drift = drift_stream(100, d, CovariateKind::DenseSphere { radius: 0.9 },
+            &model.theta_star, &vec![0.0; d], 50, 0.05, &mut r);
+        validate_dataset(&drift, d).unwrap();
+        let mix = mixture_stream(100, d, 3, 0.4, &model, &mut r);
+        validate_dataset(&mix, d).unwrap();
+    }
+
+    #[test]
+    fn sparse_covariates_have_at_most_k_nonzeros() {
+        let mut r = rng();
+        let kind = CovariateKind::Sparse { k: 4 };
+        for _ in 0..50 {
+            let x = kind.sample(20, &mut r);
+            assert!(vector::nnz(&x) <= 4);
+            assert!(vector::norm2(&x) <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn anchored_signal_strength_is_dimension_independent() {
+        let mut r = rng();
+        // Var(y) for y = 0.9·x₀ should match across dimensions.
+        let var_at = |d: usize, r: &mut NoiseRng| {
+            let kind = CovariateKind::Anchored { radius: 0.95 };
+            let n = 4000;
+            let mut s = 0.0;
+            let mut s2 = 0.0;
+            for _ in 0..n {
+                let x = kind.sample(d, r);
+                assert!(vector::norm2(&x) <= 0.95 + 1e-9);
+                let y = 0.9 * x[0];
+                s += y;
+                s2 += y * y;
+            }
+            s2 / n as f64 - (s / n as f64).powi(2)
+        };
+        let v8 = var_at(8, &mut r);
+        let v128 = var_at(128, &mut r);
+        assert!((v8 / v128 - 1.0).abs() < 0.2, "v8={v8}, v128={v128}");
+    }
+
+    #[test]
+    fn anchored_sparse_is_sparse_with_anchor() {
+        let mut r = rng();
+        let kind = CovariateKind::AnchoredSparse { k: 4 };
+        for _ in 0..50 {
+            let x = kind.sample(30, &mut r);
+            assert!(vector::nnz(&x) <= 4);
+            assert!(vector::norm2(&x) <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sparse_theta_has_exact_norm_and_sparsity() {
+        let mut r = rng();
+        let theta = sparse_theta(30, 5, 0.7, &mut r);
+        assert_eq!(vector::nnz(&theta), 5);
+        assert!((vector::norm2(&theta) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_track_the_model_signal() {
+        let mut r = rng();
+        let d = 8;
+        let theta = sparse_theta(d, 2, 0.9, &mut r);
+        let model = LinearModel { theta_star: theta.clone(), noise_std: 0.01 };
+        let data =
+            linear_stream(2000, d, CovariateKind::DenseSphere { radius: 0.9 }, &model, &mut r);
+        // Empirical correlation of y with ⟨x, θ*⟩ should be near 1.
+        let mut num = 0.0;
+        let mut den_a = 0.0;
+        let mut den_b = 0.0;
+        for z in &data {
+            let clean = vector::dot(&z.x, &theta);
+            num += clean * z.y;
+            den_a += clean * clean;
+            den_b += z.y * z.y;
+        }
+        let corr = num / (den_a.sqrt() * den_b.sqrt());
+        assert!(corr > 0.95, "correlation {corr}");
+    }
+
+    #[test]
+    fn classification_labels_are_signed_and_correlated() {
+        let mut r = rng();
+        let d = 6;
+        let theta = sparse_theta(d, 2, 1.0, &mut r);
+        let data = classification_stream(
+            3000, d, CovariateKind::DenseSphere { radius: 0.95 }, &theta, 0.1, &mut r);
+        let mut agree = 0usize;
+        for z in &data {
+            assert!(z.y == 1.0 || z.y == -1.0);
+            if (vector::dot(&z.x, &theta) > 0.0) == (z.y > 0.0) {
+                agree += 1;
+            }
+        }
+        // Low temperature ⇒ labels mostly follow the sign of the margin.
+        assert!(agree as f64 / data.len() as f64 > 0.8, "agreement {agree}");
+    }
+
+    #[test]
+    fn mixture_off_fraction_is_respected() {
+        let mut r = rng();
+        let d = 20;
+        let model = LinearModel { theta_star: sparse_theta(d, 2, 0.5, &mut r), noise_std: 0.0 };
+        let data = mixture_stream(2000, d, 2, 0.3, &model, &mut r);
+        let dense_count =
+            data.iter().filter(|z| vector::nnz(&z.x) > 2).count();
+        let frac = dense_count as f64 / data.len() as f64;
+        assert!((frac - 0.3).abs() < 0.05, "off-domain fraction {frac}");
+    }
+
+    #[test]
+    fn drift_changes_the_optimal_parameter() {
+        let mut r = rng();
+        let d = 4;
+        let a = vec![0.8, 0.0, 0.0, 0.0];
+        let b = vec![0.0, 0.8, 0.0, 0.0];
+        let data = drift_stream(
+            1000, d, CovariateKind::DenseSphere { radius: 0.9 }, &a, &b, 500, 0.01, &mut r);
+        // First-half labels correlate with a, second-half with b.
+        let corr = |slice: &[DataPoint], theta: &[f64]| {
+            slice.iter().map(|z| z.y * vector::dot(&z.x, theta)).sum::<f64>()
+        };
+        assert!(corr(&data[..400], &a) > corr(&data[..400], &b));
+        assert!(corr(&data[800..], &b) > corr(&data[800..], &a));
+    }
+}

@@ -1,0 +1,158 @@
+//! A simple ledger-style privacy accountant.
+//!
+//! Mechanisms in this workspace pre-split their budgets analytically (the
+//! paper's algorithms fix their schedules up front), so the accountant's job
+//! is *defense in depth*: every noisy release records a charge, totals are
+//! tracked under basic composition across charge groups (each group may
+//! internally use advanced composition via
+//! [`composition::calibrate_advanced`](crate::composition::calibrate_advanced)),
+//! and an overdraft is an error rather than a silent privacy failure.
+
+use crate::composition;
+use crate::error::DpError;
+use crate::params::PrivacyParams;
+use crate::Result;
+
+/// One named charge against the budget.
+#[derive(Debug, Clone)]
+pub struct Charge {
+    /// Human-readable mechanism label, e.g. `"tree-mech q_t"`.
+    pub label: String,
+    /// Cost of this charge at the *top level* (already composed internally).
+    pub cost: PrivacyParams,
+}
+
+/// Ledger of privacy charges against a fixed `(ε, δ)` budget.
+///
+/// Charges compose *basically* (Theorem A.3) at the top level: the paper's
+/// algorithms run a constant number of sub-mechanisms (e.g. the two Tree
+/// Mechanism instances of Algorithm 2 at `(ε/2, δ/2)` each), so basic
+/// composition is exact there. Sub-mechanisms that internally perform many
+/// adaptive interactions should compose those internally (advanced
+/// composition) and record a single top-level charge.
+#[derive(Debug, Clone)]
+pub struct PrivacyAccountant {
+    budget: PrivacyParams,
+    charges: Vec<Charge>,
+    spent_epsilon: f64,
+    spent_delta: f64,
+}
+
+impl PrivacyAccountant {
+    /// New accountant with the given total budget.
+    pub fn new(budget: PrivacyParams) -> Self {
+        PrivacyAccountant { budget, charges: Vec::new(), spent_epsilon: 0.0, spent_delta: 0.0 }
+    }
+
+    /// The configured total budget.
+    pub fn budget(&self) -> PrivacyParams {
+        self.budget
+    }
+
+    /// Total spent so far under basic composition of the recorded charges.
+    pub fn spent(&self) -> (f64, f64) {
+        (self.spent_epsilon, self.spent_delta)
+    }
+
+    /// Remaining budget `(ε, δ)`; clamped at zero.
+    pub fn remaining(&self) -> (f64, f64) {
+        (
+            (self.budget.epsilon() - self.spent_epsilon).max(0.0),
+            (self.budget.delta() - self.spent_delta).max(0.0),
+        )
+    }
+
+    /// The recorded charges, in order.
+    pub fn charges(&self) -> &[Charge] {
+        &self.charges
+    }
+
+    /// Record a charge, failing if it would exceed the budget.
+    ///
+    /// # Errors
+    /// [`DpError::BudgetExceeded`] on overdraft (with a tiny floating-point
+    /// tolerance so exact pre-splits like `ε/2 + ε/2` pass).
+    pub fn charge(&mut self, label: impl Into<String>, cost: PrivacyParams) -> Result<()> {
+        let ne = self.spent_epsilon + cost.epsilon();
+        let nd = self.spent_delta + cost.delta();
+        let tol = 1e-9;
+        if ne > self.budget.epsilon() * (1.0 + tol) + tol
+            || nd > self.budget.delta() * (1.0 + tol) + f64::EPSILON
+        {
+            return Err(DpError::BudgetExceeded {
+                attempted_epsilon: ne,
+                attempted_delta: nd,
+                budget_epsilon: self.budget.epsilon(),
+                budget_delta: self.budget.delta(),
+            });
+        }
+        self.spent_epsilon = ne;
+        self.spent_delta = nd;
+        self.charges.push(Charge { label: label.into(), cost });
+        Ok(())
+    }
+
+    /// Record a group of `k` adaptive interactions at `per_use` composed
+    /// *advancedly* with slack `δ* = budget.δ/2`, as a single charge.
+    ///
+    /// # Errors
+    /// Propagates composition errors and overdraft.
+    pub fn charge_advanced_group(
+        &mut self,
+        label: impl Into<String>,
+        k: usize,
+        per_use: &PrivacyParams,
+    ) -> Result<PrivacyParams> {
+        let composed = composition::advanced(k, per_use, self.budget.delta() / 2.0)?;
+        self.charge(label, composed)?;
+        Ok(composed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget() -> PrivacyParams {
+        PrivacyParams::approx(1.0, 1e-4).unwrap()
+    }
+
+    #[test]
+    fn exact_half_splits_fit() {
+        let mut acc = PrivacyAccountant::new(budget());
+        let half = budget().halve();
+        acc.charge("tree q", half).unwrap();
+        acc.charge("tree Q", half).unwrap();
+        let (e, d) = acc.spent();
+        assert!((e - 1.0).abs() < 1e-12);
+        assert!((d - 1e-4).abs() < 1e-15);
+        assert_eq!(acc.charges().len(), 2);
+    }
+
+    #[test]
+    fn overdraft_is_rejected_and_state_unchanged() {
+        let mut acc = PrivacyAccountant::new(budget());
+        acc.charge("a", PrivacyParams::new(0.9, 0.0).unwrap()).unwrap();
+        let err = acc.charge("b", PrivacyParams::new(0.2, 0.0).unwrap());
+        assert!(matches!(err, Err(DpError::BudgetExceeded { .. })));
+        let (e, _) = acc.spent();
+        assert!((e - 0.9).abs() < 1e-12);
+        assert_eq!(acc.charges().len(), 1);
+    }
+
+    #[test]
+    fn advanced_group_is_cheaper_than_basic_for_many_uses() {
+        let mut acc = PrivacyAccountant::new(budget());
+        let per = PrivacyParams::approx(0.005, 1e-9).unwrap();
+        let composed = acc.charge_advanced_group("noisy-gd iters", 200, &per).unwrap();
+        assert!(composed.epsilon() < 200.0 * per.epsilon());
+        assert!(acc.remaining().0 > 0.0);
+    }
+
+    #[test]
+    fn remaining_clamps_at_zero() {
+        let mut acc = PrivacyAccountant::new(PrivacyParams::new(0.5, 0.0).unwrap());
+        acc.charge("all", PrivacyParams::new(0.5, 0.0).unwrap()).unwrap();
+        assert_eq!(acc.remaining(), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,170 @@
+//! Composition theorems for differential privacy.
+//!
+//! - **Basic composition** (Theorem A.3, Dwork et al. `[14]`): `k` adaptive
+//!   `(ε, δ)`-DP interactions are `(kε, kδ)`-DP.
+//! - **Advanced composition** (Theorem A.4, Dwork–Rothblum–Vadhan `[19]`):
+//!   for any `δ* > 0`, `k` adaptive `(ε, δ)`-DP interactions are
+//!   `(ε√(2k ln(1/δ*)) + 2kε², kδ + δ*)`-DP.
+//!
+//! [`calibrate_advanced`] inverts the advanced bound the way Mechanism
+//! `PrivIncERM` does in the paper's §3 proof: given a total budget `(ε, δ)`
+//! and `k` planned interactions, it returns the per-interaction budget
+//! `ε′ = ε / (2√(2k ln(2/δ)))`, `δ′ = δ/(2k)`, which composes back to at
+//! most `(ε, δ)` whenever `ε ≤ 1` (the regime the theorem is stated for).
+
+use crate::error::DpError;
+use crate::params::PrivacyParams;
+use crate::Result;
+
+/// Basic composition (Theorem A.3): `k` uses of `(ε, δ)` cost `(kε, kδ)`.
+///
+/// # Errors
+/// [`DpError::InvalidParams`] if the composed `δ` reaches 1.
+pub fn basic(k: usize, per_use: &PrivacyParams) -> Result<PrivacyParams> {
+    PrivacyParams::new(per_use.epsilon() * k as f64, per_use.delta() * k as f64)
+}
+
+/// Advanced composition (Theorem A.4): total privacy of `k` uses of
+/// `(ε, δ)` with slack `δ*`.
+///
+/// # Errors
+/// [`DpError::InvalidParams`] if `δ*` is out of `(0, 1)` or the composed
+/// parameters leave their valid ranges.
+pub fn advanced(k: usize, per_use: &PrivacyParams, delta_star: f64) -> Result<PrivacyParams> {
+    if !(delta_star > 0.0 && delta_star < 1.0) {
+        return Err(DpError::InvalidParams {
+            reason: format!("delta_star must lie in (0,1), got {delta_star}"),
+        });
+    }
+    let k = k as f64;
+    let e = per_use.epsilon();
+    let eps_total = e * (2.0 * k * (1.0 / delta_star).ln()).sqrt() + 2.0 * k * e * e;
+    let delta_total = k * per_use.delta() + delta_star;
+    PrivacyParams::new(eps_total, delta_total)
+}
+
+/// Per-interaction budget for `k` planned interactions under a total budget
+/// `(ε, δ)`, using the paper's §3 schedule:
+/// `ε′ = ε / (2√(2k ln(2/δ)))` and `δ′ = δ / (2k)`.
+///
+/// ```
+/// use pir_dp::{composition, PrivacyParams};
+///
+/// let total = PrivacyParams::approx(1.0, 1e-6).unwrap();
+/// let per_use = composition::calibrate_advanced(&total, 100).unwrap();
+/// // Composing the 100 uses stays within the declared budget:
+/// let composed = composition::verify_within_budget(100, &per_use, &total).unwrap();
+/// assert!(composed.epsilon() <= 1.0 + 1e-9);
+/// ```
+///
+/// With slack `δ* = δ/2`, advanced composition of `k` uses of `(ε′, δ′)`
+/// yields `ε′√(2k ln(2/δ)) + 2kε′² = ε/2 + 2kε′² ≤ ε` whenever `ε ≤ 1`
+/// (because then `2kε′² ≤ ε/2`; see the proof of Theorem 3.1), and total
+/// delta `k·δ/(2k) + δ/2 = δ`.
+///
+/// # Errors
+/// [`DpError::InvalidParams`] if `k == 0`, `δ = 0`, or the resulting
+/// per-use parameters are invalid.
+pub fn calibrate_advanced(total: &PrivacyParams, k: usize) -> Result<PrivacyParams> {
+    if k == 0 {
+        return Err(DpError::InvalidParams {
+            reason: "cannot calibrate for k = 0 interactions".to_string(),
+        });
+    }
+    if total.delta() == 0.0 {
+        return Err(DpError::InvalidParams {
+            reason: "advanced-composition calibration requires delta > 0".to_string(),
+        });
+    }
+    let kf = k as f64;
+    let eps_prime = total.epsilon() / (2.0 * (2.0 * kf * (2.0 / total.delta()).ln()).sqrt());
+    let delta_prime = total.delta() / (2.0 * kf);
+    PrivacyParams::new(eps_prime, delta_prime)
+}
+
+/// Check that `k` uses of `per_use` composed with slack `δ* = δ_total/2`
+/// stay within `total`. Returns the composed parameters for inspection.
+///
+/// # Errors
+/// [`DpError::BudgetExceeded`] when the composed cost is larger than
+/// `total`; [`DpError::InvalidParams`] on malformed inputs.
+pub fn verify_within_budget(
+    k: usize,
+    per_use: &PrivacyParams,
+    total: &PrivacyParams,
+) -> Result<PrivacyParams> {
+    let composed = advanced(k, per_use, total.delta() / 2.0)?;
+    // Tolerate tiny floating-point overshoot.
+    let tol = 1e-12;
+    if composed.epsilon() > total.epsilon() * (1.0 + tol)
+        || composed.delta() > total.delta() * (1.0 + tol)
+    {
+        return Err(DpError::BudgetExceeded {
+            attempted_epsilon: composed.epsilon(),
+            attempted_delta: composed.delta(),
+            budget_epsilon: total.epsilon(),
+            budget_delta: total.delta(),
+        });
+    }
+    Ok(composed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_composition_is_linear() {
+        let p = PrivacyParams::new(0.1, 1e-6).unwrap();
+        let c = basic(10, &p).unwrap();
+        assert!((c.epsilon() - 1.0).abs() < 1e-12);
+        assert!((c.delta() - 1e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_many_small_uses() {
+        let p = PrivacyParams::new(0.01, 1e-8).unwrap();
+        let k = 400;
+        let adv = advanced(k, &p, 1e-6).unwrap();
+        let bas = basic(k, &p).unwrap();
+        assert!(adv.epsilon() < bas.epsilon(), "{} !< {}", adv.epsilon(), bas.epsilon());
+    }
+
+    #[test]
+    fn calibration_respects_budget_for_eps_at_most_one() {
+        for &eps in &[0.1, 0.5, 1.0] {
+            for &k in &[1usize, 2, 7, 64, 1000] {
+                let total = PrivacyParams::approx(eps, 1e-6).unwrap();
+                let per = calibrate_advanced(&total, k).unwrap();
+                let composed = verify_within_budget(k, &per, &total).unwrap();
+                assert!(composed.epsilon() <= total.epsilon() + 1e-9);
+                assert!(composed.delta() <= total.delta() + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_rejects_degenerate_inputs() {
+        let total = PrivacyParams::approx(1.0, 1e-6).unwrap();
+        assert!(calibrate_advanced(&total, 0).is_err());
+        let pure = PrivacyParams::new(1.0, 0.0).unwrap();
+        assert!(calibrate_advanced(&pure, 5).is_err());
+    }
+
+    #[test]
+    fn verify_flags_overdraft() {
+        let total = PrivacyParams::approx(0.1, 1e-6).unwrap();
+        let too_big = PrivacyParams::approx(0.1, 1e-7).unwrap();
+        assert!(matches!(
+            verify_within_budget(100, &too_big, &total),
+            Err(DpError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn advanced_rejects_bad_slack() {
+        let p = PrivacyParams::new(0.1, 1e-6).unwrap();
+        assert!(advanced(10, &p, 0.0).is_err());
+        assert!(advanced(10, &p, 1.0).is_err());
+    }
+}

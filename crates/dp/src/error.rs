@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Errors produced by `pir-dp`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// Privacy parameters are out of their valid range.
+    InvalidParams {
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// A privacy accountant charge would exceed the configured budget.
+    BudgetExceeded {
+        /// Epsilon already spent plus the attempted charge.
+        attempted_epsilon: f64,
+        /// Delta already spent plus the attempted charge.
+        attempted_delta: f64,
+        /// Configured epsilon budget.
+        budget_epsilon: f64,
+        /// Configured delta budget.
+        budget_delta: f64,
+    },
+    /// A sensitivity bound was non-positive or non-finite.
+    InvalidSensitivity {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::InvalidParams { reason } => write!(f, "invalid privacy parameters: {reason}"),
+            DpError::BudgetExceeded {
+                attempted_epsilon,
+                attempted_delta,
+                budget_epsilon,
+                budget_delta,
+            } => write!(
+                f,
+                "privacy budget exceeded: would spend (ε={attempted_epsilon}, δ={attempted_delta}) \
+                 of budget (ε={budget_epsilon}, δ={budget_delta})"
+            ),
+            DpError::InvalidSensitivity { value } => {
+                write!(f, "sensitivity must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DpError {}

@@ -1,0 +1,33 @@
+//! # pir-dp
+//!
+//! Differential-privacy primitives for the `private-incremental-regression`
+//! workspace: privacy parameters with validation, calibrated Gaussian and
+//! Laplace mechanisms (Theorem A.2 of the paper), basic and advanced
+//! composition (Theorems A.3/A.4), a per-run privacy accountant, and a
+//! self-contained seeded noise source.
+//!
+//! ## Neighboring-stream semantics
+//!
+//! Throughout the workspace, two streams are *neighbors* when one datapoint
+//! `z ∈ Γ` is replaced by some `z′ ∈ Z` (event-level differential privacy,
+//! Definition 4 of the paper). Sensitivities passed to the mechanisms here
+//! must be computed under that replacement semantics — e.g. a stream of
+//! vectors with `‖υ‖ ≤ 1` has L2-sensitivity `Δ₂ = 2` for its running sum.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accountant;
+pub mod composition;
+mod error;
+pub mod mechanisms;
+mod params;
+pub mod rng;
+
+pub use accountant::PrivacyAccountant;
+pub use error::DpError;
+pub use params::PrivacyParams;
+pub use rng::NoiseRng;
+
+/// Convenient result alias for fallible DP operations.
+pub type Result<T> = std::result::Result<T, DpError>;

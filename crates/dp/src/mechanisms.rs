@@ -1,0 +1,183 @@
+//! Output-perturbation mechanisms.
+//!
+//! The Gaussian mechanism follows the paper's Theorem A.2 (Framework of
+//! Global Sensitivity): releasing `f(Γ) + Y` with
+//! `Y ∼ N(0, 2 Δ₂² ln(2/δ) / ε²)^d` is `(ε, δ)`-differentially private when
+//! `f` has L2-sensitivity `Δ₂`. The Laplace mechanism adds `Lap(Δ₁/ε)` noise
+//! per coordinate for pure `ε`-DP.
+
+use crate::error::DpError;
+use crate::params::PrivacyParams;
+use crate::rng::NoiseRng;
+use crate::Result;
+
+/// Standard deviation of the per-coordinate Gaussian noise prescribed by
+/// Theorem A.2: `σ = Δ₂ · √(2 ln(2/δ)) / ε`.
+///
+/// # Errors
+/// [`DpError::InvalidSensitivity`] for non-positive/non-finite `Δ₂`;
+/// [`DpError::InvalidParams`] if `δ = 0` (the Gaussian mechanism needs
+/// approximate DP).
+pub fn gaussian_sigma(l2_sensitivity: f64, params: &PrivacyParams) -> Result<f64> {
+    if !(l2_sensitivity.is_finite() && l2_sensitivity > 0.0) {
+        return Err(DpError::InvalidSensitivity { value: l2_sensitivity });
+    }
+    if params.delta() == 0.0 {
+        return Err(DpError::InvalidParams {
+            reason: "Gaussian mechanism requires delta > 0".to_string(),
+        });
+    }
+    Ok(l2_sensitivity * (2.0 * (2.0 / params.delta()).ln()).sqrt() / params.epsilon())
+}
+
+/// Gaussian mechanism: perturb `value` in place with i.i.d.
+/// `N(0, σ²)` noise, `σ` per [`gaussian_sigma`].
+///
+/// Returns the `σ` actually used so callers can log/record it.
+///
+/// # Errors
+/// As for [`gaussian_sigma`].
+pub fn gaussian_mechanism(
+    value: &mut [f64],
+    l2_sensitivity: f64,
+    params: &PrivacyParams,
+    rng: &mut NoiseRng,
+) -> Result<f64> {
+    let sigma = gaussian_sigma(l2_sensitivity, params)?;
+    for v in value.iter_mut() {
+        *v += rng.gaussian(0.0, sigma);
+    }
+    Ok(sigma)
+}
+
+/// Scale parameter of per-coordinate Laplace noise: `b = Δ₁ / ε`.
+///
+/// # Errors
+/// [`DpError::InvalidSensitivity`] for non-positive/non-finite `Δ₁`.
+pub fn laplace_scale(l1_sensitivity: f64, params: &PrivacyParams) -> Result<f64> {
+    if !(l1_sensitivity.is_finite() && l1_sensitivity > 0.0) {
+        return Err(DpError::InvalidSensitivity { value: l1_sensitivity });
+    }
+    Ok(l1_sensitivity / params.epsilon())
+}
+
+/// Laplace mechanism: perturb `value` in place with i.i.d. `Lap(b)` noise,
+/// `b` per [`laplace_scale`]. Pure `ε`-DP (`δ` is ignored).
+///
+/// Returns the scale `b` actually used.
+///
+/// # Errors
+/// As for [`laplace_scale`].
+pub fn laplace_mechanism(
+    value: &mut [f64],
+    l1_sensitivity: f64,
+    params: &PrivacyParams,
+    rng: &mut NoiseRng,
+) -> Result<f64> {
+    let b = laplace_scale(l1_sensitivity, params)?;
+    for v in value.iter_mut() {
+        *v += rng.laplace(b);
+    }
+    Ok(b)
+}
+
+/// High-probability bound on the L2 norm of a `d`-dimensional Gaussian noise
+/// vector with per-coordinate deviation `σ`: with probability `≥ 1 − β`,
+/// `‖Y‖ ≤ σ(√d + √(2 ln(1/β)))`.
+///
+/// This is the concentration inequality behind Proposition C.1 and
+/// Lemma 4.1 of the paper; mechanisms expose it so utility bounds can be
+/// computed alongside the noisy releases.
+pub fn gaussian_norm_bound(d: usize, sigma: f64, beta: f64) -> f64 {
+    debug_assert!(beta > 0.0 && beta < 1.0);
+    sigma * ((d as f64).sqrt() + (2.0 * (1.0 / beta).ln()).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> PrivacyParams {
+        PrivacyParams::approx(1.0, 1e-5).unwrap()
+    }
+
+    #[test]
+    fn sigma_matches_theorem_a2_formula() {
+        let p = params();
+        let s = gaussian_sigma(2.0, &p).unwrap();
+        let expect = 2.0 * (2.0f64 * (2e5f64).ln()).sqrt() / 1.0;
+        assert!((s - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_scales_inversely_with_epsilon() {
+        let p1 = PrivacyParams::approx(1.0, 1e-5).unwrap();
+        let p2 = PrivacyParams::approx(2.0, 1e-5).unwrap();
+        let s1 = gaussian_sigma(1.0, &p1).unwrap();
+        let s2 = gaussian_sigma(1.0, &p2).unwrap();
+        assert!((s1 / s2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_mechanism_rejects_pure_dp_and_bad_sensitivity() {
+        let pure = PrivacyParams::new(1.0, 0.0).unwrap();
+        let mut v = [0.0];
+        let mut rng = NoiseRng::seed_from_u64(0);
+        assert!(gaussian_mechanism(&mut v, 1.0, &pure, &mut rng).is_err());
+        assert!(gaussian_mechanism(&mut v, 0.0, &params(), &mut rng).is_err());
+        assert!(gaussian_mechanism(&mut v, f64::NAN, &params(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn gaussian_mechanism_empirical_variance() {
+        let p = params();
+        let mut rng = NoiseRng::seed_from_u64(11);
+        let sigma = gaussian_sigma(1.0, &p).unwrap();
+        let n = 100_000;
+        let mut buf = vec![0.0; n];
+        gaussian_mechanism(&mut buf, 1.0, &p, &mut rng).unwrap();
+        let mean = buf.iter().sum::<f64>() / n as f64;
+        let var = buf.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((var / (sigma * sigma) - 1.0).abs() < 0.05, "var ratio off");
+    }
+
+    #[test]
+    fn laplace_mechanism_empirical_variance() {
+        let p = PrivacyParams::new(0.5, 0.0).unwrap();
+        let mut rng = NoiseRng::seed_from_u64(12);
+        let b = laplace_scale(1.0, &p).unwrap();
+        assert_eq!(b, 2.0);
+        let n = 100_000;
+        let mut buf = vec![0.0; n];
+        laplace_mechanism(&mut buf, 1.0, &p, &mut rng).unwrap();
+        let var = buf.iter().map(|x| x * x).sum::<f64>() / n as f64;
+        assert!((var / (2.0 * b * b) - 1.0).abs() < 0.07, "var ratio off: {var}");
+    }
+
+    #[test]
+    fn norm_bound_holds_empirically() {
+        let mut rng = NoiseRng::seed_from_u64(13);
+        let (d, sigma, beta) = (50usize, 2.0, 0.01);
+        let bound = gaussian_norm_bound(d, sigma, beta);
+        let trials = 2_000;
+        let violations = (0..trials)
+            .filter(|_| {
+                let y = rng.gaussian_vec(d, sigma);
+                pir_linalg::vector::norm2(&y) > bound
+            })
+            .count();
+        // Expected violation rate ≤ β = 1%; allow slack for sampling error.
+        assert!(violations as f64 / trials as f64 <= 3.0 * beta, "violations {violations}");
+    }
+
+    #[test]
+    fn noiseless_limit_epsilon_large() {
+        // As ε → ∞ the Gaussian noise vanishes: releases converge to truth.
+        let p = PrivacyParams::approx(1e9, 1e-5).unwrap();
+        let mut v = [5.0, -3.0];
+        let mut rng = NoiseRng::seed_from_u64(1);
+        gaussian_mechanism(&mut v, 1.0, &p, &mut rng).unwrap();
+        assert!((v[0] - 5.0).abs() < 1e-6);
+        assert!((v[1] + 3.0).abs() < 1e-6);
+    }
+}

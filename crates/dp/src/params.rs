@@ -1,0 +1,116 @@
+use crate::error::DpError;
+use crate::Result;
+
+/// `(ε, δ)` differential-privacy parameters (Definition 4 of the paper).
+///
+/// `ε` is a positive, finite privacy-loss bound; `δ ∈ [0, 1)` is the
+/// probability with which that bound may fail. `δ = 0` is pure DP (only the
+/// Laplace mechanism supports it; the Gaussian mechanism requires `δ > 0`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyParams {
+    epsilon: f64,
+    delta: f64,
+}
+
+impl PrivacyParams {
+    /// Construct validated parameters.
+    ///
+    /// # Errors
+    /// [`DpError::InvalidParams`] unless `ε > 0` finite and `0 ≤ δ < 1`.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(DpError::InvalidParams {
+                reason: format!("epsilon must be positive and finite, got {epsilon}"),
+            });
+        }
+        if !(delta.is_finite() && (0.0..1.0).contains(&delta)) {
+            return Err(DpError::InvalidParams {
+                reason: format!("delta must lie in [0, 1), got {delta}"),
+            });
+        }
+        Ok(PrivacyParams { epsilon, delta })
+    }
+
+    /// Approximate-DP parameters, requiring `δ > 0` (needed by the Gaussian
+    /// mechanism of Theorem A.2).
+    ///
+    /// # Errors
+    /// [`DpError::InvalidParams`] if `δ = 0` or any bound of [`Self::new`].
+    pub fn approx(epsilon: f64, delta: f64) -> Result<Self> {
+        let p = Self::new(epsilon, delta)?;
+        if p.delta == 0.0 {
+            return Err(DpError::InvalidParams {
+                reason: "approximate DP requires delta > 0".to_string(),
+            });
+        }
+        Ok(p)
+    }
+
+    /// The privacy-loss bound `ε`.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The failure probability `δ`.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Split the budget evenly into `k` parts `(ε/k, δ/k)`; composing the
+    /// parts with basic composition (Theorem A.3) returns exactly `self`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn split(&self, k: usize) -> PrivacyParams {
+        assert!(k > 0, "cannot split a privacy budget into 0 parts");
+        PrivacyParams { epsilon: self.epsilon / k as f64, delta: self.delta / k as f64 }
+    }
+
+    /// Halve the budget — the `(ε/2, δ/2)` split used by Algorithms 2 and 3
+    /// to run two Tree Mechanism instances side by side.
+    pub fn halve(&self) -> PrivacyParams {
+        self.split(2)
+    }
+}
+
+impl std::fmt::Display for PrivacyParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(ε={}, δ={})", self.epsilon, self.delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_rejects_invalid() {
+        assert!(PrivacyParams::new(1.0, 1e-6).is_ok());
+        assert!(PrivacyParams::new(1.0, 0.0).is_ok());
+        assert!(PrivacyParams::new(0.0, 0.1).is_err());
+        assert!(PrivacyParams::new(-1.0, 0.1).is_err());
+        assert!(PrivacyParams::new(f64::INFINITY, 0.1).is_err());
+        assert!(PrivacyParams::new(1.0, 1.0).is_err());
+        assert!(PrivacyParams::new(1.0, f64::NAN).is_err());
+        assert!(PrivacyParams::approx(1.0, 0.0).is_err());
+        assert!(PrivacyParams::approx(1.0, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn split_divides_evenly() {
+        let p = PrivacyParams::new(1.0, 1e-4).unwrap();
+        let q = p.split(4);
+        assert_eq!(q.epsilon(), 0.25);
+        assert_eq!(q.delta(), 2.5e-5);
+        let h = p.halve();
+        assert_eq!(h.epsilon(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 parts")]
+    fn split_zero_panics() {
+        let _ = PrivacyParams::new(1.0, 0.0).unwrap().split(0);
+    }
+}

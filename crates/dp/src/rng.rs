@@ -1,0 +1,209 @@
+//! Seeded noise source.
+//!
+//! All privacy noise in the workspace flows through [`NoiseRng`] so that
+//! experiments are exactly reproducible from a single `u64` seed and so that
+//! the normal/Laplace deviate generation is self-contained (only `rand`'s
+//! uniform bit stream is consumed). Gaussians use the polar Box–Muller
+//! method with a cached spare; Laplace uses inverse-CDF sampling.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seedable random source producing the deviates the DP mechanisms need.
+#[derive(Debug)]
+pub struct NoiseRng {
+    inner: StdRng,
+    spare_gaussian: Option<f64>,
+}
+
+impl NoiseRng {
+    /// Deterministic generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        NoiseRng { inner: StdRng::seed_from_u64(seed), spare_gaussian: None }
+    }
+
+    /// Fork an independent child stream; the child's seed is drawn from the
+    /// parent so sibling forks are decorrelated but fully reproducible.
+    pub fn fork(&mut self) -> NoiseRng {
+        NoiseRng::seed_from_u64(self.inner.random::<u64>())
+    }
+
+    /// Uniform deviate in the open interval `(0, 1)` (never exactly 0, so it
+    /// is safe inside logs).
+    #[inline]
+    pub fn uniform_open(&mut self) -> f64 {
+        loop {
+            let u: f64 = self.inner.random();
+            if u > 0.0 && u < 1.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Uniform deviate in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + (hi - lo) * self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn uniform_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "uniform_index: empty range");
+        self.inner.random_range(0..n)
+    }
+
+    /// Standard normal deviate `N(0, 1)` (polar Box–Muller).
+    pub fn standard_gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare_gaussian.take() {
+            return z;
+        }
+        loop {
+            let u = 2.0 * self.inner.random::<f64>() - 1.0;
+            let v = 2.0 * self.inner.random::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.spare_gaussian = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Gaussian deviate `N(mu, sigma²)`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `sigma < 0`.
+    #[inline]
+    pub fn gaussian(&mut self, mu: f64, sigma: f64) -> f64 {
+        debug_assert!(sigma >= 0.0, "gaussian: negative sigma");
+        mu + sigma * self.standard_gaussian()
+    }
+
+    /// Vector of `d` i.i.d. `N(0, sigma²)` deviates.
+    pub fn gaussian_vec(&mut self, d: usize, sigma: f64) -> Vec<f64> {
+        (0..d).map(|_| self.gaussian(0.0, sigma)).collect()
+    }
+
+    /// Laplace deviate with location 0 and the given `scale` parameter
+    /// (variance `2·scale²`), via inverse-CDF sampling.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `scale < 0`.
+    pub fn laplace(&mut self, scale: f64) -> f64 {
+        debug_assert!(scale >= 0.0, "laplace: negative scale");
+        let u = self.uniform_open() - 0.5;
+        -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Vector of `d` i.i.d. Laplace deviates.
+    pub fn laplace_vec(&mut self, d: usize, scale: f64) -> Vec<f64> {
+        (0..d).map(|_| self.laplace(scale)).collect()
+    }
+
+    /// Uniform point on the unit sphere `S^{d-1}` (normalized Gaussian).
+    pub fn unit_sphere(&mut self, d: usize) -> Vec<f64> {
+        loop {
+            let g = self.gaussian_vec(d, 1.0);
+            let n = pir_linalg::vector::norm2(&g);
+            if n > 1e-12 {
+                return pir_linalg::vector::scale(&g, 1.0 / n);
+            }
+        }
+    }
+
+    /// Random permutation indices `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.uniform_index(i + 1);
+            p.swap(i, j);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = NoiseRng::seed_from_u64(7);
+        let mut b = NoiseRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.standard_gaussian(), b.standard_gaussian());
+            assert_eq!(a.laplace(1.0), b.laplace(1.0));
+        }
+    }
+
+    #[test]
+    fn forks_are_decorrelated_but_reproducible() {
+        let mut parent1 = NoiseRng::seed_from_u64(1);
+        let mut parent2 = NoiseRng::seed_from_u64(1);
+        let mut c1 = parent1.fork();
+        let mut c2 = parent2.fork();
+        assert_eq!(c1.standard_gaussian(), c2.standard_gaussian());
+        // Sibling forks differ.
+        let mut c3 = parent1.fork();
+        assert_ne!(c1.standard_gaussian(), c3.standard_gaussian());
+    }
+
+    #[test]
+    fn gaussian_moments_are_approximately_correct() {
+        let mut rng = NoiseRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian(2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn laplace_moments_are_approximately_correct() {
+        let mut rng = NoiseRng::seed_from_u64(42);
+        let n = 200_000;
+        let b = 1.5;
+        let samples: Vec<f64> = (0..n).map(|_| rng.laplace(b)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 2.0 * b * b).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn unit_sphere_has_unit_norm() {
+        let mut rng = NoiseRng::seed_from_u64(3);
+        for d in [1usize, 2, 10, 100] {
+            let v = rng.unit_sphere(d);
+            assert_eq!(v.len(), d);
+            assert!((pir_linalg::vector::norm2(&v) - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut rng = NoiseRng::seed_from_u64(5);
+        let p = rng.permutation(50);
+        let mut seen = vec![false; 50];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn uniform_open_never_returns_endpoints() {
+        let mut rng = NoiseRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let u = rng.uniform_open();
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+}

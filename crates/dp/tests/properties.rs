@@ -1,0 +1,73 @@
+//! Property tests for DP primitives.
+
+use pir_dp::{composition, mechanisms, NoiseRng, PrivacyParams};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sigma_monotone_in_sensitivity_and_inverse_in_epsilon(
+        s1 in 0.01f64..10.0,
+        s2 in 0.01f64..10.0,
+        eps in 0.05f64..5.0,
+    ) {
+        let p = PrivacyParams::approx(eps, 1e-6).unwrap();
+        let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+        let sig_lo = mechanisms::gaussian_sigma(lo, &p).unwrap();
+        let sig_hi = mechanisms::gaussian_sigma(hi, &p).unwrap();
+        prop_assert!(sig_lo <= sig_hi + 1e-15);
+
+        let p2 = PrivacyParams::approx(2.0 * eps, 1e-6).unwrap();
+        let a = mechanisms::gaussian_sigma(1.0, &p).unwrap();
+        let b = mechanisms::gaussian_sigma(1.0, &p2).unwrap();
+        prop_assert!((a / b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advanced_composition_monotone_in_k(
+        eps in 0.001f64..0.05,
+        k1 in 1usize..200,
+        k2 in 1usize..200,
+    ) {
+        let p = PrivacyParams::approx(eps, 1e-9).unwrap();
+        let (lo, hi) = if k1 < k2 { (k1, k2) } else { (k2, k1) };
+        let a = composition::advanced(lo, &p, 1e-6).unwrap();
+        let b = composition::advanced(hi, &p, 1e-6).unwrap();
+        prop_assert!(a.epsilon() <= b.epsilon() + 1e-12);
+        prop_assert!(a.delta() <= b.delta() + 1e-18);
+    }
+
+    #[test]
+    fn calibrated_schedule_always_fits_budget(
+        eps in 0.01f64..1.0,
+        delta_exp in 3.0f64..9.0,
+        k in 1usize..2000,
+    ) {
+        let total = PrivacyParams::approx(eps, 10f64.powf(-delta_exp)).unwrap();
+        let per = composition::calibrate_advanced(&total, k).unwrap();
+        let composed = composition::verify_within_budget(k, &per, &total).unwrap();
+        prop_assert!(composed.epsilon() <= total.epsilon() * (1.0 + 1e-9));
+        prop_assert!(composed.delta() <= total.delta() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn noise_rng_gaussian_is_symmetric_in_distribution(seed in any::<u64>()) {
+        // Weak check: mean of a modest sample is near 0 relative to stddev.
+        let mut rng = NoiseRng::seed_from_u64(seed);
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| rng.standard_gaussian()).sum::<f64>() / n as f64;
+        prop_assert!(mean.abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn basic_composition_matches_split_roundtrip(
+        eps in 0.01f64..10.0,
+        delta in 0.0f64..0.1,
+        k in 1usize..50,
+    ) {
+        let p = PrivacyParams::new(eps, delta).unwrap();
+        let per = p.split(k);
+        let back = composition::basic(k, &per).unwrap();
+        prop_assert!((back.epsilon() - eps).abs() < 1e-9 * eps.max(1.0));
+        prop_assert!((back.delta() - delta).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Labeled data points and the domain-normalization contract.
+
+use crate::error::ErmError;
+use pir_linalg::vector;
+
+/// One covariate–response pair `z = (x, y) ∈ X × Y` with `X ⊂ R^d`,
+/// `‖X‖ ≤ 1` and `Y ⊂ R`, `|Y| ≤ 1` (the paper's §2 normalization).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataPoint {
+    /// Covariates `x`.
+    pub x: Vec<f64>,
+    /// Response / label `y`.
+    pub y: f64,
+}
+
+impl DataPoint {
+    /// New point (unvalidated; see [`DataPoint::validate`]).
+    pub fn new(x: Vec<f64>, y: f64) -> Self {
+        DataPoint { x, y }
+    }
+
+    /// Check the normalization contract for dimension `d`.
+    ///
+    /// # Errors
+    /// [`ErmError::InvalidDataPoint`] describing the violated constraint.
+    pub fn validate(&self, d: usize) -> Result<(), ErmError> {
+        if self.x.len() != d {
+            return Err(ErmError::InvalidDataPoint {
+                reason: format!("covariate dimension {} != {d}", self.x.len()),
+            });
+        }
+        if !vector::is_finite(&self.x) || !self.y.is_finite() {
+            return Err(ErmError::InvalidDataPoint { reason: "non-finite entries".to_string() });
+        }
+        let n = vector::norm2(&self.x);
+        if n > 1.0 + 1e-9 {
+            return Err(ErmError::InvalidDataPoint {
+                reason: format!("covariate norm {n} exceeds 1 (normalize inputs)"),
+            });
+        }
+        if self.y.abs() > 1.0 + 1e-9 {
+            return Err(ErmError::InvalidDataPoint {
+                reason: format!("response magnitude {} exceeds 1 (normalize labels)", self.y),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Validate an entire dataset against dimension `d`.
+///
+/// # Errors
+/// The first violation found, annotated with its index.
+pub fn validate_dataset(data: &[DataPoint], d: usize) -> Result<(), ErmError> {
+    for (i, z) in data.iter().enumerate() {
+        z.validate(d).map_err(|e| match e {
+            ErmError::InvalidDataPoint { reason } => {
+                ErmError::InvalidDataPoint { reason: format!("point {i}: {reason}") }
+            }
+            other => other,
+        })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_normalized_rejects_violations() {
+        assert!(DataPoint::new(vec![0.6, 0.8], 1.0).validate(2).is_ok());
+        assert!(DataPoint::new(vec![0.6, 0.8], 1.5).validate(2).is_err());
+        assert!(DataPoint::new(vec![1.0, 1.0], 0.0).validate(2).is_err());
+        assert!(DataPoint::new(vec![0.5], 0.0).validate(2).is_err());
+        assert!(DataPoint::new(vec![f64::NAN, 0.0], 0.0).validate(2).is_err());
+    }
+
+    #[test]
+    fn dataset_validation_reports_index() {
+        let data =
+            vec![DataPoint::new(vec![0.1, 0.1], 0.5), DataPoint::new(vec![2.0, 0.0], 0.0)];
+        let err = validate_dataset(&data, 2).unwrap_err();
+        assert!(err.to_string().contains("point 1"), "{err}");
+    }
+}

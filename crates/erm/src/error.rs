@@ -1,0 +1,54 @@
+use pir_dp::DpError;
+use std::fmt;
+
+/// Errors produced by the ERM layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErmError {
+    /// A data point violated the domain normalization contract.
+    InvalidDataPoint {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A solver was invoked with an empty dataset.
+    EmptyDataset,
+    /// The loss lacks a property the solver needs (e.g. output perturbation
+    /// on a loss that is not strongly convex).
+    UnsupportedLoss {
+        /// Which solver complained.
+        solver: &'static str,
+        /// Which property is missing.
+        missing: &'static str,
+    },
+    /// An underlying DP-parameter error.
+    Dp(DpError),
+    /// An underlying linear-algebra error.
+    Linalg(pir_linalg::LinalgError),
+}
+
+impl fmt::Display for ErmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErmError::InvalidDataPoint { reason } => write!(f, "invalid data point: {reason}"),
+            ErmError::EmptyDataset => write!(f, "cannot minimize over an empty dataset"),
+            ErmError::UnsupportedLoss { solver, missing } => {
+                write!(f, "{solver} requires a loss with {missing}")
+            }
+            ErmError::Dp(e) => write!(f, "{e}"),
+            ErmError::Linalg(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ErmError {}
+
+impl From<DpError> for ErmError {
+    fn from(e: DpError) -> Self {
+        ErmError::Dp(e)
+    }
+}
+
+impl From<pir_linalg::LinalgError> for ErmError {
+    fn from(e: pir_linalg::LinalgError) -> Self {
+        ErmError::Linalg(e)
+    }
+}

@@ -1,0 +1,43 @@
+//! # pir-erm
+//!
+//! The empirical-risk-minimization layer: convex loss functions, the batch
+//! objective `J(θ; z_1..z_n) = Σᵢ ℓ(θ; zᵢ)` (equation (1) of the paper),
+//! an exact (non-private) reference solver, and three differentially
+//! private *batch* ERM solvers that plug into the generic
+//! batch→incremental transformation of §3:
+//!
+//! - [`NoisyGdSolver`] — noisy projected gradient descent in the style of
+//!   Bassily–Smith–Thakurta `[2]`: achieves the `≈ √d·L‖C‖/(nε)`-shaped
+//!   average excess risk that Theorem 3.1(1) consumes.
+//! - [`OutputPerturbationSolver`] — for `ν`-strongly convex losses
+//!   (Chaudhuri et al.): solve exactly, perturb once with sensitivity
+//!   `2L/(νn)`, re-project. Used by Theorem 3.1(2).
+//! - [`PrivateFrankWolfeSolver`] — noisy conditional gradient in the style
+//!   of Talwar–Thakurta–Zhang `[46]`: risk scales with the Gaussian width
+//!   of `C` instead of `√d`. Used by Theorem 3.1(3).
+//!
+//! All solvers enforce the paper's domain normalization `‖x‖₂ ≤ 1`,
+//! `|y| ≤ 1` (§2, "Notation and Data Normalization") — sensitivities are
+//! calibrated under exactly that contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod data;
+mod error;
+pub mod exact;
+pub mod losses;
+pub mod objective;
+pub mod private;
+
+pub use data::{validate_dataset, DataPoint};
+pub use error::ErmError;
+pub use exact::solve_exact;
+pub use losses::{HuberLoss, LogisticLoss, Loss, Regularized, SmoothedHingeLoss, SquaredLoss};
+pub use objective::ErmObjective;
+pub use private::{
+    NoisyGdSolver, OutputPerturbationSolver, PrivateBatchSolver, PrivateFrankWolfeSolver,
+};
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, ErmError>;

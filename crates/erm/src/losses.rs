@@ -1,0 +1,376 @@
+//! Convex per-sample loss functions `ℓ(θ; (x, y))`.
+//!
+//! All constants below assume the §2 normalization `‖x‖₂ ≤ 1`, `|y| ≤ 1`
+//! and are stated as functions of the constraint diameter `‖C‖`
+//! (Definition 2) where they depend on it.
+
+use pir_linalg::vector;
+
+/// A convex per-sample loss with the analytic constants the private
+/// solvers calibrate their noise to.
+pub trait Loss: Send + Sync + std::fmt::Debug {
+    /// Loss value `ℓ(θ; (x, y))`.
+    fn value(&self, theta: &[f64], x: &[f64], y: f64) -> f64;
+
+    /// A (sub)gradient `∇_θ ℓ(θ; (x, y))`.
+    fn gradient(&self, theta: &[f64], x: &[f64], y: f64) -> Vec<f64>;
+
+    /// Lipschitz constant of `ℓ(·; z)` over a constraint set of diameter
+    /// `diameter` (Definition 8), under the domain normalization.
+    fn lipschitz(&self, diameter: f64) -> f64;
+
+    /// Strong-convexity modulus `ν` (Definition 9); 0 for merely convex.
+    fn strong_convexity(&self) -> f64 {
+        0.0
+    }
+
+    /// Curvature constant `C_ℓ` over a set of diameter `diameter` (§3 of
+    /// the paper; enters the Talwar et al. Frank–Wolfe bound).
+    fn curvature(&self, diameter: f64) -> f64;
+
+    /// Short human-readable name (for experiment tables).
+    fn name(&self) -> &'static str;
+}
+
+/// Squared loss `ℓ(θ; z) = (y − ⟨x, θ⟩)²` — the paper's linear-regression
+/// loss (`ℓ`/`L` notation of §2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SquaredLoss;
+
+impl Loss for SquaredLoss {
+    fn value(&self, theta: &[f64], x: &[f64], y: f64) -> f64 {
+        let r = y - vector::dot(x, theta);
+        r * r
+    }
+
+    fn gradient(&self, theta: &[f64], x: &[f64], y: f64) -> Vec<f64> {
+        let r = y - vector::dot(x, theta);
+        vector::scale(x, -2.0 * r)
+    }
+
+    /// `‖∇ℓ‖ = 2|y − ⟨x,θ⟩|·‖x‖ ≤ 2(1 + ‖C‖)`.
+    fn lipschitz(&self, diameter: f64) -> f64 {
+        2.0 * (1.0 + diameter)
+    }
+
+    /// `C_ℓ ≤ ‖C‖²` for `‖x‖ ≤ 1, |y| ≤ 1` (§3, citing Clarkson `[10]`).
+    fn curvature(&self, diameter: f64) -> f64 {
+        diameter * diameter
+    }
+
+    fn name(&self) -> &'static str {
+        "squared"
+    }
+}
+
+/// Logistic loss `ℓ(θ; z) = ln(1 + exp(−y⟨x, θ⟩))` (§1, MLE for logistic
+/// regression).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogisticLoss;
+
+impl Loss for LogisticLoss {
+    fn value(&self, theta: &[f64], x: &[f64], y: f64) -> f64 {
+        let m = -y * vector::dot(x, theta);
+        // Numerically stable ln(1 + e^m).
+        if m > 0.0 {
+            m + (1.0 + (-m).exp()).ln()
+        } else {
+            (1.0 + m.exp()).ln()
+        }
+    }
+
+    fn gradient(&self, theta: &[f64], x: &[f64], y: f64) -> Vec<f64> {
+        let m = -y * vector::dot(x, theta);
+        let sigma = 1.0 / (1.0 + (-m).exp()); // σ(m)
+        vector::scale(x, -y * sigma)
+    }
+
+    /// `‖∇ℓ‖ ≤ |y|·‖x‖ ≤ 1` independent of `C`.
+    fn lipschitz(&self, _diameter: f64) -> f64 {
+        1.0
+    }
+
+    /// Second derivative along any direction is at most `¼‖x‖² ≤ ¼`, so
+    /// `C_ℓ ≤ ‖C‖²/2` (quadratic upper model over a set of diameter `‖C‖`,
+    /// path length `2‖C‖`).
+    fn curvature(&self, diameter: f64) -> f64 {
+        0.5 * diameter * diameter
+    }
+
+    fn name(&self) -> &'static str {
+        "logistic"
+    }
+}
+
+/// Smoothed hinge (Huberized SVM) loss: the paper's `hinge(a) = 1 − a` for
+/// `a ≤ 1` smoothed on `[1 − mu, 1]` so gradient methods apply.
+#[derive(Debug, Clone, Copy)]
+pub struct SmoothedHingeLoss {
+    /// Smoothing window width `mu ∈ (0, 1]`.
+    pub mu: f64,
+}
+
+impl SmoothedHingeLoss {
+    /// New smoothed hinge.
+    ///
+    /// # Panics
+    /// Panics unless `0 < mu ≤ 1`.
+    pub fn new(mu: f64) -> Self {
+        assert!(mu > 0.0 && mu <= 1.0, "smoothing width must lie in (0,1]");
+        SmoothedHingeLoss { mu }
+    }
+}
+
+impl Loss for SmoothedHingeLoss {
+    fn value(&self, theta: &[f64], x: &[f64], y: f64) -> f64 {
+        let a = y * vector::dot(x, theta);
+        if a >= 1.0 {
+            0.0
+        } else if a <= 1.0 - self.mu {
+            1.0 - a - self.mu / 2.0
+        } else {
+            (1.0 - a) * (1.0 - a) / (2.0 * self.mu)
+        }
+    }
+
+    fn gradient(&self, theta: &[f64], x: &[f64], y: f64) -> Vec<f64> {
+        let a = y * vector::dot(x, theta);
+        let slope = if a >= 1.0 {
+            0.0
+        } else if a <= 1.0 - self.mu {
+            -1.0
+        } else {
+            -(1.0 - a) / self.mu
+        };
+        vector::scale(x, slope * y)
+    }
+
+    fn lipschitz(&self, _diameter: f64) -> f64 {
+        1.0
+    }
+
+    fn curvature(&self, diameter: f64) -> f64 {
+        // Hessian bounded by 1/mu inside the smoothing window.
+        2.0 * diameter * diameter / self.mu
+    }
+
+    fn name(&self) -> &'static str {
+        "smoothed-hinge"
+    }
+}
+
+/// Huber loss on the residual `r = y − ⟨x, θ⟩`: quadratic within `±delta`,
+/// linear outside — robust regression.
+#[derive(Debug, Clone, Copy)]
+pub struct HuberLoss {
+    /// Transition point `delta > 0`.
+    pub delta: f64,
+}
+
+impl HuberLoss {
+    /// New Huber loss.
+    ///
+    /// # Panics
+    /// Panics unless `delta > 0`.
+    pub fn new(delta: f64) -> Self {
+        assert!(delta > 0.0, "Huber delta must be positive");
+        HuberLoss { delta }
+    }
+}
+
+impl Loss for HuberLoss {
+    fn value(&self, theta: &[f64], x: &[f64], y: f64) -> f64 {
+        let r = y - vector::dot(x, theta);
+        if r.abs() <= self.delta {
+            0.5 * r * r
+        } else {
+            self.delta * (r.abs() - 0.5 * self.delta)
+        }
+    }
+
+    fn gradient(&self, theta: &[f64], x: &[f64], y: f64) -> Vec<f64> {
+        let r = y - vector::dot(x, theta);
+        let slope = if r.abs() <= self.delta { -r } else { -self.delta * r.signum() };
+        vector::scale(x, slope)
+    }
+
+    fn lipschitz(&self, diameter: f64) -> f64 {
+        self.delta.min(1.0 + diameter)
+    }
+
+    fn curvature(&self, diameter: f64) -> f64 {
+        2.0 * diameter * diameter
+    }
+
+    fn name(&self) -> &'static str {
+        "huber"
+    }
+}
+
+/// Per-sample Tikhonov regularization: `ℓ(θ; z) + (λ/2)‖θ‖²` — the
+/// footnote-1 trick that turns a regularized ERM into the sum form (1),
+/// and the standard way to obtain the strong convexity Theorem 3.1(2)
+/// requires.
+#[derive(Debug, Clone)]
+pub struct Regularized<L: Loss> {
+    base: L,
+    lambda: f64,
+}
+
+impl<L: Loss> Regularized<L> {
+    /// Wrap `base` with ridge weight `lambda > 0`.
+    ///
+    /// # Panics
+    /// Panics unless `lambda > 0`.
+    pub fn new(base: L, lambda: f64) -> Self {
+        assert!(lambda > 0.0, "regularization weight must be positive");
+        Regularized { base, lambda }
+    }
+
+    /// The ridge weight `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl<L: Loss> Loss for Regularized<L> {
+    fn value(&self, theta: &[f64], x: &[f64], y: f64) -> f64 {
+        self.base.value(theta, x, y) + 0.5 * self.lambda * vector::norm2_sq(theta)
+    }
+
+    fn gradient(&self, theta: &[f64], x: &[f64], y: f64) -> Vec<f64> {
+        let mut g = self.base.gradient(theta, x, y);
+        vector::axpy(self.lambda, theta, &mut g);
+        g
+    }
+
+    fn lipschitz(&self, diameter: f64) -> f64 {
+        self.base.lipschitz(diameter) + self.lambda * diameter
+    }
+
+    fn strong_convexity(&self) -> f64 {
+        self.lambda
+    }
+
+    fn curvature(&self, diameter: f64) -> f64 {
+        self.base.curvature(diameter) + 2.0 * self.lambda * diameter * diameter
+    }
+
+    fn name(&self) -> &'static str {
+        "regularized"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numerical_gradient(
+        loss: &dyn Loss,
+        theta: &[f64],
+        x: &[f64],
+        y: f64,
+        h: f64,
+    ) -> Vec<f64> {
+        let mut g = vec![0.0; theta.len()];
+        for i in 0..theta.len() {
+            let mut tp = theta.to_vec();
+            let mut tm = theta.to_vec();
+            tp[i] += h;
+            tm[i] -= h;
+            g[i] = (loss.value(&tp, x, y) - loss.value(&tm, x, y)) / (2.0 * h);
+        }
+        g
+    }
+
+    fn check_gradient(loss: &dyn Loss) {
+        let theta = [0.3, -0.2, 0.1];
+        let x = [0.5, 0.5, -0.1];
+        for y in [-1.0, 0.2, 1.0] {
+            let g = loss.gradient(&theta, &x, y);
+            let gn = numerical_gradient(loss, &theta, &x, y, 1e-6);
+            for (a, b) in g.iter().zip(&gn) {
+                assert!((a - b).abs() < 1e-5, "{}: grad {a} vs fd {b}", loss.name());
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        check_gradient(&SquaredLoss);
+        check_gradient(&LogisticLoss);
+        check_gradient(&SmoothedHingeLoss::new(0.5));
+        check_gradient(&HuberLoss::new(0.3));
+        check_gradient(&Regularized::new(SquaredLoss, 0.7));
+    }
+
+    #[test]
+    fn squared_loss_values() {
+        let l = SquaredLoss;
+        assert_eq!(l.value(&[0.0, 0.0], &[1.0, 0.0], 1.0), 1.0);
+        assert_eq!(l.value(&[1.0, 0.0], &[1.0, 0.0], 1.0), 0.0);
+    }
+
+    #[test]
+    fn logistic_loss_is_stable_for_large_margins() {
+        let l = LogisticLoss;
+        // Huge positive margin: loss → 0 without overflow.
+        let v = l.value(&[100.0], &[1.0], 1.0);
+        assert!(v >= 0.0 && v < 1e-20);
+        let v2 = l.value(&[-100.0], &[1.0], 1.0);
+        assert!((v2 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lipschitz_bounds_hold_empirically() {
+        let losses: Vec<Box<dyn Loss>> = vec![
+            Box::new(SquaredLoss),
+            Box::new(LogisticLoss),
+            Box::new(SmoothedHingeLoss::new(0.3)),
+            Box::new(HuberLoss::new(0.5)),
+        ];
+        let diameter = 1.0;
+        for loss in &losses {
+            let bound = loss.lipschitz(diameter);
+            for s in 0..50 {
+                let t = (s as f64) / 50.0 * 2.0 - 1.0;
+                let theta = [t * 0.7, t * 0.3];
+                let x = [0.8, -0.6];
+                let y = if s % 2 == 0 { 1.0 } else { -0.5 };
+                let g = loss.gradient(&theta, &x, y);
+                assert!(
+                    vector::norm2(&g) <= bound + 1e-9,
+                    "{}: gradient norm exceeds Lipschitz bound",
+                    loss.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hinge_regions() {
+        let l = SmoothedHingeLoss::new(0.5);
+        // Well-classified: zero loss, zero gradient.
+        assert_eq!(l.value(&[2.0], &[1.0], 1.0), 0.0);
+        assert_eq!(l.gradient(&[2.0], &[1.0], 1.0), vec![0.0]);
+        // Deep in the linear region.
+        let v = l.value(&[-1.0], &[1.0], 1.0);
+        assert!((v - (2.0 - 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regularized_adds_strong_convexity() {
+        let plain = SquaredLoss;
+        let reg = Regularized::new(SquaredLoss, 0.25);
+        assert_eq!(plain.strong_convexity(), 0.0);
+        assert_eq!(reg.strong_convexity(), 0.25);
+        assert!(reg.value(&[1.0], &[0.5], 0.0) > plain.value(&[1.0], &[0.5], 0.0));
+    }
+
+    #[test]
+    fn huber_matches_quadratic_inside() {
+        let l = HuberLoss::new(1.0);
+        let v = l.value(&[0.0], &[1.0], 0.5);
+        assert!((v - 0.125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,89 @@
+//! The batch ERM objective `J(θ; z_1..z_n) = Σᵢ ℓ(θ; zᵢ)` as a
+//! [`pir_optim::Objective`].
+
+use crate::data::DataPoint;
+use crate::losses::Loss;
+use pir_linalg::vector;
+use pir_optim::Objective;
+
+/// Sum-of-losses objective over a borrowed dataset (equation (1) of the
+/// paper, unregularized form — regularization enters via
+/// [`crate::Regularized`]).
+#[derive(Debug)]
+pub struct ErmObjective<'a> {
+    loss: &'a dyn Loss,
+    data: &'a [DataPoint],
+    dim: usize,
+}
+
+impl<'a> ErmObjective<'a> {
+    /// New objective over `data` in dimension `dim`.
+    pub fn new(loss: &'a dyn Loss, data: &'a [DataPoint], dim: usize) -> Self {
+        ErmObjective { loss, data, dim }
+    }
+
+    /// Number of datapoints `n`.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Lipschitz constant of the *sum* objective over a set of diameter
+    /// `diameter`: `n · L_ℓ`.
+    pub fn lipschitz(&self, diameter: f64) -> f64 {
+        self.data.len() as f64 * self.loss.lipschitz(diameter)
+    }
+}
+
+impl Objective for ErmObjective<'_> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn value(&self, theta: &[f64]) -> f64 {
+        self.data.iter().map(|z| self.loss.value(theta, &z.x, z.y)).sum()
+    }
+
+    fn gradient(&self, theta: &[f64]) -> Vec<f64> {
+        let mut g = vec![0.0; self.dim];
+        for z in self.data {
+            let gz = self.loss.gradient(theta, &z.x, z.y);
+            vector::axpy(1.0, &gz, &mut g);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::losses::SquaredLoss;
+
+    #[test]
+    fn sums_over_points() {
+        let data = vec![
+            DataPoint::new(vec![1.0, 0.0], 1.0),
+            DataPoint::new(vec![0.0, 1.0], -1.0),
+        ];
+        let obj = ErmObjective::new(&SquaredLoss, &data, 2);
+        assert_eq!(obj.len(), 2);
+        // At θ = 0: J = 1 + 1 = 2.
+        assert_eq!(obj.value(&[0.0, 0.0]), 2.0);
+        // Gradient: −2(1)·e₁ − 2(−1)·e₂ = (−2, 2).
+        assert_eq!(obj.gradient(&[0.0, 0.0]), vec![-2.0, 2.0]);
+        assert_eq!(obj.lipschitz(1.0), 2.0 * (2.0 * 2.0));
+    }
+
+    #[test]
+    fn empty_dataset_is_the_zero_objective() {
+        let data: Vec<DataPoint> = vec![];
+        let obj = ErmObjective::new(&SquaredLoss, &data, 3);
+        assert!(obj.is_empty());
+        assert_eq!(obj.value(&[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(obj.gradient(&[1.0, 1.0, 1.0]), vec![0.0; 3]);
+    }
+}

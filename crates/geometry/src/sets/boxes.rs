@@ -1,0 +1,192 @@
+//! Axis-aligned boxes and the symmetric L∞ ball.
+
+use crate::traits::{ConvexSet, WidthSet};
+use pir_linalg::vector;
+
+/// General axis-aligned box `Π_i [lo_i, hi_i]`.
+#[derive(Debug, Clone)]
+pub struct BoxSet {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl BoxSet {
+    /// New box from per-coordinate bounds.
+    ///
+    /// # Panics
+    /// Panics if lengths differ, any bound is non-finite, or `lo_i > hi_i`.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "BoxSet bounds must have equal length");
+        for (l, h) in lo.iter().zip(&hi) {
+            assert!(l.is_finite() && h.is_finite() && l <= h, "BoxSet needs finite lo <= hi");
+        }
+        BoxSet { lo, hi }
+    }
+
+    /// Lower bounds.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+}
+
+impl WidthSet for BoxSet {
+    fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    fn support_value(&self, g: &[f64]) -> f64 {
+        g.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .map(|(&gi, (&l, &h))| if gi >= 0.0 { gi * h } else { gi * l })
+            .sum()
+    }
+
+    /// `w(box) ≤ √(2/π)·Σ_i (hi_i − lo_i)/2 + |center|-term`; we report the
+    /// standard bound for the centered box of half-widths `r_i`:
+    /// `E Σ r_i |g_i| = √(2/π) Σ r_i`, plus the center's norm.
+    fn width_bound(&self) -> f64 {
+        let half_sum: f64 = self.lo.iter().zip(&self.hi).map(|(l, h)| (h - l) / 2.0).sum();
+        let center_norm = {
+            let c: Vec<f64> = self.lo.iter().zip(&self.hi).map(|(l, h)| (l + h) / 2.0).collect();
+            vector::norm2(&c)
+        };
+        (2.0 / std::f64::consts::PI).sqrt() * half_sum + center_norm
+    }
+
+    fn diameter(&self) -> f64 {
+        // sup ‖θ‖ over the box: per coordinate pick the larger |bound|.
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| l.abs().max(h.abs()).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl ConvexSet for BoxSet {
+    fn project(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .map(|(&v, (&l, &h))| v.clamp(l, h))
+            .collect()
+    }
+
+    fn support(&self, g: &[f64]) -> Vec<f64> {
+        g.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .map(|(&gi, (&l, &h))| if gi >= 0.0 { h } else { l })
+            .collect()
+    }
+}
+
+/// Symmetric L∞ ball `c·B∞^d = [−c, c]^d`.
+#[derive(Debug, Clone)]
+pub struct LinfBall {
+    dim: usize,
+    radius: f64,
+}
+
+impl LinfBall {
+    /// New ball; `radius` must be positive and finite.
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite radius.
+    pub fn new(dim: usize, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius > 0.0, "LinfBall radius must be positive");
+        LinfBall { dim, radius }
+    }
+
+    /// The radius `c`.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+}
+
+impl WidthSet for LinfBall {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn support_value(&self, g: &[f64]) -> f64 {
+        self.radius * vector::norm1(g)
+    }
+
+    /// `w(cB∞^d) = c·E‖g‖₁ = c·d·√(2/π)` — linear in `d` (§2), the
+    /// *expensive* end of the constraint-set spectrum.
+    fn width_bound(&self) -> f64 {
+        self.radius * self.dim as f64 * (2.0 / std::f64::consts::PI).sqrt()
+    }
+
+    fn diameter(&self) -> f64 {
+        self.radius * (self.dim as f64).sqrt()
+    }
+}
+
+impl ConvexSet for LinfBall {
+    fn project(&self, x: &[f64]) -> Vec<f64> {
+        x.iter().map(|&v| v.clamp(-self.radius, self.radius)).collect()
+    }
+
+    fn support(&self, g: &[f64]) -> Vec<f64> {
+        g.iter()
+            .map(|&gi| if gi >= 0.0 { self.radius } else { -self.radius })
+            .collect()
+    }
+
+    fn gauge(&self, x: &[f64]) -> f64 {
+        vector::norm_inf(x) / self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_projection_clamps() {
+        let b = BoxSet::new(vec![0.0, -1.0], vec![1.0, 1.0]);
+        assert_eq!(b.project(&[2.0, -3.0]), vec![1.0, -1.0]);
+        assert_eq!(b.project(&[0.5, 0.0]), vec![0.5, 0.0]);
+    }
+
+    #[test]
+    fn box_support_picks_corners() {
+        let b = BoxSet::new(vec![0.0, -1.0], vec![1.0, 1.0]);
+        let g = [1.0, -2.0];
+        let s = b.support(&g);
+        assert_eq!(s, vec![1.0, -1.0]);
+        assert!((pir_linalg::vector::dot(&s, &g) - b.support_value(&g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linf_gauge_and_membership() {
+        let b = LinfBall::new(3, 2.0);
+        assert!((b.gauge(&[2.0, 1.0, -2.0]) - 1.0).abs() < 1e-12);
+        assert!(b.contains(&[1.0, 1.0, 1.0], 1e-9));
+        assert!(!b.contains(&[3.0, 0.0, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn linf_width_linear_in_d() {
+        let w = LinfBall::new(100, 1.0).width_bound();
+        assert!((w - 100.0 * (2.0 / std::f64::consts::PI).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn box_diameter_uses_farthest_corner() {
+        let b = BoxSet::new(vec![-3.0, 0.0], vec![1.0, 4.0]);
+        assert!((b.diameter() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn rejects_inverted_bounds() {
+        let _ = BoxSet::new(vec![1.0], vec![0.0]);
+    }
+}

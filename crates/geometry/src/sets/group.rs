@@ -1,0 +1,191 @@
+//! Group/block-L1 balls for the `‖·‖_{k,L1,2}` norm of §5.2: coordinates
+//! are partitioned into contiguous blocks of size `k`; the norm is the sum
+//! of per-block Euclidean norms. The unit ball has Gaussian width
+//! `O(√(k + log(d/k)))` — the structured-sparsity example of the paper.
+
+use crate::sets::l1::project_l1;
+use crate::traits::{ConvexSet, WidthSet};
+use pir_linalg::vector;
+
+/// Ball of radius `radius` in the block-L1,2 norm with contiguous blocks
+/// of size `group_size` (the final block may be shorter when `group_size`
+/// does not divide `dim`, matching the paper's `⌈d/k⌉` blocks).
+#[derive(Debug, Clone)]
+pub struct GroupL1Ball {
+    dim: usize,
+    group_size: usize,
+    radius: f64,
+}
+
+impl GroupL1Ball {
+    /// New ball; needs `group_size ∈ [1, dim]` and a positive radius.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters.
+    pub fn new(dim: usize, group_size: usize, radius: f64) -> Self {
+        assert!(group_size >= 1 && group_size <= dim.max(1), "invalid group size");
+        assert!(radius.is_finite() && radius > 0.0, "GroupL1Ball radius must be positive");
+        GroupL1Ball { dim, group_size, radius }
+    }
+
+    /// Number of blocks `⌈d/k⌉`.
+    pub fn num_groups(&self) -> usize {
+        self.dim.div_ceil(self.group_size)
+    }
+
+    /// Block size `k`.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Iterator over block ranges.
+    fn blocks(&self) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        (0..self.num_groups()).map(move |g| {
+            let start = g * self.group_size;
+            start..(start + self.group_size).min(self.dim)
+        })
+    }
+
+    /// The block-L1,2 norm `Σ_g ‖x_g‖₂`.
+    pub fn block_norm(&self, x: &[f64]) -> f64 {
+        self.blocks().map(|r| vector::norm2(&x[r])).sum()
+    }
+}
+
+impl WidthSet for GroupL1Ball {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn support_value(&self, g: &[f64]) -> f64 {
+        // Dual of the block-L1,2 norm is block-L∞,2: r·max_g ‖g_block‖₂.
+        self.radius
+            * self
+                .blocks()
+                .map(|r| vector::norm2(&g[r]))
+                .fold(0.0f64, f64::max)
+    }
+
+    /// `w ≤ r·(√k + √(2 ln(#groups)))` — `O(√(k log(d/k)))`, matching the
+    /// paper's quoted width for the block-sparsity ball (Talwar et al.).
+    fn width_bound(&self) -> f64 {
+        let ngroups = self.num_groups().max(1) as f64;
+        let log_term = if ngroups > 1.0 { (2.0 * ngroups.ln()).sqrt() } else { 0.0 };
+        self.radius * ((self.group_size as f64).sqrt() + log_term)
+    }
+
+    fn diameter(&self) -> f64 {
+        // Mass r concentrated in one block gives ‖θ‖₂ = r; splitting mass
+        // across blocks only shrinks the Euclidean norm.
+        self.radius
+    }
+}
+
+impl ConvexSet for GroupL1Ball {
+    /// Projection reduces to an L1-ball projection of the vector of block
+    /// norms: if `u_g = ‖x_g‖₂` and `u′ = P_{rB₁}(u)`, the projection
+    /// rescales each block by `u′_g/u_g` (standard block-norm identity).
+    fn project(&self, x: &[f64]) -> Vec<f64> {
+        let norms: Vec<f64> = self.blocks().map(|r| vector::norm2(&x[r])).collect();
+        if norms.iter().sum::<f64>() <= self.radius {
+            return x.to_vec();
+        }
+        let shrunk = project_l1(&norms, self.radius);
+        let mut out = vec![0.0; self.dim];
+        for (g, r) in self.blocks().enumerate() {
+            if norms[g] > 0.0 {
+                let factor = shrunk[g] / norms[g];
+                for i in r {
+                    out[i] = x[i] * factor;
+                }
+            }
+        }
+        out
+    }
+
+    fn support(&self, g: &[f64]) -> Vec<f64> {
+        // All mass on the block with the largest Euclidean norm.
+        let mut best: Option<(usize, f64)> = None;
+        for (gi, r) in self.blocks().enumerate() {
+            let n = vector::norm2(&g[r]);
+            if best.map_or(true, |(_, bn)| n > bn) {
+                best = Some((gi, n));
+            }
+        }
+        let mut out = vec![0.0; self.dim];
+        if let Some((gi, n)) = best {
+            if n > 0.0 {
+                let start = gi * self.group_size;
+                let end = (start + self.group_size).min(self.dim);
+                for i in start..end {
+                    out[i] = self.radius * g[i] / n;
+                }
+            }
+        }
+        out
+    }
+
+    fn gauge(&self, x: &[f64]) -> f64 {
+        self.block_norm(x) / self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_norm_and_gauge() {
+        let set = GroupL1Ball::new(4, 2, 1.0);
+        // Blocks (3,4) and (0,0): block norm 5.
+        let x = [3.0, 4.0, 0.0, 0.0];
+        assert!((set.block_norm(&x) - 5.0).abs() < 1e-12);
+        assert!((set.gauge(&x) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_feasible_and_fixed_inside() {
+        let set = GroupL1Ball::new(6, 2, 1.0);
+        let inside = [0.1, 0.1, 0.2, 0.0, 0.1, 0.05];
+        assert_eq!(set.project(&inside), inside.to_vec());
+        let outside = [3.0, 4.0, 1.0, 0.0, 0.0, 2.0];
+        let p = set.project(&outside);
+        assert!(set.block_norm(&p) <= 1.0 + 1e-9);
+        // Direction within a block is preserved.
+        assert!((p[0] / p[1] - 3.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uneven_final_block_is_handled() {
+        let set = GroupL1Ball::new(5, 2, 1.0); // blocks: [0,1], [2,3], [4]
+        assert_eq!(set.num_groups(), 3);
+        let p = set.project(&[0.0, 0.0, 0.0, 0.0, 7.0]);
+        assert!((vector::norm2(&p) - 1.0).abs() < 1e-9);
+        assert!((p[4] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn support_attains_dual_norm() {
+        let set = GroupL1Ball::new(4, 2, 2.0);
+        let g = [1.0, 1.0, 3.0, 4.0];
+        let s = set.support(&g);
+        assert!((vector::dot(&s, &g) - set.support_value(&g)).abs() < 1e-9);
+        assert!((vector::dot(&s, &g) - 10.0).abs() < 1e-9); // 2 * ‖(3,4)‖
+        assert_eq!(&s[0..2], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn width_is_sqrt_k_plus_log_terms() {
+        let narrow = GroupL1Ball::new(10_000, 5, 1.0).width_bound();
+        let wide = GroupL1Ball::new(10_000, 1_000, 1.0).width_bound();
+        assert!(narrow < wide);
+        assert!(narrow < 10.0); // ~√5 + √(2 ln 2000) ≈ 6.1
+    }
+
+    #[test]
+    fn group_size_equal_dim_is_l2_ball() {
+        let set = GroupL1Ball::new(3, 3, 2.0);
+        let p = set.project(&[6.0, 0.0, 8.0]);
+        assert!((vector::norm2(&p) - 2.0).abs() < 1e-9);
+    }
+}

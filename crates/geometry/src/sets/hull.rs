@@ -1,0 +1,200 @@
+//! Polytopes given as convex hulls of explicit vertices — the
+//! `C = conv{a_1, …, a_l}` family of §5.2, whose Gaussian width
+//! `O(max_i ‖a_i‖ · √log l)` is small whenever the vertex count is
+//! polynomial in the dimension.
+
+use crate::traits::{ConvexSet, WidthSet};
+use pir_linalg::vector;
+
+/// Convex hull of a finite vertex set.
+#[derive(Debug, Clone)]
+pub struct PolytopeHull {
+    dim: usize,
+    vertices: Vec<Vec<f64>>,
+    max_vertex_norm: f64,
+    /// Frank–Wolfe iterations used by [`ConvexSet::project`].
+    projection_iters: usize,
+}
+
+impl PolytopeHull {
+    /// New hull from at least one vertex; all vertices share a dimension.
+    ///
+    /// # Panics
+    /// Panics on an empty vertex list, mismatched dimensions, or
+    /// non-finite coordinates.
+    pub fn new(vertices: Vec<Vec<f64>>) -> Self {
+        assert!(!vertices.is_empty(), "PolytopeHull needs at least one vertex");
+        let dim = vertices[0].len();
+        let mut max_norm = 0.0f64;
+        for v in &vertices {
+            assert_eq!(v.len(), dim, "PolytopeHull vertices must share a dimension");
+            assert!(vector::is_finite(v), "PolytopeHull vertex has non-finite entries");
+            max_norm = max_norm.max(vector::norm2(v));
+        }
+        PolytopeHull { dim, vertices, max_vertex_norm: max_norm, projection_iters: 300 }
+    }
+
+    /// Override the Frank–Wolfe projection iteration budget (default 300;
+    /// the projection error decays as `O(diam²/k)`).
+    pub fn with_projection_iters(mut self, iters: usize) -> Self {
+        assert!(iters >= 1);
+        self.projection_iters = iters;
+        self
+    }
+
+    /// The vertex list.
+    pub fn vertices(&self) -> &[Vec<f64>] {
+        &self.vertices
+    }
+
+    /// The cross-polytope `c·B₁^d` as an explicit hull of `2d` vertices
+    /// (useful for testing the generic machinery against the closed-form
+    /// [`crate::L1Ball`]).
+    pub fn cross_polytope(dim: usize, radius: f64) -> Self {
+        let mut vs = Vec::with_capacity(2 * dim);
+        for i in 0..dim {
+            let mut plus = vec![0.0; dim];
+            plus[i] = radius;
+            let mut minus = vec![0.0; dim];
+            minus[i] = -radius;
+            vs.push(plus);
+            vs.push(minus);
+        }
+        Self::new(vs)
+    }
+}
+
+impl WidthSet for PolytopeHull {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn support_value(&self, g: &[f64]) -> f64 {
+        self.vertices
+            .iter()
+            .map(|v| vector::dot(v, g))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// `w(conv{a_i}) ≤ max_i ‖a_i‖ · √(2 ln(2l))` (finite-class bound; the
+    /// supremum over a hull is attained at a vertex).
+    fn width_bound(&self) -> f64 {
+        let l = self.vertices.len() as f64;
+        self.max_vertex_norm * (2.0 * (2.0 * l).ln()).sqrt()
+    }
+
+    fn diameter(&self) -> f64 {
+        self.max_vertex_norm
+    }
+}
+
+impl ConvexSet for PolytopeHull {
+    /// Frank–Wolfe minimization of `½‖θ − x‖²` with exact line search;
+    /// each step is one pass over the vertices.
+    fn project(&self, x: &[f64]) -> Vec<f64> {
+        let mut theta = self.vertices[0].clone();
+        for _ in 0..self.projection_iters {
+            // ∇f(θ) = θ − x; LMO minimizes ⟨∇f, s⟩ = maximizes ⟨−∇f, s⟩.
+            let grad = vector::sub(&theta, x);
+            let neg: Vec<f64> = grad.iter().map(|v| -v).collect();
+            let s = self.support(&neg);
+            let dir = vector::sub(&s, &theta);
+            let denom = vector::norm2_sq(&dir);
+            if denom <= 1e-30 {
+                break;
+            }
+            // Exact line search for the quadratic: γ = ⟨x − θ, dir⟩/‖dir‖².
+            let gamma = (vector::dot(&vector::sub(x, &theta), &dir) / denom).clamp(0.0, 1.0);
+            if gamma <= 0.0 {
+                break; // FW gap is zero: θ is optimal.
+            }
+            vector::axpy(gamma, &dir, &mut theta);
+        }
+        theta
+    }
+
+    fn support(&self, g: &[f64]) -> Vec<f64> {
+        let mut best = &self.vertices[0];
+        let mut best_val = vector::dot(best, g);
+        for v in &self.vertices[1..] {
+            let val = vector::dot(v, g);
+            if val > best_val {
+                best_val = val;
+                best = v;
+            }
+        }
+        best.clone()
+    }
+
+    /// Frank–Wolfe primal gap after `k` iterations is `O(2·diam²/(k+2))`;
+    /// the distance error is its square root.
+    fn projection_accuracy(&self) -> f64 {
+        let d = self.max_vertex_norm.max(1e-12);
+        (2.0 * (2.0 * d) * (2.0 * d) / (self.projection_iters as f64 + 2.0)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sets::l1::L1Ball;
+
+    #[test]
+    fn support_matches_vertex_enumeration() {
+        let hull = PolytopeHull::new(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![-1.0, -1.0]]);
+        let g = [2.0, -1.0];
+        assert_eq!(hull.support(&g), vec![1.0, 0.0]);
+        assert!((hull.support_value(&g) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_agrees_with_closed_form_l1() {
+        let hull = PolytopeHull::cross_polytope(3, 1.0).with_projection_iters(4000);
+        let l1 = L1Ball::new(3, 1.0);
+        for x in [[2.0, -1.0, 0.5], [0.2, 0.1, -0.1], [5.0, 5.0, 5.0]] {
+            let ph = hull.project(&x);
+            let pe = l1.project(&x);
+            assert!(
+                vector::distance(&ph, &pe) < 5e-3,
+                "hull {ph:?} vs exact {pe:?} for input {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn projection_returns_member() {
+        let hull = PolytopeHull::new(vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let p = hull.project(&[2.0, 2.0]);
+        // The projection of (2,2) onto this triangle is (0.5, 0.5).
+        assert!(vector::distance(&p, &[0.5, 0.5]) < 1e-3, "{p:?}");
+    }
+
+    #[test]
+    fn singleton_hull_projects_to_the_point() {
+        let hull = PolytopeHull::new(vec![vec![1.0, 2.0]]);
+        assert!(vector::distance(&hull.project(&[9.0, -9.0]), &[1.0, 2.0]) < 1e-12);
+        assert_eq!(hull.diameter(), (5.0f64).sqrt());
+    }
+
+    #[test]
+    fn gauge_by_bisection_on_cross_polytope() {
+        // Default (bisection) gauge should match the L1 norm to within the
+        // Frank–Wolfe projection accuracy.
+        let hull = PolytopeHull::cross_polytope(2, 1.0).with_projection_iters(20_000);
+        let g = hull.gauge(&[0.5, -0.25]);
+        assert!((g - 0.75).abs() < 0.06, "gauge {g}");
+    }
+
+    #[test]
+    fn width_bound_is_logarithmic_in_vertex_count() {
+        let small = PolytopeHull::cross_polytope(4, 1.0).width_bound();
+        let large = PolytopeHull::cross_polytope(4096, 1.0).width_bound();
+        assert!(large / small < 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn rejects_empty_vertex_list() {
+        let _ = PolytopeHull::new(vec![]);
+    }
+}

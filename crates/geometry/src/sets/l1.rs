@@ -1,0 +1,170 @@
+//! The cross-polytope `c·B₁^d` — the constraint set of Lasso regression
+//! and the flagship low-Gaussian-width set of the paper's §5.2.
+
+use crate::traits::{ConvexSet, WidthSet};
+use pir_linalg::vector;
+
+/// L1 ball of radius `radius` centered at the origin.
+///
+/// ```
+/// use pir_geometry::{ConvexSet, L1Ball, WidthSet};
+///
+/// let ball = L1Ball::unit(4);
+/// // Sort-based exact projection (soft thresholding):
+/// let p = ball.project(&[2.0, -1.0, 0.0, 0.5]);
+/// assert!((p.iter().map(|v| v.abs()).sum::<f64>() - 1.0).abs() < 1e-9);
+/// // Gaussian width is only Θ(√log d) — the Lasso advantage of §5.2:
+/// assert!(L1Ball::unit(10_000).width_bound() < 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct L1Ball {
+    dim: usize,
+    radius: f64,
+}
+
+impl L1Ball {
+    /// New ball; `radius` must be positive and finite.
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite radius.
+    pub fn new(dim: usize, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius > 0.0, "L1Ball radius must be positive");
+        L1Ball { dim, radius }
+    }
+
+    /// Unit ball `B₁^d`.
+    pub fn unit(dim: usize) -> Self {
+        Self::new(dim, 1.0)
+    }
+
+    /// The radius `c`.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+}
+
+/// Soft-threshold projection of `x` onto the L1 ball of radius `r`
+/// (Duchi, Shalev-Shwartz, Singer & Chandra, ICML 2008): `O(d log d)`.
+pub(crate) fn project_l1(x: &[f64], r: f64) -> Vec<f64> {
+    if vector::norm1(x) <= r {
+        return x.to_vec();
+    }
+    let mut mags: Vec<f64> = x.iter().map(|v| v.abs()).collect();
+    mags.sort_unstable_by(|a, b| b.partial_cmp(a).expect("NaN in project_l1"));
+    let mut cumsum = 0.0;
+    let mut tau = 0.0;
+    for (j, &u) in mags.iter().enumerate() {
+        cumsum += u;
+        let candidate = (cumsum - r) / (j as f64 + 1.0);
+        if u - candidate > 0.0 {
+            tau = candidate;
+        } else {
+            break;
+        }
+    }
+    x.iter().map(|&v| v.signum() * (v.abs() - tau).max(0.0)).collect()
+}
+
+impl WidthSet for L1Ball {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn support_value(&self, g: &[f64]) -> f64 {
+        self.radius * vector::norm_inf(g)
+    }
+
+    /// `w(cB₁^d) = c·E max_i |g_i| ≤ c√(2 ln(2d))` — the `Θ(√log d)`
+    /// width that makes Lasso-style constraint sets cheap for Mechanism 2.
+    fn width_bound(&self) -> f64 {
+        if self.dim <= 1 {
+            return self.radius;
+        }
+        self.radius * (2.0 * (2.0 * self.dim as f64).ln()).sqrt()
+    }
+
+    fn diameter(&self) -> f64 {
+        self.radius
+    }
+}
+
+impl ConvexSet for L1Ball {
+    fn project(&self, x: &[f64]) -> Vec<f64> {
+        project_l1(x, self.radius)
+    }
+
+    fn support(&self, g: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        if let Some(i) = vector::argmax_abs(g) {
+            if g[i] != 0.0 {
+                out[i] = self.radius * g[i].signum();
+            }
+        }
+        out
+    }
+
+    fn gauge(&self, x: &[f64]) -> f64 {
+        vector::norm1(x) / self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_points_are_fixed() {
+        let ball = L1Ball::new(3, 1.0);
+        let x = [0.2, -0.3, 0.1];
+        assert_eq!(ball.project(&x), x.to_vec());
+    }
+
+    #[test]
+    fn projection_lands_on_boundary_for_outside_points() {
+        let ball = L1Ball::new(3, 1.0);
+        let p = ball.project(&[2.0, -2.0, 1.0]);
+        assert!((vector::norm1(&p) - 1.0).abs() < 1e-9, "norm1 {}", vector::norm1(&p));
+        // Signs are preserved, soft-thresholding shrinks uniformly.
+        assert!(p[0] > 0.0 && p[1] < 0.0);
+        assert!((p[0] + p[1].abs() + p[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_is_exactly_soft_thresholding() {
+        // Known example: project (3, 1) onto B1 => tau = (4-1)/2 = 1.5 gives
+        // u1 - tau = 1.5 > 0, u2 - tau = -0.5 < 0 => rho=1, tau = 3-1 = 2.
+        let ball = L1Ball::new(2, 1.0);
+        let p = ball.project(&[3.0, 1.0]);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        assert!(p[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_picks_largest_coordinate() {
+        let ball = L1Ball::new(3, 2.0);
+        let g = [1.0, -4.0, 2.0];
+        let s = ball.support(&g);
+        assert_eq!(s, vec![0.0, -2.0, 0.0]);
+        assert!((vector::dot(&s, &g) - ball.support_value(&g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_is_scaled_l1_norm() {
+        let ball = L1Ball::new(2, 2.0);
+        assert!((ball.gauge(&[1.0, -1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn width_is_logarithmic_in_dimension() {
+        let w10 = L1Ball::unit(10).width_bound();
+        let w10000 = L1Ball::unit(10_000).width_bound();
+        assert!(w10000 / w10 < 2.0, "polylog growth expected");
+        assert!(w10000 < 5.0);
+    }
+
+    #[test]
+    fn zero_gradient_support_is_origin() {
+        let ball = L1Ball::new(2, 1.0);
+        assert_eq!(ball.support(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! The Euclidean ball `c·B₂^d` — the constraint set of Ridge regression.
+
+use crate::traits::{ConvexSet, WidthSet};
+use pir_linalg::vector;
+
+/// Euclidean ball of radius `radius` centered at the origin.
+#[derive(Debug, Clone)]
+pub struct L2Ball {
+    dim: usize,
+    radius: f64,
+}
+
+impl L2Ball {
+    /// New ball; `radius` must be positive and finite.
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite radius.
+    pub fn new(dim: usize, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius > 0.0, "L2Ball radius must be positive");
+        L2Ball { dim, radius }
+    }
+
+    /// Unit ball `B₂^d`.
+    pub fn unit(dim: usize) -> Self {
+        Self::new(dim, 1.0)
+    }
+
+    /// The radius `c`.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+}
+
+impl WidthSet for L2Ball {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn support_value(&self, g: &[f64]) -> f64 {
+        self.radius * vector::norm2(g)
+    }
+
+    /// `w(cB₂^d) = c·E‖g‖₂ ≤ c√d` (and `≥ c√(d − 1)`, so this is tight).
+    fn width_bound(&self) -> f64 {
+        self.radius * (self.dim as f64).sqrt()
+    }
+
+    fn diameter(&self) -> f64 {
+        self.radius
+    }
+}
+
+impl ConvexSet for L2Ball {
+    fn project(&self, x: &[f64]) -> Vec<f64> {
+        let n = vector::norm2(x);
+        if n <= self.radius {
+            x.to_vec()
+        } else {
+            vector::scale(x, self.radius / n)
+        }
+    }
+
+    fn support(&self, g: &[f64]) -> Vec<f64> {
+        match vector::normalize(g) {
+            Some(u) => vector::scale(&u, self.radius),
+            // Degenerate direction: any point attains the (zero) supremum.
+            None => vec![0.0; self.dim],
+        }
+    }
+
+    fn gauge(&self, x: &[f64]) -> f64 {
+        vector::norm2(x) / self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_scales_only_outside() {
+        let ball = L2Ball::new(2, 2.0);
+        assert_eq!(ball.project(&[1.0, 0.0]), vec![1.0, 0.0]);
+        let p = ball.project(&[6.0, 8.0]);
+        assert!((vector::norm2(&p) - 2.0).abs() < 1e-12);
+        assert!((p[0] - 1.2).abs() < 1e-12 && (p[1] - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_attains_support_value() {
+        let ball = L2Ball::new(3, 1.5);
+        let g = [1.0, -2.0, 2.0];
+        let s = ball.support(&g);
+        assert!((vector::dot(&s, &g) - ball.support_value(&g)).abs() < 1e-12);
+        assert!((vector::dot(&s, &g) - 1.5 * 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_matches_membership() {
+        let ball = L2Ball::new(2, 2.0);
+        assert!((ball.gauge(&[2.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(ball.gauge(&[0.5, 0.0]) < 1.0);
+        assert!(ball.gauge(&[3.0, 0.0]) > 1.0);
+        assert_eq!(ball.gauge(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn width_bound_sane() {
+        let ball = L2Ball::new(100, 2.0);
+        assert!((ball.width_bound() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_radius() {
+        let _ = L2Ball::new(2, -1.0);
+    }
+}

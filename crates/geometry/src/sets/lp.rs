@@ -1,0 +1,202 @@
+//! Lp balls for `1 < p < 2` — the §5.2 family interpolating between Lasso
+//! (`p → 1`) and Ridge (`p = 2`), with `w(cB_p^d) = O(c·d^{1−1/p})`.
+
+use crate::traits::{ConvexSet, WidthSet};
+use pir_linalg::vector;
+
+/// Lp ball `{θ : ‖θ‖_p ≤ radius}` with `1 < p < 2`.
+///
+/// (Use [`crate::L1Ball`] / [`crate::L2Ball`] for the endpoints — their
+/// projections have cheaper closed forms.)
+#[derive(Debug, Clone)]
+pub struct LpBall {
+    dim: usize,
+    p: f64,
+    radius: f64,
+}
+
+impl LpBall {
+    /// New ball; requires `1 < p < 2` and a positive finite radius.
+    ///
+    /// # Panics
+    /// Panics on parameters outside those ranges.
+    pub fn new(dim: usize, p: f64, radius: f64) -> Self {
+        assert!(p > 1.0 && p < 2.0, "LpBall requires 1 < p < 2 (got {p})");
+        assert!(radius.is_finite() && radius > 0.0, "LpBall radius must be positive");
+        LpBall { dim, p, radius }
+    }
+
+    /// The exponent `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The radius `c`.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Hölder-dual exponent `q = p/(p−1)`.
+    fn q(&self) -> f64 {
+        self.p / (self.p - 1.0)
+    }
+}
+
+/// Solve `t + λ p t^{p−1} = a` for `t ∈ [0, a]`, `a ≥ 0`.
+///
+/// The left side is continuous and strictly increasing on `[0, ∞)` with
+/// value `0 ≤ a` at `t = 0` and `≥ a` at `t = a`, so bisection converges
+/// unconditionally (Newton is unreliable near 0 because `t^{p−2} → ∞`).
+fn solve_coordinate(a: f64, lambda: f64, p: f64) -> f64 {
+    if a == 0.0 || lambda == 0.0 {
+        return a;
+    }
+    let (mut lo, mut hi) = (0.0, a);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        let val = mid + lambda * p * mid.powf(p - 1.0);
+        if val < a {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// KKT projection onto the Lp ball: outer bisection on the multiplier `λ`,
+/// inner per-coordinate scalar solves. `‖θ(λ)‖_p` is continuous and
+/// strictly decreasing in `λ`, with `θ(0) = x` (‖·‖ₚ > r when outside) and
+/// `θ(λ) → 0` as `λ → ∞`, so the boundary value `r` is bracketed.
+fn project_lp(x: &[f64], p: f64, r: f64) -> Vec<f64> {
+    if vector::norm_p(x, p) <= r {
+        return x.to_vec();
+    }
+    let solve_at = |lambda: f64| -> Vec<f64> {
+        x.iter()
+            .map(|&v| v.signum() * solve_coordinate(v.abs(), lambda, p))
+            .collect()
+    };
+    // Bracket λ by doubling until the solution falls inside the ball.
+    let mut hi = 1.0;
+    for _ in 0..200 {
+        if vector::norm_p(&solve_at(hi), p) <= r {
+            break;
+        }
+        hi *= 2.0;
+    }
+    let mut lo = 0.0;
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if vector::norm_p(&solve_at(mid), p) > r {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    solve_at(0.5 * (lo + hi))
+}
+
+impl WidthSet for LpBall {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn support_value(&self, g: &[f64]) -> f64 {
+        // Hölder: sup_{‖a‖_p ≤ r} ⟨a, g⟩ = r‖g‖_q.
+        self.radius * vector::norm_p(g, self.q())
+    }
+
+    /// `w(cB_p^d) ≈ c·d^{1−1/p}` (§2 of the paper).
+    fn width_bound(&self) -> f64 {
+        self.radius * (self.dim as f64).powf(1.0 - 1.0 / self.p)
+    }
+
+    fn diameter(&self) -> f64 {
+        // B_p ⊂ B_2 scaled: max ‖θ‖₂ over ‖θ‖_p ≤ r is r (attained at a
+        // standard basis vector) because p < 2 implies ‖θ‖₂ ≤ ‖θ‖_p.
+        self.radius
+    }
+}
+
+impl ConvexSet for LpBall {
+    fn project(&self, x: &[f64]) -> Vec<f64> {
+        project_lp(x, self.p, self.radius)
+    }
+
+    fn support(&self, g: &[f64]) -> Vec<f64> {
+        let q = self.q();
+        let nq = vector::norm_p(g, q);
+        if nq == 0.0 {
+            return vec![0.0; self.dim];
+        }
+        // Gradient of the dual norm: a_i = r·sign(g_i)|g_i|^{q−1}/‖g‖_q^{q−1}.
+        g.iter()
+            .map(|&gi| self.radius * gi.signum() * (gi.abs() / nq).powf(q - 1.0))
+            .collect()
+    }
+
+    fn gauge(&self, x: &[f64]) -> f64 {
+        vector::norm_p(x, self.p) / self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_points_are_fixed() {
+        let ball = LpBall::new(3, 1.5, 1.0);
+        let x = [0.3, -0.2, 0.1];
+        assert_eq!(ball.project(&x), x.to_vec());
+    }
+
+    #[test]
+    fn projection_lands_on_boundary() {
+        let ball = LpBall::new(3, 1.5, 1.0);
+        let p = ball.project(&[2.0, -1.0, 0.5]);
+        let n = vector::norm_p(&p, 1.5);
+        assert!((n - 1.0).abs() < 1e-6, "boundary norm {n}");
+    }
+
+    #[test]
+    fn projection_is_optimal_against_candidates() {
+        // No feasible candidate should be closer to x than the projection.
+        let ball = LpBall::new(2, 1.3, 1.0);
+        let x = [3.0, 1.0];
+        let p = ball.project(&x);
+        let d_star = vector::distance(&x, &p);
+        for cand in [[1.0, 0.0], [0.0, 1.0], [0.7, 0.5], [-0.2, 0.3]] {
+            if vector::norm_p(&cand, 1.3) <= 1.0 {
+                assert!(vector::distance(&x, &cand) >= d_star - 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn support_attains_hoelder_bound() {
+        let ball = LpBall::new(3, 1.5, 2.0);
+        let g = [1.0, -2.0, 0.5];
+        let s = ball.support(&g);
+        let attained = vector::dot(&s, &g);
+        assert!((attained - ball.support_value(&g)).abs() < 1e-9);
+        // And s is feasible.
+        assert!(vector::norm_p(&s, 1.5) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn width_between_l1_and_l2_orders() {
+        let d = 10_000usize;
+        let l1ish = LpBall::new(d, 1.01, 1.0).width_bound();
+        let l2ish = LpBall::new(d, 1.99, 1.0).width_bound();
+        assert!(l1ish < l2ish);
+        assert!(l2ish < (d as f64).sqrt() * 1.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 < p < 2")]
+    fn rejects_out_of_range_p() {
+        let _ = LpBall::new(2, 2.0, 1.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Concrete constraint sets and input domains.
+
+mod boxes;
+mod group;
+mod hull;
+mod l1;
+mod l2;
+mod lp;
+mod simplex;
+mod sparse;
+
+pub use boxes::{BoxSet, LinfBall};
+pub use group::GroupL1Ball;
+pub use hull::PolytopeHull;
+pub use l1::L1Ball;
+pub use l2::L2Ball;
+pub use lp::LpBall;
+pub use simplex::Simplex;
+pub use sparse::KSparseDomain;

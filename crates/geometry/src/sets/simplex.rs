@@ -1,0 +1,154 @@
+//! The scaled probability simplex `{θ ≥ 0, Σθ_i = s}` — a §5.2 example of
+//! a `Θ(√log d)`-width constraint set (portfolio-style regression).
+
+use crate::traits::{ConvexSet, WidthSet};
+use pir_linalg::vector;
+
+/// Probability simplex scaled by `scale` (`scale = 1` is the standard one).
+#[derive(Debug, Clone)]
+pub struct Simplex {
+    dim: usize,
+    scale: f64,
+}
+
+impl Simplex {
+    /// New simplex; `scale` must be positive and finite, `dim ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters.
+    pub fn new(dim: usize, scale: f64) -> Self {
+        assert!(dim >= 1, "Simplex needs dim >= 1");
+        assert!(scale.is_finite() && scale > 0.0, "Simplex scale must be positive");
+        Simplex { dim, scale }
+    }
+
+    /// Standard probability simplex.
+    pub fn standard(dim: usize) -> Self {
+        Self::new(dim, 1.0)
+    }
+
+    /// The mass constraint `Σθ = scale`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// Projection onto `{θ ≥ 0, Σθ = s}` (Held–Wolfe–Crowder / Duchi et al.):
+/// sort, find the pivot, shift and clip. `O(d log d)`.
+fn project_simplex(x: &[f64], s: f64) -> Vec<f64> {
+    let mut u = x.to_vec();
+    u.sort_unstable_by(|a, b| b.partial_cmp(a).expect("NaN in project_simplex"));
+    let mut cumsum = 0.0;
+    let mut lambda = 0.0;
+    for (j, &uj) in u.iter().enumerate() {
+        cumsum += uj;
+        let candidate = (s - cumsum) / (j as f64 + 1.0);
+        if uj + candidate > 0.0 {
+            lambda = candidate;
+        } else {
+            break;
+        }
+    }
+    x.iter().map(|&v| (v + lambda).max(0.0)).collect()
+}
+
+impl WidthSet for Simplex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn support_value(&self, g: &[f64]) -> f64 {
+        // sup over the simplex of ⟨θ, g⟩ = s · max_i g_i.
+        self.scale * g.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+    }
+
+    /// `w(s·Δ^d) ≤ s·√(2 ln d)` — same `Θ(√log d)` class as the L1 ball.
+    fn width_bound(&self) -> f64 {
+        if self.dim <= 1 {
+            return self.scale;
+        }
+        self.scale * (2.0 * (self.dim as f64).ln()).sqrt().max(1.0)
+    }
+
+    fn diameter(&self) -> f64 {
+        // The farthest point from the origin is a vertex s·e_i.
+        self.scale
+    }
+}
+
+impl ConvexSet for Simplex {
+    fn project(&self, x: &[f64]) -> Vec<f64> {
+        project_simplex(x, self.scale)
+    }
+
+    fn support(&self, g: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        if let Some(i) = vector::argmax(g) {
+            out[i] = self.scale;
+        }
+        out
+    }
+
+    /// The simplex is not symmetric: its gauge is `Σθ_i / s` on the
+    /// non-negative orthant and `+∞` anywhere else.
+    fn gauge(&self, x: &[f64]) -> f64 {
+        if x.iter().any(|&v| v < 0.0) {
+            f64::INFINITY
+        } else {
+            x.iter().sum::<f64>() / self.scale
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_satisfies_constraints() {
+        let s = Simplex::standard(4);
+        let p = s.project(&[0.5, -1.0, 2.0, 0.1]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn interior_feasible_point_fixed() {
+        let s = Simplex::standard(2);
+        let p = s.project(&[0.25, 0.75]);
+        assert!(vector::distance(&p, &[0.25, 0.75]) < 1e-12);
+    }
+
+    #[test]
+    fn projection_of_symmetric_point_is_uniform() {
+        let s = Simplex::standard(3);
+        let p = s.project(&[5.0, 5.0, 5.0]);
+        for v in p {
+            assert!((v - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn support_is_best_vertex() {
+        let s = Simplex::new(3, 2.0);
+        let g = [0.1, 0.9, -1.0];
+        assert_eq!(s.support(&g), vec![0.0, 2.0, 0.0]);
+        assert!((s.support_value(&g) - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_handles_asymmetry() {
+        let s = Simplex::standard(2);
+        assert!((s.gauge(&[0.5, 0.5]) - 1.0).abs() < 1e-12);
+        assert!((s.gauge(&[0.25, 0.25]) - 0.5).abs() < 1e-12);
+        assert_eq!(s.gauge(&[-0.1, 0.5]), f64::INFINITY);
+    }
+
+    #[test]
+    fn scaled_simplex() {
+        let s = Simplex::new(2, 10.0);
+        let p = s.project(&[0.0, 0.0]);
+        assert!((p.iter().sum::<f64>() - 10.0).abs() < 1e-9);
+        assert_eq!(s.diameter(), 10.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Monte-Carlo estimation of Gaussian width (Definition 3):
+//! `w(S) = E_{g ∼ N(0, I_d)} [sup_{a ∈ S} ⟨a, g⟩]`.
+//!
+//! The analytic `width_bound`s on the sets are upper bounds tight up to
+//! universal constants; this estimator gives the actual value, used by the
+//! experiment harness (E6) to report measured widths next to measured
+//! excess risks, and by Algorithm 3 callers who want a data-driven `m`.
+
+use crate::traits::WidthSet;
+use pir_dp::NoiseRng;
+
+/// Monte-Carlo width estimate with its standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WidthEstimate {
+    /// Sample mean of `sup_{a∈S} ⟨a, g⟩` over the Gaussian draws.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Number of Gaussian draws used.
+    pub samples: usize,
+}
+
+/// Estimate `w(S)` with `samples` i.i.d. standard Gaussian directions.
+///
+/// # Panics
+/// Panics if `samples == 0`.
+pub fn monte_carlo<S: WidthSet + ?Sized>(
+    set: &S,
+    samples: usize,
+    rng: &mut NoiseRng,
+) -> WidthEstimate {
+    assert!(samples > 0, "need at least one sample");
+    let d = set.dim();
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for _ in 0..samples {
+        let g = rng.gaussian_vec(d, 1.0);
+        let v = set.support_value(&g);
+        sum += v;
+        sum_sq += v * v;
+    }
+    let n = samples as f64;
+    let mean = sum / n;
+    let var = (sum_sq / n - mean * mean).max(0.0);
+    WidthEstimate { mean, std_error: (var / n).sqrt(), samples }
+}
+
+/// Combined width `W = w(X) + w(C)` (the quantity in Theorem 5.7), using
+/// the analytic bounds.
+pub fn combined_width_bound(domain: &dyn WidthSet, constraint: &dyn WidthSet) -> f64 {
+    domain.width_bound() + constraint.width_bound()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sets::{KSparseDomain, L1Ball, L2Ball, LinfBall, Simplex};
+
+    fn rng() -> NoiseRng {
+        NoiseRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn l2_ball_width_is_close_to_sqrt_d() {
+        // E‖g‖₂ ∈ [√(d−1), √d]; MC should land within a few std errors.
+        let set = L2Ball::unit(64);
+        let est = monte_carlo(&set, 4000, &mut rng());
+        assert!((est.mean - 8.0).abs() < 0.2, "mean {}", est.mean);
+        assert!(est.mean <= set.width_bound() + 3.0 * est.std_error);
+    }
+
+    #[test]
+    fn l1_ball_width_matches_log_growth_and_bound() {
+        let set = L1Ball::unit(1000);
+        let est = monte_carlo(&set, 4000, &mut rng());
+        // E max|g_i| for d=1000 is ≈ 3.24; bound is √(2 ln 2000) ≈ 3.90.
+        assert!(est.mean > 2.5 && est.mean < set.width_bound(), "mean {}", est.mean);
+    }
+
+    #[test]
+    fn simplex_width_close_to_l1_half() {
+        // Simplex support is max g_i (one-sided); its width is slightly
+        // below the (two-sided) L1-ball width.
+        let sim = Simplex::standard(1000);
+        let l1 = L1Ball::unit(1000);
+        let ws = monte_carlo(&sim, 3000, &mut rng()).mean;
+        let w1 = monte_carlo(&l1, 3000, &mut rng()).mean;
+        assert!(ws < w1);
+        assert!(ws > 0.5 * w1);
+    }
+
+    #[test]
+    fn linf_width_is_linear_in_d() {
+        let set = LinfBall::new(50, 1.0);
+        let est = monte_carlo(&set, 2000, &mut rng());
+        let expect = 50.0 * (2.0 / std::f64::consts::PI).sqrt();
+        assert!((est.mean - expect).abs() / expect < 0.05, "mean {}", est.mean);
+    }
+
+    #[test]
+    fn ksparse_width_between_orders() {
+        let dom = KSparseDomain::new(2000, 10, 1.0);
+        let est = monte_carlo(&dom, 1500, &mut rng());
+        // Must be well below √d ≈ 44.7 and above √k ≈ 3.16.
+        assert!(est.mean < 20.0, "mean {}", est.mean);
+        assert!(est.mean > 3.0, "mean {}", est.mean);
+        assert!(est.mean <= dom.width_bound());
+    }
+
+    #[test]
+    fn combined_width_adds() {
+        let x = KSparseDomain::new(100, 5, 1.0);
+        let c = L1Ball::unit(100);
+        let w = combined_width_bound(&x, &c);
+        assert!((w - (x.width_bound() + c.width_bound())).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        let set = L2Ball::unit(2);
+        let _ = monte_carlo(&set, 0, &mut rng());
+    }
+}

@@ -1,0 +1,149 @@
+//! Uniform laws every convex set implementation must satisfy, checked by
+//! property-based testing across all sets:
+//!
+//! 1. **Membership**: `P_C(x) ∈ C`.
+//! 2. **Idempotence**: `P_C(P_C(x)) = P_C(x)`.
+//! 3. **Firm nonexpansiveness (weak form)**: `‖P_C(x) − P_C(y)‖ ≤ ‖x − y‖`.
+//! 4. **Variational optimality**: `⟨x − P_C(x), z − P_C(x)⟩ ≤ 0 ∀ z ∈ C`.
+//! 5. **Gauge consistency**: `gauge(x) ≤ 1 + tol ⇔ x ∈ C` (symmetric sets).
+//! 6. **Support dominance**: `⟨support(g), g⟩ ≥ ⟨z, g⟩ ∀ z ∈ C`.
+
+use pir_geometry::{
+    BoxSet, ConvexSet, GroupL1Ball, L1Ball, L2Ball, LinfBall, LpBall, PolytopeHull, Simplex,
+};
+use proptest::prelude::*;
+
+const DIM: usize = 6;
+
+fn all_sets() -> Vec<(&'static str, Box<dyn ConvexSet>, f64)> {
+    // (name, set, projection tolerance) — FW-projected hulls are iterative
+    // and get a looser tolerance than the closed-form projections.
+    vec![
+        ("l2", Box::new(L2Ball::new(DIM, 1.5)), 1e-9),
+        ("l1", Box::new(L1Ball::new(DIM, 1.2)), 1e-9),
+        ("linf", Box::new(LinfBall::new(DIM, 0.8)), 1e-9),
+        (
+            "box",
+            Box::new(BoxSet::new(vec![-1.0, 0.0, -0.5, -2.0, 0.1, -0.1], vec![1.0; DIM])),
+            1e-9,
+        ),
+        ("simplex", Box::new(Simplex::new(DIM, 1.0)), 1e-9),
+        ("lp1.5", Box::new(LpBall::new(DIM, 1.5, 1.0)), 1e-5),
+        ("group", Box::new(GroupL1Ball::new(DIM, 2, 1.0)), 1e-9),
+        (
+            "hull",
+            Box::new(PolytopeHull::cross_polytope(DIM, 1.0).with_projection_iters(1200)),
+            8e-3,
+        ),
+    ]
+}
+
+fn point() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-3.0f64..3.0, DIM)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn projection_membership_and_idempotence(x in point()) {
+        for (name, set, tol) in all_sets() {
+            let p = set.project(&x);
+            prop_assert!(set.contains(&p, 10.0 * tol), "{name}: projection not a member");
+            let pp = set.project(&p);
+            prop_assert!(
+                pir_linalg::vector::distance(&p, &pp) <= 20.0 * tol,
+                "{name}: projection not idempotent"
+            );
+        }
+    }
+
+    #[test]
+    fn projection_nonexpansive(x in point(), y in point()) {
+        for (name, set, tol) in all_sets() {
+            let px = set.project(&x);
+            let py = set.project(&y);
+            let lhs = pir_linalg::vector::distance(&px, &py);
+            let rhs = pir_linalg::vector::distance(&x, &y);
+            prop_assert!(lhs <= rhs + 100.0 * tol, "{name}: expansion {lhs} > {rhs}");
+        }
+    }
+
+    #[test]
+    fn variational_inequality(x in point(), z_raw in point()) {
+        for (name, set, tol) in all_sets() {
+            let p = set.project(&x);
+            // A feasible comparison point: the projection of z_raw.
+            let z = set.project(&z_raw);
+            let gap: f64 = pir_linalg::vector::dot(
+                &pir_linalg::vector::sub(&x, &p),
+                &pir_linalg::vector::sub(&z, &p),
+            );
+            prop_assert!(gap <= 1000.0 * tol.max(1e-7), "{name}: VI violated, gap {gap}");
+        }
+    }
+
+    #[test]
+    fn support_dominates_members(g in point(), z_raw in point()) {
+        for (name, set, tol) in all_sets() {
+            let z = set.project(&z_raw);
+            let sv = set.support_value(&g);
+            let zv = pir_linalg::vector::dot(&z, &g);
+            prop_assert!(zv <= sv + 100.0 * tol.max(1e-7), "{name}: member beats support");
+            // The reported maximizer attains the support value.
+            let s = set.support(&g);
+            let attained = pir_linalg::vector::dot(&s, &g);
+            prop_assert!(
+                (attained - sv).abs() <= 1e-6 * sv.abs().max(1.0),
+                "{name}: support vector does not attain the support value"
+            );
+        }
+    }
+
+    #[test]
+    fn gauge_member_consistency(x in point()) {
+        for (name, set, tol) in all_sets() {
+            let g = set.gauge(&x);
+            let member = set.contains(&x, 10.0 * tol.max(1e-8));
+            if member {
+                prop_assert!(g <= 1.0 + 1e-3, "{name}: member has gauge {g} > 1");
+            }
+            if g.is_finite() && g <= 1.0 - 1e-3 {
+                prop_assert!(member, "{name}: gauge {g} < 1 but not a member");
+            }
+        }
+    }
+
+    #[test]
+    fn gauge_scaling_homogeneity(x in point(), alpha in 0.1f64..3.0) {
+        // gauge(αx) = α·gauge(x) for symmetric sets (positive homogeneity).
+        for (name, set, _tol) in all_sets() {
+            if name == "simplex" || name == "box" {
+                continue; // not symmetric / not homogeneous around 0
+            }
+            let g1 = set.gauge(&x);
+            let scaled: Vec<f64> = x.iter().map(|v| alpha * v).collect();
+            let g2 = set.gauge(&scaled);
+            if g1.is_finite() && g1 > 1e-9 {
+                // Iterative (FW) projections bound the achievable absolute
+                // gauge accuracy; allow that slack on top of 1% relative.
+                let slack = 1e-2 * alpha.max(1.0) + 3.0 * set.projection_accuracy();
+                prop_assert!(
+                    (g2 / g1 - alpha).abs() < slack,
+                    "{name}: gauge not homogeneous: {g2} vs {}", alpha * g1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_dominates_members(z_raw in point()) {
+        for (name, set, tol) in all_sets() {
+            let z = set.project(&z_raw);
+            prop_assert!(
+                pir_linalg::vector::norm2(&z) <= set.diameter() + 100.0 * tol.max(1e-7),
+                "{name}: member norm exceeds diameter"
+            );
+        }
+    }
+}

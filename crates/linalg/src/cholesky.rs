@@ -1,0 +1,221 @@
+//! Cholesky factorization and symmetric positive-definite solves.
+//!
+//! Used by the lifting step of Algorithm 3 (projection onto the affine
+//! subspace `{θ : Φθ = ϑ}` requires solving `(ΦΦᵀ) z = r`, an `m × m`
+//! SPD system) and by exact ridge-regression reference solvers.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    /// `n × n` lower-triangular factor (upper part is zero).
+    l: Matrix,
+}
+
+impl CholeskyFactor {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the input is the
+    /// caller's contract. `jitter ≥ 0` is added to the diagonal before
+    /// factoring (callers solving nearly-singular Gram systems pass a small
+    /// ridge, e.g. `1e-10`).
+    ///
+    /// # Errors
+    /// [`LinalgError::NotPositiveDefinite`] if a pivot is `≤ 0`;
+    /// [`LinalgError::DimensionMismatch`] if `a` is not square.
+    pub fn factor(a: &Matrix, jitter: f64) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky",
+                expected: a.rows(),
+                found: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                if i == j {
+                    sum += jitter;
+                }
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(CholeskyFactor { l })
+    }
+
+    /// Dimension `n` of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` via forward then backward substitution.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve",
+                expected: n,
+                found: b.len(),
+            });
+        }
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l.get(i, k) * y[k];
+            }
+            y[i] = s / self.l.get(i, i);
+        }
+        // Backward: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l.get(k, i) * x[k];
+            }
+            x[i] = s / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of `A` (`2 Σ log Lᵢᵢ`); useful for diagnostics.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Solve the ridge system `(AᵀA + λI) x = Aᵀ b` for tall `A` — the exact
+/// (unconstrained) regularized least-squares estimator used as a reference
+/// by tests and experiments.
+///
+/// # Errors
+/// Propagates shape errors and [`LinalgError::NotPositiveDefinite`] when
+/// `λ = 0` and `AᵀA` is singular.
+pub fn ridge_solve(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "ridge_solve",
+            expected: a.rows(),
+            found: b.len(),
+        });
+    }
+    let at = a.transpose();
+    let mut gram = at.matmul(a)?;
+    for i in 0..gram.rows() {
+        let v = gram.get(i, i) + lambda;
+        gram.set(i, i, v);
+    }
+    let rhs = a.matvec_t(b)?;
+    CholeskyFactor::factor(&gram, 0.0)?.solve(&rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for a fixed B, guaranteed SPD.
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[0.5, -1.0], &[2.0, 0.0]]).unwrap();
+        let mut a = b.gram_rows();
+        for i in 0..3 {
+            let v = a.get(i, i) + 1.0;
+            a.set(i, i, v);
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let f = CholeskyFactor::factor(&a, 0.0).unwrap();
+        let rec = f.l().matmul(&f.l().transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec.get(i, j) - a.get(i, j)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = CholeskyFactor::factor(&a, 0.0).unwrap().solve(&b).unwrap();
+        assert!(vector::distance(&x, &x_true) < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_positive_definite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            CholeskyFactor::factor(&a, 0.0),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        let a = Matrix::outer(&[1.0, 1.0], &[1.0, 1.0]); // rank 1, PSD not PD
+        assert!(CholeskyFactor::factor(&a, 0.0).is_err());
+        assert!(CholeskyFactor::factor(&a, 1e-8).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            CholeskyFactor::factor(&a, 0.0),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_checks_rhs_length() {
+        let f = CholeskyFactor::factor(&spd3(), 0.0).unwrap();
+        assert!(f.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn log_det_of_identity_is_zero() {
+        let f = CholeskyFactor::factor(&Matrix::identity(4), 0.0).unwrap();
+        assert!(f.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_solve_matches_normal_equations() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = [1.0, 2.0, 3.0]; // exactly linear: intercept 1, slope 1
+        let x = ridge_solve(&a, &b, 0.0).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+        // Heavy ridge shrinks toward zero.
+        let xr = ridge_solve(&a, &b, 1e6).unwrap();
+        assert!(vector::norm2(&xr) < 1e-3);
+    }
+}

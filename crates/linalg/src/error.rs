@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Errors produced by `pir-linalg` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible (`expected` vs `found`, in elements).
+    DimensionMismatch {
+        /// Human-readable operation name, e.g. `"matvec"`.
+        op: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+    /// A matrix expected to be (strictly) positive definite was not.
+    NotPositiveDefinite {
+        /// Index of the pivot that failed.
+        pivot: usize,
+    },
+    /// An input contained `NaN` or `±∞`.
+    NonFinite {
+        /// Human-readable operation name.
+        op: &'static str,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    DidNotConverge {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Iterations performed before giving up.
+        iters: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, expected, found } => {
+                write!(f, "{op}: dimension mismatch (expected {expected}, found {found})")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::NonFinite { op } => write!(f, "{op}: non-finite input"),
+            LinalgError::DidNotConverge { op, iters } => {
+                write!(f, "{op}: did not converge after {iters} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

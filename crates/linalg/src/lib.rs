@@ -1,0 +1,31 @@
+//! # pir-linalg
+//!
+//! Minimal, dependency-free dense linear algebra substrate for the
+//! `private-incremental-regression` workspace.
+//!
+//! The paper's mechanisms only need a small surface: vector arithmetic,
+//! row-major dense matrices with matrix–vector products and rank-1 updates
+//! (for maintaining `Σ xᵢxᵢᵀ`), a Cholesky factorization (for the affine
+//! projection inside the lifting step of Algorithm 3), and a power-iteration
+//! spectral-norm estimate (FISTA step sizes). Everything is `f64`; all entry
+//! points validate dimensions and finiteness and return [`LinalgError`]
+//! rather than panicking on user input.
+//!
+//! No external BLAS is used: streams in this workspace have `d ≲ 10⁴` and
+//! `m ≲ 10³`, where straightforward loops (which LLVM auto-vectorizes) are
+//! adequate and keep the library fully self-contained.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod error;
+mod matrix;
+pub mod vector;
+
+pub use cholesky::{ridge_solve, CholeskyFactor};
+pub use error::LinalgError;
+pub use matrix::Matrix;
+
+/// Convenient result alias for fallible linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,269 @@
+//! Free functions over `&[f64]` vectors.
+//!
+//! Vectors are plain slices so callers can keep data in whatever container
+//! they like; every function asserts matching lengths via debug assertions
+//! (hot paths) or returns [`LinalgError`](crate::LinalgError) (checked
+//! entry points are on [`Matrix`](crate::Matrix)).
+
+/// Dot product `⟨a, b⟩`.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm `‖v‖₂`.
+#[inline]
+pub fn norm2(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+/// Squared Euclidean norm `‖v‖₂²`.
+#[inline]
+pub fn norm2_sq(v: &[f64]) -> f64 {
+    dot(v, v)
+}
+
+/// L1 norm `‖v‖₁ = Σ|vᵢ|`.
+#[inline]
+pub fn norm1(v: &[f64]) -> f64 {
+    v.iter().map(|x| x.abs()).sum()
+}
+
+/// L∞ norm `max |vᵢ|` (0 for the empty vector).
+#[inline]
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// General Lp norm for `p ≥ 1`.
+#[inline]
+pub fn norm_p(v: &[f64], p: f64) -> f64 {
+    debug_assert!(p >= 1.0, "norm_p requires p >= 1");
+    v.iter().map(|x| x.abs().powf(p)).sum::<f64>().powf(1.0 / p)
+}
+
+/// Euclidean distance `‖a − b‖₂`.
+#[inline]
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "distance: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// `y ← y + alpha·x` (BLAS `axpy`).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Elementwise sum `a + b` as a new vector.
+#[inline]
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Elementwise difference `a − b` as a new vector.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// In-place scaling `v ← alpha·v`.
+#[inline]
+pub fn scale_mut(v: &mut [f64], alpha: f64) {
+    for x in v {
+        *x *= alpha;
+    }
+}
+
+/// Scaled copy `alpha·v` as a new vector.
+#[inline]
+pub fn scale(v: &[f64], alpha: f64) -> Vec<f64> {
+    v.iter().map(|x| alpha * x).collect()
+}
+
+/// Unit-normalized copy of `v`, or `None` when `‖v‖₂ = 0` or is non-finite.
+#[inline]
+pub fn normalize(v: &[f64]) -> Option<Vec<f64>> {
+    let n = norm2(v);
+    if n == 0.0 || !n.is_finite() {
+        None
+    } else {
+        Some(scale(v, 1.0 / n))
+    }
+}
+
+/// `true` iff every entry is finite (no NaN / ±∞).
+#[inline]
+pub fn is_finite(v: &[f64]) -> bool {
+    v.iter().all(|x| x.is_finite())
+}
+
+/// All-zero vector of length `d`.
+#[inline]
+pub fn zeros(d: usize) -> Vec<f64> {
+    vec![0.0; d]
+}
+
+/// Standard basis vector `e_i` in `R^d`.
+///
+/// # Panics
+/// Panics if `i >= d`.
+pub fn basis(d: usize, i: usize) -> Vec<f64> {
+    assert!(i < d, "basis: index {i} out of range for dimension {d}");
+    let mut v = vec![0.0; d];
+    v[i] = 1.0;
+    v
+}
+
+/// Index of the entry with maximum absolute value (`None` for empty input).
+pub fn argmax_abs(v: &[f64]) -> Option<usize> {
+    v.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.abs().partial_cmp(&b.abs()).expect("NaN in argmax_abs"))
+        .map(|(i, _)| i)
+}
+
+/// Index of the entry with maximum value (`None` for empty input).
+pub fn argmax(v: &[f64]) -> Option<usize> {
+    v.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("NaN in argmax"))
+        .map(|(i, _)| i)
+}
+
+/// Number of non-zero entries (exact zero comparison; inputs are synthetic).
+#[inline]
+pub fn nnz(v: &[f64]) -> usize {
+    v.iter().filter(|x| **x != 0.0).count()
+}
+
+/// Keep the `k` largest-magnitude entries, zeroing the rest (hard threshold).
+///
+/// Used for the k-sparse input domain of §5.2; this is the (non-convex)
+/// Euclidean "projection" onto the set of k-sparse vectors.
+pub fn hard_threshold(v: &[f64], k: usize) -> Vec<f64> {
+    if k >= v.len() {
+        return v.to_vec();
+    }
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_unstable_by(|&i, &j| {
+        v[j].abs()
+            .partial_cmp(&v[i].abs())
+            .expect("NaN in hard_threshold")
+    });
+    let mut out = vec![0.0; v.len()];
+    for &i in idx.iter().take(k) {
+        out[i] = v[i];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms_agree_on_small_vectors() {
+        let a = [3.0, 4.0];
+        assert_eq!(dot(&a, &a), 25.0);
+        assert_eq!(norm2(&a), 5.0);
+        assert_eq!(norm1(&a), 7.0);
+        assert_eq!(norm_inf(&a), 4.0);
+        assert!((norm_p(&a, 2.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_p_interpolates_between_l1_and_l2() {
+        let v = [1.0, -2.0, 0.5];
+        let p15 = norm_p(&v, 1.5);
+        assert!(p15 <= norm1(&v) + 1e-12);
+        assert!(p15 >= norm2(&v) - 1e-12);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 21.0]);
+    }
+
+    #[test]
+    fn add_sub_scale_roundtrip() {
+        let a = [1.0, -2.0, 3.0];
+        let b = [0.5, 0.5, 0.5];
+        let s = add(&a, &b);
+        let back = sub(&s, &b);
+        for (x, y) in back.iter().zip(&a) {
+            assert!((x - y).abs() < 1e-15);
+        }
+        assert_eq!(scale(&a, 2.0), vec![2.0, -4.0, 6.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm_and_zero_rejection() {
+        let v = [3.0, 4.0];
+        let u = normalize(&v).unwrap();
+        assert!((norm2(&u) - 1.0).abs() < 1e-12);
+        assert!(normalize(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn basis_vectors_are_orthonormal() {
+        let e0 = basis(3, 0);
+        let e1 = basis(3, 1);
+        assert_eq!(dot(&e0, &e1), 0.0);
+        assert_eq!(norm2(&e0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn basis_rejects_out_of_range_index() {
+        let _ = basis(2, 5);
+    }
+
+    #[test]
+    fn argmax_variants() {
+        let v = [1.0, -5.0, 3.0];
+        assert_eq!(argmax_abs(&v), Some(1));
+        assert_eq!(argmax(&v), Some(2));
+        assert_eq!(argmax_abs(&[]), None);
+    }
+
+    #[test]
+    fn hard_threshold_keeps_top_k_magnitudes() {
+        let v = [0.1, -3.0, 2.0, 0.0, -0.5];
+        let t = hard_threshold(&v, 2);
+        assert_eq!(t, vec![0.0, -3.0, 2.0, 0.0, 0.0]);
+        assert_eq!(nnz(&t), 2);
+        // k >= len is the identity.
+        assert_eq!(hard_threshold(&v, 10), v.to_vec());
+    }
+
+    #[test]
+    fn is_finite_detects_nan_and_inf() {
+        assert!(is_finite(&[1.0, 2.0]));
+        assert!(!is_finite(&[1.0, f64::NAN]));
+        assert!(!is_finite(&[f64::INFINITY]));
+    }
+
+    #[test]
+    fn distance_matches_norm_of_difference() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 6.0, 3.0];
+        assert!((distance(&a, &b) - 5.0).abs() < 1e-12);
+    }
+}

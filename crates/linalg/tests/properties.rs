@@ -1,0 +1,104 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use pir_linalg::{vector, CholeskyFactor, Matrix};
+use proptest::prelude::*;
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #[test]
+    fn cauchy_schwarz(a in vec_strategy(8), b in vec_strategy(8)) {
+        let lhs = vector::dot(&a, &b).abs();
+        let rhs = vector::norm2(&a) * vector::norm2(&b);
+        prop_assert!(lhs <= rhs + 1e-6 * rhs.max(1.0));
+    }
+
+    #[test]
+    fn triangle_inequality(a in vec_strategy(8), b in vec_strategy(8)) {
+        let s = vector::add(&a, &b);
+        prop_assert!(vector::norm2(&s) <= vector::norm2(&a) + vector::norm2(&b) + 1e-9);
+        prop_assert!(vector::norm1(&s) <= vector::norm1(&a) + vector::norm1(&b) + 1e-9);
+    }
+
+    #[test]
+    fn norm_ordering(v in vec_strategy(12)) {
+        // ‖v‖∞ ≤ ‖v‖₂ ≤ ‖v‖₁ for every vector.
+        let (li, l2, l1) = (vector::norm_inf(&v), vector::norm2(&v), vector::norm1(&v));
+        prop_assert!(li <= l2 + 1e-9);
+        prop_assert!(l2 <= l1 + 1e-9);
+    }
+
+    #[test]
+    fn matvec_linearity(
+        data in vec_strategy(12),
+        x in vec_strategy(4),
+        y in vec_strategy(4),
+        alpha in -10.0f64..10.0,
+    ) {
+        let m = Matrix::from_vec(3, 4, data).unwrap();
+        // M(alpha x + y) == alpha Mx + My
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(a, b)| alpha * a + b).collect();
+        let lhs = m.matvec(&combo).unwrap();
+        let mx = m.matvec(&x).unwrap();
+        let my = m.matvec(&y).unwrap();
+        for i in 0..3 {
+            let rhs = alpha * mx[i] + my[i];
+            prop_assert!((lhs[i] - rhs).abs() < 1e-6 * rhs.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn matvec_t_is_transpose_matvec(data in vec_strategy(12), y in vec_strategy(3)) {
+        let m = Matrix::from_vec(3, 4, data).unwrap();
+        let a = m.matvec_t(&y).unwrap();
+        let b = m.transpose().matvec(&y).unwrap();
+        for (x, z) in a.iter().zip(&b) {
+            prop_assert!((x - z).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_roundtrip(rows in vec_strategy(12), x in vec_strategy(3)) {
+        // Build SPD as B Bᵀ + I.
+        let b = Matrix::from_vec(3, 4, rows).unwrap();
+        let mut a = b.gram_rows();
+        for i in 0..3 {
+            let v = a.get(i, i) + 1.0;
+            a.set(i, i, v);
+        }
+        let rhs = a.matvec(&x).unwrap();
+        let sol = CholeskyFactor::factor(&a, 0.0).unwrap().solve(&rhs).unwrap();
+        prop_assert!(vector::distance(&sol, &x) < 1e-5 * vector::norm2(&x).max(1.0));
+    }
+
+    #[test]
+    fn spectral_norm_dominates_matvec_gain(data in vec_strategy(12), x in vec_strategy(4)) {
+        let m = Matrix::from_vec(3, 4, data).unwrap();
+        let s = m.spectral_norm(1e-9, 50_000).unwrap();
+        let gain = vector::norm2(&m.matvec(&x).unwrap());
+        prop_assert!(gain <= s * vector::norm2(&x) + 1e-6 * s.max(1.0));
+    }
+
+    #[test]
+    fn hard_threshold_is_best_k_term_l2_approximation(v in vec_strategy(10), k in 0usize..10) {
+        let t = vector::hard_threshold(&v, k);
+        prop_assert!(vector::nnz(&t) <= k);
+        // Residual of top-k selection never exceeds that of prefix selection.
+        let mut prefix = vec![0.0; v.len()];
+        prefix[..k].copy_from_slice(&v[..k]);
+        prop_assert!(vector::distance(&t, &v) <= vector::distance(&prefix, &v) + 1e-9);
+    }
+
+    #[test]
+    fn outer_matvec_identity(u in vec_strategy(5), v in vec_strategy(4), x in vec_strategy(4)) {
+        // (u vᵀ) x = ⟨v, x⟩ u
+        let m = Matrix::outer(&u, &v);
+        let lhs = m.matvec(&x).unwrap();
+        let c = vector::dot(&v, &x);
+        for (l, ui) in lhs.iter().zip(&u) {
+            prop_assert!((l - c * ui).abs() < 1e-6 * (c * ui).abs().max(1.0));
+        }
+    }
+}

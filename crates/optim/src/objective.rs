@@ -1,0 +1,102 @@
+//! Objective abstraction and the quadratic test objective.
+
+use pir_linalg::{vector, Matrix};
+
+/// A differentiable (or subdifferentiable) objective `f : R^d → R`.
+pub trait Objective {
+    /// Ambient dimension.
+    fn dim(&self) -> usize;
+
+    /// Objective value `f(θ)`.
+    fn value(&self, theta: &[f64]) -> f64;
+
+    /// A gradient (or subgradient) of `f` at `θ`.
+    fn gradient(&self, theta: &[f64]) -> Vec<f64>;
+}
+
+/// The quadratic `f(θ) = ½ θᵀAθ − ⟨b, θ⟩ + c` with symmetric PSD `A` —
+/// the regression objective in sufficient-statistics form and the standard
+/// test objective for the optimizers.
+#[derive(Debug, Clone)]
+pub struct Quadratic {
+    a: Matrix,
+    b: Vec<f64>,
+    c: f64,
+}
+
+impl Quadratic {
+    /// New quadratic; `a` must be square and match `b`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn new(a: Matrix, b: Vec<f64>, c: f64) -> Self {
+        assert_eq!(a.rows(), a.cols(), "Quadratic needs a square matrix");
+        assert_eq!(a.rows(), b.len(), "Quadratic shape mismatch");
+        Quadratic { a, b, c }
+    }
+
+    /// The least-squares objective `‖y − Xθ‖²` in sufficient-statistics
+    /// form: `A = 2XᵀX`, `b = 2Xᵀy`, `c = ‖y‖²`.
+    pub fn least_squares(xtx: &Matrix, xty: &[f64], y_norm_sq: f64) -> Self {
+        let mut a = xtx.clone();
+        a.scale_mut(2.0);
+        Quadratic::new(a, vector::scale(xty, 2.0), y_norm_sq)
+    }
+
+    /// Smoothness constant (largest eigenvalue of `A`), via power
+    /// iteration; used to set FISTA step sizes.
+    pub fn smoothness(&self) -> f64 {
+        self.a.spectral_norm(1e-9, 100_000).unwrap_or(0.0)
+    }
+}
+
+impl Objective for Quadratic {
+    fn dim(&self) -> usize {
+        self.b.len()
+    }
+
+    fn value(&self, theta: &[f64]) -> f64 {
+        let at = self.a.matvec(theta).expect("dimension checked at construction");
+        0.5 * vector::dot(theta, &at) - vector::dot(&self.b, theta) + self.c
+    }
+
+    fn gradient(&self, theta: &[f64]) -> Vec<f64> {
+        let mut g = self.a.matvec(theta).expect("dimension checked at construction");
+        vector::axpy(-1.0, &self.b, &mut g);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_value_and_gradient() {
+        // f(θ) = ½(θ₀² + 4θ₁²) − θ₀; minimum at (1, 0) with value −0.5.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 4.0]]).unwrap();
+        let q = Quadratic::new(a, vec![1.0, 0.0], 0.0);
+        assert!((q.value(&[1.0, 0.0]) + 0.5).abs() < 1e-12);
+        let g = q.gradient(&[1.0, 0.0]);
+        assert!(vector::norm2(&g) < 1e-12);
+        assert!((q.smoothness() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn least_squares_form_matches_direct_residual() {
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[0.0, 2.0]]).unwrap();
+        let y = [1.0, 2.0, 2.0];
+        let xtx = x.transpose().matmul(&x).unwrap();
+        let xty = x.matvec_t(&y).unwrap();
+        let q = Quadratic::least_squares(&xtx, &xty, vector::norm2_sq(&y));
+        for theta in [[0.0, 0.0], [1.0, 1.0], [-0.5, 2.0]] {
+            let resid: f64 = (0..3)
+                .map(|i| {
+                    let pred = vector::dot(x.row(i), &theta);
+                    (y[i] - pred) * (y[i] - pred)
+                })
+                .sum();
+            assert!((q.value(&theta) - resid).abs() < 1e-9, "theta {theta:?}");
+        }
+    }
+}

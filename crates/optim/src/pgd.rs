@@ -1,0 +1,201 @@
+//! Exact-gradient first-order methods: projected gradient descent, FISTA,
+//! and Frank–Wolfe.
+
+use crate::objective::Objective;
+use pir_geometry::ConvexSet;
+use pir_linalg::vector;
+
+/// Step-size schedules for [`projected_gradient`].
+#[derive(Debug, Clone, Copy)]
+pub enum StepSize {
+    /// Fixed step `η`.
+    Constant(f64),
+    /// `η_k = c/√(k+1)` — the schedule for non-smooth objectives.
+    DiminishingSqrt(f64),
+}
+
+/// Configuration for [`projected_gradient`].
+#[derive(Debug, Clone, Copy)]
+pub struct PgdConfig {
+    /// Number of iterations `r`.
+    pub iters: usize,
+    /// Step-size rule.
+    pub step: StepSize,
+    /// Return the running average of iterates (needed for the standard
+    /// subgradient-method rate) instead of the last iterate.
+    pub average: bool,
+}
+
+impl PgdConfig {
+    /// Constant-step configuration with averaging.
+    pub fn averaged(iters: usize, eta: f64) -> Self {
+        PgdConfig { iters, step: StepSize::Constant(eta), average: true }
+    }
+
+    /// Last-iterate configuration (appropriate for smooth + small steps).
+    pub fn last_iterate(iters: usize, eta: f64) -> Self {
+        PgdConfig { iters, step: StepSize::Constant(eta), average: false }
+    }
+}
+
+/// Projected (sub)gradient descent:
+/// `θ_{k+1} = P_C(θ_k − η_k ∇f(θ_k))`, starting from `P_C(θ₀)`.
+pub fn projected_gradient<O: Objective + ?Sized, C: ConvexSet + ?Sized>(
+    obj: &O,
+    set: &C,
+    config: &PgdConfig,
+    theta0: &[f64],
+) -> Vec<f64> {
+    let mut theta = set.project(theta0);
+    let mut avg = vec![0.0; theta.len()];
+    for k in 0..config.iters {
+        let eta = match config.step {
+            StepSize::Constant(c) => c,
+            StepSize::DiminishingSqrt(c) => c / ((k + 1) as f64).sqrt(),
+        };
+        let g = obj.gradient(&theta);
+        vector::axpy(-eta, &g, &mut theta);
+        theta = set.project(&theta);
+        if config.average {
+            vector::axpy(1.0, &theta, &mut avg);
+        }
+    }
+    if config.average && config.iters > 0 {
+        vector::scale_mut(&mut avg, 1.0 / config.iters as f64);
+        avg
+    } else {
+        theta
+    }
+}
+
+/// FISTA (accelerated projected gradient) for an `L_s`-smooth convex
+/// objective: `O(1/k²)` value convergence. Used to solve the lifting
+/// program `min_{θ∈C} ‖Φθ − ϑ‖²` of Algorithm 3, Step 9.
+pub fn fista<O: Objective + ?Sized, C: ConvexSet + ?Sized>(
+    obj: &O,
+    set: &C,
+    smoothness: f64,
+    iters: usize,
+    theta0: &[f64],
+) -> Vec<f64> {
+    assert!(smoothness > 0.0, "fista needs a positive smoothness constant");
+    let step = 1.0 / smoothness;
+    let mut theta = set.project(theta0);
+    let mut momentum = theta.clone();
+    let mut t_k = 1.0f64;
+    for _ in 0..iters {
+        let g = obj.gradient(&momentum);
+        let mut next = momentum.clone();
+        vector::axpy(-step, &g, &mut next);
+        let next = set.project(&next);
+        let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t_k * t_k).sqrt());
+        let beta = (t_k - 1.0) / t_next;
+        momentum = next
+            .iter()
+            .zip(&theta)
+            .map(|(n, p)| n + beta * (n - p))
+            .collect();
+        theta = next;
+        t_k = t_next;
+    }
+    theta
+}
+
+/// Frank–Wolfe (conditional gradient) with the standard `2/(k+2)` step:
+/// projection-free; every iterate is a convex combination of support
+/// points, so it stays feasible by construction.
+pub fn frank_wolfe<O: Objective + ?Sized, C: ConvexSet + ?Sized>(
+    obj: &O,
+    set: &C,
+    iters: usize,
+    theta0: &[f64],
+) -> Vec<f64> {
+    let mut theta = set.project(theta0);
+    for k in 0..iters {
+        let g = obj.gradient(&theta);
+        let neg: Vec<f64> = g.iter().map(|v| -v).collect();
+        let s = set.support(&neg);
+        let gamma = 2.0 / (k as f64 + 2.0);
+        for (t, si) in theta.iter_mut().zip(&s) {
+            *t += gamma * (si - *t);
+        }
+    }
+    theta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Quadratic;
+    use pir_geometry::{L1Ball, L2Ball};
+    use pir_linalg::Matrix;
+
+    /// f(θ) = ‖θ − target‖², constrained to a ball excluding the target.
+    fn shifted_quadratic(target: &[f64]) -> Quadratic {
+        let d = target.len();
+        let mut a = Matrix::identity(d);
+        a.scale_mut(2.0);
+        Quadratic::new(a, vector::scale(target, 2.0), vector::norm2_sq(target))
+    }
+
+    #[test]
+    fn pgd_finds_constrained_optimum_on_ball_boundary() {
+        // Unconstrained optimum (3, 0); constrained to unit L2 ball the
+        // minimizer is (1, 0).
+        let obj = shifted_quadratic(&[3.0, 0.0]);
+        let set = L2Ball::unit(2);
+        let cfg = PgdConfig::last_iterate(500, 0.2);
+        let theta = projected_gradient(&obj, &set, &cfg, &[0.0, 0.0]);
+        assert!(vector::distance(&theta, &[1.0, 0.0]) < 1e-6, "{theta:?}");
+    }
+
+    #[test]
+    fn pgd_diminishing_step_with_averaging_converges() {
+        let obj = shifted_quadratic(&[0.5, -0.25]);
+        let set = L2Ball::unit(2);
+        let cfg =
+            PgdConfig { iters: 4000, step: StepSize::DiminishingSqrt(0.5), average: true };
+        let theta = projected_gradient(&obj, &set, &cfg, &[1.0, 1.0]);
+        // Interior optimum: averaging converges at the slow √k rate.
+        assert!(vector::distance(&theta, &[0.5, -0.25]) < 0.05, "{theta:?}");
+    }
+
+    #[test]
+    fn fista_beats_pgd_on_ill_conditioned_quadratic() {
+        // Condition number 400.
+        let a = Matrix::from_rows(&[&[400.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let obj = Quadratic::new(a, vec![0.0, 1.0], 0.0); // optimum (0, 1) — inside 2-ball
+        let set = L2Ball::new(2, 2.0);
+        let iters = 400;
+        let x_fista = fista(&obj, &set, 400.0, iters, &[1.5, -1.5]);
+        let x_pgd = projected_gradient(
+            &obj,
+            &set,
+            &PgdConfig::last_iterate(iters, 1.0 / 400.0),
+            &[1.5, -1.5],
+        );
+        // Optimal value is f(0, 1) = −0.5.
+        let f_fista = obj.value(&x_fista) + 0.5;
+        let f_pgd = obj.value(&x_pgd) + 0.5;
+        assert!(f_fista < f_pgd, "fista {f_fista} !< pgd {f_pgd}");
+        assert!(vector::distance(&x_fista, &[0.0, 1.0]) < 0.1, "{x_fista:?}");
+    }
+
+    #[test]
+    fn frank_wolfe_stays_feasible_and_converges_on_l1_ball() {
+        let obj = shifted_quadratic(&[0.9, 0.0, 0.0]);
+        let set = L1Ball::unit(3);
+        let theta = frank_wolfe(&obj, &set, 2000, &[0.0, 0.0, 0.0]);
+        assert!(vector::norm1(&theta) <= 1.0 + 1e-9);
+        assert!(vector::distance(&theta, &[0.9, 0.0, 0.0]) < 1e-2, "{theta:?}");
+    }
+
+    #[test]
+    fn zero_iterations_returns_projected_start() {
+        let obj = shifted_quadratic(&[3.0, 0.0]);
+        let set = L2Ball::unit(2);
+        let theta =
+            projected_gradient(&obj, &set, &PgdConfig::last_iterate(0, 0.1), &[5.0, 0.0]);
+        assert!(vector::distance(&theta, &[1.0, 0.0]) < 1e-12);
+    }
+}

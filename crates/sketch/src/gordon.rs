@@ -1,0 +1,113 @@
+//! Gordon-theorem dimension selection (Theorem 5.1 of the paper).
+//!
+//! Gordon's escape-through-a-mesh theorem: a Gaussian `Φ` with `N(0, 1/m)`
+//! entries satisfies `sup_{a∈S} |‖Φa‖² − ‖a‖²| ≤ γ‖a‖²` with probability
+//! `≥ 1 − β` once `m ≥ (C/γ²)·max{w(S)², ln(1/β)}`. The universal constant
+//! `C` is not pinned down by the theory; Algorithm 3 treats it as a knob.
+//! Our default `C = 1` reproduces the asymptotics; the experiment harness
+//! sweeps it in the adaptive-JL experiment (E9).
+
+/// Parameters of the Gordon dimension rule.
+#[derive(Debug, Clone, Copy)]
+pub struct GordonParams {
+    /// Distortion level `γ ∈ (0, 1)`.
+    pub gamma: f64,
+    /// Failure probability `β ∈ (0, 1)`.
+    pub beta: f64,
+    /// Universal constant `C > 0` (default 1.0).
+    pub constant: f64,
+}
+
+impl GordonParams {
+    /// New parameter set with the default constant.
+    ///
+    /// # Panics
+    /// Panics unless `γ, β ∈ (0, 1)`.
+    pub fn new(gamma: f64, beta: f64) -> Self {
+        assert!(gamma > 0.0 && gamma < 1.0, "gamma must lie in (0,1), got {gamma}");
+        assert!(beta > 0.0 && beta < 1.0, "beta must lie in (0,1), got {beta}");
+        GordonParams { gamma, beta, constant: 1.0 }
+    }
+
+    /// Override the universal constant.
+    ///
+    /// # Panics
+    /// Panics unless `c > 0`.
+    pub fn with_constant(mut self, c: f64) -> Self {
+        assert!(c > 0.0, "Gordon constant must be positive");
+        self.constant = c;
+        self
+    }
+}
+
+/// Projected dimension `m = ⌈(C/γ²)·max{W², ln(1/β)}⌉`, clamped to
+/// `[1, d]` (projecting to more than `d` dimensions is pointless; callers
+/// should treat `m = d` as "skip the projection").
+pub fn dimension(width: f64, d: usize, params: &GordonParams) -> usize {
+    assert!(width >= 0.0 && width.is_finite(), "width must be finite and non-negative");
+    let m = (params.constant / (params.gamma * params.gamma))
+        * (width * width).max((1.0 / params.beta).ln());
+    (m.ceil() as usize).clamp(1, d.max(1))
+}
+
+/// Algorithm 3's distortion choice `γ = (w(X) + w(C))^{1/3} / T^{1/3}`,
+/// clamped into `(0, 1)` (the theory regime; for tiny `T` relative to `W`
+/// the projection cannot help and `γ` saturates just below 1).
+pub fn gamma_for(width: f64, t: usize) -> f64 {
+    assert!(t >= 1, "stream length must be positive");
+    let g = (width.max(1e-12) / t as f64).cbrt();
+    g.clamp(1e-6, 0.999)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_scales_with_width_squared_over_gamma_squared() {
+        let p = GordonParams::new(0.1, 0.01);
+        let m1 = dimension(4.0, 1_000_000, &p);
+        let m2 = dimension(8.0, 1_000_000, &p);
+        // Doubling the width quadruples m (once past the log(1/β) floor).
+        assert!((m2 as f64 / m1 as f64 - 4.0).abs() < 0.05, "{m1} vs {m2}");
+    }
+
+    #[test]
+    fn dimension_clamped_to_ambient() {
+        let p = GordonParams::new(0.01, 0.01);
+        assert_eq!(dimension(100.0, 50, &p), 50);
+        let expected = (((100.0f64).ln() / 1e-4).ceil() as usize).min(50);
+        assert_eq!(dimension(0.0, 50, &p), expected);
+    }
+
+    #[test]
+    fn log_beta_floor_applies_for_tiny_widths() {
+        let p = GordonParams::new(0.5, 1e-6);
+        let m = dimension(0.001, 10_000, &p);
+        let floor = ((1e6f64).ln() / 0.25).ceil() as usize;
+        assert_eq!(m, floor);
+    }
+
+    #[test]
+    fn gamma_matches_algorithm3_formula() {
+        let g = gamma_for(8.0, 1000);
+        assert!((g - (8.0f64 / 1000.0).cbrt()).abs() < 1e-12);
+        // Saturation for degenerate T.
+        assert!(gamma_for(100.0, 1) < 1.0);
+    }
+
+    #[test]
+    fn constant_knob_scales_linearly() {
+        let p1 = GordonParams::new(0.1, 0.01);
+        let p2 = GordonParams::new(0.1, 0.01).with_constant(2.0);
+        let m1 = dimension(3.0, usize::MAX, &p1);
+        let m2 = dimension(3.0, usize::MAX, &p2);
+        assert!((m2 as f64 / m1 as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_bad_gamma() {
+        let _ = GordonParams::new(1.5, 0.1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Why Algorithm 3 needs Gordon's theorem instead of plain
+//! Johnson–Lindenstrauss: an *adaptive* stream can steer covariates using
+//! information correlated with the fixed sketch `Φ`, and unconstrained
+//! adaptive points can be annihilated (`Φx = 0`, footnote 10 of the
+//! paper). Restricting covariates to a low-Gaussian-width domain and
+//! sizing `m ≳ w(S)²/γ²` caps the distortion of *every* point of the
+//! domain — adaptivity becomes harmless.
+//!
+//! ```text
+//! cargo run --release --example adaptive_adversary
+//! ```
+
+use private_incremental_regression::datagen::adaptive;
+use private_incremental_regression::prelude::*;
+
+fn main() {
+    let d = 200;
+    let k = 3; // adversary restricted to 3-sparse covariates
+    let mut rng = NoiseRng::seed_from_u64(5);
+
+    let domain = KSparseDomain::new(d, k, 1.0);
+    println!("domain: {k}-sparse vectors in R^{d},  w(S) ≲ {:.2}", domain.width_bound());
+    println!();
+    println!(
+        "{:>6} {:>22} {:>26}",
+        "m", "unconstrained attack", "domain-restricted attack"
+    );
+    println!(
+        "{:>6} {:>22} {:>26}",
+        "", "|‖Φx‖²−1| (null space)", "|‖Φx‖²−1| (worst k-sparse)"
+    );
+
+    for m in [4usize, 8, 16, 32, 64, 128] {
+        let sketch = GaussianSketch::sample(m, d, &mut rng);
+        let unconstrained = match adaptive::null_space_direction(&sketch, &mut rng) {
+            Some(x) => {
+                let px = sketch.apply(&x).expect("dims");
+                (private_incremental_regression::linalg::vector::norm2_sq(&px) - 1.0).abs()
+            }
+            None => 0.0,
+        };
+        let (_, sparse_dist) = adaptive::worst_sparse_direction(&sketch, k, 80, &mut rng);
+        println!("{m:>6} {unconstrained:>22.4} {sparse_dist:>26.4}");
+    }
+
+    println!();
+    println!(
+        "reading: the unconstrained adversary achieves total distortion (≈ 1) at every \
+         m < d — JL guarantees evaporate under adaptivity. The domain-restricted \
+         adversary's distortion falls with m and is already moderate near \
+         m ≈ w(S)² ≈ {:.0}, exactly the Gordon regime Algorithm 3 provisions for.",
+        domain.width_bound().powi(2)
+    );
+}

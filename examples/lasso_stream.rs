@@ -1,0 +1,87 @@
+//! High-dimensional private incremental **Lasso**: sparse covariates,
+//! L1-ball constraint, and the sketched mechanism (Algorithm 3) whose
+//! noise scales with the Gaussian width `W = w(X) + w(C)` — polylog in
+//! `d` — instead of `√d`.
+//!
+//! This is the paper's flagship §5.2 scenario: `d` is large, the
+//! covariates are k-sparse, and `C = B₁` (Lasso), so
+//! `W ≈ √(k log d) + √(log d) ≪ √d`.
+//!
+//! ```text
+//! cargo run --release --example lasso_stream
+//! ```
+
+use private_incremental_regression::prelude::*;
+
+fn main() {
+    let d = 600; // high-dimensional
+    let k = 3; // covariate sparsity
+    let t_max = 512;
+    let params = PrivacyParams::approx(2.0, 1e-6).expect("valid privacy parameters");
+    let mut rng = NoiseRng::seed_from_u64(7);
+
+    // Sparse ground truth inside the unit L1 ball.
+    let theta_star = sparse_theta(d, 2, 0.45, &mut rng);
+    let model = LinearModel { theta_star: theta_star.clone(), noise_std: 0.02 };
+    let stream = linear_stream(t_max, d, CovariateKind::Sparse { k }, &model, &mut rng);
+
+    // Widths: the quantities Theorem 5.7's bound is built from.
+    let domain = KSparseDomain::new(d, k, 1.0);
+    let constraint = L1Ball::unit(d);
+    let w_x = domain.width_bound();
+    let w_c = constraint.width_bound();
+    println!("w(X) ≈ {w_x:.2}   w(C) ≈ {w_c:.2}   vs √d = {:.2}", (d as f64).sqrt());
+
+    // Algorithm 3 with the Gordon-rule sketch dimension. The Gordon
+    // constant is the one knob the theory leaves free; 0.05 is the value
+    // calibrated by experiment E9 in EXPERIMENTS.md.
+    let mut mech2 = PrivIncReg2::new(
+        Box::new(L1Ball::unit(d)),
+        w_x,
+        t_max,
+        &params,
+        &mut rng,
+        PrivIncReg2Config { gordon_constant: 0.05, ..Default::default() },
+    )
+    .expect("valid configuration");
+    println!(
+        "sketch: m = {} (γ = {:.3}), memory = {} f64s",
+        mech2.m(),
+        mech2.gamma(),
+        mech2.memory_slots()
+    );
+    let report2 = evaluate_squared_loss(&mut mech2, &stream, Box::new(L1Ball::unit(d)), 64)
+        .expect("valid stream");
+
+    // Baseline for context: the trivial mechanism (Algorithm 2 at this d
+    // would keep a d²-tree — 600² × 2 levels ≈ 8M doubles — exactly the
+    // regime the paper's §5 is designed to avoid).
+    let set = L1Ball::unit(d);
+    let mut trivial = TrivialMechanism::new(&set);
+    let report_triv =
+        evaluate_squared_loss(&mut trivial, &stream, Box::new(L1Ball::unit(d)), 64)
+            .expect("valid stream");
+
+    println!();
+    println!("{:>6} {:>16} {:>16}", "t", "excess (mech 2)", "excess (trivial)");
+    for (r2, rt) in report2.records.iter().zip(&report_triv.records) {
+        println!("{:>6} {:>16.4} {:>16.4}", r2.t, r2.excess, rt.excess);
+    }
+    println!();
+    println!("final excess — sketched mechanism : {:.4}", report2.final_excess());
+    println!("final excess — trivial baseline   : {:.4}", report_triv.final_excess());
+
+    // Recovered support: top coordinates of the final release.
+    let final_theta = {
+        // Re-run the last step's estimate from the report by projecting the
+        // oracle — for display purposes just print θ* support recovery.
+        theta_star
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.abs() > 0.0)
+            .map(|(i, v)| format!("θ*[{i}] = {v:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    println!("true support: {final_theta}");
+}

@@ -1,0 +1,102 @@
+//! The paper's §1 motivating scenario: a data scientist continuously
+//! updates the regression parameter of a linear model built on an ongoing
+//! survey, without the updates revealing whether any one person
+//! participated. Midway through, the population's behaviour drifts — the
+//! incremental estimator must follow.
+//!
+//! Compares the generic transformation (Mechanism 1, recompute every τ
+//! steps) against the tree-mechanism regression (Algorithm 2) on the same
+//! drifting stream.
+//!
+//! ```text
+//! cargo run --release --example survey_monitoring
+//! ```
+
+use private_incremental_regression::prelude::*;
+
+fn main() {
+    let d = 6;
+    let t_max = 512;
+    let params = PrivacyParams::approx(2.0, 1e-6).expect("valid privacy parameters");
+    let mut rng = NoiseRng::seed_from_u64(11);
+
+    // Survey panel: the association between covariates (demographics,
+    // usage features, …) and the response flips mid-stream.
+    let theta_early = {
+        let mut v = vec![0.0; d];
+        v[0] = 0.7;
+        v
+    };
+    let theta_late = {
+        let mut v = vec![0.0; d];
+        v[2] = -0.6;
+        v
+    };
+    let stream = drift_stream(
+        t_max,
+        d,
+        CovariateKind::DenseSphere { radius: 0.95 },
+        &theta_early,
+        &theta_late,
+        t_max / 2,
+        0.05,
+        &mut rng,
+    );
+
+    // Mechanism 1: generic batch→incremental transformation with the
+    // Theorem 3.1(1) τ rule and the noisy-GD batch solver.
+    let mut generic = PrivIncErm::new(
+        Box::new(SquaredLoss),
+        Box::new(NoisyGdSolver::default()),
+        Box::new(L2Ball::unit(d)),
+        t_max,
+        &params,
+        TauRule::Convex,
+        rng.fork(),
+    )
+    .expect("valid configuration");
+    println!("generic transform: τ = {}, {} batch invocations at {}",
+        generic.tau(), generic.invocations(), generic.per_invocation());
+
+    let report_generic =
+        evaluate_squared_loss(&mut generic, &stream, Box::new(L2Ball::unit(d)), 32)
+            .expect("valid stream");
+
+    // Algorithm 2: per-step releases from the private gradient function.
+    let mut mech1 = PrivIncReg1::new(
+        Box::new(L2Ball::unit(d)),
+        t_max,
+        &params,
+        &mut rng,
+        PrivIncReg1Config::default(),
+    )
+    .expect("valid configuration");
+    let report_mech1 =
+        evaluate_squared_loss(&mut mech1, &stream, Box::new(L2Ball::unit(d)), 32)
+            .expect("valid stream");
+
+    println!();
+    println!(
+        "{:>6} {:>18} {:>18}",
+        "t", "excess (generic)", "excess (tree mech)"
+    );
+    for (rg, r1) in report_generic.records.iter().zip(&report_mech1.records) {
+        println!("{:>6} {:>18.4} {:>18.4}", rg.t, rg.excess, r1.excess);
+    }
+    println!();
+    println!(
+        "worst-case excess — generic τ-transform : {:.4}",
+        report_generic.max_excess()
+    );
+    println!(
+        "worst-case excess — tree mechanism      : {:.4}  (Remark 4.3: better at every d,T)",
+        report_mech1.max_excess()
+    );
+    println!();
+    println!(
+        "note: the drift at t = {} raises OPT_t for both mechanisms — the incremental \
+         estimator keeps tracking the risk minimizer of the *history*, which is exactly \
+         the summarizer semantics the paper describes.",
+        t_max / 2
+    );
+}

@@ -1,0 +1,229 @@
+//! End-to-end integration tests spanning the whole workspace: generators
+//! → mechanisms → evaluation harness.
+
+use private_incremental_regression::prelude::*;
+
+fn params(eps: f64) -> PrivacyParams {
+    PrivacyParams::approx(eps, 1e-6).unwrap()
+}
+
+fn dense_stream(n: usize, d: usize, seed: u64) -> Vec<DataPoint> {
+    let mut rng = NoiseRng::seed_from_u64(seed);
+    let model = LinearModel { theta_star: sparse_theta(d, d, 0.7, &mut rng), noise_std: 0.05 };
+    linear_stream(n, d, CovariateKind::DenseSphere { radius: 0.95 }, &model, &mut rng)
+}
+
+#[test]
+fn mech1_converges_to_oracle_as_epsilon_grows() {
+    // The ε → ∞ limit of PrivIncReg1 is the exact incremental trajectory:
+    // final excess should fall monotonically-ish in ε and be tiny at 1e6.
+    let d = 4;
+    let t = 128;
+    let stream = dense_stream(t, d, 1);
+    let mut finals = Vec::new();
+    for eps in [1.0, 1e3, 1e6] {
+        let mut rng = NoiseRng::seed_from_u64(2);
+        let mut mech = PrivIncReg1::new(
+            Box::new(L2Ball::unit(d)),
+            t,
+            &params(eps),
+            &mut rng,
+            PrivIncReg1Config { max_pgd_iters: 256, ..Default::default() },
+        )
+        .unwrap();
+        let report =
+            evaluate_squared_loss(&mut mech, &stream, Box::new(L2Ball::unit(d)), 16).unwrap();
+        finals.push(report.final_excess());
+    }
+    assert!(finals[2] < 0.5, "near-noiseless limit should be near-exact: {finals:?}");
+    assert!(finals[2] <= finals[0], "more budget should not hurt: {finals:?}");
+}
+
+#[test]
+fn all_mechanisms_release_feasible_points_on_the_same_stream() {
+    let d = 30;
+    let t = 32;
+    let mut rng = NoiseRng::seed_from_u64(3);
+    let model = LinearModel { theta_star: sparse_theta(d, 2, 0.4, &mut rng), noise_std: 0.02 };
+    let stream = linear_stream(t, d, CovariateKind::Sparse { k: 3 }, &model, &mut rng);
+    let set = || -> Box<dyn ConvexSet> { Box::new(L1Ball::unit(d)) };
+
+    let mut mechanisms: Vec<Box<dyn IncrementalMechanism>> = vec![
+        Box::new(
+            PrivIncReg1::new(
+                set(),
+                t,
+                &params(1.0),
+                &mut rng,
+                PrivIncReg1Config::default(),
+            )
+            .unwrap(),
+        ),
+        Box::new(
+            PrivIncReg2::new(
+                set(),
+                KSparseDomain::new(d, 3, 1.0).width_bound(),
+                t,
+                &params(1.0),
+                &mut rng,
+                PrivIncReg2Config { m_override: Some(8), ..Default::default() },
+            )
+            .unwrap(),
+        ),
+        Box::new(
+            PrivIncErm::new(
+                Box::new(SquaredLoss),
+                Box::new(NoisyGdSolver { iters: 8, beta: 0.1 }),
+                set(),
+                t,
+                &params(1.0),
+                TauRule::Convex,
+                rng.fork(),
+            )
+            .unwrap(),
+        ),
+        Box::new(ExactIncremental::new(set())),
+    ];
+
+    for mech in &mut mechanisms {
+        for z in &stream {
+            let theta = mech.observe(z).unwrap();
+            let l1: f64 = theta.iter().map(|v| v.abs()).sum();
+            assert!(l1 <= 1.0 + 1e-5, "{}: release left the constraint set", mech.name());
+            assert!(theta.iter().all(|v| v.is_finite()), "{}: non-finite release", mech.name());
+        }
+        assert_eq!(mech.t(), t);
+    }
+}
+
+#[test]
+fn privacy_noise_is_actually_injected() {
+    // The private trajectory must differ from the exact oracle trajectory
+    // (a mechanism silently skipping its noise would pass utility tests
+    // but violate privacy — this is the regression test for that).
+    let d = 3;
+    let t = 32;
+    let stream = dense_stream(t, d, 4);
+    let mut rng = NoiseRng::seed_from_u64(5);
+    let mut mech = PrivIncReg1::new(
+        Box::new(L2Ball::unit(d)),
+        t,
+        &params(1.0),
+        &mut rng,
+        PrivIncReg1Config::default(),
+    )
+    .unwrap();
+    let mut oracle = ExactIncremental::new(Box::new(L2Ball::unit(d)));
+    let mut max_gap = 0.0f64;
+    for z in &stream {
+        let a = mech.observe(z).unwrap();
+        let b = oracle.observe(z).unwrap();
+        let gap: f64 =
+            a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        max_gap = max_gap.max(gap);
+    }
+    assert!(max_gap > 1e-3, "trajectories identical — no noise injected?");
+}
+
+#[test]
+fn different_seeds_give_different_releases_same_seed_identical() {
+    let d = 3;
+    let t = 16;
+    let stream = dense_stream(t, d, 6);
+    let run = |seed: u64| {
+        let mut rng = NoiseRng::seed_from_u64(seed);
+        let mut mech = PrivIncReg1::new(
+            Box::new(L2Ball::unit(d)),
+            t,
+            &params(1.0),
+            &mut rng,
+            PrivIncReg1Config::default(),
+        )
+        .unwrap();
+        stream.iter().map(|z| mech.observe(z).unwrap()).collect::<Vec<_>>()
+    };
+    assert_eq!(run(7), run(7), "same seed must reproduce exactly");
+    assert_ne!(run(7), run(8), "different seeds must differ");
+}
+
+#[test]
+fn generic_transform_handles_logistic_classification() {
+    let d = 5;
+    let t = 48;
+    let mut rng = NoiseRng::seed_from_u64(9);
+    let theta_star = sparse_theta(d, 2, 0.9, &mut rng);
+    let stream = classification_stream(
+        t,
+        d,
+        CovariateKind::DenseSphere { radius: 0.95 },
+        &theta_star,
+        0.3,
+        &mut rng,
+    );
+    let mut mech = PrivIncErm::new(
+        Box::new(LogisticLoss),
+        Box::new(NoisyGdSolver { iters: 16, beta: 0.1 }),
+        Box::new(L2Ball::unit(d)),
+        t,
+        &params(2.0),
+        TauRule::Convex,
+        rng.fork(),
+    )
+    .unwrap();
+    let report = evaluate_generic(
+        &mut mech,
+        &stream,
+        &LogisticLoss,
+        &L2Ball::unit(d),
+        12,
+        1500,
+    )
+    .unwrap();
+    // Sanity: the excess is finite and below the trivial bound 2TL‖C‖.
+    let trivial_bound = 2.0 * t as f64 * LogisticLoss.lipschitz(1.0) * 1.0;
+    assert!(report.max_excess() < trivial_bound, "excess {}", report.max_excess());
+}
+
+#[test]
+fn robust_mechanism_handles_contaminated_stream_end_to_end() {
+    let d = 40;
+    let t = 32;
+    let k = 2;
+    let mut rng = NoiseRng::seed_from_u64(10);
+    let model = LinearModel { theta_star: sparse_theta(d, 2, 0.4, &mut rng), noise_std: 0.02 };
+    let stream = mixture_stream(t, d, k, 0.4, &model, &mut rng);
+    let dom = KSparseDomain::new(d, k, 1.0);
+    let mut mech = RobustPrivIncReg2::new(
+        Box::new(L1Ball::unit(d)),
+        dom.width_bound(),
+        Box::new(move |x: &[f64]| dom.contains(x, 1e-9)),
+        t,
+        &params(1.0),
+        &mut rng,
+        PrivIncReg2Config { m_override: Some(8), ..Default::default() },
+    )
+    .unwrap();
+    for z in &stream {
+        let theta = mech.observe(z).unwrap();
+        let l1: f64 = theta.iter().map(|v| v.abs()).sum();
+        assert!(l1 <= 1.0 + 1e-5);
+    }
+    // Roughly 40% of points should have been substituted.
+    let frac = mech.substituted() as f64 / t as f64;
+    assert!(frac > 0.1 && frac < 0.8, "substitution fraction {frac}");
+}
+
+#[test]
+fn hybrid_tree_supports_unbounded_streams_for_statistics() {
+    // Not a regression mechanism per se, but the footnote-13 path: the
+    // hybrid mechanism lets the gradient statistics run without a known T.
+    let params = params(1.0);
+    let mut mech = HybridMechanism::new(4, 1.0, &params, NoiseRng::seed_from_u64(11)).unwrap();
+    let mut rng = NoiseRng::seed_from_u64(12);
+    for _ in 0..300 {
+        let x = rng.unit_sphere(4);
+        mech.update(&x).unwrap();
+    }
+    assert_eq!(mech.len(), 300);
+    assert!(mech.query().iter().all(|v| v.is_finite()));
+}

@@ -1,0 +1,122 @@
+//! Experiment E10 as a test suite: the privacy ledger of every mechanism
+//! composes to at most its declared `(ε, δ)` budget.
+
+use private_incremental_regression::dp::{composition, mechanisms, PrivacyAccountant};
+use private_incremental_regression::prelude::*;
+
+#[test]
+fn priv_inc_erm_schedule_fits_for_all_tau_rules() {
+    // For every τ rule and a grid of (T, ε): composing the per-invocation
+    // budget over ⌈T/τ⌉ uses stays within (ε, δ).
+    for &t_max in &[8usize, 64, 500] {
+        for &eps in &[0.1, 0.5, 1.0] {
+            for rule in [TauRule::Fixed(1), TauRule::Fixed(7), TauRule::Convex, TauRule::LowWidth]
+            {
+                let total = PrivacyParams::approx(eps, 1e-6).unwrap();
+                let mech = PrivIncErm::new(
+                    Box::new(SquaredLoss),
+                    Box::new(NoisyGdSolver { iters: 4, beta: 0.1 }),
+                    Box::new(L2Ball::unit(8)),
+                    t_max,
+                    &total,
+                    rule,
+                    NoiseRng::seed_from_u64(1),
+                )
+                .unwrap();
+                let composed = composition::verify_within_budget(
+                    mech.invocations(),
+                    &mech.per_invocation(),
+                    &total,
+                )
+                .unwrap_or_else(|e| panic!("rule {rule:?}, T={t_max}, ε={eps}: {e}"));
+                assert!(composed.epsilon() <= eps * (1.0 + 1e-9));
+                assert!(composed.delta() <= 1e-6 * (1.0 + 1e-9));
+            }
+        }
+    }
+}
+
+#[test]
+fn mech1_ledger_two_half_budget_trees() {
+    // Algorithm 2 runs two tree mechanisms at (ε/2, δ/2); the accountant
+    // confirms the basic composition is exactly the declared budget.
+    let total = PrivacyParams::approx(1.0, 1e-5).unwrap();
+    let mut acc = PrivacyAccountant::new(total);
+    acc.charge("tree over x·y", total.halve()).unwrap();
+    acc.charge("tree over x xᵀ", total.halve()).unwrap();
+    let (e, d) = acc.spent();
+    assert!((e - 1.0).abs() < 1e-12);
+    assert!((d - 1e-5).abs() < 1e-15);
+    // A third sub-mechanism would overdraft.
+    assert!(acc.charge("extra", total.halve()).is_err());
+}
+
+#[test]
+fn tree_noise_matches_algorithm4_formula_through_the_mechanism() {
+    // The σ used by PrivIncReg1's trees is exactly Algorithm 4, Step 8
+    // at the halved budget: σ = √2·log₂T·Δ₂·√ln(2/δ′)/ε′.
+    let total = PrivacyParams::approx(2.0, 1e-4).unwrap();
+    let half = total.halve();
+    let t_max = 1024usize;
+    let tree = TreeMechanism::with_sensitivity(
+        3,
+        t_max,
+        2.0,
+        &half,
+        NoiseRng::seed_from_u64(2),
+    )
+    .unwrap();
+    let expect = (2.0f64).sqrt() * 10.0 * 2.0 * (2.0 / half.delta()).ln().sqrt()
+        / half.epsilon();
+    assert!((tree.sigma() - expect).abs() < 1e-9);
+}
+
+#[test]
+fn gaussian_mechanism_sigma_decomposes_with_budget_splits() {
+    // Splitting a budget k ways multiplies σ by k (for fixed δ-part):
+    // the cost picture behind every τ/k trade-off in the paper.
+    let total = PrivacyParams::approx(1.0, 1e-6).unwrap();
+    let s1 = mechanisms::gaussian_sigma(1.0, &total).unwrap();
+    let s4 = mechanisms::gaussian_sigma(1.0, &PrivacyParams::approx(0.25, 1e-6).unwrap())
+        .unwrap();
+    assert!((s4 / s1 - 4.0).abs() < 1e-9);
+}
+
+#[test]
+fn advanced_composition_beats_basic_beyond_a_few_uses() {
+    // The quantitative reason PrivIncERM uses Theorem A.4 instead of A.3.
+    let per = PrivacyParams::approx(0.01, 1e-9).unwrap();
+    for k in [50usize, 200, 1000] {
+        let adv = composition::advanced(k, &per, 1e-7).unwrap();
+        let bas = composition::basic(k, &per).unwrap();
+        assert!(
+            adv.epsilon() < bas.epsilon(),
+            "k={k}: advanced {} !< basic {}",
+            adv.epsilon(),
+            bas.epsilon()
+        );
+    }
+}
+
+#[test]
+fn naive_recompute_budget_shrinks_like_sqrt_t() {
+    // The §1 naive approach: per-step ε′ ∝ ε/√T — the origin of its √T
+    // utility penalty.
+    let total = PrivacyParams::approx(1.0, 1e-6).unwrap();
+    let eps_at = |t: usize| {
+        naive_recompute(
+            Box::new(SquaredLoss),
+            Box::new(NoisyGdSolver { iters: 4, beta: 0.1 }),
+            Box::new(L2Ball::unit(4)),
+            t,
+            &total,
+            NoiseRng::seed_from_u64(3),
+        )
+        .unwrap()
+        .per_invocation()
+        .epsilon()
+    };
+    let e100 = eps_at(100);
+    let e400 = eps_at(400);
+    assert!((e100 / e400 - 2.0).abs() < 0.01, "√T scaling violated: {}", e100 / e400);
+}
