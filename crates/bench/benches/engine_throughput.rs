@@ -1,0 +1,105 @@
+//! Multi-stream engine throughput: points/sec through `ingest` as a
+//! function of shard count, at a fleet size of ≥ 1000 concurrent
+//! sessions — the scaling claim of the serving layer.
+//!
+//! Also benches batched vs sequential observation on one session, which
+//! isolates the `observe_batch` amortization from the sharding win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pir_core::PrivIncReg1Config;
+use pir_dp::{NoiseRng, PrivacyParams};
+use pir_engine::{EngineConfig, MechanismSpec, ShardedEngine};
+use pir_erm::DataPoint;
+use std::hint::black_box;
+
+const SESSIONS: u64 = 1024;
+const DIM: usize = 8;
+
+fn valid_point(rng: &mut NoiseRng) -> DataPoint {
+    let x: Vec<f64> = rng.unit_sphere(DIM).iter().map(|v| 0.9 * v).collect();
+    let y = (0.8 * x[0]).clamp(-1.0, 1.0);
+    DataPoint::new(x, y)
+}
+
+/// One mixed batch: a point for every session in the fleet.
+fn fleet_batch(rng: &mut NoiseRng) -> Vec<(u64, DataPoint)> {
+    (0..SESSIONS).map(|sid| (sid, valid_point(rng))).collect()
+}
+
+fn build_engine(num_shards: usize) -> ShardedEngine {
+    let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+    let mut engine =
+        ShardedEngine::new(EngineConfig { num_shards, seed: 11, parallel: num_shards > 1 })
+            .unwrap();
+    // An effectively inexhaustible horizon so the bench can run as many
+    // iterations as it likes.
+    let spec = MechanismSpec::Reg1 {
+        set: pir_engine::SetSpec::unit_l2(DIM),
+        config: PrivIncReg1Config { max_pgd_iters: 16, ..Default::default() },
+    };
+    engine.spawn_sessions(0..SESSIONS, &spec, 1usize << 32, &params).unwrap();
+    engine
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_ingest_1024_sessions");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SESSIONS));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            let mut engine = build_engine(shards);
+            let mut rng = NoiseRng::seed_from_u64(5);
+            b.iter(|| {
+                let batch = fleet_batch(&mut rng);
+                black_box(engine.ingest(black_box(batch)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_amortization(c: &mut Criterion) {
+    use pir_core::{IncrementalMechanism, PrivIncReg1};
+    use pir_geometry::L2Ball;
+    let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+    let mut group = c.benchmark_group("observe_batch_vs_sequential_d64");
+    group.sample_size(10);
+    let batch_len = 32usize;
+    group.throughput(Throughput::Elements(batch_len as u64));
+    for batched in [false, true] {
+        let label = if batched { "batched" } else { "sequential" };
+        group.bench_with_input(BenchmarkId::new("mode", label), &batched, |b, &batched| {
+            let d = 64;
+            let mut rng = NoiseRng::seed_from_u64(3);
+            let mut mech = PrivIncReg1::new(
+                Box::new(L2Ball::unit(d)),
+                1usize << 32,
+                &params,
+                &mut rng,
+                PrivIncReg1Config { max_pgd_iters: 16, ..Default::default() },
+            )
+            .unwrap();
+            let mut data_rng = NoiseRng::seed_from_u64(4);
+            let batch: Vec<DataPoint> = (0..batch_len)
+                .map(|_| {
+                    let x: Vec<f64> = data_rng.unit_sphere(d).iter().map(|v| 0.9 * v).collect();
+                    let y = (0.8 * x[0]).clamp(-1.0, 1.0);
+                    DataPoint::new(x, y)
+                })
+                .collect();
+            b.iter(|| {
+                if batched {
+                    black_box(mech.observe_batch(black_box(&batch)).unwrap());
+                } else {
+                    for z in &batch {
+                        black_box(mech.observe(black_box(z)).unwrap());
+                    }
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling, bench_batch_amortization);
+criterion_main!(benches);

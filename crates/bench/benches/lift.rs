@@ -39,8 +39,7 @@ fn bench_lift(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("min_gauge/m", m), &m, |b, _| {
             b.iter(|| {
                 black_box(
-                    lift_min_gauge(&sketch, black_box(&target), &set, &affine, 15, 60)
-                        .unwrap(),
+                    lift_min_gauge(&sketch, black_box(&target), &set, &affine, 15, 60).unwrap(),
                 )
             });
         });

@@ -3,7 +3,9 @@
 //! (Algorithm 3 replaces `d²` with `m²` plus an `O(md)` lift).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pir_core::{IncrementalMechanism, PrivIncReg1, PrivIncReg1Config, PrivIncReg2, PrivIncReg2Config};
+use pir_core::{
+    IncrementalMechanism, PrivIncReg1, PrivIncReg1Config, PrivIncReg2, PrivIncReg2Config,
+};
 use pir_datagen::{linear_stream, sparse_theta, CovariateKind, LinearModel};
 use pir_dp::{NoiseRng, PrivacyParams};
 use pir_erm::DataPoint;
@@ -35,8 +37,7 @@ fn bench_mech1(c: &mut Criterion) {
                 PrivIncReg1Config::default(),
             )
             .unwrap();
-            let stream =
-                stream_for(d, 64, CovariateKind::DenseSphere { radius: 0.95 }, 6);
+            let stream = stream_for(d, 64, CovariateKind::DenseSphere { radius: 0.95 }, 6);
             for z in &stream {
                 mech.observe(z).unwrap();
             }
@@ -66,11 +67,7 @@ fn bench_mech2(c: &mut Criterion) {
                 t_max,
                 &params,
                 &mut rng,
-                PrivIncReg2Config {
-                    m_override: Some(m),
-                    lift_iters: 80,
-                    ..Default::default()
-                },
+                PrivIncReg2Config { m_override: Some(m), lift_iters: 80, ..Default::default() },
             )
             .unwrap();
             let stream = stream_for(d, 64, CovariateKind::Sparse { k: 3 }, 8);

@@ -15,8 +15,7 @@ fn bench_updates(c: &mut Criterion) {
             // Horizon far beyond any iteration count Criterion will run
             // (memory is only O(d log T), so a 2^40 horizon is cheap).
             let mut mech =
-                TreeMechanism::new(d, 1 << 40, 1.0, &params, NoiseRng::seed_from_u64(1))
-                    .unwrap();
+                TreeMechanism::new(d, 1 << 40, 1.0, &params, NoiseRng::seed_from_u64(1)).unwrap();
             let mut rng = NoiseRng::seed_from_u64(2);
             let v = rng.unit_sphere(d);
             b.iter(|| {
@@ -31,14 +30,9 @@ fn bench_updates(c: &mut Criterion) {
     group.sample_size(20);
     for log_t in [24u32, 32, 40] {
         group.bench_with_input(BenchmarkId::new("log2_T", log_t), &log_t, |b, &log_t| {
-            let mut mech = TreeMechanism::new(
-                64,
-                1usize << log_t,
-                1.0,
-                &params,
-                NoiseRng::seed_from_u64(3),
-            )
-            .unwrap();
+            let mut mech =
+                TreeMechanism::new(64, 1usize << log_t, 1.0, &params, NoiseRng::seed_from_u64(3))
+                    .unwrap();
             let mut rng = NoiseRng::seed_from_u64(4);
             let v = rng.unit_sphere(64);
             b.iter(|| {

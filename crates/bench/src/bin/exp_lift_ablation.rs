@@ -47,8 +47,7 @@ fn main() {
             let t0 = Instant::now();
             let smooth = sketch_smoothness(&sketch);
             let ls =
-                lift_constrained_ls(&sketch, &target, &set, smooth, 500, &vec![0.0; d])
-                    .unwrap();
+                lift_constrained_ls(&sketch, &target, &set, smooth, 500, &vec![0.0; d]).unwrap();
             ls_ms.push(t0.elapsed().as_secs_f64() * 1e3);
             ls_errs.push(vector::distance(&ls, &theta_true));
 

@@ -35,13 +35,9 @@ fn eval(
     stream: &[pir_erm::DataPoint],
     d: usize,
 ) -> (f64, f64) {
-    let rep = evaluate_squared_loss(
-        mech,
-        stream,
-        Box::new(L1Ball::unit(d)),
-        (stream.len() / 8).max(1),
-    )
-    .unwrap();
+    let rep =
+        evaluate_squared_loss(mech, stream, Box::new(L1Ball::unit(d)), (stream.len() / 8).max(1))
+            .unwrap();
     (rep.max_excess(), rep.final_excess())
 }
 

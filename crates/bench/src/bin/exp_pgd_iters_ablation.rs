@@ -23,19 +23,13 @@ fn run_cell(strategy: DescentStrategy, iters: usize, seed: u64) -> f64 {
     let params = PrivacyParams::approx(4.0, 1e-6).unwrap();
     let mut rng = NoiseRng::seed_from_u64(seed);
     let model = LinearModel { theta_star: sparse_theta(d, d, 0.7, &mut rng), noise_std: 0.05 };
-    let stream =
-        linear_stream(t, d, CovariateKind::DenseSphere { radius: 0.95 }, &model, &mut rng);
+    let stream = linear_stream(t, d, CovariateKind::DenseSphere { radius: 0.95 }, &model, &mut rng);
     let mut mech = PrivIncReg1::new(
         Box::new(L2Ball::unit(d)),
         t,
         &params,
         &mut rng,
-        PrivIncReg1Config {
-            max_pgd_iters: iters,
-            warm_start: true,
-            beta: 0.05,
-            strategy,
-        },
+        PrivIncReg1Config { max_pgd_iters: iters, warm_start: true, beta: 0.05, strategy },
     )
     .unwrap();
     let rep = evaluate_squared_loss(&mut mech, &stream, Box::new(L2Ball::unit(d)), (t / 8).max(1))

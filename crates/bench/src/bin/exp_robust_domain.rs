@@ -60,11 +60,8 @@ fn main() {
     let reps = scaled(3, 2) as u64;
     let p_values = [0.0, 0.25, 0.5, 0.75];
 
-    let cells: Vec<(usize, u64)> = p_values
-        .iter()
-        .enumerate()
-        .flat_map(|(i, _)| (0..reps).map(move |r| (i, r)))
-        .collect();
+    let cells: Vec<(usize, u64)> =
+        p_values.iter().enumerate().flat_map(|(i, _)| (0..reps).map(move |r| (i, r))).collect();
     let results =
         runner::parallel_map(cells.clone(), |&(i, r)| run_cell(d, t, p_values[i], 60 + r));
 
@@ -75,18 +72,10 @@ fn main() {
         "in-G points",
     ]);
     for (i, &p) in p_values.iter().enumerate() {
-        let ex: Vec<f64> = cells
-            .iter()
-            .zip(&results)
-            .filter(|((ii, _), _)| *ii == i)
-            .map(|(_, v)| v.0)
-            .collect();
-        let sub: Vec<f64> = cells
-            .iter()
-            .zip(&results)
-            .filter(|((ii, _), _)| *ii == i)
-            .map(|(_, v)| v.1)
-            .collect();
+        let ex: Vec<f64> =
+            cells.iter().zip(&results).filter(|((ii, _), _)| *ii == i).map(|(_, v)| v.0).collect();
+        let sub: Vec<f64> =
+            cells.iter().zip(&results).filter(|((ii, _), _)| *ii == i).map(|(_, v)| v.1).collect();
         let in_g = ((1.0 - median(&sub)) * t as f64).round() as usize;
         table.row(&[
             format!("{p}"),

@@ -2,9 +2,9 @@
 //! a convex loss has excess risk `≈ (Td)^{1/3}·L‖C‖/ε^{2/3}`, achieved at
 //! the recomputation interval `τ* = (Td)^{1/3}/ε^{2/3}`.
 
-use pir_bench::{fitting, median, report, runner, scaled};
 #[allow(unused_imports)]
 use pir_bench::fitting as _fitting;
+use pir_bench::{fitting, median, report, runner, scaled};
 use pir_core::evaluate::evaluate_generic;
 use pir_core::{PrivIncErm, TauRule};
 use pir_datagen::{classification_stream, sparse_theta, CovariateKind};
@@ -34,15 +34,9 @@ fn run_cell(d: usize, t: usize, eps: f64, rule: TauRule, seed: u64) -> f64 {
         rng.fork(),
     )
     .unwrap();
-    let rep = evaluate_generic(
-        &mut mech,
-        &stream,
-        &LogisticLoss,
-        &L2Ball::unit(d),
-        (t / 8).max(1),
-        1200,
-    )
-    .unwrap();
+    let rep =
+        evaluate_generic(&mut mech, &stream, &LogisticLoss, &L2Ball::unit(d), (t / 8).max(1), 1200)
+            .unwrap();
     rep.max_excess()
 }
 
@@ -70,12 +64,8 @@ fn main() {
     let mut t_axis = Vec::new();
     let mut ex_t = Vec::new();
     for &t in &t_values {
-        let vals: Vec<f64> = cells
-            .iter()
-            .zip(&results)
-            .filter(|((tt, _), _)| *tt == t)
-            .map(|(_, v)| *v)
-            .collect();
+        let vals: Vec<f64> =
+            cells.iter().zip(&results).filter(|((tt, _), _)| *tt == t).map(|(_, v)| *v).collect();
         let m = median(&vals);
         table.row(&["10".into(), t.to_string(), "1.0".into(), report::f(m)]);
         t_axis.push(t as f64);
@@ -133,8 +123,7 @@ fn main() {
         (format!("theorem τ*={star}"), TauRule::Convex),
         ("stale τ=T/2".to_string(), TauRule::Fixed(t / 2)),
     ] {
-        let vals: Vec<f64> =
-            (0..reps).map(|r| run_cell(d, t, 1.0, rule, 500 + r)).collect();
+        let vals: Vec<f64> = (0..reps).map(|r| run_cell(d, t, 1.0, rule, 500 + r)).collect();
         let tau = rule.resolve(&LogisticLoss, &L2Ball::unit(d), t, 1.0);
         table_tau.row(&[label, tau.to_string(), report::f(median(&vals))]);
     }

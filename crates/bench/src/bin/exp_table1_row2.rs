@@ -28,8 +28,7 @@ fn noise_driver(d: usize, n: usize, nu: f64, eps: f64, seed: u64) -> f64 {
     let params = PrivacyParams::approx(eps, 1e-6).unwrap();
     let mut rng = NoiseRng::seed_from_u64(seed);
     let model = LinearModel { theta_star: sparse_theta(d, d, 0.5, &mut rng), noise_std: 0.05 };
-    let batch =
-        linear_stream(n, d, CovariateKind::DenseSphere { radius: 0.95 }, &model, &mut rng);
+    let batch = linear_stream(n, d, CovariateKind::DenseSphere { radius: 0.95 }, &model, &mut rng);
     let loss = Regularized::new(SquaredLoss, nu);
     let set = L2Ball::unit(d);
     let exact = solve_exact(&loss, &batch, &set, 2000).unwrap();
@@ -42,8 +41,7 @@ fn run_stream_cell(d: usize, t: usize, nu: f64, eps: f64, seed: u64) -> f64 {
     let params = PrivacyParams::approx(eps, 1e-6).unwrap();
     let mut rng = NoiseRng::seed_from_u64(seed);
     let model = LinearModel { theta_star: sparse_theta(d, d, 0.6, &mut rng), noise_std: 0.05 };
-    let stream =
-        linear_stream(t, d, CovariateKind::DenseSphere { radius: 0.95 }, &model, &mut rng);
+    let stream = linear_stream(t, d, CovariateKind::DenseSphere { radius: 0.95 }, &model, &mut rng);
     let loss = Regularized::new(SquaredLoss, nu);
     let mut mech = PrivIncErm::new(
         Box::new(Regularized::new(SquaredLoss, nu)),
@@ -55,9 +53,8 @@ fn run_stream_cell(d: usize, t: usize, nu: f64, eps: f64, seed: u64) -> f64 {
         rng.fork(),
     )
     .unwrap();
-    let rep =
-        evaluate_generic(&mut mech, &stream, &loss, &L2Ball::unit(d), (t / 8).max(1), 1000)
-            .unwrap();
+    let rep = evaluate_generic(&mut mech, &stream, &loss, &L2Ball::unit(d), (t / 8).max(1), 1000)
+        .unwrap();
     rep.max_excess()
 }
 
@@ -149,12 +146,8 @@ fn main() {
         v
     };
     for &t in &t_list {
-        let vals: Vec<f64> = cells
-            .iter()
-            .zip(&results)
-            .filter(|((tt, _), _)| *tt == t)
-            .map(|(_, v)| *v)
-            .collect();
+        let vals: Vec<f64> =
+            cells.iter().zip(&results).filter(|((tt, _), _)| *tt == t).map(|(_, v)| *v).collect();
         table_t.row(&[
             "16".into(),
             t.to_string(),

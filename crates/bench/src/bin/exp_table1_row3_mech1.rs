@@ -25,8 +25,7 @@ fn run_cell(d: usize, t: usize, eps: f64, seed: u64) -> f64 {
     let mut theta_star = vec![0.0; d];
     theta_star[0] = 0.9;
     let model = LinearModel { theta_star, noise_std: 0.02 };
-    let stream =
-        linear_stream(t, d, CovariateKind::Anchored { radius: 0.95 }, &model, &mut rng);
+    let stream = linear_stream(t, d, CovariateKind::Anchored { radius: 0.95 }, &model, &mut rng);
     let mut mech = PrivIncReg1::new(
         Box::new(L2Ball::unit(d)),
         t,
@@ -62,12 +61,8 @@ fn main() {
     let mut d_axis = Vec::new();
     let mut ex_axis = Vec::new();
     for &d in &d_values {
-        let vals: Vec<f64> = cells
-            .iter()
-            .zip(&results)
-            .filter(|((dd, _), _)| *dd == d)
-            .map(|(_, v)| *v)
-            .collect();
+        let vals: Vec<f64> =
+            cells.iter().zip(&results).filter(|((dd, _), _)| *dd == d).map(|(_, v)| *v).collect();
         let m = median(&vals);
         table.row(&[d.to_string(), t_fixed.to_string(), format!("{eps_shape}"), report::f(m)]);
         d_axis.push(d as f64);
@@ -120,9 +115,8 @@ fn main() {
 
     // Sweep 3: privacy level at fixed d, T.
     let eps_values = [25.0, 50.0, 100.0, 200.0, 400.0];
-    let cells_e: Vec<(u64, u64)> = (0..eps_values.len() as u64)
-        .flat_map(|i| (0..reps).map(move |r| (i, r)))
-        .collect();
+    let cells_e: Vec<(u64, u64)> =
+        (0..eps_values.len() as u64).flat_map(|i| (0..reps).map(move |r| (i, r))).collect();
     let results_e = runner::parallel_map(cells_e.clone(), |&(i, r)| {
         run_cell(16, t_fixed, eps_values[i as usize], 3000 + i * 17 + r)
     });

@@ -34,9 +34,8 @@ fn run_cell(d: usize, t: usize, eps: f64, noise_std: f64, seed: u64) -> (f64, f6
     )
     .unwrap();
     let m = mech.m();
-    let rep =
-        evaluate_squared_loss(&mut mech, &stream, Box::new(L1Ball::unit(d)), (t / 8).max(1))
-            .unwrap();
+    let rep = evaluate_squared_loss(&mut mech, &stream, Box::new(L1Ball::unit(d)), (t / 8).max(1))
+        .unwrap();
     (rep.max_excess(), rep.final_opt(), m)
 }
 
@@ -68,12 +67,8 @@ fn main() {
     let mut t_axis = Vec::new();
     let mut ex_axis = Vec::new();
     for &t in &t_values {
-        let vals: Vec<(f64, f64, usize)> = cells
-            .iter()
-            .zip(&results)
-            .filter(|((tt, _), _)| *tt == t)
-            .map(|(_, v)| *v)
-            .collect();
+        let vals: Vec<(f64, f64, usize)> =
+            cells.iter().zip(&results).filter(|((tt, _), _)| *tt == t).map(|(_, v)| *v).collect();
         let ex = median(&vals.iter().map(|v| v.0).collect::<Vec<_>>());
         let opt = median(&vals.iter().map(|v| v.1).collect::<Vec<_>>());
         let m = vals[0].2;
@@ -118,14 +113,9 @@ fn main() {
             .filter(|((dd, _), _)| *dd == d)
             .map(|(_, v)| v.0)
             .collect();
-        let m_used = cells_d
-            .iter()
-            .zip(&results_d)
-            .find(|((dd, _), _)| *dd == d)
-            .map(|(_, v)| v.2)
-            .unwrap();
-        let wd = KSparseDomain::new(d, SPARSITY, 1.0).width_bound()
-            + L1Ball::unit(d).width_bound();
+        let m_used =
+            cells_d.iter().zip(&results_d).find(|((dd, _), _)| *dd == d).map(|(_, v)| v.2).unwrap();
+        let wd = KSparseDomain::new(d, SPARSITY, 1.0).width_bound() + L1Ball::unit(d).width_bound();
         let ex = median(&vals);
         table_d.row(&[
             d.to_string(),

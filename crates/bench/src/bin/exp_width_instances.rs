@@ -11,8 +11,7 @@ use pir_core::{PrivIncReg2, PrivIncReg2Config};
 use pir_datagen::{linear_stream, CovariateKind, LinearModel};
 use pir_dp::{NoiseRng, PrivacyParams};
 use pir_geometry::{
-    width, ConvexSet, GroupL1Ball, KSparseDomain, L1Ball, LpBall, PolytopeHull, Simplex,
-    WidthSet,
+    width, ConvexSet, GroupL1Ball, KSparseDomain, L1Ball, LpBall, PolytopeHull, Simplex, WidthSet,
 };
 
 const K: usize = 3;
@@ -65,8 +64,7 @@ fn run_instance(name: &'static str, d: usize, t: usize, seed: u64) -> f64 {
         PrivIncReg2Config { gordon_constant: 0.05, lift_iters: 40, ..Default::default() },
     )
     .unwrap();
-    let rep = evaluate_squared_loss(&mut mech, &stream, make_set(name, d), (t / 4).max(1))
-        .unwrap();
+    let rep = evaluate_squared_loss(&mut mech, &stream, make_set(name, d), (t / 4).max(1)).unwrap();
     rep.max_excess()
 }
 
@@ -79,13 +77,8 @@ fn main() {
     let d = scaled(120, 60);
     let t = scaled(256, 96);
     let reps = scaled(3, 2) as u64;
-    let names: [&'static str; 5] = [
-        "L1 ball (Lasso)",
-        "simplex",
-        "group-L1 (k=5)",
-        "Lp ball (p=1.5)",
-        "cross-polytope hull",
-    ];
+    let names: [&'static str; 5] =
+        ["L1 ball (Lasso)", "simplex", "group-L1 (k=5)", "Lp ball (p=1.5)", "cross-polytope hull"];
 
     let mut table = report::Table::new(&[
         "constraint set",
@@ -96,14 +89,16 @@ fn main() {
     ]);
     let mut mc_rng = NoiseRng::seed_from_u64(777);
     let domain_w = KSparseDomain::new(d, K, 1.0).width_bound();
-    println!("d = {d}, T = {t}, sparse covariates (k = {K}), w(X) bound = {domain_w:.2}, √d = {:.2}", (d as f64).sqrt());
+    println!(
+        "d = {d}, T = {t}, sparse covariates (k = {K}), w(X) bound = {domain_w:.2}, √d = {:.2}",
+        (d as f64).sqrt()
+    );
     println!();
     for name in names {
         let set = make_set(name, d);
         let bound = set.width_bound();
         let mc = width::monte_carlo(&set, 400, &mut mc_rng).mean;
-        let vals: Vec<f64> =
-            (0..reps).map(|r| run_instance(name, d, t, 900 + r)).collect();
+        let vals: Vec<f64> = (0..reps).map(|r| run_instance(name, d, t, 900 + r)).collect();
         table.row(&[
             name.to_string(),
             report::f(bound),

@@ -1,6 +1,6 @@
-//! Parallel sweep execution over crossbeam scoped threads: experiment
-//! grids are embarrassingly parallel (one mechanism run per cell), so we
-//! fan out across cores and reassemble in input order.
+//! Parallel sweep execution over `std::thread::scope`: experiment grids
+//! are embarrassingly parallel (one mechanism run per cell), so we fan
+//! out across cores and reassemble in input order.
 
 /// Map `f` over `inputs` in parallel, preserving order. Falls back to
 /// sequential execution for a single input or a single CPU.
@@ -23,9 +23,9 @@ where
     let inputs_ref = &inputs;
     let f_ref = &f;
     let results_mutex = std::sync::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                 if i >= n {
                     break;
@@ -35,8 +35,7 @@ where
                 guard[i] = Some(out);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results.into_iter().map(|o| o.expect("all cells computed")).collect()
 }
 

@@ -33,11 +33,8 @@ impl PrivateCounter {
     /// New counter for up to `t_max` bits under `ε`-DP (`δ` is ignored —
     /// the Laplace calibration gives pure DP).
     pub fn new(t_max: usize, params: &PrivacyParams, rng: NoiseRng) -> Self {
-        let levels = if t_max <= 1 {
-            1
-        } else {
-            (usize::BITS - (t_max - 1).leading_zeros()) as usize + 1
-        };
+        let levels =
+            if t_max <= 1 { 1 } else { (usize::BITS - (t_max - 1).leading_zeros()) as usize + 1 };
         PrivateCounter {
             t_max,
             levels,

@@ -192,14 +192,44 @@ impl TreeMechanism {
     /// Rejects wrong-dimension, non-finite, over-horizon, and (when
     /// constructed via [`TreeMechanism::new`]) norm-violating items.
     pub fn update(&mut self, v: &[f64]) -> Result<Vec<f64>> {
+        self.validate_item(v)?;
+        if self.t >= self.t_max {
+            return Err(ContinualError::StreamOverflow { t_max: self.t_max });
+        }
+        Ok(self.update_unchecked(v))
+    }
+
+    /// Consume a run of consecutive stream items, returning one private
+    /// prefix-sum release per item — release-for-release identical to
+    /// calling [`update`](TreeMechanism::update) in a loop (node noise is
+    /// drawn in the same order), but with the contract checks hoisted out
+    /// of the hot loop: the whole batch is validated (dimensions, finiteness,
+    /// norm bound, horizon) before any node is touched, so a bad batch is
+    /// rejected atomically without consuming stream capacity.
+    ///
+    /// This is the amortized entry point the `observe_batch` overrides in
+    /// `pir-core` drive.
+    ///
+    /// # Errors
+    /// Same conditions as [`update`](TreeMechanism::update); additionally
+    /// [`ContinualError::StreamOverflow`] when the batch as a whole would
+    /// exceed the horizon.
+    pub fn update_batch(&mut self, items: &[&[f64]]) -> Result<Vec<Vec<f64>>> {
+        for v in items {
+            self.validate_item(v)?;
+        }
+        if self.t + items.len() > self.t_max {
+            return Err(ContinualError::StreamOverflow { t_max: self.t_max });
+        }
+        Ok(items.iter().map(|v| self.update_unchecked(v)).collect())
+    }
+
+    fn validate_item(&self, v: &[f64]) -> Result<()> {
         if v.len() != self.dim {
             return Err(ContinualError::DimensionMismatch { expected: self.dim, found: v.len() });
         }
         if !vector::is_finite(v) {
             return Err(ContinualError::NonFinite);
-        }
-        if self.t >= self.t_max {
-            return Err(ContinualError::StreamOverflow { t_max: self.t_max });
         }
         if let Some(bound) = self.max_norm {
             let n = vector::norm2(v);
@@ -207,6 +237,11 @@ impl TreeMechanism {
                 return Err(ContinualError::NormBoundViolated { bound, found: n });
             }
         }
+        Ok(())
+    }
+
+    /// One node-update step with all contract checks already done.
+    fn update_unchecked(&mut self, v: &[f64]) -> Vec<f64> {
         self.t += 1;
         let t = self.t;
         // i ← index of the lowest set bit of t (paper Step 3).
@@ -231,7 +266,7 @@ impl TreeMechanism {
                 *x += self.rng.gaussian(0.0, self.sigma);
             }
         }
-        Ok(self.query())
+        self.query()
     }
 
     /// Recompute the current private prefix sum `s_t` from the stored noisy
@@ -327,10 +362,7 @@ mod tests {
     #[test]
     fn update_validations() {
         let mut mech = TreeMechanism::new(2, 2, 1.0, &params(), rng()).unwrap();
-        assert!(matches!(
-            mech.update(&[1.0]),
-            Err(ContinualError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(mech.update(&[1.0]), Err(ContinualError::DimensionMismatch { .. })));
         assert!(matches!(mech.update(&[f64::NAN, 0.0]), Err(ContinualError::NonFinite)));
         assert!(matches!(
             mech.update(&[3.0, 4.0]), // norm 5 > 1
@@ -338,10 +370,7 @@ mod tests {
         ));
         mech.update(&[0.6, 0.0]).unwrap();
         mech.update(&[0.0, 0.6]).unwrap();
-        assert!(matches!(
-            mech.update(&[0.1, 0.1]),
-            Err(ContinualError::StreamOverflow { .. })
-        ));
+        assert!(matches!(mech.update(&[0.1, 0.1]), Err(ContinualError::StreamOverflow { .. })));
     }
 
     #[test]

@@ -154,13 +154,16 @@ impl IncrementalMechanism for ExactIncremental {
     }
 }
 
+/// Domain-membership oracle `x ↦ x ∈ G` for the §5.2 restricted setting.
+pub type MembershipOracle = Box<dyn Fn(&[f64]) -> bool + Send + Sync>;
+
 /// [`ExactIncremental`] restricted to a sub-domain `G`: points failing the
 /// membership oracle are skipped entirely, so the tracked objective is the
 /// §5.2 `G`-restricted risk `Σ_{x_i∈G} (y_i − ⟨x_i, θ⟩)²`. This is the
 /// evaluation oracle for [`crate::RobustPrivIncReg2`].
 pub struct ExactIncrementalRestricted {
     inner: ExactIncremental,
-    oracle: Box<dyn Fn(&[f64]) -> bool + Send + Sync>,
+    oracle: MembershipOracle,
     skipped: usize,
 }
 
@@ -175,10 +178,7 @@ impl std::fmt::Debug for ExactIncrementalRestricted {
 
 impl ExactIncrementalRestricted {
     /// New restricted oracle over `set` with domain membership `oracle`.
-    pub fn new(
-        set: Box<dyn ConvexSet>,
-        oracle: Box<dyn Fn(&[f64]) -> bool + Send + Sync>,
-    ) -> Self {
+    pub fn new(set: Box<dyn ConvexSet>, oracle: MembershipOracle) -> Self {
         ExactIncrementalRestricted { inner: ExactIncremental::new(set), oracle, skipped: 0 }
     }
 
@@ -263,14 +263,10 @@ mod tests {
             last = oracle.observe(z).unwrap();
         }
         let batch = solve_exact(&SquaredLoss, &data, &L2Ball::unit(3), 4000).unwrap();
-        assert!(
-            vector::distance(&last, &batch) < 1e-3,
-            "incremental {last:?} vs batch {batch:?}"
-        );
+        assert!(vector::distance(&last, &batch) < 1e-3, "incremental {last:?} vs batch {batch:?}");
         // risk_of at the oracle's solution equals the batch objective.
         let risk = oracle.risk_of(&last).unwrap();
-        let direct: f64 =
-            data.iter().map(|z| SquaredLoss.value(&last, &z.x, z.y)).sum();
+        let direct: f64 = data.iter().map(|z| SquaredLoss.value(&last, &z.x, z.y)).sum();
         assert!((risk - direct).abs() < 1e-9);
     }
 

@@ -44,6 +44,7 @@ pub enum DescentStrategy {
 /// (Lemma 4.1's matrix term); `alpha` the full gradient-error bound;
 /// `lipschitz` the true objective's Lipschitz constant over `C` (used by
 /// the paper path); `max_iters` the per-timestep iteration budget.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn minimize_private_objective<C: ConvexSet + ?Sized>(
     strategy: DescentStrategy,
     grad: &PrivateGradientFn,
@@ -86,9 +87,7 @@ pub(crate) fn minimize_private_objective<C: ConvexSet + ?Sized>(
 /// Smoothness (largest eigenvalue) bound for the surrogate's Hessian `A`:
 /// a cheap power-iteration estimate with a Frobenius-norm fallback.
 fn quadratic_smoothness(a: &Matrix) -> f64 {
-    a.spectral_norm(1e-3, 300)
-        .unwrap_or_else(|_| a.frobenius_norm())
-        .max(1e-9)
+    a.spectral_norm(1e-3, 300).unwrap_or_else(|_| a.frobenius_norm()).max(1e-9)
 }
 
 #[cfg(test)]

@@ -162,8 +162,7 @@ mod tests {
         // Evaluating the exact oracle against itself gives ≈ 0 excess.
         let mut mech = ExactIncremental::new(Box::new(L2Ball::unit(3)));
         let report =
-            evaluate_squared_loss(&mut mech, &stream(30, 1), Box::new(L2Ball::unit(3)), 1)
-                .unwrap();
+            evaluate_squared_loss(&mut mech, &stream(30, 1), Box::new(L2Ball::unit(3)), 1).unwrap();
         assert!(report.max_excess() < 1e-6, "max excess {}", report.max_excess());
         assert_eq!(report.records.len(), 30);
     }
@@ -173,8 +172,7 @@ mod tests {
         let set = L2Ball::unit(3);
         let mut mech = TrivialMechanism::new(&set);
         let report =
-            evaluate_squared_loss(&mut mech, &stream(50, 2), Box::new(L2Ball::unit(3)), 1)
-                .unwrap();
+            evaluate_squared_loss(&mut mech, &stream(50, 2), Box::new(L2Ball::unit(3)), 1).unwrap();
         // Excess grows with t for a signal-bearing stream.
         let early = report.records[4].excess;
         let late = report.records[49].excess;
@@ -203,8 +201,7 @@ mod tests {
             evaluate_squared_loss(&mut mech1, &data, Box::new(L2Ball::unit(3)), 1).unwrap();
         let set = L2Ball::unit(3);
         let mut triv = TrivialMechanism::new(&set);
-        let r_triv =
-            evaluate_squared_loss(&mut triv, &data, Box::new(L2Ball::unit(3)), 1).unwrap();
+        let r_triv = evaluate_squared_loss(&mut triv, &data, Box::new(L2Ball::unit(3)), 1).unwrap();
         assert!(
             r_priv.final_excess() < r_triv.final_excess(),
             "private {} !< trivial {}",

@@ -167,7 +167,7 @@ impl IncrementalMechanism for PrivIncErm {
         }
         self.t += 1;
         self.history.push(z.clone());
-        if self.t % self.tau == 0 {
+        if self.t.is_multiple_of(self.tau) {
             self.last_theta = self.solver.solve(
                 self.loss.as_ref(),
                 &self.history,
@@ -177,6 +177,23 @@ impl IncrementalMechanism for PrivIncErm {
             )?;
         }
         Ok(self.last_theta.clone())
+    }
+
+    /// Same releases as the sequential loop, but with the atomic batch
+    /// contract the engine relies on: the whole batch is validated and
+    /// checked against the horizon before any point is consumed, so a
+    /// rejected batch never leaves a partial prefix in the ERM history
+    /// (which a retry would otherwise double-count).
+    fn observe_batch(&mut self, batch: &[DataPoint]) -> Result<Vec<Vec<f64>>> {
+        let d = self.set.dim();
+        for (i, z) in batch.iter().enumerate() {
+            z.validate(d)
+                .map_err(|e| CoreError::InvalidPoint { reason: format!("batch index {i}: {e}") })?;
+        }
+        if self.t + batch.len() > self.t_max {
+            return Err(CoreError::StreamOverflow { t_max: self.t_max });
+        }
+        batch.iter().map(|z| self.observe(z)).collect()
     }
 }
 
@@ -218,7 +235,7 @@ mod tests {
         let s1 = TauRule::StronglyConvex.resolve(&reg, &set, 100, 1.0);
         let s2 = TauRule::StronglyConvex.resolve(&reg, &set, 10_000, 1.0);
         assert_eq!(s1, s2.min(s1.max(s2))); // both the same unless clamped
-        // LowWidth rule grows with √T.
+                                            // LowWidth rule grows with √T.
         let l1 = L1Ball::unit(16);
         let w1 = TauRule::LowWidth.resolve(&loss, &l1, 100, 1.0);
         let w2 = TauRule::LowWidth.resolve(&loss, &l1, 400, 1.0);

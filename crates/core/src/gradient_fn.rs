@@ -102,8 +102,7 @@ mod tests {
     #[test]
     fn evaluates_linear_gradient_form() {
         // Q = I, q = (1, 0): g(θ) = 2(θ − q).
-        let g = PrivateGradientFn::new(Matrix::identity(2), vec![1.0, 0.0], 0.0, 0.0, 1.0)
-            .unwrap();
+        let g = PrivateGradientFn::new(Matrix::identity(2), vec![1.0, 0.0], 0.0, 0.0, 1.0).unwrap();
         assert_eq!(g.eval(&[0.0, 0.0]).unwrap(), vec![-2.0, 0.0]);
         assert_eq!(g.eval(&[1.0, 1.0]).unwrap(), vec![0.0, 2.0]);
         assert!(g.eval(&[1.0]).is_err());
@@ -111,8 +110,7 @@ mod tests {
 
     #[test]
     fn alpha_combines_component_errors_lemma41() {
-        let g = PrivateGradientFn::new(Matrix::identity(3), vec![0.0; 3], 0.5, 0.25, 2.0)
-            .unwrap();
+        let g = PrivateGradientFn::new(Matrix::identity(3), vec![0.0; 3], 0.5, 0.25, 2.0).unwrap();
         assert!((g.alpha() - 2.0 * (0.5 * 2.0 + 0.25)).abs() < 1e-12);
     }
 
@@ -126,10 +124,8 @@ mod tests {
 
     #[test]
     fn rejects_mismatched_shapes() {
-        assert!(PrivateGradientFn::new(Matrix::zeros(2, 3), vec![0.0; 2], 0.0, 0.0, 1.0)
-            .is_err());
-        assert!(PrivateGradientFn::new(Matrix::identity(2), vec![0.0; 3], 0.0, 0.0, 1.0)
-            .is_err());
+        assert!(PrivateGradientFn::new(Matrix::zeros(2, 3), vec![0.0; 2], 0.0, 0.0, 1.0).is_err());
+        assert!(PrivateGradientFn::new(Matrix::identity(2), vec![0.0; 3], 0.0, 0.0, 1.0).is_err());
     }
 
     #[test]

@@ -61,11 +61,7 @@ pub fn lift_constrained_ls(
 ) -> Result<Vec<f64>> {
     if target.len() != sketch.m() {
         return Err(CoreError::InvalidConfig {
-            reason: format!(
-                "lift target dimension {} != sketch m {}",
-                target.len(),
-                sketch.m()
-            ),
+            reason: format!("lift target dimension {} != sketch m {}", target.len(), sketch.m()),
         });
     }
     let obj = LiftObjective { sketch, target };
@@ -105,12 +101,7 @@ impl AffinePreimage {
     ///
     /// # Errors
     /// Dimension mismatches.
-    pub fn project(
-        &self,
-        sketch: &GaussianSketch,
-        theta: &[f64],
-        v: &[f64],
-    ) -> Result<Vec<f64>> {
+    pub fn project(&self, sketch: &GaussianSketch, theta: &[f64], v: &[f64]) -> Result<Vec<f64>> {
         let resid = vector::sub(&sketch.apply(theta).map_err(CoreError::Linalg)?, v);
         let z = self.gram_chol.solve(&resid).map_err(CoreError::Linalg)?;
         let corr = sketch.apply_t(&z).map_err(CoreError::Linalg)?;
@@ -270,8 +261,7 @@ mod tests {
         let mut r = rng();
         let sketch = GaussianSketch::sample(4, 10, &mut r);
         let set = L2Ball::unit(10);
-        assert!(lift_constrained_ls(&sketch, &[1.0; 3], &set, 1.0, 10, &vec![0.0; 10])
-            .is_err());
+        assert!(lift_constrained_ls(&sketch, &[1.0; 3], &set, 1.0, 10, &[0.0; 10]).is_err());
     }
 
     #[test]
@@ -295,8 +285,7 @@ mod tests {
             let target = sketch.apply(&theta_true).unwrap();
             let smooth = sketch_smoothness(&sketch);
             let theta =
-                lift_constrained_ls(&sketch, &target, &set, smooth, 800, &vec![0.0; d])
-                    .unwrap();
+                lift_constrained_ls(&sketch, &target, &set, smooth, 800, &vec![0.0; d]).unwrap();
             let err = vector::distance(&theta, &theta_true);
             let bound = theorem_5_3_bound(set.width_bound(), set.diameter(), m, 0.05);
             assert!(err <= 2.0 * bound, "m={m}: err {err} vs bound {bound}");

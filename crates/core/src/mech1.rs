@@ -105,9 +105,7 @@ impl PrivIncReg1 {
     fn matrix_spectral_error(&self, beta: f64) -> f64 {
         let d = self.set.dim() as f64;
         let levels = self.tree_xx.levels() as f64;
-        self.tree_xx.sigma()
-            * levels.sqrt()
-            * (2.0 * d.sqrt() + (2.0 * (1.0 / beta).ln()).sqrt())
+        self.tree_xx.sigma() * levels.sqrt() * (2.0 * d.sqrt() + (2.0 * (1.0 / beta).ln()).sqrt())
     }
 
     /// Lemma 4.1 gradient-error bound `α` at the configured `β`, split
@@ -162,11 +160,7 @@ impl PrivIncReg1 {
         // of the released statistics (see crate::descent).
         let alpha = grad.alpha().max(1e-12);
         let lipschitz = 2.0 * self.t as f64 * (1.0 + self.set.diameter());
-        let start = if self.config.warm_start {
-            self.last_theta.clone()
-        } else {
-            vec![0.0; d]
-        };
+        let start = if self.config.warm_start { self.last_theta.clone() } else { vec![0.0; d] };
         let theta = minimize_private_objective(
             self.config.strategy,
             &grad,
@@ -198,6 +192,71 @@ impl IncrementalMechanism for PrivIncReg1 {
     fn observe(&mut self, z: &DataPoint) -> Result<Vec<f64>> {
         self.step(z)
     }
+
+    /// Amortized batch path — release-for-release identical to the
+    /// sequential loop (the two trees hold independent forked noise
+    /// streams, so phase-splitting the updates preserves every draw):
+    ///
+    /// 1. one contract sweep over the batch (atomic rejection);
+    /// 2. the `x_t y_t` tree driven through
+    ///    [`TreeMechanism::update_batch`];
+    /// 3. the `d²`-dimensional second-moment tree and the per-step
+    ///    descent in one loop reusing a single `d×d` outer-product
+    ///    scratch, with the `t`-independent error bounds
+    ///    (`α` ingredients of Lemma 4.1) hoisted out.
+    fn observe_batch(&mut self, batch: &[DataPoint]) -> Result<Vec<Vec<f64>>> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let d = self.set.dim();
+        for (i, z) in batch.iter().enumerate() {
+            z.validate(d)
+                .map_err(|e| CoreError::InvalidPoint { reason: format!("batch index {i}: {e}") })?;
+        }
+        if self.t + batch.len() > self.t_max {
+            return Err(CoreError::StreamOverflow { t_max: self.t_max });
+        }
+
+        // Hoisted: the Lemma 4.1 error ingredients depend only on the tree
+        // geometry (σ, levels, d), never on t.
+        let beta_each = self.config.beta / (2.0 * self.t_max as f64);
+        let me = self.matrix_spectral_error(beta_each);
+        let ve = self.tree_xy.error_bound(beta_each);
+        let diameter = self.set.diameter();
+
+        // Phase A — all first-moment tree updates (Step 3 of Algorithm 2).
+        let xys: Vec<Vec<f64>> = batch.iter().map(|z| vector::scale(&z.x, z.y)).collect();
+        let xy_refs: Vec<&[f64]> = xys.iter().map(Vec::as_slice).collect();
+        let q_ts = self.tree_xy.update_batch(&xy_refs)?;
+
+        // Phase B — second-moment tree + descent per point (Steps 4–6),
+        // reusing one d×d scratch instead of allocating per point.
+        let mut outer = Matrix::zeros(d, d);
+        let mut out = Vec::with_capacity(batch.len());
+        for (z, q_t) in batch.iter().zip(q_ts) {
+            self.t += 1;
+            outer.set_outer(&z.x, &z.x).map_err(CoreError::Linalg)?;
+            let qmat_flat = self.tree_xx.update(outer.as_slice())?;
+            let q_matrix = Matrix::from_vec(d, d, qmat_flat).map_err(CoreError::Linalg)?;
+            let grad = PrivateGradientFn::new(q_matrix, q_t, me, ve, diameter)?;
+            let alpha = grad.alpha().max(1e-12);
+            let lipschitz = 2.0 * self.t as f64 * (1.0 + diameter);
+            let start = if self.config.warm_start { self.last_theta.clone() } else { vec![0.0; d] };
+            let theta = minimize_private_objective(
+                self.config.strategy,
+                &grad,
+                &self.set,
+                me,
+                alpha,
+                lipschitz,
+                self.config.max_pgd_iters,
+                &start,
+            );
+            self.last_theta = theta.clone();
+            out.push(theta);
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -224,14 +283,9 @@ mod tests {
     fn releases_feasible_estimates_every_step() {
         let mut rng = NoiseRng::seed_from_u64(1);
         let set = L2Ball::unit(4);
-        let mut mech = PrivIncReg1::new(
-            Box::new(set),
-            16,
-            &params(),
-            &mut rng,
-            PrivIncReg1Config::default(),
-        )
-        .unwrap();
+        let mut mech =
+            PrivIncReg1::new(Box::new(set), 16, &params(), &mut rng, PrivIncReg1Config::default())
+                .unwrap();
         for z in stream(16, 4, 2) {
             let theta = mech.observe(&z).unwrap();
             assert_eq!(theta.len(), 4);

@@ -67,6 +67,39 @@ impl Default for PrivIncReg2Config {
 
 /// The sketched private incremental regression mechanism
 /// (Algorithm 3, Theorem 5.7).
+///
+/// # Examples
+///
+/// Sparse regression over the unit `ℓ₁` ball with a fixed sketch
+/// dimension (use `m_override: None` to let Gordon's rule size it from
+/// the combined Gaussian width):
+///
+/// ```
+/// use pir_core::{IncrementalMechanism, PrivIncReg2, PrivIncReg2Config};
+/// use pir_dp::{NoiseRng, PrivacyParams};
+/// use pir_erm::DataPoint;
+/// use pir_geometry::L1Ball;
+///
+/// let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+/// let mut rng = NoiseRng::seed_from_u64(7);
+/// let d = 50;
+/// let mut mech = PrivIncReg2::new(
+///     Box::new(L1Ball::unit(d)),
+///     2.0, // bound on the covariate-domain Gaussian width w(X)
+///     32,  // stream horizon T
+///     &params,
+///     &mut rng,
+///     PrivIncReg2Config { m_override: Some(8), ..Default::default() },
+/// )
+/// .unwrap();
+///
+/// // One release per arrival; `observe_batch` amortizes whole runs.
+/// let mut x = vec![0.0; d];
+/// x[0] = 0.5;
+/// let theta = mech.observe(&DataPoint::new(x, 0.35)).unwrap();
+/// assert_eq!(theta.len(), d);
+/// assert!(theta.iter().map(|v| v.abs()).sum::<f64>() <= 1.0 + 1e-6);
+/// ```
 #[derive(Debug)]
 pub struct PrivIncReg2 {
     set: Box<dyn ConvexSet>,
@@ -302,6 +335,97 @@ impl IncrementalMechanism for PrivIncReg2 {
     fn observe(&mut self, z: &DataPoint) -> Result<Vec<f64>> {
         self.step(z)
     }
+
+    /// Amortized batch path — release-for-release identical to the
+    /// sequential loop (the sketch is deterministic once sampled and the
+    /// two projected-space trees hold independent forked noise streams,
+    /// so phase-splitting preserves every draw):
+    ///
+    /// 1. one contract sweep over the batch (atomic rejection);
+    /// 2. all covariates embedded through
+    ///    [`GaussianSketch::embed_normalized_batch`] while `Φ` is hot in
+    ///    cache (Step 4 of Algorithm 3 across the batch);
+    /// 3. the projected `x y` tree driven through
+    ///    [`pir_continual::TreeMechanism::update_batch`];
+    /// 4. the `m²` second-moment tree, descent, and gauge lift in one
+    ///    loop reusing a single `m×m` outer-product scratch, with the
+    ///    `t`-independent error bounds hoisted out.
+    fn observe_batch(&mut self, batch: &[DataPoint]) -> Result<Vec<Vec<f64>>> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let d = self.set.dim();
+        for (i, z) in batch.iter().enumerate() {
+            z.validate(d)
+                .map_err(|e| CoreError::InvalidPoint { reason: format!("batch index {i}: {e}") })?;
+        }
+        if self.t + batch.len() > self.t_max {
+            return Err(CoreError::StreamOverflow { t_max: self.t_max });
+        }
+        let m = self.sketch.m();
+
+        // Phase A — batched norm-preserving embedding (Step 4).
+        let xrefs: Vec<&[f64]> = batch.iter().map(|z| z.x.as_slice()).collect();
+        let embedded: Vec<Vec<f64>> = self
+            .sketch
+            .embed_normalized_batch(&xrefs)
+            .map_err(CoreError::Linalg)?
+            .into_iter()
+            .map(|e| e.unwrap_or_else(|| vec![0.0; m]))
+            .collect();
+
+        // Phase B — all first-moment tree updates in projected space
+        // (Step 5).
+        let pxys: Vec<Vec<f64>> =
+            embedded.iter().zip(batch).map(|(e, z)| vector::scale(e, z.y)).collect();
+        let pxy_refs: Vec<&[f64]> = pxys.iter().map(Vec::as_slice).collect();
+        let q_ts = self.tree_xy.update_batch(&pxy_refs)?;
+
+        // Hoisted: error-bound ingredients depend only on tree geometry.
+        let beta_each = self.config.beta / (2.0 * self.t_max as f64);
+        let levels = self.tree_xx.levels() as f64;
+        let me = self.tree_xx.sigma()
+            * levels.sqrt()
+            * (2.0 * (m as f64).sqrt() + (2.0 * (1.0 / beta_each).ln()).sqrt());
+        let ve = self.tree_xy.error_bound(beta_each);
+        let proj_diameter = self.proj_ball.diameter();
+
+        // Phase C — second-moment tree, descent, and lift per point
+        // (Steps 6–9), reusing one m×m scratch.
+        let mut outer = Matrix::zeros(m, m);
+        let mut out = Vec::with_capacity(batch.len());
+        for (e, q_t) in embedded.iter().zip(q_ts) {
+            self.t += 1;
+            outer.set_outer(e, e).map_err(CoreError::Linalg)?;
+            let qmat_flat = self.tree_xx.update(outer.as_slice())?;
+            let q_matrix = Matrix::from_vec(m, m, qmat_flat).map_err(CoreError::Linalg)?;
+            let grad = PrivateGradientFn::new(q_matrix, q_t, me, ve, proj_diameter)?;
+            let alpha = grad.alpha().max(1e-12);
+            let lipschitz = 2.0 * self.t as f64 * (1.0 + proj_diameter);
+            let vartheta = minimize_private_objective(
+                self.config.strategy,
+                &grad,
+                &self.proj_ball,
+                me,
+                alpha,
+                lipschitz,
+                self.config.max_pgd_iters,
+                &self.last_vartheta,
+            );
+            self.last_vartheta = vartheta.clone();
+            let theta = lift_constrained_ls(
+                &self.sketch,
+                &vartheta,
+                &self.set,
+                self.lift_smoothness,
+                self.config.lift_iters,
+                &self.last_theta,
+            )?;
+            self.last_theta = theta.clone();
+            out.push(theta);
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -422,15 +546,8 @@ mod tests {
         )
         .is_err());
         let bad_m = PrivIncReg2Config { m_override: Some(100), ..Default::default() };
-        assert!(PrivIncReg2::new(
-            Box::new(L1Ball::unit(10)),
-            1.0,
-            8,
-            &params(),
-            &mut rng,
-            bad_m
-        )
-        .is_err());
+        assert!(PrivIncReg2::new(Box::new(L1Ball::unit(10)), 1.0, 8, &params(), &mut rng, bad_m)
+            .is_err());
         assert!(PrivIncReg2::new(
             Box::new(L1Ball::unit(10)),
             f64::NAN,

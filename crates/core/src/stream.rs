@@ -7,7 +7,11 @@ use pir_erm::DataPoint;
 /// time and releases an estimator after *every* arrival. The full release
 /// sequence is what the `(ε, δ)` event-level guarantee covers
 /// (Definition 4 of the paper).
-pub trait IncrementalMechanism {
+///
+/// Mechanisms are `Send` so the sharded engine (`pir-engine`) can move
+/// sessions across worker threads; every in-tree implementation is plain
+/// owned data and satisfies this automatically.
+pub trait IncrementalMechanism: Send {
     /// Human-readable mechanism name (used in experiment tables).
     fn name(&self) -> String;
 
@@ -23,4 +27,40 @@ pub trait IncrementalMechanism {
     /// # Errors
     /// Domain-contract violations, stream overflow, or internal failures.
     fn observe(&mut self, z: &DataPoint) -> Result<Vec<f64>>;
+
+    /// Consume a batch of consecutive stream points and release one
+    /// estimator per point — semantically the `batch.len()`-fold
+    /// iteration of [`observe`](IncrementalMechanism::observe), and
+    /// **release-for-release identical** to it for any valid batch (the
+    /// batched-equals-sequential law checked by
+    /// `tests/batch_equivalence.rs`).
+    ///
+    /// The default implementation validates every point up front and then
+    /// loops. Mechanisms with per-step setup worth amortizing override
+    /// it: [`crate::PrivIncReg1`] and [`crate::PrivIncReg2`] hoist their
+    /// per-batch constants, reuse the outer-product scratch across the
+    /// batch, and drive the tree-mechanism node updates / sketch
+    /// applications through the batched entry points of `pir-continual`
+    /// and `pir-sketch`.
+    ///
+    /// Batching tightens the failure contract: the *whole* batch is
+    /// validated before anything is consumed, so a contract violation
+    /// anywhere rejects the batch atomically (the sequential loop would
+    /// consume the valid prefix first). The paper mechanisms additionally
+    /// reject batches that would overflow the horizon without consuming
+    /// anything. On an empty batch this is a no-op returning an empty
+    /// vector.
+    ///
+    /// # Errors
+    /// Domain-contract violations anywhere in the batch, stream overflow,
+    /// or internal failures.
+    fn observe_batch(&mut self, batch: &[DataPoint]) -> Result<Vec<Vec<f64>>> {
+        let d = self.dim();
+        for (i, z) in batch.iter().enumerate() {
+            z.validate(d).map_err(|e| crate::CoreError::InvalidPoint {
+                reason: format!("batch index {i}: {e}"),
+            })?;
+        }
+        batch.iter().map(|z| self.observe(z)).collect()
+    }
 }

@@ -141,8 +141,7 @@ mod tests {
         let (_x, dist) = worst_sparse_direction(&sketch, k, 60, &mut rng);
         assert!(dist < 0.9, "sparse adversary distortion {dist}");
         let null = null_space_direction(&sketch, &mut rng).unwrap();
-        let null_dist =
-            (vector::norm2_sq(&sketch.apply(&null).unwrap()) - 1.0).abs();
+        let null_dist = (vector::norm2_sq(&sketch.apply(&null).unwrap()) - 1.0).abs();
         assert!(null_dist > 0.99);
         assert!(dist < null_dist);
     }

@@ -92,8 +92,8 @@ impl CovariateKind {
                 let mut x = if d > 1 {
                     let tail = rng.unit_sphere(d - 1);
                     let mut v = vec![0.0; d];
-                    let tail_scale = (radius * radius - x0 * x0).max(0.0).sqrt()
-                        * rng.uniform_open().sqrt();
+                    let tail_scale =
+                        (radius * radius - x0 * x0).max(0.0).sqrt() * rng.uniform_open().sqrt();
                     for (i, t) in tail.iter().enumerate() {
                         v[i + 1] = tail_scale * t;
                     }
@@ -125,9 +125,9 @@ impl CovariateKind {
                 assert!(radius > 0.0 && radius <= 1.0, "radius must lie in (0,1]");
                 // Dirichlet-like: exponential magnitudes normalized to the
                 // L1 sphere, then shrunk by a uniform factor.
-                let mut x: Vec<f64> =
-                    (0..d).map(|_| -rng.uniform_open().ln() * rng.uniform_in(-1.0, 1.0).signum())
-                        .collect();
+                let mut x: Vec<f64> = (0..d)
+                    .map(|_| -rng.uniform_open().ln() * rng.uniform_in(-1.0, 1.0).signum())
+                    .collect();
                 let n1 = vector::norm1(&x);
                 let shrink = radius * rng.uniform_open() / n1.max(1e-12);
                 vector::scale_mut(&mut x, shrink);
@@ -214,6 +214,7 @@ pub fn classification_stream(
 /// `theta_a` for the first `switch_at` points, then drifts linearly to
 /// `theta_b` over the remainder — the regression summary must be
 /// re-evaluated continually.
+#[allow(clippy::too_many_arguments)]
 pub fn drift_stream(
     n: usize,
     d: usize,
@@ -236,8 +237,7 @@ pub fn drift_stream(
             let theta: Vec<f64> =
                 theta_a.iter().zip(theta_b).map(|(a, b)| a + frac * (b - a)).collect();
             let x = covariates.sample(d, rng);
-            let y =
-                (vector::dot(&x, &theta) + rng.gaussian(0.0, noise_std)).clamp(-1.0, 1.0);
+            let y = (vector::dot(&x, &theta) + rng.gaussian(0.0, noise_std)).clamp(-1.0, 1.0);
             DataPoint::new(x, y)
         })
         .collect()
@@ -281,8 +281,7 @@ mod tests {
     fn all_generators_respect_the_normalization_contract() {
         let mut r = rng();
         let d = 12;
-        let model =
-            LinearModel { theta_star: sparse_theta(d, 3, 0.8, &mut r), noise_std: 0.05 };
+        let model = LinearModel { theta_star: sparse_theta(d, 3, 0.8, &mut r), noise_std: 0.05 };
         for kind in [
             CovariateKind::DenseSphere { radius: 0.9 },
             CovariateKind::Sparse { k: 3 },
@@ -293,11 +292,25 @@ mod tests {
             let data = linear_stream(200, d, kind, &model, &mut r);
             validate_dataset(&data, d).expect("contract violated");
         }
-        let cls = classification_stream(100, d, CovariateKind::Sparse { k: 2 },
-            &model.theta_star, 0.5, &mut r);
+        let cls = classification_stream(
+            100,
+            d,
+            CovariateKind::Sparse { k: 2 },
+            &model.theta_star,
+            0.5,
+            &mut r,
+        );
         validate_dataset(&cls, d).unwrap();
-        let drift = drift_stream(100, d, CovariateKind::DenseSphere { radius: 0.9 },
-            &model.theta_star, &vec![0.0; d], 50, 0.05, &mut r);
+        let drift = drift_stream(
+            100,
+            d,
+            CovariateKind::DenseSphere { radius: 0.9 },
+            &model.theta_star,
+            &vec![0.0; d],
+            50,
+            0.05,
+            &mut r,
+        );
         validate_dataset(&drift, d).unwrap();
         let mix = mixture_stream(100, d, 3, 0.4, &model, &mut r);
         validate_dataset(&mix, d).unwrap();
@@ -384,7 +397,13 @@ mod tests {
         let d = 6;
         let theta = sparse_theta(d, 2, 1.0, &mut r);
         let data = classification_stream(
-            3000, d, CovariateKind::DenseSphere { radius: 0.95 }, &theta, 0.1, &mut r);
+            3000,
+            d,
+            CovariateKind::DenseSphere { radius: 0.95 },
+            &theta,
+            0.1,
+            &mut r,
+        );
         let mut agree = 0usize;
         for z in &data {
             assert!(z.y == 1.0 || z.y == -1.0);
@@ -402,8 +421,7 @@ mod tests {
         let d = 20;
         let model = LinearModel { theta_star: sparse_theta(d, 2, 0.5, &mut r), noise_std: 0.0 };
         let data = mixture_stream(2000, d, 2, 0.3, &model, &mut r);
-        let dense_count =
-            data.iter().filter(|z| vector::nnz(&z.x) > 2).count();
+        let dense_count = data.iter().filter(|z| vector::nnz(&z.x) > 2).count();
         let frac = dense_count as f64 / data.len() as f64;
         assert!((frac - 0.3).abs() < 0.05, "off-domain fraction {frac}");
     }
@@ -415,7 +433,15 @@ mod tests {
         let a = vec![0.8, 0.0, 0.0, 0.0];
         let b = vec![0.0, 0.8, 0.0, 0.0];
         let data = drift_stream(
-            1000, d, CovariateKind::DenseSphere { radius: 0.9 }, &a, &b, 500, 0.01, &mut r);
+            1000,
+            d,
+            CovariateKind::DenseSphere { radius: 0.9 },
+            &a,
+            &b,
+            500,
+            0.01,
+            &mut r,
+        );
         // First-half labels correlate with a, second-half with b.
         let corr = |slice: &[DataPoint], theta: &[f64]| {
             slice.iter().map(|z| z.y * vector::dot(&z.x, theta)).sum::<f64>()

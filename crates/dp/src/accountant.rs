@@ -5,7 +5,7 @@
 //! is *defense in depth*: every noisy release records a charge, totals are
 //! tracked under basic composition across charge groups (each group may
 //! internally use advanced composition via
-//! [`composition::calibrate_advanced`](crate::composition::calibrate_advanced)),
+//! [`crate::composition::calibrate_advanced`]),
 //! and an overdraft is an error rather than a silent privacy failure.
 
 use crate::composition;

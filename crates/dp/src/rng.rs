@@ -2,30 +2,73 @@
 //!
 //! All privacy noise in the workspace flows through [`NoiseRng`] so that
 //! experiments are exactly reproducible from a single `u64` seed and so that
-//! the normal/Laplace deviate generation is self-contained (only `rand`'s
-//! uniform bit stream is consumed). Gaussians use the polar Box–Muller
-//! method with a cached spare; Laplace uses inverse-CDF sampling.
+//! the normal/Laplace deviate generation is self-contained (only the
+//! generator's uniform bit stream is consumed). The bit stream is an
+//! in-tree xoshiro256++ seeded through SplitMix64 — no external `rand`
+//! dependency, which keeps the workspace buildable offline. Gaussians use
+//! the polar Box–Muller method with a cached spare; Laplace uses
+//! inverse-CDF sampling.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+/// xoshiro256++ core generator (public-domain algorithm by Blackman &
+/// Vigna): 256-bit state, passes BigCrush, and is cheap enough to sit on
+/// the per-node noise path of the tree mechanisms.
+#[derive(Debug, Clone)]
+struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Expand a 64-bit seed into the 256-bit state via SplitMix64 (the
+    /// seeding procedure the xoshiro authors recommend).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256PlusPlus { s: [next(), next(), next(), next()] }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform deviate in `[0, 1)` from the top 53 bits.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// A seedable random source producing the deviates the DP mechanisms need.
 #[derive(Debug)]
 pub struct NoiseRng {
-    inner: StdRng,
+    inner: Xoshiro256PlusPlus,
     spare_gaussian: Option<f64>,
 }
 
 impl NoiseRng {
     /// Deterministic generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        NoiseRng { inner: StdRng::seed_from_u64(seed), spare_gaussian: None }
+        NoiseRng { inner: Xoshiro256PlusPlus::seed_from_u64(seed), spare_gaussian: None }
     }
 
     /// Fork an independent child stream; the child's seed is drawn from the
     /// parent so sibling forks are decorrelated but fully reproducible.
     pub fn fork(&mut self) -> NoiseRng {
-        NoiseRng::seed_from_u64(self.inner.random::<u64>())
+        NoiseRng::seed_from_u64(self.inner.next_u64())
     }
 
     /// Uniform deviate in the open interval `(0, 1)` (never exactly 0, so it
@@ -33,7 +76,7 @@ impl NoiseRng {
     #[inline]
     pub fn uniform_open(&mut self) -> f64 {
         loop {
-            let u: f64 = self.inner.random();
+            let u: f64 = self.inner.next_f64();
             if u > 0.0 && u < 1.0 {
                 return u;
             }
@@ -44,7 +87,7 @@ impl NoiseRng {
     #[inline]
     pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
         debug_assert!(lo < hi);
-        lo + (hi - lo) * self.inner.random::<f64>()
+        lo + (hi - lo) * self.inner.next_f64()
     }
 
     /// Uniform integer in `[0, n)`.
@@ -54,7 +97,8 @@ impl NoiseRng {
     #[inline]
     pub fn uniform_index(&mut self, n: usize) -> usize {
         assert!(n > 0, "uniform_index: empty range");
-        self.inner.random_range(0..n)
+        // Modulo bias is ≤ n/2⁶⁴ — irrelevant at the index ranges used here.
+        (self.inner.next_u64() % n as u64) as usize
     }
 
     /// Standard normal deviate `N(0, 1)` (polar Box–Muller).
@@ -63,8 +107,8 @@ impl NoiseRng {
             return z;
         }
         loop {
-            let u = 2.0 * self.inner.random::<f64>() - 1.0;
-            let v = 2.0 * self.inner.random::<f64>() - 1.0;
+            let u = 2.0 * self.inner.next_f64() - 1.0;
+            let v = 2.0 * self.inner.next_f64() - 1.0;
             let s = u * u + v * v;
             if s > 0.0 && s < 1.0 {
                 let f = (-2.0 * s.ln() / s).sqrt();
@@ -190,7 +234,7 @@ mod tests {
     fn permutation_is_a_bijection() {
         let mut rng = NoiseRng::seed_from_u64(5);
         let p = rng.permutation(50);
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;

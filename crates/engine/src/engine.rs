@@ -1,0 +1,398 @@
+//! The sharded multi-stream engine.
+
+use crate::error::EngineError;
+use crate::session::StreamSession;
+use crate::spec::MechanismSpec;
+use pir_dp::{NoiseRng, PrivacyParams};
+use pir_erm::DataPoint;
+use std::collections::HashMap;
+
+/// SplitMix64 finalizer — the engine's stateless hash for shard routing
+/// and per-session seed derivation.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic per-session noise seed: a function of the engine
+/// seed and session id only — never of shard count, spawn order, or
+/// scheduling — so release sequences survive resharding. Both spawn
+/// paths (`spawn_session`, `spawn_sessions`) must go through this one
+/// function.
+#[inline]
+fn session_seed(engine_seed: u64, session_id: u64) -> u64 {
+    mix64(engine_seed ^ session_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A fleet seed drawn from OS entropy (via the std hasher's random
+/// keys), for the privacy-safe default configuration.
+fn entropy_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    let a = std::collections::hash_map::RandomState::new().build_hasher().finish();
+    let b = std::collections::hash_map::RandomState::new().build_hasher().finish();
+    mix64(a ^ b.rotate_left(32))
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of shards sessions are hash-partitioned across. Defaults to
+    /// the machine's available parallelism.
+    pub num_shards: usize,
+    /// Base seed: every session's noise stream is derived from
+    /// `(seed, session id)`, so a whole fleet is reproducible from one
+    /// number — and independent of `num_shards`, so resharding does not
+    /// change any release sequence.
+    ///
+    /// **Privacy warning:** a known seed makes every release's noise
+    /// recomputable, voiding the `(ε, δ)` guarantee against anyone who
+    /// learns it. Fix the seed for experiments and tests only;
+    /// [`EngineConfig::default`] draws it from OS entropy.
+    pub seed: u64,
+    /// Drive shards on worker threads (`true`) or inline (`false`; useful
+    /// for single-threaded debugging and deterministic profiling).
+    pub parallel: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_shards: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            seed: entropy_seed(),
+            parallel: true,
+        }
+    }
+}
+
+/// One shard: the sessions routed to it, keyed by session id.
+#[derive(Debug, Default)]
+struct Shard {
+    sessions: HashMap<u64, StreamSession>,
+}
+
+/// One session's slice of an ingest batch: `(session id, original input
+/// indices, points in arrival order)`.
+type SessionRun = (u64, Vec<usize>, Vec<DataPoint>);
+
+/// An ingest result tagged with the input index it answers.
+type IndexedRelease = (usize, Result<Vec<f64>, EngineError>);
+
+/// A sharded engine serving many concurrent private streams.
+///
+/// Sessions are hash-partitioned across `num_shards` shards by session id;
+/// shard-parallel entry points ([`ingest`](ShardedEngine::ingest),
+/// [`spawn_sessions`](ShardedEngine::spawn_sessions)) drive every shard on
+/// its own worker thread. Because each session's noise stream is derived
+/// from `(engine seed, session id)` alone, the released estimator
+/// sequences are bit-for-bit reproducible regardless of shard count or
+/// thread scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use pir_engine::{EngineConfig, MechanismSpec, ShardedEngine};
+/// use pir_dp::PrivacyParams;
+/// use pir_erm::DataPoint;
+///
+/// let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+/// let mut engine = ShardedEngine::new(EngineConfig {
+///     num_shards: 2,
+///     seed: 7,
+///     parallel: true,
+/// })
+/// .unwrap();
+///
+/// // Four tenants, all running §4's PrivIncReg1 in dimension 3.
+/// let spec = MechanismSpec::reg1_l2(3);
+/// engine.spawn_sessions(0..4, &spec, 16, &params).unwrap();
+///
+/// // A mixed batch of arrivals across tenants: one estimator per point.
+/// let batch: Vec<(u64, DataPoint)> = (0..8u64)
+///     .map(|i| (i % 4, DataPoint::new(vec![0.5, 0.1, 0.0], 0.3)))
+///     .collect();
+/// let releases = engine.ingest(batch);
+/// assert_eq!(releases.len(), 8);
+/// assert!(releases.iter().all(|r| r.as_ref().unwrap().len() == 3));
+/// assert_eq!(engine.total_points(), 8);
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine {
+    config: EngineConfig,
+    shards: Vec<Shard>,
+}
+
+impl ShardedEngine {
+    /// New engine.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidConfig`] if `num_shards == 0`.
+    pub fn new(config: EngineConfig) -> Result<Self, EngineError> {
+        if config.num_shards == 0 {
+            return Err(EngineError::InvalidConfig {
+                reason: "num_shards must be at least 1".to_string(),
+            });
+        }
+        let shards = (0..config.num_shards).map(|_| Shard::default()).collect();
+        Ok(ShardedEngine { config, shards })
+    }
+
+    /// New engine with `n` shards and default seed.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidConfig`] if `n == 0`.
+    pub fn with_shards(n: usize) -> Result<Self, EngineError> {
+        ShardedEngine::new(EngineConfig { num_shards: n, ..Default::default() })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total live sessions.
+    pub fn session_count(&self) -> usize {
+        self.shards.iter().map(|s| s.sessions.len()).sum()
+    }
+
+    /// Sessions per shard (observability: hash-partition balance).
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.sessions.len()).collect()
+    }
+
+    /// Total stream points consumed across all sessions.
+    pub fn total_points(&self) -> usize {
+        self.shards.iter().flat_map(|s| s.sessions.values()).map(StreamSession::t).sum()
+    }
+
+    #[inline]
+    fn shard_index(&self, session_id: u64) -> usize {
+        (mix64(session_id) % self.shards.len() as u64) as usize
+    }
+
+    /// Whether a session with this id exists.
+    pub fn contains(&self, session_id: u64) -> bool {
+        self.shards[self.shard_index(session_id)].sessions.contains_key(&session_id)
+    }
+
+    /// Read access to one session (accountant, mechanism name, `t`, …).
+    pub fn with_session<R>(
+        &self,
+        session_id: u64,
+        f: impl FnOnce(&StreamSession) -> R,
+    ) -> Option<R> {
+        self.shards[self.shard_index(session_id)].sessions.get(&session_id).map(f)
+    }
+
+    /// Remove a session; returns it if it existed.
+    pub fn remove_session(&mut self, session_id: u64) -> Option<StreamSession> {
+        let idx = self.shard_index(session_id);
+        self.shards[idx].sessions.remove(&session_id)
+    }
+
+    /// Spawn one session running `spec` for streams of length up to
+    /// `t_max` under the per-session budget `params`.
+    ///
+    /// # Errors
+    /// [`EngineError::DuplicateSession`] if the id is taken, or the
+    /// spec's build error.
+    pub fn spawn_session(
+        &mut self,
+        session_id: u64,
+        spec: &MechanismSpec,
+        t_max: usize,
+        params: &PrivacyParams,
+    ) -> Result<(), EngineError> {
+        if self.contains(session_id) {
+            return Err(EngineError::DuplicateSession { id: session_id });
+        }
+        let mut rng = NoiseRng::seed_from_u64(session_seed(self.config.seed, session_id));
+        let session = StreamSession::spawn(session_id, spec, t_max, params, &mut rng)?;
+        let idx = self.shard_index(session_id);
+        self.shards[idx].sessions.insert(session_id, session);
+        Ok(())
+    }
+
+    /// Spawn many sessions of the same spec, building shard-parallel
+    /// (mechanism construction is the expensive part — e.g. sampling the
+    /// `m×d` sketch of `PrivIncReg2` — so fan it out). All-or-nothing: on
+    /// any failure no session is inserted.
+    ///
+    /// # Errors
+    /// [`EngineError::DuplicateSession`] for an id collision (within the
+    /// batch or against live sessions), or the spec's build error.
+    pub fn spawn_sessions(
+        &mut self,
+        session_ids: impl IntoIterator<Item = u64>,
+        spec: &MechanismSpec,
+        t_max: usize,
+        params: &PrivacyParams,
+    ) -> Result<usize, EngineError> {
+        let mut per_shard: Vec<Vec<u64>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut count = 0usize;
+        for id in session_ids {
+            if self.contains(id) || !seen.insert(id) {
+                return Err(EngineError::DuplicateSession { id });
+            }
+            per_shard[self.shard_index(id)].push(id);
+            count += 1;
+        }
+        // Build every session before inserting any (all-or-nothing).
+        let engine_seed = self.config.seed;
+        let build_shard = |ids: &[u64]| -> Result<Vec<StreamSession>, EngineError> {
+            ids.iter()
+                .map(|&id| {
+                    let mut rng = NoiseRng::seed_from_u64(session_seed(engine_seed, id));
+                    StreamSession::spawn(id, spec, t_max, params, &mut rng)
+                })
+                .collect()
+        };
+        let build_shard = &build_shard;
+        let built: Vec<Result<Vec<StreamSession>, EngineError>> = if self.run_parallel(&per_shard) {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> =
+                    per_shard.iter().map(|ids| scope.spawn(move || build_shard(ids))).collect();
+                handles.into_iter().map(|h| h.join().expect("spawn worker panicked")).collect()
+            })
+        } else {
+            per_shard.iter().map(|ids| build_shard(ids)).collect()
+        };
+        let mut all = Vec::with_capacity(self.shards.len());
+        for r in built {
+            all.push(r?);
+        }
+        for (shard, sessions) in self.shards.iter_mut().zip(all) {
+            for s in sessions {
+                shard.sessions.insert(s.id(), s);
+            }
+        }
+        Ok(count)
+    }
+
+    /// Route one point to its session.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSession`] or the mechanism's error.
+    pub fn observe(&mut self, session_id: u64, z: &DataPoint) -> Result<Vec<f64>, EngineError> {
+        let idx = self.shard_index(session_id);
+        self.shards[idx]
+            .sessions
+            .get_mut(&session_id)
+            .ok_or(EngineError::UnknownSession { id: session_id })?
+            .observe(z)
+    }
+
+    /// Route a run of consecutive points to one session's amortized batch
+    /// path.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSession`] or the mechanism's error (batches
+    /// are rejected atomically on contract violations).
+    pub fn observe_batch(
+        &mut self,
+        session_id: u64,
+        batch: &[DataPoint],
+    ) -> Result<Vec<Vec<f64>>, EngineError> {
+        let idx = self.shard_index(session_id);
+        self.shards[idx]
+            .sessions
+            .get_mut(&session_id)
+            .ok_or(EngineError::UnknownSession { id: session_id })?
+            .observe_batch(batch)
+    }
+
+    /// Drive a mixed batch of arrivals across many sessions, in parallel
+    /// across shards — the engine's high-throughput entry point.
+    ///
+    /// Points are grouped per session (preserving each session's arrival
+    /// order) and fed through the mechanism's amortized
+    /// `observe_batch`; shards run concurrently on scoped worker threads.
+    /// The result vector is index-aligned with the input: `out[i]` is the
+    /// estimator released for `points[i]`. A batch-level failure (unknown
+    /// session, contract violation, overflow) is reported on every index
+    /// of the affected session's group, which is consistent with the
+    /// atomic batch-rejection contract.
+    pub fn ingest(&mut self, points: Vec<(u64, DataPoint)>) -> Vec<Result<Vec<f64>, EngineError>> {
+        let n = points.len();
+        // Group per shard, then per session, preserving arrival order.
+        let num_shards = self.shards.len();
+        let mut per_shard: Vec<Vec<SessionRun>> = (0..num_shards).map(|_| Vec::new()).collect();
+        let mut slot: HashMap<u64, (usize, usize)> = HashMap::new();
+        for (i, (sid, z)) in points.into_iter().enumerate() {
+            let shard = self.shard_index(sid);
+            let (s, g) = *slot.entry(sid).or_insert_with(|| {
+                per_shard[shard].push((sid, Vec::new(), Vec::new()));
+                (shard, per_shard[shard].len() - 1)
+            });
+            per_shard[s][g].1.push(i);
+            per_shard[s][g].2.push(z);
+        }
+
+        let run_shard = |shard: &mut Shard, groups: &[SessionRun]| -> Vec<IndexedRelease> {
+            let mut out = Vec::new();
+            for (sid, indices, batch) in groups {
+                match shard.sessions.get_mut(sid) {
+                    None => {
+                        for &i in indices {
+                            out.push((i, Err(EngineError::UnknownSession { id: *sid })));
+                        }
+                    }
+                    Some(session) => match session.observe_batch(batch) {
+                        Ok(releases) => {
+                            for (&i, theta) in indices.iter().zip(releases) {
+                                out.push((i, Ok(theta)));
+                            }
+                        }
+                        Err(e) => {
+                            for &i in indices {
+                                out.push((i, Err(e.clone())));
+                            }
+                        }
+                    },
+                }
+            }
+            out
+        };
+
+        let run_shard = &run_shard;
+        let scattered: Vec<Vec<IndexedRelease>> = if self.run_parallel(&per_shard) {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(per_shard.iter())
+                    .map(|(shard, groups)| scope.spawn(move || run_shard(shard, groups)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("ingest worker panicked")).collect()
+            })
+        } else {
+            self.shards
+                .iter_mut()
+                .zip(per_shard.iter())
+                .map(|(shard, groups)| run_shard(shard, groups))
+                .collect()
+        };
+
+        let mut results: Vec<Option<Result<Vec<f64>, EngineError>>> =
+            (0..n).map(|_| None).collect();
+        for part in scattered {
+            for (i, r) in part {
+                results[i] = Some(r);
+            }
+        }
+        results.into_iter().map(|r| r.expect("every input index receives a result")).collect()
+    }
+
+    /// Parallel execution pays off only when more than one shard has work.
+    fn run_parallel<T>(&self, per_shard: &[Vec<T>]) -> bool {
+        self.config.parallel && per_shard.iter().filter(|v| !v.is_empty()).count() > 1
+    }
+}

@@ -1,0 +1,63 @@
+//! Engine error type.
+//!
+//! Cloneable (mechanism errors are carried as rendered strings) so one
+//! batch-level failure can be fanned out to every affected request in an
+//! [`ingest`](crate::ShardedEngine::ingest) report.
+
+/// Errors surfaced by the multi-stream engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// No session with this id exists in the engine.
+    UnknownSession {
+        /// The offending session id.
+        id: u64,
+    },
+    /// A session with this id already exists.
+    DuplicateSession {
+        /// The offending session id.
+        id: u64,
+    },
+    /// Invalid engine configuration.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The underlying mechanism rejected a point, overflowed its horizon,
+    /// or failed internally (rendered [`pir_core::CoreError`]).
+    Mechanism {
+        /// Rendered mechanism error.
+        reason: String,
+    },
+    /// The session's privacy accountant refused a charge (rendered
+    /// [`pir_dp::DpError`]).
+    Budget {
+        /// Rendered accounting error.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownSession { id } => write!(f, "unknown session {id}"),
+            EngineError::DuplicateSession { id } => write!(f, "session {id} already exists"),
+            EngineError::InvalidConfig { reason } => write!(f, "invalid engine config: {reason}"),
+            EngineError::Mechanism { reason } => write!(f, "mechanism error: {reason}"),
+            EngineError::Budget { reason } => write!(f, "privacy budget error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<pir_core::CoreError> for EngineError {
+    fn from(e: pir_core::CoreError) -> Self {
+        EngineError::Mechanism { reason: e.to_string() }
+    }
+}
+
+impl From<pir_dp::DpError> for EngineError {
+    fn from(e: pir_dp::DpError) -> Self {
+        EngineError::Budget { reason: e.to_string() }
+    }
+}

@@ -1,0 +1,41 @@
+//! # pir-engine
+//!
+//! The multi-stream serving layer: everything below this crate speaks
+//! *one* stream at a time (the paper's setting), while production traffic
+//! is *millions* of concurrent user streams. `pir-engine` closes that gap
+//! with three pieces:
+//!
+//! - [`MechanismSpec`] — a cloneable, declarative description of which
+//!   paper mechanism to run (`PrivIncErm` §3, `PrivIncReg1` §4,
+//!   `PrivIncReg2` §5, or a baseline) and with what knobs, so callers
+//!   spawn any of them uniformly;
+//! - [`StreamSession`] — one user stream: a
+//!   [`pir_core::IncrementalMechanism`] plus the
+//!   [`pir_dp::PrivacyAccountant`] guarding its per-stream `(ε, δ)`
+//!   budget;
+//! - [`ShardedEngine`] — hash-partitions sessions across shards, drives
+//!   the shards on scoped worker threads, and feeds each session's
+//!   arrivals through the mechanisms' amortized
+//!   [`observe_batch`](pir_core::IncrementalMechanism::observe_batch)
+//!   paths.
+//!
+//! Determinism is a design invariant: a session's noise stream is derived
+//! from `(engine seed, session id)` alone, so a fleet's entire release
+//! history is reproducible from one number and is unchanged by resharding
+//! or thread scheduling. The batched paths are release-for-release
+//! identical to sequential observation (the law checked by the
+//! `batch_equivalence` test suite), so batching is purely a throughput
+//! optimization — never a semantic one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod session;
+mod spec;
+
+pub use engine::{EngineConfig, ShardedEngine};
+pub use error::EngineError;
+pub use session::StreamSession;
+pub use spec::{LossSpec, MechanismSpec, SetSpec, SolverSpec};

@@ -1,0 +1,105 @@
+//! One user stream: a mechanism plus its privacy ledger.
+
+use crate::error::EngineError;
+use crate::spec::MechanismSpec;
+use pir_core::IncrementalMechanism;
+use pir_dp::{NoiseRng, PrivacyAccountant, PrivacyParams};
+use pir_erm::DataPoint;
+
+/// One independent private stream served by the engine: a paper mechanism
+/// together with the [`PrivacyAccountant`] guarding its `(ε, δ)` budget.
+///
+/// The accountant is defense in depth: the mechanisms pre-split their
+/// budgets analytically, so the session records a single up-front charge
+/// covering the whole release sequence and the ledger makes any future
+/// double-spend (e.g. respawning a mechanism on the same budget) an error
+/// instead of a silent privacy failure.
+pub struct StreamSession {
+    id: u64,
+    mech: Box<dyn IncrementalMechanism>,
+    accountant: PrivacyAccountant,
+}
+
+impl std::fmt::Debug for StreamSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSession")
+            .field("id", &self.id)
+            .field("mechanism", &self.mech.name())
+            .field("t", &self.mech.t())
+            .field("spent", &self.accountant.spent())
+            .finish()
+    }
+}
+
+impl StreamSession {
+    /// Spawn a session: materialize the spec's mechanism for streams of
+    /// length up to `t_max` under `params`, and charge the accountant for
+    /// the whole release sequence (skipped for the non-private baselines,
+    /// which spend nothing).
+    ///
+    /// # Errors
+    /// [`EngineError::Mechanism`] if the mechanism constructor rejects
+    /// the configuration.
+    pub fn spawn(
+        id: u64,
+        spec: &MechanismSpec,
+        t_max: usize,
+        params: &PrivacyParams,
+        rng: &mut NoiseRng,
+    ) -> Result<Self, EngineError> {
+        let mech = spec.build(t_max, params, rng)?;
+        let mut accountant = PrivacyAccountant::new(*params);
+        if spec.is_private() {
+            accountant.charge(mech.name(), *params)?;
+        }
+        Ok(StreamSession { id, mech, accountant })
+    }
+
+    /// Session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Name of the mechanism serving this stream.
+    pub fn mechanism_name(&self) -> String {
+        self.mech.name()
+    }
+
+    /// Ambient dimension of the released estimators.
+    pub fn dim(&self) -> usize {
+        self.mech.dim()
+    }
+
+    /// Stream points consumed so far.
+    pub fn t(&self) -> usize {
+        self.mech.t()
+    }
+
+    /// The session's privacy ledger.
+    pub fn accountant(&self) -> &PrivacyAccountant {
+        &self.accountant
+    }
+
+    /// The underlying mechanism (for evaluation-harness access).
+    pub fn mechanism(&self) -> &dyn IncrementalMechanism {
+        self.mech.as_ref()
+    }
+
+    /// Consume one stream point, releasing the next private estimator.
+    ///
+    /// # Errors
+    /// [`EngineError::Mechanism`] on contract violations or overflow.
+    pub fn observe(&mut self, z: &DataPoint) -> Result<Vec<f64>, EngineError> {
+        Ok(self.mech.observe(z)?)
+    }
+
+    /// Consume a run of consecutive stream points through the mechanism's
+    /// amortized batch path, releasing one estimator per point.
+    ///
+    /// # Errors
+    /// [`EngineError::Mechanism`] on contract violations anywhere in the
+    /// batch (rejected atomically) or overflow.
+    pub fn observe_batch(&mut self, batch: &[DataPoint]) -> Result<Vec<Vec<f64>>, EngineError> {
+        Ok(self.mech.observe_batch(batch)?)
+    }
+}

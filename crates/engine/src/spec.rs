@@ -1,0 +1,311 @@
+//! Declarative mechanism specifications.
+//!
+//! A [`MechanismSpec`] is a cheap, cloneable description of *which* paper
+//! mechanism to run and with what knobs; the engine materializes one fresh
+//! mechanism per session from it ([`MechanismSpec::build`]). This is what
+//! lets a single spec drive thousands of independent user streams: every
+//! session gets its own constraint set, its own forked noise stream, and
+//! its own privacy budget.
+
+use crate::error::EngineError;
+use pir_core::{
+    ExactIncremental, IncrementalMechanism, PrivIncErm, PrivIncReg1, PrivIncReg1Config,
+    PrivIncReg2, PrivIncReg2Config, TauRule, TrivialMechanism,
+};
+use pir_dp::{NoiseRng, PrivacyParams};
+use pir_erm::{
+    LogisticLoss, Loss, NoisyGdSolver, OutputPerturbationSolver, PrivateBatchSolver,
+    PrivateFrankWolfeSolver, Regularized, SquaredLoss,
+};
+use pir_geometry::{ConvexSet, L1Ball, L2Ball, LinfBall, Simplex};
+use std::sync::Arc;
+
+/// Description of a constraint set `C`, materialized per session.
+#[derive(Clone)]
+pub enum SetSpec {
+    /// Euclidean ball `B₂^d(radius)`.
+    L2Ball {
+        /// Ambient dimension.
+        dim: usize,
+        /// Ball radius.
+        radius: f64,
+    },
+    /// Cross-polytope `B₁^d(radius)` (the Lasso constraint).
+    L1Ball {
+        /// Ambient dimension.
+        dim: usize,
+        /// Ball radius.
+        radius: f64,
+    },
+    /// Hypercube `B∞^d(radius)`.
+    LinfBall {
+        /// Ambient dimension.
+        dim: usize,
+        /// Ball radius.
+        radius: f64,
+    },
+    /// Probability simplex scaled by `scale`.
+    Simplex {
+        /// Ambient dimension.
+        dim: usize,
+        /// Simplex scale (1 = the probability simplex).
+        scale: f64,
+    },
+    /// Arbitrary user-provided factory (e.g. polytope hulls, group-lasso
+    /// balls). Must produce a fresh set per call.
+    Custom(Arc<dyn Fn() -> Box<dyn ConvexSet> + Send + Sync>),
+}
+
+impl std::fmt::Debug for SetSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetSpec::L2Ball { dim, radius } => write!(f, "L2Ball(d={dim}, r={radius})"),
+            SetSpec::L1Ball { dim, radius } => write!(f, "L1Ball(d={dim}, r={radius})"),
+            SetSpec::LinfBall { dim, radius } => write!(f, "LinfBall(d={dim}, r={radius})"),
+            SetSpec::Simplex { dim, scale } => write!(f, "Simplex(d={dim}, s={scale})"),
+            SetSpec::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl SetSpec {
+    /// Unit Euclidean ball in dimension `dim`.
+    pub fn unit_l2(dim: usize) -> Self {
+        SetSpec::L2Ball { dim, radius: 1.0 }
+    }
+
+    /// Unit cross-polytope in dimension `dim`.
+    pub fn unit_l1(dim: usize) -> Self {
+        SetSpec::L1Ball { dim, radius: 1.0 }
+    }
+
+    /// Materialize a fresh constraint set.
+    pub fn build(&self) -> Box<dyn ConvexSet> {
+        match self {
+            SetSpec::L2Ball { dim, radius } => Box::new(L2Ball::new(*dim, *radius)),
+            SetSpec::L1Ball { dim, radius } => Box::new(L1Ball::new(*dim, *radius)),
+            SetSpec::LinfBall { dim, radius } => Box::new(LinfBall::new(*dim, *radius)),
+            SetSpec::Simplex { dim, scale } => Box::new(Simplex::new(*dim, *scale)),
+            SetSpec::Custom(factory) => factory(),
+        }
+    }
+
+    /// Ambient dimension of the sets this spec produces.
+    pub fn dim(&self) -> usize {
+        match self {
+            SetSpec::L2Ball { dim, .. }
+            | SetSpec::L1Ball { dim, .. }
+            | SetSpec::LinfBall { dim, .. }
+            | SetSpec::Simplex { dim, .. } => *dim,
+            SetSpec::Custom(factory) => factory().dim(),
+        }
+    }
+}
+
+/// Loss function for the generic ERM mechanism.
+#[derive(Debug, Clone, Copy)]
+pub enum LossSpec {
+    /// Squared loss `(⟨θ, x⟩ − y)²`.
+    Squared,
+    /// Logistic loss.
+    Logistic,
+    /// `λ/2·‖θ‖²`-regularized squared loss (strongly convex).
+    RegularizedSquared {
+        /// Regularization strength `λ`.
+        lambda: f64,
+    },
+}
+
+impl LossSpec {
+    /// Materialize the loss.
+    pub fn build(&self) -> Box<dyn Loss> {
+        match self {
+            LossSpec::Squared => Box::new(SquaredLoss),
+            LossSpec::Logistic => Box::new(LogisticLoss),
+            LossSpec::RegularizedSquared { lambda } => {
+                Box::new(Regularized::new(SquaredLoss, *lambda))
+            }
+        }
+    }
+}
+
+/// Private batch solver for the generic ERM mechanism.
+#[derive(Debug, Clone, Copy)]
+pub enum SolverSpec {
+    /// `NOISYPROJGRAD`-style noisy gradient descent (Theorem 3.1(1)).
+    NoisyGd {
+        /// Full-gradient iterations per invocation.
+        iters: usize,
+        /// Confidence split for the noise-to-`α` conversion.
+        beta: f64,
+    },
+    /// Output perturbation for strongly convex losses (Theorem 3.1(2)).
+    OutputPerturbation {
+        /// Iterations of the inner exact solve.
+        exact_iters: usize,
+    },
+    /// Private Frank–Wolfe for low-width sets (Theorem 3.1(3)).
+    FrankWolfe {
+        /// Frank–Wolfe iterations per invocation.
+        iters: usize,
+    },
+}
+
+impl Default for SolverSpec {
+    fn default() -> Self {
+        let NoisyGdSolver { iters, beta } = NoisyGdSolver::default();
+        SolverSpec::NoisyGd { iters, beta }
+    }
+}
+
+impl SolverSpec {
+    /// Materialize the solver.
+    pub fn build(&self) -> Box<dyn PrivateBatchSolver> {
+        match self {
+            SolverSpec::NoisyGd { iters, beta } => {
+                Box::new(NoisyGdSolver { iters: *iters, beta: *beta })
+            }
+            SolverSpec::OutputPerturbation { exact_iters } => {
+                Box::new(OutputPerturbationSolver { exact_iters: *exact_iters })
+            }
+            SolverSpec::FrankWolfe { iters } => Box::new(PrivateFrankWolfeSolver { iters: *iters }),
+        }
+    }
+}
+
+/// Which paper mechanism a session runs, with all tuning knobs — the one
+/// uniform handle callers use to spawn any of the three mechanisms (or
+/// the baselines) inside the engine.
+#[derive(Debug, Clone)]
+pub enum MechanismSpec {
+    /// `PRIVINCERM` — the generic batch-to-incremental transformation
+    /// (§3, Mechanism 1).
+    Erm {
+        /// Constraint set `C`.
+        set: SetSpec,
+        /// Loss function.
+        loss: LossSpec,
+        /// Private batch solver invoked every `τ` steps.
+        solver: SolverSpec,
+        /// Recomputation-interval rule.
+        tau: TauRule,
+    },
+    /// `PRIVINCREG1` — tree-mechanism regression (§4, Algorithm 2).
+    Reg1 {
+        /// Constraint set `C`.
+        set: SetSpec,
+        /// Mechanism knobs.
+        config: PrivIncReg1Config,
+    },
+    /// `PRIVINCREG2` — sketched regression (§5, Algorithm 3).
+    Reg2 {
+        /// Constraint set `C`.
+        set: SetSpec,
+        /// Bound on the Gaussian width `w(X)` of the covariate domain.
+        domain_width: f64,
+        /// Mechanism knobs.
+        config: PrivIncReg2Config,
+    },
+    /// The data-independent baseline (always releases `P_C(0)`).
+    Trivial {
+        /// Constraint set `C`.
+        set: SetSpec,
+    },
+    /// The exact (⚠ **non-private**) incremental least-squares oracle —
+    /// the Definition-1 reference trajectory, for evaluation only.
+    ExactOracle {
+        /// Constraint set `C`.
+        set: SetSpec,
+    },
+}
+
+impl MechanismSpec {
+    /// `PRIVINCREG1` over the unit Euclidean ball with default knobs.
+    pub fn reg1_l2(dim: usize) -> Self {
+        MechanismSpec::Reg1 { set: SetSpec::unit_l2(dim), config: PrivIncReg1Config::default() }
+    }
+
+    /// `PRIVINCREG2` over the unit `ℓ₁` ball (the sparse-regression
+    /// setting of §5) with default knobs.
+    pub fn reg2_l1(dim: usize, domain_width: f64) -> Self {
+        MechanismSpec::Reg2 {
+            set: SetSpec::unit_l1(dim),
+            domain_width,
+            config: PrivIncReg2Config::default(),
+        }
+    }
+
+    /// `PRIVINCERM` with squared loss and the noisy-GD solver over the
+    /// unit Euclidean ball.
+    pub fn erm_squared(dim: usize, tau: TauRule) -> Self {
+        MechanismSpec::Erm {
+            set: SetSpec::unit_l2(dim),
+            loss: LossSpec::Squared,
+            solver: SolverSpec::default(),
+            tau,
+        }
+    }
+
+    /// Ambient dimension of the mechanisms this spec produces.
+    pub fn dim(&self) -> usize {
+        match self {
+            MechanismSpec::Erm { set, .. }
+            | MechanismSpec::Reg1 { set, .. }
+            | MechanismSpec::Reg2 { set, .. }
+            | MechanismSpec::Trivial { set }
+            | MechanismSpec::ExactOracle { set } => set.dim(),
+        }
+    }
+
+    /// Short label for logs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MechanismSpec::Erm { .. } => "priv-inc-erm",
+            MechanismSpec::Reg1 { .. } => "priv-inc-reg-1",
+            MechanismSpec::Reg2 { .. } => "priv-inc-reg-2",
+            MechanismSpec::Trivial { .. } => "trivial",
+            MechanismSpec::ExactOracle { .. } => "exact-oracle",
+        }
+    }
+
+    /// Whether the produced mechanism consumes privacy budget (`false`
+    /// only for the evaluation-only baselines).
+    pub fn is_private(&self) -> bool {
+        !matches!(self, MechanismSpec::ExactOracle { .. })
+    }
+
+    /// Materialize a fresh mechanism for a stream of length up to `t_max`
+    /// under the budget `params`. Noise flows through `rng` (fork it per
+    /// session for decorrelated, reproducible streams).
+    ///
+    /// # Errors
+    /// [`EngineError::Mechanism`] when the underlying constructor rejects
+    /// the configuration (invalid privacy parameters, bad `γ`/`m`
+    /// overrides, zero horizon, …).
+    pub fn build(
+        &self,
+        t_max: usize,
+        params: &PrivacyParams,
+        rng: &mut NoiseRng,
+    ) -> Result<Box<dyn IncrementalMechanism>, EngineError> {
+        Ok(match self {
+            MechanismSpec::Erm { set, loss, solver, tau } => Box::new(PrivIncErm::new(
+                loss.build(),
+                solver.build(),
+                set.build(),
+                t_max,
+                params,
+                *tau,
+                rng.fork(),
+            )?),
+            MechanismSpec::Reg1 { set, config } => {
+                Box::new(PrivIncReg1::new(set.build(), t_max, params, rng, *config)?)
+            }
+            MechanismSpec::Reg2 { set, domain_width, config } => {
+                Box::new(PrivIncReg2::new(set.build(), *domain_width, t_max, params, rng, *config)?)
+            }
+            MechanismSpec::Trivial { set } => Box::new(TrivialMechanism::new(set.build().as_ref())),
+            MechanismSpec::ExactOracle { set } => Box::new(ExactIncremental::new(set.build())),
+        })
+    }
+}

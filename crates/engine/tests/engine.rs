@@ -1,0 +1,174 @@
+//! Integration tests for the sharded multi-stream engine: routing,
+//! determinism under resharding, batched-ingest semantics, and privacy
+//! accounting.
+
+use pir_dp::PrivacyParams;
+use pir_engine::{EngineConfig, EngineError, MechanismSpec, SetSpec, ShardedEngine};
+use pir_erm::DataPoint;
+
+fn params() -> PrivacyParams {
+    PrivacyParams::approx(1.0, 1e-6).unwrap()
+}
+
+fn point(d: usize, t: usize, session: u64) -> DataPoint {
+    // Deterministic, valid (‖x‖ ≤ 0.9) covariates varying by (session, t).
+    let mut x = vec![0.0f64; d];
+    x[t % d] = 0.6;
+    x[(t + session as usize) % d] += 0.3;
+    let y = (0.5 * x[0]).clamp(-1.0, 1.0);
+    DataPoint::new(x, y)
+}
+
+#[test]
+fn routing_and_bookkeeping() {
+    let mut engine = ShardedEngine::with_shards(4).unwrap();
+    let spec = MechanismSpec::reg1_l2(3);
+    engine.spawn_sessions(0..32, &spec, 16, &params()).unwrap();
+    assert_eq!(engine.session_count(), 32);
+    assert_eq!(engine.shard_loads().iter().sum::<usize>(), 32);
+    assert!(engine.contains(17));
+    assert!(!engine.contains(99));
+
+    let theta = engine.observe(5, &point(3, 0, 5)).unwrap();
+    assert_eq!(theta.len(), 3);
+    assert_eq!(engine.with_session(5, |s| s.t()).unwrap(), 1);
+    assert_eq!(engine.total_points(), 1);
+
+    assert!(matches!(
+        engine.observe(99, &point(3, 0, 99)),
+        Err(EngineError::UnknownSession { id: 99 })
+    ));
+    assert!(matches!(
+        engine.spawn_session(5, &spec, 16, &params()),
+        Err(EngineError::DuplicateSession { id: 5 })
+    ));
+
+    let removed = engine.remove_session(5).unwrap();
+    assert_eq!(removed.t(), 1);
+    assert!(!engine.contains(5));
+    assert_eq!(engine.session_count(), 31);
+}
+
+#[test]
+fn spawn_sessions_rejects_non_adjacent_duplicates_atomically() {
+    let mut engine = ShardedEngine::with_shards(4).unwrap();
+    let spec = MechanismSpec::reg1_l2(2);
+    let err = engine.spawn_sessions([1, 2, 3, 1], &spec, 8, &params()).unwrap_err();
+    assert!(matches!(err, EngineError::DuplicateSession { id: 1 }));
+    // All-or-nothing: nothing was inserted.
+    assert_eq!(engine.session_count(), 0);
+}
+
+#[test]
+fn releases_are_invariant_under_resharding() {
+    // The same fleet driven on 1 shard (sequential) and 5 shards
+    // (parallel) must release identical estimator sequences: session
+    // noise derives from (engine seed, session id) only.
+    let run = |num_shards: usize, parallel: bool| -> Vec<Result<Vec<f64>, EngineError>> {
+        let mut engine =
+            ShardedEngine::new(EngineConfig { num_shards, seed: 42, parallel }).unwrap();
+        let spec = MechanismSpec::reg1_l2(3);
+        engine.spawn_sessions(0..12, &spec, 8, &params()).unwrap();
+        let batch: Vec<(u64, DataPoint)> = (0..48)
+            .map(|i| {
+                let sid = (i % 12) as u64;
+                (sid, point(3, i / 12, sid))
+            })
+            .collect();
+        engine.ingest(batch)
+    };
+    let a = run(1, false);
+    let b = run(5, true);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ingest_matches_direct_observation() {
+    // Mixed-tenant ingest must equal driving each session directly, and
+    // results must be index-aligned with the input.
+    let seed = 3;
+    let spec = MechanismSpec::reg2_l1(12, 2.0);
+    let mut direct =
+        ShardedEngine::new(EngineConfig { num_shards: 2, seed, parallel: false }).unwrap();
+    let mut batched =
+        ShardedEngine::new(EngineConfig { num_shards: 2, seed, parallel: true }).unwrap();
+    for engine in [&mut direct, &mut batched] {
+        engine.spawn_sessions([7, 8], &spec, 8, &params()).unwrap();
+    }
+    // Interleaved arrivals: 7, 8, 7, 8, ...
+    let arrivals: Vec<(u64, DataPoint)> =
+        (0..8).map(|t| (7 + (t % 2) as u64, point(12, t / 2, 7 + (t % 2) as u64))).collect();
+
+    let expected: Vec<Vec<f64>> =
+        arrivals.iter().map(|(sid, z)| direct.observe(*sid, z).unwrap()).collect();
+    let got = batched.ingest(arrivals);
+    for (e, g) in expected.iter().zip(&got) {
+        assert_eq!(e, g.as_ref().unwrap());
+    }
+}
+
+#[test]
+fn ingest_reports_failures_per_point() {
+    let mut engine = ShardedEngine::with_shards(2).unwrap();
+    engine.spawn_session(1, &MechanismSpec::reg1_l2(2), 4, &params()).unwrap();
+    let batch = vec![
+        (1u64, DataPoint::new(vec![0.5, 0.0], 0.2)),
+        (2u64, DataPoint::new(vec![0.5, 0.0], 0.2)), // unknown session
+        (1u64, DataPoint::new(vec![0.5, 0.0], 0.2)),
+    ];
+    let out = engine.ingest(batch);
+    assert!(out[0].is_ok());
+    assert!(matches!(out[1], Err(EngineError::UnknownSession { id: 2 })));
+    assert!(out[2].is_ok());
+    assert_eq!(engine.with_session(1, |s| s.t()).unwrap(), 2);
+}
+
+#[test]
+fn every_paper_mechanism_spawns_uniformly() {
+    let d = 6;
+    let specs = [
+        MechanismSpec::erm_squared(d, pir_core::TauRule::Fixed(2)),
+        MechanismSpec::reg1_l2(d),
+        MechanismSpec::reg2_l1(d, 2.0),
+        MechanismSpec::Trivial { set: SetSpec::unit_l2(d) },
+        MechanismSpec::ExactOracle { set: SetSpec::unit_l2(d) },
+    ];
+    let mut engine = ShardedEngine::with_shards(3).unwrap();
+    for (i, spec) in specs.iter().enumerate() {
+        engine.spawn_session(i as u64, spec, 8, &params()).unwrap();
+    }
+    let batch: Vec<(u64, DataPoint)> =
+        (0..specs.len() as u64).map(|sid| (sid, point(d, 0, sid))).collect();
+    for (i, r) in engine.ingest(batch).iter().enumerate() {
+        let theta = r.as_ref().unwrap_or_else(|e| panic!("spec {i} failed: {e}"));
+        assert_eq!(theta.len(), d);
+    }
+}
+
+#[test]
+fn sessions_carry_charged_accountants() {
+    let mut engine = ShardedEngine::with_shards(2).unwrap();
+    engine.spawn_session(1, &MechanismSpec::reg1_l2(2), 4, &params()).unwrap();
+    engine
+        .spawn_session(2, &MechanismSpec::ExactOracle { set: SetSpec::unit_l2(2) }, 4, &params())
+        .unwrap();
+    // The private mechanism's whole budget is charged up front …
+    let (eps, delta) = engine.with_session(1, |s| s.accountant().spent()).unwrap();
+    assert!((eps - 1.0).abs() < 1e-12);
+    assert!((delta - 1e-6).abs() < 1e-18);
+    // … while the non-private oracle spends nothing.
+    let (eps0, _) = engine.with_session(2, |s| s.accountant().spent()).unwrap();
+    assert_eq!(eps0, 0.0);
+}
+
+#[test]
+fn horizon_overflow_surfaces_as_mechanism_error() {
+    let mut engine = ShardedEngine::with_shards(1).unwrap();
+    engine.spawn_session(1, &MechanismSpec::reg1_l2(2), 2, &params()).unwrap();
+    let run: Vec<DataPoint> = (0..3).map(|t| point(2, t, 1)).collect();
+    // Three points against a horizon of 2: atomic rejection.
+    assert!(matches!(engine.observe_batch(1, &run), Err(EngineError::Mechanism { .. })));
+    assert_eq!(engine.with_session(1, |s| s.t()).unwrap(), 0);
+    // Two fit fine.
+    assert_eq!(engine.observe_batch(1, &run[..2]).unwrap().len(), 2);
+}

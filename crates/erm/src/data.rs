@@ -78,8 +78,7 @@ mod tests {
 
     #[test]
     fn dataset_validation_reports_index() {
-        let data =
-            vec![DataPoint::new(vec![0.1, 0.1], 0.5), DataPoint::new(vec![2.0, 0.0], 0.0)];
+        let data = vec![DataPoint::new(vec![0.1, 0.1], 0.5), DataPoint::new(vec![2.0, 0.0], 0.0)];
         let err = validate_dataset(&data, 2).unwrap_err();
         assert!(err.to_string().contains("point 1"), "{err}");
     }

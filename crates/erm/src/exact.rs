@@ -42,11 +42,7 @@ pub fn solve_exact(
     // the convergent method.
     let diam = set.diameter();
     let lip = obj.lipschitz(diam).max(1e-12);
-    let cfg = PgdConfig {
-        iters,
-        step: StepSize::DiminishingSqrt(diam / lip),
-        average: true,
-    };
+    let cfg = PgdConfig { iters, step: StepSize::DiminishingSqrt(diam / lip), average: true };
     let sub_result = projected_gradient(&obj, set, &cfg, &fista_result);
 
     // Keep whichever achieved a lower objective (both are feasible).
@@ -82,10 +78,7 @@ mod tests {
 
     #[test]
     fn lasso_constraint_is_active_for_tight_radius() {
-        let data = vec![
-            DataPoint::new(vec![1.0, 0.0], 1.0),
-            DataPoint::new(vec![0.0, 1.0], 1.0),
-        ];
+        let data = vec![DataPoint::new(vec![1.0, 0.0], 1.0), DataPoint::new(vec![0.0, 1.0], 1.0)];
         let set = L1Ball::new(2, 0.5);
         let sol = solve_exact(&SquaredLoss, &data, &set, 5000).unwrap();
         assert!(vector::norm1(&sol) <= 0.5 + 1e-6);
@@ -96,10 +89,7 @@ mod tests {
 
     #[test]
     fn logistic_separable_pushes_to_boundary() {
-        let data = vec![
-            DataPoint::new(vec![1.0, 0.0], 1.0),
-            DataPoint::new(vec![-1.0, 0.0], -1.0),
-        ];
+        let data = vec![DataPoint::new(vec![1.0, 0.0], 1.0), DataPoint::new(vec![-1.0, 0.0], -1.0)];
         let set = L2Ball::unit(2);
         let sol = solve_exact(&LogisticLoss, &data, &set, 3000).unwrap();
         // Separable data: optimum at the boundary in direction e₁.
@@ -110,9 +100,6 @@ mod tests {
     #[test]
     fn empty_dataset_rejected() {
         let set = L2Ball::unit(2);
-        assert!(matches!(
-            solve_exact(&SquaredLoss, &[], &set, 100),
-            Err(ErmError::EmptyDataset)
-        ));
+        assert!(matches!(solve_exact(&SquaredLoss, &[], &set, 100), Err(ErmError::EmptyDataset)));
     }
 }

@@ -265,13 +265,7 @@ impl<L: Loss> Loss for Regularized<L> {
 mod tests {
     use super::*;
 
-    fn numerical_gradient(
-        loss: &dyn Loss,
-        theta: &[f64],
-        x: &[f64],
-        y: f64,
-        h: f64,
-    ) -> Vec<f64> {
+    fn numerical_gradient(loss: &dyn Loss, theta: &[f64], x: &[f64], y: f64, h: f64) -> Vec<f64> {
         let mut g = vec![0.0; theta.len()];
         for i in 0..theta.len() {
             let mut tp = theta.to_vec();
@@ -316,7 +310,7 @@ mod tests {
         let l = LogisticLoss;
         // Huge positive margin: loss → 0 without overflow.
         let v = l.value(&[100.0], &[1.0], 1.0);
-        assert!(v >= 0.0 && v < 1e-20);
+        assert!((0.0..1e-20).contains(&v));
         let v2 = l.value(&[-100.0], &[1.0], 1.0);
         assert!((v2 - 100.0).abs() < 1e-9);
     }

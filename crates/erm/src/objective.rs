@@ -65,10 +65,7 @@ mod tests {
 
     #[test]
     fn sums_over_points() {
-        let data = vec![
-            DataPoint::new(vec![1.0, 0.0], 1.0),
-            DataPoint::new(vec![0.0, 1.0], -1.0),
-        ];
+        let data = vec![DataPoint::new(vec![1.0, 0.0], 1.0), DataPoint::new(vec![0.0, 1.0], -1.0)];
         let obj = ErmObjective::new(&SquaredLoss, &data, 2);
         assert_eq!(obj.len(), 2);
         // At θ = 0: J = 1 + 1 = 2.

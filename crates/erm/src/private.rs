@@ -102,11 +102,7 @@ impl PrivateBatchSolver for NoisyGdSolver {
         // union-bounded across iterations.
         let alpha = mechanisms::gaussian_norm_bound(d, sigma, self.beta / self.iters as f64);
         let obj = ErmObjective::new(loss, data, d);
-        let cfg = NoisyPgdConfig {
-            iters: self.iters,
-            alpha,
-            lipschitz: obj.lipschitz(diam),
-        };
+        let cfg = NoisyPgdConfig { iters: self.iters, alpha, lipschitz: obj.lipschitz(diam) };
         let rng_cell = RefCell::new(rng);
         let theta = noisy_projected_gradient(
             |t| {
@@ -275,8 +271,7 @@ mod tests {
             let mut per_seed: Vec<f64> = (0..5)
                 .map(|s| {
                     let mut rng = NoiseRng::seed_from_u64(100 + s);
-                    let theta =
-                        solver.solve(&SquaredLoss, &data, &set, &params, &mut rng).unwrap();
+                    let theta = solver.solve(&SquaredLoss, &data, &set, &params, &mut rng).unwrap();
                     excess_risk(&data, &set, &theta)
                 })
                 .collect();
@@ -293,8 +288,7 @@ mod tests {
         let params = PrivacyParams::approx(1.0, 1e-5).unwrap();
         let mut rng = NoiseRng::seed_from_u64(2);
         assert!(matches!(
-            OutputPerturbationSolver::default()
-                .solve(&SquaredLoss, &data, &set, &params, &mut rng),
+            OutputPerturbationSolver::default().solve(&SquaredLoss, &data, &set, &params, &mut rng),
             Err(ErmError::UnsupportedLoss { .. })
         ));
         let reg = Regularized::new(SquaredLoss, 0.5);
@@ -352,7 +346,12 @@ mod tests {
         let params = PrivacyParams::approx(1.0, 1e-5).unwrap();
         let mut rng = NoiseRng::seed_from_u64(4);
         let bad = vec![DataPoint::new(vec![3.0, 0.0], 0.0)];
-        for solver in [&NoisyGdSolver::default() as &dyn PrivateBatchSolver] {
+        let solvers: [&dyn PrivateBatchSolver; 3] = [
+            &NoisyGdSolver::default(),
+            &OutputPerturbationSolver::default(),
+            &PrivateFrankWolfeSolver::default(),
+        ];
+        for solver in solvers {
             assert!(matches!(
                 solver.solve(&SquaredLoss, &bad, &set, &params, &mut rng),
                 Err(ErmError::InvalidDataPoint { .. })

@@ -60,21 +60,13 @@ impl WidthSet for BoxSet {
 
     fn diameter(&self) -> f64 {
         // sup ‖θ‖ over the box: per coordinate pick the larger |bound|.
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(l, h)| l.abs().max(h.abs()).powi(2))
-            .sum::<f64>()
-            .sqrt()
+        self.lo.iter().zip(&self.hi).map(|(l, h)| l.abs().max(h.abs()).powi(2)).sum::<f64>().sqrt()
     }
 }
 
 impl ConvexSet for BoxSet {
     fn project(&self, x: &[f64]) -> Vec<f64> {
-        x.iter()
-            .zip(self.lo.iter().zip(&self.hi))
-            .map(|(&v, (&l, &h))| v.clamp(l, h))
-            .collect()
+        x.iter().zip(self.lo.iter().zip(&self.hi)).map(|(&v, (&l, &h))| v.clamp(l, h)).collect()
     }
 
     fn support(&self, g: &[f64]) -> Vec<f64> {
@@ -134,9 +126,7 @@ impl ConvexSet for LinfBall {
     }
 
     fn support(&self, g: &[f64]) -> Vec<f64> {
-        g.iter()
-            .map(|&gi| if gi >= 0.0 { self.radius } else { -self.radius })
-            .collect()
+        g.iter().map(|&gi| if gi >= 0.0 { self.radius } else { -self.radius }).collect()
     }
 
     fn gauge(&self, x: &[f64]) -> f64 {

@@ -59,11 +59,7 @@ impl WidthSet for GroupL1Ball {
 
     fn support_value(&self, g: &[f64]) -> f64 {
         // Dual of the block-L1,2 norm is block-L∞,2: r·max_g ‖g_block‖₂.
-        self.radius
-            * self
-                .blocks()
-                .map(|r| vector::norm2(&g[r]))
-                .fold(0.0f64, f64::max)
+        self.radius * self.blocks().map(|r| vector::norm2(&g[r])).fold(0.0f64, f64::max)
     }
 
     /// `w ≤ r·(√k + √(2 ln(#groups)))` — `O(√(k log(d/k)))`, matching the
@@ -108,7 +104,7 @@ impl ConvexSet for GroupL1Ball {
         let mut best: Option<(usize, f64)> = None;
         for (gi, r) in self.blocks().enumerate() {
             let n = vector::norm2(&g[r]);
-            if best.map_or(true, |(_, bn)| n > bn) {
+            if best.is_none_or(|(_, bn)| n > bn) {
                 best = Some((gi, n));
             }
         }

@@ -70,10 +70,7 @@ impl WidthSet for PolytopeHull {
     }
 
     fn support_value(&self, g: &[f64]) -> f64 {
-        self.vertices
-            .iter()
-            .map(|v| vector::dot(v, g))
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.vertices.iter().map(|v| vector::dot(v, g)).fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// `w(conv{a_i}) ≤ max_i ‖a_i‖ · √(2 ln(2l))` (finite-class bound; the

@@ -73,9 +73,7 @@ fn project_lp(x: &[f64], p: f64, r: f64) -> Vec<f64> {
         return x.to_vec();
     }
     let solve_at = |lambda: f64| -> Vec<f64> {
-        x.iter()
-            .map(|&v| v.signum() * solve_coordinate(v.abs(), lambda, p))
-            .collect()
+        x.iter().map(|&v| v.signum() * solve_coordinate(v.abs(), lambda, p)).collect()
     };
     // Bracket λ by doubling until the solution falls inside the ball.
     let mut hi = 1.0;
@@ -131,9 +129,7 @@ impl ConvexSet for LpBall {
             return vec![0.0; self.dim];
         }
         // Gradient of the dual norm: a_i = r·sign(g_i)|g_i|^{q−1}/‖g‖_q^{q−1}.
-        g.iter()
-            .map(|&gi| self.radius * gi.signum() * (gi.abs() / nq).powf(q - 1.0))
-            .collect()
+        g.iter().map(|&gi| self.radius * gi.signum() * (gi.abs() / nq).powf(q - 1.0)).collect()
     }
 
     fn gauge(&self, x: &[f64]) -> f64 {

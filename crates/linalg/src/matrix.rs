@@ -163,8 +163,8 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            vector::axpy(y[r], self.row(r), &mut out);
+        for (r, &yr) in y.iter().enumerate() {
+            vector::axpy(yr, self.row(r), &mut out);
         }
         Ok(out)
     }
@@ -255,6 +255,25 @@ impl Matrix {
         let mut m = Matrix::zeros(u.len(), v.len());
         m.add_outer(1.0, u, v).expect("outer: shapes fixed by construction");
         m
+    }
+
+    /// Overwrite `self` with the outer product `u vᵀ`, reusing the
+    /// allocation — the scratch-buffer form of [`Matrix::outer`] used by
+    /// the batched mechanism paths, and value-for-value identical to it.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `self` is not
+    /// `u.len() × v.len()`.
+    pub fn set_outer(&mut self, u: &[f64], v: &[f64]) -> Result<()> {
+        if u.len() != self.rows || v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "set_outer",
+                expected: self.rows * self.cols,
+                found: u.len() * v.len(),
+            });
+        }
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+        self.add_outer(1.0, u, v)
     }
 
     /// `A ← A + alpha·B`.

@@ -50,11 +50,7 @@ pub fn norm_p(v: &[f64], p: f64) -> f64 {
 #[inline]
 pub fn distance(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "distance: length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
 }
 
 /// `y ← y + alpha·x` (BLAS `axpy`).
@@ -160,9 +156,7 @@ pub fn hard_threshold(v: &[f64], k: usize) -> Vec<f64> {
     }
     let mut idx: Vec<usize> = (0..v.len()).collect();
     idx.sort_unstable_by(|&i, &j| {
-        v[j].abs()
-            .partial_cmp(&v[i].abs())
-            .expect("NaN in hard_threshold")
+        v[j].abs().partial_cmp(&v[i].abs()).expect("NaN in hard_threshold")
     });
     let mut out = vec![0.0; v.len()];
     for &i in idx.iter().take(k) {

@@ -90,11 +90,7 @@ pub fn fista<O: Objective + ?Sized, C: ConvexSet + ?Sized>(
         let next = set.project(&next);
         let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t_k * t_k).sqrt());
         let beta = (t_k - 1.0) / t_next;
-        momentum = next
-            .iter()
-            .zip(&theta)
-            .map(|(n, p)| n + beta * (n - p))
-            .collect();
+        momentum = next.iter().zip(&theta).map(|(n, p)| n + beta * (n - p)).collect();
         theta = next;
         t_k = t_next;
     }
@@ -153,8 +149,7 @@ mod tests {
     fn pgd_diminishing_step_with_averaging_converges() {
         let obj = shifted_quadratic(&[0.5, -0.25]);
         let set = L2Ball::unit(2);
-        let cfg =
-            PgdConfig { iters: 4000, step: StepSize::DiminishingSqrt(0.5), average: true };
+        let cfg = PgdConfig { iters: 4000, step: StepSize::DiminishingSqrt(0.5), average: true };
         let theta = projected_gradient(&obj, &set, &cfg, &[1.0, 1.0]);
         // Interior optimum: averaging converges at the slow √k rate.
         assert!(vector::distance(&theta, &[0.5, -0.25]) < 0.05, "{theta:?}");
@@ -194,8 +189,7 @@ mod tests {
     fn zero_iterations_returns_projected_start() {
         let obj = shifted_quadratic(&[3.0, 0.0]);
         let set = L2Ball::unit(2);
-        let theta =
-            projected_gradient(&obj, &set, &PgdConfig::last_iterate(0, 0.1), &[5.0, 0.0]);
+        let theta = projected_gradient(&obj, &set, &PgdConfig::last_iterate(0, 0.1), &[5.0, 0.0]);
         assert!(vector::distance(&theta, &[1.0, 0.0]) < 1e-12);
     }
 }

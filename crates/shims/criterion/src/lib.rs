@@ -1,0 +1,224 @@
+//! Minimal, offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! bench harness, covering the API surface this workspace's benches use
+//! (`benchmark_group`, `bench_with_input`, `bench_function`, `Throughput`,
+//! `BenchmarkId`, `iter`). The build environment has no network access, so
+//! the real crate cannot be vendored.
+//!
+//! It is a plain wall-clock timer: per benchmark it warms up, runs
+//! `sample_size` timed samples, and prints median/mean per-iteration times
+//! (plus derived throughput when declared). No statistical regression
+//! analysis, plots, or baselines — swap in real criterion when building
+//! with network access for publication-grade numbers.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup { _parent: self, name, sample_size: 10, throughput: None }
+    }
+
+    /// Run a free-standing benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let report = run_bench(id, 10, None, &mut f);
+        eprintln!("{report}");
+        self
+    }
+}
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("d", 64)` → the label `d/64`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Units-of-work declaration used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing sample-count and throughput
+/// settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion defaults to 100;
+    /// the shim defaults to 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration units of work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure against one input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let report = run_bench(&label, self.sample_size, self.throughput, &mut |b| f(b, input));
+        eprintln!("{report}");
+        self
+    }
+
+    /// Benchmark a closure with no input parameter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let report = run_bench(&label, self.sample_size, self.throughput, &mut f);
+        eprintln!("{report}");
+        self
+    }
+
+    /// Close the group (printing happens eagerly; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Measurement driver handed to the bench closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    target_sample_time: Duration,
+    calibrating: bool,
+}
+
+impl Bencher {
+    /// Time `f`, calling it enough times per sample for a stable reading.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.calibrating {
+            // Find an iteration count that makes one sample ≥ target time.
+            let mut n: u64 = 1;
+            loop {
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(f());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= self.target_sample_time || n >= 1 << 20 {
+                    self.iters_per_sample = n;
+                    break;
+                }
+                n = (n * 2).max(1);
+            }
+            self.calibrating = false;
+        }
+        let want = self.samples.capacity();
+        while self.samples.len() < want {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) -> String {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::with_capacity(sample_size),
+        target_sample_time: Duration::from_millis(20),
+        calibrating: true,
+    };
+    f(&mut b);
+    let mut per_iter: Vec<f64> =
+        b.samples.iter().map(|d| d.as_secs_f64() / b.iters_per_sample as f64).collect();
+    per_iter.sort_by(|a, c| a.total_cmp(c));
+    let median = if per_iter.is_empty() { f64::NAN } else { per_iter[per_iter.len() / 2] };
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    let mut line = format!(
+        "{label:<48} median {:>12}  mean {:>12}  ({} samples x {} iters)",
+        fmt_time(median),
+        fmt_time(mean),
+        per_iter.len(),
+        b.iters_per_sample
+    );
+    if let Some(t) = throughput {
+        let (units, suffix) = match t {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        if median > 0.0 {
+            let _ = write!(line, "  {:.3e} {}", units / median, suffix);
+        }
+    }
+    line
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if !seconds.is_finite() {
+        "n/a".to_string()
+    } else if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.3} s", seconds)
+    }
+}
+
+/// Collect bench functions into a runnable group (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point expanding to `fn main` (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,302 @@
+//! Minimal, offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, covering exactly the API surface this workspace's property tests
+//! use. The build environment has no network access, so the real crate
+//! cannot be vendored; this shim keeps the property tests runnable.
+//!
+//! Differences from real proptest (deliberate simplifications):
+//!
+//! - Cases are generated from a **deterministic** per-test seed, so runs are
+//!   reproducible without a failure-persistence file.
+//! - No shrinking: a failing case reports its inputs and panics directly.
+//! - Only the strategies used in-tree are provided: numeric ranges,
+//!   `any::<u64>()`, `prop::collection::vec`, and `Strategy::prop_map`.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Default number of cases per property (real proptest defaults to 256; we
+/// keep the suite fast while still sweeping a meaningful region).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Deterministic split-mix generator driving case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator; each `#[test]` derives its seed from the test name.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform deviate in `[0, 1)` with 53 random bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be positive.
+    pub fn next_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "next_index: empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A value generator: the core abstraction of property testing.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map the generated value through `f` (mirrors proptest's
+    /// `Strategy::prop_map`).
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty usize range strategy");
+        self.start + rng.next_index(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "empty i64 range strategy");
+        self.start + (rng.next_u64() % (self.end - self.start) as u64) as i64
+    }
+}
+
+/// `any::<T>()` marker strategy (full-domain generation).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Full-domain strategy for `T` (only the types used in-tree).
+pub fn any<T>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: DEFAULT_CASES }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Collection strategies under the `prop::` path, mirroring proptest.
+pub mod collection_support {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Either a fixed length or a length range for [`vec()`].
+    pub trait IntoLenRange {
+        /// Draw a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoLenRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoLenRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            self.start + rng.next_index(self.end - self.start)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S` and length spec `L`.
+    #[derive(Debug)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// `prop::collection::vec(element, len_or_range)`.
+    pub fn vec<S: Strategy, L: IntoLenRange>(element: S, len: L) -> VecStrategy<S, L>
+    where
+        S::Value: Debug,
+    {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: IntoLenRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `proptest::prelude` re-exports tests import with `use ...::*`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+
+    /// The `prop::` namespace (`prop::collection::vec` et al.).
+    pub mod prop {
+        /// Collection strategies.
+        pub mod collection {
+            pub use crate::collection_support::vec;
+        }
+    }
+}
+
+/// Assert inside a property; on failure the runner reports the generated
+/// inputs. (No shrinking — this maps to a plain panic.)
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Cheap compile-time string hash so each test gets a distinct,
+/// deterministic seed stream.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The `proptest!` macro: wraps each property in a `#[test]` that sweeps
+/// deterministic generated cases and reports inputs on failure.
+#[macro_export]
+macro_rules! proptest {
+    // With a leading config attribute.
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[doc = $doc:expr])*
+            #[test]
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! { @impl ($cfg) $( $(#[doc = $doc])* fn $name($($arg in $strat),*) $body )* }
+    };
+    // Without config.
+    (
+        $(
+            $(#[doc = $doc:expr])*
+            #[test]
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! { @impl ($crate::ProptestConfig::default()) $( $(#[doc = $doc])* fn $name($($arg in $strat),*) $body )* }
+    };
+    (@impl ($cfg:expr) $(
+        $(#[doc = $doc:expr])*
+        fn $name:ident($($arg:ident in $strat:expr),*) $body:block
+    )*) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                use $crate::Strategy as _;
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::TestRng::new($crate::seed_from_name(concat!(module_path!(), "::", stringify!($name))));
+                for case in 0..config.cases {
+                    $(let $arg = ($strat).generate(&mut rng);)*
+                    let desc = format!(
+                        concat!("case {}/{}: ", $(stringify!($arg), " = {:?} ",)* ),
+                        case + 1, config.cases, $(&$arg),*
+                    );
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(panic) = result {
+                        eprintln!("proptest shim: property `{}` failed on {}", stringify!($name), desc);
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}

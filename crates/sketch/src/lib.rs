@@ -100,6 +100,33 @@ impl GaussianSketch {
         Ok(Some(pir_linalg::vector::scale(&px, nx / npx)))
     }
 
+    /// Batched [`embed_normalized`](GaussianSketch::embed_normalized):
+    /// one entry per input covariate, in order. Point-for-point identical
+    /// to the sequential calls; the win is amortization — `Φ` stays hot in
+    /// cache across the whole batch and the per-call dimension checks are
+    /// hoisted, which is what the multi-stream engine's batched ingest
+    /// leans on.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if any `x.len() != d` (checked
+    /// for the whole batch before any embedding is computed).
+    pub fn embed_normalized_batch(
+        &self,
+        xs: &[&[f64]],
+    ) -> Result<Vec<Option<Vec<f64>>>, LinalgError> {
+        let d = self.d();
+        for x in xs {
+            if x.len() != d {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "embed_normalized_batch",
+                    expected: d,
+                    found: x.len(),
+                });
+            }
+        }
+        xs.iter().map(|x| self.embed_normalized(x)).collect()
+    }
+
     /// Worst squared-norm distortion over a point set:
     /// `max_i |‖Φa_i‖² − ‖a_i‖²| / ‖a_i‖²` (zero vectors are skipped).
     ///

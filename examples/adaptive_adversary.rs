@@ -21,14 +21,8 @@ fn main() {
     let domain = KSparseDomain::new(d, k, 1.0);
     println!("domain: {k}-sparse vectors in R^{d},  w(S) ≲ {:.2}", domain.width_bound());
     println!();
-    println!(
-        "{:>6} {:>22} {:>26}",
-        "m", "unconstrained attack", "domain-restricted attack"
-    );
-    println!(
-        "{:>6} {:>22} {:>26}",
-        "", "|‖Φx‖²−1| (null space)", "|‖Φx‖²−1| (worst k-sparse)"
-    );
+    println!("{:>6} {:>22} {:>26}", "m", "unconstrained attack", "domain-restricted attack");
+    println!("{:>6} {:>22} {:>26}", "", "|‖Φx‖²−1| (null space)", "|‖Φx‖²−1| (worst k-sparse)");
 
     for m in [4usize, 8, 16, 32, 64, 128] {
         let sketch = GaussianSketch::sample(m, d, &mut rng);

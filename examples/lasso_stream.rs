@@ -58,9 +58,8 @@ fn main() {
     // regime the paper's §5 is designed to avoid).
     let set = L1Ball::unit(d);
     let mut trivial = TrivialMechanism::new(&set);
-    let report_triv =
-        evaluate_squared_loss(&mut trivial, &stream, Box::new(L1Ball::unit(d)), 64)
-            .expect("valid stream");
+    let report_triv = evaluate_squared_loss(&mut trivial, &stream, Box::new(L1Ball::unit(d)), 64)
+        .expect("valid stream");
 
     println!();
     println!("{:>6} {:>16} {:>16}", "t", "excess (mech 2)", "excess (trivial)");

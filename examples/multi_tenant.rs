@@ -1,0 +1,135 @@
+//! Multi-tenant serving: one `ShardedEngine` drives many concurrent user
+//! streams, each with its own mechanism, noise stream, and privacy
+//! budget.
+//!
+//! Three tenant tiers share the fleet:
+//! - "fast" tenants run `PrivIncReg1` (§4) in a moderate dimension;
+//! - "sparse" tenants run the sketched `PrivIncReg2` (§5) over an
+//!   `ℓ₁` ball in a higher dimension;
+//! - a handful of "audit" tenants run the non-private exact oracle so
+//!   operators can eyeball utility side-by-side.
+//!
+//! Run with `cargo run --release --example multi_tenant`.
+
+use private_incremental_regression::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+    let horizon = 64;
+
+    let mut engine = ShardedEngine::new(EngineConfig {
+        num_shards: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
+        seed: 2024,
+        parallel: true,
+    })
+    .unwrap();
+
+    // ---- Spawn the fleet -------------------------------------------------
+    let d_fast = 8;
+    let d_sparse = 64;
+    let fast_ids: Vec<u64> = (0..200).collect();
+    let sparse_ids: Vec<u64> = (1000..1100).collect();
+    let audit_ids: Vec<u64> = (9000..9004).collect();
+
+    let t0 = Instant::now();
+    engine
+        .spawn_sessions(fast_ids.iter().copied(), &MechanismSpec::reg1_l2(d_fast), horizon, &params)
+        .unwrap();
+    engine
+        .spawn_sessions(
+            sparse_ids.iter().copied(),
+            &MechanismSpec::Reg2 {
+                set: SetSpec::unit_l1(d_sparse),
+                domain_width: 3.0,
+                config: PrivIncReg2Config { m_override: Some(12), ..Default::default() },
+            },
+            horizon,
+            &params,
+        )
+        .unwrap();
+    engine
+        .spawn_sessions(
+            audit_ids.iter().copied(),
+            &MechanismSpec::ExactOracle { set: SetSpec::unit_l2(d_fast) },
+            horizon,
+            &params,
+        )
+        .unwrap();
+    println!(
+        "spawned {} sessions across {} shards in {:.1?} (loads: {:?})",
+        engine.session_count(),
+        engine.num_shards(),
+        t0.elapsed(),
+        engine.shard_loads()
+    );
+
+    // ---- Serve traffic ---------------------------------------------------
+    // Each round interleaves arrivals from every tenant — exactly the
+    // mixed batch an ingestion frontier would hand the engine.
+    let mut data_rng = NoiseRng::seed_from_u64(7);
+    let rounds = 16;
+    let t1 = Instant::now();
+    let mut served = 0usize;
+    for _round in 0..rounds {
+        let mut batch: Vec<(u64, DataPoint)> = Vec::new();
+        for &id in &fast_ids {
+            batch.push((id, synth_point(d_fast, &mut data_rng)));
+        }
+        for &id in &sparse_ids {
+            batch.push((id, synth_sparse_point(d_sparse, 3, &mut data_rng)));
+        }
+        for &id in &audit_ids {
+            batch.push((id, synth_point(d_fast, &mut data_rng)));
+        }
+        let out = engine.ingest(batch);
+        served += out.len();
+        if let Some(err) = out.iter().find_map(|r| r.as_ref().err()) {
+            eprintln!("ingest failure: {err}");
+            std::process::exit(1);
+        }
+    }
+    let dt = t1.elapsed();
+    println!(
+        "served {served} points in {dt:.1?} ({:.0} points/sec)",
+        served as f64 / dt.as_secs_f64()
+    );
+
+    // ---- Inspect a few sessions -----------------------------------------
+    for id in [fast_ids[0], sparse_ids[0], audit_ids[0]] {
+        engine
+            .with_session(id, |s| {
+                let (eps, delta) = s.accountant().spent();
+                println!(
+                    "session {id}: {} | t={} | budget spent (ε={eps:.2}, δ={delta:.1e})",
+                    s.mechanism_name(),
+                    s.t()
+                );
+            })
+            .unwrap();
+    }
+}
+
+/// Dense covariate with ‖x‖ ≤ 0.9 and a planted signal on coordinate 0.
+fn synth_point(d: usize, rng: &mut NoiseRng) -> DataPoint {
+    let x = rng.unit_sphere(d);
+    let x: Vec<f64> = x.iter().map(|v| 0.9 * v).collect();
+    let y = (0.8 * x[0]).clamp(-1.0, 1.0);
+    DataPoint::new(x, y)
+}
+
+/// k-sparse covariate with ‖x‖ ≤ 0.9 (the §5 low-width domain).
+fn synth_sparse_point(d: usize, k: usize, rng: &mut NoiseRng) -> DataPoint {
+    let mut x = vec![0.0; d];
+    for _ in 0..k {
+        x[rng.uniform_index(d)] = rng.uniform_in(-0.5, 0.5);
+    }
+    let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 0.9 {
+        for v in &mut x {
+            *v *= 0.9 / norm;
+        }
+    }
+    let y = (0.7 * x[0]).clamp(-1.0, 1.0);
+    DataPoint::new(x, y)
+}

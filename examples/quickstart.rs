@@ -19,13 +19,8 @@ fn main() {
     // Ground truth: a dense signal of norm 0.8 plus small label noise.
     let theta_star = sparse_theta(d, d, 0.8, &mut rng);
     let model = LinearModel { theta_star: theta_star.clone(), noise_std: 0.05 };
-    let stream = linear_stream(
-        t_max,
-        d,
-        CovariateKind::DenseSphere { radius: 0.95 },
-        &model,
-        &mut rng,
-    );
+    let stream =
+        linear_stream(t_max, d, CovariateKind::DenseSphere { radius: 0.95 }, &model, &mut rng);
 
     // The √d mechanism (Algorithm 2 of the paper).
     let mut mech = PrivIncReg1::new(

@@ -55,8 +55,12 @@ fn main() {
         rng.fork(),
     )
     .expect("valid configuration");
-    println!("generic transform: τ = {}, {} batch invocations at {}",
-        generic.tau(), generic.invocations(), generic.per_invocation());
+    println!(
+        "generic transform: τ = {}, {} batch invocations at {}",
+        generic.tau(),
+        generic.invocations(),
+        generic.per_invocation()
+    );
 
     let report_generic =
         evaluate_squared_loss(&mut generic, &stream, Box::new(L2Ball::unit(d)), 32)
@@ -71,23 +75,16 @@ fn main() {
         PrivIncReg1Config::default(),
     )
     .expect("valid configuration");
-    let report_mech1 =
-        evaluate_squared_loss(&mut mech1, &stream, Box::new(L2Ball::unit(d)), 32)
-            .expect("valid stream");
+    let report_mech1 = evaluate_squared_loss(&mut mech1, &stream, Box::new(L2Ball::unit(d)), 32)
+        .expect("valid stream");
 
     println!();
-    println!(
-        "{:>6} {:>18} {:>18}",
-        "t", "excess (generic)", "excess (tree mech)"
-    );
+    println!("{:>6} {:>18} {:>18}", "t", "excess (generic)", "excess (tree mech)");
     for (rg, r1) in report_generic.records.iter().zip(&report_mech1.records) {
         println!("{:>6} {:>18.4} {:>18.4}", rg.t, rg.excess, r1.excess);
     }
     println!();
-    println!(
-        "worst-case excess — generic τ-transform : {:.4}",
-        report_generic.max_excess()
-    );
+    println!("worst-case excess — generic τ-transform : {:.4}", report_generic.max_excess());
     println!(
         "worst-case excess — tree mechanism      : {:.4}  (Remark 4.3: better at every d,T)",
         report_mech1.max_excess()

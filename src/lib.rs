@@ -54,7 +54,27 @@
 //! - [`erm`] — losses, exact and private batch ERM solvers.
 //! - [`core`] — the incremental mechanisms, baselines, and the
 //!   Definition-1 evaluation harness.
+//! - [`engine`] — the sharded multi-stream serving layer: spawn thousands
+//!   of concurrent sessions from a [`MechanismSpec`](pir_engine::MechanismSpec)
+//!   and drive them with batched, shard-parallel ingest.
 //! - [`datagen`] — synthetic stream generators for every experiment.
+//!
+//! ## Serving many streams
+//!
+//! ```
+//! use private_incremental_regression::prelude::*;
+//!
+//! let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+//! let mut engine = ShardedEngine::with_shards(2).unwrap();
+//! engine
+//!     .spawn_sessions(0..16, &MechanismSpec::reg1_l2(3), 32, &params)
+//!     .unwrap();
+//! let batch: Vec<(u64, DataPoint)> = (0..32u64)
+//!     .map(|i| (i % 16, DataPoint::new(vec![0.4, 0.1, 0.0], 0.2)))
+//!     .collect();
+//! let releases = engine.ingest(batch);
+//! assert!(releases.iter().all(|r| r.is_ok()));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,6 +83,7 @@ pub use pir_continual as continual;
 pub use pir_core as core;
 pub use pir_datagen as datagen;
 pub use pir_dp as dp;
+pub use pir_engine as engine;
 pub use pir_erm as erm;
 pub use pir_geometry as geometry;
 pub use pir_linalg as linalg;
@@ -83,6 +104,10 @@ pub mod prelude {
         CovariateKind, LinearModel,
     };
     pub use pir_dp::{NoiseRng, PrivacyAccountant, PrivacyParams};
+    pub use pir_engine::{
+        EngineConfig, EngineError, LossSpec, MechanismSpec, SetSpec, ShardedEngine, SolverSpec,
+        StreamSession,
+    };
     pub use pir_erm::{
         solve_exact, DataPoint, LogisticLoss, Loss, NoisyGdSolver, OutputPerturbationSolver,
         PrivateBatchSolver, PrivateFrankWolfeSolver, Regularized, SquaredLoss,

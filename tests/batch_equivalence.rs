@@ -1,0 +1,155 @@
+//! The batched-equals-sequential law: for every mechanism,
+//! `observe_batch` must produce the *identical* estimator sequence a
+//! sequential `observe` loop would — bit-for-bit under a fixed
+//! [`NoiseRng`] seed, for any chunking of the stream. This is what makes
+//! batching in the engine a pure throughput optimization with no semantic
+//! (or privacy) consequences.
+
+use private_incremental_regression::prelude::*;
+use proptest::prelude::*;
+
+/// A valid (§2-normalized) stream: ‖x‖ ≤ 0.9, |y| ≤ 1.
+fn stream(n: usize, d: usize, seed: u64) -> Vec<DataPoint> {
+    let mut rng = NoiseRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x: Vec<f64> = (0..d).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+            let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let x: Vec<f64> = x.iter().map(|v| 0.9 * v / norm.max(1.0)).collect();
+            let y = (0.7 * x[0]).clamp(-1.0, 1.0);
+            DataPoint::new(x, y)
+        })
+        .collect()
+}
+
+/// Drive `sequential` point-by-point and `batched` chunk-by-chunk over
+/// the same stream; the released sequences must agree exactly.
+fn assert_equivalent(
+    mut sequential: Box<dyn IncrementalMechanism>,
+    mut batched: Box<dyn IncrementalMechanism>,
+    points: &[DataPoint],
+    chunk: usize,
+) {
+    let seq: Vec<Vec<f64>> = points.iter().map(|z| sequential.observe(z).unwrap()).collect();
+    let bat: Vec<Vec<f64>> =
+        points.chunks(chunk).flat_map(|c| batched.observe_batch(c).unwrap()).collect();
+    assert_eq!(seq.len(), bat.len());
+    for (t, (s, b)) in seq.iter().zip(&bat).enumerate() {
+        assert_eq!(s, b, "release diverged at t={} (chunk={chunk})", t + 1);
+    }
+    assert_eq!(sequential.t(), batched.t());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn reg1_batched_equals_sequential(seed in any::<u64>(), chunk in 1usize..9) {
+        let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+        let build = || {
+            let mut rng = NoiseRng::seed_from_u64(seed);
+            Box::new(PrivIncReg1::new(
+                Box::new(L2Ball::unit(4)),
+                24,
+                &params,
+                &mut rng,
+                PrivIncReg1Config::default(),
+            )
+            .unwrap()) as Box<dyn IncrementalMechanism>
+        };
+        let points = stream(24, 4, seed.wrapping_add(1));
+        assert_equivalent(build(), build(), &points, chunk);
+    }
+
+    #[test]
+    fn reg2_batched_equals_sequential(seed in any::<u64>(), chunk in 1usize..7) {
+        let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+        let config = PrivIncReg2Config {
+            m_override: Some(5),
+            lift_iters: 40,
+            max_pgd_iters: 24,
+            ..Default::default()
+        };
+        let build = || {
+            let mut rng = NoiseRng::seed_from_u64(seed);
+            Box::new(PrivIncReg2::new(
+                Box::new(L1Ball::unit(16)),
+                2.0,
+                12,
+                &params,
+                &mut rng,
+                config,
+            )
+            .unwrap()) as Box<dyn IncrementalMechanism>
+        };
+        let points = stream(12, 16, seed.wrapping_add(2));
+        assert_equivalent(build(), build(), &points, chunk);
+    }
+
+    #[test]
+    fn erm_batched_equals_sequential(seed in any::<u64>(), chunk in 1usize..9) {
+        let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+        let build = || {
+            Box::new(PrivIncErm::new(
+                Box::new(SquaredLoss),
+                Box::new(NoisyGdSolver { iters: 8, beta: 0.1 }),
+                Box::new(L2Ball::unit(3)),
+                16,
+                &params,
+                TauRule::Fixed(4),
+                NoiseRng::seed_from_u64(seed),
+            )
+            .unwrap()) as Box<dyn IncrementalMechanism>
+        };
+        let points = stream(16, 3, seed.wrapping_add(3));
+        assert_equivalent(build(), build(), &points, chunk);
+    }
+}
+
+#[test]
+fn batch_rejection_is_atomic() {
+    let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+    let mut rng = NoiseRng::seed_from_u64(9);
+    let mut mech = PrivIncReg1::new(
+        Box::new(L2Ball::unit(3)),
+        8,
+        &params,
+        &mut rng,
+        PrivIncReg1Config::default(),
+    )
+    .unwrap();
+    // A contract violation in the middle of the batch consumes nothing.
+    let batch = vec![
+        DataPoint::new(vec![0.3, 0.0, 0.0], 0.1),
+        DataPoint::new(vec![2.0, 0.0, 0.0], 0.0), // ‖x‖ > 1
+    ];
+    assert!(mech.observe_batch(&batch).is_err());
+    assert_eq!(mech.t(), 0);
+    // A batch overflowing the horizon consumes nothing either.
+    let long: Vec<DataPoint> = (0..9).map(|_| DataPoint::new(vec![0.2, 0.0, 0.0], 0.1)).collect();
+    assert!(mech.observe_batch(&long).is_err());
+    assert_eq!(mech.t(), 0);
+    // Empty batches are no-ops.
+    assert_eq!(mech.observe_batch(&[]).unwrap().len(), 0);
+}
+
+#[test]
+fn erm_batch_overflow_consumes_nothing() {
+    // PrivIncErm stores its history, so a partially-consumed batch would
+    // double-count points on retry — overflow must reject atomically.
+    let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+    let mut mech = PrivIncErm::new(
+        Box::new(SquaredLoss),
+        Box::new(NoisyGdSolver { iters: 4, beta: 0.1 }),
+        Box::new(L2Ball::unit(2)),
+        4,
+        &params,
+        TauRule::Fixed(2),
+        NoiseRng::seed_from_u64(1),
+    )
+    .unwrap();
+    let long: Vec<DataPoint> = (0..5).map(|_| DataPoint::new(vec![0.2, 0.0], 0.1)).collect();
+    assert!(mech.observe_batch(&long).is_err());
+    assert_eq!(mech.t(), 0);
+    assert_eq!(mech.observe_batch(&long[..4]).unwrap().len(), 4);
+}

@@ -50,14 +50,8 @@ fn all_mechanisms_release_feasible_points_on_the_same_stream() {
 
     let mut mechanisms: Vec<Box<dyn IncrementalMechanism>> = vec![
         Box::new(
-            PrivIncReg1::new(
-                set(),
-                t,
-                &params(1.0),
-                &mut rng,
-                PrivIncReg1Config::default(),
-            )
-            .unwrap(),
+            PrivIncReg1::new(set(), t, &params(1.0), &mut rng, PrivIncReg1Config::default())
+                .unwrap(),
         ),
         Box::new(
             PrivIncReg2::new(
@@ -118,8 +112,7 @@ fn privacy_noise_is_actually_injected() {
     for z in &stream {
         let a = mech.observe(z).unwrap();
         let b = oracle.observe(z).unwrap();
-        let gap: f64 =
-            a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let gap: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
         max_gap = max_gap.max(gap);
     }
     assert!(max_gap > 1e-3, "trajectories identical — no noise injected?");
@@ -170,15 +163,8 @@ fn generic_transform_handles_logistic_classification() {
         rng.fork(),
     )
     .unwrap();
-    let report = evaluate_generic(
-        &mut mech,
-        &stream,
-        &LogisticLoss,
-        &L2Ball::unit(d),
-        12,
-        1500,
-    )
-    .unwrap();
+    let report =
+        evaluate_generic(&mut mech, &stream, &LogisticLoss, &L2Ball::unit(d), 12, 1500).unwrap();
     // Sanity: the excess is finite and below the trivial bound 2TL‖C‖.
     let trivial_bound = 2.0 * t as f64 * LogisticLoss.lipschitz(1.0) * 1.0;
     assert!(report.max_excess() < trivial_bound, "excess {}", report.max_excess());

@@ -10,8 +10,7 @@ fn priv_inc_erm_schedule_fits_for_all_tau_rules() {
     // budget over ⌈T/τ⌉ uses stays within (ε, δ).
     for &t_max in &[8usize, 64, 500] {
         for &eps in &[0.1, 0.5, 1.0] {
-            for rule in [TauRule::Fixed(1), TauRule::Fixed(7), TauRule::Convex, TauRule::LowWidth]
-            {
+            for rule in [TauRule::Fixed(1), TauRule::Fixed(7), TauRule::Convex, TauRule::LowWidth] {
                 let total = PrivacyParams::approx(eps, 1e-6).unwrap();
                 let mech = PrivIncErm::new(
                     Box::new(SquaredLoss),
@@ -58,16 +57,9 @@ fn tree_noise_matches_algorithm4_formula_through_the_mechanism() {
     let total = PrivacyParams::approx(2.0, 1e-4).unwrap();
     let half = total.halve();
     let t_max = 1024usize;
-    let tree = TreeMechanism::with_sensitivity(
-        3,
-        t_max,
-        2.0,
-        &half,
-        NoiseRng::seed_from_u64(2),
-    )
-    .unwrap();
-    let expect = (2.0f64).sqrt() * 10.0 * 2.0 * (2.0 / half.delta()).ln().sqrt()
-        / half.epsilon();
+    let tree =
+        TreeMechanism::with_sensitivity(3, t_max, 2.0, &half, NoiseRng::seed_from_u64(2)).unwrap();
+    let expect = (2.0f64).sqrt() * 10.0 * 2.0 * (2.0 / half.delta()).ln().sqrt() / half.epsilon();
     assert!((tree.sigma() - expect).abs() < 1e-9);
 }
 
@@ -77,8 +69,7 @@ fn gaussian_mechanism_sigma_decomposes_with_budget_splits() {
     // the cost picture behind every τ/k trade-off in the paper.
     let total = PrivacyParams::approx(1.0, 1e-6).unwrap();
     let s1 = mechanisms::gaussian_sigma(1.0, &total).unwrap();
-    let s4 = mechanisms::gaussian_sigma(1.0, &PrivacyParams::approx(0.25, 1e-6).unwrap())
-        .unwrap();
+    let s4 = mechanisms::gaussian_sigma(1.0, &PrivacyParams::approx(0.25, 1e-6).unwrap()).unwrap();
     assert!((s4 / s1 - 4.0).abs() < 1e-9);
 }
 
