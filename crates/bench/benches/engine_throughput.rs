@@ -1,6 +1,11 @@
 //! Multi-stream engine throughput: points/sec through `ingest` as a
 //! function of shard count, at a fleet size of ≥ 1000 concurrent
-//! sessions — the scaling claim of the serving layer.
+//! sessions — the scaling claim of the serving layer. The curve is
+//! measured end-to-end through the **pipelined** frontend
+//! (`EngineHandle::ingest`), with the direct synchronous
+//! `ShardedEngine::ingest` as the baseline the pipeline must not regress
+//! (budget: 10% on one core; see `docs/OPERATIONS.md` for how to read
+//! the output).
 //!
 //! Also benches batched vs sequential observation on one session, which
 //! isolates the `observe_batch` amortization from the sharding win.
@@ -8,7 +13,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pir_core::PrivIncReg1Config;
 use pir_dp::{NoiseRng, PrivacyParams};
-use pir_engine::{EngineConfig, MechanismSpec, ShardedEngine};
+use pir_engine::{EngineConfig, EngineHandle, IngressConfig, MechanismSpec, ShardedEngine};
 use pir_erm::DataPoint;
 use std::hint::black_box;
 
@@ -41,6 +46,46 @@ fn build_engine(num_shards: usize) -> ShardedEngine {
     engine
 }
 
+fn build_handle(num_shards: usize) -> EngineHandle {
+    let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+    let handle = EngineHandle::new(IngressConfig {
+        num_shards,
+        seed: 11,
+        // Deep enough that a whole fleet batch fits any single shard.
+        queue_depth: 4 * SESSIONS as usize,
+    })
+    .unwrap();
+    let spec = MechanismSpec::Reg1 {
+        set: pir_engine::SetSpec::unit_l2(DIM),
+        config: PrivIncReg1Config { max_pgd_iters: 16, ..Default::default() },
+    };
+    for sid in 0..SESSIONS {
+        handle.open(sid, &spec, 1usize << 32, &params).unwrap();
+    }
+    handle.flush();
+    handle
+}
+
+/// The headline curve: fleet batches through the pipelined frontend.
+fn bench_pipelined_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipelined_ingest_1024_sessions");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SESSIONS));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            let handle = build_handle(shards);
+            let mut rng = NoiseRng::seed_from_u64(5);
+            b.iter(|| {
+                let batch = fleet_batch(&mut rng);
+                black_box(handle.ingest(black_box(batch)))
+            });
+            handle.close();
+        });
+    }
+    group.finish();
+}
+
+/// The synchronous baseline the pipeline is compared against.
 fn bench_shard_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_ingest_1024_sessions");
     group.sample_size(10);
@@ -101,5 +146,10 @@ fn bench_batch_amortization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_shard_scaling, bench_batch_amortization);
+criterion_group!(
+    benches,
+    bench_pipelined_shard_scaling,
+    bench_shard_scaling,
+    bench_batch_amortization
+);
 criterion_main!(benches);

@@ -27,7 +27,7 @@ use pir_geometry::ConvexSet;
 use pir_linalg::{vector, Matrix};
 
 /// Tuning knobs for [`PrivIncReg1`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrivIncReg1Config {
     /// Confidence parameter `β` used inside the error bounds (Def. 1).
     pub beta: f64,

@@ -33,7 +33,7 @@ use pir_linalg::{vector, Matrix};
 use pir_sketch::{gordon, GaussianSketch};
 
 /// Tuning knobs for [`PrivIncReg2`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrivIncReg2Config {
     /// Confidence parameter `β`.
     pub beta: f64,

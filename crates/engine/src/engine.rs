@@ -10,7 +10,7 @@ use std::collections::HashMap;
 /// SplitMix64 finalizer — the engine's stateless hash for shard routing
 /// and per-session seed derivation.
 #[inline]
-fn mix64(mut z: u64) -> u64 {
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -23,13 +23,13 @@ fn mix64(mut z: u64) -> u64 {
 /// paths (`spawn_session`, `spawn_sessions`) must go through this one
 /// function.
 #[inline]
-fn session_seed(engine_seed: u64, session_id: u64) -> u64 {
+pub(crate) fn session_seed(engine_seed: u64, session_id: u64) -> u64 {
     mix64(engine_seed ^ session_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// A fleet seed drawn from OS entropy (via the std hasher's random
 /// keys), for the privacy-safe default configuration.
-fn entropy_seed() -> u64 {
+pub(crate) fn entropy_seed() -> u64 {
     use std::hash::{BuildHasher, Hasher};
     let a = std::collections::hash_map::RandomState::new().build_hasher().finish();
     let b = std::collections::hash_map::RandomState::new().build_hasher().finish();

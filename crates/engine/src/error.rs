@@ -34,6 +34,22 @@ pub enum EngineError {
         /// Rendered accounting error.
         reason: String,
     },
+    /// A shard's ingress queue cannot accept the command without
+    /// exceeding its configured depth. Nothing was enqueued — rejection
+    /// is atomic, so no prefix of a batch is ever applied.
+    Backpressure {
+        /// Shard whose queue was full.
+        shard: usize,
+        /// Points already queued on that shard when the command arrived.
+        depth: usize,
+        /// The shard's configured queue depth.
+        capacity: usize,
+        /// Queue cost (in points) of the rejected command.
+        cost: usize,
+    },
+    /// The pipelined engine has shut down (its worker threads are gone),
+    /// so no further commands can be accepted or answered.
+    Closed,
 }
 
 impl std::fmt::Display for EngineError {
@@ -44,6 +60,11 @@ impl std::fmt::Display for EngineError {
             EngineError::InvalidConfig { reason } => write!(f, "invalid engine config: {reason}"),
             EngineError::Mechanism { reason } => write!(f, "mechanism error: {reason}"),
             EngineError::Budget { reason } => write!(f, "privacy budget error: {reason}"),
+            EngineError::Backpressure { shard, depth, capacity, cost } => write!(
+                f,
+                "backpressure on shard {shard}: queue depth {depth}/{capacity} cannot take {cost} more point(s)"
+            ),
+            EngineError::Closed => write!(f, "engine handle is closed"),
         }
     }
 }

@@ -1,0 +1,731 @@
+//! Pipelined ingestion in front of the sharded engine.
+//!
+//! [`ShardedEngine`](crate::ShardedEngine) is a synchronous object: every
+//! call blocks the caller until the mechanisms have finished their
+//! per-point compute, so one slow tenant stalls whoever is feeding the
+//! fleet. This module puts a queue between the caller and the compute:
+//!
+//! - an [`EngineHandle`] owns one worker thread per shard, each with a
+//!   **bounded** command queue (depth measured in *points*, not
+//!   commands);
+//! - callers [`submit`](EngineHandle::submit) [`Command`]s — open a
+//!   session, observe points, release a session — and get back a
+//!   [`Ticket`] immediately, without waiting for mechanism compute;
+//! - a full queue rejects the command **atomically** with
+//!   [`EngineError::Backpressure`]: nothing is enqueued, no prefix of a
+//!   batch is applied, and the caller decides whether to retry, shed, or
+//!   spill;
+//! - [`flush`](EngineHandle::flush) is a barrier (every command enqueued
+//!   before it has been fully processed when it returns), and
+//!   [`close`](EngineHandle::close) drains and joins the fleet.
+//!
+//! Determinism survives the pipeline: commands for one session always
+//! route to the same shard queue (FIFO), so a session's points are
+//! consumed in submission order, and its noise stream still derives from
+//! `(engine seed, session id)` alone. The release sequences are therefore
+//! bit-for-bit identical to driving [`ShardedEngine`](crate::ShardedEngine)
+//! directly — under any shard count — which is property-tested in
+//! `tests/ingress.rs`.
+//!
+//! # Examples
+//!
+//! ```
+//! use pir_engine::{Command, EngineHandle, IngressConfig, MechanismSpec, Reply};
+//! use pir_dp::PrivacyParams;
+//! use pir_erm::DataPoint;
+//!
+//! let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+//! let handle = EngineHandle::new(IngressConfig {
+//!     num_shards: 2,
+//!     seed: 7,
+//!     queue_depth: 64,
+//! })
+//! .unwrap();
+//!
+//! // Pipelined: open and observe are submitted back-to-back; per-shard
+//! // FIFO ordering makes waiting for the open unnecessary.
+//! let opened = handle.open(1, &MechanismSpec::reg1_l2(3), 16, &params).unwrap();
+//! let release = handle.observe(1, DataPoint::new(vec![0.5, 0.1, 0.0], 0.3)).unwrap();
+//! assert_eq!(opened.wait(), Reply::Opened { session_id: 1 });
+//! let thetas = release.wait().into_releases().unwrap();
+//! assert_eq!(thetas[0].len(), 3);
+//! let stats = handle.close();
+//! assert_eq!(stats.points, 1);
+//! ```
+
+use crate::engine::{entropy_seed, mix64, session_seed};
+use crate::error::EngineError;
+use crate::session::StreamSession;
+use crate::spec::MechanismSpec;
+use pir_dp::{NoiseRng, PrivacyParams};
+use pir_erm::DataPoint;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for the pipelined ingestion layer.
+#[derive(Debug, Clone, Copy)]
+pub struct IngressConfig {
+    /// Number of shards (= worker threads) sessions are hash-partitioned
+    /// across. Defaults to the machine's available parallelism.
+    pub num_shards: usize,
+    /// Base seed; identical in meaning to
+    /// [`EngineConfig::seed`](crate::EngineConfig::seed) — a session's
+    /// noise stream derives from `(seed, session id)` alone, so releases
+    /// are invariant under resharding. The same privacy warning applies:
+    /// fix it for experiments only, the default draws from OS entropy.
+    pub seed: u64,
+    /// Per-shard queue depth, measured in **points** (an
+    /// [`Command::ObserveBatch`] of `k` points costs `k`; every other
+    /// command costs 1). A command that would push a queue past this
+    /// depth is rejected whole with [`EngineError::Backpressure`].
+    pub queue_depth: usize,
+}
+
+impl Default for IngressConfig {
+    fn default() -> Self {
+        IngressConfig {
+            num_shards: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            seed: entropy_seed(),
+            queue_depth: 1024,
+        }
+    }
+}
+
+/// A command accepted by the pipelined frontend — the unit of the wire
+/// protocol (see [`wire`](crate::wire)) and of [`EngineHandle::submit`].
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Spawn a session (mechanism + privacy accountant) for streams of
+    /// length up to `t_max` under the per-session budget `params`.
+    Open {
+        /// Session id (also the routing key).
+        session_id: u64,
+        /// Which paper mechanism to run, with all knobs.
+        spec: MechanismSpec,
+        /// Stream-length horizon `T`.
+        t_max: usize,
+        /// Per-session privacy budget `(ε, δ)`.
+        params: PrivacyParams,
+    },
+    /// Feed one stream point; the reply carries the released estimator.
+    Observe {
+        /// Target session.
+        session_id: u64,
+        /// The arriving covariate–response pair.
+        point: DataPoint,
+    },
+    /// Feed a run of consecutive points through the mechanism's amortized
+    /// batch path; the reply carries one released estimator per point.
+    /// Rejected atomically (by the mechanism *and* by the queue).
+    ObserveBatch {
+        /// Target session.
+        session_id: u64,
+        /// The arriving points, in stream order.
+        points: Vec<DataPoint>,
+    },
+    /// Release (terminate) a session: its mechanism state is dropped and
+    /// the reply reports the final stream position and budget spent.
+    Release {
+        /// Target session.
+        session_id: u64,
+    },
+    /// Connection-scoped barrier and goodbye: the reply
+    /// ([`Reply::Closed`]) is sent only after every command submitted
+    /// before it has been fully processed. The engine itself stays up —
+    /// sessions survive for other connections.
+    Close,
+}
+
+impl Command {
+    /// Queue cost of this command, in points.
+    pub fn cost(&self) -> usize {
+        match self {
+            Command::ObserveBatch { points, .. } => points.len().max(1),
+            _ => 1,
+        }
+    }
+
+    /// The session this command routes by (`None` for [`Command::Close`],
+    /// which is a barrier across every shard).
+    pub fn session_id(&self) -> Option<u64> {
+        match self {
+            Command::Open { session_id, .. }
+            | Command::Observe { session_id, .. }
+            | Command::ObserveBatch { session_id, .. }
+            | Command::Release { session_id } => Some(*session_id),
+            Command::Close => None,
+        }
+    }
+}
+
+/// The engine's answer to one [`Command`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// The session was spawned.
+    Opened {
+        /// The spawned session's id.
+        session_id: u64,
+    },
+    /// Estimators released for an observe / observe-batch command, one
+    /// per point, in stream order.
+    Releases {
+        /// The serving session's id.
+        session_id: u64,
+        /// The released estimators `θ_t`.
+        thetas: Vec<Vec<f64>>,
+    },
+    /// The session was released; its final ledger.
+    SessionReleased {
+        /// The released session's id.
+        session_id: u64,
+        /// Stream points the session consumed over its lifetime.
+        points: u64,
+        /// Privacy budget `ε` the session's accountant recorded as spent.
+        epsilon_spent: f64,
+        /// Privacy budget `δ` the session's accountant recorded as spent.
+        delta_spent: f64,
+    },
+    /// Barrier acknowledged ([`Command::Close`]).
+    Closed,
+    /// The command failed; nothing about the session changed beyond what
+    /// the error names.
+    Err(EngineError),
+}
+
+impl Reply {
+    /// Extract the released estimators, turning every non-release reply
+    /// into an error (convenience for observe-style commands).
+    pub fn into_releases(self) -> Result<Vec<Vec<f64>>, EngineError> {
+        match self {
+            Reply::Releases { thetas, .. } => Ok(thetas),
+            Reply::Err(e) => Err(e),
+            other => Err(EngineError::Mechanism {
+                reason: format!("expected a release reply, got {other:?}"),
+            }),
+        }
+    }
+}
+
+/// A claim on one command's eventual [`Reply`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Reply>,
+}
+
+impl Ticket {
+    /// A ticket that is already resolved to `reply`.
+    fn resolved(reply: Reply) -> Self {
+        let (tx, rx) = mpsc::channel();
+        let _ = tx.send(reply);
+        Ticket { rx }
+    }
+
+    /// Block until the reply arrives. If the engine shut down before
+    /// answering, the reply is [`Reply::Err`]\([`EngineError::Closed`]).
+    pub fn wait(self) -> Reply {
+        self.rx.recv().unwrap_or(Reply::Err(EngineError::Closed))
+    }
+
+    /// Non-blocking poll: `Some(reply)` once the reply is in, `None`
+    /// while the command is still queued or computing.
+    pub fn try_wait(&self) -> Option<Reply> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Reply::Err(EngineError::Closed)),
+        }
+    }
+}
+
+/// One session's slice of an ingest batch: `(session id, original input
+/// indices, points in arrival order)` — same grouping as
+/// [`ShardedEngine::ingest`](crate::ShardedEngine::ingest).
+type SessionRun = (u64, Vec<usize>, Vec<DataPoint>);
+
+/// An ingest result tagged with the input index it answers.
+type IndexedRelease = (usize, Result<Vec<f64>, EngineError>);
+
+/// What travels down a shard's queue.
+enum Job {
+    /// One wire-level command with its reply channel.
+    Cmd { cmd: Command, cost: usize, reply: Sender<Reply> },
+    /// The bulk fast path behind [`EngineHandle::ingest`]: a whole
+    /// shard's slice of a mixed-tenant batch in one message.
+    Ingest { runs: Vec<SessionRun>, cost: usize, reply: Sender<Vec<IndexedRelease>> },
+    /// Barrier: acknowledge once everything before this job is done.
+    Flush { ack: Sender<()> },
+    /// Drain, report `(live sessions, live points)`, and exit.
+    Shutdown { ack: Sender<(usize, usize)> },
+}
+
+/// One shard's ingress lane: its queue plus the shared depth gauge.
+struct Lane {
+    tx: Sender<Job>,
+    depth: Arc<AtomicUsize>,
+}
+
+/// Final tallies returned by [`EngineHandle::close`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngressStats {
+    /// Sessions still live (never released) at close.
+    pub sessions: usize,
+    /// Stream points those live sessions had consumed.
+    pub points: usize,
+}
+
+/// The pipelined frontend to a sharded fleet of private streams.
+///
+/// Owns one worker thread per shard; each worker holds its shard's
+/// sessions and drains a bounded command queue. See the
+/// [module docs](self) for the full contract; the headline invariants:
+///
+/// - **Non-blocking**: [`submit`](Self::submit) returns as soon as the
+///   command is enqueued (or rejected), never waiting on mechanism
+///   compute.
+/// - **Atomic backpressure**: a command that does not fit its shard's
+///   queue whole is rejected whole.
+/// - **Deterministic**: per-session FIFO + seed-per-`(engine seed, id)`
+///   make release sequences identical to the direct
+///   [`ShardedEngine`](crate::ShardedEngine) path, under any shard count.
+#[derive(Debug)]
+pub struct EngineHandle {
+    lanes: Vec<LaneHandle>,
+    workers: Vec<JoinHandle<()>>,
+    capacity: usize,
+    seed: u64,
+}
+
+/// `Lane` without the non-Debug `Sender` hidden — split so the struct can
+/// derive Debug for diagnostics without printing channel internals.
+struct LaneHandle {
+    lane: Lane,
+}
+
+impl std::fmt::Debug for LaneHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lane").field("depth", &self.lane.depth.load(Ordering::Relaxed)).finish()
+    }
+}
+
+impl EngineHandle {
+    /// Spawn the shard workers.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidConfig`] if `num_shards == 0` or
+    /// `queue_depth == 0`.
+    pub fn new(config: IngressConfig) -> Result<Self, EngineError> {
+        if config.num_shards == 0 {
+            return Err(EngineError::InvalidConfig {
+                reason: "num_shards must be at least 1".to_string(),
+            });
+        }
+        if config.queue_depth == 0 {
+            return Err(EngineError::InvalidConfig {
+                reason: "queue_depth must be at least 1".to_string(),
+            });
+        }
+        let mut lanes = Vec::with_capacity(config.num_shards);
+        let mut workers = Vec::with_capacity(config.num_shards);
+        for _ in 0..config.num_shards {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let depth = Arc::new(AtomicUsize::new(0));
+            let worker_depth = Arc::clone(&depth);
+            let seed = config.seed;
+            workers.push(std::thread::spawn(move || worker_loop(rx, worker_depth, seed)));
+            lanes.push(LaneHandle { lane: Lane { tx, depth } });
+        }
+        Ok(EngineHandle { lanes, workers, capacity: config.queue_depth, seed: config.seed })
+    }
+
+    /// Number of shards (= worker threads).
+    pub fn num_shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The configured per-shard queue depth, in points.
+    pub fn queue_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Instantaneous queued-point count per shard (observability: a shard
+    /// pinned at capacity is the backpressure signal to scale or shed).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.lanes.iter().map(|l| l.lane.depth.load(Ordering::Relaxed)).collect()
+    }
+
+    #[inline]
+    fn shard_index(&self, session_id: u64) -> usize {
+        (mix64(session_id) % self.lanes.len() as u64) as usize
+    }
+
+    /// Try to reserve `cost` points of queue space on `shard`.
+    fn reserve(&self, shard: usize, cost: usize) -> Result<(), EngineError> {
+        let depth = &self.lanes[shard].lane.depth;
+        depth
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+                (cur + cost <= self.capacity).then_some(cur + cost)
+            })
+            .map(|_| ())
+            .map_err(|cur| EngineError::Backpressure {
+                shard,
+                depth: cur,
+                capacity: self.capacity,
+                cost,
+            })
+    }
+
+    /// Enqueue one command without waiting for its compute.
+    ///
+    /// Commands for the same session are processed in submission order
+    /// (per-shard FIFO), so `open → observe → release` pipelines without
+    /// waiting on intermediate tickets. [`Command::Close`] is a barrier:
+    /// it blocks until every shard has drained, then resolves to
+    /// [`Reply::Closed`].
+    ///
+    /// # Errors
+    /// [`EngineError::Backpressure`] if the target shard's queue cannot
+    /// take the command whole (nothing is enqueued), or
+    /// [`EngineError::Closed`] if the engine has shut down.
+    pub fn submit(&self, cmd: Command) -> Result<Ticket, EngineError> {
+        let Some(session_id) = cmd.session_id() else {
+            // Close: a barrier across every shard, then a resolved ticket.
+            self.flush();
+            return Ok(Ticket::resolved(Reply::Closed));
+        };
+        let shard = self.shard_index(session_id);
+        let cost = cmd.cost();
+        self.reserve(shard, cost)?;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if self.lanes[shard].lane.tx.send(Job::Cmd { cmd, cost, reply: reply_tx }).is_err() {
+            // Worker gone (only possible after a panic): roll the
+            // reservation back and surface the shutdown.
+            self.lanes[shard].lane.depth.fetch_sub(cost, Ordering::SeqCst);
+            return Err(EngineError::Closed);
+        }
+        Ok(Ticket { rx: reply_rx })
+    }
+
+    /// [`Command::Open`] convenience.
+    ///
+    /// # Errors
+    /// See [`submit`](Self::submit).
+    pub fn open(
+        &self,
+        session_id: u64,
+        spec: &MechanismSpec,
+        t_max: usize,
+        params: &PrivacyParams,
+    ) -> Result<Ticket, EngineError> {
+        self.submit(Command::Open { session_id, spec: spec.clone(), t_max, params: *params })
+    }
+
+    /// [`Command::Observe`] convenience.
+    ///
+    /// # Errors
+    /// See [`submit`](Self::submit).
+    pub fn observe(&self, session_id: u64, point: DataPoint) -> Result<Ticket, EngineError> {
+        self.submit(Command::Observe { session_id, point })
+    }
+
+    /// [`Command::ObserveBatch`] convenience.
+    ///
+    /// # Errors
+    /// See [`submit`](Self::submit).
+    pub fn observe_batch(
+        &self,
+        session_id: u64,
+        points: Vec<DataPoint>,
+    ) -> Result<Ticket, EngineError> {
+        self.submit(Command::ObserveBatch { session_id, points })
+    }
+
+    /// [`Command::Release`] convenience.
+    ///
+    /// # Errors
+    /// See [`submit`](Self::submit).
+    pub fn release_session(&self, session_id: u64) -> Result<Ticket, EngineError> {
+        self.submit(Command::Release { session_id })
+    }
+
+    /// Drive a mixed batch of arrivals across many sessions — the bulk
+    /// fast path, drop-in equivalent to
+    /// [`ShardedEngine::ingest`](crate::ShardedEngine::ingest) (the
+    /// release sequences are identical; see `tests/ingress.rs`).
+    ///
+    /// Points are grouped per session (preserving each session's arrival
+    /// order) and each shard's slice travels as **one** queue message, so
+    /// channel overhead is `O(num_shards)` per call, not `O(points)`.
+    /// `out[i]` answers `points[i]`. Backpressure handling: a shard slice
+    /// larger than the whole queue reports
+    /// [`EngineError::Backpressure`] on its indices; otherwise `ingest`
+    /// waits for the shard to drain (it is the *blocking* entry point —
+    /// use [`submit`](Self::submit) for fire-and-forget). Note the
+    /// resulting granularity: each *shard slice* is applied or rejected
+    /// as a unit, so one fleet-level call can mix applied and
+    /// backpressured indices — consult the per-index results before
+    /// replaying anything.
+    pub fn ingest(&self, points: Vec<(u64, DataPoint)>) -> Vec<Result<Vec<f64>, EngineError>> {
+        let n = points.len();
+        let num_shards = self.lanes.len();
+        // Group per shard, then per session, preserving arrival order —
+        // the exact grouping of `ShardedEngine::ingest`.
+        let mut per_shard: Vec<Vec<SessionRun>> = (0..num_shards).map(|_| Vec::new()).collect();
+        let mut slot: HashMap<u64, (usize, usize)> = HashMap::new();
+        for (i, (sid, z)) in points.into_iter().enumerate() {
+            let shard = self.shard_index(sid);
+            let (s, g) = *slot.entry(sid).or_insert_with(|| {
+                per_shard[shard].push((sid, Vec::new(), Vec::new()));
+                (shard, per_shard[shard].len() - 1)
+            });
+            per_shard[s][g].1.push(i);
+            per_shard[s][g].2.push(z);
+        }
+
+        let mut results: Vec<Option<Result<Vec<f64>, EngineError>>> =
+            (0..n).map(|_| None).collect();
+        let mut pending: Vec<(Vec<usize>, Receiver<Vec<IndexedRelease>>)> = Vec::new();
+        for (shard, runs) in per_shard.into_iter().enumerate() {
+            if runs.is_empty() {
+                continue;
+            }
+            let cost: usize = runs.iter().map(|(_, _, b)| b.len()).sum::<usize>().max(1);
+            let all_indices: Vec<usize> =
+                runs.iter().flat_map(|(_, idx, _)| idx.iter().copied()).collect();
+            if cost > self.capacity {
+                // Can never fit: report backpressure on every affected
+                // index rather than deadlocking.
+                let depth = self.lanes[shard].lane.depth.load(Ordering::Relaxed);
+                for i in all_indices {
+                    results[i] = Some(Err(EngineError::Backpressure {
+                        shard,
+                        depth,
+                        capacity: self.capacity,
+                        cost,
+                    }));
+                }
+                continue;
+            }
+            // Blocking reservation: wait out a full queue by riding a
+            // Flush barrier, which doubles as a liveness probe — if the
+            // worker died (its queue depth can then be stuck above
+            // capacity forever), surface Closed instead of spinning.
+            let mut worker_dead = false;
+            while self.reserve(shard, cost).is_err() {
+                let (tx, rx) = mpsc::channel();
+                if self.lanes[shard].lane.tx.send(Job::Flush { ack: tx }).is_err()
+                    || rx.recv().is_err()
+                {
+                    worker_dead = true;
+                    break;
+                }
+            }
+            if worker_dead {
+                for i in all_indices {
+                    results[i] = Some(Err(EngineError::Closed));
+                }
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            if self.lanes[shard].lane.tx.send(Job::Ingest { runs, cost, reply: tx }).is_err() {
+                self.lanes[shard].lane.depth.fetch_sub(cost, Ordering::SeqCst);
+                for i in all_indices {
+                    results[i] = Some(Err(EngineError::Closed));
+                }
+                continue;
+            }
+            pending.push((all_indices, rx));
+        }
+        for (all_indices, rx) in pending {
+            match rx.recv() {
+                Ok(parts) => {
+                    for (i, r) in parts {
+                        results[i] = Some(r);
+                    }
+                }
+                Err(_) => {
+                    for i in all_indices {
+                        results[i] = Some(Err(EngineError::Closed));
+                    }
+                }
+            }
+        }
+        results.into_iter().map(|r| r.expect("every input index receives a result")).collect()
+    }
+
+    /// Barrier: returns once every command submitted before the call has
+    /// been fully processed (its reply sent). Releases stay deterministic
+    /// across flushes — this orders *completion*, never *noise*.
+    pub fn flush(&self) {
+        let acks: Vec<Receiver<()>> = self
+            .lanes
+            .iter()
+            .filter_map(|l| {
+                let (tx, rx) = mpsc::channel();
+                l.lane.tx.send(Job::Flush { ack: tx }).ok().map(|()| rx)
+            })
+            .collect();
+        for rx in acks {
+            let _ = rx.recv();
+        }
+    }
+
+    /// Drain every queue, shut the workers down, and join them.
+    pub fn close(mut self) -> IngressStats {
+        let mut stats = IngressStats { sessions: 0, points: 0 };
+        let acks: Vec<Receiver<(usize, usize)>> = self
+            .lanes
+            .iter()
+            .filter_map(|l| {
+                let (tx, rx) = mpsc::channel();
+                l.lane.tx.send(Job::Shutdown { ack: tx }).ok().map(|()| rx)
+            })
+            .collect();
+        for rx in acks {
+            if let Ok((sessions, points)) = rx.recv() {
+                stats.sessions += sessions;
+                stats.points += points;
+            }
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        stats
+    }
+
+    /// The engine seed (for spawning a mirrored
+    /// [`ShardedEngine`](crate::ShardedEngine)
+    /// in tests; treat as secret in production — see
+    /// [`IngressConfig::seed`]).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Drop for EngineHandle {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return; // already closed
+        }
+        for l in &self.lanes {
+            let (tx, _rx) = mpsc::channel();
+            let _ = l.lane.tx.send(Job::Shutdown { ack: tx });
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One shard's worker: owns the shard's sessions, drains its queue.
+fn worker_loop(rx: Receiver<Job>, depth: Arc<AtomicUsize>, engine_seed: u64) {
+    let mut sessions: HashMap<u64, StreamSession> = HashMap::new();
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Cmd { cmd, cost, reply } => {
+                let r = exec_command(&mut sessions, engine_seed, cmd);
+                depth.fetch_sub(cost, Ordering::SeqCst);
+                let _ = reply.send(r);
+            }
+            Job::Ingest { runs, cost, reply } => {
+                let out = run_ingest(&mut sessions, runs);
+                depth.fetch_sub(cost, Ordering::SeqCst);
+                let _ = reply.send(out);
+            }
+            Job::Flush { ack } => {
+                let _ = ack.send(());
+            }
+            Job::Shutdown { ack } => {
+                let points = sessions.values().map(StreamSession::t).sum();
+                let _ = ack.send((sessions.len(), points));
+                break;
+            }
+        }
+    }
+}
+
+/// Execute one command against a shard's session table.
+fn exec_command(
+    sessions: &mut HashMap<u64, StreamSession>,
+    engine_seed: u64,
+    cmd: Command,
+) -> Reply {
+    match cmd {
+        Command::Open { session_id, spec, t_max, params } => {
+            if sessions.contains_key(&session_id) {
+                return Reply::Err(EngineError::DuplicateSession { id: session_id });
+            }
+            let mut rng = NoiseRng::seed_from_u64(session_seed(engine_seed, session_id));
+            match StreamSession::spawn(session_id, &spec, t_max, &params, &mut rng) {
+                Ok(s) => {
+                    sessions.insert(session_id, s);
+                    Reply::Opened { session_id }
+                }
+                Err(e) => Reply::Err(e),
+            }
+        }
+        Command::Observe { session_id, point } => match sessions.get_mut(&session_id) {
+            None => Reply::Err(EngineError::UnknownSession { id: session_id }),
+            Some(s) => match s.observe(&point) {
+                Ok(theta) => Reply::Releases { session_id, thetas: vec![theta] },
+                Err(e) => Reply::Err(e),
+            },
+        },
+        Command::ObserveBatch { session_id, points } => match sessions.get_mut(&session_id) {
+            None => Reply::Err(EngineError::UnknownSession { id: session_id }),
+            Some(s) => match s.observe_batch(&points) {
+                Ok(thetas) => Reply::Releases { session_id, thetas },
+                Err(e) => Reply::Err(e),
+            },
+        },
+        Command::Release { session_id } => match sessions.remove(&session_id) {
+            None => Reply::Err(EngineError::UnknownSession { id: session_id }),
+            Some(s) => {
+                let (epsilon_spent, delta_spent) = s.accountant().spent();
+                Reply::SessionReleased {
+                    session_id,
+                    points: s.t() as u64,
+                    epsilon_spent,
+                    delta_spent,
+                }
+            }
+        },
+        // `Close` is resolved at the handle (barrier across shards); a
+        // worker only sees it if routed here explicitly in the future.
+        Command::Close => Reply::Closed,
+    }
+}
+
+/// Drive one shard's slice of a mixed-tenant batch — the same semantics
+/// as the closure inside `ShardedEngine::ingest` (a batch-level failure
+/// is reported on every index of the affected session's group).
+fn run_ingest(
+    sessions: &mut HashMap<u64, StreamSession>,
+    runs: Vec<SessionRun>,
+) -> Vec<IndexedRelease> {
+    let mut out = Vec::new();
+    for (sid, indices, batch) in runs {
+        match sessions.get_mut(&sid) {
+            None => {
+                for i in indices {
+                    out.push((i, Err(EngineError::UnknownSession { id: sid })));
+                }
+            }
+            Some(session) => match session.observe_batch(&batch) {
+                Ok(releases) => {
+                    for (i, theta) in indices.into_iter().zip(releases) {
+                        out.push((i, Ok(theta)));
+                    }
+                }
+                Err(e) => {
+                    for i in indices {
+                        out.push((i, Err(e.clone())));
+                    }
+                }
+            },
+        }
+    }
+    out
+}

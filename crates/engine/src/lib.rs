@@ -19,6 +19,17 @@
 //!   [`observe_batch`](pir_core::IncrementalMechanism::observe_batch)
 //!   paths.
 //!
+//! On top of the synchronous engine sit the scale-out pieces:
+//!
+//! - [`EngineHandle`] ([`ingress`]) — the pipelined frontend: per-shard
+//!   bounded queues, non-blocking [`Command`] submission with
+//!   [`Ticket`]ed replies, atomic backpressure, and flush/close drain
+//!   semantics;
+//! - [`wire`] — the length-prefixed binary protocol for commands and
+//!   replies (documented byte-for-byte in `docs/PROTOCOL.md`);
+//! - [`server`] — the connection loop driving an [`EngineHandle`] from
+//!   decoded frames, replies strictly in command order.
+//!
 //! Determinism is a design invariant: a session's noise stream is derived
 //! from `(engine seed, session id)` alone, so a fleet's entire release
 //! history is reproducible from one number and is unchanged by resharding
@@ -32,10 +43,15 @@
 
 mod engine;
 mod error;
+pub mod ingress;
+pub mod server;
 mod session;
 mod spec;
+pub mod wire;
 
 pub use engine::{EngineConfig, ShardedEngine};
 pub use error::EngineError;
+pub use ingress::{Command, EngineHandle, IngressConfig, IngressStats, Reply, Ticket};
+pub use server::{serve_connection, ServeStats};
 pub use session::StreamSession;
 pub use spec::{LossSpec, MechanismSpec, SetSpec, SolverSpec};

@@ -1,0 +1,108 @@
+//! The `pir-engine` server loop: decoded frames in, reply frames out.
+//!
+//! [`serve_connection`] drives an [`EngineHandle`] from any
+//! [`Read`]/[`Write`] pair — a TCP stream, a Unix socket, an in-memory
+//! buffer in tests. The loop is **pipelined**: each decoded command is
+//! submitted to the handle immediately (without waiting for its compute)
+//! and replies are written back strictly in command order as they
+//! resolve, so a client can keep many commands in flight over one
+//! connection while still matching the `n`-th reply to the `n`-th
+//! command.
+//!
+//! Engine-level failures (unknown session, backpressure, budget) travel
+//! as [`Reply::Err`] frames and the connection keeps going; only
+//! *protocol* violations (bad magic, truncated frame, unknown opcode)
+//! abort the connection with a [`WireError`], since after one of those
+//! the byte stream can no longer be trusted.
+
+use crate::ingress::{Command, EngineHandle, Reply, Ticket};
+use crate::wire::{read_command, write_reply, WireError};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+
+/// Tallies for one served connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Command frames decoded.
+    pub commands: usize,
+    /// Reply frames written (one per command).
+    pub replies: usize,
+}
+
+/// A reply slot: either still in flight or already known.
+enum Pending {
+    Ticket(Ticket),
+    Now(Reply),
+}
+
+impl Pending {
+    fn try_resolve(&self) -> Option<Reply> {
+        match self {
+            Pending::Ticket(t) => t.try_wait(),
+            Pending::Now(r) => Some(r.clone()),
+        }
+    }
+
+    fn resolve(self) -> Reply {
+        match self {
+            Pending::Ticket(t) => t.wait(),
+            Pending::Now(r) => r,
+        }
+    }
+}
+
+/// Serve one connection until [`Command::Close`] or clean EOF.
+///
+/// On `Close`, every outstanding reply is drained, the handle's queues
+/// are flushed, the final [`Reply::Closed`] is written, and the loop
+/// returns. On EOF, outstanding replies are drained and written before
+/// returning (so short-lived clients lose nothing). The engine itself
+/// stays up either way — sessions outlive connections.
+///
+/// # Errors
+/// A [`WireError`] for protocol violations on either direction; the
+/// engine's own errors are *replies*, not `Err` returns.
+pub fn serve_connection<R: Read, W: Write>(
+    handle: &EngineHandle,
+    reader: &mut R,
+    writer: &mut W,
+) -> Result<ServeStats, WireError> {
+    let mut stats = ServeStats::default();
+    let mut pending: VecDeque<Pending> = VecDeque::new();
+
+    while let Some(cmd) = read_command(reader)? {
+        stats.commands += 1;
+        let closing = matches!(cmd, Command::Close);
+        // Submit without waiting; a rejected submit becomes an in-order
+        // error reply rather than a torn connection.
+        let slot = match handle.submit(cmd) {
+            Ok(ticket) => Pending::Ticket(ticket),
+            Err(e) => Pending::Now(Reply::Err(e)),
+        };
+        pending.push_back(slot);
+        if closing {
+            break;
+        }
+        // Opportunistically drain replies that have already resolved,
+        // preserving command order.
+        while let Some(front) = pending.front() {
+            match front.try_resolve() {
+                Some(reply) => {
+                    pending.pop_front();
+                    write_reply(writer, &reply)?;
+                    stats.replies += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    // Drain everything still in flight, in order.
+    for slot in pending {
+        let reply = slot.resolve();
+        write_reply(writer, &reply)?;
+        stats.replies += 1;
+    }
+    writer.flush()?;
+    Ok(stats)
+}

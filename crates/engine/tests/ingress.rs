@@ -1,0 +1,240 @@
+//! Integration tests for the pipelined ingestion frontend: parity with
+//! the direct engine under resharding, atomic backpressure, pipelining,
+//! and drain semantics.
+
+use pir_dp::PrivacyParams;
+use pir_engine::{
+    Command, EngineConfig, EngineError, EngineHandle, IngressConfig, MechanismSpec, Reply,
+    ShardedEngine,
+};
+use pir_erm::DataPoint;
+use proptest::prelude::*;
+
+fn params() -> PrivacyParams {
+    PrivacyParams::approx(1.0, 1e-6).unwrap()
+}
+
+fn point(d: usize, t: usize, session: u64) -> DataPoint {
+    let mut x = vec![0.0f64; d];
+    x[t % d] = 0.6;
+    x[(t + session as usize) % d] += 0.3;
+    let y = (0.5 * x[0]).clamp(-1.0, 1.0);
+    DataPoint::new(x, y)
+}
+
+/// A mixed-tenant arrival sequence over `sessions` sessions.
+fn arrivals(d: usize, sessions: u64, n: usize) -> Vec<(u64, DataPoint)> {
+    (0..n)
+        .map(|i| {
+            let sid = (i as u64) % sessions;
+            (sid, point(d, i / sessions as usize, sid))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance property: the pipelined path is
+    /// release-for-release identical to direct `ShardedEngine::ingest`,
+    /// under *different* shard counts on each side (reshard invariance
+    /// carries through the queues).
+    #[test]
+    fn pipelined_matches_direct_ingest_under_resharding(
+        direct_shards in 1usize..5,
+        pipelined_shards in 1usize..5,
+        seed in any::<u64>(),
+        sessions in 1u64..7,
+        rounds in 1usize..4,
+    ) {
+        let d = 3;
+        let spec = MechanismSpec::reg1_l2(d);
+        let n = sessions as usize * rounds;
+
+        let mut direct = ShardedEngine::new(EngineConfig {
+            num_shards: direct_shards,
+            seed,
+            parallel: false,
+        })
+        .unwrap();
+        direct.spawn_sessions(0..sessions, &spec, 64, &params()).unwrap();
+        let expected = direct.ingest(arrivals(d, sessions, n));
+
+        let handle = EngineHandle::new(IngressConfig {
+            num_shards: pipelined_shards,
+            seed,
+            queue_depth: 256,
+        })
+        .unwrap();
+        for sid in 0..sessions {
+            handle.open(sid, &spec, 64, &params()).unwrap();
+        }
+        let got = handle.ingest(arrivals(d, sessions, n));
+        handle.close();
+
+        prop_assert_eq!(expected, got);
+    }
+}
+
+#[test]
+fn per_session_command_streams_match_direct_observation() {
+    // open → observe ×k → release, all pipelined without intermediate
+    // waits, must release exactly what the direct engine releases.
+    let seed = 99;
+    let d = 4;
+    let spec = MechanismSpec::reg2_l1(d, 2.0);
+
+    let mut direct =
+        ShardedEngine::new(EngineConfig { num_shards: 3, seed, parallel: false }).unwrap();
+    direct.spawn_sessions([5, 6], &spec, 16, &params()).unwrap();
+
+    let handle = EngineHandle::new(IngressConfig { num_shards: 2, seed, queue_depth: 64 }).unwrap();
+    let mut tickets = Vec::new();
+    for sid in [5u64, 6] {
+        tickets.push((sid, None, handle.open(sid, &spec, 16, &params()).unwrap()));
+    }
+    for t in 0..4usize {
+        for sid in [5u64, 6] {
+            tickets.push((sid, Some(t), handle.observe(sid, point(d, t, sid)).unwrap()));
+        }
+    }
+
+    for (sid, t, ticket) in tickets {
+        match (t, ticket.wait()) {
+            (None, reply) => assert_eq!(reply, Reply::Opened { session_id: sid }),
+            (Some(t), reply) => {
+                let thetas = reply.into_releases().unwrap();
+                assert_eq!(thetas.len(), 1);
+                let expected = direct.observe(sid, &point(d, t, sid)).unwrap();
+                assert_eq!(thetas[0], expected, "session {sid} step {t}");
+            }
+        }
+    }
+
+    // Release reports the consumed stream length and the charged budget.
+    let reply = handle.release_session(5).unwrap().wait();
+    match reply {
+        Reply::SessionReleased { session_id, points, epsilon_spent, delta_spent } => {
+            assert_eq!(session_id, 5);
+            assert_eq!(points, 4);
+            assert!((epsilon_spent - 1.0).abs() < 1e-12);
+            assert!((delta_spent - 1e-6).abs() < 1e-18);
+        }
+        other => panic!("expected SessionReleased, got {other:?}"),
+    }
+    let stats = handle.close();
+    assert_eq!(stats.sessions, 1); // session 6 still live
+    assert_eq!(stats.points, 4);
+}
+
+#[test]
+fn oversized_batch_is_rejected_atomically() {
+    let handle =
+        EngineHandle::new(IngressConfig { num_shards: 1, seed: 1, queue_depth: 4 }).unwrap();
+    handle.open(1, &MechanismSpec::reg1_l2(2), 16, &params()).unwrap().wait();
+
+    // Cost 5 > depth 4: rejected before anything is enqueued.
+    let batch: Vec<DataPoint> = (0..5).map(|t| point(2, t, 1)).collect();
+    let err = handle.observe_batch(1, batch).unwrap_err();
+    assert!(
+        matches!(err, EngineError::Backpressure { shard: 0, capacity: 4, cost: 5, .. }),
+        "unexpected error: {err:?}"
+    );
+
+    // Nothing was applied: the session is still at t = 0.
+    match handle.release_session(1).unwrap().wait() {
+        Reply::SessionReleased { points, .. } => assert_eq!(points, 0),
+        other => panic!("expected SessionReleased, got {other:?}"),
+    }
+}
+
+#[test]
+fn ingest_reports_backpressure_for_unplaceable_shard_slices() {
+    // A whole-fleet batch whose single-shard slice exceeds the queue can
+    // never fit; ingest must report (not deadlock on) those indices.
+    let handle =
+        EngineHandle::new(IngressConfig { num_shards: 1, seed: 1, queue_depth: 2 }).unwrap();
+    handle.open(1, &MechanismSpec::reg1_l2(2), 16, &params()).unwrap();
+    let batch: Vec<(u64, DataPoint)> = (0..3).map(|t| (1u64, point(2, t, 1))).collect();
+    let out = handle.ingest(batch);
+    assert_eq!(out.len(), 3);
+    for r in &out {
+        assert!(matches!(r, Err(EngineError::Backpressure { cost: 3, capacity: 2, .. })));
+    }
+    handle.close();
+}
+
+#[test]
+fn flush_is_a_barrier_and_queues_drain_to_zero() {
+    let handle =
+        EngineHandle::new(IngressConfig { num_shards: 3, seed: 7, queue_depth: 128 }).unwrap();
+    let spec = MechanismSpec::reg1_l2(2);
+    let mut tickets = Vec::new();
+    for sid in 0..12u64 {
+        handle.open(sid, &spec, 8, &params()).unwrap();
+        tickets.push(handle.observe(sid, point(2, 0, sid)).unwrap());
+    }
+    handle.flush();
+    // Everything submitted before the flush has fully completed.
+    assert_eq!(handle.queue_depths(), vec![0, 0, 0]);
+    for t in tickets {
+        assert!(t.try_wait().is_some(), "flush returned before a reply resolved");
+    }
+    handle.close();
+}
+
+#[test]
+fn close_command_is_a_barrier_with_a_resolved_ticket() {
+    let handle =
+        EngineHandle::new(IngressConfig { num_shards: 2, seed: 7, queue_depth: 64 }).unwrap();
+    handle.open(3, &MechanismSpec::reg1_l2(2), 8, &params()).unwrap();
+    let obs = handle.observe(3, point(2, 0, 3)).unwrap();
+    let closed = handle.submit(Command::Close).unwrap();
+    // The barrier has already run: both earlier tickets are resolved.
+    assert_eq!(closed.wait(), Reply::Closed);
+    assert!(obs.try_wait().is_some());
+    handle.close();
+}
+
+#[test]
+fn command_errors_mirror_the_direct_engine() {
+    let handle =
+        EngineHandle::new(IngressConfig { num_shards: 2, seed: 7, queue_depth: 64 }).unwrap();
+    let spec = MechanismSpec::reg1_l2(2);
+    assert_eq!(
+        handle.observe(9, point(2, 0, 9)).unwrap().wait(),
+        Reply::Err(EngineError::UnknownSession { id: 9 })
+    );
+    assert_eq!(
+        handle.release_session(9).unwrap().wait(),
+        Reply::Err(EngineError::UnknownSession { id: 9 })
+    );
+    handle.open(9, &spec, 8, &params()).unwrap();
+    assert_eq!(
+        handle.open(9, &spec, 8, &params()).unwrap().wait(),
+        Reply::Err(EngineError::DuplicateSession { id: 9 })
+    );
+    // Horizon overflow is rejected atomically through the queue too.
+    let run: Vec<DataPoint> = (0..9).map(|t| point(2, t, 9)).collect();
+    match handle.observe_batch(9, run).unwrap().wait() {
+        Reply::Err(EngineError::Mechanism { .. }) => {}
+        other => panic!("expected mechanism error, got {other:?}"),
+    }
+    match handle.release_session(9).unwrap().wait() {
+        Reply::SessionReleased { points, .. } => assert_eq!(points, 0),
+        other => panic!("expected SessionReleased, got {other:?}"),
+    }
+    handle.close();
+}
+
+#[test]
+fn invalid_configs_are_rejected() {
+    assert!(matches!(
+        EngineHandle::new(IngressConfig { num_shards: 0, seed: 1, queue_depth: 8 }),
+        Err(EngineError::InvalidConfig { .. })
+    ));
+    assert!(matches!(
+        EngineHandle::new(IngressConfig { num_shards: 2, seed: 1, queue_depth: 0 }),
+        Err(EngineError::InvalidConfig { .. })
+    ));
+}

@@ -98,6 +98,14 @@ impl Strategy for Range<usize> {
     }
 }
 
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty u64 range strategy");
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
 impl Strategy for Range<i64> {
     type Value = i64;
     fn generate(&self, rng: &mut TestRng) -> i64 {

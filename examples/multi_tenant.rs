@@ -1,6 +1,7 @@
-//! Multi-tenant serving: one `ShardedEngine` drives many concurrent user
-//! streams, each with its own mechanism, noise stream, and privacy
-//! budget.
+//! Multi-tenant serving through the pipelined ingestion frontend: one
+//! `EngineHandle` drives many concurrent user streams, each with its own
+//! mechanism, noise stream, and privacy budget — without the caller ever
+//! blocking on mechanism compute.
 //!
 //! Three tenant tiers share the fleet:
 //! - "fast" tenants run `PrivIncReg1` (§4) in a moderate dimension;
@@ -8,6 +9,11 @@
 //!   `ℓ₁` ball in a higher dimension;
 //! - a handful of "audit" tenants run the non-private exact oracle so
 //!   operators can eyeball utility side-by-side.
+//!
+//! The flow is the production shape: `open` commands are pipelined
+//! (nobody waits on spawn tickets individually), mixed arrival batches
+//! go through `EngineHandle::ingest`, and sessions are `release`d at end
+//! of life, reporting their consumed stream and spent budget.
 //!
 //! Run with `cargo run --release --example multi_tenant`.
 
@@ -18,10 +24,10 @@ fn main() {
     let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
     let horizon = 64;
 
-    let mut engine = ShardedEngine::new(EngineConfig {
+    let handle = EngineHandle::new(IngressConfig {
         num_shards: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
         seed: 2024,
-        parallel: true,
+        queue_depth: 4096,
     })
     .unwrap();
 
@@ -33,40 +39,40 @@ fn main() {
     let audit_ids: Vec<u64> = (9000..9004).collect();
 
     let t0 = Instant::now();
-    engine
-        .spawn_sessions(fast_ids.iter().copied(), &MechanismSpec::reg1_l2(d_fast), horizon, &params)
-        .unwrap();
-    engine
-        .spawn_sessions(
-            sparse_ids.iter().copied(),
-            &MechanismSpec::Reg2 {
-                set: SetSpec::unit_l1(d_sparse),
-                domain_width: 3.0,
-                config: PrivIncReg2Config { m_override: Some(12), ..Default::default() },
-            },
-            horizon,
-            &params,
-        )
-        .unwrap();
-    engine
-        .spawn_sessions(
-            audit_ids.iter().copied(),
-            &MechanismSpec::ExactOracle { set: SetSpec::unit_l2(d_fast) },
-            horizon,
-            &params,
-        )
-        .unwrap();
+    let mut spawns = Vec::new();
+    for &id in &fast_ids {
+        spawns.push(handle.open(id, &MechanismSpec::reg1_l2(d_fast), horizon, &params).unwrap());
+    }
+    let sparse_spec = MechanismSpec::Reg2 {
+        set: SetSpec::unit_l1(d_sparse),
+        domain_width: 3.0,
+        config: PrivIncReg2Config { m_override: Some(12), ..Default::default() },
+    };
+    for &id in &sparse_ids {
+        spawns.push(handle.open(id, &sparse_spec, horizon, &params).unwrap());
+    }
+    let audit_spec = MechanismSpec::ExactOracle { set: SetSpec::unit_l2(d_fast) };
+    for &id in &audit_ids {
+        spawns.push(handle.open(id, &audit_spec, horizon, &params).unwrap());
+    }
+    let spawned = spawns.len();
+    for t in spawns {
+        if let Reply::Err(e) = t.wait() {
+            eprintln!("spawn failure: {e}");
+            std::process::exit(1);
+        }
+    }
     println!(
-        "spawned {} sessions across {} shards in {:.1?} (loads: {:?})",
-        engine.session_count(),
-        engine.num_shards(),
+        "spawned {spawned} sessions across {} shards in {:.1?} (queue depths now: {:?})",
+        handle.num_shards(),
         t0.elapsed(),
-        engine.shard_loads()
+        handle.queue_depths()
     );
 
     // ---- Serve traffic ---------------------------------------------------
-    // Each round interleaves arrivals from every tenant — exactly the
-    // mixed batch an ingestion frontier would hand the engine.
+    // Each round interleaves arrivals from every tenant — the mixed batch
+    // an ingestion frontier hands the engine. `ingest` groups per session
+    // and ships one queue message per shard.
     let mut data_rng = NoiseRng::seed_from_u64(7);
     let rounds = 16;
     let t1 = Instant::now();
@@ -82,7 +88,7 @@ fn main() {
         for &id in &audit_ids {
             batch.push((id, synth_point(d_fast, &mut data_rng)));
         }
-        let out = engine.ingest(batch);
+        let out = handle.ingest(batch);
         served += out.len();
         if let Some(err) = out.iter().find_map(|r| r.as_ref().err()) {
             eprintln!("ingest failure: {err}");
@@ -95,19 +101,24 @@ fn main() {
         served as f64 / dt.as_secs_f64()
     );
 
-    // ---- Inspect a few sessions -----------------------------------------
+    // ---- End-of-life: release a few sessions and read their ledgers ------
     for id in [fast_ids[0], sparse_ids[0], audit_ids[0]] {
-        engine
-            .with_session(id, |s| {
-                let (eps, delta) = s.accountant().spent();
+        match handle.release_session(id).unwrap().wait() {
+            Reply::SessionReleased { session_id, points, epsilon_spent, delta_spent } => {
                 println!(
-                    "session {id}: {} | t={} | budget spent (ε={eps:.2}, δ={delta:.1e})",
-                    s.mechanism_name(),
-                    s.t()
+                    "released session {session_id}: t={points} | budget spent \
+                     (ε={epsilon_spent:.2}, δ={delta_spent:.1e})"
                 );
-            })
-            .unwrap();
+            }
+            other => {
+                eprintln!("release failure: {other:?}");
+                std::process::exit(1);
+            }
+        }
     }
+
+    let stats = handle.close();
+    println!("closed: {} live sessions holding {} points", stats.sessions, stats.points);
 }
 
 /// Dense covariate with ‖x‖ ≤ 0.9 and a planted signal on coordinate 0.

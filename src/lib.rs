@@ -55,26 +55,44 @@
 //! - [`core`] — the incremental mechanisms, baselines, and the
 //!   Definition-1 evaluation harness.
 //! - [`engine`] — the sharded multi-stream serving layer: spawn thousands
-//!   of concurrent sessions from a [`MechanismSpec`](pir_engine::MechanismSpec)
-//!   and drive them with batched, shard-parallel ingest.
+//!   of concurrent sessions from a [`MechanismSpec`](pir_engine::MechanismSpec),
+//!   drive them through the pipelined
+//!   [`EngineHandle`](pir_engine::EngineHandle) (bounded per-shard queues,
+//!   atomic backpressure), or speak the length-prefixed
+//!   [`wire`](pir_engine::wire) protocol to a
+//!   [`serve_connection`](pir_engine::serve_connection) loop.
 //! - [`datagen`] — synthetic stream generators for every experiment.
 //!
 //! ## Serving many streams
+//!
+//! The pipelined frontend is the production entry point: commands are
+//! enqueued without blocking on mechanism compute, and replies arrive
+//! through tickets.
 //!
 //! ```
 //! use private_incremental_regression::prelude::*;
 //!
 //! let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
-//! let mut engine = ShardedEngine::with_shards(2).unwrap();
-//! engine
-//!     .spawn_sessions(0..16, &MechanismSpec::reg1_l2(3), 32, &params)
-//!     .unwrap();
+//! let handle = EngineHandle::new(IngressConfig {
+//!     num_shards: 2,
+//!     seed: 7,
+//!     queue_depth: 256,
+//! })
+//! .unwrap();
+//! for sid in 0..16u64 {
+//!     handle.open(sid, &MechanismSpec::reg1_l2(3), 32, &params).unwrap();
+//! }
 //! let batch: Vec<(u64, DataPoint)> = (0..32u64)
 //!     .map(|i| (i % 16, DataPoint::new(vec![0.4, 0.1, 0.0], 0.2)))
 //!     .collect();
-//! let releases = engine.ingest(batch);
+//! let releases = handle.ingest(batch);
 //! assert!(releases.iter().all(|r| r.is_ok()));
+//! handle.close();
 //! ```
+//!
+//! The synchronous [`ShardedEngine`](pir_engine::ShardedEngine) behind it
+//! remains available for embedded, single-caller use — the two paths are
+//! release-for-release identical.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -105,8 +123,9 @@ pub mod prelude {
     };
     pub use pir_dp::{NoiseRng, PrivacyAccountant, PrivacyParams};
     pub use pir_engine::{
-        EngineConfig, EngineError, LossSpec, MechanismSpec, SetSpec, ShardedEngine, SolverSpec,
-        StreamSession,
+        serve_connection, Command, EngineConfig, EngineError, EngineHandle, IngressConfig,
+        IngressStats, LossSpec, MechanismSpec, Reply, ServeStats, SetSpec, ShardedEngine,
+        SolverSpec, StreamSession, Ticket,
     };
     pub use pir_erm::{
         solve_exact, DataPoint, LogisticLoss, Loss, NoisyGdSolver, OutputPerturbationSolver,

@@ -1,0 +1,111 @@
+//! Markdown link check over the repo's documentation (CI: the docs job
+//! runs this explicitly; it also rides along in tier-1 `cargo test`).
+//!
+//! Every relative link target in the root `*.md` files and `docs/*.md`
+//! must resolve to a file or directory in the repository, so the docs
+//! cannot silently rot as files move. External (`http(s)://`,
+//! `mailto:`) and intra-page (`#…`) links are out of scope — no network
+//! in this environment.
+
+use std::path::{Path, PathBuf};
+
+/// The markdown files under check: `*.md` at the repo root and in
+/// `docs/`.
+fn markdown_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for dir in [root.to_path_buf(), root.join("docs")] {
+        let entries = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()));
+        for entry in entries {
+            let path = entry.expect("readable dir entry").path();
+            if path.extension().is_some_and(|ext| ext == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    assert!(files.len() >= 6, "expected the documentation set, found {files:?}");
+    files
+}
+
+/// Extract inline markdown link targets (`[text](target)`), skipping
+/// fenced code blocks and inline code spans.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        // Strip inline code spans so `code [with](brackets)` never
+        // counts as a link.
+        let mut stripped = String::with_capacity(line.len());
+        let mut in_code = false;
+        for ch in line.chars() {
+            if ch == '`' {
+                in_code = !in_code;
+            } else if !in_code {
+                stripped.push(ch);
+            }
+        }
+        let bytes = stripped.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b']' && bytes[i + 1] == b'(' {
+                let start = i + 2;
+                if let Some(rel_end) = stripped[start..].find(')') {
+                    targets.push(stripped[start..start + rel_end].to_string());
+                    i = start + rel_end;
+                }
+            }
+            i += 1;
+        }
+    }
+    targets
+}
+
+#[test]
+fn relative_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in markdown_files(root) {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+        for target in link_targets(&text) {
+            // External / intra-page targets are out of scope.
+            if target.contains("://") || target.starts_with('#') || target.starts_with("mailto:") {
+                continue;
+            }
+            // `(path "title")` syntax and `path#anchor` fragments.
+            let path_part = target.split_whitespace().next().unwrap_or("");
+            let path_part = path_part.split('#').next().unwrap_or("");
+            if path_part.is_empty() {
+                continue;
+            }
+            checked += 1;
+            let base = file.parent().expect("markdown file has a parent dir");
+            if !base.join(path_part).exists() {
+                broken.push(format!("{}: ({target})", file.display()));
+            }
+        }
+    }
+    assert!(broken.is_empty(), "broken relative links:\n{}", broken.join("\n"));
+    // The suite must be checking something, or a parsing regression
+    // could silently pass everything.
+    assert!(checked > 0, "no relative links found at all — extractor broken?");
+}
+
+#[test]
+fn extractor_sees_links_and_skips_code() {
+    let md = "\
+see [the spec](docs/PROTOCOL.md) and [site](https://example.com)\n\
+```rust\nlet x = releases[0](arg); // not a link\n```\n\
+inline `[not](a-link)` but [real](README.md#quick-start)\n";
+    let targets = link_targets(md);
+    assert_eq!(targets, vec!["docs/PROTOCOL.md", "https://example.com", "README.md#quick-start"]);
+}
