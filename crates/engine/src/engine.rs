@@ -17,6 +17,15 @@ pub(crate) fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The one shard-routing function: which of `num_shards` shards serves
+/// `session_id`. Shared by the synchronous [`ShardedEngine`] and the
+/// pipelined ingress layer so a session always lands on the same worker
+/// no matter which front door it came through.
+#[inline]
+pub(crate) fn shard_of(session_id: u64, num_shards: usize) -> usize {
+    (mix64(session_id) % num_shards as u64) as usize
+}
+
 /// The deterministic per-session noise seed: a function of the engine
 /// seed and session id only — never of shard count, spawn order, or
 /// scheduling — so release sequences survive resharding. Both spawn
@@ -174,7 +183,7 @@ impl ShardedEngine {
 
     #[inline]
     fn shard_index(&self, session_id: u64) -> usize {
-        (mix64(session_id) % self.shards.len() as u64) as usize
+        shard_of(session_id, self.shards.len())
     }
 
     /// Whether a session with this id exists.

@@ -35,17 +35,37 @@ pub enum EngineError {
         reason: String,
     },
     /// A shard's ingress queue cannot accept the command without
-    /// exceeding its configured depth. Nothing was enqueued — rejection
-    /// is atomic, so no prefix of a batch is ever applied.
+    /// exceeding its configured depth **right now**. Nothing was
+    /// enqueued — rejection is atomic, so no prefix of a batch is ever
+    /// applied — and the rejection is *transient*: the same command can
+    /// succeed once the shard drains (see
+    /// [`is_retryable`](Self::is_retryable)).
     Backpressure {
         /// Shard whose queue was full.
         shard: usize,
-        /// Points already queued on that shard when the command arrived.
+        /// Points queued on that shard, as observed by the failed
+        /// reservation itself (never a later re-read): the number the
+        /// atomic compare-and-swap lost to, so operators can trust it
+        /// even with many concurrent submitters.
         depth: usize,
         /// The shard's configured queue depth.
         capacity: usize,
         /// Queue cost (in points) of the rejected command.
         cost: usize,
+    },
+    /// The command's queue cost exceeds the shard queue's **total
+    /// capacity** (`cost > capacity`), so it can never be accepted no
+    /// matter how empty the queue gets — a *permanent* rejection that no
+    /// retry can clear (see [`is_retryable`](Self::is_retryable)). Split
+    /// the batch below `queue_depth`, or provision a deeper queue.
+    /// Nothing was enqueued.
+    CommandTooLarge {
+        /// Shard the command routed to.
+        shard: usize,
+        /// Queue cost (in points) of the rejected command.
+        cost: usize,
+        /// The shard's configured queue depth, which `cost` exceeds.
+        capacity: usize,
     },
     /// The pipelined engine has shut down (its worker threads are gone),
     /// so no further commands can be accepted or answered.
@@ -64,8 +84,28 @@ impl std::fmt::Display for EngineError {
                 f,
                 "backpressure on shard {shard}: queue depth {depth}/{capacity} cannot take {cost} more point(s)"
             ),
+            EngineError::CommandTooLarge { shard, cost, capacity } => write!(
+                f,
+                "command of {cost} point(s) can never fit shard {shard}'s queue (capacity {capacity}): split the batch or raise queue_depth"
+            ),
             EngineError::Closed => write!(f, "engine handle is closed"),
         }
+    }
+}
+
+impl EngineError {
+    /// The retry contract, in one predicate: `true` iff the *same*
+    /// command can succeed later without the caller changing anything.
+    ///
+    /// Only [`Backpressure`](Self::Backpressure) qualifies — the queue
+    /// was full *at that moment* and drains continuously. Everything else
+    /// is permanent as submitted: [`CommandTooLarge`](Self::CommandTooLarge)
+    /// can never fit, [`Closed`](Self::Closed) engines do not come back,
+    /// and the session/config/mechanism/budget errors describe the
+    /// command, not the moment. (`docs/OPERATIONS.md` spells out the
+    /// operator-facing contract.)
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, EngineError::Backpressure { .. })
     }
 }
 

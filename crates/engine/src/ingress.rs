@@ -8,24 +8,37 @@
 //! - an [`EngineHandle`] owns one worker thread per shard, each with a
 //!   **bounded** command queue (depth measured in *points*, not
 //!   commands);
-//! - callers [`submit`](EngineHandle::submit) [`Command`]s — open a
-//!   session, observe points, release a session — and get back a
-//!   [`Ticket`] immediately, without waiting for mechanism compute;
+//! - a [`SubmitHandle`] — `Clone + Send + Sync`, handed out by
+//!   [`EngineHandle::submit_handle`] — is the cheap, shareable front
+//!   door: any number of threads (one per TCP connection, say) can
+//!   [`submit`](SubmitHandle::submit) [`Command`]s concurrently with no
+//!   external lock, each getting back a [`Ticket`] immediately, without
+//!   waiting for mechanism compute;
 //! - a full queue rejects the command **atomically** with
-//!   [`EngineError::Backpressure`]: nothing is enqueued, no prefix of a
-//!   batch is applied, and the caller decides whether to retry, shed, or
-//!   spill;
-//! - [`flush`](EngineHandle::flush) is a barrier (every command enqueued
-//!   before it has been fully processed when it returns), and
-//!   [`close`](EngineHandle::close) drains and joins the fleet.
+//!   [`EngineError::Backpressure`] (transient — retry after the shard
+//!   drains) or [`EngineError::CommandTooLarge`] (permanent — the
+//!   command can *never* fit; split it): nothing is enqueued, no prefix
+//!   of a batch is applied, and the caller decides whether to retry,
+//!   shed, or spill;
+//! - [`flush`](SubmitHandle::flush) is a fleet-wide barrier (every
+//!   command enqueued before it has been fully processed when it
+//!   returns), and [`close`](EngineHandle::close) drains and joins the
+//!   fleet. [`Command::Close`] is *not* a fleet barrier: it is a
+//!   connection-scoped goodbye (see [`Command::Close`]).
 //!
-//! Determinism survives the pipeline: commands for one session always
-//! route to the same shard queue (FIFO), so a session's points are
-//! consumed in submission order, and its noise stream still derives from
-//! `(engine seed, session id)` alone. The release sequences are therefore
-//! bit-for-bit identical to driving [`ShardedEngine`](crate::ShardedEngine)
-//! directly — under any shard count — which is property-tested in
-//! `tests/ingress.rs`.
+//! Determinism survives the pipeline — and survives concurrent
+//! submitters, provided they drive **disjoint sessions**: commands for
+//! one session always route to the same shard queue (FIFO), so a
+//! session's points are consumed in submission order, and its noise
+//! stream still derives from `(engine seed, session id)` alone. The
+//! release sequences are therefore bit-for-bit identical to driving
+//! [`ShardedEngine`](crate::ShardedEngine) directly — under any shard
+//! count and any thread interleaving of other sessions' traffic — which
+//! is property-tested in `tests/ingress.rs` and, over real sockets, in
+//! `tests/tcp.rs`. (Two threads feeding the *same* session race for
+//! queue positions; the engine stays coherent, but which interleaving
+//! they get is scheduling-dependent — give concurrent feeders disjoint
+//! sessions.)
 //!
 //! # Examples
 //!
@@ -52,8 +65,35 @@
 //! let stats = handle.close();
 //! assert_eq!(stats.points, 1);
 //! ```
+//!
+//! Many threads feeding one engine through cloned [`SubmitHandle`]s:
+//!
+//! ```
+//! use pir_engine::{EngineHandle, IngressConfig, MechanismSpec};
+//! use pir_dp::PrivacyParams;
+//! use pir_erm::DataPoint;
+//!
+//! let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+//! let handle = EngineHandle::new(IngressConfig {
+//!     num_shards: 2,
+//!     seed: 7,
+//!     queue_depth: 64,
+//! })
+//! .unwrap();
+//! std::thread::scope(|s| {
+//!     for sid in 0..4u64 {
+//!         let submit = handle.submit_handle(); // Clone + Send + Sync
+//!         s.spawn(move || {
+//!             submit.open(sid, &MechanismSpec::reg1_l2(2), 8, &params).unwrap();
+//!             let t = submit.observe(sid, DataPoint::new(vec![0.5, 0.0], 0.1)).unwrap();
+//!             t.wait().into_releases().unwrap();
+//!         });
+//!     }
+//! });
+//! assert_eq!(handle.close().sessions, 4);
+//! ```
 
-use crate::engine::{entropy_seed, mix64, session_seed};
+use crate::engine::{entropy_seed, session_seed, shard_of};
 use crate::error::EngineError;
 use crate::session::StreamSession;
 use crate::spec::MechanismSpec;
@@ -80,7 +120,9 @@ pub struct IngressConfig {
     /// Per-shard queue depth, measured in **points** (an
     /// [`Command::ObserveBatch`] of `k` points costs `k`; every other
     /// command costs 1). A command that would push a queue past this
-    /// depth is rejected whole with [`EngineError::Backpressure`].
+    /// depth is rejected whole with [`EngineError::Backpressure`]; a
+    /// command whose cost exceeds the depth itself can never be accepted
+    /// and is rejected with [`EngineError::CommandTooLarge`].
     pub queue_depth: usize,
 }
 
@@ -95,7 +137,7 @@ impl Default for IngressConfig {
 }
 
 /// A command accepted by the pipelined frontend — the unit of the wire
-/// protocol (see [`wire`](crate::wire)) and of [`EngineHandle::submit`].
+/// protocol (see [`wire`](crate::wire)) and of [`SubmitHandle::submit`].
 #[derive(Debug, Clone)]
 pub enum Command {
     /// Spawn a session (mechanism + privacy accountant) for streams of
@@ -132,10 +174,17 @@ pub enum Command {
         /// Target session.
         session_id: u64,
     },
-    /// Connection-scoped barrier and goodbye: the reply
-    /// ([`Reply::Closed`]) is sent only after every command submitted
-    /// before it has been fully processed. The engine itself stays up —
-    /// sessions survive for other connections.
+    /// Connection-scoped goodbye. Submitting it never blocks and never
+    /// touches the shard queues: the ticket resolves to [`Reply::Closed`]
+    /// immediately. The *barrier* a remote client observes — "every
+    /// command I sent before `CLOSE` has been answered" — comes from the
+    /// reply discipline of
+    /// [`serve_connection`](crate::serve_connection), which writes
+    /// replies strictly in command order, so the `CLOSED` frame is
+    /// necessarily the last thing on the wire. Crucially this orders only
+    /// *that connection's* in-flight commands: one tenant's goodbye never
+    /// waits on another tenant's queued compute. The engine itself stays
+    /// up — sessions survive for other connections.
     Close,
 }
 
@@ -149,7 +198,7 @@ impl Command {
     }
 
     /// The session this command routes by (`None` for [`Command::Close`],
-    /// which is a barrier across every shard).
+    /// which never enters a queue).
     pub fn session_id(&self) -> Option<u64> {
         match self {
             Command::Open { session_id, .. }
@@ -188,7 +237,7 @@ pub enum Reply {
         /// Privacy budget `δ` the session's accountant recorded as spent.
         delta_spent: f64,
     },
-    /// Barrier acknowledged ([`Command::Close`]).
+    /// Goodbye acknowledged ([`Command::Close`]).
     Closed,
     /// The command failed; nothing about the session changed beyond what
     /// the error names.
@@ -252,7 +301,7 @@ type IndexedRelease = (usize, Result<Vec<f64>, EngineError>);
 enum Job {
     /// One wire-level command with its reply channel.
     Cmd { cmd: Command, cost: usize, reply: Sender<Reply> },
-    /// The bulk fast path behind [`EngineHandle::ingest`]: a whole
+    /// The bulk fast path behind [`SubmitHandle::ingest`]: a whole
     /// shard's slice of a mixed-tenant batch in one message.
     Ingest { runs: Vec<SessionRun>, cost: usize, reply: Sender<Vec<IndexedRelease>> },
     /// Barrier: acknowledge once everything before this job is done.
@@ -276,70 +325,58 @@ pub struct IngressStats {
     pub points: usize,
 }
 
-/// The pipelined frontend to a sharded fleet of private streams.
+/// The cheap, shareable front door to a pipelined engine.
 ///
-/// Owns one worker thread per shard; each worker holds its shard's
-/// sessions and drains a bounded command queue. See the
-/// [module docs](self) for the full contract; the headline invariants:
+/// `SubmitHandle` is `Clone + Send + Sync`: clone one per thread (or per
+/// TCP connection — see [`serve_tcp`](crate::serve_tcp)) and feed the
+/// same fleet concurrently with **no external lock**. Clones share the
+/// per-shard queues, the atomic depth gauges, and the capacity; a clone
+/// costs one `Arc` bump.
+///
+/// Obtained from [`EngineHandle::submit_handle`]; `EngineHandle` also
+/// derefs to `SubmitHandle`, so every submission method below is
+/// callable on the owning handle directly. Clones do not keep the engine
+/// alive: after [`EngineHandle::close`] (or drop) every submission
+/// through a surviving clone fails with [`EngineError::Closed`].
+///
+/// The headline invariants:
 ///
 /// - **Non-blocking**: [`submit`](Self::submit) returns as soon as the
 ///   command is enqueued (or rejected), never waiting on mechanism
-///   compute.
+///   compute. ([`Command::Close`] never even enqueues — its ticket is
+///   resolved on the spot.)
 /// - **Atomic backpressure**: a command that does not fit its shard's
-///   queue whole is rejected whole.
+///   queue whole is rejected whole — transiently
+///   ([`EngineError::Backpressure`], reported with the depth observed at
+///   the failed reservation) or permanently
+///   ([`EngineError::CommandTooLarge`], when `cost > capacity`).
 /// - **Deterministic**: per-session FIFO + seed-per-`(engine seed, id)`
 ///   make release sequences identical to the direct
-///   [`ShardedEngine`](crate::ShardedEngine) path, under any shard count.
-#[derive(Debug)]
-pub struct EngineHandle {
-    lanes: Vec<LaneHandle>,
-    workers: Vec<JoinHandle<()>>,
+///   [`ShardedEngine`](crate::ShardedEngine) path, under any shard count,
+///   for any set of concurrent submitters driving disjoint sessions.
+#[derive(Clone)]
+pub struct SubmitHandle {
+    lanes: Arc<[Lane]>,
     capacity: usize,
     seed: u64,
+    /// Raised by [`EngineHandle::close`] / drop so surviving clones fail
+    /// fast with [`EngineError::Closed`] — before any size or capacity
+    /// verdict, which would otherwise mislead (a `CommandTooLarge` from
+    /// a dead engine invites a pointless split-and-retry).
+    closed: Arc<std::sync::atomic::AtomicBool>,
 }
 
-/// `Lane` without the non-Debug `Sender` hidden — split so the struct can
-/// derive Debug for diagnostics without printing channel internals.
-struct LaneHandle {
-    lane: Lane,
-}
-
-impl std::fmt::Debug for LaneHandle {
+impl std::fmt::Debug for SubmitHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Lane").field("depth", &self.lane.depth.load(Ordering::Relaxed)).finish()
+        f.debug_struct("SubmitHandle")
+            .field("num_shards", &self.lanes.len())
+            .field("capacity", &self.capacity)
+            .field("depths", &self.queue_depths())
+            .finish()
     }
 }
 
-impl EngineHandle {
-    /// Spawn the shard workers.
-    ///
-    /// # Errors
-    /// [`EngineError::InvalidConfig`] if `num_shards == 0` or
-    /// `queue_depth == 0`.
-    pub fn new(config: IngressConfig) -> Result<Self, EngineError> {
-        if config.num_shards == 0 {
-            return Err(EngineError::InvalidConfig {
-                reason: "num_shards must be at least 1".to_string(),
-            });
-        }
-        if config.queue_depth == 0 {
-            return Err(EngineError::InvalidConfig {
-                reason: "queue_depth must be at least 1".to_string(),
-            });
-        }
-        let mut lanes = Vec::with_capacity(config.num_shards);
-        let mut workers = Vec::with_capacity(config.num_shards);
-        for _ in 0..config.num_shards {
-            let (tx, rx) = mpsc::channel::<Job>();
-            let depth = Arc::new(AtomicUsize::new(0));
-            let worker_depth = Arc::clone(&depth);
-            let seed = config.seed;
-            workers.push(std::thread::spawn(move || worker_loop(rx, worker_depth, seed)));
-            lanes.push(LaneHandle { lane: Lane { tx, depth } });
-        }
-        Ok(EngineHandle { lanes, workers, capacity: config.queue_depth, seed: config.seed })
-    }
-
+impl SubmitHandle {
     /// Number of shards (= worker threads).
     pub fn num_shards(&self) -> usize {
         self.lanes.len()
@@ -353,17 +390,38 @@ impl EngineHandle {
     /// Instantaneous queued-point count per shard (observability: a shard
     /// pinned at capacity is the backpressure signal to scale or shed).
     pub fn queue_depths(&self) -> Vec<usize> {
-        self.lanes.iter().map(|l| l.lane.depth.load(Ordering::Relaxed)).collect()
+        self.lanes.iter().map(|l| l.depth.load(Ordering::Relaxed)).collect()
+    }
+
+    /// The engine seed (for spawning a mirrored
+    /// [`ShardedEngine`](crate::ShardedEngine)
+    /// in tests; treat as secret in production — see
+    /// [`IngressConfig::seed`]).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     #[inline]
     fn shard_index(&self, session_id: u64) -> usize {
-        (mix64(session_id) % self.lanes.len() as u64) as usize
+        shard_of(session_id, self.lanes.len())
     }
 
     /// Try to reserve `cost` points of queue space on `shard`.
+    ///
+    /// On failure the `depth` carried by [`EngineError::Backpressure`] is
+    /// the value observed by the failed compare-and-swap itself — the
+    /// reservation-time truth, not a post-hoc re-read — so concurrent
+    /// submitters cannot skew the reported signal.
     fn reserve(&self, shard: usize, cost: usize) -> Result<(), EngineError> {
-        let depth = &self.lanes[shard].lane.depth;
+        // A shut-down engine outranks every other verdict: after close()
+        // the only truthful answer is Closed, not a size critique.
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(EngineError::Closed);
+        }
+        if cost > self.capacity {
+            return Err(EngineError::CommandTooLarge { shard, cost, capacity: self.capacity });
+        }
+        let depth = &self.lanes[shard].depth;
         depth
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
                 (cur + cost <= self.capacity).then_some(cur + cost)
@@ -377,35 +435,120 @@ impl EngineHandle {
             })
     }
 
+    /// Wait out transient backpressure on `shard` by riding its flush
+    /// barrier once; the caller retries its reservation afterwards.
+    ///
+    /// Multi-submitter-safe: the flush job does not itself consume queue
+    /// space, its ack guarantees the worker made progress (everything
+    /// ahead of it drained), and the reservation being retried is a
+    /// single compare-and-swap — so when several blocked submitters race
+    /// for freed space, at least one always wins and the rest re-ride
+    /// the barrier. No livelock; fairness is best-effort (a large cost
+    /// can be outpaced by a stream of small ones — see
+    /// `docs/OPERATIONS.md`). The barrier doubles as a liveness probe: a
+    /// dead worker (post-panic) surfaces as [`EngineError::Closed`]
+    /// instead of a spin.
+    fn ride_flush_barrier(&self, shard: usize) -> Result<(), EngineError> {
+        let (tx, rx) = mpsc::channel();
+        if self.lanes[shard].tx.send(Job::Flush { ack: tx }).is_err() || rx.recv().is_err() {
+            return Err(EngineError::Closed);
+        }
+        std::thread::yield_now();
+        Ok(())
+    }
+
+    /// Reserve `cost` points on `shard`, waiting out transient
+    /// backpressure (see [`ride_flush_barrier`](Self::ride_flush_barrier)
+    /// for the contention story).
+    fn reserve_blocking(&self, shard: usize, cost: usize) -> Result<(), EngineError> {
+        loop {
+            match self.reserve(shard, cost) {
+                Ok(()) => return Ok(()),
+                Err(e) if !e.is_retryable() => return Err(e),
+                Err(_) => self.ride_flush_barrier(shard)?,
+            }
+        }
+    }
+
     /// Enqueue one command without waiting for its compute.
     ///
     /// Commands for the same session are processed in submission order
     /// (per-shard FIFO), so `open → observe → release` pipelines without
-    /// waiting on intermediate tickets. [`Command::Close`] is a barrier:
-    /// it blocks until every shard has drained, then resolves to
-    /// [`Reply::Closed`].
+    /// waiting on intermediate tickets. [`Command::Close`] is
+    /// connection-scoped and never blocks: its ticket is already resolved
+    /// to [`Reply::Closed`] (see [`Command::Close`] for where the
+    /// client-visible barrier comes from).
     ///
     /// # Errors
     /// [`EngineError::Backpressure`] if the target shard's queue cannot
-    /// take the command whole (nothing is enqueued), or
-    /// [`EngineError::Closed`] if the engine has shut down.
+    /// take the command whole right now (transient — nothing was
+    /// enqueued; retry after the shard drains),
+    /// [`EngineError::CommandTooLarge`] if it can *never* take it
+    /// (permanent — split the command), or [`EngineError::Closed`] if the
+    /// engine has shut down.
     pub fn submit(&self, cmd: Command) -> Result<Ticket, EngineError> {
+        self.try_submit(cmd).map_err(|(_, e)| e)
+    }
+
+    /// [`submit`](Self::submit), but a rejected command is handed back to
+    /// the caller alongside the error — so retry loops (the server's
+    /// flow-control path, most prominently) need not clone a potentially
+    /// large batch per attempt.
+    ///
+    /// # Errors
+    /// As [`submit`](Self::submit), with the unconsumed [`Command`]
+    /// attached.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(&self, cmd: Command) -> Result<Ticket, (Command, EngineError)> {
         let Some(session_id) = cmd.session_id() else {
-            // Close: a barrier across every shard, then a resolved ticket.
-            self.flush();
+            // Close: connection-scoped, resolved on the spot — never a
+            // fleet-wide barrier (one tenant's goodbye must not wait on
+            // another tenant's queued compute).
             return Ok(Ticket::resolved(Reply::Closed));
         };
         let shard = self.shard_index(session_id);
         let cost = cmd.cost();
-        self.reserve(shard, cost)?;
-        let (reply_tx, reply_rx) = mpsc::channel();
-        if self.lanes[shard].lane.tx.send(Job::Cmd { cmd, cost, reply: reply_tx }).is_err() {
-            // Worker gone (only possible after a panic): roll the
-            // reservation back and surface the shutdown.
-            self.lanes[shard].lane.depth.fetch_sub(cost, Ordering::SeqCst);
-            return Err(EngineError::Closed);
+        if let Err(e) = self.reserve(shard, cost) {
+            return Err((cmd, e));
         }
-        Ok(Ticket { rx: reply_rx })
+        let (reply_tx, reply_rx) = mpsc::channel();
+        match self.lanes[shard].tx.send(Job::Cmd { cmd, cost, reply: reply_tx }) {
+            Ok(()) => Ok(Ticket { rx: reply_rx }),
+            // Worker gone (only possible after a panic or close): roll
+            // the reservation back and surface the shutdown, handing the
+            // command (recovered from the undeliverable job) back.
+            Err(mpsc::SendError(Job::Cmd { cmd, .. })) => {
+                self.lanes[shard].depth.fetch_sub(cost, Ordering::SeqCst);
+                Err((cmd, EngineError::Closed))
+            }
+            Err(_) => unreachable!("send hands back the job it was given"),
+        }
+    }
+
+    /// [`submit`](Self::submit) that waits out *transient* backpressure
+    /// (by riding the target shard's flush barrier) instead of returning
+    /// it. The blocking entry point for callers with nothing better to do
+    /// than wait — e.g. a connection thread whose own in-flight replies
+    /// are all drained.
+    ///
+    /// # Errors
+    /// [`EngineError::CommandTooLarge`] (permanent rejections are *not*
+    /// waited out) or [`EngineError::Closed`].
+    pub fn submit_blocking(&self, mut cmd: Command) -> Result<Ticket, EngineError> {
+        loop {
+            match self.try_submit(cmd) {
+                Ok(ticket) => return Ok(ticket),
+                Err((_, e)) if !e.is_retryable() => return Err(e),
+                Err((rejected, _)) => {
+                    // Transient: wait for the shard to drain, then retry
+                    // with the handed-back command (no clone per attempt).
+                    let shard =
+                        self.shard_index(rejected.session_id().expect("retryable implies routed"));
+                    self.ride_flush_barrier(shard)?;
+                    cmd = rejected;
+                }
+            }
+        }
     }
 
     /// [`Command::Open`] convenience.
@@ -460,13 +603,16 @@ impl EngineHandle {
     /// channel overhead is `O(num_shards)` per call, not `O(points)`.
     /// `out[i]` answers `points[i]`. Backpressure handling: a shard slice
     /// larger than the whole queue reports
-    /// [`EngineError::Backpressure`] on its indices; otherwise `ingest`
-    /// waits for the shard to drain (it is the *blocking* entry point —
-    /// use [`submit`](Self::submit) for fire-and-forget). Note the
-    /// resulting granularity: each *shard slice* is applied or rejected
-    /// as a unit, so one fleet-level call can mix applied and
-    /// backpressured indices — consult the per-index results before
-    /// replaying anything.
+    /// [`EngineError::CommandTooLarge`] on its indices (no amount of
+    /// waiting would admit it); otherwise `ingest` waits for the shard to
+    /// drain (it is the *blocking* entry point — use
+    /// [`submit`](Self::submit) for fire-and-forget). Several `ingest`
+    /// calls may run concurrently on clones of one handle; they contend
+    /// for queue space via the same atomic reservation and cannot livelock
+    /// each other (see `reserve_blocking`). Note the resulting
+    /// granularity: each *shard slice* is applied or rejected as a unit,
+    /// so one fleet-level call can mix applied and rejected indices —
+    /// consult the per-index results before replaying anything.
     pub fn ingest(&self, points: Vec<(u64, DataPoint)>) -> Vec<Result<Vec<f64>, EngineError>> {
         let n = points.len();
         let num_shards = self.lanes.len();
@@ -494,43 +640,17 @@ impl EngineHandle {
             let cost: usize = runs.iter().map(|(_, _, b)| b.len()).sum::<usize>().max(1);
             let all_indices: Vec<usize> =
                 runs.iter().flat_map(|(_, idx, _)| idx.iter().copied()).collect();
-            if cost > self.capacity {
-                // Can never fit: report backpressure on every affected
-                // index rather than deadlocking.
-                let depth = self.lanes[shard].lane.depth.load(Ordering::Relaxed);
+            if let Err(e) = self.reserve_blocking(shard, cost) {
+                // Permanent rejection (slice can never fit) or a dead
+                // worker: report it on every affected index.
                 for i in all_indices {
-                    results[i] = Some(Err(EngineError::Backpressure {
-                        shard,
-                        depth,
-                        capacity: self.capacity,
-                        cost,
-                    }));
-                }
-                continue;
-            }
-            // Blocking reservation: wait out a full queue by riding a
-            // Flush barrier, which doubles as a liveness probe — if the
-            // worker died (its queue depth can then be stuck above
-            // capacity forever), surface Closed instead of spinning.
-            let mut worker_dead = false;
-            while self.reserve(shard, cost).is_err() {
-                let (tx, rx) = mpsc::channel();
-                if self.lanes[shard].lane.tx.send(Job::Flush { ack: tx }).is_err()
-                    || rx.recv().is_err()
-                {
-                    worker_dead = true;
-                    break;
-                }
-            }
-            if worker_dead {
-                for i in all_indices {
-                    results[i] = Some(Err(EngineError::Closed));
+                    results[i] = Some(Err(e.clone()));
                 }
                 continue;
             }
             let (tx, rx) = mpsc::channel();
-            if self.lanes[shard].lane.tx.send(Job::Ingest { runs, cost, reply: tx }).is_err() {
-                self.lanes[shard].lane.depth.fetch_sub(cost, Ordering::SeqCst);
+            if self.lanes[shard].tx.send(Job::Ingest { runs, cost, reply: tx }).is_err() {
+                self.lanes[shard].depth.fetch_sub(cost, Ordering::SeqCst);
                 for i in all_indices {
                     results[i] = Some(Err(EngineError::Closed));
                 }
@@ -555,32 +675,108 @@ impl EngineHandle {
         results.into_iter().map(|r| r.expect("every input index receives a result")).collect()
     }
 
-    /// Barrier: returns once every command submitted before the call has
-    /// been fully processed (its reply sent). Releases stay deterministic
-    /// across flushes — this orders *completion*, never *noise*.
+    /// Fleet-wide barrier: returns once every command submitted (by *any*
+    /// submitter) before the call has been fully processed — its reply
+    /// sent. Releases stay deterministic across flushes — this orders
+    /// *completion*, never *noise*. For a connection-scoped goodbye use
+    /// [`Command::Close`] instead; `flush` is the operator's tool (drain
+    /// before snapshotting gauges, quiesce before reconfiguring).
     pub fn flush(&self) {
         let acks: Vec<Receiver<()>> = self
             .lanes
             .iter()
             .filter_map(|l| {
                 let (tx, rx) = mpsc::channel();
-                l.lane.tx.send(Job::Flush { ack: tx }).ok().map(|()| rx)
+                l.tx.send(Job::Flush { ack: tx }).ok().map(|()| rx)
             })
             .collect();
         for rx in acks {
             let _ = rx.recv();
         }
     }
+}
 
-    /// Drain every queue, shut the workers down, and join them.
+/// The worker-owning side of the pipelined frontend.
+///
+/// Owns one worker thread per shard; each worker holds its shard's
+/// sessions and drains a bounded command queue. All submission goes
+/// through [`SubmitHandle`] — `EngineHandle` [derefs](std::ops::Deref) to
+/// one, and [`submit_handle`](Self::submit_handle) clones out shareable
+/// handles for other threads — while lifecycle (owning the workers,
+/// [`close`](Self::close)) stays here, on the uniquely-owned type. See
+/// the [module docs](self) for the full contract.
+#[derive(Debug)]
+pub struct EngineHandle {
+    submit: SubmitHandle,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::ops::Deref for EngineHandle {
+    type Target = SubmitHandle;
+
+    fn deref(&self) -> &SubmitHandle {
+        &self.submit
+    }
+}
+
+impl EngineHandle {
+    /// Spawn the shard workers.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidConfig`] if `num_shards == 0` or
+    /// `queue_depth == 0`.
+    pub fn new(config: IngressConfig) -> Result<Self, EngineError> {
+        if config.num_shards == 0 {
+            return Err(EngineError::InvalidConfig {
+                reason: "num_shards must be at least 1".to_string(),
+            });
+        }
+        if config.queue_depth == 0 {
+            return Err(EngineError::InvalidConfig {
+                reason: "queue_depth must be at least 1".to_string(),
+            });
+        }
+        let mut lanes = Vec::with_capacity(config.num_shards);
+        let mut workers = Vec::with_capacity(config.num_shards);
+        for _ in 0..config.num_shards {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let depth = Arc::new(AtomicUsize::new(0));
+            let worker_depth = Arc::clone(&depth);
+            let seed = config.seed;
+            workers.push(std::thread::spawn(move || worker_loop(rx, worker_depth, seed)));
+            lanes.push(Lane { tx, depth });
+        }
+        let submit = SubmitHandle {
+            lanes: lanes.into(),
+            capacity: config.queue_depth,
+            seed: config.seed,
+            closed: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        };
+        Ok(EngineHandle { submit, workers })
+    }
+
+    /// Clone out a shareable [`SubmitHandle`] — `Clone + Send + Sync` —
+    /// for another thread to feed this engine (one per TCP connection in
+    /// [`serve_tcp`](crate::serve_tcp)). Clones do not keep the engine
+    /// alive: after [`close`](Self::close) they fail with
+    /// [`EngineError::Closed`].
+    pub fn submit_handle(&self) -> SubmitHandle {
+        self.submit.clone()
+    }
+
+    /// Drain every queue, shut the workers down, and join them. Any
+    /// [`SubmitHandle`] clones still outstanding remain safe to use —
+    /// their submissions simply fail with [`EngineError::Closed`].
     pub fn close(mut self) -> IngressStats {
+        self.submit.closed.store(true, Ordering::SeqCst);
         let mut stats = IngressStats { sessions: 0, points: 0 };
         let acks: Vec<Receiver<(usize, usize)>> = self
+            .submit
             .lanes
             .iter()
             .filter_map(|l| {
                 let (tx, rx) = mpsc::channel();
-                l.lane.tx.send(Job::Shutdown { ack: tx }).ok().map(|()| rx)
+                l.tx.send(Job::Shutdown { ack: tx }).ok().map(|()| rx)
             })
             .collect();
         for rx in acks {
@@ -594,14 +790,6 @@ impl EngineHandle {
         }
         stats
     }
-
-    /// The engine seed (for spawning a mirrored
-    /// [`ShardedEngine`](crate::ShardedEngine)
-    /// in tests; treat as secret in production — see
-    /// [`IngressConfig::seed`]).
-    pub fn seed(&self) -> u64 {
-        self.seed
-    }
 }
 
 impl Drop for EngineHandle {
@@ -609,9 +797,10 @@ impl Drop for EngineHandle {
         if self.workers.is_empty() {
             return; // already closed
         }
-        for l in &self.lanes {
+        self.submit.closed.store(true, Ordering::SeqCst);
+        for l in self.submit.lanes.iter() {
             let (tx, _rx) = mpsc::channel();
-            let _ = l.lane.tx.send(Job::Shutdown { ack: tx });
+            let _ = l.tx.send(Job::Shutdown { ack: tx });
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -692,8 +881,9 @@ fn exec_command(
                 }
             }
         },
-        // `Close` is resolved at the handle (barrier across shards); a
-        // worker only sees it if routed here explicitly in the future.
+        // `Close` is resolved at the handle (connection-scoped, never
+        // enqueued); a worker only sees it if routed here explicitly in
+        // the future.
         Command::Close => Reply::Closed,
     }
 }

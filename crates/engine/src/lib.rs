@@ -25,10 +25,17 @@
 //!   bounded queues, non-blocking [`Command`] submission with
 //!   [`Ticket`]ed replies, atomic backpressure, and flush/close drain
 //!   semantics;
+//! - [`SubmitHandle`] ([`ingress`]) — the shareable front door:
+//!   `Clone + Send + Sync`, so any number of threads feed one engine
+//!   concurrently with no external lock;
 //! - [`wire`] — the length-prefixed binary protocol for commands and
 //!   replies (documented byte-for-byte in `docs/PROTOCOL.md`);
-//! - [`server`] — the connection loop driving an [`EngineHandle`] from
-//!   decoded frames, replies strictly in command order.
+//! - [`server`] — the connection loop driving a [`SubmitHandle`] from
+//!   decoded frames, replies strictly in command order, flow-controlling
+//!   on transient backpressure;
+//! - [`tcp`] — the thread-per-connection TCP front ([`serve_tcp`]):
+//!   accept loop, per-connection threads with cloned submit handles,
+//!   connection caps, graceful shutdown.
 //!
 //! Determinism is a design invariant: a session's noise stream is derived
 //! from `(engine seed, session id)` alone, so a fleet's entire release
@@ -47,11 +54,15 @@ pub mod ingress;
 pub mod server;
 mod session;
 mod spec;
+pub mod tcp;
 pub mod wire;
 
 pub use engine::{EngineConfig, ShardedEngine};
 pub use error::EngineError;
-pub use ingress::{Command, EngineHandle, IngressConfig, IngressStats, Reply, Ticket};
+pub use ingress::{
+    Command, EngineHandle, IngressConfig, IngressStats, Reply, SubmitHandle, Ticket,
+};
 pub use server::{serve_connection, ServeStats};
 pub use session::StreamSession;
 pub use spec::{LossSpec, MechanismSpec, SetSpec, SolverSpec};
+pub use tcp::{serve_tcp, serve_tcp_with, TcpFront, TcpOptions, TcpStats};

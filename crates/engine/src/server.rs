@@ -1,24 +1,52 @@
 //! The `pir-engine` server loop: decoded frames in, reply frames out.
 //!
-//! [`serve_connection`] drives an [`EngineHandle`] from any
-//! [`Read`]/[`Write`] pair — a TCP stream, a Unix socket, an in-memory
-//! buffer in tests. The loop is **pipelined**: each decoded command is
-//! submitted to the handle immediately (without waiting for its compute)
-//! and replies are written back strictly in command order as they
-//! resolve, so a client can keep many commands in flight over one
-//! connection while still matching the `n`-th reply to the `n`-th
-//! command.
+//! [`serve_connection`] drives a [`SubmitHandle`] from any
+//! [`Read`]/[`Write`] pair — a TCP stream (see
+//! [`serve_tcp`](crate::serve_tcp) for the thread-per-connection
+//! listener built on this loop), a Unix socket, an in-memory buffer in
+//! tests. The loop is **pipelined and full-duplex**: the calling thread
+//! decodes and submits commands without waiting for their compute, while
+//! a scoped writer thread streams the replies back strictly in command
+//! order as they resolve. A client may therefore keep many commands in
+//! flight over one connection — or send one command and block on its
+//! answer — and still match the `n`-th reply to the `n`-th command.
 //!
-//! Engine-level failures (unknown session, backpressure, budget) travel
-//! as [`Reply::Err`] frames and the connection keeps going; only
+//! Backpressure is **flow control, not failure**: when a shard queue is
+//! transiently full ([`Backpressure`](crate::EngineError::Backpressure)),
+//! the loop stops reading frames until space frees — the pushback
+//! reaches a TCP client as a stalled socket, never as a spurious error
+//! reply. The reply backlog is likewise bounded, so a client that writes
+//! without reading is eventually stalled rather than buffered without
+//! limit. *Permanent* rejections
+//! ([`CommandTooLarge`](crate::EngineError::CommandTooLarge), which no
+//! retry can clear) become in-order [`Reply::Err`] frames. The flip side
+//! of in-order replies plus flow control: a client that pipelines
+//! deeply must read replies concurrently with its writes (or cap its
+//! in-flight points) — see the pipelining note in `docs/PROTOCOL.md`.
+//!
+//! Engine-level failures (unknown session, too-large command, budget)
+//! travel as [`Reply::Err`] frames and the connection keeps going; only
 //! *protocol* violations (bad magic, truncated frame, unknown opcode)
 //! abort the connection with a [`WireError`], since after one of those
 //! the byte stream can no longer be trusted.
 
-use crate::ingress::{Command, EngineHandle, Reply, Ticket};
+use crate::ingress::{Command, Reply, SubmitHandle, Ticket};
 use crate::wire::{read_command, write_reply, WireError};
-use std::collections::VecDeque;
 use std::io::{Read, Write};
+use std::sync::mpsc::{self, TryRecvError};
+
+/// Cap on replies resolved-or-in-flight between the reader and writer
+/// sides of one connection. When a client writes commands without
+/// reading replies, the backlog fills and the server stops reading the
+/// socket — bounding per-connection memory at roughly this many replies
+/// plus the shard queues' own caps.
+///
+/// Part of the client contract: a client that does not read replies
+/// concurrently with its writes must cap what it keeps in flight at
+/// `min(queue_depth points, REPLY_BACKLOG replies)` — the reply backlog
+/// binds even when `queue_depth` is provisioned larger (see the
+/// pipelining note in `docs/PROTOCOL.md`).
+pub const REPLY_BACKLOG: usize = 1024;
 
 /// Tallies for one served connection.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -36,13 +64,6 @@ enum Pending {
 }
 
 impl Pending {
-    fn try_resolve(&self) -> Option<Reply> {
-        match self {
-            Pending::Ticket(t) => t.try_wait(),
-            Pending::Now(r) => Some(r.clone()),
-        }
-    }
-
     fn resolve(self) -> Reply {
         match self {
             Pending::Ticket(t) => t.wait(),
@@ -53,56 +74,114 @@ impl Pending {
 
 /// Serve one connection until [`Command::Close`] or clean EOF.
 ///
-/// On `Close`, every outstanding reply is drained, the handle's queues
-/// are flushed, the final [`Reply::Closed`] is written, and the loop
-/// returns. On EOF, outstanding replies are drained and written before
-/// returning (so short-lived clients lose nothing). The engine itself
-/// stays up either way — sessions outlive connections.
+/// On `Close`, every reply this connection is still owed is drained and
+/// written in order, the final [`Reply::Closed`] frame goes out last, and
+/// the loop returns — a barrier over **this connection's** in-flight
+/// commands only. Other connections' queued compute is never waited on:
+/// one tenant's goodbye cannot stall another tenant's stream. On EOF,
+/// outstanding replies are likewise drained and written before returning
+/// (so short-lived clients lose nothing). The engine itself stays up
+/// either way — sessions outlive connections.
+///
+/// Call it with `&EngineHandle` (which derefs to its [`SubmitHandle`])
+/// for single-connection embedding, or with a cloned handle from
+/// [`EngineHandle::submit_handle`](crate::EngineHandle::submit_handle)
+/// when each connection gets its own thread. The loop occupies the
+/// calling thread and one scoped writer thread until the connection
+/// ends.
 ///
 /// # Errors
-/// A [`WireError`] for protocol violations on either direction; the
-/// engine's own errors are *replies*, not `Err` returns.
-pub fn serve_connection<R: Read, W: Write>(
-    handle: &EngineHandle,
+/// A [`WireError`] for protocol violations on either direction (replies
+/// already owed are still flushed first); the engine's own errors are
+/// *replies*, not `Err` returns.
+pub fn serve_connection<R: Read, W: Write + Send>(
+    handle: &SubmitHandle,
     reader: &mut R,
     writer: &mut W,
 ) -> Result<ServeStats, WireError> {
-    let mut stats = ServeStats::default();
-    let mut pending: VecDeque<Pending> = VecDeque::new();
+    match serve_connection_counted(handle, reader, writer) {
+        (_, Some(e)) => Err(e),
+        (stats, None) => Ok(stats),
+    }
+}
 
-    while let Some(cmd) = read_command(reader)? {
-        stats.commands += 1;
-        let closing = matches!(cmd, Command::Close);
-        // Submit without waiting; a rejected submit becomes an in-order
-        // error reply rather than a torn connection.
-        let slot = match handle.submit(cmd) {
-            Ok(ticket) => Pending::Ticket(ticket),
-            Err(e) => Pending::Now(Reply::Err(e)),
-        };
-        pending.push_back(slot);
-        if closing {
-            break;
-        }
-        // Opportunistically drain replies that have already resolved,
-        // preserving command order.
-        while let Some(front) = pending.front() {
-            match front.try_resolve() {
-                Some(reply) => {
-                    pending.pop_front();
-                    write_reply(writer, &reply)?;
-                    stats.replies += 1;
+/// [`serve_connection`], but the tallies survive an error: frames served
+/// before a protocol violation (or a severed socket) still count. The
+/// TCP front aggregates through this so `TcpStats` reconciles against
+/// client-side counts even for connections that ended badly.
+pub(crate) fn serve_connection_counted<R: Read, W: Write + Send>(
+    handle: &SubmitHandle,
+    reader: &mut R,
+    writer: &mut W,
+) -> (ServeStats, Option<WireError>) {
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::sync_channel::<Pending>(REPLY_BACKLOG);
+        let writer_thread = s.spawn(move || -> (usize, Option<WireError>) {
+            let mut replies = 0usize;
+            loop {
+                // Batch while busy, flush before idling: bytes never sit
+                // in a buffered writer while the connection waits.
+                let slot = match rx.try_recv() {
+                    Ok(slot) => slot,
+                    Err(TryRecvError::Empty) => {
+                        if let Err(e) = writer.flush() {
+                            return (replies, Some(e.into()));
+                        }
+                        match rx.recv() {
+                            Ok(slot) => slot,
+                            Err(_) => break,
+                        }
+                    }
+                    Err(TryRecvError::Disconnected) => break,
+                };
+                if let Err(e) = write_reply(writer, &slot.resolve()) {
+                    return (replies, Some(e));
                 }
-                None => break,
+                replies += 1;
+            }
+            match writer.flush() {
+                Err(e) => (replies, Some(e.into())),
+                Ok(()) => (replies, None),
+            }
+        });
+
+        let mut commands = 0usize;
+        let mut read_error = None;
+        loop {
+            let cmd = match read_command(reader) {
+                Ok(Some(cmd)) => cmd,
+                Ok(None) => break, // clean EOF between frames
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+            };
+            commands += 1;
+            let closing = matches!(cmd, Command::Close);
+            // Submit without waiting on compute. Transient backpressure
+            // is waited out (the writer thread keeps replies flowing in
+            // the meantime); permanent rejections become in-order error
+            // replies rather than a torn connection.
+            let slot = match handle.submit_blocking(cmd) {
+                Ok(ticket) => Pending::Ticket(ticket),
+                Err(e) => Pending::Now(Reply::Err(e)),
+            };
+            if tx.send(slot).is_err() {
+                break; // writer side failed; its error is joined below
+            }
+            if closing {
+                break;
             }
         }
-    }
 
-    // Drain everything still in flight, in order.
-    for slot in pending {
-        let reply = slot.resolve();
-        write_reply(writer, &reply)?;
-        stats.replies += 1;
-    }
-    writer.flush()?;
-    Ok(stats)
+        // Hang up the reply channel: the writer drains everything still
+        // in flight, in order (after a Close the resolved Closed slot is
+        // last, so the CLOSED frame goes out only after every earlier
+        // reply — the connection-scoped barrier the client observes).
+        drop(tx);
+        let (replies, write_error) = writer_thread.join().expect("reply writer thread panicked");
+        // A protocol violation on the read side outranks write-side
+        // trouble: after it the inbound stream is untrusted.
+        (ServeStats { commands, replies }, read_error.or(write_error))
+    })
 }

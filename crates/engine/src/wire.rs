@@ -504,6 +504,9 @@ fn enc_engine_error(e: &mut Enc, err: &EngineError) {
             (6, *shard as u64, *depth as u64, *capacity as u64, *cost as u64, "")
         }
         EngineError::Closed => (7, 0, 0, 0, 0, ""),
+        EngineError::CommandTooLarge { shard, cost, capacity } => {
+            (8, *shard as u64, *cost as u64, *capacity as u64, 0, "")
+        }
     };
     e.u8(kind);
     e.u64(a);
@@ -530,6 +533,11 @@ fn dec_engine_error(d: &mut Dec) -> Result<EngineError, WireError> {
             cost: dd as usize,
         },
         7 => EngineError::Closed,
+        8 => EngineError::CommandTooLarge {
+            shard: a as usize,
+            cost: b as usize,
+            capacity: c as usize,
+        },
         t => return Err(WireError::Malformed(format!("unknown EngineError kind {t}"))),
     })
 }

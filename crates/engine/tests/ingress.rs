@@ -1,11 +1,12 @@
 //! Integration tests for the pipelined ingestion frontend: parity with
-//! the direct engine under resharding, atomic backpressure, pipelining,
-//! and drain semantics.
+//! the direct engine under resharding *and* under concurrent submitters,
+//! atomic backpressure (transient vs permanent), connection-scoped
+//! close, pipelining, and drain semantics.
 
 use pir_dp::PrivacyParams;
 use pir_engine::{
     Command, EngineConfig, EngineError, EngineHandle, IngressConfig, MechanismSpec, Reply,
-    ShardedEngine,
+    ShardedEngine, SubmitHandle,
 };
 use pir_erm::DataPoint;
 use proptest::prelude::*;
@@ -128,18 +129,21 @@ fn per_session_command_streams_match_direct_observation() {
 }
 
 #[test]
-fn oversized_batch_is_rejected_atomically() {
+fn oversized_batch_is_rejected_permanently_and_atomically() {
     let handle =
         EngineHandle::new(IngressConfig { num_shards: 1, seed: 1, queue_depth: 4 }).unwrap();
     handle.open(1, &MechanismSpec::reg1_l2(2), 16, &params()).unwrap().wait();
 
-    // Cost 5 > depth 4: rejected before anything is enqueued.
+    // Cost 5 > depth 4: can *never* fit — a permanent rejection, distinct
+    // from transient backpressure, and raised before anything is
+    // enqueued.
     let batch: Vec<DataPoint> = (0..5).map(|t| point(2, t, 1)).collect();
     let err = handle.observe_batch(1, batch).unwrap_err();
     assert!(
-        matches!(err, EngineError::Backpressure { shard: 0, capacity: 4, cost: 5, .. }),
+        matches!(err, EngineError::CommandTooLarge { shard: 0, cost: 5, capacity: 4 }),
         "unexpected error: {err:?}"
     );
+    assert!(!err.is_retryable(), "a never-fits rejection must not invite retries");
 
     // Nothing was applied: the session is still at t = 0.
     match handle.release_session(1).unwrap().wait() {
@@ -149,9 +153,49 @@ fn oversized_batch_is_rejected_atomically() {
 }
 
 #[test]
-fn ingest_reports_backpressure_for_unplaceable_shard_slices() {
+fn transient_backpressure_is_retryable_and_reports_reservation_time_depth() {
+    // Saturate a small queue (a command's cost stays reserved while the
+    // worker computes it, and submission is orders of magnitude faster
+    // than an observe), then inspect the rejection: it must be the
+    // transient kind, carry the depth the failed compare-and-swap
+    // actually saw — for cost 1 that is exactly `capacity`, which a
+    // post-hoc racy re-read could not guarantee — and clear on drain.
+    let handle =
+        EngineHandle::new(IngressConfig { num_shards: 1, seed: 1, queue_depth: 4 }).unwrap();
+    handle.open(1, &MechanismSpec::reg1_l2(16), 600, &params()).unwrap();
+    let mut tickets = Vec::new();
+    let mut rejection = None;
+    for t in 0..512usize {
+        match handle.observe(1, point(16, t, 1)) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(e) => {
+                rejection = Some(e);
+                break;
+            }
+        }
+    }
+    let err = rejection.expect("512 instant submissions must outrun a 4-point queue");
+    match err {
+        EngineError::Backpressure { shard: 0, depth, capacity: 4, cost: 1 } => {
+            assert_eq!(depth, 4, "reported depth must be the reservation-time observation");
+        }
+        ref other => panic!("expected transient backpressure, got {other:?}"),
+    }
+    assert!(err.is_retryable());
+    // The contract: transient rejections clear once the shard drains.
+    handle.flush();
+    handle.observe(1, point(16, 513, 1)).unwrap().wait().into_releases().unwrap();
+    for t in tickets {
+        t.wait().into_releases().unwrap();
+    }
+    handle.close();
+}
+
+#[test]
+fn ingest_reports_permanent_rejection_for_unplaceable_shard_slices() {
     // A whole-fleet batch whose single-shard slice exceeds the queue can
-    // never fit; ingest must report (not deadlock on) those indices.
+    // never fit; ingest must report (not deadlock on) those indices, and
+    // must report them as permanent — no depth to mislead a retry loop.
     let handle =
         EngineHandle::new(IngressConfig { num_shards: 1, seed: 1, queue_depth: 2 }).unwrap();
     handle.open(1, &MechanismSpec::reg1_l2(2), 16, &params()).unwrap();
@@ -159,7 +203,8 @@ fn ingest_reports_backpressure_for_unplaceable_shard_slices() {
     let out = handle.ingest(batch);
     assert_eq!(out.len(), 3);
     for r in &out {
-        assert!(matches!(r, Err(EngineError::Backpressure { cost: 3, capacity: 2, .. })));
+        assert!(matches!(r, Err(EngineError::CommandTooLarge { cost: 3, capacity: 2, .. })));
+        assert!(!r.as_ref().unwrap_err().is_retryable());
     }
     handle.close();
 }
@@ -184,15 +229,33 @@ fn flush_is_a_barrier_and_queues_drain_to_zero() {
 }
 
 #[test]
-fn close_command_is_a_barrier_with_a_resolved_ticket() {
+fn close_is_connection_scoped_and_never_waits_on_queued_compute() {
+    // One tenant's heavy batch is in flight; another connection's
+    // goodbye must resolve instantly, not ride a fleet-wide flush. (The
+    // old behavior — submit(Close) running a blocking flush() across
+    // every shard — stalls here for the whole batch.)
     let handle =
-        EngineHandle::new(IngressConfig { num_shards: 2, seed: 7, queue_depth: 64 }).unwrap();
-    handle.open(3, &MechanismSpec::reg1_l2(2), 8, &params()).unwrap();
-    let obs = handle.observe(3, point(2, 0, 3)).unwrap();
+        EngineHandle::new(IngressConfig { num_shards: 2, seed: 7, queue_depth: 2048 }).unwrap();
+    let d = 32;
+    handle.open(3, &MechanismSpec::reg1_l2(d), 1024, &params()).unwrap();
+    let batch: Vec<DataPoint> = (0..600).map(|t| point(d, t, 3)).collect();
+    let slow = handle.observe_batch(3, batch).unwrap();
+
     let closed = handle.submit(Command::Close).unwrap();
-    // The barrier has already run: both earlier tickets are resolved.
-    assert_eq!(closed.wait(), Reply::Closed);
-    assert!(obs.try_wait().is_some());
+    // Already resolved — Close never touches the shard queues.
+    assert_eq!(closed.try_wait(), Some(Reply::Closed));
+    // ... and the heavy batch (hundreds of milliseconds of compute) is
+    // still in flight: Close did not act as a fleet barrier. The µs
+    // between the two submissions cannot have computed 600 points.
+    assert!(
+        slow.try_wait().is_none(),
+        "Close stalled on another session's queued compute (fleet-wide barrier)"
+    );
+
+    // An explicit flush is still the fleet-wide barrier when one is
+    // actually wanted.
+    handle.flush();
+    assert!(slow.try_wait().is_some());
     handle.close();
 }
 
@@ -237,4 +300,196 @@ fn invalid_configs_are_rejected() {
         EngineHandle::new(IngressConfig { num_shards: 2, seed: 1, queue_depth: 0 }),
         Err(EngineError::InvalidConfig { .. })
     ));
+}
+
+#[test]
+fn submit_handle_is_clone_send_sync() {
+    // The acceptance criterion for the shareable front door, as a
+    // compile-time fact.
+    fn assert_shareable<T: Clone + Send + Sync>() {}
+    assert_shareable::<SubmitHandle>();
+}
+
+#[test]
+fn submit_blocking_waits_out_transient_backpressure_but_not_permanent() {
+    let handle =
+        EngineHandle::new(IngressConfig { num_shards: 1, seed: 3, queue_depth: 4 }).unwrap();
+    handle.open(1, &MechanismSpec::reg1_l2(2), 64, &params()).unwrap().wait();
+
+    // Permanent: cost 5 > capacity 4 returns immediately — no hang.
+    let batch: Vec<DataPoint> = (0..5).map(|t| point(2, t, 1)).collect();
+    let err =
+        handle.submit_blocking(Command::ObserveBatch { session_id: 1, points: batch }).unwrap_err();
+    assert!(matches!(err, EngineError::CommandTooLarge { cost: 5, capacity: 4, .. }));
+
+    // Transient: saturate the queue, then a full-cost batch must be
+    // admitted once the shard drains (rather than bouncing).
+    for t in 0..4usize {
+        handle.observe(1, point(2, t, 1)).unwrap();
+    }
+    let batch: Vec<DataPoint> = (4..8).map(|t| point(2, t, 1)).collect();
+    let ticket =
+        handle.submit_blocking(Command::ObserveBatch { session_id: 1, points: batch }).unwrap();
+    assert_eq!(ticket.wait().into_releases().unwrap().len(), 4);
+    handle.close();
+}
+
+#[test]
+fn try_submit_hands_a_rejected_command_back_unconsumed() {
+    let handle =
+        EngineHandle::new(IngressConfig { num_shards: 1, seed: 3, queue_depth: 2 }).unwrap();
+    let points: Vec<DataPoint> = (0..3).map(|t| point(2, t, 1)).collect();
+    let (rejected, err) = handle
+        .try_submit(Command::ObserveBatch { session_id: 1, points: points.clone() })
+        .err()
+        .unwrap();
+    assert!(matches!(err, EngineError::CommandTooLarge { .. }));
+    match rejected {
+        Command::ObserveBatch { session_id: 1, points: got } => assert_eq!(got, points),
+        other => panic!("expected the batch back, got {other:?}"),
+    }
+    handle.close();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The acceptance property for the shareable handle: N ≥ 4 threads
+    /// feeding one engine through cloned `SubmitHandle`s — no external
+    /// lock — on disjoint sessions release exactly what the direct
+    /// single-threaded engine releases, bit for bit, under real thread
+    /// interleaving.
+    #[test]
+    fn concurrent_submitters_on_disjoint_sessions_match_direct_engine(
+        shards in 1usize..4,
+        seed in any::<u64>(),
+        threads in 4usize..7,
+        steps in 1usize..6,
+    ) {
+        let d = 3;
+        let spec = MechanismSpec::reg1_l2(d);
+        let handle = EngineHandle::new(IngressConfig {
+            num_shards: shards,
+            seed,
+            queue_depth: 64,
+        })
+        .unwrap();
+
+        let per_session: Vec<(u64, Vec<Vec<f64>>)> = std::thread::scope(|s| {
+            let joins: Vec<_> = (0..threads as u64)
+                .map(|sid| {
+                    let submit = handle.submit_handle();
+                    let spec = spec.clone();
+                    s.spawn(move || {
+                        submit.open(sid, &spec, 64, &params()).unwrap();
+                        let tickets: Vec<_> = (0..steps)
+                            .map(|t| submit.observe(sid, point(d, t, sid)).unwrap())
+                            .collect();
+                        let thetas = tickets
+                            .into_iter()
+                            .map(|tk| {
+                                let mut th = tk.wait().into_releases().unwrap();
+                                assert_eq!(th.len(), 1);
+                                th.pop().unwrap()
+                            })
+                            .collect::<Vec<_>>();
+                        (sid, thetas)
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        handle.close();
+
+        let mut direct =
+            ShardedEngine::new(EngineConfig { num_shards: 1, seed, parallel: false }).unwrap();
+        direct.spawn_sessions(0..threads as u64, &spec, 64, &params()).unwrap();
+        for (sid, thetas) in per_session {
+            for (t, theta) in thetas.iter().enumerate() {
+                let expected = direct.observe(sid, &point(d, t, sid)).unwrap();
+                prop_assert_eq!(theta, &expected, "session {} step {}", sid, t);
+            }
+        }
+    }
+
+    /// Two bulk ingesters hammering one engine through cloned handles,
+    /// with a queue small enough to force blocking reservations against
+    /// each other: no livelock, no loss, and every release identical to
+    /// the direct engine.
+    #[test]
+    fn concurrent_bulk_ingesters_share_one_engine_without_livelock(
+        shards in 1usize..4,
+        seed in any::<u64>(),
+        rounds in 1usize..5,
+    ) {
+        let d = 2;
+        let spec = MechanismSpec::reg1_l2(d);
+        let handle = EngineHandle::new(IngressConfig {
+            num_shards: shards,
+            seed,
+            // Each ingester's worst-case shard slice is 4 points — equal
+            // to the whole queue, so the two contend hard for space.
+            queue_depth: 4,
+        })
+        .unwrap();
+        for sid in 0..8u64 {
+            // Wait out each open: eight back-to-back submits would
+            // themselves overflow the deliberately tiny queue.
+            assert_eq!(
+                handle.open(sid, &spec, 64, &params()).unwrap().wait(),
+                Reply::Opened { session_id: sid }
+            );
+        }
+
+        let feed = |sessions: std::ops::Range<u64>| {
+            let submit = handle.submit_handle();
+            move || {
+                let mut out = Vec::new();
+                for round in 0..rounds {
+                    let batch: Vec<(u64, DataPoint)> =
+                        sessions.clone().map(|sid| (sid, point(d, round, sid))).collect();
+                    out.extend(submit.ingest(batch).into_iter().map(|r| r.unwrap()));
+                }
+                out
+            }
+        };
+        let (got_a, got_b) = std::thread::scope(|s| {
+            let a = s.spawn(feed(0..4));
+            let b = s.spawn(feed(4..8));
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        handle.close();
+
+        let mut direct =
+            ShardedEngine::new(EngineConfig { num_shards: 1, seed, parallel: false }).unwrap();
+        direct.spawn_sessions(0..8u64, &spec, 64, &params()).unwrap();
+        for (base, got) in [(0u64, got_a), (4u64, got_b)] {
+            for round in 0..rounds {
+                for (i, sid) in (base..base + 4).enumerate() {
+                    let expected = direct.observe(sid, &point(d, round, sid)).unwrap();
+                    prop_assert_eq!(&got[round * 4 + i], &expected, "session {} round {}", sid, round);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn surviving_clones_fail_closed_even_for_oversized_commands() {
+    // After close(), a clone must report Closed — never a size verdict
+    // whose "split and retry" advice cannot possibly succeed.
+    let handle =
+        EngineHandle::new(IngressConfig { num_shards: 1, seed: 2, queue_depth: 2 }).unwrap();
+    let submit = handle.submit_handle();
+    handle.close();
+    let oversized: Vec<DataPoint> = (0..3).map(|t| point(2, t, 1)).collect();
+    assert!(matches!(submit.observe_batch(1, oversized).unwrap_err(), EngineError::Closed));
+    assert!(matches!(submit.observe(1, point(2, 0, 1)).unwrap_err(), EngineError::Closed));
+    assert!(matches!(
+        submit.submit_blocking(Command::Observe { session_id: 1, point: point(2, 0, 1) }),
+        Err(EngineError::Closed)
+    ));
+    for r in submit.ingest(vec![(1, point(2, 0, 1))]) {
+        assert!(matches!(r, Err(EngineError::Closed)));
+    }
 }

@@ -1,0 +1,130 @@
+//! `serve_connection` under deep pipelining: a client keeps far more
+//! points in flight than the engine's `queue_depth`, over an in-memory
+//! duplex (pre-rendered request bytes in, reply bytes out). The server
+//! must flow-control — never emit a spurious transient-backpressure
+//! reply — and answer strictly in command order, matching what a caller
+//! holding the `SubmitHandle` directly would get for the same commands.
+
+use pir_dp::PrivacyParams;
+use pir_engine::wire::{read_reply, write_command};
+use pir_engine::{
+    serve_connection, Command, EngineError, EngineHandle, IngressConfig, MechanismSpec, Reply,
+};
+use pir_erm::DataPoint;
+use proptest::prelude::*;
+
+fn params() -> PrivacyParams {
+    PrivacyParams::approx(1.0, 1e-6).unwrap()
+}
+
+fn point(d: usize, t: usize, session: u64) -> DataPoint {
+    let mut x = vec![0.0f64; d];
+    x[t % d] = 0.6;
+    x[(t + session as usize) % d] += 0.3;
+    let y = (0.5 * x[0]).clamp(-1.0, 1.0);
+    DataPoint::new(x, y)
+}
+
+/// The reply the direct (unpiped) submit path produces for `cmd`:
+/// submitted one at a time with an immediate wait, so the only possible
+/// rejections are the permanent ones — exactly what a flow-controlling
+/// server must reduce deep pipelining to.
+fn direct_reply(handle: &EngineHandle, cmd: Command) -> Reply {
+    match handle.submit(cmd) {
+        Ok(ticket) => ticket.wait(),
+        Err(e) => Reply::Err(e),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Deep pipelining: `3 × queue_depth` points in flight on one
+    /// connection, with a never-fits batch and an unknown-session probe
+    /// mixed in. Every reply arrives in command order and equals the
+    /// direct `SubmitHandle` result; transient backpressure is absorbed
+    /// by flow control, never surfaced to the client.
+    #[test]
+    fn deep_pipelining_replies_in_order_and_match_direct_submits(
+        shards in 1usize..4,
+        seed in any::<u64>(),
+        sessions in 1u64..4,
+        queue_depth in 4usize..12,
+    ) {
+        let d = 3;
+        let spec = MechanismSpec::reg1_l2(d);
+        let per_session = (queue_depth * 3).div_ceil(sessions as usize);
+
+        // The conversation: opens, a deep round-robin point stream, one
+        // batch that can never fit, one unknown session, releases, close.
+        let mut commands: Vec<Command> = Vec::new();
+        for sid in 0..sessions {
+            commands.push(Command::Open {
+                session_id: sid,
+                spec: spec.clone(),
+                t_max: per_session + 1,
+                params: params(),
+            });
+        }
+        for t in 0..per_session {
+            for sid in 0..sessions {
+                commands.push(Command::Observe { session_id: sid, point: point(d, t, sid) });
+            }
+        }
+        commands.push(Command::ObserveBatch {
+            session_id: 0,
+            points: (0..queue_depth + 1).map(|t| point(d, t, 0)).collect(),
+        });
+        commands.push(Command::Observe { session_id: 999, point: point(d, 0, 999) });
+        for sid in 0..sessions {
+            commands.push(Command::Release { session_id: sid });
+        }
+        commands.push(Command::Close);
+
+        let mut request = Vec::new();
+        for cmd in &commands {
+            write_command(&mut request, cmd).unwrap();
+        }
+
+        let handle = EngineHandle::new(IngressConfig {
+            num_shards: shards,
+            seed,
+            queue_depth,
+        })
+        .unwrap();
+        let mut reader: &[u8] = &request;
+        let mut response = Vec::new();
+        let stats = serve_connection(&handle, &mut reader, &mut response).unwrap();
+        prop_assert_eq!(stats.commands, commands.len());
+        prop_assert_eq!(stats.replies, commands.len());
+        handle.close();
+
+        let mut replies = Vec::new();
+        let mut r: &[u8] = &response;
+        while let Some(reply) = read_reply(&mut r).unwrap() {
+            replies.push(reply);
+        }
+        prop_assert_eq!(replies.len(), commands.len());
+        for reply in &replies {
+            prop_assert!(
+                !matches!(reply, Reply::Err(EngineError::Backpressure { .. })),
+                "flow control must absorb transient backpressure, got {:?}",
+                reply
+            );
+        }
+
+        // The reference: the same commands through a fresh engine (same
+        // seed, same queue depth) submitted directly, one at a time.
+        let direct = EngineHandle::new(IngressConfig {
+            num_shards: shards,
+            seed,
+            queue_depth,
+        })
+        .unwrap();
+        for (i, cmd) in commands.into_iter().enumerate() {
+            let expected = direct_reply(&direct, cmd);
+            prop_assert_eq!(&replies[i], &expected, "reply {} diverged", i);
+        }
+        direct.close();
+    }
+}

@@ -1,0 +1,329 @@
+//! Loopback tests for the thread-per-connection TCP front: concurrent
+//! connections on disjoint sessions release bit-identically to the
+//! direct single-threaded engine, one connection's `CLOSE` never waits
+//! on another connection's queued compute, and the front's connection
+//! cap and shutdown behave. 127.0.0.1 only — no external network.
+
+use pir_dp::PrivacyParams;
+use pir_engine::wire::{read_reply, write_command};
+use pir_engine::{
+    serve_tcp, serve_tcp_with, Command, EngineConfig, EngineHandle, IngressConfig, MechanismSpec,
+    Reply, ShardedEngine, TcpOptions,
+};
+use pir_erm::DataPoint;
+use proptest::prelude::*;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+fn params() -> PrivacyParams {
+    PrivacyParams::approx(1.0, 1e-6).unwrap()
+}
+
+fn point(d: usize, t: usize, session: u64) -> DataPoint {
+    let mut x = vec![0.0f64; d];
+    x[t % d] = 0.6;
+    x[(t + session as usize) % d] += 0.3;
+    let y = (0.5 * x[0]).clamp(-1.0, 1.0);
+    DataPoint::new(x, y)
+}
+
+/// One client conversation: open `sid`, stream `steps` points
+/// (pipelined: all writes first — small enough for the socket buffers),
+/// release, close; then read every reply back in order.
+fn run_client(
+    addr: SocketAddr,
+    sid: u64,
+    spec: &MechanismSpec,
+    d: usize,
+    steps: usize,
+) -> Vec<Reply> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut request = Vec::new();
+    write_command(
+        &mut request,
+        &Command::Open { session_id: sid, spec: spec.clone(), t_max: steps, params: params() },
+    )
+    .unwrap();
+    for t in 0..steps {
+        write_command(&mut request, &Command::Observe { session_id: sid, point: point(d, t, sid) })
+            .unwrap();
+    }
+    write_command(&mut request, &Command::Release { session_id: sid }).unwrap();
+    write_command(&mut request, &Command::Close).unwrap();
+    std::io::Write::write_all(&mut stream, &request).unwrap();
+
+    let mut replies = Vec::new();
+    while let Some(reply) = read_reply(&mut stream).unwrap() {
+        replies.push(reply);
+        if matches!(replies.last(), Some(Reply::Closed)) {
+            break;
+        }
+    }
+    replies
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The acceptance property: N ≥ 4 concurrent loopback connections
+    /// driving disjoint sessions yield release sequences bit-identical
+    /// to the direct single-threaded `ShardedEngine`, under real thread
+    /// and socket interleaving.
+    #[test]
+    fn concurrent_loopback_connections_match_direct_engine(
+        shards in 1usize..4,
+        seed in any::<u64>(),
+        clients in 4u64..7,
+        steps in 1usize..5,
+    ) {
+        let d = 3;
+        let spec = MechanismSpec::reg1_l2(d);
+        let handle = EngineHandle::new(IngressConfig {
+            num_shards: shards,
+            seed,
+            queue_depth: 64,
+        })
+        .unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let front = serve_tcp(handle.submit_handle(), listener).unwrap();
+        let addr = front.local_addr();
+
+        let conversations: Vec<(u64, Vec<Reply>)> = std::thread::scope(|s| {
+            let joins: Vec<_> = (0..clients)
+                .map(|sid| {
+                    let spec = spec.clone();
+                    s.spawn(move || (sid, run_client(addr, sid, &spec, d, steps)))
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+
+        let stats = front.shutdown();
+        prop_assert_eq!(stats.connections, clients);
+        prop_assert_eq!(stats.protocol_errors, 0);
+        prop_assert_eq!(stats.commands, clients * (steps as u64 + 3));
+        prop_assert_eq!(stats.replies, stats.commands);
+        handle.close();
+
+        // The reference: the same streams through a direct,
+        // single-threaded engine with the same seed.
+        let mut direct =
+            ShardedEngine::new(EngineConfig { num_shards: 1, seed, parallel: false }).unwrap();
+        direct.spawn_sessions(0..clients, &spec, steps, &params()).unwrap();
+        for (sid, replies) in conversations {
+            prop_assert_eq!(replies.len(), steps + 3);
+            prop_assert_eq!(&replies[0], &Reply::Opened { session_id: sid });
+            for t in 0..steps {
+                let expected = direct.observe(sid, &point(d, t, sid)).unwrap();
+                prop_assert_eq!(
+                    &replies[1 + t],
+                    &Reply::Releases { session_id: sid, thetas: vec![expected] },
+                    "session {} step {}", sid, t
+                );
+            }
+            match &replies[1 + steps] {
+                Reply::SessionReleased { session_id, points, .. } => {
+                    prop_assert_eq!(*session_id, sid);
+                    prop_assert_eq!(*points, steps as u64);
+                }
+                other => panic!("expected SessionReleased, got {other:?}"),
+            }
+            prop_assert_eq!(&replies[2 + steps], &Reply::Closed);
+        }
+    }
+
+    /// The Close-stall property: while one connection's heavy batch is
+    /// computing, another connection's goodbye completes without waiting
+    /// for it. (The old fleet-wide-flush Close blocks here until the
+    /// batch finishes.)
+    #[test]
+    fn close_on_one_connection_never_waits_on_anothers_queued_batch(
+        shards in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let d = 32;
+        let n_heavy = 800usize;
+        let spec = MechanismSpec::reg1_l2(d);
+        let handle = EngineHandle::new(IngressConfig {
+            num_shards: shards,
+            seed,
+            queue_depth: 2048,
+        })
+        .unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let front = serve_tcp(handle.submit_handle(), listener).unwrap();
+        let addr = front.local_addr();
+
+        // Connection A: open + a heavy batch (hundreds of ms of
+        // compute). Reading the Opened reply proves the open finished,
+        // so the batch is now the piece in flight.
+        let mut conn_a = TcpStream::connect(addr).unwrap();
+        let mut request = Vec::new();
+        write_command(
+            &mut request,
+            &Command::Open { session_id: 1, spec: spec.clone(), t_max: n_heavy, params: params() },
+        )
+        .unwrap();
+        write_command(
+            &mut request,
+            &Command::ObserveBatch {
+                session_id: 1,
+                points: (0..n_heavy).map(|t| point(d, t, 1)).collect(),
+            },
+        )
+        .unwrap();
+        std::io::Write::write_all(&mut conn_a, &request).unwrap();
+        match read_reply(&mut conn_a).unwrap().unwrap() {
+            Reply::Opened { session_id: 1 } => {}
+            other => panic!("expected Opened, got {other:?}"),
+        }
+
+        // Connection B: just a goodbye. It must come back while A's
+        // batch is still computing.
+        let mut conn_b = TcpStream::connect(addr).unwrap();
+        let mut bye = Vec::new();
+        write_command(&mut bye, &Command::Close).unwrap();
+        std::io::Write::write_all(&mut conn_b, &bye).unwrap();
+        prop_assert_eq!(read_reply(&mut conn_b).unwrap().unwrap(), Reply::Closed);
+
+        // The proof B did not ride a fleet barrier: microseconds after
+        // B's Closed, A's batch reply must still be outstanding. (A
+        // fleet-wide flush would have delayed B's Closed until the batch
+        // reply was already written to A's socket.)
+        conn_a.set_read_timeout(Some(Duration::from_millis(2))).unwrap();
+        let mut probe = [0u8; 1];
+        match conn_a.read(&mut probe) {
+            Err(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) => {}
+            other => panic!("A's reply was already flowing when B's Close completed: {other:?}"),
+        }
+
+        // And the batch itself still completes correctly afterwards.
+        conn_a.set_read_timeout(None).unwrap();
+        match read_reply(&mut conn_a).unwrap().unwrap() {
+            Reply::Releases { session_id: 1, thetas } => prop_assert_eq!(thetas.len(), n_heavy),
+            other => panic!("expected the batch releases, got {other:?}"),
+        }
+        drop(conn_a);
+        drop(conn_b);
+        front.shutdown();
+        handle.close();
+    }
+}
+
+#[test]
+fn connection_cap_refuses_excess_connections_at_the_door() {
+    let handle =
+        EngineHandle::new(IngressConfig { num_shards: 1, seed: 5, queue_depth: 16 }).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let front = serve_tcp_with(handle.submit_handle(), listener, TcpOptions { max_connections: 1 })
+        .unwrap();
+    let addr = front.local_addr();
+
+    // First connection occupies the only slot (held open by not sending
+    // Close yet).
+    let mut first = TcpStream::connect(addr).unwrap();
+    let mut open = Vec::new();
+    write_command(
+        &mut open,
+        &Command::Open {
+            session_id: 1,
+            spec: MechanismSpec::reg1_l2(2),
+            t_max: 4,
+            params: params(),
+        },
+    )
+    .unwrap();
+    std::io::Write::write_all(&mut first, &open).unwrap();
+    match read_reply(&mut first).unwrap().unwrap() {
+        Reply::Opened { session_id: 1 } => {}
+        other => panic!("expected Opened, got {other:?}"),
+    }
+
+    // The second connection is severed without a single reply frame.
+    let mut second = TcpStream::connect(addr).unwrap();
+    let mut buf = Vec::new();
+    let n = second.read_to_end(&mut buf).unwrap();
+    assert_eq!(n, 0, "refused connection should see immediate EOF");
+
+    // Finish the first conversation cleanly.
+    let mut bye = Vec::new();
+    write_command(&mut bye, &Command::Close).unwrap();
+    std::io::Write::write_all(&mut first, &bye).unwrap();
+    assert_eq!(read_reply(&mut first).unwrap().unwrap(), Reply::Closed);
+    drop(first);
+
+    // The refused connection is tallied (poll briefly: the accept loop
+    // counts it on its own thread).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while front.stats().refused == 0 && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    let stats = front.shutdown();
+    assert_eq!(stats.refused, 1);
+    assert!(stats.connections >= 1);
+    handle.close();
+}
+
+#[test]
+fn sessions_survive_reconnects_across_connections() {
+    // A session opened on one connection is served to a later connection
+    // where it left off — sessions are engine-scoped, not
+    // connection-scoped.
+    let seed = 77;
+    let d = 2;
+    let spec = MechanismSpec::reg1_l2(d);
+    let handle = EngineHandle::new(IngressConfig { num_shards: 2, seed, queue_depth: 32 }).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let front = serve_tcp(handle.submit_handle(), listener).unwrap();
+    let addr = front.local_addr();
+
+    let send = |cmds: &[Command]| -> Vec<Reply> {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut request = Vec::new();
+        for cmd in cmds {
+            write_command(&mut request, cmd).unwrap();
+        }
+        write_command(&mut request, &Command::Close).unwrap();
+        std::io::Write::write_all(&mut stream, &request).unwrap();
+        let mut replies = Vec::new();
+        while let Some(reply) = read_reply(&mut stream).unwrap() {
+            if matches!(reply, Reply::Closed) {
+                break;
+            }
+            replies.push(reply);
+        }
+        replies
+    };
+
+    let first = send(&[
+        Command::Open { session_id: 9, spec: spec.clone(), t_max: 4, params: params() },
+        Command::Observe { session_id: 9, point: point(d, 0, 9) },
+    ]);
+    let second = send(&[Command::Observe { session_id: 9, point: point(d, 1, 9) }]);
+
+    let mut direct =
+        ShardedEngine::new(EngineConfig { num_shards: 1, seed, parallel: false }).unwrap();
+    direct.spawn_sessions([9u64], &spec, 4, &params()).unwrap();
+    assert_eq!(first[0], Reply::Opened { session_id: 9 });
+    assert_eq!(
+        first[1],
+        Reply::Releases {
+            session_id: 9,
+            thetas: vec![direct.observe(9, &point(d, 0, 9)).unwrap()]
+        }
+    );
+    assert_eq!(
+        second[0],
+        Reply::Releases {
+            session_id: 9,
+            thetas: vec![direct.observe(9, &point(d, 1, 9)).unwrap()]
+        }
+    );
+
+    front.shutdown();
+    handle.close();
+}

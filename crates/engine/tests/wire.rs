@@ -134,6 +134,7 @@ proptest! {
             Reply::Err(EngineError::Mechanism { reason: format!("mech {v}") }),
             Reply::Err(EngineError::Budget { reason: "over".to_string() }),
             Reply::Err(EngineError::Backpressure { shard: n, depth: pts, capacity: dim, cost: 1 }),
+            Reply::Err(EngineError::CommandTooLarge { shard: n, cost: pts, capacity: dim }),
             Reply::Err(EngineError::Closed),
         ];
         for reply in &replies {
@@ -396,8 +397,8 @@ fn server_survives_engine_errors_but_aborts_on_protocol_errors() {
     let handle =
         EngineHandle::new(IngressConfig { num_shards: 1, seed: 5, queue_depth: 2 }).unwrap();
 
-    // An engine error (oversized batch → backpressure) is a reply, not a
-    // connection abort.
+    // An engine error (oversized batch → permanent too-large rejection)
+    // is a reply, not a connection abort.
     let mut request = Vec::new();
     wire::write_command(
         &mut request,
@@ -413,8 +414,8 @@ fn server_survives_engine_errors_but_aborts_on_protocol_errors() {
     assert_eq!(stats, pir_engine::ServeStats { commands: 1, replies: 1 });
     let mut r: &[u8] = &response;
     match read_reply(&mut r).unwrap().unwrap() {
-        Reply::Err(EngineError::Backpressure { .. }) => {}
-        other => panic!("expected backpressure reply, got {other:?}"),
+        Reply::Err(EngineError::CommandTooLarge { cost: 3, capacity: 2, .. }) => {}
+        other => panic!("expected a too-large rejection reply, got {other:?}"),
     }
 
     // A protocol error (garbage bytes) aborts the connection.

@@ -1,0 +1,145 @@
+//! The TCP serving stack end-to-end on one machine: a `serve_tcp` front
+//! (thread per connection, each with its own cloned `SubmitHandle`)
+//! fed by concurrent wire-protocol clients over 127.0.0.1 — then the
+//! determinism receipt: the releases each remote client streamed back
+//! are recomputed bit-for-bit on a direct, single-threaded
+//! `ShardedEngine` from the engine seed alone.
+//!
+//! Each client follows the pipelining contract from `docs/PROTOCOL.md`:
+//! a writer half streams commands without waiting, while a reader half
+//! (its own thread) drains replies concurrently — the pattern that keeps
+//! deep pipelines deadlock-free against the server's strictly-in-order
+//! reply loop.
+//!
+//! Run with `cargo run --release --example tcp_server`. Set
+//! `PIR_TCP_ADDR` (e.g. `127.0.0.1:7477`) to pick a fixed port; the
+//! default binds an OS-assigned one. 127.0.0.1 only — no external
+//! network.
+
+use private_incremental_regression::prelude::*;
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+fn main() {
+    let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+    let seed = 20177;
+    let d = 8;
+    let horizon = 64;
+    let clients = 6u64;
+    let points_per_client = 48usize;
+
+    // ---- Bring up the engine and its TCP front ---------------------------
+    let handle = EngineHandle::new(IngressConfig {
+        num_shards: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2),
+        seed,
+        queue_depth: 1024,
+    })
+    .unwrap();
+    let addr = std::env::var("PIR_TCP_ADDR").unwrap_or_else(|_| "127.0.0.1:0".to_string());
+    let listener = TcpListener::bind(&addr).unwrap();
+    let front =
+        serve_tcp_with(handle.submit_handle(), listener, TcpOptions { max_connections: 64 })
+            .unwrap();
+    println!(
+        "serving on {} ({} shards, queue depth {})",
+        front.local_addr(),
+        handle.num_shards(),
+        handle.queue_capacity()
+    );
+
+    // ---- Concurrent remote clients, one session each ---------------------
+    let t0 = Instant::now();
+    let spec = MechanismSpec::reg1_l2(d);
+    let releases: Vec<(u64, Vec<Vec<f64>>)> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..clients)
+            .map(|sid| {
+                let spec = spec.clone();
+                let addr = front.local_addr();
+                s.spawn(move || {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    // Reader half on its own thread: replies drain
+                    // concurrently with writes (the pipelining contract).
+                    let reader_stream = stream.try_clone().unwrap();
+                    let reader = std::thread::spawn(move || {
+                        let mut r = &reader_stream;
+                        let mut thetas = Vec::new();
+                        loop {
+                            match pir_engine::wire::read_reply(&mut r).unwrap() {
+                                Some(Reply::Opened { .. }) => {}
+                                Some(Reply::Releases { thetas: mut th, .. }) => {
+                                    thetas.append(&mut th);
+                                }
+                                Some(Reply::Closed) | None => break,
+                                Some(other) => panic!("unexpected reply: {other:?}"),
+                            }
+                        }
+                        thetas
+                    });
+
+                    let mut w = &stream;
+                    let mut send = |cmd: &Command| {
+                        let frame = pir_engine::wire::encode_command(cmd).unwrap();
+                        w.write_all(&frame).unwrap();
+                    };
+                    send(&Command::Open { session_id: sid, spec, t_max: horizon, params });
+                    for t in 0..points_per_client {
+                        send(&Command::Observe { session_id: sid, point: synth_point(d, t, sid) });
+                    }
+                    send(&Command::Close);
+                    (sid, reader.join().unwrap())
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let dt = t0.elapsed();
+    let total_points = clients as usize * points_per_client;
+    println!(
+        "{clients} connections streamed {total_points} points in {dt:.1?} \
+         ({:.0} points/sec through the socket path)",
+        total_points as f64 / dt.as_secs_f64()
+    );
+
+    // ---- Teardown: front first, then the engine --------------------------
+    let tcp_stats = front.shutdown();
+    println!(
+        "front served {} connections ({} commands, {} replies, {} refused, {} protocol errors)",
+        tcp_stats.connections,
+        tcp_stats.commands,
+        tcp_stats.replies,
+        tcp_stats.refused,
+        tcp_stats.protocol_errors
+    );
+    let stats = handle.close();
+    println!("engine closed: {} live sessions holding {} points", stats.sessions, stats.points);
+
+    // ---- The determinism receipt -----------------------------------------
+    // Every release that traveled the sockets is a pure function of
+    // (seed, session id, that session's points): a 1-shard direct engine
+    // reproduces the fleet's output exactly.
+    let mut direct =
+        ShardedEngine::new(EngineConfig { num_shards: 1, seed, parallel: false }).unwrap();
+    direct.spawn_sessions(0..clients, &spec, horizon, &params).unwrap();
+    for (sid, thetas) in &releases {
+        assert_eq!(thetas.len(), points_per_client);
+        for (t, theta) in thetas.iter().enumerate() {
+            let expected = direct.observe(*sid, &synth_point(d, t, *sid)).unwrap();
+            assert_eq!(theta, &expected, "session {sid} step {t} diverged");
+        }
+    }
+    println!(
+        "determinism check: {} releases from {} concurrent connections are bit-identical \
+         to the direct single-threaded engine",
+        total_points, clients
+    );
+}
+
+/// Deterministic covariate stream: ‖x‖ ≤ 0.9 with a planted signal.
+fn synth_point(d: usize, t: usize, session: u64) -> DataPoint {
+    let mut x = vec![0.0f64; d];
+    x[t % d] = 0.7;
+    x[(t + session as usize) % d] += 0.2;
+    let y = (0.8 * x[0]).clamp(-1.0, 1.0);
+    DataPoint::new(x, y)
+}

@@ -58,9 +58,12 @@
 //!   of concurrent sessions from a [`MechanismSpec`](pir_engine::MechanismSpec),
 //!   drive them through the pipelined
 //!   [`EngineHandle`](pir_engine::EngineHandle) (bounded per-shard queues,
-//!   atomic backpressure), or speak the length-prefixed
-//!   [`wire`](pir_engine::wire) protocol to a
-//!   [`serve_connection`](pir_engine::serve_connection) loop.
+//!   atomic backpressure) from any number of threads holding cloned
+//!   [`SubmitHandle`](pir_engine::SubmitHandle)s, or speak the
+//!   length-prefixed [`wire`](pir_engine::wire) protocol to a
+//!   [`serve_connection`](pir_engine::serve_connection) loop — over
+//!   sockets, via the thread-per-connection
+//!   [`serve_tcp`](pir_engine::serve_tcp) front.
 //! - [`datagen`] — synthetic stream generators for every experiment.
 //!
 //! ## Serving many streams
@@ -123,9 +126,10 @@ pub mod prelude {
     };
     pub use pir_dp::{NoiseRng, PrivacyAccountant, PrivacyParams};
     pub use pir_engine::{
-        serve_connection, Command, EngineConfig, EngineError, EngineHandle, IngressConfig,
-        IngressStats, LossSpec, MechanismSpec, Reply, ServeStats, SetSpec, ShardedEngine,
-        SolverSpec, StreamSession, Ticket,
+        serve_connection, serve_tcp, serve_tcp_with, Command, EngineConfig, EngineError,
+        EngineHandle, IngressConfig, IngressStats, LossSpec, MechanismSpec, Reply, ServeStats,
+        SetSpec, ShardedEngine, SolverSpec, StreamSession, SubmitHandle, TcpFront, TcpOptions,
+        TcpStats, Ticket,
     };
     pub use pir_erm::{
         solve_exact, DataPoint, LogisticLoss, Loss, NoisyGdSolver, OutputPerturbationSolver,

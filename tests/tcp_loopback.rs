@@ -1,0 +1,88 @@
+//! Tier-1 smoke test for the TCP serving front: a small fleet served
+//! over 127.0.0.1 (no external network), concurrent clients on disjoint
+//! sessions, releases checked bit-for-bit against the direct
+//! single-threaded engine. The heavier property tests live in
+//! `crates/engine/tests/tcp.rs`; this one pins the end-to-end stack —
+//! prelude exports included — into the tier-1 `cargo test` gate.
+
+use private_incremental_regression::prelude::*;
+use std::net::{TcpListener, TcpStream};
+
+fn point(d: usize, t: usize, session: u64) -> DataPoint {
+    let mut x = vec![0.0f64; d];
+    x[t % d] = 0.7;
+    x[(t + session as usize) % d] += 0.2;
+    DataPoint::new(x, 0.25)
+}
+
+#[test]
+fn loopback_tcp_fleet_matches_direct_engine() {
+    let seed = 20177;
+    let d = 3;
+    let steps = 4usize;
+    let clients = 4u64;
+    let spec = MechanismSpec::reg1_l2(d);
+    let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+
+    let handle = EngineHandle::new(IngressConfig { num_shards: 2, seed, queue_depth: 64 }).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let front = serve_tcp(handle.submit_handle(), listener).unwrap();
+    let addr = front.local_addr();
+
+    let conversations: Vec<(u64, Vec<Reply>)> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..clients)
+            .map(|sid| {
+                let spec = spec.clone();
+                s.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    let mut request = Vec::new();
+                    pir_engine::wire::write_command(
+                        &mut request,
+                        &Command::Open { session_id: sid, spec, t_max: steps, params },
+                    )
+                    .unwrap();
+                    for t in 0..steps {
+                        pir_engine::wire::write_command(
+                            &mut request,
+                            &Command::Observe { session_id: sid, point: point(d, t, sid) },
+                        )
+                        .unwrap();
+                    }
+                    pir_engine::wire::write_command(&mut request, &Command::Close).unwrap();
+                    std::io::Write::write_all(&mut stream, &request).unwrap();
+                    let mut replies = Vec::new();
+                    loop {
+                        match pir_engine::wire::read_reply(&mut stream).unwrap() {
+                            Some(Reply::Closed) => break,
+                            Some(reply) => replies.push(reply),
+                            None => break,
+                        }
+                    }
+                    (sid, replies)
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    let stats = front.shutdown();
+    assert_eq!(stats.connections, clients);
+    assert_eq!(stats.protocol_errors, 0);
+    handle.close();
+
+    let mut direct =
+        ShardedEngine::new(EngineConfig { num_shards: 1, seed, parallel: false }).unwrap();
+    direct.spawn_sessions(0..clients, &spec, steps, &params).unwrap();
+    for (sid, replies) in conversations {
+        assert_eq!(replies.len(), steps + 1);
+        assert_eq!(replies[0], Reply::Opened { session_id: sid });
+        for t in 0..steps {
+            let expected = direct.observe(sid, &point(d, t, sid)).unwrap();
+            assert_eq!(
+                replies[1 + t],
+                Reply::Releases { session_id: sid, thetas: vec![expected] },
+                "session {sid} step {t}"
+            );
+        }
+    }
+}
