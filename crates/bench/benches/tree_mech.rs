@@ -10,7 +10,9 @@ use std::hint::black_box;
 fn bench_updates(c: &mut Criterion) {
     let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
     let mut group = c.benchmark_group("tree_mech_update");
-    for d in [4usize, 64, 1024] {
+    // {4, 16, 64} is the BENCH_*.json trajectory grid; 1024 covers the
+    // d²-flattened second-moment streams of PrivIncReg1.
+    for d in [4usize, 16, 64, 1024] {
         group.bench_with_input(BenchmarkId::new("d", d), &d, |b, &d| {
             // Horizon far beyond any iteration count Criterion will run
             // (memory is only O(d log T), so a 2^40 horizon is cheap).

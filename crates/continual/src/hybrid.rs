@@ -78,24 +78,61 @@ impl HybridMechanism {
     /// # Errors
     /// Same item validations as [`TreeMechanism::update`].
     pub fn update(&mut self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.dim];
+        self.update_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`update`](HybridMechanism::update) writing the release into a
+    /// caller-provided buffer — release-for-release identical to it, with
+    /// the whole accumulation (epoch banking and the
+    /// `completed + current` sum) routed through the tree mechanism's
+    /// allocation-free `_into` path. The only steady-state heap traffic
+    /// left is the `O(log t)` epoch rollovers, which allocate the next
+    /// epoch's tree.
+    ///
+    /// On error, `out` contents are unspecified (it doubles as the epoch
+    /// accumulation scratch).
+    ///
+    /// # Errors
+    /// As [`update`](HybridMechanism::update), plus
+    /// [`ContinualError::DimensionMismatch`](crate::ContinualError) if
+    /// `out.len() != dim`.
+    pub fn update_into(&mut self, v: &[f64], out: &mut [f64]) -> Result<()> {
         if self.current.len() == self.current.t_max() {
             // Epoch complete: bank its final private release and open the
-            // next (twice as long) epoch.
-            let last = self.current.query();
-            vector::axpy(1.0, &last, &mut self.completed);
+            // next (twice as long) epoch. `out` serves as the banking
+            // scratch so the rollover adds no extra allocation.
+            self.current.query_into(out)?;
+            vector::axpy(1.0, out, &mut self.completed);
             self.epoch += 1;
             let len = 1usize << self.epoch.saturating_sub(1).min(62);
             let child = self.rng.fork();
             self.current = TreeMechanism::new(self.dim, len, self.max_norm, &self.params, child)?;
         }
-        let within = self.current.update(v)?;
+        self.current.update_into(v, out)?;
         self.t += 1;
-        Ok(vector::add(&self.completed, &within))
+        vector::axpy(1.0, &self.completed, out);
+        Ok(())
     }
 
     /// Current private prefix sum (post-processing; no privacy cost).
     pub fn query(&self) -> Vec<f64> {
-        vector::add(&self.completed, &self.current.query())
+        let mut out = vec![0.0; self.dim];
+        self.query_into(&mut out).expect("buffer sized to dim");
+        out
+    }
+
+    /// [`query`](HybridMechanism::query) writing into a caller-provided
+    /// buffer; value-for-value identical to it.
+    ///
+    /// # Errors
+    /// [`ContinualError::DimensionMismatch`](crate::ContinualError) if
+    /// `out.len() != dim`.
+    pub fn query_into(&self, out: &mut [f64]) -> Result<()> {
+        self.current.query_into(out)?;
+        vector::axpy(1.0, &self.completed, out);
+        Ok(())
     }
 
     /// Error bound at the current time with confidence `1 − β`: the sum of

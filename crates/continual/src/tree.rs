@@ -192,11 +192,45 @@ impl TreeMechanism {
     /// Rejects wrong-dimension, non-finite, over-horizon, and (when
     /// constructed via [`TreeMechanism::new`]) norm-violating items.
     pub fn update(&mut self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.dim];
+        self.update_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`update`](TreeMechanism::update) writing the release into a
+    /// caller-provided buffer — the allocation-free primitive every
+    /// allocating entry point wraps, and release-for-release identical to
+    /// it. This is what lets `pir-core`'s mechanisms (and through them the
+    /// engine's steady-state observe path) consume a stream item without
+    /// touching the heap.
+    ///
+    /// On error, `out` is untouched.
+    ///
+    /// ```
+    /// use pir_continual::TreeMechanism;
+    /// use pir_dp::NoiseRng;
+    ///
+    /// let mut mech = TreeMechanism::with_sigma(2, 8, 0.0, NoiseRng::seed_from_u64(7));
+    /// let mut release = vec![0.0; 2];
+    /// mech.update_into(&[0.5, 0.25], &mut release).unwrap();
+    /// assert_eq!(release, vec![0.5, 0.25]);
+    /// mech.update_into(&[0.5, 0.0], &mut release).unwrap();
+    /// assert_eq!(release, vec![1.0, 0.25]);
+    /// ```
+    ///
+    /// # Errors
+    /// As [`update`](TreeMechanism::update), plus
+    /// [`ContinualError::DimensionMismatch`] if `out.len() != dim`.
+    pub fn update_into(&mut self, v: &[f64], out: &mut [f64]) -> Result<()> {
         self.validate_item(v)?;
+        if out.len() != self.dim {
+            return Err(ContinualError::DimensionMismatch { expected: self.dim, found: out.len() });
+        }
         if self.t >= self.t_max {
             return Err(ContinualError::StreamOverflow { t_max: self.t_max });
         }
-        Ok(self.update_unchecked(v))
+        self.update_unchecked_into(v, out);
+        Ok(())
     }
 
     /// Consume a run of consecutive stream items, returning one private
@@ -215,13 +249,40 @@ impl TreeMechanism {
     /// [`ContinualError::StreamOverflow`] when the batch as a whole would
     /// exceed the horizon.
     pub fn update_batch(&mut self, items: &[&[f64]]) -> Result<Vec<Vec<f64>>> {
+        let mut flat = vec![0.0; items.len() * self.dim];
+        self.update_batch_into(items, &mut flat)?;
+        Ok((0..items.len()).map(|i| flat[i * self.dim..(i + 1) * self.dim].to_vec()).collect())
+    }
+
+    /// [`update_batch`](TreeMechanism::update_batch) writing the releases
+    /// into one flat row-major buffer (`items.len() × dim`) — the
+    /// allocation-free primitive the allocating method wraps, with the
+    /// same atomic-rejection contract. Release `i` lands in
+    /// `out[i*dim..(i+1)*dim]`.
+    ///
+    /// On error, `out` is untouched.
+    ///
+    /// # Errors
+    /// As [`update_batch`](TreeMechanism::update_batch), plus
+    /// [`ContinualError::DimensionMismatch`] if
+    /// `out.len() != items.len() * dim`.
+    pub fn update_batch_into(&mut self, items: &[&[f64]], out: &mut [f64]) -> Result<()> {
         for v in items {
             self.validate_item(v)?;
+        }
+        if out.len() != items.len() * self.dim {
+            return Err(ContinualError::DimensionMismatch {
+                expected: items.len() * self.dim,
+                found: out.len(),
+            });
         }
         if self.t + items.len() > self.t_max {
             return Err(ContinualError::StreamOverflow { t_max: self.t_max });
         }
-        Ok(items.iter().map(|v| self.update_unchecked(v)).collect())
+        for (i, v) in items.iter().enumerate() {
+            self.update_unchecked_into(v, &mut out[i * self.dim..(i + 1) * self.dim]);
+        }
+        Ok(())
     }
 
     fn validate_item(&self, v: &[f64]) -> Result<()> {
@@ -240,8 +301,9 @@ impl TreeMechanism {
         Ok(())
     }
 
-    /// One node-update step with all contract checks already done.
-    fn update_unchecked(&mut self, v: &[f64]) -> Vec<f64> {
+    /// One node-update step with all contract checks already done; the
+    /// release is written into `out` (length pre-validated).
+    fn update_unchecked_into(&mut self, v: &[f64], out: &mut [f64]) {
         self.t += 1;
         let t = self.t;
         // i ← index of the lowest set bit of t (paper Step 3).
@@ -266,7 +328,7 @@ impl TreeMechanism {
                 *x += self.rng.gaussian(0.0, self.sigma);
             }
         }
-        self.query()
+        self.query_unchecked_into(out);
     }
 
     /// Recompute the current private prefix sum `s_t` from the stored noisy
@@ -274,13 +336,31 @@ impl TreeMechanism {
     /// the zero vector before any update.
     pub fn query(&self) -> Vec<f64> {
         let mut s = vec![0.0; self.dim];
+        self.query_unchecked_into(&mut s);
+        s
+    }
+
+    /// [`query`](TreeMechanism::query) writing into a caller-provided
+    /// buffer; value-for-value identical to it.
+    ///
+    /// # Errors
+    /// [`ContinualError::DimensionMismatch`] if `out.len() != dim`.
+    pub fn query_into(&self, out: &mut [f64]) -> Result<()> {
+        if out.len() != self.dim {
+            return Err(ContinualError::DimensionMismatch { expected: self.dim, found: out.len() });
+        }
+        self.query_unchecked_into(out);
+        Ok(())
+    }
+
+    fn query_unchecked_into(&self, out: &mut [f64]) {
+        out.iter_mut().for_each(|x| *x = 0.0);
         let t = self.t;
         for j in 0..self.levels {
             if t & (1 << j) != 0 {
-                vector::axpy(1.0, &self.b[j], &mut s);
+                vector::axpy(1.0, &self.b[j], out);
             }
         }
-        s
     }
 
     /// Proposition C.1 error bound: with probability at least `1 − β`,

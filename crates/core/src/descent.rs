@@ -22,9 +22,10 @@
 
 use crate::gradient_fn::PrivateGradientFn;
 use pir_geometry::ConvexSet;
-use pir_linalg::{vector, Matrix};
+use pir_linalg::{vector, Matrix, PowerIterScratch};
 use pir_optim::{
-    fista, iterations_for_accuracy, noisy_projected_gradient, NoisyPgdConfig, Quadratic,
+    fista_into, iterations_for_accuracy, noisy_projected_gradient, FistaScratch, NoisyPgdConfig,
+    QuadraticView,
 };
 
 /// How the per-timestep constrained minimization is carried out.
@@ -38,13 +39,103 @@ pub enum DescentStrategy {
     PaperNoisyPgd,
 }
 
-/// Minimize the private objective over `set` per the chosen strategy.
+/// Reusable per-step buffers for [`minimize_private_objective_into`]:
+/// the ridged surrogate Hessian `A = 2(Q + λI)`, its linear term
+/// `b = 2q`, and the power-iteration / FISTA iteration scratch. One of
+/// these lives inside each mechanism so the steady-state descent never
+/// touches the heap.
+#[derive(Debug, Clone)]
+pub(crate) struct DescentScratch {
+    a: Matrix,
+    b: Vec<f64>,
+    power: PowerIterScratch,
+    fista: FistaScratch,
+}
+
+impl DescentScratch {
+    /// Scratch for a `d`-dimensional descent.
+    pub(crate) fn new(d: usize) -> Self {
+        DescentScratch {
+            a: Matrix::zeros(d, d),
+            b: vec![0.0; d],
+            power: PowerIterScratch::new(d, d),
+            fista: FistaScratch::new(d),
+        }
+    }
+}
+
+/// Minimize the private objective over `set` per the chosen strategy,
+/// writing the minimizer into `out`. The private gradient function is
+/// passed as a *borrowed view* — the released statistics `(Q, q)` stay in
+/// the mechanism-owned scratch they were produced in (`q_matrix` must
+/// already be symmetrized, as [`PrivateGradientFn::new`] would have done).
 ///
 /// `ridge` is the spectral error bound of the second-moment release
 /// (Lemma 4.1's matrix term); `alpha` the full gradient-error bound;
 /// `lipschitz` the true objective's Lipschitz constant over `C` (used by
 /// the paper path); `max_iters` the per-timestep iteration budget.
+///
+/// The default [`DescentStrategy::RidgedQuadraticFista`] path performs
+/// zero heap allocations; [`DescentStrategy::PaperNoisyPgd`] still
+/// allocates inside the oracle closure.
 #[allow(clippy::too_many_arguments)]
+pub(crate) fn minimize_private_objective_into<C: ConvexSet + ?Sized>(
+    strategy: DescentStrategy,
+    q_matrix: &Matrix,
+    q_vector: &[f64],
+    set: &C,
+    ridge: f64,
+    alpha: f64,
+    lipschitz: f64,
+    max_iters: usize,
+    warm: &[f64],
+    scratch: &mut DescentScratch,
+    out: &mut [f64],
+) {
+    match strategy {
+        DescentStrategy::RidgedQuadraticFista => {
+            let d = q_vector.len();
+            // A = 2(Q + λI), b = 2q so that ½θᵀAθ − ⟨b, θ⟩ = J̃_λ(θ).
+            let DescentScratch { a, b, power, fista } = scratch;
+            a.copy_from_slice_checked(q_matrix.as_slice())
+                .expect("descent scratch sized to the mechanism dimension");
+            for i in 0..d {
+                let v = a.get(i, i) + ridge;
+                a.set(i, i, v);
+            }
+            a.scale_mut(2.0);
+            vector::scaled_copy_into(2.0, q_vector, b);
+            let smooth = quadratic_smoothness(a, power);
+            let quad = QuadraticView::new(a, b, 0.0);
+            fista_into(&quad, set, smooth, max_iters, warm, fista, out);
+        }
+        DescentStrategy::PaperNoisyPgd => {
+            let alpha = alpha.max(1e-12);
+            let r = iterations_for_accuracy(alpha, lipschitz).min(max_iters);
+            let cfg = NoisyPgdConfig { iters: r, alpha, lipschitz };
+            let res = noisy_projected_gradient(
+                |t| {
+                    // g(θ) = 2(Qθ − q) — the Definition-5 gradient oracle.
+                    let mut g = q_matrix.matvec(t).expect("dimension fixed at construction");
+                    vector::axpy(-1.0, q_vector, &mut g);
+                    vector::scale_mut(&mut g, 2.0);
+                    g
+                },
+                set,
+                &cfg,
+                warm,
+            );
+            out.copy_from_slice(&res);
+        }
+    }
+}
+
+/// Allocating convenience wrapper over
+/// [`minimize_private_objective_into`], kept for tests and one-shot
+/// callers: takes the assembled [`PrivateGradientFn`] (whose matrix is
+/// symmetrized on construction) and returns a fresh vector.
+#[allow(clippy::too_many_arguments)]
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn minimize_private_objective<C: ConvexSet + ?Sized>(
     strategy: DescentStrategy,
     grad: &PrivateGradientFn,
@@ -55,39 +146,29 @@ pub(crate) fn minimize_private_objective<C: ConvexSet + ?Sized>(
     max_iters: usize,
     warm: &[f64],
 ) -> Vec<f64> {
-    match strategy {
-        DescentStrategy::RidgedQuadraticFista => {
-            let d = grad.dim();
-            // A = 2(Q + λI), b = 2q so that ½θᵀAθ − ⟨b, θ⟩ = J̃_λ(θ).
-            let mut a = grad.second_moment().clone();
-            for i in 0..d {
-                let v = a.get(i, i) + ridge;
-                a.set(i, i, v);
-            }
-            a.scale_mut(2.0);
-            let b = vector::scale(grad.first_moment(), 2.0);
-            let smooth = quadratic_smoothness(&a);
-            let quad = Quadratic::new(a, b, 0.0);
-            fista(&quad, set, smooth, max_iters, warm)
-        }
-        DescentStrategy::PaperNoisyPgd => {
-            let alpha = alpha.max(1e-12);
-            let r = iterations_for_accuracy(alpha, lipschitz).min(max_iters);
-            let cfg = NoisyPgdConfig { iters: r, alpha, lipschitz };
-            noisy_projected_gradient(
-                |t| grad.eval(t).expect("dimension fixed at construction"),
-                set,
-                &cfg,
-                warm,
-            )
-        }
-    }
+    let d = grad.dim();
+    let mut scratch = DescentScratch::new(d);
+    let mut out = vec![0.0; d];
+    minimize_private_objective_into(
+        strategy,
+        grad.second_moment(),
+        grad.first_moment(),
+        set,
+        ridge,
+        alpha,
+        lipschitz,
+        max_iters,
+        warm,
+        &mut scratch,
+        &mut out,
+    );
+    out
 }
 
 /// Smoothness (largest eigenvalue) bound for the surrogate's Hessian `A`:
 /// a cheap power-iteration estimate with a Frobenius-norm fallback.
-fn quadratic_smoothness(a: &Matrix) -> f64 {
-    a.spectral_norm(1e-3, 300).unwrap_or_else(|_| a.frobenius_norm()).max(1e-9)
+fn quadratic_smoothness(a: &Matrix, power: &mut PowerIterScratch) -> f64 {
+    a.spectral_norm_with(1e-3, 300, power).unwrap_or_else(|_| a.frobenius_norm()).max(1e-9)
 }
 
 #[cfg(test)]

@@ -15,9 +15,8 @@
 //! output sequence is `(ε, δ)`-DP (Theorem A.3 over the two trees).
 //! Memory: `O(d² log T)` — logarithmic in the stream length.
 
-use crate::descent::{minimize_private_objective, DescentStrategy};
+use crate::descent::{minimize_private_objective_into, DescentScratch, DescentStrategy};
 use crate::error::CoreError;
-use crate::gradient_fn::PrivateGradientFn;
 use crate::stream::IncrementalMechanism;
 use crate::Result;
 use pir_continual::TreeMechanism;
@@ -62,7 +61,44 @@ pub struct PrivIncReg1 {
     tree_xy: TreeMechanism,
     tree_xx: TreeMechanism,
     last_theta: Vec<f64>,
+    scratch: Reg1Scratch,
     t: usize,
+}
+
+/// Mechanism-owned step buffers, preallocated once at construction and
+/// reused every timestep so the steady-state
+/// [`observe_into`](IncrementalMechanism::observe_into) path performs zero
+/// heap allocations. The tree outputs are written straight into `q_t` /
+/// `q_mat` — the `d²` `Matrix::from_vec` copy (with its redundant
+/// finiteness re-validation of already-validated data) that every step
+/// used to pay is gone.
+#[derive(Debug, Clone)]
+struct Reg1Scratch {
+    /// `x_t·y_t` — the first-moment stream item.
+    xy: Vec<f64>,
+    /// First-moment tree release `q_t`.
+    q_t: Vec<f64>,
+    /// `x_t x_tᵀ` — the second-moment stream item.
+    outer: Matrix,
+    /// Second-moment tree release `Q_t` (symmetrized in place).
+    q_mat: Matrix,
+    /// All-zeros cold start for `warm_start: false`.
+    zero_start: Vec<f64>,
+    /// Ridged-surrogate and iteration buffers for the per-step descent.
+    descent: DescentScratch,
+}
+
+impl Reg1Scratch {
+    fn new(d: usize) -> Self {
+        Reg1Scratch {
+            xy: vec![0.0; d],
+            q_t: vec![0.0; d],
+            outer: Matrix::zeros(d, d),
+            q_mat: Matrix::zeros(d, d),
+            zero_start: vec![0.0; d],
+            descent: DescentScratch::new(d),
+        }
+    }
 }
 
 impl PrivIncReg1 {
@@ -88,7 +124,8 @@ impl PrivIncReg1 {
         let tree_xy = TreeMechanism::new(d, t_max, 1.0, &half, rng.fork())?;
         let tree_xx = TreeMechanism::new(d * d, t_max, 1.0, &half, rng.fork())?;
         let last_theta = set.project(&vec![0.0; d]);
-        Ok(PrivIncReg1 { set, t_max, config, tree_xy, tree_xx, last_theta, t: 0 })
+        let scratch = Reg1Scratch::new(d);
+        Ok(PrivIncReg1 { set, t_max, config, tree_xy, tree_xx, last_theta, scratch, t: 0 })
     }
 
     /// The constraint set.
@@ -130,49 +167,63 @@ impl PrivIncReg1 {
         self.tree_xx.memory_slots() + self.tree_xy.memory_slots()
     }
 
-    fn step(&mut self, z: &DataPoint) -> Result<Vec<f64>> {
+    /// One Algorithm-2 step, written into `out` — the allocation-free
+    /// primitive behind both `observe` and `observe_into`. Steady state
+    /// (default strategy) touches the heap zero times: tree releases land
+    /// in mechanism-owned scratch and the descent runs on preallocated
+    /// iteration buffers against a borrowed view of the statistics.
+    fn step_into(&mut self, z: &DataPoint, out: &mut [f64]) -> Result<()> {
         let d = self.set.dim();
+        if out.len() != d {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("release buffer length {} != dimension {d}", out.len()),
+            });
+        }
         z.validate(d).map_err(|e| CoreError::InvalidPoint { reason: e.to_string() })?;
         if self.t >= self.t_max {
             return Err(CoreError::StreamOverflow { t_max: self.t_max });
         }
         self.t += 1;
 
-        // Tree updates (Steps 3–4 of Algorithm 2).
-        let xy = vector::scale(&z.x, z.y);
-        let q_t = self.tree_xy.update(&xy)?;
-        let outer = Matrix::outer(&z.x, &z.x);
-        let qmat_flat = self.tree_xx.update(outer.as_slice())?;
-        let q_matrix = Matrix::from_vec(d, d, qmat_flat).map_err(CoreError::Linalg)?;
-
-        // Private gradient function (Step 5) with Lemma 4.1's α.
+        // Tree updates (Steps 3–4 of Algorithm 2), releases written into
+        // scratch. The tree outputs are trusted internal data: every
+        // ingredient was validated on ingest (see Matrix::from_vec_trusted
+        // for the policy), so no per-step finiteness re-scan happens.
+        vector::scaled_copy_into(z.y, &z.x, &mut self.scratch.xy);
+        self.tree_xy.update_into(&self.scratch.xy, &mut self.scratch.q_t)?;
+        self.scratch.outer.set_outer(&z.x, &z.x).map_err(CoreError::Linalg)?;
+        self.tree_xx
+            .update_into(self.scratch.outer.as_slice(), self.scratch.q_mat.as_mut_slice())?;
+        // Step 5: the private gradient function g(θ) = 2(Q θ − q) over the
+        // symmetrized release, with Lemma 4.1's α.
+        self.scratch.q_mat.symmetrize_mut();
         let beta_each = self.config.beta / (2.0 * self.t_max as f64);
-        let grad = PrivateGradientFn::new(
-            q_matrix,
-            q_t,
-            self.matrix_spectral_error(beta_each),
-            self.tree_xy.error_bound(beta_each),
-            self.set.diameter(),
-        )?;
+        let me = self.matrix_spectral_error(beta_each);
+        let ve = self.tree_xy.error_bound(beta_each);
+        let diameter = self.set.diameter();
+        let alpha = (2.0 * (me * diameter + ve)).max(1e-12);
 
         // Step 6: minimize over C — either the paper-literal NOISYPROJGRAD
         // or the (default) ridged-quadratic FISTA; both are post-processing
         // of the released statistics (see crate::descent).
-        let alpha = grad.alpha().max(1e-12);
-        let lipschitz = 2.0 * self.t as f64 * (1.0 + self.set.diameter());
-        let start = if self.config.warm_start { self.last_theta.clone() } else { vec![0.0; d] };
-        let theta = minimize_private_objective(
+        let lipschitz = 2.0 * self.t as f64 * (1.0 + diameter);
+        let warm: &[f64] =
+            if self.config.warm_start { &self.last_theta } else { &self.scratch.zero_start };
+        minimize_private_objective_into(
             self.config.strategy,
-            &grad,
+            &self.scratch.q_mat,
+            &self.scratch.q_t,
             &self.set,
-            self.matrix_spectral_error(beta_each),
+            me,
             alpha,
             lipschitz,
             self.config.max_pgd_iters,
-            &start,
+            warm,
+            &mut self.scratch.descent,
+            out,
         );
-        self.last_theta = theta.clone();
-        Ok(theta)
+        self.last_theta.copy_from_slice(out);
+        Ok(())
     }
 }
 
@@ -190,7 +241,13 @@ impl IncrementalMechanism for PrivIncReg1 {
     }
 
     fn observe(&mut self, z: &DataPoint) -> Result<Vec<f64>> {
-        self.step(z)
+        let mut out = vec![0.0; self.set.dim()];
+        self.step_into(z, &mut out)?;
+        Ok(out)
+    }
+
+    fn observe_into(&mut self, z: &DataPoint, out: &mut [f64]) -> Result<()> {
+        self.step_into(z, out)
     }
 
     /// Amortized batch path — release-for-release identical to the
@@ -199,11 +256,13 @@ impl IncrementalMechanism for PrivIncReg1 {
     ///
     /// 1. one contract sweep over the batch (atomic rejection);
     /// 2. the `x_t y_t` tree driven through
-    ///    [`TreeMechanism::update_batch`];
+    ///    [`TreeMechanism::update_batch_into`] into one flat release
+    ///    buffer;
     /// 3. the `d²`-dimensional second-moment tree and the per-step
-    ///    descent in one loop reusing a single `d×d` outer-product
-    ///    scratch, with the `t`-independent error bounds
-    ///    (`α` ingredients of Lemma 4.1) hoisted out.
+    ///    descent in one loop on the mechanism's own step scratch, with
+    ///    the `t`-independent error bounds (`α` ingredients of Lemma 4.1)
+    ///    hoisted out — the only per-point allocation is the returned
+    ///    estimator.
     fn observe_batch(&mut self, batch: &[DataPoint]) -> Result<Vec<Vec<f64>>> {
         if batch.is_empty() {
             return Ok(Vec::new());
@@ -224,35 +283,42 @@ impl IncrementalMechanism for PrivIncReg1 {
         let ve = self.tree_xy.error_bound(beta_each);
         let diameter = self.set.diameter();
 
-        // Phase A — all first-moment tree updates (Step 3 of Algorithm 2).
+        // Phase A — all first-moment tree updates (Step 3 of Algorithm 2),
+        // released into one flat buffer.
         let xys: Vec<Vec<f64>> = batch.iter().map(|z| vector::scale(&z.x, z.y)).collect();
         let xy_refs: Vec<&[f64]> = xys.iter().map(Vec::as_slice).collect();
-        let q_ts = self.tree_xy.update_batch(&xy_refs)?;
+        let mut q_ts = vec![0.0; batch.len() * d];
+        self.tree_xy.update_batch_into(&xy_refs, &mut q_ts)?;
 
-        // Phase B — second-moment tree + descent per point (Steps 4–6),
-        // reusing one d×d scratch instead of allocating per point.
-        let mut outer = Matrix::zeros(d, d);
+        // Phase B — second-moment tree + descent per point (Steps 4–6) on
+        // the step scratch: the only per-point allocation left is the
+        // released estimator itself.
+        let alpha = (2.0 * (me * diameter + ve)).max(1e-12);
         let mut out = Vec::with_capacity(batch.len());
-        for (z, q_t) in batch.iter().zip(q_ts) {
+        for (i, z) in batch.iter().enumerate() {
             self.t += 1;
-            outer.set_outer(&z.x, &z.x).map_err(CoreError::Linalg)?;
-            let qmat_flat = self.tree_xx.update(outer.as_slice())?;
-            let q_matrix = Matrix::from_vec(d, d, qmat_flat).map_err(CoreError::Linalg)?;
-            let grad = PrivateGradientFn::new(q_matrix, q_t, me, ve, diameter)?;
-            let alpha = grad.alpha().max(1e-12);
+            self.scratch.outer.set_outer(&z.x, &z.x).map_err(CoreError::Linalg)?;
+            self.tree_xx
+                .update_into(self.scratch.outer.as_slice(), self.scratch.q_mat.as_mut_slice())?;
+            self.scratch.q_mat.symmetrize_mut();
             let lipschitz = 2.0 * self.t as f64 * (1.0 + diameter);
-            let start = if self.config.warm_start { self.last_theta.clone() } else { vec![0.0; d] };
-            let theta = minimize_private_objective(
+            let warm: &[f64] =
+                if self.config.warm_start { &self.last_theta } else { &self.scratch.zero_start };
+            let mut theta = vec![0.0; d];
+            minimize_private_objective_into(
                 self.config.strategy,
-                &grad,
+                &self.scratch.q_mat,
+                &q_ts[i * d..(i + 1) * d],
                 &self.set,
                 me,
                 alpha,
                 lipschitz,
                 self.config.max_pgd_iters,
-                &start,
+                warm,
+                &mut self.scratch.descent,
+                &mut theta,
             );
-            self.last_theta = theta.clone();
+            self.last_theta.copy_from_slice(&theta);
             out.push(theta);
         }
         Ok(out)

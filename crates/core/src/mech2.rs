@@ -19,9 +19,8 @@
 //! `γ = W^{1/3}/T^{1/3}` and `W = w(X) + w(C)`, giving Theorem 5.7's
 //! `≈ T^{1/3} W^{2/3}/ε` risk. Memory: `O(m² log T + d)`.
 
-use crate::descent::{minimize_private_objective, DescentStrategy};
+use crate::descent::{minimize_private_objective_into, DescentScratch, DescentStrategy};
 use crate::error::CoreError;
-use crate::gradient_fn::PrivateGradientFn;
 use crate::lift::{lift_constrained_ls, sketch_smoothness};
 use crate::stream::IncrementalMechanism;
 use crate::Result;
@@ -117,7 +116,45 @@ pub struct PrivIncReg2 {
     last_vartheta: Vec<f64>,
     /// Last lifted release (warm start for the lift FISTA).
     last_theta: Vec<f64>,
+    scratch: Reg2Scratch,
     t: usize,
+}
+
+/// Mechanism-owned step buffers (all in the projected `R^m` space),
+/// preallocated at construction and reused every timestep — the `m²`
+/// `Matrix::from_vec` copy per step is gone, mirroring
+/// `PrivIncReg1`'s scratch. The gauge-lifting step (back in `R^d`) still
+/// allocates its result; the projected-space pipeline does not.
+#[derive(Debug, Clone)]
+struct Reg2Scratch {
+    /// Norm-preserving embedding `Φx̃`.
+    embedded: Vec<f64>,
+    /// `Φx̃·y` — the projected first-moment stream item.
+    pxy: Vec<f64>,
+    /// First-moment tree release `q_t ∈ R^m`.
+    q_t: Vec<f64>,
+    /// `(Φx̃)(Φx̃)ᵀ` — the projected second-moment stream item.
+    outer: Matrix,
+    /// Second-moment tree release `Q_t ∈ R^{m×m}` (symmetrized in place).
+    q_mat: Matrix,
+    /// Per-step minimizer `ϑ_t` in the projected space.
+    vartheta: Vec<f64>,
+    /// Ridged-surrogate and iteration buffers for the projected descent.
+    descent: DescentScratch,
+}
+
+impl Reg2Scratch {
+    fn new(m: usize) -> Self {
+        Reg2Scratch {
+            embedded: vec![0.0; m],
+            pxy: vec![0.0; m],
+            q_t: vec![0.0; m],
+            outer: Matrix::zeros(m, m),
+            q_mat: Matrix::zeros(m, m),
+            vartheta: vec![0.0; m],
+            descent: DescentScratch::new(m),
+        }
+    }
 }
 
 impl PrivIncReg2 {
@@ -192,6 +229,7 @@ impl PrivIncReg2 {
             tree_xx,
             last_vartheta: vec![0.0; m],
             last_theta,
+            scratch: Reg2Scratch::new(m),
             t: 0,
         })
     }
@@ -250,8 +288,18 @@ impl PrivIncReg2 {
         2.0 * self.gradient_alpha() * self.proj_ball.diameter()
     }
 
-    fn step(&mut self, z: &DataPoint) -> Result<Vec<f64>> {
+    /// One Algorithm-3 step, written into `out` — the primitive behind
+    /// both `observe` and `observe_into`. The projected-space pipeline
+    /// (embedding, tree updates, descent) runs allocation-free on
+    /// mechanism-owned scratch; the gauge lift back to `C` (Step 9) is the
+    /// remaining allocating stage.
+    fn step_into(&mut self, z: &DataPoint, out: &mut [f64]) -> Result<()> {
         let d = self.set.dim();
+        if out.len() != d {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("release buffer length {} != dimension {d}", out.len()),
+            });
+        }
         z.validate(d).map_err(|e| CoreError::InvalidPoint { reason: e.to_string() })?;
         if self.t >= self.t_max {
             return Err(CoreError::StreamOverflow { t_max: self.t_max });
@@ -260,62 +308,66 @@ impl PrivIncReg2 {
         let m = self.sketch.m();
 
         // Step 4: norm-preserving embedding (zero covariates contribute
-        // zero statistics, matching the robust-extension convention).
-        let embedded = self
-            .sketch
-            .embed_normalized(&z.x)
-            .map_err(CoreError::Linalg)?
-            .unwrap_or_else(|| vec![0.0; m]);
+        // zero statistics, matching the robust-extension convention; the
+        // degenerate case leaves the scratch zero-filled).
+        self.sketch
+            .embed_normalized_into(&z.x, &mut self.scratch.embedded)
+            .map_err(CoreError::Linalg)?;
 
-        // Steps 5–6: tree updates in the projected space.
-        let pxy = vector::scale(&embedded, z.y);
-        let q_t = self.tree_xy.update(&pxy)?;
-        let outer = Matrix::outer(&embedded, &embedded);
-        let qmat_flat = self.tree_xx.update(outer.as_slice())?;
-        let q_matrix = Matrix::from_vec(m, m, qmat_flat).map_err(CoreError::Linalg)?;
+        // Steps 5–6: tree updates in the projected space, released into
+        // scratch (trusted internal data — validated on ingest).
+        vector::scaled_copy_into(z.y, &self.scratch.embedded, &mut self.scratch.pxy);
+        self.tree_xy.update_into(&self.scratch.pxy, &mut self.scratch.q_t)?;
+        self.scratch
+            .outer
+            .set_outer(&self.scratch.embedded, &self.scratch.embedded)
+            .map_err(CoreError::Linalg)?;
+        self.tree_xx
+            .update_into(self.scratch.outer.as_slice(), self.scratch.q_mat.as_mut_slice())?;
 
-        // Step 7: private gradient function over ΦC (here: its ball hull).
+        // Step 7: private gradient function over ΦC (here: its ball hull),
+        // as a borrowed view of the symmetrized release.
+        self.scratch.q_mat.symmetrize_mut();
         let beta_each = self.config.beta / (2.0 * self.t_max as f64);
         let levels = self.tree_xx.levels() as f64;
         let me = self.tree_xx.sigma()
             * levels.sqrt()
             * (2.0 * (m as f64).sqrt() + (2.0 * (1.0 / beta_each).ln()).sqrt());
-        let grad = PrivateGradientFn::new(
-            q_matrix,
-            q_t,
-            me,
-            self.tree_xy.error_bound(beta_each),
-            self.proj_ball.diameter(),
-        )?;
+        let ve = self.tree_xy.error_bound(beta_each);
+        let proj_diameter = self.proj_ball.diameter();
+        let alpha = (2.0 * (me * proj_diameter + ve)).max(1e-12);
 
         // Step 8: constrained minimization in the projected space (the
         // paper's NOISYPROJGRAD or the default ridged-quadratic FISTA —
         // both post-processing; see crate::descent).
-        let alpha = grad.alpha().max(1e-12);
-        let lipschitz = 2.0 * self.t as f64 * (1.0 + self.proj_ball.diameter());
-        let vartheta = minimize_private_objective(
+        let lipschitz = 2.0 * self.t as f64 * (1.0 + proj_diameter);
+        minimize_private_objective_into(
             self.config.strategy,
-            &grad,
+            &self.scratch.q_mat,
+            &self.scratch.q_t,
             &self.proj_ball,
             me,
             alpha,
             lipschitz,
             self.config.max_pgd_iters,
             &self.last_vartheta,
+            &mut self.scratch.descent,
+            &mut self.scratch.vartheta,
         );
-        self.last_vartheta = vartheta.clone();
+        self.last_vartheta.copy_from_slice(&self.scratch.vartheta);
 
         // Step 9: lift back to C.
         let theta = lift_constrained_ls(
             &self.sketch,
-            &vartheta,
+            &self.scratch.vartheta,
             &self.set,
             self.lift_smoothness,
             self.config.lift_iters,
             &self.last_theta,
         )?;
-        self.last_theta = theta.clone();
-        Ok(theta)
+        self.last_theta.copy_from_slice(&theta);
+        out.copy_from_slice(&theta);
+        Ok(())
     }
 }
 
@@ -333,7 +385,13 @@ impl IncrementalMechanism for PrivIncReg2 {
     }
 
     fn observe(&mut self, z: &DataPoint) -> Result<Vec<f64>> {
-        self.step(z)
+        let mut out = vec![0.0; self.set.dim()];
+        self.step_into(z, &mut out)?;
+        Ok(out)
+    }
+
+    fn observe_into(&mut self, z: &DataPoint, out: &mut [f64]) -> Result<()> {
+        self.step_into(z, out)
     }
 
     /// Amortized batch path — release-for-release identical to the
@@ -346,9 +404,10 @@ impl IncrementalMechanism for PrivIncReg2 {
     ///    [`GaussianSketch::embed_normalized_batch`] while `Φ` is hot in
     ///    cache (Step 4 of Algorithm 3 across the batch);
     /// 3. the projected `x y` tree driven through
-    ///    [`pir_continual::TreeMechanism::update_batch`];
+    ///    [`pir_continual::TreeMechanism::update_batch_into`] into one
+    ///    flat release buffer;
     /// 4. the `m²` second-moment tree, descent, and gauge lift in one
-    ///    loop reusing a single `m×m` outer-product scratch, with the
+    ///    loop on the mechanism's own step scratch, with the
     ///    `t`-independent error bounds hoisted out.
     fn observe_batch(&mut self, batch: &[DataPoint]) -> Result<Vec<Vec<f64>>> {
         if batch.is_empty() {
@@ -375,11 +434,12 @@ impl IncrementalMechanism for PrivIncReg2 {
             .collect();
 
         // Phase B — all first-moment tree updates in projected space
-        // (Step 5).
+        // (Step 5), released into one flat buffer.
         let pxys: Vec<Vec<f64>> =
             embedded.iter().zip(batch).map(|(e, z)| vector::scale(e, z.y)).collect();
         let pxy_refs: Vec<&[f64]> = pxys.iter().map(Vec::as_slice).collect();
-        let q_ts = self.tree_xy.update_batch(&pxy_refs)?;
+        let mut q_ts = vec![0.0; batch.len() * m];
+        self.tree_xy.update_batch_into(&pxy_refs, &mut q_ts)?;
 
         // Hoisted: error-bound ingredients depend only on tree geometry.
         let beta_each = self.config.beta / (2.0 * self.t_max as f64);
@@ -389,39 +449,41 @@ impl IncrementalMechanism for PrivIncReg2 {
             * (2.0 * (m as f64).sqrt() + (2.0 * (1.0 / beta_each).ln()).sqrt());
         let ve = self.tree_xy.error_bound(beta_each);
         let proj_diameter = self.proj_ball.diameter();
+        let alpha = (2.0 * (me * proj_diameter + ve)).max(1e-12);
 
         // Phase C — second-moment tree, descent, and lift per point
-        // (Steps 6–9), reusing one m×m scratch.
-        let mut outer = Matrix::zeros(m, m);
+        // (Steps 6–9), on the mechanism's own step scratch.
         let mut out = Vec::with_capacity(batch.len());
-        for (e, q_t) in embedded.iter().zip(q_ts) {
+        for (i, e) in embedded.iter().enumerate() {
             self.t += 1;
-            outer.set_outer(e, e).map_err(CoreError::Linalg)?;
-            let qmat_flat = self.tree_xx.update(outer.as_slice())?;
-            let q_matrix = Matrix::from_vec(m, m, qmat_flat).map_err(CoreError::Linalg)?;
-            let grad = PrivateGradientFn::new(q_matrix, q_t, me, ve, proj_diameter)?;
-            let alpha = grad.alpha().max(1e-12);
+            self.scratch.outer.set_outer(e, e).map_err(CoreError::Linalg)?;
+            self.tree_xx
+                .update_into(self.scratch.outer.as_slice(), self.scratch.q_mat.as_mut_slice())?;
+            self.scratch.q_mat.symmetrize_mut();
             let lipschitz = 2.0 * self.t as f64 * (1.0 + proj_diameter);
-            let vartheta = minimize_private_objective(
+            minimize_private_objective_into(
                 self.config.strategy,
-                &grad,
+                &self.scratch.q_mat,
+                &q_ts[i * m..(i + 1) * m],
                 &self.proj_ball,
                 me,
                 alpha,
                 lipschitz,
                 self.config.max_pgd_iters,
                 &self.last_vartheta,
+                &mut self.scratch.descent,
+                &mut self.scratch.vartheta,
             );
-            self.last_vartheta = vartheta.clone();
+            self.last_vartheta.copy_from_slice(&self.scratch.vartheta);
             let theta = lift_constrained_ls(
                 &self.sketch,
-                &vartheta,
+                &self.scratch.vartheta,
                 &self.set,
                 self.lift_smoothness,
                 self.config.lift_iters,
                 &self.last_theta,
             )?;
-            self.last_theta = theta.clone();
+            self.last_theta.copy_from_slice(&theta);
             out.push(theta);
         }
         Ok(out)

@@ -28,6 +28,65 @@ pub trait IncrementalMechanism: Send {
     /// Domain-contract violations, stream overflow, or internal failures.
     fn observe(&mut self, z: &DataPoint) -> Result<Vec<f64>>;
 
+    /// [`observe`](IncrementalMechanism::observe) writing the release into
+    /// a caller-provided buffer of length [`dim`](IncrementalMechanism::dim)
+    /// — **release-for-release identical** to the allocating method (the
+    /// law checked by `tests/into_paths.rs`).
+    ///
+    /// The default implementation delegates to `observe` and copies, so
+    /// every implementor gets the API for free; the paper mechanisms
+    /// ([`crate::PrivIncReg1`], [`crate::PrivIncReg2`]) override it as
+    /// their *primitive* and run the whole step — tree updates, gradient
+    /// assembly, descent — against mechanism-owned scratch, so a
+    /// steady-state call performs **zero heap allocations**. This is the
+    /// entry point the engine's per-session release buffers drive.
+    ///
+    /// On error, `out` contents are unspecified.
+    ///
+    /// ```
+    /// use pir_core::{IncrementalMechanism, PrivIncReg1, PrivIncReg1Config};
+    /// use pir_dp::{NoiseRng, PrivacyParams};
+    /// use pir_erm::DataPoint;
+    /// use pir_geometry::L2Ball;
+    ///
+    /// let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+    /// let mut rng = NoiseRng::seed_from_u64(7);
+    /// let mut mech = PrivIncReg1::new(
+    ///     Box::new(L2Ball::unit(3)),
+    ///     16,
+    ///     &params,
+    ///     &mut rng,
+    ///     PrivIncReg1Config::default(),
+    /// )
+    /// .unwrap();
+    ///
+    /// // One reusable release buffer for the whole stream.
+    /// let mut theta = vec![0.0; mech.dim()];
+    /// for _ in 0..4 {
+    ///     mech.observe_into(&DataPoint::new(vec![0.5, 0.1, 0.0], 0.3), &mut theta).unwrap();
+    /// }
+    /// assert!(theta.iter().all(|v| v.is_finite()));
+    /// ```
+    ///
+    /// # Errors
+    /// As [`observe`](IncrementalMechanism::observe); additionally a
+    /// wrong-length `out` is rejected (with
+    /// [`crate::CoreError::InvalidConfig`]) before the point is consumed.
+    fn observe_into(&mut self, z: &DataPoint, out: &mut [f64]) -> Result<()> {
+        if out.len() != self.dim() {
+            return Err(crate::CoreError::InvalidConfig {
+                reason: format!(
+                    "release buffer length {} != mechanism dimension {}",
+                    out.len(),
+                    self.dim()
+                ),
+            });
+        }
+        let theta = self.observe(z)?;
+        out.copy_from_slice(&theta);
+        Ok(())
+    }
+
     /// Consume a batch of consecutive stream points and release one
     /// estimator per point — semantically the `batch.len()`-fold
     /// iteration of [`observe`](IncrementalMechanism::observe), and

@@ -299,6 +299,33 @@ impl ShardedEngine {
             .observe(z)
     }
 
+    /// [`observe`](ShardedEngine::observe) writing the release into a
+    /// caller-provided buffer — release-for-release identical to it, and
+    /// allocation-free in steady state for the paper mechanisms: routing
+    /// is a hash and a map lookup, and the mechanism runs its whole step
+    /// on preallocated scratch (see `docs/ARCHITECTURE.md`, "Buffer
+    /// ownership"). Callers that poll one session at high rate should
+    /// hold one release buffer per session and drive this entry point.
+    ///
+    /// On error, `out` contents are unspecified.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSession`], the mechanism's error, or a
+    /// wrong-length buffer.
+    pub fn observe_into(
+        &mut self,
+        session_id: u64,
+        z: &DataPoint,
+        out: &mut [f64],
+    ) -> Result<(), EngineError> {
+        let idx = self.shard_index(session_id);
+        self.shards[idx]
+            .sessions
+            .get_mut(&session_id)
+            .ok_or(EngineError::UnknownSession { id: session_id })?
+            .observe_into(z, out)
+    }
+
     /// Route a run of consecutive points to one session's amortized batch
     /// path.
     ///

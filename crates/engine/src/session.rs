@@ -93,6 +93,23 @@ impl StreamSession {
         Ok(self.mech.observe(z)?)
     }
 
+    /// [`observe`](StreamSession::observe) writing the release into a
+    /// caller-provided buffer of length [`dim`](StreamSession::dim) —
+    /// release-for-release identical to it. With a paper mechanism behind
+    /// it this is allocation-free in steady state: the mechanism runs the
+    /// whole step on its own preallocated scratch, so a caller that reuses
+    /// one release buffer per session observes points without any heap
+    /// traffic (the invariant pinned by `tests/alloc_steady_state.rs`).
+    ///
+    /// On error, `out` contents are unspecified.
+    ///
+    /// # Errors
+    /// [`EngineError::Mechanism`] on contract violations, overflow, or a
+    /// wrong-length buffer.
+    pub fn observe_into(&mut self, z: &DataPoint, out: &mut [f64]) -> Result<(), EngineError> {
+        Ok(self.mech.observe_into(z, out)?)
+    }
+
     /// Consume a run of consecutive stream points through the mechanism's
     /// amortized batch path, releasing one estimator per point.
     ///

@@ -69,6 +69,13 @@ impl ConvexSet for BoxSet {
         x.iter().zip(self.lo.iter().zip(&self.hi)).map(|(&v, (&l, &h))| v.clamp(l, h)).collect()
     }
 
+    fn project_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.lo.len(), "project_into: output length mismatch");
+        for ((o, &v), (&l, &h)) in out.iter_mut().zip(x).zip(self.lo.iter().zip(&self.hi)) {
+            *o = v.clamp(l, h);
+        }
+    }
+
     fn support(&self, g: &[f64]) -> Vec<f64> {
         g.iter()
             .zip(self.lo.iter().zip(&self.hi))
@@ -123,6 +130,13 @@ impl WidthSet for LinfBall {
 impl ConvexSet for LinfBall {
     fn project(&self, x: &[f64]) -> Vec<f64> {
         x.iter().map(|&v| v.clamp(-self.radius, self.radius)).collect()
+    }
+
+    fn project_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), x.len(), "project_into: output length mismatch");
+        for (o, &v) in out.iter_mut().zip(x) {
+            *o = v.clamp(-self.radius, self.radius);
+        }
     }
 
     fn support(&self, g: &[f64]) -> Vec<f64> {

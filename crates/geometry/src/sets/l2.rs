@@ -60,6 +60,16 @@ impl ConvexSet for L2Ball {
         }
     }
 
+    fn project_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), x.len(), "project_into: output length mismatch");
+        let n = vector::norm2(x);
+        if n <= self.radius {
+            out.copy_from_slice(x);
+        } else {
+            vector::scaled_copy_into(self.radius / n, x, out);
+        }
+    }
+
     fn support(&self, g: &[f64]) -> Vec<f64> {
         match vector::normalize(g) {
             Some(u) => vector::scale(&u, self.radius),

@@ -31,6 +31,20 @@ pub trait ConvexSet: WidthSet {
     /// Euclidean projection `P_C(x) = argmin_{z∈C} ‖x − z‖₂`.
     fn project(&self, x: &[f64]) -> Vec<f64>;
 
+    /// [`ConvexSet::project`] writing into a caller-provided buffer —
+    /// the allocation-free form the per-step descent loops use (`x` and
+    /// `out` are distinct buffers so iterative solvers can ping-pong).
+    /// Must be value-for-value identical to [`ConvexSet::project`].
+    ///
+    /// The default implementation allocates via [`ConvexSet::project`];
+    /// sets on hot paths (closed-form projections) override it.
+    ///
+    /// # Panics
+    /// Panics if `out.len()` differs from the projection's length.
+    fn project_into(&self, x: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(&self.project(x));
+    }
+
     /// The maximizer `argmax_{a∈C} ⟨a, g⟩` (linear maximization oracle).
     ///
     /// Ties may be broken arbitrarily; the result must satisfy
@@ -94,6 +108,9 @@ impl<S: WidthSet + ?Sized> WidthSet for Box<S> {
 impl<S: ConvexSet + ?Sized> ConvexSet for Box<S> {
     fn project(&self, x: &[f64]) -> Vec<f64> {
         (**self).project(x)
+    }
+    fn project_into(&self, x: &[f64], out: &mut [f64]) {
+        (**self).project_into(x, out)
     }
     fn support(&self, g: &[f64]) -> Vec<f64> {
         (**self).support(g)

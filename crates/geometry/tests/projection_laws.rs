@@ -101,6 +101,19 @@ proptest! {
     }
 
     #[test]
+    fn project_into_is_identical_to_project(x in point()) {
+        // The borrowed-view projection must be value-for-value identical
+        // to the allocating one — the zero-allocation descent path of
+        // pir-core relies on this equivalence for every set.
+        for (name, set, _tol) in all_sets() {
+            let p = set.project(&x);
+            let mut out = vec![f64::NAN; DIM];
+            set.project_into(&x, &mut out);
+            prop_assert_eq!(&p, &out, "{}: project_into diverges from project", name);
+        }
+    }
+
+    #[test]
     fn gauge_member_consistency(x in point()) {
         for (name, set, tol) in all_sets() {
             let g = set.gauge(&x);

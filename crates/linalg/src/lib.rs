@@ -25,7 +25,7 @@ pub mod vector;
 
 pub use cholesky::{ridge_solve, CholeskyFactor};
 pub use error::LinalgError;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, PowerIterScratch};
 
 /// Convenient result alias for fallible linear-algebra operations.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -51,6 +51,56 @@ impl Matrix {
         Ok(Matrix { rows, cols, data })
     }
 
+    /// Build from a flat row-major buffer of *trusted* data, skipping the
+    /// `O(rows·cols)` finiteness sweep of [`Matrix::from_vec`] (it still
+    /// runs as a `debug_assert`). For internal hot paths where every entry
+    /// was already validated on ingest — e.g. mechanism statistics
+    /// assembled from stream items that passed `DataPoint::validate` —
+    /// re-scanning on every step only burns the cycles the validation was
+    /// supposed to protect. Public entry points must keep using the
+    /// checked constructor.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `data.len() != rows * cols`
+    /// (shape errors are programming bugs worth catching in release too).
+    pub fn from_vec_trusted(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Matrix::from_vec_trusted",
+                expected: rows * cols,
+                found: data.len(),
+            });
+        }
+        debug_assert!(
+            vector::is_finite(&data),
+            "Matrix::from_vec_trusted: non-finite entry in trusted data"
+        );
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Overwrite the matrix contents from a flat row-major slice, reusing
+    /// the allocation — the scratch-buffer counterpart of
+    /// [`Matrix::from_vec_trusted`] (shape-checked, finiteness only as a
+    /// `debug_assert`). The matrix shape is preserved.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `src.len() != rows * cols`.
+    pub fn copy_from_slice_checked(&mut self, src: &[f64]) -> Result<()> {
+        if src.len() != self.data.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "Matrix::copy_from_slice_checked",
+                expected: self.data.len(),
+                found: src.len(),
+            });
+        }
+        debug_assert!(
+            vector::is_finite(src),
+            "Matrix::copy_from_slice_checked: non-finite entry in trusted data"
+        );
+        self.data.copy_from_slice(src);
+        Ok(())
+    }
+
     /// Build from row slices (all rows must share a length).
     pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
         let r = rows.len();
@@ -136,6 +186,19 @@ impl Matrix {
     /// # Errors
     /// [`LinalgError::DimensionMismatch`] if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matvec`] writing into a caller-provided buffer — the
+    /// allocation-free form the mechanism hot loops use. Value-for-value
+    /// identical to the allocating method.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `x.len() != cols` or
+    /// `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
         if x.len() != self.cols {
             return Err(LinalgError::DimensionMismatch {
                 op: "matvec",
@@ -143,11 +206,17 @@ impl Matrix {
                 found: x.len(),
             });
         }
-        let mut out = vec![0.0; self.rows];
-        for (r, o) in out.iter_mut().enumerate() {
-            *o = vector::dot(self.row(r), x);
+        if out.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec(out)",
+                expected: self.rows,
+                found: out.len(),
+            });
         }
-        Ok(out)
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = vector::dot(&self.data[r * self.cols..(r + 1) * self.cols], x);
+        }
+        Ok(())
     }
 
     /// Transposed matrix–vector product `Aᵀ y`.
@@ -155,6 +224,18 @@ impl Matrix {
     /// # Errors
     /// [`LinalgError::DimensionMismatch`] if `y.len() != rows`.
     pub fn matvec_t(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.cols];
+        self.matvec_t_into(y, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matvec_t`] writing into a caller-provided buffer.
+    /// Value-for-value identical to the allocating method.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `y.len() != rows` or
+    /// `out.len() != cols`.
+    pub fn matvec_t_into(&self, y: &[f64], out: &mut [f64]) -> Result<()> {
         if y.len() != self.rows {
             return Err(LinalgError::DimensionMismatch {
                 op: "matvec_t",
@@ -162,11 +243,18 @@ impl Matrix {
                 found: y.len(),
             });
         }
-        let mut out = vec![0.0; self.cols];
-        for (r, &yr) in y.iter().enumerate() {
-            vector::axpy(yr, self.row(r), &mut out);
+        if out.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec_t(out)",
+                expected: self.cols,
+                found: out.len(),
+            });
         }
-        Ok(out)
+        out.iter_mut().for_each(|o| *o = 0.0);
+        for (r, &yr) in y.iter().enumerate() {
+            vector::axpy(yr, &self.data[r * self.cols..(r + 1) * self.cols], out);
+        }
+        Ok(())
     }
 
     /// Matrix product `A B`.
@@ -272,8 +360,12 @@ impl Matrix {
                 found: u.len() * v.len(),
             });
         }
-        self.data.iter_mut().for_each(|x| *x = 0.0);
-        self.add_outer(1.0, u, v)
+        // Single overwrite pass (row r ← u_r·v) instead of zero-then-add:
+        // half the memory traffic on the d² hot path of the mechanisms.
+        for (r, &ur) in u.iter().enumerate() {
+            vector::scaled_copy_into(ur, v, &mut self.data[r * self.cols..(r + 1) * self.cols]);
+        }
+        Ok(())
     }
 
     /// `A ← A + alpha·B`.
@@ -343,16 +435,43 @@ impl Matrix {
     /// usually still usable; callers that can tolerate slack should pass a
     /// generous budget).
     pub fn spectral_norm(&self, tol: f64, max_iters: usize) -> Result<f64> {
+        let mut scratch = PowerIterScratch::new(self.rows, self.cols);
+        self.spectral_norm_with(tol, max_iters, &mut scratch)
+    }
+
+    /// [`Matrix::spectral_norm`] reusing caller-owned iteration buffers —
+    /// the allocation-free form for per-step callers (the mechanisms
+    /// estimate the smoothness of a fresh `d×d` quadratic every timestep).
+    /// Value-for-value identical to the allocating method.
+    ///
+    /// # Errors
+    /// As [`Matrix::spectral_norm`]; additionally
+    /// [`LinalgError::DimensionMismatch`] if `scratch` was sized for a
+    /// different shape.
+    pub fn spectral_norm_with(
+        &self,
+        tol: f64,
+        max_iters: usize,
+        scratch: &mut PowerIterScratch,
+    ) -> Result<f64> {
         if self.rows == 0 || self.cols == 0 {
             return Ok(0.0);
         }
-        let mut v = vec![1.0_f64 / (self.cols as f64).sqrt(); self.cols];
+        if scratch.av.len() != self.rows || scratch.v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "spectral_norm_with(scratch)",
+                expected: self.rows + self.cols,
+                found: scratch.av.len() + scratch.v.len(),
+            });
+        }
+        let PowerIterScratch { v, av, atav } = scratch;
+        v.iter_mut().for_each(|x| *x = 1.0_f64 / (self.cols as f64).sqrt());
         let mut prev = 0.0_f64;
         let mut null_hits = 0usize;
         for it in 0..max_iters {
-            let av = self.matvec(&v)?;
-            let atav = self.matvec_t(&av)?;
-            let n = vector::norm2(&atav);
+            self.matvec_into(v, av)?;
+            self.matvec_t_into(av, atav)?;
+            let n = vector::norm2(atav);
             if n == 0.0 {
                 // v is in the null space; re-seed with each basis direction
                 // in turn. If they are all annihilated the matrix is zero.
@@ -361,20 +480,37 @@ impl Matrix {
                     return Ok(0.0);
                 }
                 let k = it % self.cols;
-                v = crate::vector::basis(self.cols, k);
+                v.iter_mut().for_each(|x| *x = 0.0);
+                v[k] = 1.0;
                 continue;
             }
             let sigma = {
                 // Rayleigh quotient: vᵀAᵀAv = ‖Av‖².
-                vector::norm2(&av)
+                vector::norm2(av)
             };
-            v = vector::scale(&atav, 1.0 / n);
+            vector::scaled_copy_into(1.0 / n, atav, v);
             if (sigma - prev).abs() <= tol * sigma.max(1e-300) {
                 return Ok(sigma);
             }
             prev = sigma;
         }
         Err(LinalgError::DidNotConverge { op: "spectral_norm", iters: max_iters })
+    }
+}
+
+/// Reusable buffers for [`Matrix::spectral_norm_with`]: the power-iteration
+/// direction `v ∈ R^cols` and the products `Av ∈ R^rows`, `AᵀAv ∈ R^cols`.
+#[derive(Debug, Clone)]
+pub struct PowerIterScratch {
+    v: Vec<f64>,
+    av: Vec<f64>,
+    atav: Vec<f64>,
+}
+
+impl PowerIterScratch {
+    /// Buffers for power iteration on a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        PowerIterScratch { v: vec![0.0; cols], av: vec![0.0; rows], atav: vec![0.0; cols] }
     }
 }
 
@@ -413,6 +549,59 @@ mod tests {
         assert_eq!(m.matvec_t(&[1.0, 0.0, 1.0]).unwrap(), vec![6.0, 8.0]);
         assert!(m.matvec(&[1.0]).is_err());
         assert!(m.matvec_t(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let m = sample();
+        let mut out3 = [9.0; 3];
+        m.matvec_into(&[1.0, 1.0], &mut out3).unwrap();
+        assert_eq!(out3.to_vec(), m.matvec(&[1.0, 1.0]).unwrap());
+        let mut out2 = [9.0; 2];
+        m.matvec_t_into(&[1.0, 0.0, 1.0], &mut out2).unwrap();
+        assert_eq!(out2.to_vec(), m.matvec_t(&[1.0, 0.0, 1.0]).unwrap());
+        // Wrong-size output buffers are rejected, inputs untouched.
+        assert!(m.matvec_into(&[1.0, 1.0], &mut out2).is_err());
+        assert!(m.matvec_t_into(&[1.0, 0.0, 1.0], &mut out3).is_err());
+    }
+
+    #[test]
+    fn trusted_construction_checks_shape_only() {
+        assert!(matches!(
+            Matrix::from_vec_trusted(2, 2, vec![1.0; 3]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        let m = Matrix::from_vec_trusted(1, 2, vec![1.0, 2.0]).unwrap();
+        assert_eq!(m.as_slice(), &[1.0, 2.0]);
+        let mut scratch = Matrix::zeros(2, 2);
+        scratch.copy_from_slice_checked(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(scratch.get(1, 0), 3.0);
+        assert!(scratch.copy_from_slice_checked(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn set_outer_matches_outer() {
+        let u = [1.0, -2.0, 0.0];
+        let v = [3.0, 4.0];
+        let mut m = Matrix::from_rows(&[&[9.0, 9.0], &[9.0, 9.0], &[9.0, 9.0]]).unwrap();
+        m.set_outer(&u, &v).unwrap();
+        assert_eq!(m, Matrix::outer(&u, &v));
+        assert!(m.set_outer(&u, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn spectral_norm_with_reused_scratch_matches() {
+        let m = sample();
+        let mut scratch = PowerIterScratch::new(3, 2);
+        let direct = m.spectral_norm(1e-10, 10_000).unwrap();
+        // Reuse the same scratch twice: results must be identical.
+        let s1 = m.spectral_norm_with(1e-10, 10_000, &mut scratch).unwrap();
+        let s2 = m.spectral_norm_with(1e-10, 10_000, &mut scratch).unwrap();
+        assert_eq!(s1, direct);
+        assert_eq!(s2, direct);
+        // Shape-mismatched scratch is rejected.
+        let mut bad = PowerIterScratch::new(2, 2);
+        assert!(m.spectral_norm_with(1e-10, 100, &mut bad).is_err());
     }
 
     #[test]

@@ -7,12 +7,29 @@
 
 /// Dot product `⟨a, b⟩`.
 ///
+/// The inner loop is four-lane chunked (four independent accumulators,
+/// scalar tail) so the autovectorizer can emit SIMD without intrinsics —
+/// a strict left-to-right fold would serialize on one FP add chain.
+///
 /// # Panics
 /// Panics in debug builds if the lengths differ.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut lanes = [0.0f64; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        lanes[0] += xa[0] * xb[0];
+        lanes[1] += xa[1] * xb[1];
+        lanes[2] += xa[2] * xb[2];
+        lanes[3] += xa[3] * xb[3];
+    }
+    let mut s = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        s += x * y;
+    }
+    s
 }
 
 /// Euclidean (L2) norm `‖v‖₂`.
@@ -54,11 +71,43 @@ pub fn distance(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// `y ← y + alpha·x` (BLAS `axpy`).
+///
+/// Four-lane chunked like [`dot`]; the update is elementwise, so the
+/// chunking changes nothing about the results — only the instruction mix.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
+    let mut cx = x.chunks_exact(4);
+    let mut cy = y.chunks_exact_mut(4);
+    for (xc, yc) in cx.by_ref().zip(cy.by_ref()) {
+        yc[0] += alpha * xc[0];
+        yc[1] += alpha * xc[1];
+        yc[2] += alpha * xc[2];
+        yc[3] += alpha * xc[3];
+    }
+    for (yi, xi) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
         *yi += alpha * xi;
+    }
+}
+
+/// Scaled copy `out ← alpha·x` — the buffer-reuse form of [`scale`],
+/// chunked like [`axpy`].
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+#[inline]
+pub fn scaled_copy_into(alpha: f64, x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), out.len(), "scaled_copy_into: length mismatch");
+    let mut cx = x.chunks_exact(4);
+    let mut co = out.chunks_exact_mut(4);
+    for (xc, oc) in cx.by_ref().zip(co.by_ref()) {
+        oc[0] = alpha * xc[0];
+        oc[1] = alpha * xc[1];
+        oc[2] = alpha * xc[2];
+        oc[3] = alpha * xc[3];
+    }
+    for (oi, xi) in co.into_remainder().iter_mut().zip(cx.remainder()) {
+        *oi = alpha * xi;
     }
 }
 
@@ -193,6 +242,30 @@ mod tests {
         let mut y = [10.0, 20.0];
         axpy(0.5, &x, &mut y);
         assert_eq!(y, [10.5, 21.0]);
+    }
+
+    #[test]
+    fn chunked_kernels_match_naive_at_every_tail_length() {
+        // The 4-lane chunking must agree with the scalar definitions for
+        // lengths that exercise 0–3 element tails.
+        for n in 0..13usize {
+            let a: Vec<f64> = (0..n).map(|i| 0.3 * i as f64 - 1.0).collect();
+            let b: Vec<f64> = (0..n).map(|i| 1.7 - 0.2 * i as f64).collect();
+            let naive_dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - naive_dot).abs() < 1e-12 * (1.0 + naive_dot.abs()), "n={n}");
+
+            let mut y = b.clone();
+            axpy(0.25, &a, &mut y);
+            for i in 0..n {
+                assert_eq!(y[i], b[i] + 0.25 * a[i], "axpy n={n} i={i}");
+            }
+
+            let mut out = vec![0.0; n];
+            scaled_copy_into(-1.5, &a, &mut out);
+            for i in 0..n {
+                assert_eq!(out[i], -1.5 * a[i], "scaled_copy n={n} i={i}");
+            }
+        }
     }
 
     #[test]

@@ -25,5 +25,7 @@ pub mod objective;
 pub mod pgd;
 
 pub use noisy::{iterations_for_accuracy, noisy_projected_gradient, NoisyPgdConfig};
-pub use objective::{Objective, Quadratic};
-pub use pgd::{fista, frank_wolfe, projected_gradient, PgdConfig, StepSize};
+pub use objective::{Objective, Quadratic, QuadraticView};
+pub use pgd::{
+    fista, fista_into, frank_wolfe, projected_gradient, FistaScratch, PgdConfig, StepSize,
+};

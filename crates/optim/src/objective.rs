@@ -12,6 +12,17 @@ pub trait Objective {
 
     /// A gradient (or subgradient) of `f` at `θ`.
     fn gradient(&self, theta: &[f64]) -> Vec<f64>;
+
+    /// [`Objective::gradient`] writing into a caller-provided buffer — the
+    /// allocation-free form driven by [`crate::pgd::fista_into`]. Must be
+    /// value-for-value identical to the allocating method; the default
+    /// implementation delegates to it, and hot objectives override.
+    ///
+    /// # Panics
+    /// Panics if `out.len()` differs from the gradient's length.
+    fn gradient_into(&self, theta: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(&self.gradient(theta));
+    }
 }
 
 /// The quadratic `f(θ) = ½ θᵀAθ − ⟨b, θ⟩ + c` with symmetric PSD `A` —
@@ -56,14 +67,61 @@ impl Objective for Quadratic {
     }
 
     fn value(&self, theta: &[f64]) -> f64 {
-        let at = self.a.matvec(theta).expect("dimension checked at construction");
-        0.5 * vector::dot(theta, &at) - vector::dot(&self.b, theta) + self.c
+        QuadraticView::new(&self.a, &self.b, self.c).value(theta)
     }
 
     fn gradient(&self, theta: &[f64]) -> Vec<f64> {
-        let mut g = self.a.matvec(theta).expect("dimension checked at construction");
-        vector::axpy(-1.0, &self.b, &mut g);
+        QuadraticView::new(&self.a, &self.b, self.c).gradient(theta)
+    }
+
+    fn gradient_into(&self, theta: &[f64], out: &mut [f64]) {
+        QuadraticView::new(&self.a, &self.b, self.c).gradient_into(theta, out);
+    }
+}
+
+/// A borrowed view of the quadratic `f(θ) = ½ θᵀAθ − ⟨b, θ⟩ + c`: same
+/// objective as [`Quadratic`] without owning (or copying) the statistics.
+/// This is what lets the per-step descent of `pir-core` run against
+/// mechanism-owned scratch matrices with zero allocation — the matrix
+/// stays wherever the mechanism keeps it.
+#[derive(Debug, Clone, Copy)]
+pub struct QuadraticView<'a> {
+    a: &'a Matrix,
+    b: &'a [f64],
+    c: f64,
+}
+
+impl<'a> QuadraticView<'a> {
+    /// New view; `a` must be square and match `b`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn new(a: &'a Matrix, b: &'a [f64], c: f64) -> Self {
+        assert_eq!(a.rows(), a.cols(), "QuadraticView needs a square matrix");
+        assert_eq!(a.rows(), b.len(), "QuadraticView shape mismatch");
+        QuadraticView { a, b, c }
+    }
+}
+
+impl Objective for QuadraticView<'_> {
+    fn dim(&self) -> usize {
+        self.b.len()
+    }
+
+    fn value(&self, theta: &[f64]) -> f64 {
+        let at = self.a.matvec(theta).expect("dimension checked at construction");
+        0.5 * vector::dot(theta, &at) - vector::dot(self.b, theta) + self.c
+    }
+
+    fn gradient(&self, theta: &[f64]) -> Vec<f64> {
+        let mut g = vec![0.0; self.b.len()];
+        self.gradient_into(theta, &mut g);
         g
+    }
+
+    fn gradient_into(&self, theta: &[f64], out: &mut [f64]) {
+        self.a.matvec_into(theta, out).expect("dimension checked at construction");
+        vector::axpy(-1.0, self.b, out);
     }
 }
 

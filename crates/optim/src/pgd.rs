@@ -78,23 +78,75 @@ pub fn fista<O: Objective + ?Sized, C: ConvexSet + ?Sized>(
     iters: usize,
     theta0: &[f64],
 ) -> Vec<f64> {
+    let mut out = vec![0.0; theta0.len()];
+    let mut scratch = FistaScratch::new(theta0.len());
+    fista_into(obj, set, smoothness, iters, theta0, &mut scratch, &mut out);
+    out
+}
+
+/// Reusable iteration buffers for [`fista_into`]: gradient, momentum
+/// point, pre-projection step, and projected iterate — all of dimension
+/// `d`.
+#[derive(Debug, Clone)]
+pub struct FistaScratch {
+    g: Vec<f64>,
+    momentum: Vec<f64>,
+    raw: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl FistaScratch {
+    /// Buffers for a `d`-dimensional FISTA run.
+    pub fn new(d: usize) -> Self {
+        FistaScratch {
+            g: vec![0.0; d],
+            momentum: vec![0.0; d],
+            raw: vec![0.0; d],
+            next: vec![0.0; d],
+        }
+    }
+}
+
+/// [`fista`] writing the final iterate into `out` and reusing
+/// caller-owned iteration buffers — the allocation-free form the per-step
+/// mechanism descent runs on (paired with [`Objective::gradient_into`]
+/// and [`ConvexSet::project_into`], a whole FISTA run touches the heap
+/// zero times). Value-for-value identical to [`fista`].
+///
+/// # Panics
+/// Panics if `smoothness <= 0` or if `out`/`scratch` dimensions do not
+/// match `theta0`.
+pub fn fista_into<O: Objective + ?Sized, C: ConvexSet + ?Sized>(
+    obj: &O,
+    set: &C,
+    smoothness: f64,
+    iters: usize,
+    theta0: &[f64],
+    scratch: &mut FistaScratch,
+    out: &mut [f64],
+) {
     assert!(smoothness > 0.0, "fista needs a positive smoothness constant");
+    assert_eq!(out.len(), theta0.len(), "fista_into: output length mismatch");
+    assert_eq!(scratch.g.len(), theta0.len(), "fista_into: scratch dimension mismatch");
     let step = 1.0 / smoothness;
-    let mut theta = set.project(theta0);
-    let mut momentum = theta.clone();
+    let FistaScratch { g, momentum, raw, next } = scratch;
+    // `out` holds the current iterate θ_k throughout.
+    set.project_into(theta0, out);
+    momentum.copy_from_slice(out);
     let mut t_k = 1.0f64;
     for _ in 0..iters {
-        let g = obj.gradient(&momentum);
-        let mut next = momentum.clone();
-        vector::axpy(-step, &g, &mut next);
-        let next = set.project(&next);
+        obj.gradient_into(momentum, g);
+        raw.copy_from_slice(momentum);
+        vector::axpy(-step, g, raw);
+        set.project_into(raw, next);
         let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t_k * t_k).sqrt());
         let beta = (t_k - 1.0) / t_next;
-        momentum = next.iter().zip(&theta).map(|(n, p)| n + beta * (n - p)).collect();
-        theta = next;
+        for ((m, &n), &p) in momentum.iter_mut().zip(next.iter()).zip(out.iter()) {
+            *m = n + beta * (n - p);
+        }
+        out.copy_from_slice(next);
         t_k = t_next;
     }
-    theta
 }
 
 /// Frank–Wolfe (conditional gradient) with the standard `2/(k+2)` step:
@@ -183,6 +235,26 @@ mod tests {
         let theta = frank_wolfe(&obj, &set, 2000, &[0.0, 0.0, 0.0]);
         assert!(vector::norm1(&theta) <= 1.0 + 1e-9);
         assert!(vector::distance(&theta, &[0.9, 0.0, 0.0]) < 1e-2, "{theta:?}");
+    }
+
+    #[test]
+    fn fista_into_is_identical_to_fista_and_scratch_is_reusable() {
+        let a = Matrix::from_rows(&[&[400.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let obj = Quadratic::new(a, vec![0.0, 1.0], 0.0);
+        let set = L2Ball::new(2, 2.0);
+        let expect = fista(&obj, &set, 400.0, 200, &[1.5, -1.5]);
+        let mut scratch = FistaScratch::new(2);
+        let mut out = [0.0; 2];
+        // Dirty scratch from a previous run must not leak into the next.
+        fista_into(&obj, &set, 400.0, 10, &[-0.3, 0.9], &mut scratch, &mut out);
+        fista_into(&obj, &set, 400.0, 200, &[1.5, -1.5], &mut scratch, &mut out);
+        assert_eq!(out.to_vec(), expect);
+        // The borrowed view drives the same trajectory as the owner.
+        let a2 = Matrix::from_rows(&[&[400.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let b2 = [0.0, 1.0];
+        let view = crate::objective::QuadraticView::new(&a2, &b2, 0.0);
+        fista_into(&view, &set, 400.0, 200, &[1.5, -1.5], &mut scratch, &mut out);
+        assert_eq!(out.to_vec(), expect);
     }
 
     #[test]

@@ -9,6 +9,18 @@
 //! (plus derived throughput when declared). No statistical regression
 //! analysis, plots, or baselines — swap in real criterion when building
 //! with network access for publication-grade numbers.
+//!
+//! Environment knobs (shim extensions; real criterion has its own CLI):
+//!
+//! - `CRITERION_JSON=<path>` — append one JSON line per benchmark
+//!   (`{"label", "median_ns", "mean_ns", "samples", "iters_per_sample"}`)
+//!   to `<path>`, so `BENCH_*.json` perf-trajectory files can be produced
+//!   mechanically from a bench run.
+//! - `CRITERION_SAMPLE_SIZE=<n>` — override every group's sample count
+//!   (CI smoke mode).
+//! - `CRITERION_TARGET_MS=<ms>` — per-sample calibration target (default
+//!   20 ms; lower it together with the sample size for a quick compile-
+//!   and-run rot check).
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -151,16 +163,52 @@ impl Bencher {
     }
 }
 
+/// `CRITERION_SAMPLE_SIZE` override, if set and parseable.
+fn env_sample_size() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLE_SIZE").ok()?.parse().ok()
+}
+
+/// Per-sample calibration target: `CRITERION_TARGET_MS` or 20 ms.
+fn target_sample_time() -> Duration {
+    let ms = std::env::var("CRITERION_TARGET_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
+    Duration::from_millis(ms)
+}
+
+/// Append one machine-readable result line to `$CRITERION_JSON`, if set.
+fn emit_json(label: &str, median: f64, mean: f64, samples: usize, iters: u64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let line = format!(
+        "{{\"label\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}\n",
+        label.replace('\\', "\\\\").replace('"', "\\\""),
+        median * 1e9,
+        mean * 1e9,
+        samples,
+        iters
+    );
+    use std::io::Write as _;
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("criterion shim: could not append to CRITERION_JSON={path}: {e}");
+    }
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(
     label: &str,
     sample_size: usize,
     throughput: Option<Throughput>,
     f: &mut F,
 ) -> String {
+    let sample_size = env_sample_size().unwrap_or(sample_size).max(2);
     let mut b = Bencher {
         iters_per_sample: 1,
         samples: Vec::with_capacity(sample_size),
-        target_sample_time: Duration::from_millis(20),
+        target_sample_time: target_sample_time(),
         calibrating: true,
     };
     f(&mut b);
@@ -169,6 +217,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     per_iter.sort_by(|a, c| a.total_cmp(c));
     let median = if per_iter.is_empty() { f64::NAN } else { per_iter[per_iter.len() / 2] };
     let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    emit_json(label, median, mean, per_iter.len(), b.iters_per_sample);
     let mut line = format!(
         "{label:<48} median {:>12}  mean {:>12}  ({} samples x {} iters)",
         fmt_time(median),

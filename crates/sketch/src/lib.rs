@@ -44,7 +44,9 @@ impl GaussianSketch {
         assert!(m > 0 && d > 0, "sketch dimensions must be positive");
         let sigma = 1.0 / (m as f64).sqrt();
         let data = rng.gaussian_vec(m * d, sigma);
-        let phi = Matrix::from_vec(m, d, data).expect("shape fixed by construction");
+        // Trusted internal data: finite Gaussian deviates by construction,
+        // so skip the release-mode finiteness sweep.
+        let phi = Matrix::from_vec_trusted(m, d, data).expect("shape fixed by construction");
         GaussianSketch { phi }
     }
 
@@ -91,13 +93,31 @@ impl GaussianSketch {
     /// # Errors
     /// [`LinalgError::DimensionMismatch`] if `x.len() != d`.
     pub fn embed_normalized(&self, x: &[f64]) -> Result<Option<Vec<f64>>, LinalgError> {
-        let px = self.apply(x)?;
+        let mut out = vec![0.0; self.m()];
+        Ok(self.embed_normalized_into(x, &mut out)?.then_some(out))
+    }
+
+    /// [`embed_normalized`](GaussianSketch::embed_normalized) writing into
+    /// a caller-provided buffer of length `m` — the allocation-free form
+    /// the per-step mechanism path uses, value-for-value identical to the
+    /// allocating method. Returns `false` for the degenerate cases where
+    /// the allocating method returns `None` (`x = 0` or `Φx = 0`); `out`
+    /// is zero-filled in that case, matching the "treat as the zero point"
+    /// convention of the callers.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `x.len() != d` or
+    /// `out.len() != m`.
+    pub fn embed_normalized_into(&self, x: &[f64], out: &mut [f64]) -> Result<bool, LinalgError> {
+        self.phi.matvec_into(x, out)?;
         let nx = pir_linalg::vector::norm2(x);
-        let npx = pir_linalg::vector::norm2(&px);
+        let npx = pir_linalg::vector::norm2(out);
         if nx == 0.0 || npx == 0.0 {
-            return Ok(None);
+            out.iter_mut().for_each(|v| *v = 0.0);
+            return Ok(false);
         }
-        Ok(Some(pir_linalg::vector::scale(&px, nx / npx)))
+        pir_linalg::vector::scale_mut(out, nx / npx);
+        Ok(true)
     }
 
     /// Batched [`embed_normalized`](GaussianSketch::embed_normalized):

@@ -1,0 +1,219 @@
+//! The borrowed-buffer-equals-allocating law: every `_into` entry point
+//! introduced by the zero-allocation release path must produce output
+//! **bit-for-bit identical** to its allocating counterpart — under a fixed
+//! [`NoiseRng`] seed, at every layer: the tree mechanism (`pir-continual`),
+//! the hybrid mechanism, all three paper mechanisms (`pir-core`), and the
+//! sharded engine (`pir-engine`). This is what makes buffer reuse a pure
+//! allocator optimization with no semantic (or privacy) consequences.
+
+use private_incremental_regression::prelude::*;
+use proptest::prelude::*;
+
+/// A valid (§2-normalized) stream: ‖x‖ ≤ 0.9, |y| ≤ 1.
+fn stream(n: usize, d: usize, seed: u64) -> Vec<DataPoint> {
+    let mut rng = NoiseRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x: Vec<f64> = (0..d).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+            let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let x: Vec<f64> = x.iter().map(|v| 0.9 * v / norm.max(1.0)).collect();
+            let y = (0.7 * x[0]).clamp(-1.0, 1.0);
+            DataPoint::new(x, y)
+        })
+        .collect()
+}
+
+/// Drive one mechanism through `observe` and a twin (same seed) through
+/// `observe_into` with a single reused release buffer; the sequences must
+/// agree exactly.
+fn assert_observe_into_equivalent(
+    mut allocating: Box<dyn IncrementalMechanism>,
+    mut reusing: Box<dyn IncrementalMechanism>,
+    points: &[DataPoint],
+) {
+    let d = allocating.dim();
+    let mut buf = vec![f64::NAN; d];
+    for (t, z) in points.iter().enumerate() {
+        let fresh = allocating.observe(z).unwrap();
+        reusing.observe_into(z, &mut buf).unwrap();
+        assert_eq!(fresh, buf, "release diverged at t={}", t + 1);
+    }
+    assert_eq!(allocating.t(), reusing.t());
+}
+
+fn params() -> PrivacyParams {
+    PrivacyParams::approx(1.0, 1e-6).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn tree_update_into_equals_update(seed in any::<u64>(), d in 1usize..6) {
+        let p = params();
+        let mut alloc = TreeMechanism::new(d, 32, 1.0, &p, NoiseRng::seed_from_u64(seed)).unwrap();
+        let mut reuse = TreeMechanism::new(d, 32, 1.0, &p, NoiseRng::seed_from_u64(seed)).unwrap();
+        let mut buf = vec![f64::NAN; d];
+        let mut item_rng = NoiseRng::seed_from_u64(seed.wrapping_add(1));
+        for t in 0..32 {
+            let v: Vec<f64> = (0..d).map(|_| item_rng.uniform_in(-0.3, 0.3)).collect();
+            let fresh = alloc.update(&v).unwrap();
+            reuse.update_into(&v, &mut buf).unwrap();
+            prop_assert_eq!(&fresh, &buf, "t={}", t + 1);
+            // query_into agrees with query on both twins.
+            let mut q = vec![f64::NAN; d];
+            reuse.query_into(&mut q).unwrap();
+            prop_assert_eq!(&alloc.query(), &q);
+        }
+    }
+
+    #[test]
+    fn tree_update_batch_into_equals_update_batch(seed in any::<u64>(), chunk in 1usize..9) {
+        let p = params();
+        let d = 3;
+        let mut alloc = TreeMechanism::new(d, 24, 1.0, &p, NoiseRng::seed_from_u64(seed)).unwrap();
+        let mut reuse = TreeMechanism::new(d, 24, 1.0, &p, NoiseRng::seed_from_u64(seed)).unwrap();
+        let mut item_rng = NoiseRng::seed_from_u64(seed.wrapping_add(1));
+        let items: Vec<Vec<f64>> = (0..24)
+            .map(|_| (0..d).map(|_| item_rng.uniform_in(-0.3, 0.3)).collect())
+            .collect();
+        for block in items.chunks(chunk) {
+            let refs: Vec<&[f64]> = block.iter().map(Vec::as_slice).collect();
+            let fresh = alloc.update_batch(&refs).unwrap();
+            let mut flat = vec![f64::NAN; refs.len() * d];
+            reuse.update_batch_into(&refs, &mut flat).unwrap();
+            for (i, f) in fresh.iter().enumerate() {
+                prop_assert_eq!(f.as_slice(), &flat[i * d..(i + 1) * d]);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_update_into_equals_update(seed in any::<u64>()) {
+        let p = params();
+        let d = 2;
+        let mut alloc = HybridMechanism::new(d, 1.0, &p, NoiseRng::seed_from_u64(seed)).unwrap();
+        let mut reuse = HybridMechanism::new(d, 1.0, &p, NoiseRng::seed_from_u64(seed)).unwrap();
+        let mut buf = vec![f64::NAN; d];
+        let mut item_rng = NoiseRng::seed_from_u64(seed.wrapping_add(1));
+        // 40 items crosses several epoch boundaries (1, 1, 2, 4, 8, 16, …).
+        for t in 0..40 {
+            let v: Vec<f64> = (0..d).map(|_| item_rng.uniform_in(-0.5, 0.5)).collect();
+            let fresh = alloc.update(&v).unwrap();
+            reuse.update_into(&v, &mut buf).unwrap();
+            prop_assert_eq!(&fresh, &buf, "t={}", t + 1);
+            let mut q = vec![f64::NAN; d];
+            reuse.query_into(&mut q).unwrap();
+            prop_assert_eq!(&alloc.query(), &q);
+        }
+    }
+
+    #[test]
+    fn reg1_observe_into_equals_observe(seed in any::<u64>()) {
+        let p = params();
+        let build = || {
+            let mut rng = NoiseRng::seed_from_u64(seed);
+            Box::new(PrivIncReg1::new(
+                Box::new(L2Ball::unit(4)),
+                16,
+                &p,
+                &mut rng,
+                PrivIncReg1Config::default(),
+            )
+            .unwrap()) as Box<dyn IncrementalMechanism>
+        };
+        let points = stream(16, 4, seed.wrapping_add(1));
+        assert_observe_into_equivalent(build(), build(), &points);
+    }
+
+    #[test]
+    fn reg1_cold_start_observe_into_equals_observe(seed in any::<u64>()) {
+        // warm_start: false exercises the zero-start scratch path.
+        let p = params();
+        let config = PrivIncReg1Config { warm_start: false, ..Default::default() };
+        let build = || {
+            let mut rng = NoiseRng::seed_from_u64(seed);
+            Box::new(PrivIncReg1::new(Box::new(L2Ball::unit(3)), 12, &p, &mut rng, config).unwrap())
+                as Box<dyn IncrementalMechanism>
+        };
+        let points = stream(12, 3, seed.wrapping_add(1));
+        assert_observe_into_equivalent(build(), build(), &points);
+    }
+
+    #[test]
+    fn reg2_observe_into_equals_observe(seed in any::<u64>()) {
+        let p = params();
+        let d = 20;
+        let config = PrivIncReg2Config { m_override: Some(5), lift_iters: 60, ..Default::default() };
+        let build = || {
+            let mut rng = NoiseRng::seed_from_u64(seed);
+            Box::new(PrivIncReg2::new(Box::new(L1Ball::unit(d)), 2.0, 12, &p, &mut rng, config)
+                .unwrap()) as Box<dyn IncrementalMechanism>
+        };
+        let points = stream(12, d, seed.wrapping_add(1));
+        assert_observe_into_equivalent(build(), build(), &points);
+    }
+
+    #[test]
+    fn generic_erm_default_observe_into_equals_observe(seed in any::<u64>()) {
+        // PrivIncErm has no override — this pins the trait's default impl.
+        let p = params();
+        let build = || {
+            Box::new(PrivIncErm::new(
+                Box::new(SquaredLoss),
+                Box::new(NoisyGdSolver { iters: 8, beta: 0.1 }),
+                Box::new(L2Ball::unit(3)),
+                12,
+                &p,
+                TauRule::Fixed(4),
+                NoiseRng::seed_from_u64(seed),
+            )
+            .unwrap()) as Box<dyn IncrementalMechanism>
+        };
+        let points = stream(12, 3, seed.wrapping_add(1));
+        assert_observe_into_equivalent(build(), build(), &points);
+    }
+
+    #[test]
+    fn engine_observe_into_equals_observe(seed in any::<u64>(), shards in 1usize..4) {
+        let p = params();
+        let build = |parallel: bool| {
+            let mut engine = ShardedEngine::new(EngineConfig { num_shards: shards, seed, parallel })
+                .unwrap();
+            engine.spawn_sessions(0..3u64, &MechanismSpec::reg1_l2(3), 16, &p).unwrap();
+            engine
+        };
+        let mut alloc = build(false);
+        let mut reuse = build(false);
+        let points = stream(15, 3, seed.wrapping_add(1));
+        let mut buf = vec![f64::NAN; 3];
+        for (i, z) in points.iter().enumerate() {
+            let sid = (i % 3) as u64;
+            let fresh = alloc.observe(sid, z).unwrap();
+            reuse.observe_into(sid, z, &mut buf).unwrap();
+            prop_assert_eq!(&fresh, &buf, "session {} point {}", sid, i);
+        }
+        // Unknown sessions and wrong-size buffers are rejected.
+        prop_assert!(reuse.observe_into(99, &points[0], &mut buf).is_err());
+        let mut short = vec![0.0; 2];
+        prop_assert!(reuse.observe_into(0, &points[0], &mut short).is_err());
+    }
+}
+
+/// A wrong-length release buffer must be rejected *before* the point is
+/// consumed, so a caller can recover without losing stream capacity.
+#[test]
+fn wrong_buffer_rejected_without_consuming() {
+    let p = params();
+    let mut rng = NoiseRng::seed_from_u64(7);
+    let mut mech =
+        PrivIncReg1::new(Box::new(L2Ball::unit(3)), 8, &p, &mut rng, PrivIncReg1Config::default())
+            .unwrap();
+    let z = DataPoint::new(vec![0.5, 0.0, 0.0], 0.2);
+    let mut short = vec![0.0; 2];
+    assert!(mech.observe_into(&z, &mut short).is_err());
+    assert_eq!(mech.t(), 0, "failed call must not consume the point");
+    let mut ok = vec![0.0; 3];
+    mech.observe_into(&z, &mut ok).unwrap();
+    assert_eq!(mech.t(), 1);
+}
