@@ -14,6 +14,17 @@
 //!
 //! Only the `O(log T)` *active* partial sums are retained, so memory is
 //! `O(d log T)` — the property Remark §1.1 highlights.
+//!
+//! The release `s_t` is additionally maintained *incrementally*: when the
+//! node at level `i` completes at time `t`, the prefix decomposition of
+//! `t` differs from that of `t − 1` exactly by retiring the trailing-one
+//! levels `b_0, …, b_{i−1}` of `t − 1` and adding the new `b_i` — the same
+//! `O(log T)` bookkeeping trick the tree-aggregation literature applies to
+//! Chan–Shi–Song/Dwork-style continual counters. The update loop already
+//! walks those retiring levels, so keeping `s_t` current is amortized
+//! `O(d)` per step and [`TreeMechanism::query`] is a plain copy instead of
+//! an `O(d · popcount(t))` re-summation. The re-summation survives as
+//! [`TreeMechanism::release_resummed`], the debug/test reference.
 
 use crate::error::ContinualError;
 use crate::Result;
@@ -54,6 +65,9 @@ pub struct TreeMechanism {
     a: Vec<Vec<f64>>,
     /// Noisy partial sums `b_j`, one per level.
     b: Vec<Vec<f64>>,
+    /// Incrementally maintained release `s_t = Σ_{j: bit j of t set} b_j`,
+    /// kept current by retiring/adding levels as nodes complete.
+    s: Vec<f64>,
     rng: NoiseRng,
 }
 
@@ -151,6 +165,7 @@ impl TreeMechanism {
             t: 0,
             a: vec![vec![0.0; dim]; levels],
             b: vec![vec![0.0; dim]; levels],
+            s: vec![0.0; dim],
             rng,
         }
     }
@@ -317,27 +332,63 @@ impl TreeMechanism {
             vector::axpy(1.0, aj, ai);
             aj.iter_mut().for_each(|x| *x = 0.0);
         }
+        // Levels 0..i are exactly the trailing-one levels of t−1: their
+        // noisy nodes leave the prefix decomposition now. Retire each from
+        // the maintained release before zeroing it.
         for bj in self.b.iter_mut().take(i) {
+            vector::axpy(-1.0, bj, &mut self.s);
             bj.iter_mut().for_each(|x| *x = 0.0);
         }
-        // b_i ← a_i + N(0, σ² I) (paper Step 8).
-        let bi = &mut self.b[i];
-        bi.copy_from_slice(&self.a[i]);
+        // b_i ← a_i + N(0, σ² I) (paper Step 8). Noise lands in b_i first
+        // via the slice-filling sampler; adding a_i after is elementwise
+        // commutative, so the distribution (and determinism) are unchanged.
         if self.sigma > 0.0 {
-            for x in bi.iter_mut() {
-                *x += self.rng.gaussian(0.0, self.sigma);
-            }
+            self.rng.fill_gaussian(&mut self.b[i], self.sigma);
+            vector::axpy(1.0, &self.a[i], &mut self.b[i]);
+        } else {
+            self.b[i].copy_from_slice(&self.a[i]);
         }
-        self.query_unchecked_into(out);
+        // Bit i of t is set (t has i trailing zeros): the fresh node joins
+        // the decomposition, completing s_{t-1} → s_t in amortized O(d).
+        vector::axpy(1.0, &self.b[i], &mut self.s);
+        self.debug_check_against_resummed();
+        out.copy_from_slice(&self.s);
     }
 
-    /// Recompute the current private prefix sum `s_t` from the stored noisy
-    /// partial sums (pure post-processing; free of privacy cost). Returns
-    /// the zero vector before any update.
+    /// Debug-build invariant: the incrementally maintained release agrees
+    /// with the level re-summation reference up to floating-point drift.
+    /// Allocation-free (coordinate-wise re-summation) so the steady-state
+    /// allocation audit holds in debug builds too.
+    #[inline]
+    fn debug_check_against_resummed(&self) {
+        #[cfg(debug_assertions)]
+        for k in 0..self.dim {
+            let mut reference = 0.0;
+            let mut scale = 1.0f64;
+            for j in 0..self.levels {
+                if self.t & (1 << j) != 0 {
+                    reference += self.b[j][k];
+                    scale = scale.max(self.b[j][k].abs());
+                }
+            }
+            // Drift per step is O(ε_machine · ‖b‖); scale the tolerance by
+            // the magnitude of the active nodes so large-σ trees don't trip
+            // it spuriously.
+            debug_assert!(
+                (reference - self.s[k]).abs() <= 1e-9 * scale.max(reference.abs()),
+                "incremental release diverged from re-summation at t={}, coord {k}: {} vs {reference}",
+                self.t,
+                self.s[k]
+            );
+        }
+    }
+
+    /// Current private prefix sum `s_t` (pure post-processing; free of
+    /// privacy cost). A copy of the incrementally maintained release — `O(d)`
+    /// regardless of `popcount(t)`. Returns the zero vector before any
+    /// update.
     pub fn query(&self) -> Vec<f64> {
-        let mut s = vec![0.0; self.dim];
-        self.query_unchecked_into(&mut s);
-        s
+        self.s.clone()
     }
 
     /// [`query`](TreeMechanism::query) writing into a caller-provided
@@ -354,13 +405,23 @@ impl TreeMechanism {
     }
 
     fn query_unchecked_into(&self, out: &mut [f64]) {
-        out.iter_mut().for_each(|x| *x = 0.0);
+        out.copy_from_slice(&self.s);
+    }
+
+    /// The pre-incremental release computation: re-sum the noisy partial
+    /// sums of the `popcount(t)` levels in the prefix decomposition of `t`.
+    /// Kept as the `O(d · popcount(t))` reference that the maintained
+    /// release is checked against (debug builds assert agreement on every
+    /// update; `tests/incremental_release.rs` pins it property-style).
+    pub fn release_resummed(&self) -> Vec<f64> {
+        let mut s = vec![0.0; self.dim];
         let t = self.t;
         for j in 0..self.levels {
             if t & (1 << j) != 0 {
-                vector::axpy(1.0, &self.b[j], out);
+                vector::axpy(1.0, &self.b[j], &mut s);
             }
         }
+        s
     }
 
     /// Proposition C.1 error bound: with probability at least `1 − β`,
@@ -378,10 +439,11 @@ impl TreeMechanism {
         self.sensitivity
     }
 
-    /// Approximate resident memory in `f64` slots (`2 · levels · d`): the
-    /// `O(d log T)` space claim of Appendix C.
+    /// Approximate resident memory in `f64` slots (`2 · levels · d` for the
+    /// partial sums plus `d` for the maintained release): the `O(d log T)`
+    /// space claim of Appendix C.
     pub fn memory_slots(&self) -> usize {
-        2 * self.levels * self.dim
+        2 * self.levels * self.dim + self.dim
     }
 }
 
@@ -487,6 +549,22 @@ mod tests {
         let q1 = mech.query();
         let q2 = mech.query();
         assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn maintained_release_agrees_with_resummation() {
+        let mut mech = TreeMechanism::new(3, 64, 1.0, &params(), rng()).unwrap();
+        let mut item_rng = NoiseRng::seed_from_u64(11);
+        let mut v = vec![0.0; 3];
+        for t in 1..=64usize {
+            item_rng.unit_sphere_into(&mut v);
+            let s = mech.update(&v).unwrap();
+            let reference = mech.release_resummed();
+            let scale = reference.iter().fold(1.0f64, |m, x| m.max(x.abs()));
+            for (a, b) in s.iter().zip(&reference) {
+                assert!((a - b).abs() <= 1e-9 * scale, "t={t}: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

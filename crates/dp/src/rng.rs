@@ -5,9 +5,18 @@
 //! the normal/Laplace deviate generation is self-contained (only the
 //! generator's uniform bit stream is consumed). The bit stream is an
 //! in-tree xoshiro256++ seeded through SplitMix64 — no external `rand`
-//! dependency, which keeps the workspace buildable offline. Gaussians use
-//! the polar Box–Muller method with a cached spare; Laplace uses
-//! inverse-CDF sampling.
+//! dependency, which keeps the workspace buildable offline.
+//!
+//! Standard-normal deviates use a 256-layer ziggurat (Marsaglia & Tsang,
+//! the same construction as GSL's `gsl_ran_gaussian_ziggurat` and
+//! `rand_distr`): one `u64` yields both the layer index and the abscissa,
+//! so ~98.8% of draws cost one table lookup, one multiply, and one compare.
+//! The tail beyond the rightmost layer boundary falls back to Marsaglia's
+//! exponential method. [`NoiseRng::standard_gaussian_box_muller`] keeps the
+//! previous polar Box–Muller sampler as a cross-validation and benchmark
+//! reference. Laplace uses inverse-CDF sampling.
+
+use std::sync::OnceLock;
 
 /// xoshiro256++ core generator (public-domain algorithm by Blackman &
 /// Vigna): 256-bit state, passes BigCrush, and is cheap enough to sit on
@@ -52,17 +61,67 @@ impl Xoshiro256PlusPlus {
     }
 }
 
+/// Number of ziggurat layers. 256 lets the layer index come straight from
+/// the low byte of the same `u64` that provides the abscissa bits.
+const ZIG_LAYERS: usize = 256;
+
+/// Rightmost layer boundary `R` for the 256-layer standard-normal ziggurat
+/// (Marsaglia & Tsang's solution of `V = R·f(R) + ∫_R^∞ f`).
+const ZIG_R: f64 = 3.654_152_885_361_009;
+
+/// Common area `V` of each ziggurat block (tail included in layer 0).
+const ZIG_V: f64 = 0.004928673233997087;
+
+/// Unnormalized standard-normal density `exp(-x²/2)`.
+#[inline]
+fn zig_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp()
+}
+
+/// Precomputed layer edges `x[i]` and densities `f[i] = exp(-x[i]²/2)`.
+///
+/// `x[1] = R` is the rightmost edge; `x[0] = V / f(R)` is the *virtual*
+/// base-layer width that makes layer 0 absorb the tail mass, and
+/// `x[256] = 0` closes the stack at the mode. Built once on first use —
+/// the tables are plain fixed-size arrays inside a `OnceLock`, so
+/// initialization performs no heap allocation (the steady-state
+/// allocation audit in `tests/alloc_steady_state.rs` covers this path).
+struct ZigTables {
+    x: [f64; ZIG_LAYERS + 1],
+    f: [f64; ZIG_LAYERS + 1],
+}
+
+static ZIG_TABLES: OnceLock<ZigTables> = OnceLock::new();
+
+fn zig_tables() -> &'static ZigTables {
+    ZIG_TABLES.get_or_init(|| {
+        let f_inv = |y: f64| (-2.0 * y.ln()).sqrt();
+        let mut x = [0.0; ZIG_LAYERS + 1];
+        x[0] = ZIG_V / zig_pdf(ZIG_R);
+        x[1] = ZIG_R;
+        for i in 2..ZIG_LAYERS {
+            // Each layer has area V: x[i] solves V = x[i-1]·(f(x[i]) − f(x[i-1])).
+            x[i] = f_inv(ZIG_V / x[i - 1] + zig_pdf(x[i - 1]));
+        }
+        x[ZIG_LAYERS] = 0.0;
+        let mut f = [0.0; ZIG_LAYERS + 1];
+        for i in 0..=ZIG_LAYERS {
+            f[i] = zig_pdf(x[i]);
+        }
+        ZigTables { x, f }
+    })
+}
+
 /// A seedable random source producing the deviates the DP mechanisms need.
 #[derive(Debug)]
 pub struct NoiseRng {
     inner: Xoshiro256PlusPlus,
-    spare_gaussian: Option<f64>,
 }
 
 impl NoiseRng {
     /// Deterministic generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        NoiseRng { inner: Xoshiro256PlusPlus::seed_from_u64(seed), spare_gaussian: None }
+        NoiseRng { inner: Xoshiro256PlusPlus::seed_from_u64(seed) }
     }
 
     /// Fork an independent child stream; the child's seed is drawn from the
@@ -101,19 +160,61 @@ impl NoiseRng {
         (self.inner.next_u64() % n as u64) as usize
     }
 
-    /// Standard normal deviate `N(0, 1)` (polar Box–Muller).
+    /// Standard normal deviate `N(0, 1)` via the 256-layer ziggurat.
+    #[inline]
     pub fn standard_gaussian(&mut self) -> f64 {
-        if let Some(z) = self.spare_gaussian.take() {
-            return z;
+        let tables = zig_tables();
+        loop {
+            let bits = self.inner.next_u64();
+            // Low byte → layer; bits 12.. → 52-bit mantissa mapped through
+            // [2, 4) to a signed abscissa fraction u ∈ [-1, 1). The two bit
+            // fields are disjoint, so layer and abscissa are independent.
+            let i = (bits & 0xFF) as usize;
+            let u = f64::from_bits((bits >> 12) | 0x4000_0000_0000_0000) - 3.0;
+            let x = u * tables.x[i];
+            if x.abs() < tables.x[i + 1] {
+                // Strictly inside the next-narrower layer: accept. ~98.8%
+                // of draws exit here with no transcendental evaluation.
+                return x;
+            }
+            if i == 0 {
+                return self.gaussian_tail(u < 0.0);
+            }
+            // Wedge: accept with probability proportional to the density
+            // overhang between the layer's rectangle and the true pdf.
+            let f_hi = tables.f[i];
+            let f_lo = tables.f[i + 1];
+            if f_lo + (f_hi - f_lo) * self.inner.next_f64() < zig_pdf(x) {
+                return x;
+            }
         }
+    }
+
+    /// Tail sample `|Z| > R` by Marsaglia's exponential method: accept
+    /// `x = -ln(U₁)/R` against `-ln(U₂) ≥ x²/2` and return `±(R + x)`.
+    #[cold]
+    fn gaussian_tail(&mut self, negative: bool) -> f64 {
+        loop {
+            let x = -self.uniform_open().ln() / ZIG_R;
+            let y = -self.uniform_open().ln();
+            if 2.0 * y >= x * x {
+                return if negative { -(ZIG_R + x) } else { ZIG_R + x };
+            }
+        }
+    }
+
+    /// Standard normal deviate by the polar Box–Muller method — the
+    /// pre-ziggurat sampler, kept as an independent reference for the
+    /// statistical cross-validation tests and the `noise` benchmark.
+    /// (Unlike the cached-spare variant it discards the second deviate of
+    /// each accepted pair, so it is stateless.)
+    pub fn standard_gaussian_box_muller(&mut self) -> f64 {
         loop {
             let u = 2.0 * self.inner.next_f64() - 1.0;
             let v = 2.0 * self.inner.next_f64() - 1.0;
             let s = u * u + v * v;
             if s > 0.0 && s < 1.0 {
-                let f = (-2.0 * s.ln() / s).sqrt();
-                self.spare_gaussian = Some(v * f);
-                return u * f;
+                return u * (-2.0 * s.ln() / s).sqrt();
             }
         }
     }
@@ -128,9 +229,29 @@ impl NoiseRng {
         mu + sigma * self.standard_gaussian()
     }
 
-    /// Vector of `d` i.i.d. `N(0, sigma²)` deviates.
+    /// Fill `out` with i.i.d. `N(0, sigma²)` deviates in one pass — the
+    /// slice-filling primitive the tree mechanisms' node perturbation and
+    /// every `*_vec` convenience wrapper sit on. Draws exactly the same
+    /// stream as `out.len()` successive [`standard_gaussian`] calls scaled
+    /// by `sigma`.
+    ///
+    /// [`standard_gaussian`]: NoiseRng::standard_gaussian
+    ///
+    /// # Panics
+    /// Panics in debug builds if `sigma < 0`.
+    pub fn fill_gaussian(&mut self, out: &mut [f64], sigma: f64) {
+        debug_assert!(sigma >= 0.0, "fill_gaussian: negative sigma");
+        for x in out.iter_mut() {
+            *x = sigma * self.standard_gaussian();
+        }
+    }
+
+    /// Vector of `d` i.i.d. `N(0, sigma²)` deviates (allocating wrapper
+    /// over [`fill_gaussian`](NoiseRng::fill_gaussian)).
     pub fn gaussian_vec(&mut self, d: usize, sigma: f64) -> Vec<f64> {
-        (0..d).map(|_| self.gaussian(0.0, sigma)).collect()
+        let mut out = vec![0.0; d];
+        self.fill_gaussian(&mut out, sigma);
+        out
     }
 
     /// Laplace deviate with location 0 and the given `scale` parameter
@@ -144,20 +265,50 @@ impl NoiseRng {
         -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
     }
 
-    /// Vector of `d` i.i.d. Laplace deviates.
-    pub fn laplace_vec(&mut self, d: usize, scale: f64) -> Vec<f64> {
-        (0..d).map(|_| self.laplace(scale)).collect()
+    /// Fill `out` with i.i.d. Laplace deviates in one pass; same stream as
+    /// `out.len()` successive [`laplace`](NoiseRng::laplace) calls.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `scale < 0`.
+    pub fn fill_laplace(&mut self, out: &mut [f64], scale: f64) {
+        debug_assert!(scale >= 0.0, "fill_laplace: negative scale");
+        for x in out.iter_mut() {
+            *x = self.laplace(scale);
+        }
     }
 
-    /// Uniform point on the unit sphere `S^{d-1}` (normalized Gaussian).
-    pub fn unit_sphere(&mut self, d: usize) -> Vec<f64> {
+    /// Vector of `d` i.i.d. Laplace deviates (allocating wrapper over
+    /// [`fill_laplace`](NoiseRng::fill_laplace)).
+    pub fn laplace_vec(&mut self, d: usize, scale: f64) -> Vec<f64> {
+        let mut out = vec![0.0; d];
+        self.fill_laplace(&mut out, scale);
+        out
+    }
+
+    /// Uniform point on the unit sphere `S^{d-1}` (normalized Gaussian),
+    /// written into a caller-provided buffer. The degenerate-norm retry
+    /// refills the same buffer, so the whole draw is allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `out` is empty (there is no `S^{-1}`).
+    pub fn unit_sphere_into(&mut self, out: &mut [f64]) {
+        assert!(!out.is_empty(), "unit_sphere_into: empty buffer");
         loop {
-            let g = self.gaussian_vec(d, 1.0);
-            let n = pir_linalg::vector::norm2(&g);
+            self.fill_gaussian(out, 1.0);
+            let n = pir_linalg::vector::norm2(out);
             if n > 1e-12 {
-                return pir_linalg::vector::scale(&g, 1.0 / n);
+                out.iter_mut().for_each(|x| *x /= n);
+                return;
             }
         }
+    }
+
+    /// Uniform point on the unit sphere `S^{d-1}` (allocating wrapper over
+    /// [`unit_sphere_into`](NoiseRng::unit_sphere_into)).
+    pub fn unit_sphere(&mut self, d: usize) -> Vec<f64> {
+        let mut out = vec![0.0; d];
+        self.unit_sphere_into(&mut out);
+        out
     }
 
     /// Random permutation indices `0..n` (Fisher–Yates).
@@ -198,6 +349,24 @@ mod tests {
     }
 
     #[test]
+    fn ziggurat_layers_tile_the_density() {
+        // Construction invariants: edges strictly decrease from the virtual
+        // base to the mode, densities strictly increase, and the recursion
+        // closes — the top layer's implied area matches V.
+        let t = zig_tables();
+        assert!((t.x[1] - ZIG_R).abs() < 1e-15);
+        assert_eq!(t.x[ZIG_LAYERS], 0.0);
+        for i in 1..=ZIG_LAYERS {
+            assert!(t.x[i] < t.x[i - 1], "edges must decrease at {i}");
+            assert!(t.f[i] > t.f[i - 1], "densities must increase at {i}");
+        }
+        assert!((t.f[ZIG_LAYERS] - 1.0).abs() < 1e-15, "f(0) = 1");
+        // Top-layer closure: x[255]·(1 − f(x[255])) ≈ V.
+        let top = t.x[ZIG_LAYERS - 1] * (1.0 - t.f[ZIG_LAYERS - 1]);
+        assert!((top - ZIG_V).abs() < 1e-6, "top layer area {top}");
+    }
+
+    #[test]
     fn gaussian_moments_are_approximately_correct() {
         let mut rng = NoiseRng::seed_from_u64(42);
         let n = 200_000;
@@ -206,6 +375,48 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
         assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn box_muller_reference_moments_agree_with_ziggurat() {
+        let n = 200_000;
+        let mut zig = NoiseRng::seed_from_u64(17);
+        let mut bm = NoiseRng::seed_from_u64(18);
+        let (mut mz, mut mb, mut vz, mut vb) = (0.0, 0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let z = zig.standard_gaussian();
+            let b = bm.standard_gaussian_box_muller();
+            mz += z;
+            mb += b;
+            vz += z * z;
+            vb += b * b;
+        }
+        let (mz, mb) = (mz / n as f64, mb / n as f64);
+        let (vz, vb) = (vz / n as f64 - mz * mz, vb / n as f64 - mb * mb);
+        assert!((mz - mb).abs() < 0.02, "means diverge: {mz} vs {mb}");
+        assert!((vz - vb).abs() < 0.03, "variances diverge: {vz} vs {vb}");
+    }
+
+    #[test]
+    fn fill_gaussian_matches_scalar_draws() {
+        let mut a = NoiseRng::seed_from_u64(9);
+        let mut b = NoiseRng::seed_from_u64(9);
+        let mut buf = vec![0.0; 257];
+        a.fill_gaussian(&mut buf, 2.5);
+        for (i, &x) in buf.iter().enumerate() {
+            assert_eq!(x, 2.5 * b.standard_gaussian(), "index {i}");
+        }
+    }
+
+    #[test]
+    fn fill_laplace_matches_scalar_draws() {
+        let mut a = NoiseRng::seed_from_u64(10);
+        let mut b = NoiseRng::seed_from_u64(10);
+        let mut buf = vec![0.0; 129];
+        a.fill_laplace(&mut buf, 0.7);
+        for (i, &x) in buf.iter().enumerate() {
+            assert_eq!(x, b.laplace(0.7), "index {i}");
+        }
     }
 
     #[test]
@@ -227,6 +438,17 @@ mod tests {
             let v = rng.unit_sphere(d);
             assert_eq!(v.len(), d);
             assert!((pir_linalg::vector::norm2(&v) - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn unit_sphere_into_matches_allocating() {
+        let mut a = NoiseRng::seed_from_u64(21);
+        let mut b = NoiseRng::seed_from_u64(21);
+        let mut buf = vec![f64::NAN; 16];
+        for _ in 0..10 {
+            a.unit_sphere_into(&mut buf);
+            assert_eq!(buf, b.unit_sphere(16));
         }
     }
 

@@ -214,13 +214,16 @@ mod tests {
 
     #[test]
     fn norms_preserved_in_expectation() {
-        // E‖Φx‖² = ‖x‖² with variance O(1/m): at m = 400 the relative
-        // error should be within ~15% for a fixed vector.
+        // E‖Φx‖² = ‖x‖² with variance O(1/m): averaging over 8 independent
+        // sketches at m = 400 drops the standard error to ~2.5%, so a 15%
+        // tolerance is ~6σ — robust to the exact bit stream of the sampler.
         let mut r = rng();
-        let s = GaussianSketch::sample(400, 50, &mut r);
         let x = r.unit_sphere(50);
-        let px = s.apply(&x).unwrap();
-        assert!((vector::norm2_sq(&px) - 1.0).abs() < 0.15);
+        let mean = (0..8)
+            .map(|_| vector::norm2_sq(&GaussianSketch::sample(400, 50, &mut r).apply(&x).unwrap()))
+            .sum::<f64>()
+            / 8.0;
+        assert!((mean - 1.0).abs() < 0.15, "mean {mean}");
     }
 
     #[test]
