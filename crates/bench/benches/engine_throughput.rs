@@ -13,9 +13,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pir_core::PrivIncReg1Config;
 use pir_dp::{NoiseRng, PrivacyParams};
-use pir_engine::{EngineConfig, EngineHandle, IngressConfig, MechanismSpec, ShardedEngine};
+use pir_engine::{
+    EngineConfig, EngineHandle, FsyncPolicy, IngressConfig, MechanismSpec, ShardedEngine,
+    WalOptions,
+};
 use pir_erm::DataPoint;
 use std::hint::black_box;
+use std::path::PathBuf;
 
 const SESSIONS: u64 = 1024;
 const DIM: usize = 8;
@@ -47,14 +51,21 @@ fn build_engine(num_shards: usize) -> ShardedEngine {
 }
 
 fn build_handle(num_shards: usize) -> EngineHandle {
+    build_handle_with(num_shards, None)
+}
+
+fn build_handle_with(num_shards: usize, wal: Option<&WalOptions>) -> EngineHandle {
     let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
-    let handle = EngineHandle::new(IngressConfig {
+    let config = IngressConfig {
         num_shards,
         seed: 11,
         // Deep enough that a whole fleet batch fits any single shard.
         queue_depth: 4 * SESSIONS as usize,
-    })
-    .unwrap();
+    };
+    let handle = match wal {
+        None => EngineHandle::new(config).unwrap(),
+        Some(options) => EngineHandle::with_wal(config, options).unwrap().0,
+    };
     let spec = MechanismSpec::Reg1 {
         set: pir_engine::SetSpec::unit_l2(DIM),
         config: PrivIncReg1Config { max_pgd_iters: 16, ..Default::default() },
@@ -80,6 +91,48 @@ fn bench_pipelined_shard_scaling(c: &mut Criterion) {
                 black_box(handle.ingest(black_box(batch)))
             });
             handle.close();
+        });
+    }
+    group.finish();
+}
+
+/// The durability tax: identical fleet batches through the pipelined
+/// frontend with the write-ahead log off, on with `FsyncPolicy::Off`
+/// (kill-safe, not power-loss-safe), and on with the default interval
+/// fsync (the recommended production mode; budget ≤ 10% over unlogged —
+/// see `docs/OPERATIONS.md`).
+fn bench_wal_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_logged_vs_unlogged_1024_sessions");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SESSIONS));
+    let modes: [(&str, Option<FsyncPolicy>); 3] = [
+        ("unlogged", None),
+        ("fsync_off", Some(FsyncPolicy::Off)),
+        ("fsync_interval4096", Some(FsyncPolicy::Interval { every: 4096 })),
+    ];
+    for (label, fsync) in modes {
+        group.bench_with_input(BenchmarkId::new("mode", label), &fsync, |b, fsync| {
+            let dir: Option<PathBuf> = fsync.map(|_| {
+                std::env::temp_dir().join(format!("pir-bench-wal-{}-{label}", std::process::id()))
+            });
+            if let Some(d) = &dir {
+                let _ = std::fs::remove_dir_all(d);
+            }
+            let options = dir.as_ref().zip(*fsync).map(|(d, fsync)| {
+                let mut o = WalOptions::new(d);
+                o.fsync = fsync;
+                o
+            });
+            let handle = build_handle_with(2, options.as_ref());
+            let mut rng = NoiseRng::seed_from_u64(5);
+            b.iter(|| {
+                let batch = fleet_batch(&mut rng);
+                black_box(handle.ingest(black_box(batch)))
+            });
+            handle.close();
+            if let Some(d) = &dir {
+                let _ = std::fs::remove_dir_all(d);
+            }
         });
     }
     group.finish();
@@ -149,6 +202,7 @@ fn bench_batch_amortization(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_pipelined_shard_scaling,
+    bench_wal_overhead,
     bench_shard_scaling,
     bench_batch_amortization
 );

@@ -1,6 +1,7 @@
 //! The sharded multi-stream engine.
 
 use crate::error::EngineError;
+use crate::ingress::{Command, Reply};
 use crate::session::StreamSession;
 use crate::spec::MechanismSpec;
 use pir_dp::{NoiseRng, PrivacyParams};
@@ -425,6 +426,50 @@ impl ShardedEngine {
             }
         }
         results.into_iter().map(|r| r.expect("every input index receives a result")).collect()
+    }
+
+    /// Execute one wire-level [`Command`] against the engine, producing
+    /// the same [`Reply`] the pipelined frontend would — the single
+    /// dispatch point the write-ahead-log replay path
+    /// ([`wal::recover`](crate::wal::recover)) drives, so a replayed
+    /// command stream lands on exactly the semantics of the original run.
+    ///
+    /// Failures come back as [`Reply::Err`] rather than `Result::Err`:
+    /// replay must be able to reproduce a run's deterministic failures
+    /// (a duplicate open, an over-horizon observe) without aborting.
+    /// [`Command::Close`] is connection-scoped and a no-op here.
+    pub fn apply(&mut self, cmd: &Command) -> Reply {
+        match cmd {
+            Command::Open { session_id, spec, t_max, params } => {
+                match self.spawn_session(*session_id, spec, *t_max, params) {
+                    Ok(()) => Reply::Opened { session_id: *session_id },
+                    Err(e) => Reply::Err(e),
+                }
+            }
+            Command::Observe { session_id, point } => match self.observe(*session_id, point) {
+                Ok(theta) => Reply::Releases { session_id: *session_id, thetas: vec![theta] },
+                Err(e) => Reply::Err(e),
+            },
+            Command::ObserveBatch { session_id, points } => {
+                match self.observe_batch(*session_id, points) {
+                    Ok(thetas) => Reply::Releases { session_id: *session_id, thetas },
+                    Err(e) => Reply::Err(e),
+                }
+            }
+            Command::Release { session_id } => match self.remove_session(*session_id) {
+                None => Reply::Err(EngineError::UnknownSession { id: *session_id }),
+                Some(s) => {
+                    let (epsilon_spent, delta_spent) = s.accountant().spent();
+                    Reply::SessionReleased {
+                        session_id: *session_id,
+                        points: s.t() as u64,
+                        epsilon_spent,
+                        delta_spent,
+                    }
+                }
+            },
+            Command::Close => Reply::Closed,
+        }
     }
 
     /// Parallel execution pays off only when more than one shard has work.

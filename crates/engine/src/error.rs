@@ -70,6 +70,15 @@ pub enum EngineError {
     /// The pipelined engine has shut down (its worker threads are gone),
     /// so no further commands can be accepted or answered.
     Closed,
+    /// The shard's write-ahead log refused or failed the append, so the
+    /// command was **not executed** — log-before-execute means a command
+    /// that cannot be made durable is never applied (rendered
+    /// [`WalError`](crate::wal::WalError)). Permanent for the submitted
+    /// command; the worker's log stays poisoned until restart.
+    Wal {
+        /// Rendered write-ahead-log error.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -89,6 +98,9 @@ impl std::fmt::Display for EngineError {
                 "command of {cost} point(s) can never fit shard {shard}'s queue (capacity {capacity}): split the batch or raise queue_depth"
             ),
             EngineError::Closed => write!(f, "engine handle is closed"),
+            EngineError::Wal { reason } => {
+                write!(f, "write-ahead log error (command not executed): {reason}")
+            }
         }
     }
 }

@@ -97,6 +97,7 @@ use crate::engine::{entropy_seed, session_seed, shard_of};
 use crate::error::EngineError;
 use crate::session::StreamSession;
 use crate::spec::MechanismSpec;
+use crate::wal::{self, RecoveryReport, WalOptions, WalWriter};
 use pir_dp::{NoiseRng, PrivacyParams};
 use pir_erm::DataPoint;
 use std::collections::HashMap;
@@ -726,24 +727,88 @@ impl EngineHandle {
     /// [`EngineError::InvalidConfig`] if `num_shards == 0` or
     /// `queue_depth == 0`.
     pub fn new(config: IngressConfig) -> Result<Self, EngineError> {
-        if config.num_shards == 0 {
-            return Err(EngineError::InvalidConfig {
-                reason: "num_shards must be at least 1".to_string(),
-            });
+        validate_config(&config)?;
+        let states = (0..config.num_shards).map(|_| (HashMap::new(), None)).collect();
+        Ok(EngineHandle::spawn_workers(config, states))
+    }
+
+    /// Spawn a **write-ahead-logged** engine: replay whatever command
+    /// log survives under `options.dir` (an empty or missing directory
+    /// replays nothing), then bring up the shard workers with every
+    /// subsequent command logged **before** it executes.
+    ///
+    /// Replay rebuilds each session from `(seed, session id)` exactly as
+    /// the original run did, so the recovered engine's future releases —
+    /// and the replayed ones — are bit-identical to an uninterrupted
+    /// run's (`tests/recovery.rs`). The shard count may differ from the
+    /// logging run's: releases are invariant under resharding, and each
+    /// restart stamps a fresh log epoch so replay order stays correct
+    /// across generations. A torn final record in any shard's log is
+    /// accepted as the expected crash artifact; **any other** corruption
+    /// fails this constructor loudly — no workers are spawned and
+    /// nothing is replayed into a live engine.
+    ///
+    /// Commands that re-fail deterministically during replay (a
+    /// duplicate open, an over-horizon observe) are counted in
+    /// [`RecoveryReport::failed`], exactly mirroring the error replies
+    /// the original run sent.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidConfig`] as [`new`](Self::new), or
+    /// [`EngineError::Wal`] wrapping any
+    /// [`WalError`](crate::wal::WalError) the existing log violates (or
+    /// invalid `options`).
+    pub fn with_wal(
+        config: IngressConfig,
+        options: &WalOptions,
+    ) -> Result<(Self, RecoveryReport), EngineError> {
+        validate_config(&config)?;
+        options.validate().map_err(wal_engine_err)?;
+        let log = wal::load_log(&options.dir).map_err(wal_engine_err)?;
+
+        // Replay into per-shard session tables under the *current* shard
+        // count, through the same executor the workers run.
+        let n = config.num_shards;
+        let mut maps: Vec<HashMap<u64, StreamSession>> = (0..n).map(|_| HashMap::new()).collect();
+        let mut failed = 0u64;
+        for cmd in &log.commands {
+            let Some(sid) = cmd.session_id() else { continue };
+            let r = exec_command(&mut maps[shard_of(sid, n)], config.seed, cmd.clone());
+            if matches!(r, Reply::Err(_)) {
+                failed += 1;
+            }
         }
-        if config.queue_depth == 0 {
-            return Err(EngineError::InvalidConfig {
-                reason: "queue_depth must be at least 1".to_string(),
-            });
+        let report = log.report(failed);
+
+        // One writer per (current) shard, all at the next epoch, each
+        // continuing its shard's chain where the log left off.
+        let epoch = wal::next_epoch(log.max_epoch).map_err(wal_engine_err)?;
+        let mut states = Vec::with_capacity(n);
+        for (shard, sessions) in maps.into_iter().enumerate() {
+            let (seg_seq, rec_seq) = log.resume_for(shard as u32);
+            let writer = WalWriter::resume(options, shard as u32, epoch, seg_seq, rec_seq)
+                .map_err(wal_engine_err)?;
+            states.push((sessions, Some(writer)));
         }
-        let mut lanes = Vec::with_capacity(config.num_shards);
-        let mut workers = Vec::with_capacity(config.num_shards);
-        for _ in 0..config.num_shards {
+        Ok((EngineHandle::spawn_workers(config, states), report))
+    }
+
+    /// Bring up one worker per entry of `states`, each owning its
+    /// prebuilt session table and optional log writer.
+    fn spawn_workers(
+        config: IngressConfig,
+        states: Vec<(HashMap<u64, StreamSession>, Option<WalWriter>)>,
+    ) -> Self {
+        let mut lanes = Vec::with_capacity(states.len());
+        let mut workers = Vec::with_capacity(states.len());
+        for (sessions, wal) in states {
             let (tx, rx) = mpsc::channel::<Job>();
             let depth = Arc::new(AtomicUsize::new(0));
             let worker_depth = Arc::clone(&depth);
             let seed = config.seed;
-            workers.push(std::thread::spawn(move || worker_loop(rx, worker_depth, seed)));
+            workers.push(std::thread::spawn(move || {
+                worker_loop(rx, worker_depth, seed, sessions, wal)
+            }));
             lanes.push(Lane { tx, depth });
         }
         let submit = SubmitHandle {
@@ -752,7 +817,7 @@ impl EngineHandle {
             seed: config.seed,
             closed: Arc::new(std::sync::atomic::AtomicBool::new(false)),
         };
-        Ok(EngineHandle { submit, workers })
+        EngineHandle { submit, workers }
     }
 
     /// Clone out a shareable [`SubmitHandle`] — `Clone + Send + Sync` —
@@ -808,18 +873,55 @@ impl Drop for EngineHandle {
     }
 }
 
-/// One shard's worker: owns the shard's sessions, drains its queue.
-fn worker_loop(rx: Receiver<Job>, depth: Arc<AtomicUsize>, engine_seed: u64) {
-    let mut sessions: HashMap<u64, StreamSession> = HashMap::new();
+/// Shared constructor validation for [`EngineHandle::new`] and
+/// [`EngineHandle::with_wal`].
+fn validate_config(config: &IngressConfig) -> Result<(), EngineError> {
+    if config.num_shards == 0 {
+        return Err(EngineError::InvalidConfig {
+            reason: "num_shards must be at least 1".to_string(),
+        });
+    }
+    if config.queue_depth == 0 {
+        return Err(EngineError::InvalidConfig {
+            reason: "queue_depth must be at least 1".to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Lift a log-layer failure into the engine's error vocabulary.
+fn wal_engine_err(e: wal::WalError) -> EngineError {
+    EngineError::Wal { reason: e.to_string() }
+}
+
+/// One shard's worker: owns the shard's sessions (and, in a WAL-enabled
+/// engine, the shard's log writer), drains its queue. The durability
+/// discipline is **log before execute**: a command that cannot be made
+/// durable is never applied, so the log is always a superset of what the
+/// engine executed and replay can never silently drop a committed
+/// command.
+fn worker_loop(
+    rx: Receiver<Job>,
+    depth: Arc<AtomicUsize>,
+    engine_seed: u64,
+    mut sessions: HashMap<u64, StreamSession>,
+    mut wal: Option<WalWriter>,
+) {
     while let Ok(job) = rx.recv() {
         match job {
             Job::Cmd { cmd, cost, reply } => {
-                let r = exec_command(&mut sessions, engine_seed, cmd);
+                let r = match log_command(&mut wal, &cmd) {
+                    Ok(()) => exec_command(&mut sessions, engine_seed, cmd),
+                    Err(e) => Reply::Err(e),
+                };
                 depth.fetch_sub(cost, Ordering::SeqCst);
                 let _ = reply.send(r);
             }
             Job::Ingest { runs, cost, reply } => {
-                let out = run_ingest(&mut sessions, runs);
+                let out = match wal.as_mut() {
+                    None => run_ingest(&mut sessions, runs),
+                    Some(w) => run_ingest_logged(&mut sessions, w, runs),
+                };
                 depth.fetch_sub(cost, Ordering::SeqCst);
                 let _ = reply.send(out);
             }
@@ -827,11 +929,27 @@ fn worker_loop(rx: Receiver<Job>, depth: Arc<AtomicUsize>, engine_seed: u64) {
                 let _ = ack.send(());
             }
             Job::Shutdown { ack } => {
+                // Clean shutdown: force the log to stable storage
+                // regardless of fsync policy, so a post-close purge (or
+                // replica copy) sees everything.
+                if let Some(w) = wal.take() {
+                    let _ = w.finish();
+                }
                 let points = sessions.values().map(StreamSession::t).sum();
                 let _ = ack.send((sessions.len(), points));
                 break;
             }
         }
+    }
+}
+
+/// Append `cmd` to the shard's log, if it has one. An append failure
+/// becomes [`EngineError::Wal`] and the caller must **not** execute the
+/// command.
+fn log_command(wal: &mut Option<WalWriter>, cmd: &Command) -> Result<(), EngineError> {
+    match wal {
+        None => Ok(()),
+        Some(w) => w.append(cmd).map_err(|e| EngineError::Wal { reason: e.to_string() }),
     }
 }
 
@@ -897,25 +1015,78 @@ fn run_ingest(
 ) -> Vec<IndexedRelease> {
     let mut out = Vec::new();
     for (sid, indices, batch) in runs {
-        match sessions.get_mut(&sid) {
-            None => {
-                for i in indices {
-                    out.push((i, Err(EngineError::UnknownSession { id: sid })));
-                }
-            }
-            Some(session) => match session.observe_batch(&batch) {
-                Ok(releases) => {
-                    for (i, theta) in indices.into_iter().zip(releases) {
-                        out.push((i, Ok(theta)));
-                    }
-                }
-                Err(e) => {
-                    for i in indices {
-                        out.push((i, Err(e.clone())));
-                    }
-                }
-            },
-        }
+        ingest_run(sessions, sid, indices, &batch, &mut out);
     }
     out
+}
+
+/// [`run_ingest`] with log-before-execute: each session run is logged as
+/// one [`Command::ObserveBatch`] record (matching the atomic batch
+/// contract — the unit of queue admission is the unit of durability),
+/// and a run whose append fails is reported as [`EngineError::Wal`] on
+/// every affected index without touching the session.
+fn run_ingest_logged(
+    sessions: &mut HashMap<u64, StreamSession>,
+    wal: &mut WalWriter,
+    runs: Vec<SessionRun>,
+) -> Vec<IndexedRelease> {
+    // Wrap every run by move (no point is cloned) and log the whole job
+    // with one coalesced append — one write syscall per segment stretch
+    // instead of one per session run; this is what keeps the logged
+    // ingest path inside its throughput budget.
+    let mut cmds = Vec::with_capacity(runs.len());
+    let mut run_indices = Vec::with_capacity(runs.len());
+    for (sid, indices, batch) in runs {
+        cmds.push(Command::ObserveBatch { session_id: sid, points: batch });
+        run_indices.push(indices);
+    }
+    let mut out = Vec::new();
+    if let Err(e) = wal.append_batch(&cmds) {
+        // Nothing (or a poisoned prefix) reached the log: the whole job
+        // is un-executed, reported on every affected index.
+        let err = EngineError::Wal { reason: e.to_string() };
+        for indices in run_indices {
+            for i in indices {
+                out.push((i, Err(err.clone())));
+            }
+        }
+        return out;
+    }
+    for (cmd, indices) in cmds.into_iter().zip(run_indices) {
+        let Command::ObserveBatch { session_id: sid, points: batch } = cmd else {
+            unreachable!("constructed as ObserveBatch above")
+        };
+        ingest_run(sessions, sid, indices, &batch, &mut out);
+    }
+    out
+}
+
+/// Execute one session's run of an ingest batch against a shard's
+/// session table, appending index-tagged results to `out`.
+fn ingest_run(
+    sessions: &mut HashMap<u64, StreamSession>,
+    sid: u64,
+    indices: Vec<usize>,
+    batch: &[DataPoint],
+    out: &mut Vec<IndexedRelease>,
+) {
+    match sessions.get_mut(&sid) {
+        None => {
+            for i in indices {
+                out.push((i, Err(EngineError::UnknownSession { id: sid })));
+            }
+        }
+        Some(session) => match session.observe_batch(batch) {
+            Ok(releases) => {
+                for (i, theta) in indices.into_iter().zip(releases) {
+                    out.push((i, Ok(theta)));
+                }
+            }
+            Err(e) => {
+                for i in indices {
+                    out.push((i, Err(e.clone())));
+                }
+            }
+        },
+    }
 }

@@ -55,6 +55,7 @@ pub mod server;
 mod session;
 mod spec;
 pub mod tcp;
+pub mod wal;
 pub mod wire;
 
 pub use engine::{EngineConfig, ShardedEngine};
@@ -66,3 +67,4 @@ pub use server::{serve_connection, ServeStats};
 pub use session::StreamSession;
 pub use spec::{LossSpec, MechanismSpec, SetSpec, SolverSpec};
 pub use tcp::{serve_tcp, serve_tcp_with, TcpFront, TcpOptions, TcpStats};
+pub use wal::{recover, FsyncPolicy, RecoveryReport, WalError, WalOptions, WalWriter};

@@ -140,13 +140,14 @@ impl From<std::io::Error> for WireError {
 // Primitive encoders / decoders
 // ---------------------------------------------------------------------------
 
-/// Payload byte builder.
-#[derive(Default)]
-struct Enc {
-    buf: Vec<u8>,
+/// Payload byte builder over a caller-owned buffer, so frames can be
+/// encoded in place — straight into a batch or log staging buffer —
+/// without an intermediate allocation per frame.
+struct Enc<'a> {
+    buf: &'a mut Vec<u8>,
 }
 
-impl Enc {
+impl Enc<'_> {
     fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
@@ -235,7 +236,7 @@ impl<'a> Dec<'a> {
 // Domain encodings
 // ---------------------------------------------------------------------------
 
-fn enc_point(e: &mut Enc, p: &DataPoint) {
+fn enc_point(e: &mut Enc<'_>, p: &DataPoint) {
     e.u32(p.x.len() as u32);
     for v in &p.x {
         e.f64(*v);
@@ -253,7 +254,7 @@ fn dec_point(d: &mut Dec) -> Result<DataPoint, WireError> {
     Ok(DataPoint::new(x, y))
 }
 
-fn enc_params(e: &mut Enc, p: &PrivacyParams) {
+fn enc_params(e: &mut Enc<'_>, p: &PrivacyParams) {
     e.f64(p.epsilon());
     e.f64(p.delta());
 }
@@ -263,7 +264,7 @@ fn dec_params(d: &mut Dec) -> Result<PrivacyParams, WireError> {
     PrivacyParams::new(eps, delta).map_err(|err| WireError::Malformed(err.to_string()))
 }
 
-fn enc_set(e: &mut Enc, s: &SetSpec) -> Result<(), WireError> {
+fn enc_set(e: &mut Enc<'_>, s: &SetSpec) -> Result<(), WireError> {
     match s {
         SetSpec::L2Ball { dim, radius } => {
             e.u8(0);
@@ -307,7 +308,7 @@ fn dec_set(d: &mut Dec) -> Result<SetSpec, WireError> {
     })
 }
 
-fn enc_loss(e: &mut Enc, l: &LossSpec) {
+fn enc_loss(e: &mut Enc<'_>, l: &LossSpec) {
     match l {
         LossSpec::Squared => e.u8(0),
         LossSpec::Logistic => e.u8(1),
@@ -327,7 +328,7 @@ fn dec_loss(d: &mut Dec) -> Result<LossSpec, WireError> {
     })
 }
 
-fn enc_solver(e: &mut Enc, s: &SolverSpec) {
+fn enc_solver(e: &mut Enc<'_>, s: &SolverSpec) {
     match s {
         SolverSpec::NoisyGd { iters, beta } => {
             e.u8(0);
@@ -354,7 +355,7 @@ fn dec_solver(d: &mut Dec) -> Result<SolverSpec, WireError> {
     })
 }
 
-fn enc_tau(e: &mut Enc, t: &TauRule) {
+fn enc_tau(e: &mut Enc<'_>, t: &TauRule) {
     match t {
         TauRule::Fixed(tau) => {
             e.u8(0);
@@ -376,7 +377,7 @@ fn dec_tau(d: &mut Dec) -> Result<TauRule, WireError> {
     })
 }
 
-fn enc_strategy(e: &mut Enc, s: &DescentStrategy) {
+fn enc_strategy(e: &mut Enc<'_>, s: &DescentStrategy) {
     e.u8(match s {
         DescentStrategy::RidgedQuadraticFista => 0,
         DescentStrategy::PaperNoisyPgd => 1,
@@ -391,7 +392,7 @@ fn dec_strategy(d: &mut Dec) -> Result<DescentStrategy, WireError> {
     })
 }
 
-fn enc_reg1(e: &mut Enc, c: &PrivIncReg1Config) {
+fn enc_reg1(e: &mut Enc<'_>, c: &PrivIncReg1Config) {
     e.f64(c.beta);
     e.u64(c.max_pgd_iters as u64);
     e.u8(c.warm_start as u8);
@@ -407,7 +408,7 @@ fn dec_reg1(d: &mut Dec) -> Result<PrivIncReg1Config, WireError> {
     })
 }
 
-fn enc_reg2(e: &mut Enc, c: &PrivIncReg2Config) {
+fn enc_reg2(e: &mut Enc<'_>, c: &PrivIncReg2Config) {
     e.f64(c.beta);
     match c.gamma {
         None => e.u8(0),
@@ -444,7 +445,7 @@ fn dec_reg2(d: &mut Dec) -> Result<PrivIncReg2Config, WireError> {
     })
 }
 
-fn enc_spec(e: &mut Enc, spec: &MechanismSpec) -> Result<(), WireError> {
+fn enc_spec(e: &mut Enc<'_>, spec: &MechanismSpec) -> Result<(), WireError> {
     match spec {
         MechanismSpec::Erm { set, loss, solver, tau } => {
             e.u8(0);
@@ -492,7 +493,7 @@ fn dec_spec(d: &mut Dec) -> Result<MechanismSpec, WireError> {
     })
 }
 
-fn enc_engine_error(e: &mut Enc, err: &EngineError) {
+fn enc_engine_error(e: &mut Enc<'_>, err: &EngineError) {
     // kind, four u64 detail slots, message string.
     let (kind, a, b, c, dd, msg): (u8, u64, u64, u64, u64, &str) = match err {
         EngineError::UnknownSession { id } => (1, *id, 0, 0, 0, ""),
@@ -507,6 +508,7 @@ fn enc_engine_error(e: &mut Enc, err: &EngineError) {
         EngineError::CommandTooLarge { shard, cost, capacity } => {
             (8, *shard as u64, *cost as u64, *capacity as u64, 0, "")
         }
+        EngineError::Wal { reason } => (9, 0, 0, 0, 0, reason.as_str()),
     };
     e.u8(kind);
     e.u64(a);
@@ -538,6 +540,7 @@ fn dec_engine_error(d: &mut Dec) -> Result<EngineError, WireError> {
             cost: b as usize,
             capacity: c as usize,
         },
+        9 => EngineError::Wal { reason: msg },
         t => return Err(WireError::Malformed(format!("unknown EngineError kind {t}"))),
     })
 }
@@ -546,18 +549,39 @@ fn dec_engine_error(d: &mut Dec) -> Result<EngineError, WireError> {
 // Frames
 // ---------------------------------------------------------------------------
 
-fn frame(op: u8, payload: Vec<u8>) -> Result<Vec<u8>, WireError> {
-    if payload.len() as u64 > MAX_PAYLOAD as u64 {
-        return Err(WireError::FrameTooLarge { len: payload.len() as u32 });
-    }
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+/// Append one complete frame to `out`: the header is reserved up front,
+/// `body` encodes the payload in place (returning the opcode), and the
+/// opcode and length are backfilled. One pass, no intermediate payload
+/// buffer. On error `out` is truncated back to its original length — a
+/// rejected value never leaves a partial frame behind.
+fn build_frame(
+    out: &mut Vec<u8>,
+    body: impl FnOnce(&mut Enc<'_>) -> Result<u8, WireError>,
+) -> Result<(), WireError> {
+    let start = out.len();
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
-    out.push(op);
+    out.push(0); // opcode, backfilled below
     out.extend_from_slice(&0u16.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&payload);
-    Ok(out)
+    out.extend_from_slice(&0u32.to_le_bytes()); // length, backfilled below
+    let payload_start = out.len();
+    let encoded = {
+        let mut e = Enc { buf: &mut *out };
+        body(&mut e)
+    };
+    let result = encoded.and_then(|op| {
+        let len = out.len() - payload_start;
+        if len as u64 > u64::from(MAX_PAYLOAD) {
+            return Err(WireError::FrameTooLarge { len: len as u32 });
+        }
+        out[start + 5] = op;
+        out[start + 8..start + 12].copy_from_slice(&(len as u32).to_le_bytes());
+        Ok(())
+    });
+    if result.is_err() {
+        out.truncate(start);
+    }
+    result
 }
 
 /// Parse a frame header, returning `(opcode, payload length)`.
@@ -585,35 +609,48 @@ fn parse_header(h: &[u8; HEADER_LEN]) -> Result<(u8, usize), WireError> {
 /// [`WireError::Unencodable`] for specs carrying custom set factories,
 /// or [`WireError::FrameTooLarge`] past the payload cap.
 pub fn encode_command(cmd: &Command) -> Result<Vec<u8>, WireError> {
-    let mut e = Enc::default();
-    let op = match cmd {
-        Command::Open { session_id, spec, t_max, params } => {
-            e.u64(*session_id);
-            e.u64(*t_max as u64);
-            enc_params(&mut e, params);
-            enc_spec(&mut e, spec)?;
-            opcode::OPEN
-        }
-        Command::Observe { session_id, point } => {
-            e.u64(*session_id);
-            enc_point(&mut e, point);
-            opcode::OBSERVE
-        }
-        Command::ObserveBatch { session_id, points } => {
-            e.u64(*session_id);
-            e.u32(points.len() as u32);
-            for p in points {
-                enc_point(&mut e, p);
+    let mut out = Vec::with_capacity(128);
+    encode_command_into(&mut out, cmd)?;
+    Ok(out)
+}
+
+/// Append one command frame to `out` — [`encode_command`] without the
+/// per-frame allocation, for callers batching many frames into one
+/// buffer (the write-ahead log's append path). On error `out` is left
+/// exactly as it was.
+///
+/// # Errors
+/// As [`encode_command`].
+pub fn encode_command_into(out: &mut Vec<u8>, cmd: &Command) -> Result<(), WireError> {
+    build_frame(out, |e| {
+        Ok(match cmd {
+            Command::Open { session_id, spec, t_max, params } => {
+                e.u64(*session_id);
+                e.u64(*t_max as u64);
+                enc_params(e, params);
+                enc_spec(e, spec)?;
+                opcode::OPEN
             }
-            opcode::OBSERVE_BATCH
-        }
-        Command::Release { session_id } => {
-            e.u64(*session_id);
-            opcode::RELEASE
-        }
-        Command::Close => opcode::CLOSE,
-    };
-    frame(op, e.buf)
+            Command::Observe { session_id, point } => {
+                e.u64(*session_id);
+                enc_point(e, point);
+                opcode::OBSERVE
+            }
+            Command::ObserveBatch { session_id, points } => {
+                e.u64(*session_id);
+                e.u32(points.len() as u32);
+                for p in points {
+                    enc_point(e, p);
+                }
+                opcode::OBSERVE_BATCH
+            }
+            Command::Release { session_id } => {
+                e.u64(*session_id);
+                opcode::RELEASE
+            }
+            Command::Close => opcode::CLOSE,
+        })
+    })
 }
 
 /// Decode exactly one command frame from `bytes` (the whole slice must be
@@ -632,37 +669,48 @@ pub fn decode_command(bytes: &[u8]) -> Result<Command, WireError> {
 /// # Errors
 /// [`WireError::FrameTooLarge`] past the payload cap.
 pub fn encode_reply(reply: &Reply) -> Result<Vec<u8>, WireError> {
-    let mut e = Enc::default();
-    let op = match reply {
-        Reply::Opened { session_id } => {
-            e.u64(*session_id);
-            opcode::R_OPENED
-        }
-        Reply::Releases { session_id, thetas } => {
-            e.u64(*session_id);
-            e.u32(thetas.len() as u32);
-            for theta in thetas {
-                e.u32(theta.len() as u32);
-                for v in theta {
-                    e.f64(*v);
-                }
+    let mut out = Vec::with_capacity(128);
+    encode_reply_into(&mut out, reply)?;
+    Ok(out)
+}
+
+/// Append one reply frame to `out` — [`encode_reply`] without the
+/// per-frame allocation. On error `out` is left exactly as it was.
+///
+/// # Errors
+/// As [`encode_reply`].
+pub fn encode_reply_into(out: &mut Vec<u8>, reply: &Reply) -> Result<(), WireError> {
+    build_frame(out, |e| {
+        Ok(match reply {
+            Reply::Opened { session_id } => {
+                e.u64(*session_id);
+                opcode::R_OPENED
             }
-            opcode::R_RELEASES
-        }
-        Reply::SessionReleased { session_id, points, epsilon_spent, delta_spent } => {
-            e.u64(*session_id);
-            e.u64(*points);
-            e.f64(*epsilon_spent);
-            e.f64(*delta_spent);
-            opcode::R_SESSION_RELEASED
-        }
-        Reply::Closed => opcode::R_CLOSED,
-        Reply::Err(err) => {
-            enc_engine_error(&mut e, err);
-            opcode::R_ERROR
-        }
-    };
-    frame(op, e.buf)
+            Reply::Releases { session_id, thetas } => {
+                e.u64(*session_id);
+                e.u32(thetas.len() as u32);
+                for theta in thetas {
+                    e.u32(theta.len() as u32);
+                    for v in theta {
+                        e.f64(*v);
+                    }
+                }
+                opcode::R_RELEASES
+            }
+            Reply::SessionReleased { session_id, points, epsilon_spent, delta_spent } => {
+                e.u64(*session_id);
+                e.u64(*points);
+                e.f64(*epsilon_spent);
+                e.f64(*delta_spent);
+                opcode::R_SESSION_RELEASED
+            }
+            Reply::Closed => opcode::R_CLOSED,
+            Reply::Err(err) => {
+                enc_engine_error(e, err);
+                opcode::R_ERROR
+            }
+        })
+    })
 }
 
 /// Decode exactly one reply frame from `bytes`.

@@ -128,3 +128,71 @@ proptest! {
         direct.close();
     }
 }
+
+/// A connection that outlives its engine: every session command comes
+/// back as an in-band `Err(Closed)` reply, in order, the client's own
+/// `Close` is still acknowledged, and the serve loop itself ends
+/// cleanly. Shutdown is an application-level answer, never a torn
+/// connection.
+#[test]
+fn closed_engine_surfaces_in_band_closed_replies() {
+    let handle =
+        EngineHandle::new(IngressConfig { num_shards: 2, seed: 7, queue_depth: 8 }).unwrap();
+    let submit = handle.submit_handle();
+    handle.close();
+
+    let commands = vec![
+        Command::Open {
+            session_id: 1,
+            spec: MechanismSpec::reg1_l2(3),
+            t_max: 8,
+            params: params(),
+        },
+        Command::Observe { session_id: 1, point: point(3, 0, 1) },
+        Command::Release { session_id: 1 },
+        Command::Close,
+    ];
+    let mut request = Vec::new();
+    for cmd in &commands {
+        write_command(&mut request, cmd).unwrap();
+    }
+
+    let mut reader: &[u8] = &request;
+    let mut response = Vec::new();
+    let stats = serve_connection(&submit, &mut reader, &mut response)
+        .expect("a closed engine is not a protocol violation");
+    assert_eq!((stats.commands, stats.replies), (commands.len(), commands.len()));
+
+    let mut r: &[u8] = &response;
+    let mut replies = Vec::new();
+    while let Some(reply) = read_reply(&mut r).unwrap() {
+        replies.push(reply);
+    }
+    assert_eq!(replies.len(), commands.len());
+    for (i, reply) in replies[..commands.len() - 1].iter().enumerate() {
+        assert_eq!(reply, &Reply::Err(EngineError::Closed), "reply {i} must be in-band Closed");
+    }
+    // `Close` itself never reserves queue space, so even a closed engine
+    // acknowledges it: the goodbye handshake still completes.
+    assert_eq!(replies.last(), Some(&Reply::Closed));
+}
+
+/// `SetSpec::Custom` closures cannot cross the wire: the streaming
+/// writer rejects them with `Unencodable` and leaves the byte stream
+/// untouched — no partial frame precedes the error.
+#[test]
+fn custom_set_specs_are_rejected_before_any_bytes_hit_the_stream() {
+    use pir_engine::wire::WireError;
+    use pir_engine::SetSpec;
+    use std::sync::Arc;
+
+    let spec = MechanismSpec::Trivial {
+        set: SetSpec::Custom(Arc::new(|| {
+            Box::new(pir_geometry::L2Ball::unit(2)) as Box<dyn pir_geometry::ConvexSet>
+        })),
+    };
+    let cmd = Command::Open { session_id: 1, spec, t_max: 8, params: params() };
+    let mut out = Vec::new();
+    assert!(matches!(write_command(&mut out, &cmd), Err(WireError::Unencodable(_))));
+    assert!(out.is_empty(), "a rejected command must not leave a partial frame behind");
+}

@@ -1,0 +1,137 @@
+//! Direct unit tests for the [`SubmitHandle`] error paths: the
+//! permanent-vs-transient distinction (`CommandTooLarge` vs
+//! `Backpressure`) and the `Closed`-outranks-everything rule after a
+//! close race.
+//!
+//! Backpressure here is *deterministic*, not a timing lottery: a
+//! [`SetSpec::Custom`] factory blocks the single shard worker on a
+//! channel until the test releases it, so the queue is provably full
+//! when the assertion runs.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+use pir_engine::{
+    Command, EngineError, EngineHandle, IngressConfig, MechanismSpec, Reply, SetSpec,
+};
+use pir_erm::DataPoint;
+use pir_geometry::{ConvexSet, L2Ball};
+
+fn params() -> pir_dp::PrivacyParams {
+    pir_dp::PrivacyParams::approx(1.0, 1e-6).unwrap()
+}
+
+fn observe(sid: u64) -> Command {
+    Command::Observe { session_id: sid, point: DataPoint::new(vec![0.1, 0.2], 0.3) }
+}
+
+fn batch(sid: u64, n: usize) -> Command {
+    Command::ObserveBatch {
+        session_id: sid,
+        points: (0..n).map(|_| DataPoint::new(vec![0.1, 0.2], 0.3)).collect(),
+    }
+}
+
+/// A `Trivial` spec whose set factory blocks on `rx` until the test
+/// sends a release token: submitting `Open` with this spec parks the
+/// shard worker mid-execution, holding its queue slot.
+fn gated_spec(rx: mpsc::Receiver<()>) -> MechanismSpec {
+    let gate = Arc::new(Mutex::new(rx));
+    MechanismSpec::Trivial {
+        set: SetSpec::Custom(Arc::new(move || {
+            gate.lock().unwrap().recv().unwrap();
+            Box::new(L2Ball::unit(2)) as Box<dyn ConvexSet>
+        })),
+    }
+}
+
+#[test]
+fn oversized_commands_are_permanent_command_too_large() {
+    let handle =
+        EngineHandle::new(IngressConfig { num_shards: 1, seed: 7, queue_depth: 4 }).unwrap();
+    let submit = handle.submit_handle();
+
+    // Cost = points.len() = 5 > capacity 4: permanent, retry-hopeless.
+    let (returned, err) = submit.try_submit(batch(1, 5)).unwrap_err();
+    match err {
+        EngineError::CommandTooLarge { shard, cost, capacity } => {
+            assert_eq!((shard, cost, capacity), (0, 5, 4));
+            assert!(!err.is_retryable(), "CommandTooLarge must be permanent");
+        }
+        other => panic!("expected CommandTooLarge, got {other:?}"),
+    }
+    // The command comes back intact for the caller to split or drop.
+    match returned {
+        Command::ObserveBatch { session_id: 1, points } => assert_eq!(points.len(), 5),
+        other => panic!("expected the rejected command back, got {other:?}"),
+    }
+
+    // submit_blocking must fail immediately too — permanent errors never
+    // park the caller waiting for space that can never exist.
+    let err = submit.submit_blocking(batch(1, 5)).unwrap_err();
+    assert!(matches!(err, EngineError::CommandTooLarge { .. }));
+    handle.close();
+}
+
+#[test]
+fn full_queue_is_transient_backpressure_with_exact_accounting() {
+    let (gate_tx, gate_rx) = mpsc::channel();
+    let handle =
+        EngineHandle::new(IngressConfig { num_shards: 1, seed: 7, queue_depth: 4 }).unwrap();
+    let submit = handle.submit_handle();
+
+    // Park the worker inside the Open (depth is decremented only after
+    // execution, so the blocked Open pins one unit of queue space).
+    let open =
+        Command::Open { session_id: 1, spec: gated_spec(gate_rx), t_max: 8, params: params() };
+    let blocked = submit.try_submit(open).unwrap();
+
+    // Fill the remaining capacity exactly: 1 (blocked Open) + 3 = 4.
+    let queued: Vec<_> = (0..3).map(|_| submit.try_submit(observe(1)).unwrap()).collect();
+
+    // The 5th unit must bounce with precise accounting, and be retryable.
+    let (_, err) = submit.try_submit(observe(1)).unwrap_err();
+    match err {
+        EngineError::Backpressure { shard, depth, capacity, cost } => {
+            assert_eq!((shard, depth, capacity, cost), (0, 4, 4, 1));
+            assert!(err.is_retryable(), "Backpressure must be transient");
+        }
+        other => panic!("expected Backpressure, got {other:?}"),
+    }
+
+    // Release the gate: the same command now succeeds — transient means
+    // transient.
+    gate_tx.send(()).unwrap();
+    assert!(matches!(blocked.wait(), Reply::Opened { session_id: 1 }));
+    for t in queued {
+        assert!(matches!(t.wait(), Reply::Releases { .. }));
+    }
+    let t = submit.try_submit(observe(1)).expect("queue drained; retry must succeed");
+    assert!(matches!(t.wait(), Reply::Releases { .. }));
+    handle.close();
+}
+
+#[test]
+fn closed_outranks_command_too_large_after_a_close_race() {
+    let handle =
+        EngineHandle::new(IngressConfig { num_shards: 2, seed: 7, queue_depth: 4 }).unwrap();
+    let submit = handle.submit_handle();
+    handle.close();
+
+    // A surviving clone submitting after close sees Closed — even for a
+    // command that would also be oversized. Closed is checked first so a
+    // racing producer cannot misread shutdown as a sizing bug.
+    let (_, err) = submit.try_submit(batch(1, 100)).unwrap_err();
+    assert!(matches!(err, EngineError::Closed), "Closed must outrank CommandTooLarge: {err:?}");
+
+    let (_, err) = submit.try_submit(observe(1)).unwrap_err();
+    assert!(matches!(err, EngineError::Closed));
+    assert!(!err.is_retryable(), "Closed is permanent");
+
+    // submit_blocking must return Closed immediately rather than spin
+    // waiting for capacity on a queue nobody will ever drain.
+    let err = submit.submit_blocking(observe(1)).unwrap_err();
+    assert!(matches!(err, EngineError::Closed));
+    let err = submit.submit_blocking(batch(1, 100)).unwrap_err();
+    assert!(matches!(err, EngineError::Closed));
+}

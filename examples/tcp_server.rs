@@ -11,6 +11,12 @@
 //! deep pipelines deadlock-free against the server's strictly-in-order
 //! reply loop.
 //!
+//! The engine runs with its write-ahead log on, so the run ends with a
+//! second receipt: a simulated restart replays the log into a fresh
+//! engine and the releases' digests before and after must match —
+//! crash recovery is bit-identical, not merely approximate (the
+//! property `tests/recovery.rs` proves under fault injection).
+//!
 //! Run with `cargo run --release --example tcp_server`. Set
 //! `PIR_TCP_ADDR` (e.g. `127.0.0.1:7477`) to pick a fixed port; the
 //! default binds an OS-assigned one. 127.0.0.1 only — no external
@@ -29,13 +35,23 @@ fn main() {
     let clients = 6u64;
     let points_per_client = 48usize;
 
-    // ---- Bring up the engine and its TCP front ---------------------------
-    let handle = EngineHandle::new(IngressConfig {
-        num_shards: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2),
-        seed,
-        queue_depth: 1024,
-    })
+    // ---- Bring up the engine (WAL on) and its TCP front ------------------
+    let wal_dir = std::env::temp_dir().join(format!("pir-tcp-example-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let (handle, recovery) = EngineHandle::with_wal(
+        IngressConfig {
+            num_shards: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2),
+            seed,
+            queue_depth: 1024,
+        },
+        &WalOptions::new(&wal_dir),
+    )
     .unwrap();
+    println!(
+        "write-ahead log at {} (fresh: {} commands replayed on boot)",
+        wal_dir.display(),
+        recovery.commands
+    );
     let addr = std::env::var("PIR_TCP_ADDR").unwrap_or_else(|_| "127.0.0.1:0".to_string());
     let listener = TcpListener::bind(&addr).unwrap();
     let front =
@@ -133,6 +149,58 @@ fn main() {
          to the direct single-threaded engine",
         total_points, clients
     );
+
+    // ---- The restart receipt ---------------------------------------------
+    // Simulate a crash-and-restart: replay the write-ahead log into a
+    // fresh engine and compare release digests. Every command the fleet
+    // ran was logged before it executed, so the replayed stream must
+    // reproduce the same releases bit for bit — the digests match or the
+    // durability story is broken.
+    let before = release_digest(&releases);
+    let mut replayed: std::collections::BTreeMap<u64, Vec<Vec<f64>>> =
+        std::collections::BTreeMap::new();
+    let mut restarted =
+        ShardedEngine::new(EngineConfig { num_shards: 1, seed, parallel: false }).unwrap();
+    let report = pir_engine::wal::recover_with(&wal_dir, &mut restarted, |_, reply| {
+        if let Reply::Releases { session_id, thetas } = reply {
+            replayed.entry(*session_id).or_default().extend(thetas.iter().cloned());
+        }
+    })
+    .unwrap();
+    let after_releases: Vec<(u64, Vec<Vec<f64>>)> = replayed.into_iter().collect();
+    let after = release_digest(&after_releases);
+    println!(
+        "restart receipt: replayed {} logged commands ({} torn tails dropped)",
+        report.commands, report.torn_tails
+    );
+    println!("  digest before restart: {before:016x}");
+    println!("  digest after  replay : {after:016x}");
+    assert_eq!(before, after, "restart-with-replay must reproduce the same bits");
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+/// FNV-1a 64 over every release, keyed and ordered by `(session, step)`:
+/// the canonical fingerprint two runs must share to count as identical.
+fn release_digest(releases: &[(u64, Vec<Vec<f64>>)]) -> u64 {
+    let mut sorted: Vec<&(u64, Vec<Vec<f64>>)> = releases.iter().collect();
+    sorted.sort_by_key(|(sid, _)| *sid);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for (sid, thetas) in sorted {
+        eat(&sid.to_le_bytes());
+        for (t, theta) in thetas.iter().enumerate() {
+            eat(&(t as u64).to_le_bytes());
+            for v in theta {
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    h
 }
 
 /// Deterministic covariate stream: ‖x‖ ≤ 0.9 with a planted signal.

@@ -126,10 +126,10 @@ pub mod prelude {
     };
     pub use pir_dp::{NoiseRng, PrivacyAccountant, PrivacyParams};
     pub use pir_engine::{
-        serve_connection, serve_tcp, serve_tcp_with, Command, EngineConfig, EngineError,
-        EngineHandle, IngressConfig, IngressStats, LossSpec, MechanismSpec, Reply, ServeStats,
-        SetSpec, ShardedEngine, SolverSpec, StreamSession, SubmitHandle, TcpFront, TcpOptions,
-        TcpStats, Ticket,
+        recover, serve_connection, serve_tcp, serve_tcp_with, Command, EngineConfig, EngineError,
+        EngineHandle, FsyncPolicy, IngressConfig, IngressStats, LossSpec, MechanismSpec,
+        RecoveryReport, Reply, ServeStats, SetSpec, ShardedEngine, SolverSpec, StreamSession,
+        SubmitHandle, TcpFront, TcpOptions, TcpStats, Ticket, WalError, WalOptions, WalWriter,
     };
     pub use pir_erm::{
         solve_exact, DataPoint, LogisticLoss, Loss, NoisyGdSolver, OutputPerturbationSolver,

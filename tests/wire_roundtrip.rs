@@ -1,0 +1,267 @@
+//! Wire-protocol round-trip and hostile-bytes properties.
+//!
+//! Two halves of one contract: every encodable [`Command`] and [`Reply`]
+//! frame survives encode→decode→encode **bit-for-bit** (the property the
+//! write-ahead log leans on — its records are wire frames), and
+//! arbitrary byte mutations, truncations, and extensions of valid frames
+//! decode to a clean [`WireError`] or a valid frame — the decoder never
+//! panics, whatever the bytes claim.
+
+use pir_engine::wire::{self, WireError};
+use private_incremental_regression::prelude::*;
+use proptest::prelude::*;
+
+/// SplitMix64 step: one deterministic generator per property case.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Exactly-representable value in roughly `[-8, 8]`: float round trips
+/// must be bit-level, so generate dyadics (no decimal noise).
+fn dyadic(s: &mut u64) -> f64 {
+    ((mix(s) % 1025) as f64 - 512.0) / 64.0
+}
+
+fn gen_point(s: &mut u64, d: usize) -> DataPoint {
+    DataPoint::new((0..d).map(|_| dyadic(s)).collect(), dyadic(s))
+}
+
+fn gen_set(s: &mut u64) -> SetSpec {
+    let dim = 1 + (mix(s) % 6) as usize;
+    let scale = 0.25 + (mix(s) % 8) as f64 / 4.0;
+    match mix(s) % 4 {
+        0 => SetSpec::L2Ball { dim, radius: scale },
+        1 => SetSpec::L1Ball { dim, radius: scale },
+        2 => SetSpec::LinfBall { dim, radius: scale },
+        _ => SetSpec::Simplex { dim, scale },
+    }
+}
+
+fn gen_spec(s: &mut u64) -> MechanismSpec {
+    match mix(s) % 5 {
+        0 => MechanismSpec::Erm {
+            set: gen_set(s),
+            loss: match mix(s) % 3 {
+                0 => LossSpec::Squared,
+                1 => LossSpec::Logistic,
+                _ => LossSpec::RegularizedSquared { lambda: dyadic(s).abs() + 0.25 },
+            },
+            solver: match mix(s) % 3 {
+                0 => SolverSpec::NoisyGd { iters: 1 + (mix(s) % 50) as usize, beta: 0.05 },
+                1 => SolverSpec::OutputPerturbation { exact_iters: 1 + (mix(s) % 50) as usize },
+                _ => SolverSpec::FrankWolfe { iters: 1 + (mix(s) % 50) as usize },
+            },
+            tau: match mix(s) % 4 {
+                0 => TauRule::Fixed(1 + (mix(s) % 9) as usize),
+                1 => TauRule::Convex,
+                2 => TauRule::StronglyConvex,
+                _ => TauRule::LowWidth,
+            },
+        },
+        1 => MechanismSpec::Reg1 {
+            set: gen_set(s),
+            config: PrivIncReg1Config {
+                beta: 0.125,
+                max_pgd_iters: 1 + (mix(s) % 100) as usize,
+                warm_start: mix(s).is_multiple_of(2),
+                ..Default::default()
+            },
+        },
+        2 => MechanismSpec::Reg2 {
+            set: gen_set(s),
+            domain_width: dyadic(s).abs() + 1.0,
+            config: PrivIncReg2Config {
+                gamma: (mix(s).is_multiple_of(2)).then(|| dyadic(s).abs() + 0.125),
+                m_override: (mix(s).is_multiple_of(2)).then(|| 1 + (mix(s) % 30) as usize),
+                ..Default::default()
+            },
+        },
+        3 => MechanismSpec::Trivial { set: gen_set(s) },
+        _ => MechanismSpec::ExactOracle { set: gen_set(s) },
+    }
+}
+
+fn gen_command(seed: u64) -> Command {
+    let s = &mut seed.clone();
+    let session_id = mix(s);
+    let d = 1 + (mix(s) % 5) as usize;
+    match mix(s) % 5 {
+        0 => Command::Open {
+            session_id,
+            spec: gen_spec(s),
+            t_max: 1 + (mix(s) % 256) as usize,
+            params: PrivacyParams::approx(0.5 + (mix(s) % 4) as f64, 1e-6).unwrap(),
+        },
+        1 => Command::Observe { session_id, point: gen_point(s, d) },
+        2 => Command::ObserveBatch {
+            session_id,
+            points: (0..(mix(s) % 6)).map(|_| gen_point(s, d)).collect(),
+        },
+        3 => Command::Release { session_id },
+        _ => Command::Close,
+    }
+}
+
+fn gen_engine_error(s: &mut u64) -> EngineError {
+    match mix(s) % 9 {
+        0 => EngineError::UnknownSession { id: mix(s) },
+        1 => EngineError::DuplicateSession { id: mix(s) },
+        2 => EngineError::InvalidConfig { reason: format!("cfg-{}", mix(s) % 100) },
+        3 => EngineError::Mechanism { reason: format!("mech-{}", mix(s) % 100) },
+        4 => EngineError::Budget { reason: format!("budget-{}", mix(s) % 100) },
+        5 => EngineError::Backpressure {
+            shard: (mix(s) % 16) as usize,
+            depth: (mix(s) % 1024) as usize,
+            capacity: (mix(s) % 1024) as usize,
+            cost: (mix(s) % 64) as usize,
+        },
+        6 => EngineError::CommandTooLarge {
+            shard: (mix(s) % 16) as usize,
+            cost: (mix(s) % 4096) as usize,
+            capacity: (mix(s) % 1024) as usize,
+        },
+        7 => EngineError::Closed,
+        _ => EngineError::Wal { reason: format!("wal-{}", mix(s) % 100) },
+    }
+}
+
+fn gen_reply(seed: u64) -> Reply {
+    let s = &mut seed.clone();
+    let session_id = mix(s);
+    let d = 1 + (mix(s) % 5) as usize;
+    match mix(s) % 5 {
+        0 => Reply::Opened { session_id },
+        1 => Reply::Releases {
+            session_id,
+            thetas: (0..(mix(s) % 4)).map(|_| (0..d).map(|_| dyadic(s)).collect()).collect(),
+        },
+        2 => Reply::SessionReleased {
+            session_id,
+            points: mix(s) % 100_000,
+            epsilon_spent: dyadic(s).abs(),
+            delta_spent: dyadic(s).abs() / 1e6,
+        },
+        3 => Reply::Closed,
+        _ => Reply::Err(gen_engine_error(s)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode → encode is the identity on frame bytes, for every
+    /// command kind, spec family, and knob combination generated.
+    #[test]
+    fn command_frames_round_trip_bit_for_bit(seed in any::<u64>()) {
+        let cmd = gen_command(seed);
+        let bytes = wire::encode_command(&cmd).unwrap();
+        let decoded = wire::decode_command(&bytes).unwrap();
+        let re = wire::encode_command(&decoded).unwrap();
+        prop_assert_eq!(&re, &bytes, "re-encode diverged for {:?}", cmd);
+    }
+
+    /// The same identity for every reply kind, including every
+    /// `EngineError` wire kind.
+    #[test]
+    fn reply_frames_round_trip_bit_for_bit(seed in any::<u64>()) {
+        let reply = gen_reply(seed);
+        let bytes = wire::encode_reply(&reply).unwrap();
+        let decoded = wire::decode_reply(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &reply);
+        let re = wire::encode_reply(&decoded).unwrap();
+        prop_assert_eq!(&re, &bytes);
+    }
+
+    /// Overwrite an arbitrary byte with an arbitrary value: the decoder
+    /// must return a clean verdict — `Ok` (the mutation hit a
+    /// value-carrying byte) or a typed `WireError` — and never panic.
+    /// Whatever decodes must also re-encode.
+    #[test]
+    fn mutated_frames_decode_cleanly_and_never_panic(
+        seed in any::<u64>(),
+        raw_offset in any::<u64>(),
+        value in 0u64..256,
+    ) {
+        let bytes = wire::encode_command(&gen_command(seed)).unwrap();
+        let mut mutated = bytes.clone();
+        let offset = (raw_offset % mutated.len() as u64) as usize;
+        mutated[offset] = value as u8;
+        // Typed rejection is one clean verdict; the other is a surviving
+        // frame, which must then be a valid frame: re-encodable (the WAL
+        // appends whatever it decodes).
+        if let Ok(cmd) = wire::decode_command(&mutated) {
+            wire::encode_command(&cmd).unwrap();
+        }
+        // Reply frames get the same treatment.
+        let rbytes = wire::encode_reply(&gen_reply(seed ^ 0x5DEE_CE66)).unwrap();
+        let mut rmut = rbytes.clone();
+        let roff = (raw_offset % rmut.len() as u64) as usize;
+        rmut[roff] = value as u8;
+        if let Ok(reply) = wire::decode_reply(&rmut) {
+            wire::encode_reply(&reply).unwrap();
+        }
+    }
+
+    /// Every proper prefix of a valid frame is `Truncated` — never a
+    /// panic, never a bogus success.
+    #[test]
+    fn truncated_frames_are_truncated_errors(seed in any::<u64>(), raw_cut in any::<u64>()) {
+        let bytes = wire::encode_command(&gen_command(seed)).unwrap();
+        let cut = (raw_cut % bytes.len() as u64) as usize; // strictly shorter
+        match wire::decode_command(&bytes[..cut]) {
+            Err(WireError::Truncated { .. }) => {}
+            other => panic!("prefix of len {cut} must be Truncated, got {other:?}"),
+        }
+    }
+
+    /// Bytes past the end of a frame are `TrailingBytes`: frames are
+    /// exact, so a length-field lie cannot smuggle a payload suffix.
+    #[test]
+    fn extended_frames_are_trailing_byte_errors(
+        seed in any::<u64>(),
+        extra in 1usize..16,
+        fill in 0u64..256,
+    ) {
+        let mut bytes = wire::encode_command(&gen_command(seed)).unwrap();
+        bytes.extend(std::iter::repeat_n(fill as u8, extra));
+        match wire::decode_command(&bytes) {
+            Err(WireError::TrailingBytes { extra: got }) => {
+                prop_assert_eq!(got, extra);
+            }
+            other => panic!("{extra} trailing bytes must be TrailingBytes, got {other:?}"),
+        }
+    }
+}
+
+/// The header checks fire in a fixed order on a fixed frame — one
+/// deterministic anchor so the property above cannot drift.
+#[test]
+fn header_field_errors_are_distinct() {
+    let bytes = wire::encode_command(&Command::Release { session_id: 7 }).unwrap();
+
+    let mut m = bytes.clone();
+    m[0] = b'X';
+    assert!(matches!(wire::decode_command(&m), Err(WireError::BadMagic(_))));
+
+    let mut m = bytes.clone();
+    m[4] = 99;
+    assert!(matches!(wire::decode_command(&m), Err(WireError::UnsupportedVersion(99))));
+
+    let mut m = bytes.clone();
+    m[5] = 0x7E;
+    assert!(matches!(wire::decode_command(&m), Err(WireError::UnknownOpcode(0x7E))));
+
+    let mut m = bytes.clone();
+    m[6] = 1;
+    assert!(matches!(wire::decode_command(&m), Err(WireError::NonZeroReserved(1))));
+
+    // A length field claiming more than the cap: rejected before any
+    // allocation.
+    let mut m = bytes;
+    m[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(wire::decode_command(&m), Err(WireError::FrameTooLarge { .. })));
+}
