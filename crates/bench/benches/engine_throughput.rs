@@ -15,7 +15,7 @@ use pir_core::PrivIncReg1Config;
 use pir_dp::{NoiseRng, PrivacyParams};
 use pir_engine::{
     EngineConfig, EngineHandle, FsyncPolicy, IngressConfig, MechanismSpec, ShardedEngine,
-    WalOptions,
+    SpillOptions, WalOptions,
 };
 use pir_erm::DataPoint;
 use std::hint::black_box;
@@ -138,6 +138,63 @@ fn bench_wal_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The spill-tier tax, in both regimes: `resident` keeps the cap above
+/// the fleet so the LRU only does bookkeeping (budget ≤ 2% over
+/// `no_spill` — spilling you don't use must be near-free), while
+/// `cold_restore` squeezes 512 sessions/shard through a 64-session cap,
+/// so nearly every point pays a snapshot write + in-band restore — the
+/// `spill_restore_latency` row in `BENCH_engine.json`.
+fn bench_spill_restore_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spill_restore_latency");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SESSIONS));
+    let modes: [(&str, Option<usize>); 3] =
+        [("no_spill", None), ("resident", Some(SESSIONS as usize)), ("cold_restore", Some(64))];
+    for (label, cap) in modes {
+        group.bench_with_input(BenchmarkId::new("mode", label), &cap, |b, cap| {
+            let dir = cap.map(|_| {
+                std::env::temp_dir().join(format!("pir-bench-spill-{}-{label}", std::process::id()))
+            });
+            if let Some(d) = &dir {
+                let _ = std::fs::remove_dir_all(d);
+            }
+            let spill = dir
+                .as_ref()
+                .zip(*cap)
+                .map(|(d, resident_cap)| SpillOptions { dir: d.clone(), resident_cap });
+            let handle = build_handle_spill(2, spill.as_ref());
+            let mut rng = NoiseRng::seed_from_u64(5);
+            b.iter(|| {
+                let batch = fleet_batch(&mut rng);
+                black_box(handle.ingest(black_box(batch)))
+            });
+            handle.close();
+            if let Some(d) = &dir {
+                let _ = std::fs::remove_dir_all(d);
+            }
+        });
+    }
+    group.finish();
+}
+
+fn build_handle_spill(num_shards: usize, spill: Option<&SpillOptions>) -> EngineHandle {
+    let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+    let config = IngressConfig { num_shards, seed: 11, queue_depth: 4 * SESSIONS as usize };
+    let handle = match spill {
+        None => EngineHandle::new(config).unwrap(),
+        Some(options) => EngineHandle::with_spill(config, options).unwrap(),
+    };
+    let spec = MechanismSpec::Reg1 {
+        set: pir_engine::SetSpec::unit_l2(DIM),
+        config: PrivIncReg1Config { max_pgd_iters: 16, ..Default::default() },
+    };
+    for sid in 0..SESSIONS {
+        handle.open(sid, &spec, 1usize << 32, &params).unwrap();
+    }
+    handle.flush();
+    handle
+}
+
 /// The synchronous baseline the pipeline is compared against.
 fn bench_shard_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_ingest_1024_sessions");
@@ -203,6 +260,7 @@ criterion_group!(
     benches,
     bench_pipelined_shard_scaling,
     bench_wal_overhead,
+    bench_spill_restore_latency,
     bench_shard_scaling,
     bench_batch_amortization
 );

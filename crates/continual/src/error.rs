@@ -27,6 +27,13 @@ pub enum ContinualError {
         /// Norm of the offending item.
         found: f64,
     },
+    /// A captured mechanism state was rejected on restore (wrong shape,
+    /// out-of-range counter, or non-finite sums) — the snapshot bytes do
+    /// not describe a state this mechanism could ever have reached.
+    InvalidState {
+        /// What was wrong.
+        reason: String,
+    },
     /// An underlying DP-parameter error.
     Dp(DpError),
 }
@@ -43,6 +50,9 @@ impl fmt::Display for ContinualError {
             ContinualError::NonFinite => write!(f, "stream item contains NaN/infinite entries"),
             ContinualError::NormBoundViolated { bound, found } => {
                 write!(f, "stream item norm {found} exceeds declared bound {bound}")
+            }
+            ContinualError::InvalidState { reason } => {
+                write!(f, "invalid mechanism state: {reason}")
             }
             ContinualError::Dp(e) => write!(f, "{e}"),
         }

@@ -26,7 +26,7 @@ pub mod tree;
 pub use counter::PrivateCounter;
 pub use error::ContinualError;
 pub use hybrid::HybridMechanism;
-pub use tree::TreeMechanism;
+pub use tree::{TreeMechanism, TreeState};
 
 /// Convenient result alias.
 pub type Result<T> = std::result::Result<T, ContinualError>;

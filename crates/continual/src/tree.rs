@@ -71,6 +71,29 @@ pub struct TreeMechanism {
     rng: NoiseRng,
 }
 
+/// The dynamic state of a [`TreeMechanism`], captured for serialization.
+///
+/// Everything *not* here — dimension, horizon, `σ`, norm bound,
+/// sensitivity — is static configuration reproduced by re-running the
+/// constructor, so a snapshot only needs the `O(d log T)` partial sums,
+/// the step counter, and the 256-bit noise-generator state. A mechanism
+/// that absorbs a captured state continues its noise stream and release
+/// sequence bit-identically (the law `tests` pin below and the engine's
+/// snapshot suites pin end-to-end).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeState {
+    /// Items consumed so far (`t`).
+    pub t: usize,
+    /// Clean partial sums `a_j`, one row per level (each of length `d`).
+    pub a: Vec<Vec<f64>>,
+    /// Noisy partial sums `b_j`, same shape as `a`.
+    pub b: Vec<Vec<f64>>,
+    /// Incrementally maintained release `s_t` (length `d`).
+    pub s: Vec<f64>,
+    /// xoshiro256++ state of the node-noise generator.
+    pub rng: [u64; 4],
+}
+
 /// `⌈log₂ T⌉ + 1`, the number of tree levels (and the maximum number of
 /// dyadic ranges in a prefix decomposition).
 fn levels_for(t_max: usize) -> usize {
@@ -445,6 +468,91 @@ impl TreeMechanism {
     pub fn memory_slots(&self) -> usize {
         2 * self.levels * self.dim + self.dim
     }
+
+    /// Capture the dynamic state (step counter, partial sums, maintained
+    /// release, noise-generator state) for serialization. Pair with
+    /// [`restore_state`](TreeMechanism::restore_state).
+    pub fn export_state(&self) -> TreeState {
+        TreeState {
+            t: self.t,
+            a: self.a.clone(),
+            b: self.b.clone(),
+            s: self.s.clone(),
+            rng: self.rng.state(),
+        }
+    }
+
+    /// Overwrite this mechanism's dynamic state with a previously captured
+    /// one. The mechanism must have been constructed with the same static
+    /// configuration (dimension, horizon — hence levels) as the one the
+    /// state came from; afterwards its releases and noise stream continue
+    /// bit-identically from the captured point.
+    ///
+    /// On error, the mechanism is untouched.
+    ///
+    /// # Errors
+    /// [`ContinualError::InvalidState`] if the shapes don't match this
+    /// mechanism's `(levels, dim)`, `t` exceeds the horizon, or any partial
+    /// sum is non-finite.
+    pub fn restore_state(&mut self, state: &TreeState) -> Result<()> {
+        if state.t > self.t_max {
+            return Err(ContinualError::InvalidState {
+                reason: format!("t = {} exceeds horizon T = {}", state.t, self.t_max),
+            });
+        }
+        if state.a.len() != self.levels || state.b.len() != self.levels {
+            return Err(ContinualError::InvalidState {
+                reason: format!(
+                    "level count mismatch (expected {}, found a: {}, b: {})",
+                    self.levels,
+                    state.a.len(),
+                    state.b.len()
+                ),
+            });
+        }
+        if state.s.len() != self.dim {
+            return Err(ContinualError::InvalidState {
+                reason: format!(
+                    "release dimension mismatch (expected {}, found {})",
+                    self.dim,
+                    state.s.len()
+                ),
+            });
+        }
+        for (label, rows) in [("a", &state.a), ("b", &state.b)] {
+            for (j, row) in rows.iter().enumerate() {
+                if row.len() != self.dim {
+                    return Err(ContinualError::InvalidState {
+                        reason: format!(
+                            "{label}[{j}] dimension mismatch (expected {}, found {})",
+                            self.dim,
+                            row.len()
+                        ),
+                    });
+                }
+                if !vector::is_finite(row) {
+                    return Err(ContinualError::InvalidState {
+                        reason: format!("{label}[{j}] contains NaN/infinite entries"),
+                    });
+                }
+            }
+        }
+        if !vector::is_finite(&state.s) {
+            return Err(ContinualError::InvalidState {
+                reason: "maintained release contains NaN/infinite entries".to_string(),
+            });
+        }
+        self.t = state.t;
+        for (dst, src) in self.a.iter_mut().zip(&state.a) {
+            dst.copy_from_slice(src);
+        }
+        for (dst, src) in self.b.iter_mut().zip(&state.b) {
+            dst.copy_from_slice(src);
+        }
+        self.s.copy_from_slice(&state.s);
+        self.rng = NoiseRng::from_state(state.rng);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -573,6 +681,58 @@ mod tests {
         let s = mech.update(&[5.0]).unwrap();
         assert_eq!(s, vec![5.0]);
         assert!(mech.update(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn export_restore_continues_bit_identically() {
+        // Run a live tree and a restored clone side by side from an
+        // arbitrary mid-stream point (odd t, so several levels are active):
+        // every future release must match bit-for-bit.
+        let mut live = TreeMechanism::new(3, 64, 1.0, &params(), rng()).unwrap();
+        let mut item_rng = NoiseRng::seed_from_u64(55);
+        for _ in 0..21 {
+            live.update(&item_rng.unit_sphere(3)).unwrap();
+        }
+        let state = live.export_state();
+        let mut restored = TreeMechanism::new(3, 64, 1.0, &params(), rng()).unwrap();
+        restored.restore_state(&state).unwrap();
+        assert_eq!(restored.len(), 21);
+        assert_eq!(restored.query(), live.query());
+        for _ in 21..64 {
+            let v = item_rng.unit_sphere(3);
+            assert_eq!(live.update(&v).unwrap(), restored.update(&v).unwrap());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_malformed_state() {
+        let mech = TreeMechanism::new(2, 8, 1.0, &params(), rng()).unwrap();
+        let good = mech.export_state();
+        let fresh = || TreeMechanism::new(2, 8, 1.0, &params(), rng()).unwrap();
+
+        let mut s = good.clone();
+        s.t = 9; // past the horizon
+        assert!(matches!(fresh().restore_state(&s), Err(ContinualError::InvalidState { .. })));
+
+        let mut s = good.clone();
+        s.a.pop();
+        assert!(matches!(fresh().restore_state(&s), Err(ContinualError::InvalidState { .. })));
+
+        let mut s = good.clone();
+        s.b[0] = vec![0.0; 3]; // wrong dim
+        assert!(matches!(fresh().restore_state(&s), Err(ContinualError::InvalidState { .. })));
+
+        let mut s = good.clone();
+        s.s[0] = f64::NAN;
+        assert!(matches!(fresh().restore_state(&s), Err(ContinualError::InvalidState { .. })));
+
+        // A failed restore leaves the mechanism usable.
+        let mut m = fresh();
+        let mut s = good.clone();
+        s.t = 100;
+        assert!(m.restore_state(&s).is_err());
+        assert_eq!(m.len(), 0);
+        m.update(&[0.5, 0.0]).unwrap();
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::error::CoreError;
 use crate::generic::{PrivIncErm, TauRule};
+use crate::state;
 use crate::stream::IncrementalMechanism;
 use crate::Result;
 use pir_dp::{NoiseRng, PrivacyParams};
@@ -71,6 +72,27 @@ impl IncrementalMechanism for TrivialMechanism {
         z.validate(self.dim).map_err(|e| CoreError::InvalidPoint { reason: e.to_string() })?;
         self.t += 1;
         Ok(self.theta.clone())
+    }
+
+    fn supports_state(&self) -> bool {
+        true
+    }
+
+    /// Dynamic state is just the step counter: the release is a fixed
+    /// point of `C`, reproduced by the constructor.
+    fn save_state(&self, out: &mut Vec<u8>) -> Result<()> {
+        state::put_u8(out, state::TAG_TRIVIAL);
+        state::put_u64(out, self.t as u64);
+        Ok(())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = state::StateReader::new(bytes);
+        r.expect_tag(state::TAG_TRIVIAL, "trivial")?;
+        let t = r.take_u64("step counter")? as usize;
+        r.finish()?;
+        self.t = t;
+        Ok(())
     }
 }
 
@@ -151,6 +173,60 @@ impl IncrementalMechanism for ExactIncremental {
         let smooth = (2.0 * self.t as f64).max(1e-9);
         self.theta = fista(&quad, &self.set, smooth, self.iters_per_step, &self.theta);
         Ok(self.theta.clone())
+    }
+
+    fn supports_state(&self) -> bool {
+        true
+    }
+
+    /// Dynamic state: step counter and the running sufficient statistics
+    /// `XᵀX, Xᵀy, Σy²` plus the warm-start iterate (`O(d²)` bytes). No
+    /// randomness is involved, so the restore is trivially bit-exact.
+    fn save_state(&self, out: &mut Vec<u8>) -> Result<()> {
+        state::put_u8(out, state::TAG_EXACT);
+        state::put_u64(out, self.t as u64);
+        state::put_f64(out, self.yy);
+        state::put_f64_slice(out, &self.theta);
+        state::put_f64_slice(out, &self.xty);
+        state::put_f64_slice(out, self.xtx.as_slice());
+        Ok(())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = state::StateReader::new(bytes);
+        r.expect_tag(state::TAG_EXACT, "exact incremental")?;
+        let t = r.take_u64("step counter")? as usize;
+        let yy = r.take_f64("response energy")?;
+        let theta = r.take_f64_vec("warm-start iterate")?;
+        let xty = r.take_f64_vec("first moment")?;
+        let xtx = r.take_f64_vec("second moment")?;
+        r.finish()?;
+        let d = self.set.dim();
+        if theta.len() != d || xty.len() != d || xtx.len() != d * d {
+            return Err(CoreError::InvalidState {
+                reason: format!(
+                    "statistic shapes ({}, {}, {}) do not match dimension {d}",
+                    theta.len(),
+                    xty.len(),
+                    xtx.len()
+                ),
+            });
+        }
+        if !yy.is_finite()
+            || !vector::is_finite(&theta)
+            || !vector::is_finite(&xty)
+            || !vector::is_finite(&xtx)
+        {
+            return Err(CoreError::InvalidState {
+                reason: "sufficient statistics contain NaN/infinite entries".to_string(),
+            });
+        }
+        self.t = t;
+        self.yy = yy;
+        self.theta = theta;
+        self.xty = xty;
+        self.xtx.as_mut_slice().copy_from_slice(&xtx);
+        Ok(())
     }
 }
 

@@ -18,6 +18,19 @@ pub enum CoreError {
         /// What went wrong.
         reason: String,
     },
+    /// A captured state blob was rejected on load — truncated, forged, or
+    /// describing a state this mechanism could never have reached.
+    InvalidState {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The mechanism does not support state capture/restore (e.g. it holds
+    /// the full history or an opaque closure), so it cannot be snapshotted
+    /// or spilled.
+    StateUnsupported {
+        /// The mechanism's name.
+        mechanism: String,
+    },
     /// Error from the DP layer.
     Dp(pir_dp::DpError),
     /// Error from the continual-release layer.
@@ -37,6 +50,12 @@ impl fmt::Display for CoreError {
             CoreError::InvalidPoint { reason } => write!(f, "invalid stream point: {reason}"),
             CoreError::InvalidConfig { reason } => {
                 write!(f, "invalid mechanism configuration: {reason}")
+            }
+            CoreError::InvalidState { reason } => {
+                write!(f, "invalid mechanism state: {reason}")
+            }
+            CoreError::StateUnsupported { mechanism } => {
+                write!(f, "mechanism '{mechanism}' does not support state capture/restore")
             }
             CoreError::Dp(e) => write!(f, "{e}"),
             CoreError::Continual(e) => write!(f, "{e}"),

@@ -34,6 +34,7 @@ pub mod lift;
 pub mod mech1;
 pub mod mech2;
 pub mod robust;
+pub mod state;
 mod stream;
 
 pub use baselines::{ExactIncremental, ExactIncrementalRestricted, TrivialMechanism};

@@ -22,6 +22,7 @@
 use crate::descent::{minimize_private_objective_into, DescentScratch, DescentStrategy};
 use crate::error::CoreError;
 use crate::lift::{lift_constrained_ls, sketch_smoothness};
+use crate::state;
 use crate::stream::IncrementalMechanism;
 use crate::Result;
 use pir_continual::TreeMechanism;
@@ -488,6 +489,78 @@ impl IncrementalMechanism for PrivIncReg2 {
         }
         Ok(out)
     }
+
+    fn supports_state(&self) -> bool {
+        true
+    }
+
+    /// Dynamic state: step counter, the two warm-start iterates (projected
+    /// `ϑ` and lifted `θ`), and the two projected-space tree states
+    /// (`O(m² log T + d)` bytes). The sketch matrix `Φ` is *not* here — it
+    /// is static, resampled bit-identically when the mechanism is respawned
+    /// from its spec and seed.
+    fn save_state(&self, out: &mut Vec<u8>) -> Result<()> {
+        state::put_u8(out, state::TAG_REG2);
+        state::put_u64(out, self.t as u64);
+        state::put_f64_slice(out, &self.last_vartheta);
+        state::put_f64_slice(out, &self.last_theta);
+        state::put_tree(out, &self.tree_xy.export_state());
+        state::put_tree(out, &self.tree_xx.export_state());
+        Ok(())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut r = state::StateReader::new(bytes);
+        r.expect_tag(state::TAG_REG2, "priv-inc-reg-2")?;
+        let t = r.take_u64("step counter")? as usize;
+        let last_vartheta = r.take_f64_vec("projected warm-start iterate")?;
+        let last_theta = r.take_f64_vec("lifted warm-start iterate")?;
+        let xy = r.take_tree("first-moment tree")?;
+        let xx = r.take_tree("second-moment tree")?;
+        r.finish()?;
+        if t > self.t_max {
+            return Err(CoreError::InvalidState {
+                reason: format!("t = {t} exceeds horizon T = {}", self.t_max),
+            });
+        }
+        if xy.t != t || xx.t != t {
+            return Err(CoreError::InvalidState {
+                reason: format!(
+                    "tree step counters ({}, {}) disagree with mechanism t = {t}",
+                    xy.t, xx.t
+                ),
+            });
+        }
+        if last_vartheta.len() != self.sketch.m() {
+            return Err(CoreError::InvalidState {
+                reason: format!(
+                    "projected iterate has dimension {} (expected m = {})",
+                    last_vartheta.len(),
+                    self.sketch.m()
+                ),
+            });
+        }
+        if last_theta.len() != self.set.dim() {
+            return Err(CoreError::InvalidState {
+                reason: format!(
+                    "lifted iterate has dimension {} (expected {})",
+                    last_theta.len(),
+                    self.set.dim()
+                ),
+            });
+        }
+        if !vector::is_finite(&last_vartheta) || !vector::is_finite(&last_theta) {
+            return Err(CoreError::InvalidState {
+                reason: "warm-start iterate contains NaN/infinite entries".to_string(),
+            });
+        }
+        self.tree_xy.restore_state(&xy)?;
+        self.tree_xx.restore_state(&xx)?;
+        self.t = t;
+        self.last_vartheta.copy_from_slice(&last_vartheta);
+        self.last_theta.copy_from_slice(&last_theta);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -518,6 +591,65 @@ mod tests {
                 DataPoint::new(x, y)
             })
             .collect()
+    }
+
+    #[test]
+    fn save_load_state_is_bit_identical() {
+        let d = 20;
+        let spawn = || {
+            let mut rng = NoiseRng::seed_from_u64(41);
+            PrivIncReg2::new(
+                Box::new(L1Ball::unit(d)),
+                2.0,
+                16,
+                &params(),
+                &mut rng,
+                PrivIncReg2Config { m_override: Some(6), ..Default::default() },
+            )
+            .unwrap()
+        };
+        let mut live = spawn();
+        let points = sparse_stream(16, d, 3, 88);
+        for z in &points[..7] {
+            live.observe(z).unwrap();
+        }
+        let mut blob = Vec::new();
+        live.save_state(&mut blob).unwrap();
+        let mut restored = spawn();
+        restored.load_state(&blob).unwrap();
+        assert_eq!(restored.t(), 7);
+        for z in &points[7..] {
+            assert_eq!(live.observe(z).unwrap(), restored.observe(z).unwrap());
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_mismatched_configuration() {
+        // A blob captured at m = 6 must not load into an m = 8 instance.
+        let d = 20;
+        let spawn = |m| {
+            let mut rng = NoiseRng::seed_from_u64(42);
+            PrivIncReg2::new(
+                Box::new(L1Ball::unit(d)),
+                2.0,
+                16,
+                &params(),
+                &mut rng,
+                PrivIncReg2Config { m_override: Some(m), ..Default::default() },
+            )
+            .unwrap()
+        };
+        let mut src = spawn(6);
+        for z in sparse_stream(3, d, 3, 89) {
+            src.observe(&z).unwrap();
+        }
+        let mut blob = Vec::new();
+        src.save_state(&mut blob).unwrap();
+        let err = spawn(8).load_state(&blob);
+        assert!(
+            matches!(err, Err(CoreError::InvalidState { .. }) | Err(CoreError::Continual(_))),
+            "{err:?}"
+        );
     }
 
     #[test]

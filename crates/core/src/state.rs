@@ -1,0 +1,255 @@
+//! Compact deterministic byte codec for mechanism dynamic state.
+//!
+//! A mechanism's *dynamic* state — step counter, tree partial sums,
+//! warm-start iterates, noise-generator words — is what a session
+//! snapshot must carry; everything static (constraint set, horizon,
+//! privacy calibration, sketch matrix) is reproduced by re-running the
+//! constructor with the same seed. This module is the shared encoding
+//! those blobs use: little-endian `u64` scalars, `f64` as IEEE-754 bit
+//! patterns (so round-trips are bit-exact, NaN payloads included),
+//! length-prefixed vectors, and a strict reader that rejects truncation,
+//! oversized length fields, and trailing bytes with typed
+//! [`CoreError::InvalidState`] errors.
+//!
+//! The blob starts with a one-byte mechanism tag so a state captured
+//! from one mechanism family can never be absorbed by another: the
+//! engine's snapshot layer respawns a mechanism from its spec and then
+//! feeds it the blob, and the tag check is the last line of defense if
+//! the two ever disagree.
+
+use crate::error::CoreError;
+use crate::Result;
+use pir_continual::TreeState;
+
+/// Blob tag for [`crate::PrivIncReg1`] state.
+pub const TAG_REG1: u8 = 1;
+/// Blob tag for [`crate::PrivIncReg2`] state.
+pub const TAG_REG2: u8 = 2;
+/// Blob tag for [`crate::TrivialMechanism`] state.
+pub const TAG_TRIVIAL: u8 = 3;
+/// Blob tag for [`crate::ExactIncremental`] state.
+pub const TAG_EXACT: u8 = 4;
+
+/// Append a raw byte.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append one `f64` as its IEEE-754 bit pattern (little-endian).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Append a length-prefixed `f64` slice (`u64` count, then the raw bit
+/// patterns).
+pub fn put_f64_slice(out: &mut Vec<u8>, v: &[f64]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        put_f64(out, x);
+    }
+}
+
+/// Append a captured [`TreeState`]: step counter, the four generator
+/// words, the level count, then the `a` rows, `b` rows, and maintained
+/// release as length-prefixed slices.
+pub fn put_tree(out: &mut Vec<u8>, tree: &TreeState) {
+    put_u64(out, tree.t as u64);
+    for w in tree.rng {
+        put_u64(out, w);
+    }
+    put_u64(out, tree.a.len() as u64);
+    for row in &tree.a {
+        put_f64_slice(out, row);
+    }
+    put_u64(out, tree.b.len() as u64);
+    for row in &tree.b {
+        put_f64_slice(out, row);
+    }
+    put_f64_slice(out, &tree.s);
+}
+
+fn invalid(reason: impl Into<String>) -> CoreError {
+    CoreError::InvalidState { reason: reason.into() }
+}
+
+/// Strict cursor over a state blob. Every read is bounds-checked, length
+/// fields are validated against the bytes actually remaining (so a forged
+/// count can never trigger an oversized allocation), and
+/// [`finish`](StateReader::finish) rejects trailing bytes — a blob either
+/// parses completely or yields a typed error.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Reader over the whole blob.
+    pub fn new(buf: &'a [u8]) -> Self {
+        StateReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| invalid("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(invalid(format!(
+                "truncated while reading {what}: need {n} byte(s) at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn take_u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn take_u64(&mut self, what: &str) -> Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("slice is 8 bytes")))
+    }
+
+    /// Read a `u64` that must fit a `usize` count of 8-byte items still
+    /// present in the buffer (the anti-forgery bound for vector lengths).
+    fn take_count(&mut self, what: &str) -> Result<usize> {
+        let n = self.take_u64(what)?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if n > remaining / 8 {
+            return Err(invalid(format!(
+                "{what} count {n} exceeds the {remaining} byte(s) remaining"
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    /// Read one `f64` bit pattern.
+    pub fn take_f64(&mut self, what: &str) -> Result<f64> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_bits(u64::from_le_bytes(b.try_into().expect("slice is 8 bytes"))))
+    }
+
+    /// Read a length-prefixed `f64` vector.
+    pub fn take_f64_vec(&mut self, what: &str) -> Result<Vec<f64>> {
+        let n = self.take_count(what)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.take_f64(what)?);
+        }
+        Ok(v)
+    }
+
+    /// Read a [`TreeState`] written by [`put_tree`]. Shape agreement with
+    /// a concrete mechanism is *not* checked here — that is
+    /// [`pir_continual::TreeMechanism::restore_state`]'s job.
+    pub fn take_tree(&mut self, what: &str) -> Result<TreeState> {
+        let t = self.take_u64(what)? as usize;
+        let mut rng = [0u64; 4];
+        for w in rng.iter_mut() {
+            *w = self.take_u64(what)?;
+        }
+        let a_levels = self.take_count(what)?;
+        let mut a = Vec::with_capacity(a_levels);
+        for _ in 0..a_levels {
+            a.push(self.take_f64_vec(what)?);
+        }
+        let b_levels = self.take_count(what)?;
+        let mut b = Vec::with_capacity(b_levels);
+        for _ in 0..b_levels {
+            b.push(self.take_f64_vec(what)?);
+        }
+        let s = self.take_f64_vec(what)?;
+        Ok(TreeState { t, a, b, s, rng })
+    }
+
+    /// Read and check the leading mechanism tag.
+    pub fn expect_tag(&mut self, tag: u8, mechanism: &str) -> Result<()> {
+        let found = self.take_u8("mechanism tag")?;
+        if found != tag {
+            return Err(invalid(format!("state blob tag {found} is not {mechanism}'s tag {tag}")));
+        }
+        Ok(())
+    }
+
+    /// Require the blob to be fully consumed.
+    pub fn finish(self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(invalid(format!(
+                "{} trailing byte(s) after a complete state",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip_is_bit_exact() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX - 3);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, f64::from_bits(0x7FF8_0000_0000_1234)); // NaN payload
+        put_f64_slice(&mut buf, &[1.5, f64::MIN_POSITIVE]);
+        let mut r = StateReader::new(&buf);
+        assert_eq!(r.take_u8("t").unwrap(), 7);
+        assert_eq!(r.take_u64("t").unwrap(), u64::MAX - 3);
+        assert_eq!(r.take_f64("t").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.take_f64("t").unwrap().to_bits(), 0x7FF8_0000_0000_1234);
+        assert_eq!(r.take_f64_vec("t").unwrap(), vec![1.5, f64::MIN_POSITIVE]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_typed_errors() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 42);
+        // Truncation at every prefix.
+        for cut in 0..buf.len() {
+            let mut r = StateReader::new(&buf[..cut]);
+            assert!(matches!(r.take_u64("x"), Err(CoreError::InvalidState { .. })));
+        }
+        // Trailing garbage.
+        buf.push(0);
+        let mut r = StateReader::new(&buf);
+        r.take_u64("x").unwrap();
+        assert!(matches!(r.finish(), Err(CoreError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn forged_length_cannot_oversize_allocation() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX); // claimed element count
+        let mut r = StateReader::new(&buf);
+        assert!(matches!(r.take_f64_vec("v"), Err(CoreError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn tree_state_roundtrip() {
+        let tree = TreeState {
+            t: 13,
+            a: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            b: vec![vec![-1.0, 0.5], vec![0.0, 9.0]],
+            s: vec![2.0, 13.5],
+            rng: [1, 2, 3, u64::MAX],
+        };
+        let mut buf = Vec::new();
+        put_tree(&mut buf, &tree);
+        let mut r = StateReader::new(&buf);
+        assert_eq!(r.take_tree("tree").unwrap(), tree);
+        r.finish().unwrap();
+    }
+}

@@ -122,4 +122,50 @@ pub trait IncrementalMechanism: Send {
         }
         batch.iter().map(|z| self.observe(z)).collect()
     }
+
+    /// Whether this mechanism supports
+    /// [`save_state`](IncrementalMechanism::save_state) /
+    /// [`load_state`](IncrementalMechanism::load_state). The engine's
+    /// spill tier uses this to decide *eligibility* cheaply: a session
+    /// whose mechanism answers `false` is simply never evicted.
+    fn supports_state(&self) -> bool {
+        false
+    }
+
+    /// Append this mechanism's *dynamic* state to `out` as a
+    /// self-delimiting byte blob (see [`crate::state`] for the codec).
+    /// Static configuration is deliberately excluded: a restore
+    /// reconstructs the mechanism from its spec and seed first (which
+    /// reproduces the constraint set, noise calibration, sketch matrix,
+    /// and accountant charges deterministically) and then absorbs the
+    /// blob. The contract, pinned by the engine's snapshot suites: after
+    /// `load_state(save_state(m))` on a same-configured fresh instance,
+    /// every future release is **bit-identical** to the original's.
+    ///
+    /// The default declines with [`crate::CoreError::StateUnsupported`]
+    /// — mechanisms holding the full history ([`crate::PrivIncErm`]) or
+    /// other non-serializable state simply opt out and stay resident.
+    ///
+    /// # Errors
+    /// [`crate::CoreError::StateUnsupported`] unless overridden.
+    fn save_state(&self, out: &mut Vec<u8>) -> Result<()> {
+        let _ = out;
+        Err(crate::CoreError::StateUnsupported { mechanism: self.name() })
+    }
+
+    /// Overwrite this mechanism's dynamic state from a blob produced by
+    /// [`save_state`](IncrementalMechanism::save_state) on an instance
+    /// with the same static configuration.
+    ///
+    /// On error the instance may be partially written: treat it as
+    /// poisoned and drop it (the engine restores into a freshly spawned
+    /// mechanism, so a failed load never touches a live session).
+    ///
+    /// # Errors
+    /// [`crate::CoreError::InvalidState`] for truncated/forged/mismatched
+    /// blobs; [`crate::CoreError::StateUnsupported`] unless overridden.
+    fn load_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let _ = bytes;
+        Err(crate::CoreError::StateUnsupported { mechanism: self.name() })
+    }
 }

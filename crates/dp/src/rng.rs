@@ -130,6 +130,32 @@ impl NoiseRng {
         NoiseRng::seed_from_u64(self.inner.next_u64())
     }
 
+    /// The full 256-bit xoshiro256++ state, for serialization. A generator
+    /// rebuilt with [`from_state`](NoiseRng::from_state) continues the bit
+    /// stream exactly where this one stands — the primitive that session
+    /// snapshots rely on to keep a stream's noise bit-identical across
+    /// evict/restore. The sampler itself carries no other state (the
+    /// ziggurat tables are process-global constants and no spare deviate
+    /// is cached), so these four words are the whole story.
+    pub fn state(&self) -> [u64; 4] {
+        self.inner.s
+    }
+
+    /// Rebuild a generator from a state previously captured with
+    /// [`state`](NoiseRng::state).
+    ///
+    /// The all-zero state is a fixed point of xoshiro256++ (it would emit
+    /// zeros forever); it can never be produced by
+    /// [`seed_from_u64`](NoiseRng::seed_from_u64), so encountering it
+    /// means the bytes are corrupt, and it is mapped to the
+    /// SplitMix64-expanded seed-0 state instead of being honored.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return NoiseRng::seed_from_u64(0);
+        }
+        NoiseRng { inner: Xoshiro256PlusPlus { s } }
+    }
+
     /// Uniform deviate in the open interval `(0, 1)` (never exactly 0, so it
     /// is safe inside logs).
     #[inline]
@@ -346,6 +372,28 @@ mod tests {
         // Sibling forks differ.
         let mut c3 = parent1.fork();
         assert_ne!(c1.standard_gaussian(), c3.standard_gaussian());
+    }
+
+    #[test]
+    fn state_roundtrip_continues_the_stream() {
+        let mut a = NoiseRng::seed_from_u64(77);
+        // Burn an odd amount of state so we are mid-stream.
+        for _ in 0..123 {
+            a.standard_gaussian();
+        }
+        let mut b = NoiseRng::from_state(a.state());
+        for _ in 0..1000 {
+            assert_eq!(a.standard_gaussian(), b.standard_gaussian());
+            assert_eq!(a.laplace(0.3), b.laplace(0.3));
+        }
+    }
+
+    #[test]
+    fn zero_state_is_rejected_not_honored() {
+        let mut z = NoiseRng::from_state([0; 4]);
+        let mut s = NoiseRng::seed_from_u64(0);
+        assert_eq!(z.state(), s.state());
+        assert_eq!(z.standard_gaussian(), s.standard_gaussian());
     }
 
     #[test]

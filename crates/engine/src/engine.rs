@@ -207,6 +207,30 @@ impl ShardedEngine {
         self.shards[idx].sessions.remove(&session_id)
     }
 
+    /// Insert an already-built session — the import half of
+    /// [`StreamSession::restore`]: rebuild a session from a `PIRS`
+    /// snapshot (taken under this engine's seed), then adopt it here. The
+    /// session lands on whatever shard its id hashes to, so adoption is
+    /// reshard-safe like every other placement.
+    ///
+    /// # Errors
+    /// [`EngineError::DuplicateSession`] if the id is taken.
+    pub fn adopt_session(&mut self, session: StreamSession) -> Result<(), EngineError> {
+        let id = session.id();
+        if self.contains(id) {
+            return Err(EngineError::DuplicateSession { id });
+        }
+        let idx = self.shard_index(id);
+        self.shards[idx].sessions.insert(id, session);
+        Ok(())
+    }
+
+    /// Iterate over every live session, in unspecified order (checkpoint
+    /// capture walks this).
+    pub(crate) fn sessions(&self) -> impl Iterator<Item = &StreamSession> {
+        self.shards.iter().flat_map(|s| s.sessions.values())
+    }
+
     /// Spawn one session running `spec` for streams of length up to
     /// `t_max` under the per-session budget `params`.
     ///

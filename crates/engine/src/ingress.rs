@@ -24,7 +24,17 @@
 //!   command enqueued before it has been fully processed when it
 //!   returns), and [`close`](EngineHandle::close) drains and joins the
 //!   fleet. [`Command::Close`] is *not* a fleet barrier: it is a
-//!   connection-scoped goodbye (see [`Command::Close`]).
+//!   connection-scoped goodbye (see [`Command::Close`]);
+//! - an optional **spill tier** ([`EngineHandle::with_spill`]) bounds
+//!   resident memory: each shard keeps an LRU over its idle sessions,
+//!   spills the coldest to disk as `PIRS` snapshots once the shard
+//!   exceeds [`SpillOptions::resident_cap`], and restores them
+//!   transparently — in command order — on their next command;
+//! - on a write-ahead-logged engine, [`EngineHandle::checkpoint`]
+//!   compacts the log **under live traffic**: every shard snapshots its
+//!   sessions and cuts its log chain at a job boundary, the cuts merge
+//!   into one `PIRC` manifest, and covered segment files are deleted, so
+//!   recovery replays only the post-checkpoint tail.
 //!
 //! Determinism survives the pipeline — and survives concurrent
 //! submitters, provided they drive **disjoint sessions**: commands for
@@ -97,13 +107,15 @@ use crate::engine::{entropy_seed, session_seed, shard_of};
 use crate::error::EngineError;
 use crate::session::StreamSession;
 use crate::spec::MechanismSpec;
-use crate::wal::{self, RecoveryReport, WalOptions, WalWriter};
+use crate::wal::{self, CheckpointReport, RecoveryReport, WalOptions, WalWriter};
 use pir_dp::{NoiseRng, PrivacyParams};
 use pir_erm::DataPoint;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Tuning knobs for the pipelined ingestion layer.
@@ -134,6 +146,291 @@ impl Default for IngressConfig {
             seed: entropy_seed(),
             queue_depth: 1024,
         }
+    }
+}
+
+/// Configuration for the optional session **spill tier** (see
+/// [`EngineHandle::with_spill`]): a per-shard LRU over idle sessions
+/// that bounds resident memory by writing cold sessions to disk as
+/// `PIRS` snapshots and transparently restoring them on their next
+/// command.
+#[derive(Debug, Clone)]
+pub struct SpillOptions {
+    /// Directory spilled sessions are written to (created if missing).
+    /// The directory is an extension of *this process's* memory, not a
+    /// durability layer: stale spill files from a previous process are
+    /// deleted at startup (crash recovery is the write-ahead log's job)
+    /// and spill writes are never fsynced.
+    pub dir: PathBuf,
+    /// Maximum sessions resident in memory **per shard** before the LRU
+    /// starts spilling. Eviction is best-effort: sessions with
+    /// queued-but-unexecuted commands, sessions whose mechanism cannot
+    /// snapshot (`PRIVINCERM`, custom-set specs), and sessions whose
+    /// spill write fails are all skipped, so a shard can transiently
+    /// exceed the cap.
+    pub resident_cap: usize,
+}
+
+impl SpillOptions {
+    /// Spill into `dir` with the default per-shard resident cap (4096).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SpillOptions { dir: dir.into(), resident_cap: 4096 }
+    }
+
+    fn validate(&self) -> Result<(), EngineError> {
+        if self.resident_cap == 0 {
+            return Err(EngineError::InvalidConfig {
+                reason: "spill resident_cap must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Spill-tier counters, read through [`SubmitHandle::spill_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Sessions written to disk by LRU eviction (cumulative).
+    pub spills: u64,
+    /// Spilled sessions restored in-band for a later command (cumulative).
+    pub restores: u64,
+    /// Evictions abandoned because snapshotting or the disk write failed
+    /// (cumulative). The victim stays resident; nothing is lost.
+    pub spill_failures: u64,
+    /// Sessions currently resident in memory, summed across shards.
+    pub resident: usize,
+    /// Sessions currently spilled to disk, summed across shards.
+    pub spilled: usize,
+}
+
+/// State shared between submitters and shard workers when the spill tier
+/// is enabled: the counters behind [`SubmitHandle::spill_stats`] and the
+/// per-shard pending-command maps that keep eviction away from sessions
+/// with queued work.
+#[derive(Debug)]
+struct SpillShared {
+    spills: AtomicU64,
+    restores: AtomicU64,
+    spill_failures: AtomicU64,
+    resident: AtomicUsize,
+    spilled: AtomicUsize,
+    /// Per-shard `session id → queued-command count`. Incremented by the
+    /// submitter *before* the job is sent and decremented by the worker
+    /// only *after* the job executes, so when a worker between jobs
+    /// considers evicting a session, either the entry is visible (and
+    /// the victim is skipped) or the command has not been enqueued yet —
+    /// in which case its arrival restores the session in-band. This
+    /// happens-before edge is what closes the stale-depth window where a
+    /// session could be spilled between a command's enqueue and its
+    /// execution.
+    pending: Box<[Mutex<HashMap<u64, usize>>]>,
+}
+
+impl SpillShared {
+    fn new(num_shards: usize) -> Self {
+        SpillShared {
+            spills: AtomicU64::new(0),
+            restores: AtomicU64::new(0),
+            spill_failures: AtomicU64::new(0),
+            resident: AtomicUsize::new(0),
+            spilled: AtomicUsize::new(0),
+            pending: (0..num_shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn stats(&self) -> SpillStats {
+        SpillStats {
+            spills: self.spills.load(Ordering::Relaxed),
+            restores: self.restores.load(Ordering::Relaxed),
+            spill_failures: self.spill_failures.load(Ordering::Relaxed),
+            resident: self.resident.load(Ordering::Relaxed),
+            spilled: self.spilled.load(Ordering::Relaxed),
+        }
+    }
+
+    fn pending_add(&self, shard: usize, session_id: u64) {
+        *self.pending[shard].lock().expect("pending lock").entry(session_id).or_insert(0) += 1;
+    }
+
+    fn pending_sub(&self, shard: usize, session_id: u64) {
+        let mut map = self.pending[shard].lock().expect("pending lock");
+        if let Some(n) = map.get_mut(&session_id) {
+            if *n <= 1 {
+                map.remove(&session_id);
+            } else {
+                *n -= 1;
+            }
+        }
+    }
+
+    fn has_pending(&self, shard: usize, session_id: u64) -> bool {
+        self.pending[shard].lock().expect("pending lock").contains_key(&session_id)
+    }
+}
+
+/// Name of the spill file holding `session_id`'s `PIRS` snapshot.
+fn spill_file_name(session_id: u64) -> String {
+    format!("session-{session_id:016x}.pirs")
+}
+
+/// Whether `name` is a spill file (for startup cleanup).
+fn is_spill_file(name: &str) -> bool {
+    name.strip_prefix("session-")
+        .and_then(|rest| rest.strip_suffix(".pirs"))
+        .is_some_and(|mid| mid.len() == 16 && mid.bytes().all(|b| b.is_ascii_hexdigit()))
+}
+
+/// One shard worker's spill tier: an LRU over the shard's resident
+/// sessions plus the ledger of what it has written to disk. Owned by the
+/// worker thread; only the counters and pending maps are shared.
+struct SpillTier {
+    dir: PathBuf,
+    cap: usize,
+    shard: usize,
+    shared: Arc<SpillShared>,
+    /// Monotonic use counter ordering the LRU.
+    clock: u64,
+    /// `use tick → session id`, oldest first (the eviction scan order).
+    lru: BTreeMap<u64, u64>,
+    /// `session id → its current use tick` (for O(log n) touches).
+    ticks: HashMap<u64, u64>,
+    /// `session id → t at spill` for every session currently on disk
+    /// (the `t` lets shutdown stats count spilled points without disk
+    /// reads).
+    spilled: HashMap<u64, usize>,
+    /// Resident count this tier last pushed into the shared gauge.
+    last_resident: usize,
+    scratch: Vec<u8>,
+}
+
+impl SpillTier {
+    fn new(options: &SpillOptions, shard: usize, shared: Arc<SpillShared>) -> Self {
+        SpillTier {
+            dir: options.dir.clone(),
+            cap: options.resident_cap,
+            shard,
+            shared,
+            clock: 0,
+            lru: BTreeMap::new(),
+            ticks: HashMap::new(),
+            spilled: HashMap::new(),
+            last_resident: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn file(&self, session_id: u64) -> PathBuf {
+        self.dir.join(spill_file_name(session_id))
+    }
+
+    /// Mark `session_id` most-recently-used.
+    fn touch(&mut self, session_id: u64) {
+        if let Some(old) = self.ticks.get(&session_id) {
+            self.lru.remove(old);
+        }
+        self.clock += 1;
+        self.lru.insert(self.clock, session_id);
+        self.ticks.insert(session_id, self.clock);
+    }
+
+    /// Drop `session_id` from the LRU (released or spilled).
+    fn forget(&mut self, session_id: u64) {
+        if let Some(old) = self.ticks.remove(&session_id) {
+            self.lru.remove(&old);
+        }
+    }
+
+    /// If `session_id` is spilled, read it back, rebuild the session, and
+    /// reinsert it — the transparent cold start on a spilled session's
+    /// next command. Runs *before* the command is logged or executed, so
+    /// a restore failure leaves both the log and the session table
+    /// untouched (and the command unlogged: a logged-but-unexecuted
+    /// command would replay into state the original run never had).
+    fn restore_if_spilled(
+        &mut self,
+        sessions: &mut HashMap<u64, StreamSession>,
+        engine_seed: u64,
+        session_id: u64,
+    ) -> Result<(), EngineError> {
+        if !self.spilled.contains_key(&session_id) {
+            return Ok(());
+        }
+        let path = self.file(session_id);
+        let bytes = fs::read(&path).map_err(|e| EngineError::Wal {
+            reason: format!("spill restore {}: {e}", path.display()),
+        })?;
+        let session = StreamSession::restore(&bytes, engine_seed).map_err(|e| {
+            EngineError::Wal { reason: format!("spill restore {}: {e}", path.display()) }
+        })?;
+        let _ = fs::remove_file(&path);
+        self.spilled.remove(&session_id);
+        self.shared.spilled.fetch_sub(1, Ordering::Relaxed);
+        self.shared.restores.fetch_add(1, Ordering::Relaxed);
+        sessions.insert(session_id, session);
+        self.touch(session_id);
+        Ok(())
+    }
+
+    /// Evict least-recently-used sessions until the shard is back under
+    /// its resident cap. A victim is skipped — leaving the shard
+    /// transiently over cap — when it has queued-but-unexecuted commands
+    /// (see [`SpillShared`]'s pending maps), when its mechanism cannot
+    /// snapshot, or when the spill write fails (counted, never fatal).
+    fn enforce_cap(&mut self, sessions: &mut HashMap<u64, StreamSession>) {
+        if sessions.len() <= self.cap {
+            return;
+        }
+        let scan: Vec<(u64, u64)> = self.lru.iter().map(|(&tick, &sid)| (tick, sid)).collect();
+        for (tick, sid) in scan {
+            if sessions.len() <= self.cap {
+                break;
+            }
+            let Some(session) = sessions.get(&sid) else {
+                // LRU entry with no session: already released.
+                self.lru.remove(&tick);
+                self.ticks.remove(&sid);
+                continue;
+            };
+            if self.shared.has_pending(self.shard, sid) || !session.supports_snapshot() {
+                continue;
+            }
+            self.scratch.clear();
+            if session.snapshot_into(&mut self.scratch).is_err() {
+                self.shared.spill_failures.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let path = self.file(sid);
+            // Not fsynced on purpose: the spill dir extends RAM and the
+            // WAL owns durability. A torn spill file after a crash is
+            // removed by the next startup's cleanup.
+            if fs::write(&path, &self.scratch).is_err() {
+                let _ = fs::remove_file(&path);
+                self.shared.spill_failures.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let session = sessions.remove(&sid).expect("present: fetched above");
+            self.spilled.insert(sid, session.t());
+            self.forget(sid);
+            self.shared.spills.fetch_add(1, Ordering::Relaxed);
+            self.shared.spilled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Push this shard's resident count into the shared gauge as a delta
+    /// (shards share one counter, so absolute stores would clobber each
+    /// other).
+    fn sync_resident(&mut self, sessions: &HashMap<u64, StreamSession>) {
+        let now = sessions.len();
+        match now.cmp(&self.last_resident) {
+            std::cmp::Ordering::Greater => {
+                self.shared.resident.fetch_add(now - self.last_resident, Ordering::Relaxed);
+            }
+            std::cmp::Ordering::Less => {
+                self.shared.resident.fetch_sub(self.last_resident - now, Ordering::Relaxed);
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        self.last_resident = now;
     }
 }
 
@@ -307,8 +604,24 @@ enum Job {
     Ingest { runs: Vec<SessionRun>, cost: usize, reply: Sender<Vec<IndexedRelease>> },
     /// Barrier: acknowledge once everything before this job is done.
     Flush { ack: Sender<()> },
+    /// Live checkpoint: snapshot every session this shard owns and cut
+    /// the shard's log chain at the current job boundary (see
+    /// [`EngineHandle::checkpoint`]). Never reserves queue depth.
+    Checkpoint { ack: Sender<Result<ShardCut, EngineError>> },
     /// Drain, report `(live sessions, live points)`, and exit.
     Shutdown { ack: Sender<(usize, usize)> },
+}
+
+/// One shard's contribution to a live checkpoint: a consistent cut of
+/// its log chain plus a snapshot of every session it owns, taken at a
+/// job boundary so the snapshots agree exactly with the cut's log
+/// position.
+struct ShardCut {
+    shard: u32,
+    epoch: u32,
+    next_seg_seq: u32,
+    next_record_seq: u32,
+    snapshots: Vec<Vec<u8>>,
 }
 
 /// One shard's ingress lane: its queue plus the shared depth gauge.
@@ -320,7 +633,8 @@ struct Lane {
 /// Final tallies returned by [`EngineHandle::close`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IngressStats {
-    /// Sessions still live (never released) at close.
+    /// Sessions still live (never released) at close, whether resident
+    /// in memory or spilled to disk.
     pub sessions: usize,
     /// Stream points those live sessions had consumed.
     pub points: usize,
@@ -360,6 +674,9 @@ pub struct SubmitHandle {
     lanes: Arc<[Lane]>,
     capacity: usize,
     seed: u64,
+    /// Present iff the engine was built with a spill tier: counters plus
+    /// the pending-command maps that gate eviction.
+    spill: Option<Arc<SpillShared>>,
     /// Raised by [`EngineHandle::close`] / drop so surviving clones fail
     /// fast with [`EngineError::Closed`] — before any size or capacity
     /// verdict, which would otherwise mislead (a `CommandTooLarge` from
@@ -392,6 +709,15 @@ impl SubmitHandle {
     /// pinned at capacity is the backpressure signal to scale or shed).
     pub fn queue_depths(&self) -> Vec<usize> {
         self.lanes.iter().map(|l| l.depth.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Spill-tier counters (observability: `spilled` climbing while
+    /// `restores` stays flat means the resident cap is sized right; a
+    /// high restore rate means the working set exceeds the cap and every
+    /// cold command pays a disk round-trip). All zeros on an engine built
+    /// without a spill tier.
+    pub fn spill_stats(&self) -> SpillStats {
+        self.spill.as_ref().map(|s| s.stats()).unwrap_or_default()
     }
 
     /// The engine seed (for spawning a mirrored
@@ -512,6 +838,14 @@ impl SubmitHandle {
         if let Err(e) = self.reserve(shard, cost) {
             return Err((cmd, e));
         }
+        // Publish the queued command to the spill tier *before* sending
+        // the job: a worker weighing eviction of this session either
+        // sees the entry (and skips the victim) or has not received the
+        // job yet — in which case its arrival restores the session
+        // in-band. Incrementing after the send would reopen the window.
+        if let Some(spill) = &self.spill {
+            spill.pending_add(shard, session_id);
+        }
         let (reply_tx, reply_rx) = mpsc::channel();
         match self.lanes[shard].tx.send(Job::Cmd { cmd, cost, reply: reply_tx }) {
             Ok(()) => Ok(Ticket { rx: reply_rx }),
@@ -520,6 +854,9 @@ impl SubmitHandle {
             // command (recovered from the undeliverable job) back.
             Err(mpsc::SendError(Job::Cmd { cmd, .. })) => {
                 self.lanes[shard].depth.fetch_sub(cost, Ordering::SeqCst);
+                if let Some(spill) = &self.spill {
+                    spill.pending_sub(shard, session_id);
+                }
                 Err((cmd, EngineError::Closed))
             }
             Err(_) => unreachable!("send hands back the job it was given"),
@@ -649,9 +986,25 @@ impl SubmitHandle {
                 }
                 continue;
             }
+            // Same pre-send publication as `try_submit`: every session
+            // this slice touches is pinned resident until its run
+            // executes.
+            if let Some(spill) = &self.spill {
+                let mut map = spill.pending[shard].lock().expect("pending lock");
+                for (sid, _, _) in &runs {
+                    *map.entry(*sid).or_insert(0) += 1;
+                }
+            }
+            let run_sids: Vec<u64> =
+                if self.spill.is_some() { runs.iter().map(|r| r.0).collect() } else { Vec::new() };
             let (tx, rx) = mpsc::channel();
             if self.lanes[shard].tx.send(Job::Ingest { runs, cost, reply: tx }).is_err() {
                 self.lanes[shard].depth.fetch_sub(cost, Ordering::SeqCst);
+                if let Some(spill) = &self.spill {
+                    for sid in run_sids {
+                        spill.pending_sub(shard, sid);
+                    }
+                }
                 for i in all_indices {
                     results[i] = Some(Err(EngineError::Closed));
                 }
@@ -710,6 +1063,24 @@ impl SubmitHandle {
 pub struct EngineHandle {
     submit: SubmitHandle,
     workers: Vec<JoinHandle<()>>,
+    /// Checkpoint coordinator state; present iff the engine is
+    /// write-ahead logged.
+    ckpt: Option<Mutex<CheckpointCtx>>,
+}
+
+/// Coordinator-side bookkeeping for [`EngineHandle::checkpoint`]: where
+/// every log chain ends — including *historic* shards from runs with a
+/// different shard count, whose chains a manifest must keep covering —
+/// and which manifest generation is current.
+#[derive(Debug)]
+struct CheckpointCtx {
+    dir: PathBuf,
+    /// `shard → (next_seg_seq, next_record_seq)` for every chain the
+    /// next manifest must cover. Live shards are refreshed by their cut
+    /// on every checkpoint; historic shards carry forward unchanged.
+    chains: HashMap<u32, (u32, u32)>,
+    generation: Option<u32>,
+    max_epoch: Option<u32>,
 }
 
 impl std::ops::Deref for EngineHandle {
@@ -729,7 +1100,26 @@ impl EngineHandle {
     pub fn new(config: IngressConfig) -> Result<Self, EngineError> {
         validate_config(&config)?;
         let states = (0..config.num_shards).map(|_| (HashMap::new(), None)).collect();
-        Ok(EngineHandle::spawn_workers(config, states))
+        Ok(EngineHandle::spawn_workers(config, states, None, None))
+    }
+
+    /// [`new`](Self::new) with a session **spill tier**: each shard
+    /// keeps at most [`SpillOptions::resident_cap`] sessions in memory,
+    /// spilling the least-recently-used idle ones to
+    /// [`SpillOptions::dir`] as `PIRS` snapshots and restoring them
+    /// transparently on their next command. Sessions keep their exact
+    /// noise stream across a spill/restore cycle, so releases stay
+    /// bit-identical to an unbounded engine's
+    /// (`crates/engine/tests/spill.rs`).
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidConfig`] as [`new`](Self::new), for a zero
+    /// `resident_cap`, or when the spill directory cannot be prepared.
+    pub fn with_spill(config: IngressConfig, spill: &SpillOptions) -> Result<Self, EngineError> {
+        validate_config(&config)?;
+        let shared = prepare_spill(&config, spill)?;
+        let states = (0..config.num_shards).map(|_| (HashMap::new(), None)).collect();
+        Ok(EngineHandle::spawn_workers(config, states, Some((spill.clone(), shared)), None))
     }
 
     /// Spawn a **write-ahead-logged** engine: replay whatever command
@@ -762,14 +1152,55 @@ impl EngineHandle {
         config: IngressConfig,
         options: &WalOptions,
     ) -> Result<(Self, RecoveryReport), EngineError> {
+        EngineHandle::with_wal_inner(config, options, None)
+    }
+
+    /// [`with_wal`](Self::with_wal) combined with
+    /// [`with_spill`](Self::with_spill): the durable engine with bounded
+    /// resident memory. Recovery restores checkpointed sessions and
+    /// replays the log tail first, then each shard spills down to its
+    /// resident cap before serving.
+    ///
+    /// # Errors
+    /// The union of [`with_wal`](Self::with_wal)'s and
+    /// [`with_spill`](Self::with_spill)'s.
+    pub fn with_wal_and_spill(
+        config: IngressConfig,
+        options: &WalOptions,
+        spill: &SpillOptions,
+    ) -> Result<(Self, RecoveryReport), EngineError> {
+        EngineHandle::with_wal_inner(config, options, Some(spill))
+    }
+
+    fn with_wal_inner(
+        config: IngressConfig,
+        options: &WalOptions,
+        spill: Option<&SpillOptions>,
+    ) -> Result<(Self, RecoveryReport), EngineError> {
         validate_config(&config)?;
         options.validate().map_err(wal_engine_err)?;
+        let spill = match spill {
+            None => None,
+            Some(opts) => Some((opts.clone(), prepare_spill(&config, opts)?)),
+        };
         let log = wal::load_log(&options.dir).map_err(wal_engine_err)?;
 
         // Replay into per-shard session tables under the *current* shard
-        // count, through the same executor the workers run.
+        // count, through the same executor the workers run. Checkpointed
+        // sessions come back first — the manifest's snapshots are the
+        // log's compacted prefix, the surviving segments its tail.
         let n = config.num_shards;
         let mut maps: Vec<HashMap<u64, StreamSession>> = (0..n).map(|_| HashMap::new()).collect();
+        for blob in &log.snapshots {
+            let session = StreamSession::restore(blob, config.seed)
+                .map_err(|e| EngineError::Wal { reason: format!("checkpoint snapshot: {e}") })?;
+            let sid = session.id();
+            if maps[shard_of(sid, n)].insert(sid, session).is_some() {
+                return Err(EngineError::Wal {
+                    reason: format!("checkpoint manifest restores session {sid:#018x} twice"),
+                });
+            }
+        }
         let mut failed = 0u64;
         for cmd in &log.commands {
             let Some(sid) = cmd.session_id() else { continue };
@@ -783,6 +1214,16 @@ impl EngineHandle {
         // One writer per (current) shard, all at the next epoch, each
         // continuing its shard's chain where the log left off.
         let epoch = wal::next_epoch(log.max_epoch).map_err(wal_engine_err)?;
+        let ckpt = CheckpointCtx {
+            dir: options.dir.clone(),
+            chains: log
+                .chains
+                .iter()
+                .map(|c| (c.shard, (c.next_seg_seq, c.next_record_seq)))
+                .collect(),
+            generation: log.manifest_generation,
+            max_epoch: Some(epoch),
+        };
         let mut states = Vec::with_capacity(n);
         for (shard, sessions) in maps.into_iter().enumerate() {
             let (seg_seq, rec_seq) = log.resume_for(shard as u32);
@@ -790,24 +1231,30 @@ impl EngineHandle {
                 .map_err(wal_engine_err)?;
             states.push((sessions, Some(writer)));
         }
-        Ok((EngineHandle::spawn_workers(config, states), report))
+        Ok((EngineHandle::spawn_workers(config, states, spill, Some(ckpt)), report))
     }
 
     /// Bring up one worker per entry of `states`, each owning its
-    /// prebuilt session table and optional log writer.
+    /// prebuilt session table, optional log writer, and optional spill
+    /// tier.
     fn spawn_workers(
         config: IngressConfig,
         states: Vec<(HashMap<u64, StreamSession>, Option<WalWriter>)>,
+        spill: Option<(SpillOptions, Arc<SpillShared>)>,
+        ckpt: Option<CheckpointCtx>,
     ) -> Self {
         let mut lanes = Vec::with_capacity(states.len());
         let mut workers = Vec::with_capacity(states.len());
-        for (sessions, wal) in states {
+        for (shard, (sessions, wal)) in states.into_iter().enumerate() {
             let (tx, rx) = mpsc::channel::<Job>();
             let depth = Arc::new(AtomicUsize::new(0));
             let worker_depth = Arc::clone(&depth);
             let seed = config.seed;
+            let tier = spill
+                .as_ref()
+                .map(|(options, shared)| SpillTier::new(options, shard, Arc::clone(shared)));
             workers.push(std::thread::spawn(move || {
-                worker_loop(rx, worker_depth, seed, sessions, wal)
+                worker_loop(rx, worker_depth, seed, sessions, wal, tier)
             }));
             lanes.push(Lane { tx, depth });
         }
@@ -815,9 +1262,95 @@ impl EngineHandle {
             lanes: lanes.into(),
             capacity: config.queue_depth,
             seed: config.seed,
+            spill: spill.map(|(_, shared)| shared),
             closed: Arc::new(std::sync::atomic::AtomicBool::new(false)),
         };
-        EngineHandle { submit, workers }
+        EngineHandle { submit, workers, ckpt: ckpt.map(Mutex::new) }
+    }
+
+    /// Compact the write-ahead log **while the engine serves traffic**:
+    /// every shard snapshots its sessions and cuts its log chain at a
+    /// job boundary, the cuts merge into one checkpoint manifest
+    /// (`PIRC`), and every covered segment file is deleted. Recovery
+    /// afterwards restores the snapshots and replays only the surviving
+    /// tail — `O(commands since checkpoint)` instead of `O(history)` —
+    /// with future releases bit-identical to an uninterrupted run's
+    /// (`tests/compaction.rs`).
+    ///
+    /// Commands submitted concurrently are never lost: each shard's cut
+    /// is taken in-band between jobs, so any given command is either
+    /// executed before the cut (captured by its session's snapshot) or
+    /// logged in the surviving tail (replayed). Shards cut at different
+    /// wall-clock moments; that is sound because sessions are disjoint
+    /// across shards and replay orders by `(epoch, shard, segment)`.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidConfig`] on an engine without a WAL;
+    /// [`EngineError::Wal`] when a session cannot be snapshotted (a
+    /// `PRIVINCERM` session, say — keep those out of compacted fleets)
+    /// or the manifest cannot be written; [`EngineError::Closed`] if the
+    /// engine shut down mid-checkpoint. A failed checkpoint leaves the
+    /// previous manifest and every segment in place — recovery is
+    /// unaffected.
+    pub fn checkpoint(&self) -> Result<CheckpointReport, EngineError> {
+        let Some(ctx) = &self.ckpt else {
+            return Err(EngineError::InvalidConfig {
+                reason: "checkpoint requires a write-ahead-logged engine (with_wal)".to_string(),
+            });
+        };
+        let mut ctx = ctx.lock().expect("checkpoint lock");
+        let mut acks = Vec::with_capacity(self.submit.lanes.len());
+        for lane in self.submit.lanes.iter() {
+            let (tx, rx) = mpsc::channel();
+            if lane.tx.send(Job::Checkpoint { ack: tx }).is_err() {
+                return Err(EngineError::Closed);
+            }
+            acks.push(rx);
+        }
+        let mut snapshots = Vec::new();
+        let mut first_err = None;
+        // Drain every ack even after an error: the cuts already taken are
+        // harmless (a rotation plus chain entries the next checkpoint
+        // refreshes), and leaving acks unconsumed would be untidy.
+        for rx in acks {
+            match rx.recv() {
+                Err(_) => first_err = first_err.or(Some(EngineError::Closed)),
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Ok(Ok(cut)) => {
+                    ctx.chains.insert(cut.shard, (cut.next_seg_seq, cut.next_record_seq));
+                    ctx.max_epoch = Some(ctx.max_epoch.map_or(cut.epoch, |m| m.max(cut.epoch)));
+                    snapshots.extend(cut.snapshots);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let generation = wal::next_generation(ctx.generation).map_err(wal_engine_err)?;
+        let manifest = wal::Manifest {
+            generation,
+            max_epoch: ctx.max_epoch,
+            chains: ctx
+                .chains
+                .iter()
+                .map(|(&shard, &(next_seg_seq, next_record_seq))| wal::ShardChain {
+                    shard,
+                    next_seg_seq,
+                    next_record_seq,
+                })
+                .collect(),
+            snapshots,
+        };
+        wal::write_manifest(&ctx.dir, &manifest).map_err(wal_engine_err)?;
+        let (segments_purged, manifests_removed) =
+            wal::purge_covered(&ctx.dir, &manifest).map_err(wal_engine_err)?;
+        ctx.generation = Some(generation);
+        Ok(CheckpointReport {
+            generation,
+            sessions: manifest.snapshots.len(),
+            segments_purged,
+            manifests_removed,
+        })
     }
 
     /// Clone out a shareable [`SubmitHandle`] — `Clone + Send + Sync` —
@@ -894,6 +1427,100 @@ fn wal_engine_err(e: wal::WalError) -> EngineError {
     EngineError::Wal { reason: e.to_string() }
 }
 
+/// Validate spill options, create the spill directory, and clear stale
+/// spill files from a previous process. The spill dir extends *this*
+/// process's memory: a session a previous run spilled is rebuilt from
+/// the write-ahead log (if any), never from its stale blob.
+fn prepare_spill(
+    config: &IngressConfig,
+    options: &SpillOptions,
+) -> Result<Arc<SpillShared>, EngineError> {
+    options.validate()?;
+    let dir_err = |e: &std::io::Error| EngineError::InvalidConfig {
+        reason: format!("spill dir {}: {e}", options.dir.display()),
+    };
+    fs::create_dir_all(&options.dir).map_err(|e| dir_err(&e))?;
+    for entry in fs::read_dir(&options.dir).map_err(|e| dir_err(&e))? {
+        let entry = entry.map_err(|e| dir_err(&e))?;
+        if entry.file_name().to_str().is_some_and(is_spill_file) {
+            fs::remove_file(entry.path()).map_err(|e| dir_err(&e))?;
+        }
+    }
+    Ok(Arc::new(SpillShared::new(config.num_shards)))
+}
+
+/// Pre-execution cold-start hook: restore `session_id` if this shard had
+/// spilled it, before the command is logged or executed.
+fn ensure_resident(
+    spill: &mut Option<SpillTier>,
+    sessions: &mut HashMap<u64, StreamSession>,
+    engine_seed: u64,
+    session_id: Option<u64>,
+) -> Result<(), EngineError> {
+    match (spill.as_mut(), session_id) {
+        (Some(tier), Some(sid)) => tier.restore_if_spilled(sessions, engine_seed, sid),
+        _ => Ok(()),
+    }
+}
+
+/// Post-job bookkeeping for a spill-enabled worker: retire the pending
+/// entries the submitter published for this job, refresh the LRU,
+/// enforce the resident cap, and update the shared gauges. Runs *after*
+/// the job executed, which is exactly what makes the pending gate sound.
+fn settle_spill(
+    spill: &mut Option<SpillTier>,
+    sessions: &mut HashMap<u64, StreamSession>,
+    touched: &[u64],
+) {
+    let Some(tier) = spill.as_mut() else { return };
+    for &sid in touched {
+        tier.shared.pending_sub(tier.shard, sid);
+        if sessions.contains_key(&sid) {
+            tier.touch(sid);
+        } else {
+            tier.forget(sid);
+        }
+    }
+    tier.enforce_cap(sessions);
+    tier.sync_resident(sessions);
+}
+
+/// Take one shard's checkpoint cut: snapshot every session this shard
+/// owns — resident ones directly, spilled ones by reading their spill
+/// files (valid because eviction requires an idle session, and any
+/// later command would have restored it in-band first) — then cut the
+/// log chain. Runs between jobs, so the snapshots agree exactly with
+/// the log position the cut reports.
+fn shard_cut(
+    sessions: &HashMap<u64, StreamSession>,
+    spill: &Option<SpillTier>,
+    wal: &mut Option<WalWriter>,
+) -> Result<ShardCut, EngineError> {
+    let Some(w) = wal.as_mut() else {
+        return Err(EngineError::InvalidConfig {
+            reason: "checkpoint requires a write-ahead-logged engine (with_wal)".to_string(),
+        });
+    };
+    let mut snapshots = Vec::with_capacity(sessions.len());
+    for session in sessions.values() {
+        let blob = session.snapshot().map_err(|e| EngineError::Wal {
+            reason: format!("session {:#018x}: {e}", session.id()),
+        })?;
+        snapshots.push(blob);
+    }
+    if let Some(tier) = spill {
+        for &sid in tier.spilled.keys() {
+            let path = tier.file(sid);
+            let blob = fs::read(&path).map_err(|e| EngineError::Wal {
+                reason: format!("spilled session {}: {e}", path.display()),
+            })?;
+            snapshots.push(blob);
+        }
+    }
+    let (epoch, next_seg_seq, next_record_seq) = w.cut().map_err(wal_engine_err)?;
+    Ok(ShardCut { shard: w.shard(), epoch, next_seg_seq, next_record_seq, snapshots })
+}
+
 /// One shard's worker: owns the shard's sessions (and, in a WAL-enabled
 /// engine, the shard's log writer), drains its queue. The durability
 /// discipline is **log before execute**: a command that cannot be made
@@ -906,27 +1533,76 @@ fn worker_loop(
     engine_seed: u64,
     mut sessions: HashMap<u64, StreamSession>,
     mut wal: Option<WalWriter>,
+    mut spill: Option<SpillTier>,
 ) {
+    // A recovered shard can come up over its resident cap: seed the LRU
+    // in session-id order (deterministic) and spill down to cap before
+    // serving the first command.
+    if let Some(tier) = spill.as_mut() {
+        let mut ids: Vec<u64> = sessions.keys().copied().collect();
+        ids.sort_unstable();
+        for sid in ids {
+            tier.touch(sid);
+        }
+        tier.enforce_cap(&mut sessions);
+        tier.sync_resident(&sessions);
+    }
     while let Ok(job) = rx.recv() {
         match job {
             Job::Cmd { cmd, cost, reply } => {
-                let r = match log_command(&mut wal, &cmd) {
-                    Ok(()) => exec_command(&mut sessions, engine_seed, cmd),
+                let sid = cmd.session_id();
+                // Cold-start before logging: a command whose session
+                // cannot be restored must not reach the log, or replay
+                // would execute it into state the original run refused.
+                let r = match ensure_resident(&mut spill, &mut sessions, engine_seed, sid) {
+                    Ok(()) => match log_command(&mut wal, &cmd) {
+                        Ok(()) => exec_command(&mut sessions, engine_seed, cmd),
+                        Err(e) => Reply::Err(e),
+                    },
                     Err(e) => Reply::Err(e),
                 };
+                settle_spill(&mut spill, &mut sessions, sid.as_slice());
                 depth.fetch_sub(cost, Ordering::SeqCst);
                 let _ = reply.send(r);
             }
             Job::Ingest { runs, cost, reply } => {
-                let out = match wal.as_mut() {
+                let touched: Vec<u64> =
+                    if spill.is_some() { runs.iter().map(|r| r.0).collect() } else { Vec::new() };
+                // Cold-start every target first; a run whose session
+                // cannot be restored is answered here and excluded from
+                // the logged batch (same reason as the `Cmd` arm).
+                let mut out = Vec::new();
+                let runs = match spill.as_mut() {
+                    None => runs,
+                    Some(tier) => {
+                        let mut keep = Vec::with_capacity(runs.len());
+                        for (sid, indices, batch) in runs {
+                            match tier.restore_if_spilled(&mut sessions, engine_seed, sid) {
+                                Ok(()) => keep.push((sid, indices, batch)),
+                                Err(e) => {
+                                    for i in indices {
+                                        out.push((i, Err(e.clone())));
+                                    }
+                                }
+                            }
+                        }
+                        keep
+                    }
+                };
+                let mut executed = match wal.as_mut() {
                     None => run_ingest(&mut sessions, runs),
                     Some(w) => run_ingest_logged(&mut sessions, w, runs),
                 };
+                out.append(&mut executed);
+                settle_spill(&mut spill, &mut sessions, &touched);
                 depth.fetch_sub(cost, Ordering::SeqCst);
                 let _ = reply.send(out);
             }
             Job::Flush { ack } => {
                 let _ = ack.send(());
+            }
+            Job::Checkpoint { ack } => {
+                let _ = ack.send(shard_cut(&sessions, &spill, &mut wal));
             }
             Job::Shutdown { ack } => {
                 // Clean shutdown: force the log to stable storage
@@ -935,8 +1611,12 @@ fn worker_loop(
                 if let Some(w) = wal.take() {
                     let _ = w.finish();
                 }
-                let points = sessions.values().map(StreamSession::t).sum();
-                let _ = ack.send((sessions.len(), points));
+                let (spilled_sessions, spilled_points) = spill
+                    .as_ref()
+                    .map_or((0, 0), |t| (t.spilled.len(), t.spilled.values().sum::<usize>()));
+                let points =
+                    sessions.values().map(StreamSession::t).sum::<usize>() + spilled_points;
+                let _ = ack.send((sessions.len() + spilled_sessions, points));
                 break;
             }
         }
@@ -1088,5 +1768,123 @@ fn ingest_run(
                 }
             }
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos();
+            let dir = std::env::temp_dir()
+                .join(format!("pir-spill-{tag}-{}-{nanos}", std::process::id()));
+            fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn session(engine_seed: u64, sid: u64) -> StreamSession {
+        let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
+        let mut rng = NoiseRng::seed_from_u64(session_seed(engine_seed, sid));
+        StreamSession::spawn(sid, &MechanismSpec::reg1_l2(2), 64, &params, &mut rng).unwrap()
+    }
+
+    /// The stale-depth regression, pinned deterministically: a session
+    /// with a queued-but-unexecuted command (a pending entry) must never
+    /// be spilled, no matter how cold its LRU slot is — before the
+    /// pending gate existed, an `ObserveBatch` could sit in the queue
+    /// while its session was evicted underneath it.
+    #[test]
+    fn eviction_skips_sessions_with_pending_commands() {
+        let dir = TempDir::new("pending-guard");
+        let options = SpillOptions { dir: dir.0.clone(), resident_cap: 1 };
+        let shared = Arc::new(SpillShared::new(1));
+        let mut tier = SpillTier::new(&options, 0, Arc::clone(&shared));
+        let mut sessions = HashMap::new();
+        for sid in [1u64, 2, 3] {
+            sessions.insert(sid, session(7, sid));
+            tier.touch(sid);
+        }
+        // Session 1 is the coldest, but a submitter published a command
+        // for it: the pass must skip it and spill 2 and 3 instead.
+        shared.pending_add(0, 1);
+        tier.enforce_cap(&mut sessions);
+        assert!(sessions.contains_key(&1), "session with a queued command was spilled");
+        assert!(!sessions.contains_key(&2) && !sessions.contains_key(&3));
+        assert_eq!(tier.spilled.len(), 2);
+        assert_eq!(shared.stats().spills, 2);
+        // Retire the pending command: the next pass may spill it.
+        shared.pending_sub(0, 1);
+        tier.touch(99); // no such session — stale entries are skipped
+        sessions.insert(4, session(7, 4));
+        tier.touch(4);
+        tier.enforce_cap(&mut sessions);
+        assert!(!sessions.contains_key(&1), "idle coldest session must spill");
+        assert!(sessions.contains_key(&4), "most-recently-used session stays resident");
+    }
+
+    /// A spilled session comes back exactly as it left: same stream
+    /// position, file removed, counters advanced.
+    #[test]
+    fn spill_then_restore_round_trips_in_band() {
+        let dir = TempDir::new("restore");
+        let options = SpillOptions { dir: dir.0.clone(), resident_cap: 1 };
+        let shared = Arc::new(SpillShared::new(1));
+        let mut tier = SpillTier::new(&options, 0, Arc::clone(&shared));
+        let mut sessions = HashMap::new();
+        let mut cold = session(7, 5);
+        cold.observe(&DataPoint::new(vec![0.4, 0.2], 0.3)).unwrap();
+        let t_before = cold.t();
+        sessions.insert(5, cold);
+        tier.touch(5);
+        sessions.insert(6, session(7, 6));
+        tier.touch(6);
+        tier.enforce_cap(&mut sessions);
+        assert!(!sessions.contains_key(&5), "coldest session spills");
+        assert!(tier.file(5).exists());
+        tier.restore_if_spilled(&mut sessions, 7, 5).unwrap();
+        assert_eq!(sessions[&5].t(), t_before);
+        assert!(!tier.file(5).exists(), "restore consumes the spill file");
+        let stats = shared.stats();
+        assert_eq!((stats.spills, stats.restores, stats.spilled), (1, 1, 0));
+    }
+
+    /// A corrupted spill file surfaces as a typed error and leaves the
+    /// session table untouched — never a panic, never a silently-wrong
+    /// session.
+    #[test]
+    fn corrupt_spill_file_is_a_typed_error() {
+        let dir = TempDir::new("corrupt");
+        let options = SpillOptions { dir: dir.0.clone(), resident_cap: 1 };
+        let shared = Arc::new(SpillShared::new(1));
+        let mut tier = SpillTier::new(&options, 0, Arc::clone(&shared));
+        let mut sessions = HashMap::new();
+        sessions.insert(8, session(7, 8));
+        tier.touch(8);
+        sessions.insert(9, session(7, 9));
+        tier.touch(9);
+        tier.enforce_cap(&mut sessions);
+        assert!(!sessions.contains_key(&8));
+        let path = tier.file(8);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let err = tier.restore_if_spilled(&mut sessions, 7, 8).unwrap_err();
+        assert!(matches!(err, EngineError::Wal { .. }), "got {err:?}");
+        assert!(!sessions.contains_key(&8), "failed restore must not insert a session");
     }
 }

@@ -53,6 +53,7 @@ mod error;
 pub mod ingress;
 pub mod server;
 mod session;
+pub mod snapshot;
 mod spec;
 pub mod tcp;
 pub mod wal;
@@ -61,10 +62,15 @@ pub mod wire;
 pub use engine::{EngineConfig, ShardedEngine};
 pub use error::EngineError;
 pub use ingress::{
-    Command, EngineHandle, IngressConfig, IngressStats, Reply, SubmitHandle, Ticket,
+    Command, EngineHandle, IngressConfig, IngressStats, Reply, SpillOptions, SpillStats,
+    SubmitHandle, Ticket,
 };
 pub use server::{serve_connection, ServeStats};
 pub use session::StreamSession;
+pub use snapshot::SnapshotError;
 pub use spec::{LossSpec, MechanismSpec, SetSpec, SolverSpec};
 pub use tcp::{serve_tcp, serve_tcp_with, TcpFront, TcpOptions, TcpStats};
-pub use wal::{recover, FsyncPolicy, RecoveryReport, WalError, WalOptions, WalWriter};
+pub use wal::{
+    checkpoint, recover, CheckpointReport, FsyncPolicy, RecoveryReport, WalError, WalOptions,
+    WalWriter,
+};

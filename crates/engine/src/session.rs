@@ -1,6 +1,7 @@
 //! One user stream: a mechanism plus its privacy ledger.
 
 use crate::error::EngineError;
+use crate::snapshot::{self, SnapshotError};
 use crate::spec::MechanismSpec;
 use pir_core::IncrementalMechanism;
 use pir_dp::{NoiseRng, PrivacyAccountant, PrivacyParams};
@@ -16,6 +17,8 @@ use pir_erm::DataPoint;
 /// instead of a silent privacy failure.
 pub struct StreamSession {
     id: u64,
+    spec: MechanismSpec,
+    t_max: usize,
     mech: Box<dyn IncrementalMechanism>,
     accountant: PrivacyAccountant,
 }
@@ -52,7 +55,7 @@ impl StreamSession {
         if spec.is_private() {
             accountant.charge(mech.name(), *params)?;
         }
-        Ok(StreamSession { id, mech, accountant })
+        Ok(StreamSession { id, spec: spec.clone(), t_max, mech, accountant })
     }
 
     /// Session id.
@@ -118,5 +121,121 @@ impl StreamSession {
     /// batch (rejected atomically) or overflow.
     pub fn observe_batch(&mut self, batch: &[DataPoint]) -> Result<Vec<Vec<f64>>, EngineError> {
         Ok(self.mech.observe_batch(batch)?)
+    }
+
+    /// Whether this session can be captured by [`snapshot`]
+    /// (StreamSession::snapshot): the mechanism exports resumable state
+    /// and the spec is serializable. False for `PRIVINCERM` (its state is
+    /// the full observed history) and for specs with custom set factories.
+    pub fn supports_snapshot(&self) -> bool {
+        self.mech.supports_state() && self.spec.is_codable()
+    }
+
+    /// Append a `PIRS` snapshot of this session to `out` — everything
+    /// needed by [`restore`](StreamSession::restore) to resume the stream
+    /// bit-identically on an engine with the same seed. `O(d log T)`
+    /// bytes; the sketch matrix and other construction-time randomness
+    /// are reproduced from the seed rather than serialized. On error
+    /// `out` is left at its original length.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Unsupported`] when
+    /// [`supports_snapshot`](StreamSession::supports_snapshot) is false.
+    pub fn snapshot_into(&self, out: &mut Vec<u8>) -> Result<(), SnapshotError> {
+        let mut state = Vec::new();
+        self.mech
+            .save_state(&mut state)
+            .map_err(|e| SnapshotError::Unsupported { reason: e.to_string() })?;
+        let budget = self.accountant.budget();
+        let (spent_epsilon, spent_delta) = self.accountant.spent();
+        snapshot::encode_into(
+            out,
+            &snapshot::SnapshotBody {
+                session_id: self.id,
+                t_max: self.t_max as u64,
+                t: self.mech.t() as u64,
+                epsilon: budget.epsilon(),
+                delta: budget.delta(),
+                spent_epsilon,
+                spent_delta,
+                spec: &self.spec,
+                state: &state,
+            },
+        )
+    }
+
+    /// [`snapshot_into`](StreamSession::snapshot_into) into a fresh
+    /// buffer.
+    ///
+    /// # Errors
+    /// As [`snapshot_into`](StreamSession::snapshot_into).
+    pub fn snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        let mut out = Vec::new();
+        self.snapshot_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Rebuild a session from a `PIRS` blob: decode and validate the
+    /// snapshot, respawn the mechanism deterministically from
+    /// `engine_seed` (the owning [`EngineConfig::seed`] — construction
+    /// randomness such as Mechanism 2's sketch matrix is a pure function
+    /// of it and the session id), overlay the dynamic state, and verify
+    /// the rebuilt session agrees with the snapshot's recorded step count
+    /// and privacy ledger bit-for-bit.
+    ///
+    /// Restoring under a *different* engine seed is undetectable here for
+    /// mechanisms whose noise state is fully serialized (the trees carry
+    /// their own RNG), but silently changes Mechanism 2's sketch — the
+    /// engine seed is part of the durability contract.
+    ///
+    /// # Errors
+    /// Any [`SnapshotError`] from decoding; [`SnapshotError::Restore`]
+    /// when the session cannot be rebuilt or disagrees with the recorded
+    /// `t`/ledger.
+    ///
+    /// [`EngineConfig::seed`]: crate::engine::EngineConfig
+    pub fn restore(bytes: &[u8], engine_seed: u64) -> Result<StreamSession, SnapshotError> {
+        let snap = snapshot::decode(bytes)?;
+        let t_max = usize::try_from(snap.t_max).map_err(|_| SnapshotError::Malformed {
+            reason: format!("t_max {} overflows usize", snap.t_max),
+        })?;
+        if snap.t > snap.t_max {
+            return Err(SnapshotError::Malformed {
+                reason: format!("t {} exceeds t_max {}", snap.t, snap.t_max),
+            });
+        }
+        let params = PrivacyParams::new(snap.epsilon, snap.delta)
+            .map_err(|e| SnapshotError::Malformed { reason: format!("privacy params: {e}") })?;
+        let mut rng =
+            NoiseRng::seed_from_u64(crate::engine::session_seed(engine_seed, snap.session_id));
+        let mut session =
+            StreamSession::spawn(snap.session_id, &snap.spec, t_max, &params, &mut rng)
+                .map_err(|e| SnapshotError::Restore { reason: e.to_string() })?;
+        session
+            .mech
+            .load_state(&snap.state)
+            .map_err(|e| SnapshotError::Restore { reason: e.to_string() })?;
+        if session.mech.t() as u64 != snap.t {
+            return Err(SnapshotError::Restore {
+                reason: format!(
+                    "restored mechanism reports t = {}, snapshot recorded {}",
+                    session.mech.t(),
+                    snap.t
+                ),
+            });
+        }
+        let (spent_epsilon, spent_delta) = session.accountant.spent();
+        if spent_epsilon.to_bits() != snap.spent_epsilon.to_bits()
+            || spent_delta.to_bits() != snap.spent_delta.to_bits()
+        {
+            return Err(SnapshotError::Restore {
+                reason: format!(
+                    "privacy ledger diverged: respawn spent ({spent_epsilon}, {spent_delta}), \
+                     snapshot recorded ({}, {})",
+                    snap.spent_epsilon, snap.spent_delta
+                ),
+            });
+        }
+        Ok(session)
     }
 }

@@ -1,0 +1,516 @@
+//! Versioned, checksummed session snapshots — the `PIRS` format.
+//!
+//! A snapshot captures everything needed to resume a [`StreamSession`]
+//! bit-identically on the same engine: the identity and static shape of
+//! the session (id, spec, horizon, privacy budget) plus the mechanism's
+//! dynamic state blob from [`IncrementalMechanism::save_state`]. Restore
+//! respawns the mechanism deterministically from the engine seed (which
+//! reproduces construction-time randomness such as Mechanism 2's sketch
+//! matrix without serializing it) and then overlays the dynamic state, so
+//! snapshots stay `O(d log T)` — never `O(m × d)`.
+//!
+//! ## Layout (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  = "PIRS"
+//! 4       1     version = 1
+//! 5       3     reserved, must be zero
+//! 8       4     body length N (LE u32, capped at MAX_SNAPSHOT_BODY)
+//! 12      N     body
+//! 12+N    4     CRC-32 (LE u32) over bytes 0..12+N
+//! ```
+//!
+//! Body, in order (all integers little-endian, all floats IEEE-754 bit
+//! patterns — decoding restores the exact bits, so restored sessions are
+//! reproducible to the last ulp):
+//!
+//! ```text
+//! 8   session id (u64)
+//! 8   t_max      (u64)  — stream horizon the mechanism was built for
+//! 8   t          (u64)  — points consumed so far
+//! 8   budget epsilon (f64 bits)
+//! 8   budget delta   (f64 bits)
+//! 8   spent epsilon  (f64 bits)  — accountant ledger at snapshot time
+//! 8   spent delta    (f64 bits)
+//! 4   spec length S (u32), then S bytes: wire-encoded MechanismSpec
+//!     (the same encoding an OPEN frame carries)
+//! 4   state length M (u32), then M bytes: mechanism state blob
+//!     (the pir-core state codec; opaque at this layer)
+//! ```
+//!
+//! Decoding is strict, in the same discipline as the WAL codec: magic,
+//! version, and reserved bytes are checked first, then the body length
+//! against the cap and the available bytes, then the checksum, and only
+//! then is the body parsed — so a flipped byte anywhere surfaces as
+//! [`SnapshotError::ChecksumMismatch`], while a forged-but-checksummed
+//! body surfaces as a typed structural error. Trailing bytes after the
+//! checksum are rejected.
+
+use crate::spec::MechanismSpec;
+use crate::wal::crc32;
+use crate::wire;
+
+/// Magic bytes opening every snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PIRS";
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// Fixed header length: magic (4) + version (1) + reserved (3) + body
+/// length (4).
+pub(crate) const SNAPSHOT_HEADER_LEN: usize = 12;
+
+/// Trailing checksum length.
+pub(crate) const SNAPSHOT_TRAILER_LEN: usize = 4;
+
+/// Hard cap on the body length (64 MiB). Real snapshots are `O(d log T)`
+/// — kilobytes — so anything near this cap is a forged or corrupt length
+/// field, rejected before any allocation is sized from it.
+pub const MAX_SNAPSHOT_BODY: u32 = 64 * 1024 * 1024;
+
+/// Typed failures while encoding, decoding, or restoring a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The blob does not start with the `PIRS` magic.
+    BadMagic {
+        /// The four bytes found where the magic belongs.
+        got: [u8; 4],
+    },
+    /// The format version is not one this build can decode.
+    UnsupportedVersion {
+        /// The version byte found.
+        got: u8,
+    },
+    /// The reserved header bytes are not zero.
+    NonZeroReserved,
+    /// The declared body length exceeds [`MAX_SNAPSHOT_BODY`].
+    BodyTooLarge {
+        /// The declared body length.
+        len: u32,
+    },
+    /// The blob ends before the declared layout does.
+    Truncated {
+        /// Bytes available.
+        have: usize,
+        /// Bytes the header demands.
+        need: usize,
+    },
+    /// The trailing CRC-32 does not match the header + body bytes.
+    ChecksumMismatch {
+        /// Checksum recomputed over the bytes present.
+        expected: u32,
+        /// Checksum stored in the blob.
+        got: u32,
+    },
+    /// The checksummed body does not parse as a version-1 snapshot.
+    Malformed {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The session cannot be snapshotted (mechanism keeps no exportable
+    /// state, or the spec carries a custom set factory the codec cannot
+    /// serialize).
+    Unsupported {
+        /// What was unsupported.
+        reason: String,
+    },
+    /// The snapshot decoded cleanly but the session could not be rebuilt
+    /// from it (mechanism respawn or state overlay failed, or the rebuilt
+    /// session disagrees with the snapshot's recorded `t` / ledger).
+    Restore {
+        /// What failed.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic { got } => {
+                write!(f, "snapshot magic mismatch: got {got:02x?}, want \"PIRS\"")
+            }
+            SnapshotError::UnsupportedVersion { got } => {
+                write!(f, "unsupported snapshot version {got} (this build reads version {SNAPSHOT_VERSION})")
+            }
+            SnapshotError::NonZeroReserved => {
+                write!(f, "snapshot reserved header bytes are not zero")
+            }
+            SnapshotError::BodyTooLarge { len } => {
+                write!(f, "snapshot body length {len} exceeds the {MAX_SNAPSHOT_BODY}-byte cap")
+            }
+            SnapshotError::Truncated { have, need } => {
+                write!(f, "snapshot truncated: have {have} bytes, need {need}")
+            }
+            SnapshotError::ChecksumMismatch { expected, got } => {
+                write!(
+                    f,
+                    "snapshot checksum mismatch: computed {expected:#010x}, stored {got:#010x}"
+                )
+            }
+            SnapshotError::Malformed { reason } => write!(f, "malformed snapshot body: {reason}"),
+            SnapshotError::Unsupported { reason } => {
+                write!(f, "session not snapshot-capable: {reason}")
+            }
+            SnapshotError::Restore { reason } => write!(f, "snapshot restore failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The fields a version-1 snapshot serializes, borrowed for encoding.
+pub(crate) struct SnapshotBody<'a> {
+    pub session_id: u64,
+    pub t_max: u64,
+    pub t: u64,
+    pub epsilon: f64,
+    pub delta: f64,
+    pub spent_epsilon: f64,
+    pub spent_delta: f64,
+    pub spec: &'a MechanismSpec,
+    pub state: &'a [u8],
+}
+
+/// The fields recovered from a decoded snapshot, owned.
+pub(crate) struct DecodedSnapshot {
+    pub session_id: u64,
+    pub t_max: u64,
+    pub t: u64,
+    pub epsilon: f64,
+    pub delta: f64,
+    pub spent_epsilon: f64,
+    pub spent_delta: f64,
+    pub spec: MechanismSpec,
+    pub state: Vec<u8>,
+}
+
+/// Append a complete snapshot (header + body + checksum) to `out`.
+/// On error `out` is truncated back to its original length.
+pub(crate) fn encode_into(out: &mut Vec<u8>, body: &SnapshotBody<'_>) -> Result<(), SnapshotError> {
+    let start = out.len();
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.push(SNAPSHOT_VERSION);
+    out.extend_from_slice(&[0u8; 3]);
+    out.extend_from_slice(&[0u8; 4]); // body length, patched below
+
+    out.extend_from_slice(&body.session_id.to_le_bytes());
+    out.extend_from_slice(&body.t_max.to_le_bytes());
+    out.extend_from_slice(&body.t.to_le_bytes());
+    out.extend_from_slice(&body.epsilon.to_bits().to_le_bytes());
+    out.extend_from_slice(&body.delta.to_bits().to_le_bytes());
+    out.extend_from_slice(&body.spent_epsilon.to_bits().to_le_bytes());
+    out.extend_from_slice(&body.spent_delta.to_bits().to_le_bytes());
+
+    let spec_len_at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    if let Err(e) = wire::encode_spec_into(out, body.spec) {
+        out.truncate(start);
+        return Err(SnapshotError::Unsupported { reason: e.to_string() });
+    }
+    let spec_len = out.len() - spec_len_at - 4;
+    let Ok(spec_len) = u32::try_from(spec_len) else {
+        out.truncate(start);
+        return Err(SnapshotError::Malformed {
+            reason: format!("spec encoding is {spec_len} bytes"),
+        });
+    };
+    out[spec_len_at..spec_len_at + 4].copy_from_slice(&spec_len.to_le_bytes());
+
+    let Ok(state_len) = u32::try_from(body.state.len()) else {
+        out.truncate(start);
+        return Err(SnapshotError::Malformed {
+            reason: format!("state blob is {} bytes", body.state.len()),
+        });
+    };
+    out.extend_from_slice(&state_len.to_le_bytes());
+    out.extend_from_slice(body.state);
+
+    let body_len = out.len() - start - SNAPSHOT_HEADER_LEN;
+    if body_len > MAX_SNAPSHOT_BODY as usize {
+        out.truncate(start);
+        return Err(SnapshotError::BodyTooLarge { len: body_len as u32 });
+    }
+    let body_len = body_len as u32;
+    out[start + 8..start + 12].copy_from_slice(&body_len.to_le_bytes());
+    let crc = crc32(&out[start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    Ok(())
+}
+
+/// Strict cursor over the checksummed body. Any shortfall here means the
+/// encoder was buggy or the length fields were forged with a fixed-up
+/// checksum, so everything maps to [`SnapshotError::Malformed`].
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], SnapshotError> {
+        let remaining = self.buf.len() - self.pos;
+        if remaining < n {
+            return Err(SnapshotError::Malformed {
+                reason: format!("body ends inside {what}: need {n} bytes, have {remaining}"),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn take_u32(&mut self, what: &str) -> Result<u32, SnapshotError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn take_u64(&mut self, what: &str) -> Result<u64, SnapshotError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn take_f64(&mut self, what: &str) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.take_u64(what)?))
+    }
+
+    fn finish(self) -> Result<(), SnapshotError> {
+        let left = self.buf.len() - self.pos;
+        if left != 0 {
+            return Err(SnapshotError::Malformed {
+                reason: format!("{left} unparsed bytes after the state blob"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Decode a complete snapshot blob, validating everything.
+pub(crate) fn decode(bytes: &[u8]) -> Result<DecodedSnapshot, SnapshotError> {
+    if bytes.len() < SNAPSHOT_HEADER_LEN {
+        return Err(SnapshotError::Truncated { have: bytes.len(), need: SNAPSHOT_HEADER_LEN });
+    }
+    if bytes[0..4] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic { got: [bytes[0], bytes[1], bytes[2], bytes[3]] });
+    }
+    if bytes[4] != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { got: bytes[4] });
+    }
+    if bytes[5..8] != [0u8; 3] {
+        return Err(SnapshotError::NonZeroReserved);
+    }
+    let body_len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if body_len > MAX_SNAPSHOT_BODY {
+        return Err(SnapshotError::BodyTooLarge { len: body_len });
+    }
+    let need = SNAPSHOT_HEADER_LEN + body_len as usize + SNAPSHOT_TRAILER_LEN;
+    if bytes.len() < need {
+        return Err(SnapshotError::Truncated { have: bytes.len(), need });
+    }
+    if bytes.len() > need {
+        return Err(SnapshotError::Malformed {
+            reason: format!("{} trailing bytes after the checksum", bytes.len() - need),
+        });
+    }
+    let crc_at = need - SNAPSHOT_TRAILER_LEN;
+    let stored = u32::from_le_bytes([
+        bytes[crc_at],
+        bytes[crc_at + 1],
+        bytes[crc_at + 2],
+        bytes[crc_at + 3],
+    ]);
+    let computed = crc32(&bytes[..crc_at]);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch { expected: computed, got: stored });
+    }
+
+    let mut c = Cursor::new(&bytes[SNAPSHOT_HEADER_LEN..crc_at]);
+    let session_id = c.take_u64("session id")?;
+    let t_max = c.take_u64("t_max")?;
+    let t = c.take_u64("t")?;
+    let epsilon = c.take_f64("budget epsilon")?;
+    let delta = c.take_f64("budget delta")?;
+    let spent_epsilon = c.take_f64("spent epsilon")?;
+    let spent_delta = c.take_f64("spent delta")?;
+    let spec_len = c.take_u32("spec length")? as usize;
+    let spec_bytes = c.take(spec_len, "spec")?;
+    let spec = wire::decode_spec_exact(spec_bytes)
+        .map_err(|e| SnapshotError::Malformed { reason: format!("spec: {e}") })?;
+    let state_len = c.take_u32("state length")? as usize;
+    let state = c.take(state_len, "state blob")?.to_vec();
+    c.finish()?;
+
+    Ok(DecodedSnapshot {
+        session_id,
+        t_max,
+        t,
+        epsilon,
+        delta,
+        spent_epsilon,
+        spent_delta,
+        spec,
+        state,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_blob() -> Vec<u8> {
+        let spec = MechanismSpec::reg1_l2(3);
+        let mut out = Vec::new();
+        encode_into(
+            &mut out,
+            &SnapshotBody {
+                session_id: 0x1122_3344_5566_7788,
+                t_max: 1 << 20,
+                t: 17,
+                epsilon: 1.0,
+                delta: 1e-6,
+                spent_epsilon: 1.0,
+                spent_delta: 1e-6,
+                spec: &spec,
+                state: &[0xAB, 0xCD, 0xEF],
+            },
+        )
+        .unwrap();
+        out
+    }
+
+    fn refix_crc(blob: &mut [u8]) {
+        let crc_at = blob.len() - SNAPSHOT_TRAILER_LEN;
+        let crc = crc32(&blob[..crc_at]);
+        blob[crc_at..].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let blob = sample_blob();
+        let d = decode(&blob).unwrap();
+        assert_eq!(d.session_id, 0x1122_3344_5566_7788);
+        assert_eq!(d.t_max, 1 << 20);
+        assert_eq!(d.t, 17);
+        assert_eq!(d.epsilon.to_bits(), 1.0f64.to_bits());
+        assert_eq!(d.delta.to_bits(), 1e-6f64.to_bits());
+        assert_eq!(d.spent_epsilon.to_bits(), 1.0f64.to_bits());
+        assert_eq!(d.spent_delta.to_bits(), 1e-6f64.to_bits());
+        assert_eq!(d.spec.label(), "priv-inc-reg-1");
+        assert_eq!(d.spec.dim(), 3);
+        assert_eq!(d.state, vec![0xAB, 0xCD, 0xEF]);
+        // Re-encoding the decoded snapshot reproduces the exact bytes.
+        let mut again = Vec::new();
+        encode_into(
+            &mut again,
+            &SnapshotBody {
+                session_id: d.session_id,
+                t_max: d.t_max,
+                t: d.t,
+                epsilon: d.epsilon,
+                delta: d.delta,
+                spent_epsilon: d.spent_epsilon,
+                spent_delta: d.spent_delta,
+                spec: &d.spec,
+                state: &d.state,
+            },
+        )
+        .unwrap();
+        assert_eq!(again, blob);
+    }
+
+    #[test]
+    fn header_faults_report_typed_errors() {
+        let blob = sample_blob();
+
+        let mut forged = blob.clone();
+        forged[0] = b'Q';
+        assert!(matches!(decode(&forged), Err(SnapshotError::BadMagic { .. })));
+
+        let mut forged = blob.clone();
+        forged[4] = 2;
+        assert!(matches!(decode(&forged), Err(SnapshotError::UnsupportedVersion { got: 2 })));
+
+        let mut forged = blob.clone();
+        forged[6] = 1;
+        assert!(matches!(decode(&forged), Err(SnapshotError::NonZeroReserved)));
+
+        let mut forged = blob.clone();
+        forged[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&forged), Err(SnapshotError::BodyTooLarge { .. })));
+
+        // An in-cap but overlong body length reads as truncation.
+        let mut forged = blob.clone();
+        let len = u32::from_le_bytes([forged[8], forged[9], forged[10], forged[11]]);
+        forged[8..12].copy_from_slice(&(len + 1).to_le_bytes());
+        assert!(matches!(decode(&forged), Err(SnapshotError::Truncated { .. })));
+    }
+
+    #[test]
+    fn every_truncation_prefix_is_a_typed_error() {
+        let blob = sample_blob();
+        for cut in 0..blob.len() {
+            assert!(decode(&blob[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let blob = sample_blob();
+        for i in 0..blob.len() {
+            let mut flipped = blob.clone();
+            flipped[i] ^= 0x01;
+            assert!(decode(&flipped).is_err(), "flip at byte {i} decoded");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut blob = sample_blob();
+        blob.push(0);
+        assert!(matches!(decode(&blob), Err(SnapshotError::Malformed { .. })));
+    }
+
+    #[test]
+    fn forged_checksummed_lengths_are_malformed() {
+        // Forge the spec length to swallow the rest of the body, then fix
+        // the checksum so decoding reaches the body parser.
+        let mut blob = sample_blob();
+        let spec_len_at = SNAPSHOT_HEADER_LEN + 7 * 8;
+        blob[spec_len_at..spec_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        refix_crc(&mut blob);
+        assert!(matches!(decode(&blob), Err(SnapshotError::Malformed { .. })));
+    }
+
+    #[test]
+    fn custom_set_specs_are_unsupported() {
+        use crate::spec::SetSpec;
+        use std::sync::Arc;
+        let spec = MechanismSpec::Trivial {
+            set: SetSpec::Custom(Arc::new(|| {
+                Box::new(pir_geometry::L2Ball::new(2, 1.0)) as Box<dyn pir_geometry::ConvexSet>
+            })),
+        };
+        let mut out = vec![0xFE];
+        let err = encode_into(
+            &mut out,
+            &SnapshotBody {
+                session_id: 1,
+                t_max: 8,
+                t: 0,
+                epsilon: 1.0,
+                delta: 1e-6,
+                spent_epsilon: 0.0,
+                spent_delta: 0.0,
+                spec: &spec,
+                state: &[],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SnapshotError::Unsupported { .. }));
+        // Failed encodes leave the output buffer untouched.
+        assert_eq!(out, vec![0xFE]);
+    }
+}

@@ -257,6 +257,20 @@ impl MechanismSpec {
         }
     }
 
+    /// Whether the spec round-trips through the wire and snapshot codecs
+    /// — everything except specs carrying a [`SetSpec::Custom`] factory
+    /// closure, which has no serializable form.
+    pub(crate) fn is_codable(&self) -> bool {
+        let set = match self {
+            MechanismSpec::Erm { set, .. }
+            | MechanismSpec::Reg1 { set, .. }
+            | MechanismSpec::Reg2 { set, .. }
+            | MechanismSpec::Trivial { set }
+            | MechanismSpec::ExactOracle { set } => set,
+        };
+        !matches!(set, SetSpec::Custom(_))
+    }
+
     /// Short label for logs and reports.
     pub fn label(&self) -> &'static str {
         match self {

@@ -88,6 +88,23 @@
 //! construction, so recovering a 2-shard log into an 8-shard engine
 //! reproduces the same bits.
 //!
+//! # Checkpoints and compaction
+//!
+//! Replaying every command since the beginning of time makes recovery
+//! `O(history)`. A **checkpoint** bounds it: [`checkpoint`] (quiesced)
+//! or [`EngineHandle::checkpoint`](crate::EngineHandle::checkpoint)
+//! (live) writes a `PIRC` **manifest** — a `PIRS` snapshot of every live
+//! session plus each shard's resume point at the cut — fsyncs it, and
+//! only then deletes the covered segment files. Manifests are named
+//! `checkpoint-GGGGGGGG.ckpt` with a monotonically increasing
+//! generation; they are written to a temporary name and renamed into
+//! place, so a crash mid-checkpoint leaves either the previous
+//! generation (covered segments still present — nothing lost) or the
+//! new one. Recovery reads the newest manifest first, restores its
+//! sessions, and replays only the segments past the recorded resume
+//! points — `O(since-checkpoint)`, bit-identical to a full-history
+//! replay (the law pinned by `tests/compaction.rs`).
+//!
 //! # Examples
 //!
 //! ```
@@ -127,6 +144,7 @@
 
 use crate::engine::ShardedEngine;
 use crate::ingress::{Command, Reply};
+use crate::session::StreamSession;
 use crate::wire::{self, WireError};
 use std::collections::BTreeMap;
 use std::fs::{self, File};
@@ -314,6 +332,23 @@ pub enum WalError {
         /// The wire-level failure.
         error: WireError,
     },
+    /// A checkpoint manifest that does not decode as a valid `PIRC`
+    /// file. Unlike torn segment tails this is never an expected crash
+    /// artifact (manifests are written to a temporary name, fsynced, and
+    /// renamed into place), so it is always rejected loudly.
+    CorruptManifest {
+        /// Offending file.
+        file: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A session snapshot inside a checkpoint could not be taken or
+    /// restored (e.g. a live session whose mechanism keeps no exportable
+    /// state, or a manifest snapshot that fails validation on reboot).
+    Snapshot {
+        /// What failed.
+        reason: String,
+    },
     /// Invalid [`WalOptions`].
     InvalidOptions {
         /// What was wrong.
@@ -370,6 +405,12 @@ impl std::fmt::Display for WalError {
             }
             WalError::Wire { file, offset, error } => {
                 write!(f, "{file}: record payload at offset {offset} invalid: {error}")
+            }
+            WalError::CorruptManifest { file, reason } => {
+                write!(f, "{file}: corrupt checkpoint manifest: {reason}")
+            }
+            WalError::Snapshot { reason } => {
+                write!(f, "checkpoint session snapshot failed: {reason}")
             }
             WalError::InvalidOptions { reason } => write!(f, "invalid wal options: {reason}"),
             WalError::Poisoned { file } => write!(
@@ -481,6 +522,323 @@ fn parse_segment_name(name: &str) -> Option<(u32, u32)> {
         return None;
     }
     Some((shard_s.parse().ok()?, seg_s.parse().ok()?))
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint manifests
+// ---------------------------------------------------------------------------
+
+/// The four magic bytes opening every checkpoint manifest.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"PIRC";
+/// Current manifest format version.
+pub const CHECKPOINT_VERSION: u8 = 1;
+/// Hard cap on a manifest body (256 MiB): a corrupted length field must
+/// not size an allocation.
+pub const MAX_MANIFEST_BODY: u32 = 256 * 1024 * 1024;
+const MANIFEST_HEADER_LEN: usize = 12;
+
+/// The file name of checkpoint generation `generation`.
+pub fn checkpoint_file_name(generation: u32) -> String {
+    format!("checkpoint-{generation:08}.ckpt")
+}
+
+/// Parse `checkpoint-GGGGGGGG.ckpt`; `None` for anything else.
+fn parse_checkpoint_name(name: &str) -> Option<u32> {
+    let body = name.strip_prefix("checkpoint-")?.strip_suffix(".ckpt")?;
+    if body.len() != 8 || !body.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    body.parse().ok()
+}
+
+/// A decoded checkpoint manifest: where each shard's log was cut, and
+/// every session alive at the cut as a `PIRS` snapshot blob.
+///
+/// On-disk layout mirrors the snapshot format: a 12-byte header (magic
+/// `PIRC`, version, 3 reserved zero bytes, body length LE u32), the
+/// body, and a trailing CRC-32 over header + body. Body, in order:
+/// generation (u32), epoch-present flag (u8) + max epoch (u32), chain
+/// count (u32) then per chain `shard, next_seg_seq, next_record_seq`
+/// (u32 each, sorted by shard), snapshot count (u32) then per snapshot a
+/// u32 length prefix and the `PIRS` blob.
+#[derive(Debug, Clone)]
+pub(crate) struct Manifest {
+    pub(crate) generation: u32,
+    pub(crate) max_epoch: Option<u32>,
+    pub(crate) chains: Vec<ShardChain>,
+    pub(crate) snapshots: Vec<Vec<u8>>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.push(CHECKPOINT_VERSION);
+        out.extend_from_slice(&[0u8; 3]);
+        out.extend_from_slice(&[0u8; 4]); // body length, patched below
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.push(u8::from(self.max_epoch.is_some()));
+        out.extend_from_slice(&self.max_epoch.unwrap_or(0).to_le_bytes());
+        let mut chains = self.chains.clone();
+        chains.sort_by_key(|c| c.shard);
+        out.extend_from_slice(&(chains.len() as u32).to_le_bytes());
+        for c in &chains {
+            out.extend_from_slice(&c.shard.to_le_bytes());
+            out.extend_from_slice(&c.next_seg_seq.to_le_bytes());
+            out.extend_from_slice(&c.next_record_seq.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.snapshots.len() as u32).to_le_bytes());
+        for s in &self.snapshots {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s);
+        }
+        let body_len = (out.len() - MANIFEST_HEADER_LEN) as u32;
+        out[8..12].copy_from_slice(&body_len.to_le_bytes());
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Strict decode; any lie is a `reason` string the caller wraps in
+    /// [`WalError::CorruptManifest`] with the file name attached.
+    fn decode(bytes: &[u8]) -> Result<Manifest, String> {
+        if bytes.len() < MANIFEST_HEADER_LEN {
+            return Err(format!("{} bytes is shorter than a manifest header", bytes.len()));
+        }
+        if bytes[0..4] != CHECKPOINT_MAGIC {
+            return Err(format!("bad magic {:02x?}", &bytes[0..4]));
+        }
+        if bytes[4] != CHECKPOINT_VERSION {
+            return Err(format!("unsupported manifest version {}", bytes[4]));
+        }
+        if bytes[5..8] != [0u8; 3] {
+            return Err("reserved header bytes set".to_string());
+        }
+        let body_len = le_u32(bytes, 8);
+        if body_len > MAX_MANIFEST_BODY {
+            return Err(format!("body length {body_len} exceeds the {MAX_MANIFEST_BODY}-byte cap"));
+        }
+        let need = MANIFEST_HEADER_LEN + body_len as usize + 4;
+        if bytes.len() != need {
+            return Err(format!("file is {} bytes, layout demands {need}", bytes.len()));
+        }
+        let crc_at = need - 4;
+        let stored = le_u32(bytes, crc_at);
+        let computed = crc32(&bytes[..crc_at]);
+        if stored != computed {
+            return Err(format!(
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ));
+        }
+
+        let body = &bytes[MANIFEST_HEADER_LEN..crc_at];
+        let mut pos = 0usize;
+        let mut take = |n: usize, what: &str| -> Result<&[u8], String> {
+            if body.len() - pos < n {
+                return Err(format!("body ends inside {what}"));
+            }
+            let s = &body[pos..pos + n];
+            pos += n;
+            Ok(s)
+        };
+        let generation = le_u32(take(4, "generation")?, 0);
+        let has_epoch = take(1, "epoch flag")?[0];
+        if has_epoch > 1 {
+            return Err(format!("epoch flag is {has_epoch}, want 0 or 1"));
+        }
+        let epoch = le_u32(take(4, "max epoch")?, 0);
+        let max_epoch = (has_epoch == 1).then_some(epoch);
+        let chain_count = le_u32(take(4, "chain count")?, 0) as usize;
+        let mut chains = Vec::new();
+        let mut last_shard: Option<u32> = None;
+        for _ in 0..chain_count {
+            let c = take(12, "a chain entry")?;
+            let shard = le_u32(c, 0);
+            if last_shard.is_some_and(|p| shard <= p) {
+                return Err(format!("chain for shard {shard} out of order or duplicated"));
+            }
+            last_shard = Some(shard);
+            chains.push(ShardChain {
+                shard,
+                next_seg_seq: le_u32(c, 4),
+                next_record_seq: le_u32(c, 8),
+            });
+        }
+        let snap_count = le_u32(take(4, "snapshot count")?, 0) as usize;
+        let mut snapshots = Vec::new();
+        for _ in 0..snap_count {
+            let len = le_u32(take(4, "a snapshot length")?, 0) as usize;
+            snapshots.push(take(len, "a snapshot blob")?.to_vec());
+        }
+        if pos != body.len() {
+            return Err(format!("{} unparsed bytes after the snapshots", body.len() - pos));
+        }
+        Ok(Manifest { generation, max_epoch, chains, snapshots })
+    }
+}
+
+/// Find and decode the newest checkpoint manifest under `dir`, if any.
+/// Older generations are ignored (they are leftovers the next checkpoint
+/// removes); a corrupt newest manifest is a loud error — segments it
+/// covered may already be purged, so guessing would lose data.
+pub(crate) fn load_manifest(dir: &Path) -> Result<Option<Manifest>, WalError> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let mut newest: Option<(u32, PathBuf)> = None;
+    for entry in fs::read_dir(dir).map_err(|e| io_err(dir, &e))? {
+        let entry = entry.map_err(|e| io_err(dir, &e))?;
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let Some(generation) =
+            path.file_name().and_then(|n| n.to_str()).and_then(parse_checkpoint_name)
+        else {
+            continue;
+        };
+        if newest.as_ref().is_none_or(|(g, _)| generation > *g) {
+            newest = Some((generation, path));
+        }
+    }
+    let Some((generation, path)) = newest else {
+        return Ok(None);
+    };
+    let bytes = fs::read(&path).map_err(|e| io_err(&path, &e))?;
+    let manifest = Manifest::decode(&bytes)
+        .map_err(|reason| WalError::CorruptManifest { file: path.display().to_string(), reason })?;
+    if manifest.generation != generation {
+        return Err(WalError::CorruptManifest {
+            file: path.display().to_string(),
+            reason: format!(
+                "body says generation {}, file name says {generation}",
+                manifest.generation
+            ),
+        });
+    }
+    Ok(Some(manifest))
+}
+
+/// Durably publish a manifest: write to a temporary name, fsync, rename
+/// into place, fsync the directory. A crash at any point leaves either
+/// the previous generation or the new one — never a torn manifest under
+/// the final name.
+pub(crate) fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<(), WalError> {
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+    let final_path = dir.join(checkpoint_file_name(manifest.generation));
+    let tmp_path = dir.join(format!("{}.tmp", checkpoint_file_name(manifest.generation)));
+    let bytes = manifest.encode();
+    let mut file = File::create(&tmp_path).map_err(|e| io_err(&tmp_path, &e))?;
+    file.write_all(&bytes).map_err(|e| io_err(&tmp_path, &e))?;
+    // Always durable, regardless of the engine's fsync policy: segment
+    // files are about to be deleted on the strength of this manifest.
+    file.sync_all().map_err(|e| io_err(&tmp_path, &e))?;
+    drop(file);
+    fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, &e))?;
+    File::open(dir).and_then(|d| d.sync_all()).map_err(|e| io_err(dir, &e))?;
+    Ok(())
+}
+
+/// Delete everything `manifest` supersedes: segment files below each
+/// chain's resume point, manifests of older generations, and stale
+/// temporary manifest files. Returns `(segments_purged,
+/// manifests_removed)`.
+pub(crate) fn purge_covered(dir: &Path, manifest: &Manifest) -> Result<(usize, usize), WalError> {
+    let mut segments_purged = 0usize;
+    let mut manifests_removed = 0usize;
+    if !dir.exists() {
+        return Ok((0, 0));
+    }
+    for entry in fs::read_dir(dir).map_err(|e| io_err(dir, &e))? {
+        let entry = entry.map_err(|e| io_err(dir, &e))?;
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let covered_segment = parse_segment_name(name).is_some_and(|(shard, seg_seq)| {
+            manifest.chains.iter().any(|c| c.shard == shard && seg_seq < c.next_seg_seq)
+        });
+        let older_manifest = parse_checkpoint_name(name).is_some_and(|g| g < manifest.generation);
+        let stale_tmp = name.starts_with("checkpoint-") && name.ends_with(".ckpt.tmp");
+        if covered_segment {
+            fs::remove_file(&path).map_err(|e| io_err(&path, &e))?;
+            segments_purged += 1;
+        } else if older_manifest {
+            fs::remove_file(&path).map_err(|e| io_err(&path, &e))?;
+            manifests_removed += 1;
+        } else if stale_tmp
+            && path != dir.join(format!("{}.tmp", checkpoint_file_name(manifest.generation)))
+        {
+            fs::remove_file(&path).map_err(|e| io_err(&path, &e))?;
+        }
+    }
+    Ok((segments_purged, manifests_removed))
+}
+
+pub(crate) fn next_generation(current: Option<u32>) -> Result<u32, WalError> {
+    match current {
+        None => Ok(0),
+        Some(g) => g.checked_add(1).ok_or_else(|| WalError::Io {
+            file: String::new(),
+            reason: "checkpoint generation overflow".to_string(),
+        }),
+    }
+}
+
+/// What a checkpoint pass captured and reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// The generation number of the manifest written.
+    pub generation: u32,
+    /// Live sessions captured as snapshots.
+    pub sessions: usize,
+    /// Covered segment files deleted.
+    pub segments_purged: usize,
+    /// Superseded manifest files deleted.
+    pub manifests_removed: usize,
+}
+
+/// Checkpoint a **quiesced** engine against its log directory: snapshot
+/// every live session, write a manifest covering the entire current log,
+/// and purge the covered segments. The caller guarantees `engine` is
+/// exactly the state a full replay of `dir` produces (e.g. the engine a
+/// [`recover`] pass just filled, or one whose traffic is stopped) — for
+/// a running pipelined engine use
+/// [`EngineHandle::checkpoint`](crate::EngineHandle::checkpoint), which
+/// cuts each shard in-band instead.
+///
+/// # Errors
+/// Any [`WalError`] the existing log violates;
+/// [`WalError::Snapshot`] if a live session cannot be snapshotted (its
+/// mechanism keeps no exportable state — such sessions cannot ride a
+/// checkpoint, by design `PRIVINCERM`'s full-history state stays in the
+/// log); I/O failures. On error no segment is deleted.
+pub fn checkpoint(
+    dir: impl AsRef<Path>,
+    engine: &ShardedEngine,
+) -> Result<CheckpointReport, WalError> {
+    let dir = dir.as_ref();
+    let log = load_log(dir)?;
+    let mut snapshots = Vec::new();
+    for session in engine.sessions() {
+        snapshots.push(session.snapshot().map_err(|e| WalError::Snapshot {
+            reason: format!("session {:#018x}: {e}", session.id()),
+        })?);
+    }
+    let generation = next_generation(log.manifest_generation)?;
+    let manifest =
+        Manifest { generation, max_epoch: log.max_epoch, chains: log.chains.clone(), snapshots };
+    write_manifest(dir, &manifest)?;
+    let (segments_purged, manifests_removed) = purge_covered(dir, &manifest)?;
+    Ok(CheckpointReport {
+        generation,
+        sessions: manifest.snapshots.len(),
+        segments_purged,
+        manifests_removed,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -732,13 +1090,18 @@ pub(crate) struct ShardChain {
 
 /// A fully validated log, decoded into replay order.
 pub(crate) struct LoadedLog {
-    /// Every committed command, in replay order
-    /// (`(epoch, shard, segment)`-sorted, records in file order).
+    /// Every committed command past the newest checkpoint, in replay
+    /// order (`(epoch, shard, segment)`-sorted, records in file order).
     pub(crate) commands: Vec<Command>,
     pub(crate) chains: Vec<ShardChain>,
     pub(crate) max_epoch: Option<u32>,
     pub(crate) segments: usize,
     pub(crate) torn_tails: usize,
+    /// `PIRS` session blobs from the newest checkpoint manifest (empty
+    /// when no checkpoint exists). Restored **before** `commands` replay.
+    pub(crate) snapshots: Vec<Vec<u8>>,
+    /// Generation of the manifest the log was loaded against, if any.
+    pub(crate) manifest_generation: Option<u32>,
 }
 
 impl LoadedLog {
@@ -756,14 +1119,27 @@ impl LoadedLog {
             commands: self.commands.len() as u64,
             failed,
             torn_tails: self.torn_tails,
+            snapshot_sessions: self.snapshots.len(),
         }
     }
 }
 
-/// Load and fully validate every segment chain under `dir`. Nothing is
-/// applied anywhere: callers get either the complete committed command
-/// stream or an error describing the first corruption found.
+/// Load and fully validate everything under `dir`: the newest checkpoint
+/// manifest (if any) and every segment chain **past** its resume points
+/// — segments the manifest covers are skipped without even being read,
+/// which is what makes recovery `O(since-checkpoint)`. Nothing is
+/// applied anywhere: callers get either the complete committed state
+/// (snapshots + tail commands) or an error describing the first
+/// corruption found.
 pub(crate) fn load_log(dir: &Path) -> Result<LoadedLog, WalError> {
+    let manifest = load_manifest(dir)?;
+    let covered = |shard: u32| -> (u32, u32) {
+        manifest
+            .as_ref()
+            .and_then(|m| m.chains.iter().find(|c| c.shard == shard))
+            .map_or((0, 0), |c| (c.next_seg_seq, c.next_record_seq))
+    };
+
     let mut per_shard: BTreeMap<u32, Vec<ScannedSegment>> = BTreeMap::new();
     let mut segments = 0usize;
     let mut torn_tails = 0usize;
@@ -776,7 +1152,19 @@ pub(crate) fn load_log(dir: &Path) -> Result<LoadedLog, WalError> {
                 continue;
             }
             match path.extension().and_then(|e| e.to_str()) {
-                Some("wal") => paths.push(path),
+                Some("wal") => {
+                    // A checkpointed-but-not-yet-purged segment (the
+                    // crash window between manifest publish and purge)
+                    // is logically deleted: skip it unread.
+                    let covered_by_manifest = path
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .and_then(parse_segment_name)
+                        .is_some_and(|(shard, seg_seq)| seg_seq < covered(shard).0);
+                    if !covered_by_manifest {
+                        paths.push(path);
+                    }
+                }
                 // Foreign files (editor droppings, operator notes) are
                 // ignored; only .wal files must parse.
                 _ => continue,
@@ -793,19 +1181,26 @@ pub(crate) fn load_log(dir: &Path) -> Result<LoadedLog, WalError> {
         }
     }
 
-    // Per-shard chain validation: contiguous segment sequences from 0,
-    // record sequences continuing across segment boundaries, epochs
-    // non-decreasing along the chain.
+    // Per-shard chain validation: contiguous segment sequences from the
+    // manifest's resume point (0 without a checkpoint), record sequences
+    // continuing across segment boundaries, epochs non-decreasing along
+    // the chain.
     let mut chains = Vec::new();
-    let mut max_epoch: Option<u32> = None;
+    let mut max_epoch: Option<u32> = manifest.as_ref().and_then(|m| m.max_epoch);
     let mut ordered: Vec<&ScannedSegment> = Vec::new();
     for (&shard, segs) in per_shard.iter_mut() {
         segs.sort_by_key(|s| s.seg_seq);
-        let mut next_record_seq = 0u32;
+        let (base_seg, base_record) = covered(shard);
+        let mut next_record_seq = base_record;
         let mut last_epoch: Option<u32> = None;
         for (i, s) in segs.iter().enumerate() {
-            if s.seg_seq != i as u32 {
-                return Err(WalError::MissingSegment { shard, expected: i as u32, got: s.seg_seq });
+            let expected_seg = base_seg.wrapping_add(i as u32);
+            if s.seg_seq != expected_seg {
+                return Err(WalError::MissingSegment {
+                    shard,
+                    expected: expected_seg,
+                    got: s.seg_seq,
+                });
             }
             if let Some(h) = s.header {
                 if h.first_record_seq != next_record_seq {
@@ -832,8 +1227,24 @@ pub(crate) fn load_log(dir: &Path) -> Result<LoadedLog, WalError> {
             // A torn-header segment carries no records and no epoch; it
             // still occupies its slot in the segment numbering.
         }
-        chains.push(ShardChain { shard, next_seg_seq: segs.len() as u32, next_record_seq });
+        chains.push(ShardChain {
+            shard,
+            next_seg_seq: base_seg.wrapping_add(segs.len() as u32),
+            next_record_seq,
+        });
         ordered.extend(segs.iter());
+    }
+
+    // Shards the manifest knows but the tail has no segments for (fully
+    // purged chains) still need their resume points carried forward, or
+    // a new writer would restart them at segment 0.
+    if let Some(m) = &manifest {
+        for c in &m.chains {
+            if !chains.iter().any(|have| have.shard == c.shard) {
+                chains.push(*c);
+            }
+        }
+        chains.sort_by_key(|c| c.shard);
     }
 
     // Replay order: (epoch, shard, segment). Within one epoch sessions
@@ -843,7 +1254,19 @@ pub(crate) fn load_log(dir: &Path) -> Result<LoadedLog, WalError> {
     ordered.sort_by_key(|s| (s.header.map_or(0, |h| h.epoch), s.shard, s.seg_seq));
     let commands: Vec<Command> = ordered.iter().flat_map(|s| s.commands.iter().cloned()).collect();
 
-    Ok(LoadedLog { commands, chains, max_epoch, segments, torn_tails })
+    let (snapshots, manifest_generation) = match manifest {
+        Some(m) => (m.snapshots, Some(m.generation)),
+        None => (Vec::new(), None),
+    };
+    Ok(LoadedLog {
+        commands,
+        chains,
+        max_epoch,
+        segments,
+        torn_tails,
+        snapshots,
+        manifest_generation,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -865,6 +1288,9 @@ pub struct RecoveryReport {
     pub failed: u64,
     /// Torn partial records dropped as expected crash artifacts.
     pub torn_tails: usize,
+    /// Sessions restored from the newest checkpoint manifest (zero when
+    /// no checkpoint exists).
+    pub snapshot_sessions: usize,
 }
 
 /// Replay a directory's committed command stream into `engine`.
@@ -896,6 +1322,27 @@ pub fn recover_with(
     mut on_reply: impl FnMut(&Command, &Reply),
 ) -> Result<RecoveryReport, WalError> {
     let log = load_log(dir.as_ref())?;
+
+    // Checkpointed sessions come back first — they are the state every
+    // tail command assumes. Restore and cross-check *all* of them before
+    // adopting any, preserving the nothing-applied-on-error contract.
+    let seed = engine.config().seed;
+    let mut restored = Vec::with_capacity(log.snapshots.len());
+    let mut ids = std::collections::HashSet::new();
+    for blob in &log.snapshots {
+        let session = StreamSession::restore(blob, seed)
+            .map_err(|e| WalError::Snapshot { reason: e.to_string() })?;
+        if engine.contains(session.id()) || !ids.insert(session.id()) {
+            return Err(WalError::Snapshot {
+                reason: format!("manifest restores session {:#018x} twice", session.id()),
+            });
+        }
+        restored.push(session);
+    }
+    for session in restored {
+        engine.adopt_session(session).map_err(|e| WalError::Snapshot { reason: e.to_string() })?;
+    }
+
     let mut failed = 0u64;
     for cmd in &log.commands {
         let reply = engine.apply(cmd);
@@ -1293,6 +1740,26 @@ impl WalWriter {
             return Err(e);
         }
         Ok(())
+    }
+
+    /// Cut the chain for a checkpoint: rotate to a fresh segment (so
+    /// every record logged so far lives in a covered segment and every
+    /// future record lives past the cut) and return the resume point
+    /// `(epoch, next_seg_seq, next_record_seq)` a manifest should
+    /// record. A current segment with no records is already a valid cut,
+    /// so no empty segment is stacked on top of it.
+    ///
+    /// # Errors
+    /// [`WalError::Poisoned`] after any earlier failed append, or I/O
+    /// failures.
+    pub(crate) fn cut(&mut self) -> Result<(u32, u32, u32), WalError> {
+        if self.poisoned {
+            return Err(WalError::Poisoned { file: self.path.display().to_string() });
+        }
+        if self.records_in_segment > 0 {
+            self.rotate()?;
+        }
+        Ok((self.epoch, self.seg_seq, self.next_record_seq))
     }
 
     /// Clean shutdown: force everything to stable storage regardless of

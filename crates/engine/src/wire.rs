@@ -546,6 +546,35 @@ fn dec_engine_error(d: &mut Dec) -> Result<EngineError, WireError> {
 }
 
 // ---------------------------------------------------------------------------
+// Shared codec surface (crate-internal)
+// ---------------------------------------------------------------------------
+
+/// Append a [`MechanismSpec`] in its wire encoding (no frame) — shared
+/// with the snapshot codec so a spec has exactly one byte layout in the
+/// repo.
+///
+/// # Errors
+/// [`WireError::Unencodable`] for specs carrying custom set factories.
+pub(crate) fn encode_spec_into(out: &mut Vec<u8>, spec: &MechanismSpec) -> Result<(), WireError> {
+    let start = out.len();
+    let mut e = Enc { buf: out };
+    let result = enc_spec(&mut e, spec);
+    if result.is_err() {
+        out.truncate(start);
+    }
+    result
+}
+
+/// Decode a [`MechanismSpec`] from exactly `bytes` (trailing bytes are an
+/// error) — the inverse of [`encode_spec_into`].
+pub(crate) fn decode_spec_exact(bytes: &[u8]) -> Result<MechanismSpec, WireError> {
+    let mut d = Dec::new(bytes);
+    let spec = dec_spec(&mut d)?;
+    d.finish()?;
+    Ok(spec)
+}
+
+// ---------------------------------------------------------------------------
 // Frames
 // ---------------------------------------------------------------------------
 

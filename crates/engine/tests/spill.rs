@@ -1,0 +1,248 @@
+//! The session spill tier, end to end: an LRU cap small enough to force
+//! constant spill/restore churn must leave the release streams
+//! bit-identical to an unbounded engine — spilling is a *placement*
+//! decision, never a semantic one — while the counters account for every
+//! resident and spilled session.
+
+use pir_core::TauRule;
+use pir_dp::PrivacyParams;
+use pir_engine::{
+    EngineConfig, EngineError, EngineHandle, IngressConfig, MechanismSpec, Reply, ShardedEngine,
+    SpillOptions, WalOptions,
+};
+use pir_erm::DataPoint;
+use std::path::{Path, PathBuf};
+
+/// A self-cleaning scratch directory under the system temp dir.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("pir-spill-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn params() -> PrivacyParams {
+    PrivacyParams::approx(1.0, 1e-6).unwrap()
+}
+
+fn point(d: usize, t: usize, session: u64) -> DataPoint {
+    let mut x = vec![0.0f64; d];
+    x[t % d] = 0.7;
+    x[(t + session as usize) % d] += 0.2;
+    DataPoint::new(x, 0.25)
+}
+
+fn releases_of(reply: Reply) -> Vec<Vec<f64>> {
+    match reply {
+        Reply::Releases { thetas, .. } => thetas,
+        other => panic!("expected releases, got {other:?}"),
+    }
+}
+
+fn bits(theta: &[f64]) -> Vec<u64> {
+    theta.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Eight sessions through a cap-2 shard: every command lands on a
+/// session the LRU has already pushed out, so the whole stream runs
+/// through spill + in-band restore — and must still match an engine
+/// that never spilled anything.
+#[test]
+fn spill_churn_is_bit_identical_to_an_unbounded_engine() {
+    let tmp = TempDir::new("churn");
+    let seed = 616;
+    let spec = MechanismSpec::reg1_l2(3);
+    let sids: Vec<u64> = (0..8).collect();
+
+    let handle = EngineHandle::with_spill(
+        IngressConfig { num_shards: 1, seed, queue_depth: 256 },
+        &SpillOptions { dir: tmp.path().to_path_buf(), resident_cap: 2 },
+    )
+    .unwrap();
+    for &sid in &sids {
+        handle.open(sid, &spec, 32, &params()).unwrap().wait();
+    }
+
+    let mut live: Vec<Vec<f64>> = Vec::new();
+    // Round-robin observes: by the time a session's next point arrives,
+    // six other sessions have touched the cap-2 LRU.
+    for t in 0..4 {
+        for &sid in &sids {
+            let reply = handle.observe(sid, point(3, t, sid)).unwrap().wait();
+            live.extend(releases_of(reply));
+        }
+    }
+    // The batch path (ingest) must restore spilled sessions just the same.
+    let batch: Vec<(u64, DataPoint)> =
+        sids.iter().flat_map(|&sid| (4..6).map(move |t| (sid, point(3, t, sid)))).collect();
+    for released in handle.ingest(batch) {
+        live.push(released.unwrap());
+    }
+
+    let stats = handle.spill_stats();
+    assert!(stats.spills > 0, "a cap-2 shard with 8 sessions must spill: {stats:?}");
+    assert!(stats.restores > 0, "round-robin traffic must restore: {stats:?}");
+    assert_eq!(stats.spill_failures, 0, "{stats:?}");
+    assert_eq!(stats.resident + stats.spilled, sids.len(), "every session is somewhere");
+    assert!(stats.resident <= 2, "idle shard must respect the cap: {stats:?}");
+    let close_stats = handle.close();
+    assert_eq!(close_stats.sessions, sids.len(), "spilled sessions count at shutdown");
+    assert_eq!(close_stats.points, sids.len() * 6);
+
+    // The unbounded reference.
+    let mut reference =
+        ShardedEngine::new(EngineConfig { num_shards: 1, seed, parallel: false }).unwrap();
+    for &sid in &sids {
+        reference.spawn_session(sid, &spec, 32, &params()).unwrap();
+    }
+    let mut at = 0;
+    for t in 0..4 {
+        for &sid in &sids {
+            let want = reference.observe(sid, &point(3, t, sid)).unwrap();
+            assert_eq!(bits(&live[at]), bits(&want), "t = {t}, session {sid}");
+            at += 1;
+        }
+    }
+    for &sid in &sids {
+        for t in 4..6 {
+            let want = reference.observe(sid, &point(3, t, sid)).unwrap();
+            assert_eq!(bits(&live[at]), bits(&want), "ingest point t = {t}, session {sid}");
+            at += 1;
+        }
+    }
+    assert_eq!(at, live.len());
+}
+
+/// WAL + spill composed: a capped engine is durable *and* bounded, and a
+/// restart recovers every session — including the ones that were on disk
+/// in the spill tier (whose files do not survive the restart; the log is
+/// the durability layer).
+#[test]
+fn wal_and_spill_compose_across_a_restart() {
+    let wal_dir = TempDir::new("wal");
+    let spill_dir = TempDir::new("walspill");
+    let seed = 4242;
+    let config = IngressConfig { num_shards: 1, seed, queue_depth: 256 };
+    let options = WalOptions::new(wal_dir.path());
+    let spill = SpillOptions { dir: spill_dir.path().to_path_buf(), resident_cap: 2 };
+    let spec = MechanismSpec::reg1_l2(3);
+    let sids: Vec<u64> = (0..6).collect();
+    let mut live: Vec<Vec<f64>> = Vec::new();
+
+    let (handle, _) = EngineHandle::with_wal_and_spill(config, &options, &spill).unwrap();
+    for &sid in &sids {
+        handle.open(sid, &spec, 32, &params()).unwrap().wait();
+    }
+    for t in 0..3 {
+        for &sid in &sids {
+            let reply = handle.observe(sid, point(3, t, sid)).unwrap().wait();
+            live.extend(releases_of(reply));
+        }
+    }
+    assert!(handle.spill_stats().spills > 0);
+    handle.close();
+
+    // Restart: recovery replays the log; the previous process's spill
+    // files are stale and swept, then churn resumes under the cap.
+    let (handle, report) = EngineHandle::with_wal_and_spill(config, &options, &spill).unwrap();
+    // 6 opens + 18 observes, all from the log (no checkpoint was taken).
+    assert_eq!(report.commands, (sids.len() * 4) as u64);
+    assert_eq!(report.snapshot_sessions, 0);
+    for t in 3..6 {
+        for &sid in &sids {
+            let reply = handle.observe(sid, point(3, t, sid)).unwrap().wait();
+            live.extend(releases_of(reply));
+        }
+    }
+    handle.close();
+
+    let mut reference =
+        ShardedEngine::new(EngineConfig { num_shards: 1, seed, parallel: false }).unwrap();
+    for &sid in &sids {
+        reference.spawn_session(sid, &spec, 32, &params()).unwrap();
+    }
+    let mut at = 0;
+    for t in 0..6 {
+        for &sid in &sids {
+            let want = reference.observe(sid, &point(3, t, sid)).unwrap();
+            assert_eq!(bits(&live[at]), bits(&want), "t = {t}, session {sid}");
+            at += 1;
+        }
+    }
+}
+
+/// Spill files are process-scoped scratch, not durable state: leftovers
+/// from a dead process are deleted at startup, and files that are not
+/// spill files are left alone.
+#[test]
+fn stale_spill_files_are_swept_at_startup() {
+    let tmp = TempDir::new("stale");
+    let stale = tmp.path().join("session-00000000deadbeef.pirs");
+    let unrelated = tmp.path().join("notes.txt");
+    std::fs::write(&stale, b"left over from a previous incarnation").unwrap();
+    std::fs::write(&unrelated, b"not a spill file").unwrap();
+
+    let handle = EngineHandle::with_spill(
+        IngressConfig { num_shards: 1, seed: 9, queue_depth: 16 },
+        &SpillOptions::new(tmp.path()),
+    )
+    .unwrap();
+    assert!(!stale.exists(), "stale spill files must be swept");
+    assert!(unrelated.exists(), "only spill files may be touched");
+    assert_eq!(handle.spill_stats().spilled, 0);
+    handle.close();
+}
+
+/// Eviction is best-effort: sessions whose mechanism cannot snapshot
+/// (`PRIVINCERM`) are skipped, the shard transiently exceeds its cap,
+/// and service continues — nothing fails, nothing is lost.
+#[test]
+fn unsnapshottable_sessions_stay_resident_over_the_cap() {
+    let tmp = TempDir::new("erm");
+    let spec = MechanismSpec::erm_squared(2, TauRule::Fixed(4));
+    let handle = EngineHandle::with_spill(
+        IngressConfig { num_shards: 1, seed: 77, queue_depth: 64 },
+        &SpillOptions { dir: tmp.path().to_path_buf(), resident_cap: 1 },
+    )
+    .unwrap();
+    for sid in 0..3u64 {
+        handle.open(sid, &spec, 16, &params()).unwrap().wait();
+    }
+    for t in 0..2 {
+        for sid in 0..3u64 {
+            releases_of(handle.observe(sid, point(2, t, sid)).unwrap().wait());
+        }
+    }
+    let stats = handle.spill_stats();
+    assert_eq!(stats.spills, 0, "{stats:?}");
+    assert_eq!(stats.spilled, 0, "{stats:?}");
+    assert_eq!(stats.resident, 3, "unsupported sessions must stay resident: {stats:?}");
+    handle.close();
+}
+
+/// A zero resident cap could never serve a command; it is rejected as
+/// configuration, not discovered as a hang.
+#[test]
+fn zero_resident_cap_is_invalid_config() {
+    let tmp = TempDir::new("zero");
+    let err = EngineHandle::with_spill(
+        IngressConfig { num_shards: 1, seed: 1, queue_depth: 8 },
+        &SpillOptions { dir: tmp.path().to_path_buf(), resident_cap: 0 },
+    )
+    .unwrap_err();
+    assert!(matches!(err, EngineError::InvalidConfig { .. }), "got {err:?}");
+}

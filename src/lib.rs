@@ -126,10 +126,11 @@ pub mod prelude {
     };
     pub use pir_dp::{NoiseRng, PrivacyAccountant, PrivacyParams};
     pub use pir_engine::{
-        recover, serve_connection, serve_tcp, serve_tcp_with, Command, EngineConfig, EngineError,
-        EngineHandle, FsyncPolicy, IngressConfig, IngressStats, LossSpec, MechanismSpec,
-        RecoveryReport, Reply, ServeStats, SetSpec, ShardedEngine, SolverSpec, StreamSession,
-        SubmitHandle, TcpFront, TcpOptions, TcpStats, Ticket, WalError, WalOptions, WalWriter,
+        checkpoint, recover, serve_connection, serve_tcp, serve_tcp_with, CheckpointReport,
+        Command, EngineConfig, EngineError, EngineHandle, FsyncPolicy, IngressConfig, IngressStats,
+        LossSpec, MechanismSpec, RecoveryReport, Reply, ServeStats, SetSpec, ShardedEngine,
+        SnapshotError, SolverSpec, SpillOptions, SpillStats, StreamSession, SubmitHandle, TcpFront,
+        TcpOptions, TcpStats, Ticket, WalError, WalOptions, WalWriter,
     };
     pub use pir_erm::{
         solve_exact, DataPoint, LogisticLoss, Loss, NoisyGdSolver, OutputPerturbationSolver,

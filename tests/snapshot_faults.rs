@@ -1,0 +1,212 @@
+//! Fault injection for the `PIRS` session-snapshot format, mirroring the
+//! WAL suites in `tests/recovery.rs`: flipped bytes, forged headers,
+//! truncation at every byte prefix, oversized length fields — every
+//! corruption must surface as a typed [`SnapshotError`], never a panic
+//! and never a silently-wrong session.
+
+use private_incremental_regression::prelude::*;
+use proptest::prelude::*;
+
+const SEED: u64 = 2024;
+const SESSION: u64 = 0xFEED;
+
+fn params() -> PrivacyParams {
+    PrivacyParams::approx(1.0, 1e-6).unwrap()
+}
+
+fn point(d: usize, t: usize) -> DataPoint {
+    let mut x = vec![0.0f64; d];
+    x[t % d] = 0.6;
+    DataPoint::new(x, 0.2)
+}
+
+/// A real snapshot of a mid-stream `PRIVINCREG1` session — the honest
+/// artifact every fault below corrupts.
+fn real_blob() -> Vec<u8> {
+    let mut engine =
+        ShardedEngine::new(EngineConfig { num_shards: 1, seed: SEED, parallel: false }).unwrap();
+    engine.spawn_session(SESSION, &MechanismSpec::reg1_l2(3), 16, &params()).unwrap();
+    for t in 0..5 {
+        engine.observe(SESSION, &point(3, t)).unwrap();
+    }
+    engine.with_session(SESSION, |s| s.snapshot().unwrap()).unwrap()
+}
+
+/// Restore must answer every corruption with `Err`, never a panic. The
+/// blob layout: 12-byte header (magic, version, reserved, body length),
+/// body, 4-byte CRC trailer.
+fn restore(bytes: &[u8]) -> Result<StreamSession, SnapshotError> {
+    StreamSession::restore(bytes, SEED)
+}
+
+// ---------------------------------------------------------------------------
+// Header forgery
+// ---------------------------------------------------------------------------
+
+#[test]
+fn forged_magic_is_bad_magic() {
+    let mut blob = real_blob();
+    blob[0..4].copy_from_slice(b"PIRL"); // a WAL segment's magic, not a snapshot's
+    assert!(matches!(restore(&blob), Err(SnapshotError::BadMagic { got }) if &got == b"PIRL"));
+}
+
+#[test]
+fn future_version_is_unsupported() {
+    let mut blob = real_blob();
+    blob[4] = 2;
+    assert!(matches!(restore(&blob), Err(SnapshotError::UnsupportedVersion { got: 2 })));
+}
+
+#[test]
+fn nonzero_reserved_bytes_are_rejected() {
+    for i in 5..8 {
+        let mut blob = real_blob();
+        blob[i] = 0x5A;
+        assert!(matches!(restore(&blob), Err(SnapshotError::NonZeroReserved)), "reserved byte {i}");
+    }
+}
+
+#[test]
+fn oversized_body_length_is_rejected_before_allocation() {
+    let mut blob = real_blob();
+    // Claim a body far past the 64 MiB cap: the decoder must refuse the
+    // *claim*, not attempt to read (or allocate) that much.
+    blob[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(restore(&blob), Err(SnapshotError::BodyTooLarge { len: u32::MAX })));
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut blob = real_blob();
+    blob.push(0);
+    assert!(matches!(restore(&blob), Err(SnapshotError::Malformed { .. })));
+}
+
+// ---------------------------------------------------------------------------
+// Truncation at every byte prefix
+// ---------------------------------------------------------------------------
+
+/// Every strict prefix of a valid snapshot is a typed error — a torn
+/// snapshot can never restore to a shorter-but-plausible session.
+#[test]
+fn every_truncation_prefix_is_a_typed_error() {
+    let blob = real_blob();
+    for cut in 0..blob.len() {
+        match restore(&blob[..cut]) {
+            Err(
+                SnapshotError::Truncated { .. }
+                | SnapshotError::BadMagic { .. }
+                | SnapshotError::ChecksumMismatch { .. }
+                | SnapshotError::Malformed { .. },
+            ) => {}
+            other => panic!("prefix of {cut} bytes: expected a typed error, got {other:?}"),
+        }
+    }
+    // And the untouched blob still restores (the harness itself is sound).
+    restore(&blob).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Bit flips
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Flip any single bit anywhere in the blob: restore must fail with
+    /// a typed error (the CRC covers header and body, and header fields
+    /// are validated before the CRC is even checked).
+    #[test]
+    fn every_bit_flip_is_detected(
+        byte_frac in 0.0f64..1.0,
+        bit in 0usize..8,
+    ) {
+        let mut blob = real_blob();
+        let idx = ((blob.len() as f64) * byte_frac) as usize;
+        let idx = idx.min(blob.len() - 1);
+        blob[idx] ^= 1 << bit;
+        // Any typed error is correct; a panic (not an Err) fails the test.
+        prop_assert!(
+            restore(&blob).is_err(),
+            "flipped bit {bit} of byte {idx} went undetected"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checksummed forgeries: internally consistent, semantically wrong
+// ---------------------------------------------------------------------------
+
+/// Re-seal a tampered blob with a fresh CRC so only semantic validation
+/// can catch it.
+fn refix_crc(blob: &mut [u8]) {
+    let crc_at = blob.len() - 4;
+    let crc = pir_engine::wal::crc32(&blob[..crc_at]);
+    blob[crc_at..].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Body offsets (after the 12-byte header): session_id, t_max, t, then
+/// four f64 privacy fields — t sits at header + 16.
+const T_OFFSET: usize = 12 + 16;
+
+#[test]
+fn forged_step_count_fails_restore_validation() {
+    // Claim the stream is further along than the serialized mechanism
+    // state: the rebuilt session disagrees and restore refuses.
+    let mut blob = real_blob();
+    blob[T_OFFSET..T_OFFSET + 8].copy_from_slice(&6u64.to_le_bytes());
+    refix_crc(&mut blob);
+    let err = restore(&blob).unwrap_err();
+    assert!(matches!(err, SnapshotError::Restore { .. }), "got {err:?}");
+}
+
+#[test]
+fn step_count_past_horizon_is_malformed() {
+    let mut blob = real_blob();
+    blob[T_OFFSET..T_OFFSET + 8].copy_from_slice(&10_000u64.to_le_bytes());
+    refix_crc(&mut blob);
+    let err = restore(&blob).unwrap_err();
+    assert!(matches!(err, SnapshotError::Malformed { .. }), "got {err:?}");
+}
+
+#[test]
+fn forged_privacy_ledger_fails_restore_validation() {
+    // spent_epsilon is the third f64 field (header + 3*8 fixed u64s).
+    let off = 12 + 24 + 16;
+    let mut blob = real_blob();
+    blob[off..off + 8].copy_from_slice(&0.5f64.to_bits().to_le_bytes());
+    refix_crc(&mut blob);
+    let err = restore(&blob).unwrap_err();
+    assert!(matches!(err, SnapshotError::Restore { .. }), "got {err:?}");
+}
+
+#[test]
+fn forged_inner_length_is_malformed() {
+    // The spec length prefix sits after the seven fixed u64/f64 fields;
+    // inflating it (CRC re-fixed) must die in body decoding, not read
+    // out of bounds.
+    let off = 12 + 7 * 8;
+    let mut blob = real_blob();
+    blob[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    refix_crc(&mut blob);
+    let err = restore(&blob).unwrap_err();
+    assert!(matches!(err, SnapshotError::Malformed { .. }), "got {err:?}");
+}
+
+/// A forged *session id* (CRC re-fixed) decodes fine but respawns the
+/// mechanism under the wrong per-session seed. For `PRIVINCREG2` the
+/// accountant cannot tell — which is exactly why the restore contract
+/// pins `(engine seed, session id)`; for `PRIVINCREG1` the snapshot
+/// still restores (trees carry their own RNG), so the defense is the
+/// id-keyed engine adoption, not the codec. This test pins the *honest*
+/// behavior: the decoded id is what adoption keys on.
+#[test]
+fn forged_session_id_changes_the_adoption_key() {
+    let mut blob = real_blob();
+    blob[12..20].copy_from_slice(&0xBEEFu64.to_le_bytes());
+    refix_crc(&mut blob);
+    if let Ok(session) = restore(&blob) {
+        assert_eq!(session.id(), 0xBEEF, "adoption must key on the decoded id");
+    }
+    // Err is also acceptable (mechanism-dependent); panic is not.
+}

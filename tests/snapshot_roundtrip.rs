@@ -1,0 +1,232 @@
+//! Snapshot → restore → observe bit-identity — the property behind the
+//! session snapshot format (`PIRS`), the spill tier, and checkpoint
+//! compaction.
+//!
+//! A restored session is not "approximately resumed": its future release
+//! sequence must be **bit-for-bit identical** to the uninterrupted
+//! session's, for both tree-based (`PRIVINCREG1`) and sketch-based
+//! (`PRIVINCREG2`) mechanisms, at *every* snapshot step — including
+//! steps that land mid-way through a tree epoch, where most of the
+//! mechanism's dynamic state (partial sums, cached noise, the serialized
+//! RNG position) is in play.
+
+use private_incremental_regression::prelude::*;
+use proptest::prelude::*;
+
+fn params() -> PrivacyParams {
+    PrivacyParams::approx(1.0, 1e-6).unwrap()
+}
+
+fn point(d: usize, t: usize, session: u64) -> DataPoint {
+    let mut x = vec![0.0f64; d];
+    x[t % d] = 0.7;
+    x[(t + session as usize) % d] += 0.2;
+    DataPoint::new(x, 0.25)
+}
+
+fn fresh_engine(num_shards: usize, seed: u64) -> ShardedEngine {
+    ShardedEngine::new(EngineConfig { num_shards, seed, parallel: false }).unwrap()
+}
+
+/// Drive `session_id` to step `cut` inside an engine, snapshot it there,
+/// and check the restored session's remaining releases against the
+/// engine's (which never stopped).
+fn assert_roundtrip_at(spec: &MechanismSpec, seed: u64, session_id: u64, t_max: usize, cut: usize) {
+    let d = spec.dim();
+    let mut engine = fresh_engine(2, seed);
+    engine.spawn_session(session_id, spec, t_max, &params()).unwrap();
+    for t in 0..cut {
+        engine.observe(session_id, &point(d, t, session_id)).unwrap();
+    }
+
+    let blob = engine.with_session(session_id, |s| s.snapshot().unwrap()).unwrap();
+    let mut restored = StreamSession::restore(&blob, seed).unwrap();
+    assert_eq!(restored.t(), cut, "restored stream position");
+    assert_eq!(restored.id(), session_id);
+
+    // Snapshotting is read-only: the original session keeps serving, and
+    // both must release identical bytes for the rest of the horizon.
+    for t in cut..t_max {
+        let z = point(d, t, session_id);
+        let live = engine.observe(session_id, &z).unwrap();
+        let replica = restored.observe(&z).unwrap();
+        let live_bits: Vec<u64> = live.iter().map(|v| v.to_bits()).collect();
+        let replica_bits: Vec<u64> = replica.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(live_bits, replica_bits, "release diverged at t = {t} (cut at {cut})");
+    }
+}
+
+/// Exhaustive over every cut point for one representative config per
+/// mechanism: `t_max = 12` crosses several complete binary-tree levels,
+/// so the cuts hit every class of mid-tree state.
+#[test]
+fn every_cut_point_restores_bit_identically() {
+    let t_max = 12;
+    for cut in 0..=t_max {
+        assert_roundtrip_at(&MechanismSpec::reg1_l2(3), 41, 900, t_max, cut);
+        assert_roundtrip_at(&MechanismSpec::reg2_l1(4, 1.0), 41, 901, t_max, cut);
+    }
+}
+
+/// Restoring under the wrong engine seed must not silently resume a
+/// `PRIVINCREG2` session: the sketch matrix is reproduced from the seed,
+/// so the engine-seed mismatch surfaces as diverged releases (it is part
+/// of the durability contract, documented on `StreamSession::restore`).
+#[test]
+fn reg2_restore_under_wrong_seed_diverges() {
+    let spec = MechanismSpec::reg2_l1(4, 1.0);
+    let (seed, sid, t_max) = (77, 5, 8);
+    let mut engine = fresh_engine(1, seed);
+    engine.spawn_session(sid, &spec, t_max, &params()).unwrap();
+    for t in 0..3 {
+        engine.observe(sid, &point(4, t, sid)).unwrap();
+    }
+    let blob = engine.with_session(sid, |s| s.snapshot().unwrap()).unwrap();
+    let mut wrong = StreamSession::restore(&blob, seed + 1).unwrap();
+    let mut diverged = false;
+    for t in 3..t_max {
+        let z = point(4, t, sid);
+        let live = engine.observe(sid, &z).unwrap();
+        let replica = wrong.observe(&z).unwrap();
+        if live.iter().zip(&replica).any(|(a, b)| a.to_bits() != b.to_bits()) {
+            diverged = true;
+            break;
+        }
+    }
+    assert!(diverged, "a wrong-seed restore of PRIVINCREG2 must not reproduce the stream");
+}
+
+/// `adopt_session` is the engine-side import half: a session restored
+/// from a snapshot and adopted into a *fresh* engine (any shard count)
+/// continues the stream exactly.
+#[test]
+fn adopted_sessions_continue_identically_across_reshard() {
+    let spec = MechanismSpec::reg1_l2(3);
+    let (seed, sid, t_max, cut) = (19, 321, 10, 6);
+    let mut engine = fresh_engine(1, seed);
+    engine.spawn_session(sid, &spec, t_max, &params()).unwrap();
+    for t in 0..cut {
+        engine.observe(sid, &point(3, t, sid)).unwrap();
+    }
+    let blob = engine.with_session(sid, |s| s.snapshot().unwrap()).unwrap();
+
+    for shards in [1usize, 3, 5] {
+        let mut importer = fresh_engine(shards, seed);
+        importer.adopt_session(StreamSession::restore(&blob, seed).unwrap()).unwrap();
+        // Duplicate adoption is rejected, leaving the first intact.
+        let err = importer.adopt_session(StreamSession::restore(&blob, seed).unwrap()).unwrap_err();
+        assert!(matches!(err, EngineError::DuplicateSession { id } if id == sid));
+
+        let mut reference = fresh_engine(1, seed);
+        reference.adopt_session(StreamSession::restore(&blob, seed).unwrap()).unwrap();
+        for t in cut..t_max {
+            let z = point(3, t, sid);
+            let a = importer.observe(sid, &z).unwrap();
+            let b = reference.observe(sid, &z).unwrap();
+            let a_bits: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let b_bits: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a_bits, b_bits, "adopted session diverged under {shards} shards at {t}");
+        }
+    }
+}
+
+/// Sessions that cannot snapshot say so with a typed error instead of a
+/// lossy blob: `PRIVINCERM` state is the full observed history.
+#[test]
+fn erm_sessions_report_unsupported() {
+    let spec = MechanismSpec::erm_squared(2, TauRule::Fixed(4));
+    let seed = 3;
+    let mut engine = fresh_engine(1, seed);
+    engine.spawn_session(9, &spec, 16, &params()).unwrap();
+    let (supports, err) =
+        engine.with_session(9, |s| (s.supports_snapshot(), s.snapshot().unwrap_err())).unwrap();
+    assert!(!supports);
+    assert!(matches!(err, SnapshotError::Unsupported { .. }), "got {err:?}");
+}
+
+/// The worked example in `docs/PROTOCOL.md`, byte for byte: the
+/// 107-byte snapshot of a freshly opened `Trivial` session. If this
+/// test moves, the documentation is lying.
+#[test]
+fn snapshot_worked_example_matches_protocol_md() {
+    let mut engine = fresh_engine(1, 7);
+    engine
+        .spawn_session(7, &MechanismSpec::Trivial { set: SetSpec::unit_l2(2) }, 8, &params())
+        .unwrap();
+    let blob = engine.with_session(7, |s| s.snapshot().unwrap()).unwrap();
+    #[rustfmt::skip]
+    let expected: Vec<u8> = vec![
+        // magic "PIRS", version 1, reserved
+        0x50, 0x49, 0x52, 0x53, 0x01, 0x00, 0x00, 0x00,
+        // body length = 91
+        0x5B, 0x00, 0x00, 0x00,
+        // session id = 7, t_max = 8, t = 0
+        0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        // budget (1.0, 1e-6), spent (1.0, 1e-6)
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F,
+        0x8D, 0xED, 0xB5, 0xA0, 0xF7, 0xC6, 0xB0, 0x3E,
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F,
+        0x8D, 0xED, 0xB5, 0xA0, 0xF7, 0xC6, 0xB0, 0x3E,
+        // spec: len 18, tag Trivial, L2Ball dim 2 radius 1.0
+        0x12, 0x00, 0x00, 0x00,
+        0x03, 0x00,
+        0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F,
+        // state: len 9, opaque mechanism blob
+        0x09, 0x00, 0x00, 0x00,
+        0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        // CRC-32
+        0x9E, 0x0E, 0x4A, 0x3C,
+    ];
+    assert_eq!(blob, expected, "docs/PROTOCOL.md's PIRS worked example is stale");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The property, randomized: for either regression mechanism, any
+    /// dimension, horizon, seed, and cut point, snapshot → restore →
+    /// observe is bit-identical to never stopping.
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical(
+        use_reg2_bit in 0u64..2,
+        d in 2usize..5,
+        seed in 0u64..1_000_000,
+        sid in 1u64..1_000_000,
+        t_max in 4usize..17,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let spec = if use_reg2_bit == 1 {
+            MechanismSpec::reg2_l1(d, 1.0)
+        } else {
+            MechanismSpec::reg1_l2(d)
+        };
+        let cut = ((t_max as f64) * cut_frac) as usize;
+        assert_roundtrip_at(&spec, seed, sid, t_max, cut.min(t_max));
+    }
+
+    /// Snapshot encoding is deterministic and stable under re-encoding:
+    /// the same session state always produces the same bytes (what makes
+    /// snapshot digests comparable across runs).
+    #[test]
+    fn snapshot_bytes_are_deterministic(
+        seed in 0u64..1_000_000,
+        sid in 1u64..1_000_000,
+        steps in 0usize..9,
+    ) {
+        let spec = MechanismSpec::reg1_l2(3);
+        let mut engine = fresh_engine(2, seed);
+        engine.spawn_session(sid, &spec, 16, &params()).unwrap();
+        for t in 0..steps {
+            engine.observe(sid, &point(3, t, sid)).unwrap();
+        }
+        let a = engine.with_session(sid, |s| s.snapshot().unwrap()).unwrap();
+        let b = engine.with_session(sid, |s| s.snapshot().unwrap()).unwrap();
+        prop_assert_eq!(&a, &b, "snapshotting twice produced different bytes");
+        // And a restored session re-snapshots to the same bytes.
+        let restored = StreamSession::restore(&a, seed).unwrap();
+        prop_assert_eq!(&restored.snapshot().unwrap(), &a);
+    }
+}
