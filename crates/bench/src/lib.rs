@@ -12,7 +12,7 @@
 //! Set `PIR_QUICK=1` to shrink every sweep ~4× for smoke runs.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod fitting;
 pub mod report;

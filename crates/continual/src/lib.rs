@@ -16,7 +16,7 @@
 //!   bit streams under pure `ε`-DP (Laplace node noise).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod counter;
 mod error;

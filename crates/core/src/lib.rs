@@ -22,7 +22,7 @@
 //!   (Definition 1): worst-case-over-`t` excess empirical risk.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod baselines;
 pub mod descent;

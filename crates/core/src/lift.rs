@@ -19,8 +19,9 @@ use crate::error::CoreError;
 use crate::Result;
 use pir_geometry::ConvexSet;
 use pir_linalg::{vector, CholeskyFactor, Matrix};
-use pir_optim::{fista, Objective};
+use pir_optim::{fista, fista_into, FistaScratch, Objective};
 use pir_sketch::GaussianSketch;
+use std::cell::RefCell;
 
 /// `f(θ) = ‖Φθ − ϑ‖²` as an optimizer objective.
 struct LiftObjective<'a> {
@@ -66,6 +67,90 @@ pub fn lift_constrained_ls(
     }
     let obj = LiftObjective { sketch, target };
     Ok(fista(&obj, set, smoothness.max(1e-12), iters, warm_start))
+}
+
+/// Reusable buffers for [`lift_constrained_ls_into`]: the
+/// `m`-dimensional sketch residual plus the `d`-dimensional FISTA
+/// iteration buffers. The residual sits behind a [`RefCell`] because the
+/// [`Objective`] gradient methods take `&self`; the dynamic borrow is
+/// never contended (FISTA drives one gradient call at a time) and costs
+/// no allocation.
+#[derive(Debug, Clone)]
+pub struct LiftScratch {
+    resid: RefCell<Vec<f64>>,
+    fista: FistaScratch,
+}
+
+impl LiftScratch {
+    /// Buffers for an `m → d` lift.
+    pub fn new(m: usize, d: usize) -> Self {
+        LiftScratch { resid: RefCell::new(vec![0.0; m]), fista: FistaScratch::new(d) }
+    }
+}
+
+/// [`LiftObjective`] evaluated against caller-owned residual scratch —
+/// the allocation-free form [`lift_constrained_ls_into`] drives.
+struct LiftObjectiveInto<'a> {
+    sketch: &'a GaussianSketch,
+    target: &'a [f64],
+    resid: &'a RefCell<Vec<f64>>,
+}
+
+impl Objective for LiftObjectiveInto<'_> {
+    fn dim(&self) -> usize {
+        self.sketch.d()
+    }
+
+    fn value(&self, theta: &[f64]) -> f64 {
+        let mut r = self.resid.borrow_mut();
+        self.sketch.apply_into(theta, r.as_mut_slice()).expect("dimension fixed");
+        vector::axpy(-1.0, self.target, r.as_mut_slice());
+        vector::norm2_sq(r.as_slice())
+    }
+
+    fn gradient(&self, theta: &[f64]) -> Vec<f64> {
+        let mut g = vec![0.0; self.sketch.d()];
+        self.gradient_into(theta, &mut g);
+        g
+    }
+
+    fn gradient_into(&self, theta: &[f64], out: &mut [f64]) {
+        let mut r = self.resid.borrow_mut();
+        self.sketch.apply_into(theta, r.as_mut_slice()).expect("dimension fixed");
+        vector::axpy(-1.0, self.target, r.as_mut_slice());
+        self.sketch.apply_t_into(r.as_slice(), out).expect("dimension fixed");
+        vector::scale_mut(out, 2.0);
+    }
+}
+
+/// [`lift_constrained_ls`] writing the lifted release into `out` and
+/// reusing caller-owned scratch — the allocation-free form of the
+/// per-step mechanism path (Algorithm 3, Step 9). Value-for-value
+/// identical to the allocating function.
+///
+/// # Panics
+/// Panics if `target`/`warm_start`/`out`/`scratch` dimensions do not
+/// match the sketch (mirroring [`pir_optim::fista_into`]; the mechanism
+/// fixes all of them at construction).
+#[allow(clippy::too_many_arguments)]
+pub fn lift_constrained_ls_into(
+    sketch: &GaussianSketch,
+    target: &[f64],
+    set: &dyn ConvexSet,
+    smoothness: f64,
+    iters: usize,
+    warm_start: &[f64],
+    scratch: &mut LiftScratch,
+    out: &mut [f64],
+) {
+    assert_eq!(target.len(), sketch.m(), "lift_constrained_ls_into: target/sketch mismatch");
+    assert_eq!(
+        scratch.resid.borrow().len(),
+        sketch.m(),
+        "lift_constrained_ls_into: scratch residual mismatch"
+    );
+    let obj = LiftObjectiveInto { sketch, target, resid: &scratch.resid };
+    fista_into(&obj, set, smoothness.max(1e-12), iters, warm_start, &mut scratch.fista, out);
 }
 
 /// Smoothness constant `2‖Φ‖²` for the lift objective, estimated by power
@@ -254,6 +339,45 @@ mod tests {
         let mn = affine.min_norm(&sketch, &v).unwrap();
         let resid2 = vector::sub(&sketch.apply(&mn).unwrap(), &v);
         assert!(vector::norm2(&resid2) < 1e-8);
+    }
+
+    #[test]
+    fn ls_lift_into_is_identical_to_ls_lift_and_scratch_is_reusable() {
+        let mut r = rng();
+        let d = 30;
+        let m = 12;
+        let sketch = GaussianSketch::sample(m, d, &mut r);
+        let mut theta_true = vec![0.0; d];
+        theta_true[5] = 0.9;
+        let target = sketch.apply(&theta_true).unwrap();
+        let set = L1Ball::unit(d);
+        let smooth = sketch_smoothness(&sketch);
+        let expect =
+            lift_constrained_ls(&sketch, &target, &set, smooth, 200, &vec![0.0; d]).unwrap();
+        let mut scratch = LiftScratch::new(m, d);
+        let mut out = vec![0.0; d];
+        // Dirty scratch from a previous run must not leak into the next.
+        lift_constrained_ls_into(
+            &sketch,
+            &target,
+            &set,
+            smooth,
+            7,
+            &[0.01; 30],
+            &mut scratch,
+            &mut out,
+        );
+        lift_constrained_ls_into(
+            &sketch,
+            &target,
+            &set,
+            smooth,
+            200,
+            &vec![0.0; d],
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out, expect);
     }
 
     #[test]

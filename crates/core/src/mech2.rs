@@ -21,7 +21,7 @@
 
 use crate::descent::{minimize_private_objective_into, DescentScratch, DescentStrategy};
 use crate::error::CoreError;
-use crate::lift::{lift_constrained_ls, sketch_smoothness};
+use crate::lift::{lift_constrained_ls, lift_constrained_ls_into, sketch_smoothness, LiftScratch};
 use crate::state;
 use crate::stream::IncrementalMechanism;
 use crate::Result;
@@ -121,11 +121,11 @@ pub struct PrivIncReg2 {
     t: usize,
 }
 
-/// Mechanism-owned step buffers (all in the projected `R^m` space),
-/// preallocated at construction and reused every timestep — the `m²`
-/// `Matrix::from_vec` copy per step is gone, mirroring
-/// `PrivIncReg1`'s scratch. The gauge-lifting step (back in `R^d`) still
-/// allocates its result; the projected-space pipeline does not.
+/// Mechanism-owned step buffers, preallocated at construction and reused
+/// every timestep — the `m²` `Matrix::from_vec` copy per step is gone,
+/// mirroring `PrivIncReg1`'s scratch. Covers both the projected-space
+/// pipeline (`R^m`) and the gauge lift back to `C ⊂ R^d`, so a whole
+/// [`PrivIncReg2::observe_into`] step is allocation-free.
 #[derive(Debug, Clone)]
 struct Reg2Scratch {
     /// Norm-preserving embedding `Φx̃`.
@@ -142,10 +142,12 @@ struct Reg2Scratch {
     vartheta: Vec<f64>,
     /// Ridged-surrogate and iteration buffers for the projected descent.
     descent: DescentScratch,
+    /// Residual and FISTA buffers for the gauge lift (Step 9).
+    lift: LiftScratch,
 }
 
 impl Reg2Scratch {
-    fn new(m: usize) -> Self {
+    fn new(m: usize, d: usize) -> Self {
         Reg2Scratch {
             embedded: vec![0.0; m],
             pxy: vec![0.0; m],
@@ -154,6 +156,7 @@ impl Reg2Scratch {
             q_mat: Matrix::zeros(m, m),
             vartheta: vec![0.0; m],
             descent: DescentScratch::new(m),
+            lift: LiftScratch::new(m, d),
         }
     }
 }
@@ -230,7 +233,7 @@ impl PrivIncReg2 {
             tree_xx,
             last_vartheta: vec![0.0; m],
             last_theta,
-            scratch: Reg2Scratch::new(m),
+            scratch: Reg2Scratch::new(m, d),
             t: 0,
         })
     }
@@ -290,10 +293,11 @@ impl PrivIncReg2 {
     }
 
     /// One Algorithm-3 step, written into `out` — the primitive behind
-    /// both `observe` and `observe_into`. The projected-space pipeline
-    /// (embedding, tree updates, descent) runs allocation-free on
-    /// mechanism-owned scratch; the gauge lift back to `C` (Step 9) is the
-    /// remaining allocating stage.
+    /// both `observe` and `observe_into`. The whole step — embedding,
+    /// tree updates, descent, and the gauge lift back to `C` — runs
+    /// allocation-free on mechanism-owned scratch
+    /// (`tests/alloc_steady_state.rs` enforces this with a counting
+    /// global allocator).
     fn step_into(&mut self, z: &DataPoint, out: &mut [f64]) -> Result<()> {
         let d = self.set.dim();
         if out.len() != d {
@@ -357,17 +361,20 @@ impl PrivIncReg2 {
         );
         self.last_vartheta.copy_from_slice(&self.scratch.vartheta);
 
-        // Step 9: lift back to C.
-        let theta = lift_constrained_ls(
+        // Step 9: lift back to C, written straight into the release
+        // buffer (dimensions are fixed at construction, so the panicking
+        // preconditions of the _into lift cannot trigger here).
+        lift_constrained_ls_into(
             &self.sketch,
             &self.scratch.vartheta,
-            &self.set,
+            self.set.as_ref(),
             self.lift_smoothness,
             self.config.lift_iters,
             &self.last_theta,
-        )?;
-        self.last_theta.copy_from_slice(&theta);
-        out.copy_from_slice(&theta);
+            &mut self.scratch.lift,
+            out,
+        );
+        self.last_theta.copy_from_slice(out);
         Ok(())
     }
 }

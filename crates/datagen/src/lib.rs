@@ -17,7 +17,7 @@
 //!   `Φ` (the failure mode Gordon's theorem defends against, E9).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adaptive;
 

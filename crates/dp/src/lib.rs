@@ -15,7 +15,7 @@
 //! vectors with `‖υ‖ ≤ 1` has L2-sensitivity `Δ₂ = 2` for its running sum.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod accountant;
 pub mod composition;

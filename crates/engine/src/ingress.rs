@@ -107,6 +107,7 @@ use crate::engine::{entropy_seed, session_seed, shard_of};
 use crate::error::EngineError;
 use crate::session::StreamSession;
 use crate::spec::MechanismSpec;
+use crate::sync::lock_or_recover;
 use crate::wal::{self, CheckpointReport, RecoveryReport, WalOptions, WalWriter};
 use pir_dp::{NoiseRng, PrivacyParams};
 use pir_erm::DataPoint;
@@ -249,11 +250,11 @@ impl SpillShared {
     }
 
     fn pending_add(&self, shard: usize, session_id: u64) {
-        *self.pending[shard].lock().expect("pending lock").entry(session_id).or_insert(0) += 1;
+        *lock_or_recover(&self.pending[shard]).entry(session_id).or_insert(0) += 1;
     }
 
     fn pending_sub(&self, shard: usize, session_id: u64) {
-        let mut map = self.pending[shard].lock().expect("pending lock");
+        let mut map = lock_or_recover(&self.pending[shard]);
         if let Some(n) = map.get_mut(&session_id) {
             if *n <= 1 {
                 map.remove(&session_id);
@@ -264,7 +265,7 @@ impl SpillShared {
     }
 
     fn has_pending(&self, shard: usize, session_id: u64) -> bool {
-        self.pending[shard].lock().expect("pending lock").contains_key(&session_id)
+        lock_or_recover(&self.pending[shard]).contains_key(&session_id)
     }
 }
 
@@ -408,7 +409,13 @@ impl SpillTier {
                 self.shared.spill_failures.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            let session = sessions.remove(&sid).expect("present: fetched above");
+            let Some(session) = sessions.remove(&sid) else {
+                // Unreachable in practice (the id was fetched from this
+                // map above); treat as a failed spill rather than panic.
+                let _ = fs::remove_file(&path);
+                self.shared.spill_failures.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
             self.spilled.insert(sid, session.t());
             self.forget(sid);
             self.shared.spills.fetch_add(1, Ordering::Relaxed);
@@ -852,14 +859,21 @@ impl SubmitHandle {
             // Worker gone (only possible after a panic or close): roll
             // the reservation back and surface the shutdown, handing the
             // command (recovered from the undeliverable job) back.
-            Err(mpsc::SendError(Job::Cmd { cmd, .. })) => {
+            Err(mpsc::SendError(job)) => {
                 self.lanes[shard].depth.fetch_sub(cost, Ordering::SeqCst);
                 if let Some(spill) = &self.spill {
                     spill.pending_sub(shard, session_id);
                 }
+                let cmd = match job {
+                    Job::Cmd { cmd, .. } => cmd,
+                    // send() hands back the exact value it was given (a
+                    // Job::Cmd, two lines up); if that contract ever
+                    // broke, surface an equivalent rejection instead of
+                    // panicking the submitting connection thread.
+                    _ => Command::Release { session_id },
+                };
                 Err((cmd, EngineError::Closed))
             }
-            Err(_) => unreachable!("send hands back the job it was given"),
         }
     }
 
@@ -877,12 +891,17 @@ impl SubmitHandle {
             match self.try_submit(cmd) {
                 Ok(ticket) => return Ok(ticket),
                 Err((_, e)) if !e.is_retryable() => return Err(e),
-                Err((rejected, _)) => {
+                Err((rejected, e)) => {
                     // Transient: wait for the shard to drain, then retry
                     // with the handed-back command (no clone per attempt).
-                    let shard =
-                        self.shard_index(rejected.session_id().expect("retryable implies routed"));
-                    self.ride_flush_barrier(shard)?;
+                    // Retryable rejections only come from shard queues,
+                    // and only routed commands reach a queue (`Close`
+                    // resolves before queueing) — but if that invariant
+                    // ever broke, fail the submit rather than panic.
+                    let Some(session_id) = rejected.session_id() else {
+                        return Err(e);
+                    };
+                    self.ride_flush_barrier(self.shard_index(session_id))?;
                     cmd = rejected;
                 }
             }
@@ -990,7 +1009,7 @@ impl SubmitHandle {
             // this slice touches is pinned resident until its run
             // executes.
             if let Some(spill) = &self.spill {
-                let mut map = spill.pending[shard].lock().expect("pending lock");
+                let mut map = lock_or_recover(&spill.pending[shard]);
                 for (sid, _, _) in &runs {
                     *map.entry(*sid).or_insert(0) += 1;
                 }
@@ -1026,7 +1045,11 @@ impl SubmitHandle {
                 }
             }
         }
-        results.into_iter().map(|r| r.expect("every input index receives a result")).collect()
+        // Every index was filled by exactly one of the arms above; a
+        // hole would mean the routing bookkeeping dropped an input, and
+        // the honest answer for that input is a closed-engine error, not
+        // a panic on the submitting thread.
+        results.into_iter().map(|r| r.unwrap_or(Err(EngineError::Closed))).collect()
     }
 
     /// Fleet-wide barrier: returns once every command submitted (by *any*
@@ -1298,7 +1321,7 @@ impl EngineHandle {
                 reason: "checkpoint requires a write-ahead-logged engine (with_wal)".to_string(),
             });
         };
-        let mut ctx = ctx.lock().expect("checkpoint lock");
+        let mut ctx = lock_or_recover(ctx);
         let mut acks = Vec::with_capacity(self.submit.lanes.len());
         for lane in self.submit.lanes.iter() {
             let (tx, rx) = mpsc::channel();
@@ -1734,7 +1757,16 @@ fn run_ingest_logged(
     }
     for (cmd, indices) in cmds.into_iter().zip(run_indices) {
         let Command::ObserveBatch { session_id: sid, points: batch } = cmd else {
-            unreachable!("constructed as ObserveBatch above")
+            // Every element of `cmds` was built as ObserveBatch in the
+            // loop above; if that ever changed, fail the affected
+            // indices instead of killing the shard worker.
+            let err = EngineError::Mechanism {
+                reason: "internal: ingest staged a non-batch command".to_string(),
+            };
+            for i in indices {
+                out.push((i, Err(err.clone())));
+            }
+            continue;
         };
         ingest_run(sessions, sid, indices, &batch, &mut out);
     }

@@ -46,7 +46,7 @@
 //! optimization — never a semantic one.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod engine;
 mod error;
@@ -55,6 +55,7 @@ pub mod server;
 mod session;
 pub mod snapshot;
 mod spec;
+mod sync;
 pub mod tcp;
 pub mod wal;
 pub mod wire;

@@ -179,7 +179,12 @@ pub(crate) fn serve_connection_counted<R: Read, W: Write + Send>(
         // last, so the CLOSED frame goes out only after every earlier
         // reply — the connection-scoped barrier the client observes).
         drop(tx);
-        let (replies, write_error) = writer_thread.join().expect("reply writer thread panicked");
+        let (replies, write_error) = writer_thread.join().unwrap_or_else(|_| {
+            // A panicked writer tore the connection; report it as a
+            // write-side failure instead of propagating the panic into
+            // the accept loop.
+            (0, Some(WireError::Malformed("reply writer thread panicked".to_string())))
+        });
         // A protocol violation on the read side outranks write-side
         // trouble: after it the inbound stream is untrusted.
         (ServeStats { commands, replies }, read_error.or(write_error))

@@ -1,9 +1,10 @@
 //! Versioned, checksummed session snapshots — the `PIRS` format.
 //!
-//! A snapshot captures everything needed to resume a [`StreamSession`]
-//! bit-identically on the same engine: the identity and static shape of
-//! the session (id, spec, horizon, privacy budget) plus the mechanism's
-//! dynamic state blob from [`IncrementalMechanism::save_state`]. Restore
+//! A snapshot captures everything needed to resume a
+//! [`StreamSession`](crate::session::StreamSession) bit-identically on
+//! the same engine: the identity and static shape of the session (id,
+//! spec, horizon, privacy budget) plus the mechanism's dynamic state
+//! blob from [`IncrementalMechanism::save_state`](pir_core::IncrementalMechanism::save_state). Restore
 //! respawns the mechanism deterministically from the engine seed (which
 //! reproduces construction-time randomness such as Mechanism 2's sketch
 //! matrix without serializing it) and then overlays the dynamic state, so

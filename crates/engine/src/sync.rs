@@ -1,0 +1,37 @@
+//! Panic-free mutex acquisition for the serving path.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock `m`, recovering from poisoning instead of propagating the
+/// panic.
+///
+/// Every mutex on the serving path guards state that stays internally
+/// consistent across any single statement (counter maps, connection
+/// registries, accumulated statistics), so a panic elsewhere while the
+/// lock was held cannot leave the data half-updated in a way that is
+/// worse than losing the panicking thread's one update. Recovering
+/// keeps the remaining shard workers and connection threads serving;
+/// propagating would cascade one dead thread into a poisoned-lock panic
+/// on every other thread that touches the same state.
+pub(crate) fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recovers_after_a_panic_while_held() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "lock must actually be poisoned");
+        assert_eq!(*lock_or_recover(&m), 7);
+    }
+}

@@ -50,6 +50,7 @@
 
 use crate::ingress::SubmitHandle;
 use crate::server::serve_connection_counted;
+use crate::sync::lock_or_recover;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -123,7 +124,7 @@ pub struct TcpFront {
 
 impl std::fmt::Debug for Shared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared").field("stats", &self.stats.lock().unwrap()).finish()
+        f.debug_struct("Shared").field("stats", &lock_or_recover(&self.stats)).finish()
     }
 }
 
@@ -174,7 +175,7 @@ impl TcpFront {
     /// Snapshot of the cumulative stats so far (finished connections
     /// only; see [`TcpStats`]).
     pub fn stats(&self) -> TcpStats {
-        *self.shared.stats.lock().unwrap()
+        *lock_or_recover(&self.shared.stats)
     }
 
     /// Stop the front: refuse new connections, sever the ones still
@@ -186,7 +187,7 @@ impl TcpFront {
     /// mid-conversation and lands in [`TcpStats::protocol_errors`].
     pub fn shutdown(mut self) -> TcpStats {
         self.stop_impl();
-        let stats = *self.shared.stats.lock().unwrap();
+        let stats = *lock_or_recover(&self.shared.stats);
         stats
     }
 
@@ -222,7 +223,7 @@ impl TcpFront {
         // first and join with the registry lock *released*: a finishing
         // connection blocks on that lock to self-reap, so joining while
         // holding it would deadlock.
-        let drained: Vec<Conn> = self.shared.conns.lock().unwrap().drain(..).collect();
+        let drained: Vec<Conn> = lock_or_recover(&self.shared.conns).drain(..).collect();
         for c in &drained {
             let _ = c.stream.shutdown(Shutdown::Both);
         }
@@ -260,7 +261,7 @@ fn accept_loop(
                 continue;
             }
         };
-        let mut conns = shared.conns.lock().unwrap();
+        let mut conns = lock_or_recover(&shared.conns);
         // Belt-and-braces reap: a connection normally removes itself on
         // exit (below), but one that finished before its registry entry
         // was pushed cannot; sweep those so the cap counts live
@@ -275,7 +276,7 @@ fn accept_loop(
         }
         *conns = live;
         if conns.len() >= opts.max_connections {
-            shared.stats.lock().unwrap().refused += 1;
+            lock_or_recover(&shared.stats).refused += 1;
             let _ = stream.shutdown(Shutdown::Both);
             continue;
         }
@@ -284,7 +285,7 @@ fn accept_loop(
         // pressure) turns the accepted connection away — visibly, so the
         // tallies still reconcile against client-side counts.
         let Ok(registry_stream) = stream.try_clone() else {
-            shared.stats.lock().unwrap().refused += 1;
+            lock_or_recover(&shared.stats).refused += 1;
             let _ = stream.shutdown(Shutdown::Both);
             continue;
         };
@@ -293,7 +294,7 @@ fn accept_loop(
         let thread = std::thread::spawn(move || {
             let (served, error) = serve_connection_counted(&submit, &mut (&stream), &mut (&stream));
             {
-                let mut stats = shared_for_conn.stats.lock().unwrap();
+                let mut stats = lock_or_recover(&shared_for_conn.stats);
                 stats.connections += 1;
                 // Frames served before a protocol error (or a severed
                 // socket) still count — TcpStats must reconcile against
@@ -309,7 +310,7 @@ fn accept_loop(
             // accept or shutdown. Dropping our own JoinHandle merely
             // detaches a thread that is already on its final statement.
             let me = std::thread::current().id();
-            let mut conns = shared_for_conn.conns.lock().unwrap();
+            let mut conns = lock_or_recover(&shared_for_conn.conns);
             if let Some(pos) = conns.iter().position(|c| c.id == me) {
                 conns.swap_remove(pos);
             }

@@ -909,7 +909,13 @@ pub struct ScannedSegment {
 }
 
 fn le_u32(buf: &[u8], at: usize) -> u32 {
-    u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
+    // Callers bounds-check `at + 4` against the scanned span before
+    // calling; if one ever did not, a zero comes back and the record
+    // fails its length/CRC validation instead of panicking the scan.
+    match buf.get(at..).and_then(|rest| rest.first_chunk::<4>()) {
+        Some(&bytes) => u32::from_le_bytes(bytes),
+        None => 0,
+    }
 }
 
 /// Tolerantly scan one segment: validate the header, decode every
@@ -1070,7 +1076,17 @@ pub fn decode_segment(path: &Path) -> Result<(SegmentHeader, Vec<Command>), WalE
             need: t.need,
         });
     }
-    let header = s.header.expect("a segment without a torn tail has a complete header");
+    // A headerless segment always reports a torn tail, so this branch is
+    // unreachable after the check above — but strict decoding should
+    // answer a missing header with the torn-header error, not a panic.
+    let Some(header) = s.header else {
+        return Err(WalError::TornTail {
+            file: s.path.display().to_string(),
+            offset: 0,
+            have: 0,
+            need: SEGMENT_HEADER_LEN,
+        });
+    };
     Ok((header, s.commands))
 }
 

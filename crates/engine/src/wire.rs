@@ -178,25 +178,41 @@ impl<'a> Dec<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.pos + n > self.buf.len() {
-            return Err(WireError::Truncated { expected: self.pos + n, got: self.buf.len() });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
+        let Some(s) = self.buf.get(self.pos..).and_then(|rest| rest.get(..n)) else {
+            return Err(WireError::Truncated {
+                expected: self.pos.saturating_add(n),
+                got: self.buf.len(),
+            });
+        };
         self.pos += n;
         Ok(s)
     }
 
+    /// Fixed-size [`take`](Self::take): the array form makes the
+    /// byte-order conversions below infallible.
+    fn take_arr<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let Some(&arr) = self.buf.get(self.pos..).and_then(|rest| rest.first_chunk::<N>()) else {
+            return Err(WireError::Truncated {
+                expected: self.pos.saturating_add(N),
+                got: self.buf.len(),
+            });
+        };
+        self.pos += N;
+        Ok(arr)
+    }
+
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_arr()?;
+        Ok(b)
     }
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.take_arr()?))
     }
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.take_arr()?))
     }
     fn f64(&mut self) -> Result<f64, WireError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(self.take_arr()?))
     }
     fn usize(&mut self) -> Result<usize, WireError> {
         let v = self.u64()?;
@@ -603,8 +619,15 @@ fn build_frame(
         if len as u64 > u64::from(MAX_PAYLOAD) {
             return Err(WireError::FrameTooLarge { len: len as u32 });
         }
-        out[start + 5] = op;
-        out[start + 8..start + 12].copy_from_slice(&(len as u32).to_le_bytes());
+        // Backfill opcode and length into the header written above.
+        // `get_mut` misses are impossible (the header bytes were pushed
+        // at `start` in this very function) but degrade to a truncation
+        // error rather than a panic.
+        let truncated = WireError::Truncated { expected: start + HEADER_LEN, got: out.len() };
+        let Some(op_slot) = out.get_mut(start + 5) else { return Err(truncated) };
+        *op_slot = op;
+        let Some(len_slot) = out.get_mut(start + 8..start + 12) else { return Err(truncated) };
+        len_slot.copy_from_slice(&(len as u32).to_le_bytes());
         Ok(())
     });
     if result.is_err() {
@@ -615,21 +638,24 @@ fn build_frame(
 
 /// Parse a frame header, returning `(opcode, payload length)`.
 fn parse_header(h: &[u8; HEADER_LEN]) -> Result<(u8, usize), WireError> {
-    if h[0..4] != MAGIC {
-        return Err(WireError::BadMagic([h[0], h[1], h[2], h[3]]));
+    // Irrefutable array destructuring: every field access is infallible.
+    let [m0, m1, m2, m3, version, op, r0, r1, l0, l1, l2, l3] = *h;
+    let magic = [m0, m1, m2, m3];
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
     }
-    if h[4] != VERSION {
-        return Err(WireError::UnsupportedVersion(h[4]));
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
     }
-    let reserved = u16::from_le_bytes([h[6], h[7]]);
+    let reserved = u16::from_le_bytes([r0, r1]);
     if reserved != 0 {
         return Err(WireError::NonZeroReserved(reserved));
     }
-    let len = u32::from_le_bytes([h[8], h[9], h[10], h[11]]);
+    let len = u32::from_le_bytes([l0, l1, l2, l3]);
     if len > MAX_PAYLOAD {
         return Err(WireError::FrameTooLarge { len });
     }
-    Ok((h[5], len as usize))
+    Ok((op, len as usize))
 }
 
 /// Encode one command as a complete frame.
@@ -754,19 +780,17 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Reply, WireError> {
 /// Validate a frame's header against its buffer and return
 /// `(opcode, payload)`.
 fn split_frame(bytes: &[u8]) -> Result<(u8, &[u8]), WireError> {
-    if bytes.len() < HEADER_LEN {
+    let Some((header, rest)) = bytes.split_first_chunk::<HEADER_LEN>() else {
         return Err(WireError::Truncated { expected: HEADER_LEN, got: bytes.len() });
+    };
+    let (op, len) = parse_header(header)?;
+    if rest.len() < len {
+        return Err(WireError::Truncated { expected: HEADER_LEN + len, got: bytes.len() });
     }
-    let header: [u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("12 bytes");
-    let (op, len) = parse_header(&header)?;
-    let total = HEADER_LEN + len;
-    if bytes.len() < total {
-        return Err(WireError::Truncated { expected: total, got: bytes.len() });
+    if rest.len() > len {
+        return Err(WireError::TrailingBytes { extra: rest.len() - len });
     }
-    if bytes.len() > total {
-        return Err(WireError::TrailingBytes { extra: bytes.len() - total });
-    }
-    Ok((op, &bytes[HEADER_LEN..]))
+    Ok((op, rest))
 }
 
 fn decode_command_payload(op: u8, payload: &[u8]) -> Result<Command, WireError> {
@@ -838,8 +862,10 @@ fn decode_reply_payload(op: u8, payload: &[u8]) -> Result<Reply, WireError> {
 /// [`WireError::Truncated`] on EOF mid-buffer.
 fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<bool, WireError> {
     let mut filled = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
+    // `get_mut(filled..)` always hits while `filled < buf.len()`; the
+    // guard keeps the loop panic-free without an indexing operation.
+    while let Some(rest) = buf.get_mut(filled..).filter(|rest| !rest.is_empty()) {
+        match r.read(rest) {
             Ok(0) => {
                 if filled == 0 {
                     return Ok(false);

@@ -21,7 +21,7 @@
 //! calibrated under exactly that contract.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod data;
 mod error;

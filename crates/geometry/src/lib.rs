@@ -20,7 +20,7 @@
 //! (non-convex) k-sparse input domain.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod sets;
 mod traits;

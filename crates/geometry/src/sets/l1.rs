@@ -93,6 +93,36 @@ impl ConvexSet for L1Ball {
         project_l1(x, self.radius)
     }
 
+    /// In-place soft-threshold projection: the descending magnitude sort
+    /// the threshold `τ` needs runs inside `out` itself (`sort_unstable`
+    /// is in-place), so the projection is allocation-free — the form the
+    /// per-step mechanism lift (Algorithm 3, Step 9) iterates on.
+    fn project_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), x.len(), "project_into: output length mismatch");
+        if vector::norm1(x) <= self.radius {
+            out.copy_from_slice(x);
+            return;
+        }
+        for (o, &v) in out.iter_mut().zip(x) {
+            *o = v.abs();
+        }
+        out.sort_unstable_by(|a, b| b.partial_cmp(a).expect("NaN in project_l1"));
+        let mut cumsum = 0.0;
+        let mut tau = 0.0;
+        for (j, &u) in out.iter().enumerate() {
+            cumsum += u;
+            let candidate = (cumsum - self.radius) / (j as f64 + 1.0);
+            if u - candidate > 0.0 {
+                tau = candidate;
+            } else {
+                break;
+            }
+        }
+        for (o, &v) in out.iter_mut().zip(x) {
+            *o = v.signum() * (v.abs() - tau).max(0.0);
+        }
+    }
+
     fn support(&self, g: &[f64]) -> Vec<f64> {
         let mut out = vec![0.0; self.dim];
         if let Some(i) = vector::argmax_abs(g) {
@@ -166,5 +196,21 @@ mod tests {
     fn zero_gradient_support_is_origin() {
         let ball = L1Ball::new(2, 1.0);
         assert_eq!(ball.support(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn project_into_is_identical_to_project() {
+        let ball = L1Ball::new(5, 1.5);
+        let cases: [&[f64]; 4] = [
+            &[0.2, -0.3, 0.1, 0.0, 0.05],  // interior: copied through
+            &[2.0, -2.0, 1.0, 0.5, -0.25], // exterior: thresholded
+            &[3.0, 1.0, 0.0, 0.0, 0.0],    // sparse exterior
+            &[-0.4, 0.4, -0.4, 0.4, -0.4], // ties in the sort
+        ];
+        let mut out = [7.0; 5]; // dirty buffer must be fully overwritten
+        for x in cases {
+            ball.project_into(x, &mut out);
+            assert_eq!(out.to_vec(), ball.project(x), "x = {x:?}");
+        }
     }
 }

@@ -16,7 +16,7 @@
 //! adequate and keep the library fully self-contained.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cholesky;
 mod error;

@@ -1,0 +1,538 @@
+//! A small, self-contained Rust lexer.
+//!
+//! The rule engine never wants to see the *inside* of a string literal,
+//! a char literal, or a comment — `"call .unwrap() here"` in a doc
+//! comment is not a finding. This lexer produces a token stream with
+//! those regions correctly skipped (or folded into single literal
+//! tokens), which is all the precision the token-pattern rules need.
+//! It is deliberately **not** a parser: no AST, no expressions — just
+//! tokens with line numbers.
+//!
+//! Handled correctly, because each one has burned a naive regex linter
+//! before:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), including doc block comments;
+//! - string literals with escapes (`"\""`), raw strings with any hash
+//!   depth (`r#"..."#`), byte strings (`b"..."`, `br##"..."##`), and
+//!   C strings (`c"..."`);
+//! - char literals vs. lifetimes: `'a'` is a literal, `'a` is a
+//!   lifetime, `'\''` is a literal, `'static` is a lifetime;
+//! - numeric literals with underscores, base prefixes, type suffixes,
+//!   and floats — `0..4` lexes as `0`, `..`, `4`, not as a float;
+//! - raw identifiers (`r#match`).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `r#match`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — the text excludes the quote.
+    Lifetime,
+    /// A string / byte-string / C-string literal (raw or not). The text
+    /// is the full source slice including quotes and prefix.
+    Str,
+    /// A character or byte-character literal (`'x'`, `b'\n'`).
+    Char,
+    /// An integer literal (`42`, `0x84`, `1_000u64`).
+    Int,
+    /// A float literal (`1.0`, `1e-6`, `2.5f64`).
+    Float,
+    /// A single punctuation character (`[`, `!`, `:`, …). Multi-char
+    /// operators are emitted as consecutive single-char tokens, which
+    /// is sufficient for token-pattern rules.
+    Punct,
+}
+
+/// One lexed token: kind, source text, and 1-based line number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Classification of this token.
+    pub kind: TokenKind,
+    /// The token's text, borrowed from the source.
+    pub text: &'a str,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl<'a> Token<'a> {
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Parse an integer literal (decimal, hex, octal, or binary, with
+    /// `_` separators and an optional type suffix). `None` for
+    /// non-integer tokens.
+    pub fn int_value(&self) -> Option<u64> {
+        if self.kind != TokenKind::Int {
+            return None;
+        }
+        let t = self.text.replace('_', "");
+        let (digits, radix) = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X"))
+        {
+            (h, 16)
+        } else if let Some(o) = t.strip_prefix("0o") {
+            (o, 8)
+        } else if let Some(b) = t.strip_prefix("0b") {
+            (b, 2)
+        } else {
+            (t.as_str(), 10)
+        };
+        // Trim any type suffix (u8, usize, i64, …).
+        let end = digits.find(|c: char| !c.is_digit(radix)).map_or(digits.len(), |i| i);
+        u64::from_str_radix(&digits[..end], radix).ok()
+    }
+
+    /// For a plain (non-raw) string or byte-string literal, the content
+    /// between the quotes, unescaped only for the trivial case of no
+    /// backslashes. `None` when the content contains escapes (callers
+    /// in this linter only read protocol magic literals like `b"PIRW"`,
+    /// which never do).
+    pub fn str_content(&self) -> Option<&'a str> {
+        if self.kind != TokenKind::Str {
+            return None;
+        }
+        let t = self.text;
+        let open = t.find('"')?;
+        let inner = &t[open + 1..t.len().checked_sub(1)?];
+        if t[..open].contains('#') || inner.contains('\\') {
+            return None;
+        }
+        Some(inner)
+    }
+}
+
+/// Lex `src` into tokens, skipping whitespace and comments.
+///
+/// Unterminated literals or comments end the token stream at the point
+/// of the problem rather than erroring: the linter runs on code that
+/// `rustc` already accepted, so this is a defensive posture, not an
+/// expected path.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' => {
+                    if self.peek(1) == Some(b'/') {
+                        self.skip_line_comment();
+                    } else if self.peek(1) == Some(b'*') {
+                        self.skip_block_comment();
+                    } else {
+                        self.push_punct();
+                    }
+                }
+                b'"' => self.lex_string(self.pos),
+                b'\'' => self.lex_char_or_lifetime(),
+                b'0'..=b'9' => self.lex_number(),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident_or_prefixed(),
+                _ if b < 0x80 => self.push_punct(),
+                _ => {
+                    // Multi-byte UTF-8 outside literals/comments: emit as
+                    // punctuation covering the whole char.
+                    let start = self.pos;
+                    let ch_len = utf8_len(b);
+                    self.pos = (start + ch_len).min(self.bytes.len());
+                    self.push(TokenKind::Punct, start);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.out.push(Token { kind, text: &self.src[start..self.pos], line: self.line });
+    }
+
+    fn push_punct(&mut self) {
+        let start = self.pos;
+        self.pos += 1;
+        self.push(TokenKind::Punct, start);
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                break; // the newline itself is handled by the main loop
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        self.pos += 2; // consume "/*"
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bytes.get(self.pos) {
+                None => return, // unterminated: end of stream
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                Some(b'*') if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// Lex a plain `"…"` string starting at `token_start` (which may be
+    /// earlier than the quote when a `b`/`c` prefix was consumed).
+    fn lex_string(&mut self, token_start: usize) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    self.out.push(Token {
+                        kind: TokenKind::Str,
+                        text: &self.src[token_start..self.pos],
+                        line,
+                    });
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Lex a raw string `r#"…"#` (any hash depth, `r"…"` included)
+    /// starting at `token_start`; `self.pos` is at the first `#` or `"`.
+    fn lex_raw_string(&mut self, token_start: usize) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.bytes.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            // `r#ident` raw identifier, or stray `r#`: rewind to lex as
+            // identifier text (the `r#` stays part of the token).
+            self.lex_ident_tail(token_start);
+            return;
+        }
+        self.pos += 1;
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return, // unterminated
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(b'"') => {
+                    let mut close = 0usize;
+                    while close < hashes && self.bytes.get(self.pos + 1 + close) == Some(&b'#') {
+                        close += 1;
+                    }
+                    if close == hashes {
+                        self.pos += 1 + hashes;
+                        self.out.push(Token {
+                            kind: TokenKind::Str,
+                            text: &self.src[token_start..self.pos],
+                            line,
+                        });
+                        return;
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// `'` — a lifetime (`'a`) or a char literal (`'a'`, `'\n'`).
+    fn lex_char_or_lifetime(&mut self) {
+        let start = self.pos;
+        // Lifetime: quote + ident-start, where the char after the ident
+        // run is NOT another quote (`'a'` is a char literal; `'a` as in
+        // `&'a str` is a lifetime; `'_` is a lifetime too).
+        if let Some(b) = self.peek(1) {
+            if b.is_ascii_alphabetic() || b == b'_' {
+                let mut end = self.pos + 2;
+                while self.bytes.get(end).is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') {
+                    end += 1;
+                }
+                if self.bytes.get(end) != Some(&b'\'') {
+                    self.pos = end;
+                    self.out.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: &self.src[start + 1..end],
+                        line: self.line,
+                    });
+                    return;
+                }
+            }
+        }
+        // Char literal: consume until closing quote, honoring escapes.
+        self.pos += 1;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Char, start);
+                    return;
+                }
+                b'\n' => return, // malformed; stop the literal here
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn lex_number(&mut self) {
+        let start = self.pos;
+        let mut kind = TokenKind::Int;
+        if self.bytes[self.pos] == b'0' && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'b')) {
+            self.pos += 2;
+            while self.bytes.get(self.pos).is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+            {
+                self.pos += 1;
+            }
+            self.push(TokenKind::Int, start);
+            return;
+        }
+        while self.bytes.get(self.pos).is_some_and(|c| c.is_ascii_digit() || *c == b'_') {
+            self.pos += 1;
+        }
+        // A decimal point only if followed by a digit (so `0..4` stays
+        // integer + range) — `1.` at end of expression is rare enough to
+        // classify either way without affecting any rule.
+        if self.bytes.get(self.pos) == Some(&b'.')
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            kind = TokenKind::Float;
+            self.pos += 1;
+            while self.bytes.get(self.pos).is_some_and(|c| c.is_ascii_digit() || *c == b'_') {
+                self.pos += 1;
+            }
+        }
+        // Exponent.
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E'))
+            && (self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                || (matches!(self.peek(1), Some(b'+' | b'-'))
+                    && self.bytes.get(self.pos + 2).is_some_and(|c| c.is_ascii_digit())))
+        {
+            kind = TokenKind::Float;
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.bytes.get(self.pos).is_some_and(|c| c.is_ascii_digit() || *c == b'_') {
+                self.pos += 1;
+            }
+        }
+        // Type suffix (u8, f64, usize, …).
+        if self.bytes.get(self.pos).is_some_and(|c| c.is_ascii_alphabetic()) {
+            let suffix_start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+            {
+                self.pos += 1;
+            }
+            if self.src[suffix_start..self.pos].starts_with('f') {
+                kind = TokenKind::Float;
+            }
+        }
+        self.push(kind, start);
+    }
+
+    /// An identifier — or a prefixed literal (`b"…"`, `r"…"`, `r#"…"#`,
+    /// `br"…"`, `c"…"`, `b'x'`).
+    fn lex_ident_or_prefixed(&mut self) {
+        let start = self.pos;
+        let b0 = self.bytes[self.pos];
+        // String/char prefixes must be checked before generic identifier
+        // lexing: `b"PIRW"` is one byte-string token, not ident + string.
+        match b0 {
+            b'b' => match self.peek(1) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    self.lex_string(start);
+                    return;
+                }
+                Some(b'\'') => {
+                    self.pos += 1;
+                    // Byte char literal: same shape as a char literal and
+                    // never a lifetime (b'a is not legal Rust).
+                    let quote = self.pos;
+                    self.pos += 1;
+                    while let Some(&c) = self.bytes.get(self.pos) {
+                        match c {
+                            b'\\' => self.pos += 2,
+                            b'\'' => {
+                                self.pos += 1;
+                                self.push(TokenKind::Char, start);
+                                return;
+                            }
+                            b'\n' => return,
+                            _ => self.pos += 1,
+                        }
+                    }
+                    let _ = quote;
+                    return;
+                }
+                Some(b'r') if matches!(self.bytes.get(self.pos + 2), Some(b'"' | b'#')) => {
+                    self.pos += 2;
+                    self.lex_raw_string(start);
+                    return;
+                }
+                _ => {}
+            },
+            b'r' => {
+                if matches!(self.peek(1), Some(b'"' | b'#')) {
+                    self.pos += 1;
+                    self.lex_raw_string(start);
+                    return;
+                }
+            }
+            b'c' if self.peek(1) == Some(b'"') => {
+                self.pos += 1;
+                self.lex_string(start);
+                return;
+            }
+            _ => {}
+        }
+        self.lex_ident_tail(start);
+    }
+
+    fn lex_ident_tail(&mut self, start: usize) {
+        while self.bytes.get(self.pos).is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            // Defensive: never loop forever on unexpected input.
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start);
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text.to_string())).collect()
+    }
+
+    #[test]
+    fn comments_are_skipped_including_nested_blocks() {
+        let toks = kinds("a // unwrap()\nb /* x /* unwrap() */ y */ c");
+        let idents: Vec<_> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(idents, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let toks = lex(r###"call("unwrap()", b"PIRW", r#"panic!()"# )"###);
+        assert!(toks.iter().all(|t| t.text != "unwrap" && t.text != "panic"));
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 3);
+        assert_eq!(strs[1].str_content(), Some("PIRW"));
+        // Raw strings never yield content via the trivial accessor.
+        assert_eq!(strs[2].str_content(), None);
+    }
+
+    #[test]
+    fn char_literals_versus_lifetimes() {
+        let toks = kinds("'a' &'a str 'static '_ '\\'' b'\\n'");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Char, "'a'".to_string()),
+                (TokenKind::Punct, "&".to_string()),
+                (TokenKind::Lifetime, "a".to_string()),
+                (TokenKind::Ident, "str".to_string()),
+                (TokenKind::Lifetime, "static".to_string()),
+                (TokenKind::Lifetime, "_".to_string()),
+                (TokenKind::Char, "'\\''".to_string()),
+                (TokenKind::Char, "b'\\n'".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("0..4 1.5 1e-6 0x84 1_000u64 2.5f64");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Int, "0".to_string()),
+                (TokenKind::Punct, ".".to_string()),
+                (TokenKind::Punct, ".".to_string()),
+                (TokenKind::Int, "4".to_string()),
+                (TokenKind::Float, "1.5".to_string()),
+                (TokenKind::Float, "1e-6".to_string()),
+                (TokenKind::Int, "0x84".to_string()),
+                (TokenKind::Int, "1_000u64".to_string()),
+                (TokenKind::Float, "2.5f64".to_string()),
+            ]
+        );
+        assert_eq!(lex("0x84")[0].int_value(), Some(0x84));
+        assert_eq!(lex("1_000u64")[0].int_value(), Some(1000));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let toks = kinds("r#match r#\"raw\"#");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#match".to_string()));
+        assert_eq!(toks[1].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn line_numbers_track_every_literal_shape() {
+        let src = "a\n\"s\ntring\"\nb /* c\nc */ d\nr#\"x\ny\"# e";
+        let toks = lex(src);
+        let find = |text: &str| toks.iter().find(|t| t.text == text).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("d"), Some(5));
+        assert_eq!(find("e"), Some(7));
+    }
+}

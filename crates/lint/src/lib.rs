@@ -1,0 +1,39 @@
+//! `pir-lint` — the in-tree invariant linter.
+//!
+//! The workspace carries invariants that `rustc` and `clippy` cannot
+//! express because they are *this repo's* contracts, not the
+//! language's:
+//!
+//! - **R1** the engine serving path is panic-free (typed errors only);
+//! - **R2** `*_into` kernels perform zero heap allocations;
+//! - **R3** the durability layer always fsyncs before renaming;
+//! - **R4** protocol constants in source match `docs/PROTOCOL.md`
+//!   byte-for-byte, in both directions;
+//! - **R5** every crate root forbids `unsafe_code` and its
+//!   `missing_docs` state matches a reviewed manifest.
+//!
+//! The tool is dependency-free by necessity (the build environment is
+//! offline): [`lexer`] is a small hand-rolled Rust lexer that skips
+//! comments, strings, char literals, lifetimes, and nested block
+//! comments, so the token-level [`rules`] never fire on prose. Accepted
+//! violations live in `lint.toml` (see [`baseline`]) — every entry
+//! needs a written reason, caps how much it may absorb, and goes stale
+//! loudly when the code it excused is fixed.
+//!
+//! Run it as CI does:
+//!
+//! ```text
+//! cargo run -p pir-lint -- --check
+//! ```
+//!
+//! or via the test harness (`cargo test -p pir-lint`), which drives the
+//! same entry points over fixtures and the real tree. See
+//! `docs/LINTING.md` for the rule catalog and the suppression workflow.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod repo;
+pub mod rules;

@@ -1,0 +1,92 @@
+//! CLI for the in-tree invariant linter.
+//!
+//! ```text
+//! cargo run -p pir-lint -- --check [--root PATH]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings or baseline ratchet failures,
+//! `2` usage or I/O error. See `docs/LINTING.md`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "pir-lint: in-tree invariant linter (R1 panic-free serving path, \
+                     R2 zero-alloc _into kernels, R3 fsync-before-rename, \
+                     R4 protocol-constant drift, R5 crate-root hygiene)\n\n\
+                     usage: pir-lint --check [--root PATH]\n\n\
+                     Findings are suppressed only by reviewed lint.toml entries; \
+                     see docs/LINTING.md."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !check {
+        return usage("nothing to do — pass --check");
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+    let result = match pir_lint::repo::check(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pir-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for e in &result.baseline_errors {
+        eprintln!("{e}");
+    }
+    for f in &result.findings {
+        eprintln!("{f}");
+        if !f.excerpt.is_empty() {
+            eprintln!("    {}", f.excerpt);
+        }
+    }
+    let suppressed = result.raw_count - result.findings.len();
+    if result.is_clean() {
+        println!(
+            "pir-lint: clean ({} findings checked, {suppressed} suppressed by reviewed baseline)",
+            result.raw_count
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "pir-lint: {} finding(s), {} baseline error(s) ({suppressed} suppressed)",
+            result.findings.len(),
+            result.baseline_errors.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("pir-lint: {msg}\nusage: pir-lint --check [--root PATH]");
+    ExitCode::from(2)
+}
+
+/// Default root: the workspace this binary was built from (compile-time
+/// manifest dir, two levels up), falling back to the current directory
+/// when that path does not exist (e.g. a relocated binary).
+fn find_workspace_root() -> PathBuf {
+    let baked = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    if baked.join("Cargo.toml").is_file() {
+        return baked;
+    }
+    PathBuf::from(".")
+}

@@ -1,0 +1,132 @@
+//! R3 — durability discipline: fsync before rename.
+//!
+//! The WAL checkpoint manifests (and any future tmp-file publication in
+//! the durability layer) follow one discipline: write to a temporary
+//! name, `sync_all`/`sync_data` the file, `rename` into place, sync the
+//! directory. A rename of un-synced data is the classic
+//! silent-corruption bug — after a power cut the rename may be durable
+//! while the file contents are not, leaving a *valid-looking* manifest
+//! of garbage. PRs 6–7 hand-repeated the discipline; this rule checks
+//! it at every call site.
+//!
+//! Per function body (non-test code), every `rename` call must be
+//! preceded by a `sync_all`/`sync_data` call that comes **after** the
+//! most recent file-creation/write call (`File::create`,
+//! `OpenOptions… .create`, `fs::write`). A rename with no preceding
+//! sync at all in the same body is also flagged: if the sync happens in
+//! a caller, hoist the rename there too, or baseline with the reason.
+
+use super::{fn_bodies, line_excerpt, strip_test_code, Finding};
+use crate::lexer::lex;
+
+/// Run R3 over one file's source.
+pub fn check_file(rel_path: &str, src: &str) -> Vec<Finding> {
+    let tokens = lex(src);
+    let tokens = strip_test_code(&tokens);
+    let mut out = Vec::new();
+    for f in fn_bodies(&tokens) {
+        let body = &tokens[f.body.clone()];
+        let mut last_create: Option<usize> = None;
+        let mut last_sync: Option<usize> = None;
+        for (i, t) in body.iter().enumerate() {
+            let called = body.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if !called {
+                continue;
+            }
+            let after_path_sep = |owner: &str| {
+                i >= 2
+                    && body[i - 1].is_punct(':')
+                    && body[i - 2].is_punct(':')
+                    && body.get(i.wrapping_sub(3)).is_some_and(|o| o.is_ident(owner))
+            };
+            if (t.is_ident("create") && (after_path_sep("File") || prev_is_dot(body, i)))
+                || (t.is_ident("create_new") && after_path_sep("File"))
+                || (t.is_ident("write") && after_path_sep("fs"))
+            {
+                last_create = Some(i);
+            } else if t.is_ident("sync_all") || t.is_ident("sync_data") {
+                last_sync = Some(i);
+            } else if t.is_ident("rename") {
+                let synced_since_create = match (last_create, last_sync) {
+                    (Some(c), Some(s)) => s > c,
+                    (None, Some(_)) => true,
+                    (_, None) => false,
+                };
+                if !synced_since_create {
+                    out.push(Finding {
+                        rule: "R3",
+                        token: "rename".to_string(),
+                        file: rel_path.to_string(),
+                        line: t.line,
+                        message: format!(
+                            "rename in `{}` without an intervening sync_all/sync_data after the last create/write — a power cut can publish unsynced data",
+                            f.name
+                        ),
+                        excerpt: line_excerpt(src, t.line),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `.create(true)` builder-style call.
+fn prev_is_dot(body: &[crate::lexer::Token<'_>], i: usize) -> bool {
+    i >= 1 && body[i - 1].is_punct('.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_sync_between_create_and_rename_is_flagged() {
+        let src = r#"
+fn publish(dir: &Path) -> io::Result<()> {
+    let mut f = File::create(dir.join("x.tmp"))?;
+    f.write_all(b"data")?;
+    fs::rename(dir.join("x.tmp"), dir.join("x"))?;
+    Ok(())
+}
+"#;
+        let f = check_file("f.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].token, "rename");
+    }
+
+    #[test]
+    fn sync_before_rename_passes() {
+        let src = r#"
+fn publish(dir: &Path) -> io::Result<()> {
+    let mut f = File::create(dir.join("x.tmp"))?;
+    f.write_all(b"data")?;
+    f.sync_all()?;
+    fs::rename(dir.join("x.tmp"), dir.join("x"))?;
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+"#;
+        assert!(check_file("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn create_after_sync_invalidates_the_sync() {
+        let src = r#"
+fn publish(dir: &Path) -> io::Result<()> {
+    let f = File::create(dir.join("a.tmp"))?;
+    f.sync_all()?;
+    fs::write(dir.join("b.tmp"), b"late data")?;
+    fs::rename(dir.join("b.tmp"), dir.join("b"))?;
+    Ok(())
+}
+"#;
+        assert_eq!(check_file("f.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn rename_with_no_file_activity_needs_a_sync_somewhere() {
+        let src = "fn mv(a: &Path, b: &Path) { let _ = fs::rename(a, b); }";
+        assert_eq!(check_file("f.rs", src).len(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! R5 — crate-root hygiene: unsafe and missing-docs policy.
+//!
+//! Two invariants, both checked against an explicit per-crate manifest
+//! (see [`crate::repo`]):
+//!
+//! 1. **Every** crate root carries `#![forbid(unsafe_code)]`. The
+//!    workspace is pure-Rust numerical and I/O code with no FFI;
+//!    `forbid` (not `deny`) means no module can quietly `allow` it
+//!    back.
+//! 2. The `missing_docs` state **matches the manifest** — crates the
+//!    manifest marks [`DocPolicy::Deny`] must carry
+//!    `#![deny(missing_docs)]`, and crates marked [`DocPolicy::None`]
+//!    must not. Drift in either direction fails: a root that quietly
+//!    gains or loses the attribute without a manifest edit is exactly
+//!    the unreviewed policy change this rule exists to catch.
+//!
+//! The attributes are recognized on the token stream, so commented-out
+//! or doc-quoted attribute text never satisfies (or trips) the rule.
+
+use super::Finding;
+use crate::lexer::{lex, Token};
+
+/// What the manifest expects of a crate root's `missing_docs` state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocPolicy {
+    /// Root must carry `#![deny(missing_docs)]`.
+    Deny,
+    /// Root must not carry `deny(missing_docs)` (e.g. macro-heavy test
+    /// shims where item-level docs are generated code).
+    None,
+}
+
+/// Run R5 over one crate root.
+pub fn check_crate_root(rel_path: &str, src: &str, docs: DocPolicy) -> Vec<Finding> {
+    let tokens = lex(src);
+    let mut out = Vec::new();
+    if !has_inner_attr(&tokens, "forbid", "unsafe_code") {
+        out.push(Finding {
+            rule: "R5",
+            token: "unsafe".to_string(),
+            file: rel_path.to_string(),
+            line: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            excerpt: String::new(),
+        });
+    }
+    let has_deny_docs = has_inner_attr(&tokens, "deny", "missing_docs");
+    match docs {
+        DocPolicy::Deny if !has_deny_docs => out.push(Finding {
+            rule: "R5",
+            token: "docs".to_string(),
+            file: rel_path.to_string(),
+            line: 1,
+            message: "crate root is missing `#![deny(missing_docs)]` (manifest expects Deny)"
+                .to_string(),
+            excerpt: String::new(),
+        }),
+        DocPolicy::None if has_deny_docs => out.push(Finding {
+            rule: "R5",
+            token: "docs".to_string(),
+            file: rel_path.to_string(),
+            line: 1,
+            message:
+                "crate root carries `#![deny(missing_docs)]` but the manifest says None — update \
+                 the manifest in crates/lint/src/repo.rs to record the policy change"
+                    .to_string(),
+            excerpt: String::new(),
+        }),
+        _ => {}
+    }
+    out
+}
+
+/// Whether the stream contains the inner attribute `#![level(lint)]`.
+fn has_inner_attr(tokens: &[Token<'_>], level: &str, lint: &str) -> bool {
+    tokens.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident(level)
+            && w[4].is_punct('(')
+            && w[5].is_ident(lint)
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compliant_root_passes() {
+        let src = "//! Docs.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}\n";
+        assert!(check_crate_root("lib.rs", src, DocPolicy::Deny).is_empty());
+    }
+
+    #[test]
+    fn missing_attrs_are_flagged() {
+        let src = "//! Docs mentioning #![forbid(unsafe_code)] in prose only.\npub fn f() {}\n";
+        let f = check_crate_root("lib.rs", src, DocPolicy::Deny);
+        let tokens: Vec<_> = f.iter().map(|x| x.token.as_str()).collect();
+        assert_eq!(tokens, ["unsafe", "docs"]);
+    }
+
+    #[test]
+    fn warn_missing_docs_does_not_satisfy_deny() {
+        let src = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n";
+        let f = check_crate_root("lib.rs", src, DocPolicy::Deny);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].token, "docs");
+    }
+
+    #[test]
+    fn unexpected_deny_under_none_policy_is_manifest_drift() {
+        let src = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n";
+        let f = check_crate_root("lib.rs", src, DocPolicy::None);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].token, "docs");
+    }
+}

@@ -1,0 +1,260 @@
+//! The rule engine: shared token-stream machinery and the five rules.
+//!
+//! Every rule is a pure function from source text (plus, for R4, the
+//! protocol document) to a list of [`Finding`]s — no filesystem access
+//! inside the rules themselves, so the fixture suite can drive each rule
+//! on seeded violations and clean code alike. The repo driver in
+//! [`crate::repo`] maps real files into these functions.
+
+pub mod durability;
+pub mod hygiene;
+pub mod panic_free;
+pub mod protocol;
+pub mod zero_alloc;
+
+use crate::lexer::{Token, TokenKind};
+
+/// One rule violation at a specific site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`"R1"` … `"R5"`).
+    pub rule: &'static str,
+    /// Short machine-readable tag for the specific check within the rule
+    /// (`"unwrap"`, `"index"`, `"alloc"`, …) — baseline entries can match
+    /// on it.
+    pub token: String,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// The trimmed source line, for baseline pattern matching and
+    /// review-friendly output.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {} [{}]: {}", self.file, self.line, self.rule, self.token, self.message)
+    }
+}
+
+/// The trimmed text of `line` (1-based) in `src`, for excerpts.
+pub(crate) fn line_excerpt(src: &str, line: u32) -> String {
+    src.lines().nth(line.saturating_sub(1) as usize).unwrap_or("").trim().to_string()
+}
+
+/// Drop every token belonging to an item annotated `#[test]` or
+/// `#[cfg(test)]` (or any `cfg` combination naming `test` positively —
+/// `#[cfg(not(test))]` marks *production* code and is kept).
+///
+/// Works on the token stream alone: attributes are recognized as
+/// `#` `[` … `]` runs, and the annotated item is skipped to its closing
+/// `}` (or terminating `;` for bodiless items), with paren/bracket depth
+/// tracked so a `;` inside `[u8; 4]` does not end the item early.
+pub(crate) fn strip_test_code<'a>(tokens: &[Token<'a>]) -> Vec<Token<'a>> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Gather the full run of consecutive outer attributes.
+            let attr_start = i;
+            let mut is_test = false;
+            while tokens.get(i).is_some_and(|t| t.is_punct('#'))
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+            {
+                let close = match matching_bracket(tokens, i + 1) {
+                    Some(c) => c,
+                    None => break,
+                };
+                if attr_marks_test(&tokens[i + 2..close]) {
+                    is_test = true;
+                }
+                i = close + 1;
+            }
+            if is_test {
+                i = skip_item(tokens, i);
+            } else {
+                out.extend_from_slice(&tokens[attr_start..i]);
+            }
+            continue;
+        }
+        out.push(tokens[i]);
+        i += 1;
+    }
+    out
+}
+
+/// Whether an attribute's inner tokens mark the following item as
+/// test-only.
+fn attr_marks_test(inner: &[Token<'_>]) -> bool {
+    let mentions_test = inner.iter().any(|t| t.is_ident("test"));
+    let negated = inner.iter().any(|t| t.is_ident("not"));
+    mentions_test && !negated
+}
+
+/// Index just past the matching `]` for the `[` at `open`.
+fn matching_bracket(tokens: &[Token<'_>], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Skip one item starting at `i` (after its attributes); returns the
+/// index just past the item.
+fn skip_item(tokens: &[Token<'_>], i: usize) -> usize {
+    let (mut curly, mut round, mut square) = (0i64, 0i64, 0i64);
+    let mut j = i;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'{') => curly += 1,
+                Some(b'}') => {
+                    curly -= 1;
+                    if curly == 0 {
+                        return j + 1;
+                    }
+                }
+                Some(b'(') => round += 1,
+                Some(b')') => round -= 1,
+                Some(b'[') => square += 1,
+                Some(b']') => square -= 1,
+                Some(b';') if curly == 0 && round == 0 && square == 0 => return j + 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// A function found in a token stream: its name and the token range of
+/// its body (exclusive of the outer braces).
+pub(crate) struct FnBody<'a> {
+    pub name: &'a str,
+    /// Index range into the token slice covering the body's tokens.
+    pub body: std::ops::Range<usize>,
+}
+
+/// Locate every `fn` and its body in `tokens`. Bodiless declarations
+/// (trait method signatures) are skipped. Nested functions appear both
+/// inside their parent's range and as their own entry — rules that scan
+/// bodies are strict either way.
+pub(crate) fn fn_bodies<'a>(tokens: &'a [Token<'a>]) -> Vec<FnBody<'a>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") && tokens.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            let name = tokens[i + 1].text;
+            // Scan forward to the body's `{` (or a `;` ending a bodiless
+            // declaration), tracking paren/bracket depth so type-level
+            // brackets never confuse the search.
+            let (mut round, mut square) = (0i64, 0i64);
+            let mut j = i + 2;
+            let mut body = None;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_bytes().first() {
+                        Some(b'(') => round += 1,
+                        Some(b')') => round -= 1,
+                        Some(b'[') => square += 1,
+                        Some(b']') => square -= 1,
+                        Some(b'{') if round == 0 && square == 0 => {
+                            // Body found: take its balanced range.
+                            let mut depth = 0i64;
+                            let open = j;
+                            while j < tokens.len() {
+                                if tokens[j].is_punct('{') {
+                                    depth += 1;
+                                } else if tokens[j].is_punct('}') {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                j += 1;
+                            }
+                            body = Some(open + 1..j.min(tokens.len()));
+                            break;
+                        }
+                        Some(b';') if round == 0 && square == 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            if let Some(body) = body {
+                out.push(FnBody { name, body });
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn test_modules_are_stripped() {
+        let src = r#"
+            fn serve() { go(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { x.unwrap(); }
+            }
+            fn after() { more(); }
+        "#;
+        let toks = lex(src);
+        let stripped = strip_test_code(&toks);
+        assert!(stripped.iter().any(|t| t.is_ident("serve")));
+        assert!(stripped.iter().any(|t| t.is_ident("after")));
+        assert!(!stripped.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn cfg_not_test_is_kept() {
+        let src = "#[cfg(not(test))] fn prod() { x.unwrap(); }";
+        let toks = lex(src);
+        let stripped = strip_test_code(&toks);
+        assert!(stripped.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn test_fn_with_array_type_const_is_skipped_fully() {
+        let src = "#[cfg(test)] static S: [u8; 4] = [0; 4]; fn live() { a.unwrap(); }";
+        let toks = lex(src);
+        let stripped = strip_test_code(&toks);
+        assert!(stripped.iter().any(|t| t.is_ident("unwrap")), "live fn must survive");
+        assert!(!stripped.iter().any(|t| t.is_ident("S")));
+    }
+
+    #[test]
+    fn fn_bodies_finds_names_and_ranges() {
+        let src = "fn a(x: [u8; 4]) -> Result<(), E> { inner(); } fn b_into(o: &mut [f64]) { o.fill(0.0); }";
+        let toks = lex(src);
+        let fns = fn_bodies(&toks);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "a");
+        assert_eq!(fns[1].name, "b_into");
+        assert!(toks[fns[1].body.clone()].iter().any(|t| t.is_ident("fill")));
+    }
+}

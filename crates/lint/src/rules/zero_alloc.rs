@@ -1,0 +1,181 @@
+//! R2 — zero-allocation `_into` discipline.
+//!
+//! The `_into` kernels (PR 4) are the repo's steady-state hot path: the
+//! whole point of `matvec_into` / `observe_into` / `update_into` is
+//! that a session's per-point work runs on caller- or mechanism-owned
+//! scratch with **zero heap events** — proven dynamically by the
+//! counting allocator in `tests/alloc_steady_state.rs`, but only for
+//! the configurations that test drives. This rule is the static side of
+//! the same invariant: *every* function whose name ends in `_into` must
+//! be free of the allocating calls below, at every call site, on every
+//! CI run.
+//!
+//! Banned inside `*_into` bodies (non-test code):
+//! `Vec::new`, `vec!`, `.to_vec()`, `.collect()`, `.clone()`,
+//! `Box::new`, `format!`, `String::new`/`String::from`, `.to_string()`,
+//! `.to_owned()`, and `with_capacity`.
+//!
+//! Codec `_into` functions (`encode_command_into` and friends) append
+//! into a caller-owned *growable* buffer by design; they are still
+//! scanned — growing a `Vec<u8>` via `extend_from_slice` is fine, but
+//! allocating temporaries inside them is not.
+
+use super::{fn_bodies, line_excerpt, strip_test_code, Finding};
+use crate::lexer::{lex, Token};
+
+/// Run R2 over one file's source.
+pub fn check_file(rel_path: &str, src: &str) -> Vec<Finding> {
+    let tokens = lex(src);
+    let tokens = strip_test_code(&tokens);
+    let mut out = Vec::new();
+    for f in fn_bodies(&tokens) {
+        if !f.name.ends_with("_into") {
+            continue;
+        }
+        let body = &tokens[f.body.clone()];
+        for (i, t) in body.iter().enumerate() {
+            if let Some(call) = banned_call(body, i) {
+                out.push(Finding {
+                    rule: "R2",
+                    token: "alloc".to_string(),
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{call}` allocates inside `{}` — _into kernels must run on caller-owned scratch",
+                        f.name
+                    ),
+                    excerpt: line_excerpt(src, t.line),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// If the token at `i` begins a banned allocating call, its display
+/// name.
+fn banned_call(body: &[Token<'_>], i: usize) -> Option<&'static str> {
+    let t = &body[i];
+    let next = body.get(i + 1);
+    let next_is = |c: char| next.is_some_and(|n| n.is_punct(c));
+    // `path::segment` method position: `Vec::new`, `Box::new`, …
+    let path_call = |owner: &str, method: &str| -> bool {
+        t.is_ident(owner)
+            && next_is(':')
+            && body.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && body.get(i + 3).is_some_and(|n| n.is_ident(method))
+    };
+    // `.method(` — also matches `.collect::<…>(`.
+    let method_call = |name: &str| -> bool {
+        t.is_ident(name) && i > 0 && body[i - 1].is_punct('.') && (next_is('(') || next_is(':'))
+    };
+    let macro_call = |name: &str| -> bool {
+        t.is_ident(name) && next_is('!') && !body.get(i + 2).is_some_and(|n| n.is_punct('='))
+    };
+
+    if path_call("Vec", "new") {
+        return Some("Vec::new");
+    }
+    if path_call("Vec", "with_capacity") || method_call("with_capacity") {
+        return Some("with_capacity");
+    }
+    if path_call("Box", "new") {
+        return Some("Box::new");
+    }
+    if path_call("String", "new") || path_call("String", "from") {
+        return Some("String allocation");
+    }
+    if macro_call("vec") {
+        return Some("vec!");
+    }
+    if macro_call("format") {
+        return Some("format!");
+    }
+    if method_call("to_vec") {
+        return Some(".to_vec()");
+    }
+    if method_call("collect") {
+        return Some(".collect()");
+    }
+    if method_call("clone") {
+        return Some(".clone()");
+    }
+    if method_call("to_string") {
+        return Some(".to_string()");
+    }
+    if method_call("to_owned") {
+        return Some(".to_owned()");
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_each_banned_call_inside_into_fns() {
+        let src = r#"
+fn update_into(xs: &[f64], out: &mut Vec<f64>) {
+    let a: Vec<f64> = Vec::new();
+    let b = vec![0.0; 4];
+    let c = xs.to_vec();
+    let d: Vec<f64> = xs.iter().copied().collect();
+    let e = b.clone();
+    let f = Box::new(3);
+    let g = format!("{}", 1);
+    let h = Vec::with_capacity(8);
+    let _ = (a, c, d, e, f, g, h);
+}
+"#;
+        let f = check_file("f.rs", src);
+        let calls: Vec<_> =
+            f.iter().map(|x| x.message.split('`').nth(1).unwrap().to_string()).collect();
+        assert_eq!(
+            calls,
+            [
+                "Vec::new",
+                "vec!",
+                ".to_vec()",
+                ".collect()",
+                ".clone()",
+                "Box::new",
+                "format!",
+                "with_capacity"
+            ]
+        );
+    }
+
+    #[test]
+    fn clean_into_fn_and_allocating_wrapper_pass() {
+        let src = r#"
+fn scaled_copy_into(alpha: f64, x: &[f64], out: &mut [f64]) {
+    for (o, v) in out.iter_mut().zip(x) { *o = alpha * *v; }
+}
+/// The allocating wrapper is allowed to allocate — it is not `_into`.
+fn scaled_copy(alpha: f64, x: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; x.len()];
+    scaled_copy_into(alpha, x, &mut out);
+    out
+}
+"#;
+        assert!(check_file("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn turbofish_collect_is_caught() {
+        let src = "fn a_into(x: &[u8]) { let _ = x.iter().collect::<Vec<_>>(); }";
+        assert_eq!(check_file("f.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn test_code_inside_file_is_ignored() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn helper_into(x: &[u8]) -> Vec<u8> { x.to_vec() }
+}
+"#;
+        assert!(check_file("f.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Fixture suite: each rule must catch every seeded violation in its
+//! `*_violations` fixture and stay silent on its `*_clean` fixture.
+//!
+//! The fixtures live as plain text under `tests/fixtures/` (they are
+//! never compiled); `VIOLATION` markers in them double as the expected
+//! finding count, so adding a seeded violation without updating the
+//! marker is impossible.
+
+use pir_lint::rules::{durability, hygiene, panic_free, protocol, zero_alloc};
+
+const R1_VIOLATIONS: &str = include_str!("fixtures/r1_violations.rs");
+const R1_CLEAN: &str = include_str!("fixtures/r1_clean.rs");
+const R2_VIOLATIONS: &str = include_str!("fixtures/r2_violations.rs");
+const R2_CLEAN: &str = include_str!("fixtures/r2_clean.rs");
+const R3_VIOLATIONS: &str = include_str!("fixtures/r3_violations.rs");
+const R3_CLEAN: &str = include_str!("fixtures/r3_clean.rs");
+const R4_SOURCE: &str = include_str!("fixtures/r4_source.rs");
+const R4_DOC_CLEAN: &str = include_str!("fixtures/r4_doc_clean.md");
+const R4_DOC_DRIFTED: &str = include_str!("fixtures/r4_doc_drifted.md");
+
+/// `// VIOLATION` markers in a fixture (its expected finding count).
+fn seeded(src: &str) -> usize {
+    src.lines().filter(|l| l.contains("// VIOLATION")).count()
+}
+
+#[test]
+fn r1_catches_every_seeded_violation() {
+    let findings = panic_free::check_file("r1_violations.rs", R1_VIOLATIONS);
+    assert_eq!(findings.len(), seeded(R1_VIOLATIONS), "{findings:#?}");
+    // The marker comments name the expected token for each line.
+    for f in &findings {
+        let line = R1_VIOLATIONS.lines().nth(f.line as usize - 1).unwrap_or("");
+        assert!(
+            line.contains(&format!("VIOLATION {}", f.token)) || f.token == "index",
+            "finding {f} does not match its marker: {line}"
+        );
+    }
+}
+
+#[test]
+fn r1_accepts_clean_code() {
+    let findings = panic_free::check_file("r1_clean.rs", R1_CLEAN);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn r2_catches_every_seeded_violation() {
+    let findings = zero_alloc::check_file("r2_violations.rs", R2_VIOLATIONS);
+    assert_eq!(findings.len(), seeded(R2_VIOLATIONS), "{findings:#?}");
+}
+
+#[test]
+fn r2_accepts_clean_code() {
+    let findings = zero_alloc::check_file("r2_clean.rs", R2_CLEAN);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn r3_catches_every_seeded_violation() {
+    let findings = durability::check_file("r3_violations.rs", R3_VIOLATIONS);
+    assert_eq!(findings.len(), seeded(R3_VIOLATIONS), "{findings:#?}");
+    assert!(findings.iter().all(|f| f.token == "rename"));
+}
+
+#[test]
+fn r3_accepts_clean_code() {
+    let findings = durability::check_file("r3_clean.rs", R3_CLEAN);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn r4_clean_doc_produces_no_findings() {
+    let src = protocol::extract_source(&[("r4_source.rs", R4_SOURCE)]);
+    assert_eq!(src.magics.len(), 2, "{src:#?}");
+    assert_eq!(src.opcodes.len(), 3);
+    assert_eq!(src.err_kinds_dec.len(), 2);
+    assert_eq!(src.spec_tags.len(), 2);
+    let doc = protocol::extract_doc(R4_DOC_CLEAN);
+    let findings = protocol::compare(&src, &doc);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn r4_reports_every_seeded_drift() {
+    let src = protocol::extract_source(&[("r4_source.rs", R4_SOURCE)]);
+    let doc = protocol::extract_doc(R4_DOC_DRIFTED);
+    let findings = protocol::compare(&src, &doc);
+    let has = |token: &str, needle: &str| {
+        findings.iter().any(|f| f.token == token && f.message.contains(needle))
+    };
+    assert!(has("version", "PIRW"), "version drift missed: {findings:#?}");
+    assert!(has("opcode", "OBSERVE"), "opcode value drift missed: {findings:#?}");
+    assert!(has("opcode", "GHOST"), "doc-only opcode missed: {findings:#?}");
+    assert!(has("spectag", "Trivial"), "missing spec tag missed: {findings:#?}");
+    assert!(has("errkind", "engine stopped"), "error rewording missed: {findings:#?}");
+}
+
+#[test]
+fn r5_catches_and_accepts() {
+    let clean = "//! Docs.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n";
+    assert!(hygiene::check_crate_root("lib.rs", clean, hygiene::DocPolicy::Deny).is_empty());
+    let bare = "//! Docs only.\npub fn f() {}\n";
+    let findings = hygiene::check_crate_root("lib.rs", bare, hygiene::DocPolicy::Deny);
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+}

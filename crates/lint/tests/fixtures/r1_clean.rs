@@ -1,0 +1,36 @@
+// R1 fixture: a clean serving-path file — zero findings expected.
+// Exercises every non-firing shape: prose mentions in comments and
+// strings, array literals and types, attributes, test-only code.
+// Not compiled — consumed as text by tests/fixtures.rs.
+
+//! Doc prose may say `.unwrap()` or `buf[0]` or panic! freely.
+
+/// More prose: `xs[i]` and .expect("...") in a doc comment.
+#[derive(Debug)]
+struct Frame {
+    header: [u8; 12],
+}
+
+fn serve(buf: &[u8], x: Option<u8>) -> Result<u8, String> {
+    // a comment with buf[0].unwrap() and panic!() inside
+    let msg = "don't unwrap() or panic! or index buf[0]";
+    let lit = [0u8; 4]; // array literal, not indexing
+    let _ = (msg, lit);
+    let first = buf.first().copied().ok_or("empty")?;
+    let pair = buf.first_chunk::<2>().ok_or("short")?;
+    let val = x.ok_or("missing")?;
+    let [a, b] = *pair; // let-pattern, not indexing
+    Ok(first + a + b + val)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_do_anything() {
+        let v = vec![1, 2];
+        assert_eq!(v[0], Some(1).unwrap());
+        if v[1] == 3 {
+            panic!("fine in tests");
+        }
+    }
+}

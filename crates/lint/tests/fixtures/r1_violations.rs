@@ -1,0 +1,18 @@
+// R1 fixture: every line marked VIOLATION must produce a finding.
+// Not compiled — consumed as text by tests/fixtures.rs.
+
+fn serve(buf: &[u8], x: Option<u8>, r: Result<u8, ()>) -> u8 {
+    let a = x.unwrap(); // VIOLATION unwrap
+    let b = r.expect("present"); // VIOLATION expect
+    if a == 0 {
+        panic!("boom"); // VIOLATION panic
+    }
+    let c = buf[0]; // VIOLATION index
+    let d = &buf[1..3]; // VIOLATION index
+    match b {
+        0 => unreachable!(), // VIOLATION unreachable
+        1 => todo!(), // VIOLATION todo
+        2 => unimplemented!(), // VIOLATION unimplemented
+        _ => a + c + d[0], // VIOLATION index
+    }
+}

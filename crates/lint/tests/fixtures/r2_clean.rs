@@ -1,0 +1,35 @@
+// R2 fixture: clean `_into` kernels plus allocating non-`_into`
+// wrappers (which are allowed to allocate). Zero findings expected.
+// Not compiled — consumed as text by tests/fixtures.rs.
+
+/// In-place kernel: caller-owned scratch only.
+fn scaled_add_into(alpha: f64, x: &[f64], out: &mut [f64]) {
+    for (o, v) in out.iter_mut().zip(x) {
+        *o += alpha * *v;
+    }
+}
+
+/// Growable-buffer codec kernel: appending to a caller-owned Vec via
+/// extend_from_slice is not an owned allocation.
+fn encode_into(out: &mut Vec<u8>, word: u64) {
+    out.extend_from_slice(&word.to_le_bytes());
+    out.push(0);
+}
+
+/// The allocating wrapper is free to allocate — it is not `_into`.
+fn scaled_add(alpha: f64, x: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; x.len()];
+    scaled_add_into(alpha, x, &mut out);
+    out.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helper_into_in_tests_is_exempt() {
+        fn probe_into(x: &[u8]) -> Vec<u8> {
+            x.to_vec()
+        }
+        assert_eq!(probe_into(&[1]), vec![1]);
+    }
+}

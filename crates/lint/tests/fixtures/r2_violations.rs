@@ -1,0 +1,16 @@
+// R2 fixture: allocations inside `_into` bodies. Every marked line must
+// produce a finding. Not compiled — consumed as text by tests/fixtures.rs.
+
+fn observe_into(xs: &[f64], out: &mut [f64]) {
+    let a: Vec<f64> = Vec::new(); // VIOLATION
+    let b = vec![0.0; 4]; // VIOLATION
+    let c = xs.to_vec(); // VIOLATION
+    let d: Vec<f64> = xs.iter().copied().collect(); // VIOLATION
+    let e = b.clone(); // VIOLATION
+    let f = Box::new(3); // VIOLATION
+    let g = format!("{}", out.len()); // VIOLATION
+    let h = Vec::with_capacity(8); // VIOLATION
+    let i = "x".to_string(); // VIOLATION
+    let j = xs.to_owned(); // VIOLATION
+    let _ = (a, c, d, e, f, g, h, i, j);
+}

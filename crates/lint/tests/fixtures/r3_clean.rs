@@ -1,0 +1,29 @@
+// R3 fixture: the correct tmp-write → fsync → rename → dir-sync
+// discipline, in both direct and builder styles. Zero findings
+// expected. Not compiled — consumed as text.
+
+fn publish(dir: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = dir.join("manifest.tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    fs::rename(&tmp, dir.join("manifest"))?;
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+fn publish_builder(dir: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = dir.join("seg.tmp");
+    let mut f = OpenOptions::new().write(true).create(true).open(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_data()?;
+    fs::rename(&tmp, dir.join("seg"))?;
+    Ok(())
+}
+
+/// No rename at all: plain segment appends need no rename discipline.
+fn append_only(f: &mut File, bytes: &[u8]) -> io::Result<()> {
+    f.write_all(bytes)?;
+    f.sync_data()?;
+    Ok(())
+}

@@ -1,0 +1,21 @@
+// R3 fixture: renames publishing unsynced data. Every marked rename
+// must produce a finding. Not compiled — consumed as text.
+
+fn publish_unsynced(dir: &Path) -> io::Result<()> {
+    let mut f = File::create(dir.join("m.tmp"))?;
+    f.write_all(b"manifest")?;
+    fs::rename(dir.join("m.tmp"), dir.join("m"))?; // VIOLATION: no sync after create
+    Ok(())
+}
+
+fn sync_then_write_again(dir: &Path) -> io::Result<()> {
+    let f = File::create(dir.join("a.tmp"))?;
+    f.sync_all()?;
+    fs::write(dir.join("b.tmp"), b"late")?;
+    fs::rename(dir.join("b.tmp"), dir.join("b"))?; // VIOLATION: sync predates the write
+    Ok(())
+}
+
+fn bare_move(a: &Path, b: &Path) -> io::Result<()> {
+    fs::rename(a, b) // VIOLATION: no sync anywhere in this body
+}

@@ -1,0 +1,42 @@
+// R4 fixture: a miniature protocol source file. Paired with
+// r4_doc_clean.md (no drift) and r4_doc_drifted.md (four seeded
+// drifts). Not compiled — consumed as text.
+
+pub const MAGIC: [u8; 4] = *b"PIRW";
+pub const VERSION: u8 = 1;
+pub const WAL_MAGIC: [u8; 4] = *b"PIRL";
+pub const WAL_VERSION: u8 = 1;
+
+pub mod opcode {
+    pub const OPEN: u8 = 0x01;
+    pub const OBSERVE: u8 = 0x02;
+    pub const R_OPENED: u8 = 0x81;
+}
+
+fn enc_engine_error(e: &mut Enc<'_>, err: &EngineError) {
+    let (kind, a): (u8, u64) = match err {
+        EngineError::UnknownSession { id } => (1, *id),
+        EngineError::Closed => (7, 0),
+    };
+    e.u8(kind);
+    e.u64(a);
+}
+
+fn dec_engine_error(d: &mut Dec) -> Result<EngineError, WireError> {
+    let kind = d.u8()?;
+    let a = d.u64()?;
+    Ok(match kind {
+        1 => EngineError::UnknownSession { id: a },
+        7 => EngineError::Closed,
+        t => return Err(WireError::Malformed(format!("unknown kind {t}"))),
+    })
+}
+
+fn dec_spec(d: &mut Dec) -> Result<MechanismSpec, WireError> {
+    let tag = d.u8()?;
+    Ok(match tag {
+        0 => MechanismSpec::Erm { horizon: d.u64()? },
+        3 => MechanismSpec::Trivial { dimension: d.u64()? },
+        t => return Err(WireError::Malformed(format!("bad tag {t}"))),
+    })
+}

@@ -18,7 +18,7 @@
 //!   private Frank–Wolfe batch solver and polytope machinery).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod noisy;
 pub mod objective;

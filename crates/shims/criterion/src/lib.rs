@@ -22,6 +22,7 @@
 //!   20 ms; lower it together with the sample size for a quick compile-
 //!   and-run rot check).
 
+#![forbid(unsafe_code)]
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 

@@ -11,6 +11,7 @@
 //! - Only the strategies used in-tree are provided: numeric ranges,
 //!   `any::<u64>()`, `prop::collection::vec`, and `Strategy::prop_map`.
 
+#![forbid(unsafe_code)]
 use std::fmt::Debug;
 use std::ops::Range;
 

@@ -21,7 +21,7 @@
 //! the norm-preserving rescaling `x̃ = (‖x‖/‖Φx‖)·x` (Step 4).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod gordon;
 
@@ -79,6 +79,28 @@ impl GaussianSketch {
     /// [`LinalgError::DimensionMismatch`] if `y.len() != m`.
     pub fn apply_t(&self, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
         self.phi.matvec_t(y)
+    }
+
+    /// [`apply`](GaussianSketch::apply) writing into a caller-provided
+    /// buffer of length `m` — the allocation-free form, value-for-value
+    /// identical to the allocating method.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `x.len() != d` or
+    /// `out.len() != m`.
+    pub fn apply_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        self.phi.matvec_into(x, out)
+    }
+
+    /// [`apply_t`](GaussianSketch::apply_t) writing into a caller-provided
+    /// buffer of length `d` — the allocation-free form, value-for-value
+    /// identical to the allocating method.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `y.len() != m` or
+    /// `out.len() != d`.
+    pub fn apply_t_into(&self, y: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        self.phi.matvec_t_into(y, out)
     }
 
     /// Algorithm 3, Step 4: the projected, norm-preserving embedding

@@ -98,7 +98,7 @@
 //! release-for-release identical.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use pir_continual as continual;
 pub use pir_core as core;

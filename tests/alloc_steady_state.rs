@@ -5,10 +5,11 @@
 //! materializes as throughput if the hot loop is FLOP-bound, not
 //! allocator-bound. This test installs a counting `#[global_allocator]`
 //! and proves the invariant the whole `_into` refactor exists for: after
-//! warmup, driving a `PrivIncReg1` session through
-//! `ShardedEngine::observe_into` performs **zero heap allocations per
-//! point** — tree updates, gradient assembly, and the full ridged-FISTA
-//! descent all run on mechanism-owned scratch.
+//! warmup, driving `PrivIncReg1` and `PrivIncReg2` sessions (at two
+//! different ambient dimensions) through `ShardedEngine::observe_into`
+//! performs **zero heap allocations per point** — tree updates, sketch
+//! embedding, gradient assembly, and the full ridged-FISTA descent all
+//! run on mechanism-owned scratch.
 //!
 //! The file holds exactly one `#[test]` so no concurrent test can touch
 //! the allocator while the steady-state window is being measured.
@@ -53,12 +54,26 @@ fn engine_observe_path_is_allocation_free_in_steady_state() {
     // thread spawns (worker threads allocate stacks, not release math).
     let mut engine =
         ShardedEngine::new(EngineConfig { num_shards: 1, seed: 7, parallel: false }).unwrap();
-    let d = 8;
     let t_max = 1usize << 32; // inexhaustible horizon
-    engine.spawn_session(1, &MechanismSpec::reg1_l2(d), t_max, &params).unwrap();
 
-    let z = DataPoint::new(vec![0.4, 0.2, -0.1, 0.3, 0.0, 0.1, -0.2, 0.05], 0.3);
-    let mut release = vec![0.0; d];
+    // Three sessions: both paper mechanisms, two ambient dimensions —
+    // so the zero-alloc claim is not an artifact of one code path or of
+    // a dimension that happens to fit some internal buffer.
+    let d1 = 8;
+    let d2 = 24;
+    engine.spawn_session(1, &MechanismSpec::reg1_l2(d1), t_max, &params).unwrap();
+    engine.spawn_session(2, &MechanismSpec::reg1_l2(d2), t_max, &params).unwrap();
+    engine.spawn_session(3, &MechanismSpec::reg2_l1(d2, 1.0), t_max, &params).unwrap();
+
+    let z1 = DataPoint::new(vec![0.4, 0.2, -0.1, 0.3, 0.0, 0.1, -0.2, 0.05], 0.3);
+    let mut x2 = vec![0.0; d2];
+    for (i, v) in x2.iter_mut().enumerate() {
+        *v = 0.15 * (1.0 - 0.05 * i as f64);
+    }
+    let z2 = DataPoint::new(x2, -0.2);
+    let mut release1 = vec![0.0; d1];
+    let mut release2 = vec![0.0; d2];
+    let mut release3 = vec![0.0; d2];
 
     // Sanity: the counter actually counts.
     let before_probe = total_heap_events();
@@ -67,27 +82,36 @@ fn engine_observe_path_is_allocation_free_in_steady_state() {
     drop(probe);
 
     // Warmup: lets one-time lazy state (allocator arenas, fmt machinery,
-    // the mechanism's first tree completions) settle.
+    // the mechanisms' first tree completions) settle.
     for _ in 0..64 {
-        engine.observe_into(1, &z, &mut release).unwrap();
+        engine.observe_into(1, &z1, &mut release1).unwrap();
+        engine.observe_into(2, &z2, &mut release2).unwrap();
+        engine.observe_into(3, &z2, &mut release3).unwrap();
     }
 
-    // Steady state: not one heap event across 256 observed points.
-    let before = total_heap_events();
-    for _ in 0..256 {
-        engine.observe_into(1, &z, &mut release).unwrap();
+    // Steady state: not one heap event across 256 points per session.
+    for (sid, z, release, label) in [
+        (1u64, &z1, &mut release1, "PrivIncReg1 d=8"),
+        (2, &z2, &mut release2, "PrivIncReg1 d=24"),
+        (3, &z2, &mut release3, "PrivIncReg2 d=24"),
+    ] {
+        let before = total_heap_events();
+        for _ in 0..256 {
+            engine.observe_into(sid, z, release).unwrap();
+        }
+        let events = total_heap_events() - before;
+        assert_eq!(
+            events, 0,
+            "steady-state observe path for {label} performed {events} heap allocations \
+             over 256 points"
+        );
+        assert!(release.iter().all(|v| v.is_finite()), "{label} released a non-finite value");
     }
-    let events = total_heap_events() - before;
-    assert_eq!(
-        events, 0,
-        "steady-state engine observe path performed {events} heap allocations over 256 points"
-    );
-    assert!(release.iter().all(|v| v.is_finite()));
 
     // Contrast: the allocating observe() pays at least the release vector
     // per point — this pins that the measurement itself is meaningful.
     let before = total_heap_events();
-    let theta = engine.observe(1, &z).unwrap();
+    let theta = engine.observe(1, &z1).unwrap();
     assert!(total_heap_events() > before, "allocating path should allocate the release");
-    assert_eq!(theta.len(), d);
+    assert_eq!(theta.len(), d1);
 }
