@@ -1,0 +1,135 @@
+//! The kernel layer in isolation: blocked flat-slice primitives
+//! (`pir_linalg::kernels`, `vector::axpy_n`) against the scalar
+//! references that define their semantics, plus the register-local
+//! Gaussian fill at widths around its former 64-word refill boundary.
+//! These are the leaf operations under every row of
+//! BENCH_mech_step.json — a regression here shows up there multiplied
+//! by `d²`/`m²`.
+//!
+//! The `*_ref` rows are not dead weight: the blocked/ref ratio is the
+//! direct measurement of what register blocking buys on this machine,
+//! and `kernel_identity.rs` proves the two sides are bit-identical, so
+//! the ratio is a pure-speed comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pir_dp::NoiseRng;
+use pir_linalg::{kernels, vector};
+use std::hint::black_box;
+
+/// Deterministic pseudo-data: cheap, nonzero, no RNG draw order to keep
+/// stable across PRs.
+fn ramp(n: usize, scale: f64) -> Vec<f64> {
+    (0..n).map(|i| scale * (1.0 + 0.001 * i as f64) * if i % 2 == 0 { 1.0 } else { -1.0 }).collect()
+}
+
+fn bench_set_outer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_set_outer");
+    // 16/64 mirror the mech_step mech1 grid; 128 is the largest d the
+    // mech_step trajectory tracks.
+    for d in [16usize, 64, 128] {
+        group.throughput(Throughput::Elements((d * d) as u64));
+        let u = ramp(d, 0.5);
+        let v = ramp(d, 0.25);
+        group.bench_with_input(BenchmarkId::new("blocked/d", d), &d, |b, &d| {
+            let mut out = vec![0.0; d * d];
+            b.iter(|| {
+                kernels::set_outer(&u, &v, &mut out);
+                black_box(out[d * d - 1])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("ref/d", d), &d, |b, &d| {
+            let mut out = vec![0.0; d * d];
+            b.iter(|| {
+                kernels::set_outer_ref(&u, &v, &mut out);
+                black_box(out[d * d - 1])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_matvec");
+    // Square d×d: the descent gradient shape. 100×1000 is the sketch
+    // application (m=100, d=1000) from the mech2 trajectory row.
+    for (rows, cols) in [(64usize, 64usize), (256, 256), (100, 1000)] {
+        let label = format!("{rows}x{cols}");
+        group.throughput(Throughput::Elements((rows * cols) as u64));
+        let a = ramp(rows * cols, 0.01);
+        let x = ramp(cols, 0.5);
+        // `blocked` is the tiled variant `matvec_blocked`, NOT what
+        // `Matrix::matvec` runs: the production form is the per-row dot
+        // sweep because the tiled form needs per-element lane broadcasts
+        // SSE2 lacks (see the `kernels::matvec` docs). The rows keep
+        // measuring the rejected form so the choice is re-examined, not
+        // re-litigated, when the target changes.
+        group.bench_with_input(BenchmarkId::new("blocked", &label), &rows, |b, &rows| {
+            let mut out = vec![0.0; rows];
+            b.iter(|| {
+                kernels::matvec_blocked(cols, &a, &x, &mut out);
+                black_box(out[rows - 1])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("ref", &label), &rows, |b, &rows| {
+            let mut out = vec![0.0; rows];
+            b.iter(|| {
+                kernels::matvec_ref(cols, &a, &x, &mut out);
+                black_box(out[rows - 1])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_axpy_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_axpy_n");
+    // The tree release walk folds up to log2(T) node slices into the
+    // running sum; 2/4/8 lanes bracket the realistic popcount(t) range
+    // at d = 1024 (the tree_mech grid's largest width).
+    let d = 1024usize;
+    let backing: Vec<Vec<f64>> = (0..8).map(|i| ramp(d, 0.1 * (i + 1) as f64)).collect();
+    for lanes in [2usize, 4, 8] {
+        group.throughput(Throughput::Elements((lanes * d) as u64));
+        let xs: Vec<&[f64]> = backing[..lanes].iter().map(Vec::as_slice).collect();
+        group.bench_with_input(BenchmarkId::new("fused/lanes", lanes), &lanes, |b, _| {
+            let mut y = vec![0.0; d];
+            b.iter(|| {
+                vector::axpy_n(1.0, &xs, &mut y);
+                black_box(y[d - 1])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("ref/lanes", lanes), &lanes, |b, _| {
+            let mut y = vec![0.0; d];
+            b.iter(|| {
+                vector::axpy_n_ref(1.0, &xs, &mut y);
+                black_box(y[d - 1])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fill_gaussian_blocks(c: &mut Criterion) {
+    // The bulk fill samples on a register-local copy of the RNG state,
+    // written back once per call (a 64-word refill buffer was tried and
+    // measured as a strict pessimization — see the `NoiseRng` docs);
+    // 63/64/65 pin the widths that straddled the abandoned block
+    // boundary, 4096 is the d² stream width of PrivIncReg1 at d = 64
+    // (the steady-state noise cost under BENCH_mech_step.json).
+    let mut group = c.benchmark_group("kernels_fill_gaussian");
+    for d in [63usize, 64, 65, 4096] {
+        group.throughput(Throughput::Elements(d as u64));
+        group.bench_with_input(BenchmarkId::new("d", d), &d, |b, &d| {
+            let mut rng = NoiseRng::seed_from_u64(9);
+            let mut buf = vec![0.0; d];
+            b.iter(|| {
+                rng.fill_gaussian(&mut buf, 1.0);
+                black_box(buf[d - 1])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_set_outer, bench_matvec, bench_axpy_n, bench_fill_gaussian_blocks);
+criterion_main!(benches);

@@ -342,24 +342,37 @@ impl TreeMechanism {
     /// One node-update step with all contract checks already done; the
     /// release is written into `out` (length pre-validated).
     fn update_unchecked_into(&mut self, v: &[f64], out: &mut [f64]) {
+        self.advance_unchecked(v);
+        out.copy_from_slice(&self.s);
+    }
+
+    /// One node-update step with all contract checks already done,
+    /// maintaining the release in place without the `s → out` copy — the
+    /// primitive both [`update_unchecked_into`](Self::update_unchecked_into)
+    /// and the copy-free [`update_ref`](TreeMechanism::update_ref) wrap.
+    fn advance_unchecked(&mut self, v: &[f64]) {
         self.t += 1;
         let t = self.t;
         // i ← index of the lowest set bit of t (paper Step 3).
         let i = t.trailing_zeros() as usize;
         debug_assert!(i < self.levels, "bit index exceeds tree height");
-        // a_i ← Σ_{j<i} a_j + υ_t (paper Step 4); zero the lower levels.
+        // a_i ← Σ_{j<i} a_j + υ_t (paper Step 4) in one fused sweep over
+        // a_i (bit-identical to the sequential per-level axpys — see
+        // `vector::axpy_n`, which takes the `Vec<f64>` level rows
+        // directly, so the common `i ∈ {0, 1}` steps touch nothing but
+        // the rows themselves); then zero the consumed levels.
         let (low, high) = self.a.split_at_mut(i);
         let ai = &mut high[0];
         ai.copy_from_slice(v);
+        vector::axpy_n(1.0, low, ai);
         for aj in low.iter_mut() {
-            vector::axpy(1.0, aj, ai);
             aj.iter_mut().for_each(|x| *x = 0.0);
         }
         // Levels 0..i are exactly the trailing-one levels of t−1: their
-        // noisy nodes leave the prefix decomposition now. Retire each from
-        // the maintained release before zeroing it.
+        // noisy nodes leave the prefix decomposition now. Retire them all
+        // from the maintained release in one fused sweep, then zero them.
+        vector::axpy_n(-1.0, &self.b[..i], &mut self.s);
         for bj in self.b.iter_mut().take(i) {
-            vector::axpy(-1.0, bj, &mut self.s);
             bj.iter_mut().for_each(|x| *x = 0.0);
         }
         // b_i ← a_i + N(0, σ² I) (paper Step 8). Noise lands in b_i first
@@ -375,7 +388,32 @@ impl TreeMechanism {
         // the decomposition, completing s_{t-1} → s_t in amortized O(d).
         vector::axpy(1.0, &self.b[i], &mut self.s);
         self.debug_check_against_resummed();
-        out.copy_from_slice(&self.s);
+    }
+
+    /// [`update_into`](TreeMechanism::update_into) returning a borrow of
+    /// the maintained release instead of copying it out — the copy-free
+    /// primitive the batch-amortized `observe_batch` paths in `pir-core`
+    /// drive: the mechanism reads the private prefix sum exactly where it
+    /// is maintained, saving an `O(d)` (or `O(d²)`, for matrix-shaped
+    /// streams) copy per point. Release-for-release identical to
+    /// [`update`](TreeMechanism::update).
+    ///
+    /// # Errors
+    /// As [`update`](TreeMechanism::update).
+    pub fn update_ref(&mut self, v: &[f64]) -> Result<&[f64]> {
+        self.validate_item(v)?;
+        if self.t >= self.t_max {
+            return Err(ContinualError::StreamOverflow { t_max: self.t_max });
+        }
+        self.advance_unchecked(v);
+        Ok(&self.s)
+    }
+
+    /// Borrow the maintained release `s_t` without copying — the
+    /// query-side counterpart of [`update_ref`](TreeMechanism::update_ref)
+    /// (pure post-processing, like [`query`](TreeMechanism::query)).
+    pub fn release_view(&self) -> &[f64] {
+        &self.s
     }
 
     /// Debug-build invariant: the incrementally maintained release agrees

@@ -24,9 +24,19 @@ use crate::gradient_fn::PrivateGradientFn;
 use pir_geometry::ConvexSet;
 use pir_linalg::{vector, Matrix, PowerIterScratch};
 use pir_optim::{
-    fista_into, iterations_for_accuracy, noisy_projected_gradient, FistaScratch, NoisyPgdConfig,
-    QuadraticView,
+    fista_into_adaptive, iterations_for_accuracy, noisy_projected_gradient, FistaScratch,
+    NoisyPgdConfig, QuadraticView,
 };
+
+/// Relative-progress stop for the per-step FISTA: the loop exits once one
+/// projected step moves the iterate by less than this fraction of
+/// `max(1, ‖θ‖)`. With warm starts the per-step quadratics barely change
+/// between arrivals, so the rule typically fires well before the
+/// `max_pgd_iters` ceiling; the truncation moves the released `θ_t` by at
+/// most `≈ max_iters · tol` (see [`fista_into_adaptive`]), i.e. `≲ 1e-7`
+/// at the default 64-iteration budget — the tolerance pinned by the
+/// `adaptive_policy_stays_within_documented_tolerance` property test.
+pub(crate) const FISTA_STOP_REL_TOL: f64 = 1e-10;
 
 /// How the per-timestep constrained minimization is carried out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -73,7 +83,11 @@ impl DescentScratch {
 /// `ridge` is the spectral error bound of the second-moment release
 /// (Lemma 4.1's matrix term); `alpha` the full gradient-error bound;
 /// `lipschitz` the true objective's Lipschitz constant over `C` (used by
-/// the paper path); `max_iters` the per-timestep iteration budget.
+/// the paper path); `max_iters` the per-timestep iteration budget. On the
+/// FISTA path the budget is a *ceiling*: the loop stops early once the
+/// relative per-iteration progress drops below [`FISTA_STOP_REL_TOL`]
+/// (warm starts make this the common case in steady state), perturbing
+/// the released minimizer by no more than the documented `≈ 1e-7`.
 ///
 /// The default [`DescentStrategy::RidgedQuadraticFista`] path performs
 /// zero heap allocations; [`DescentStrategy::PaperNoisyPgd`] still
@@ -107,7 +121,16 @@ pub(crate) fn minimize_private_objective_into<C: ConvexSet + ?Sized>(
             vector::scaled_copy_into(2.0, q_vector, b);
             let smooth = quadratic_smoothness(a, power);
             let quad = QuadraticView::new(a, b, 0.0);
-            fista_into(&quad, set, smooth, max_iters, warm, fista, out);
+            fista_into_adaptive(
+                &quad,
+                set,
+                smooth,
+                max_iters,
+                FISTA_STOP_REL_TOL,
+                warm,
+                fista,
+                out,
+            );
         }
         DescentStrategy::PaperNoisyPgd => {
             let alpha = alpha.max(1e-12);
@@ -175,6 +198,80 @@ fn quadratic_smoothness(a: &Matrix, power: &mut PowerIterScratch) -> f64 {
 mod tests {
     use super::*;
     use pir_geometry::{L2Ball, WidthSet};
+    use pir_optim::fista_into;
+    use proptest::prelude::*;
+
+    /// The fixed-budget descent the adaptive policy replaces: identical
+    /// surrogate assembly, but FISTA always runs the full `max_iters`.
+    fn minimize_fixed_iterations(
+        q_matrix: &Matrix,
+        q_vector: &[f64],
+        set: &L2Ball,
+        ridge: f64,
+        max_iters: usize,
+        warm: &[f64],
+        out: &mut [f64],
+    ) {
+        let d = q_vector.len();
+        let mut scratch = DescentScratch::new(d);
+        let DescentScratch { a, b, power, fista } = &mut scratch;
+        a.copy_from_slice_checked(q_matrix.as_slice()).unwrap();
+        for i in 0..d {
+            let v = a.get(i, i) + ridge;
+            a.set(i, i, v);
+        }
+        a.scale_mut(2.0);
+        vector::scaled_copy_into(2.0, q_vector, b);
+        let smooth = quadratic_smoothness(a, power);
+        let quad = QuadraticView::new(a, b, 0.0);
+        fista_into(&quad, set, smooth, max_iters, warm, fista, out);
+    }
+
+    proptest! {
+        /// The relative-progress stop may truncate the per-step FISTA run
+        /// but must never move the released minimizer by more than the
+        /// documented tolerance relative to the full fixed-budget run —
+        /// over random (symmetrized, possibly indefinite) releases, ridges,
+        /// and warm starts.
+        #[test]
+        fn adaptive_policy_stays_within_documented_tolerance(
+            raw in prop::collection::vec(-2.0f64..2.0, 16),
+            qv in prop::collection::vec(-1.0f64..1.0, 4),
+            warm in prop::collection::vec(-0.5f64..0.5, 4),
+            ridge in 0.0f64..4.0,
+        ) {
+            let d = 4;
+            let mut q = Matrix::zeros(d, d);
+            q.copy_from_slice_checked(&raw).unwrap();
+            q.symmetrize_mut();
+            let set = L2Ball::unit(d);
+            let max_iters = 64;
+            // Frobenius ≥ spectral ≥ |λ_min|, so this ridge always makes
+            // the surrogate convex (the regime the mechanisms run in).
+            let lam = q.frobenius_norm() + ridge;
+            let mut scratch = DescentScratch::new(d);
+            let mut adaptive = vec![0.0; d];
+            minimize_private_objective_into(
+                DescentStrategy::RidgedQuadraticFista,
+                &q,
+                &qv,
+                &set,
+                lam,
+                1.0,
+                10.0,
+                max_iters,
+                &warm,
+                &mut scratch,
+                &mut adaptive,
+            );
+            let mut fixed = vec![0.0; d];
+            minimize_fixed_iterations(&q, &qv, &set, lam, max_iters, &warm, &mut fixed);
+            prop_assert!(
+                vector::distance(&adaptive, &fixed) <= 1e-7,
+                "adaptive {:?} drifted from fixed {:?}", adaptive, fixed
+            );
+        }
+    }
 
     /// Exact statistics: both strategies must approach the constrained
     /// least-squares minimizer; the FISTA path should get much closer

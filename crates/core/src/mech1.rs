@@ -77,8 +77,6 @@ pub struct PrivIncReg1 {
 struct Reg1Scratch {
     /// `x_t·y_t` — the first-moment stream item.
     xy: Vec<f64>,
-    /// First-moment tree release `q_t`.
-    q_t: Vec<f64>,
     /// `x_t x_tᵀ` — the second-moment stream item.
     outer: Matrix,
     /// Second-moment tree release `Q_t` (symmetrized in place).
@@ -93,7 +91,6 @@ impl Reg1Scratch {
     fn new(d: usize) -> Self {
         Reg1Scratch {
             xy: vec![0.0; d],
-            q_t: vec![0.0; d],
             outer: Matrix::zeros(d, d),
             q_mat: Matrix::zeros(d, d),
             zero_start: vec![0.0; d],
@@ -168,52 +165,61 @@ impl PrivIncReg1 {
         self.tree_xx.memory_slots() + self.tree_xy.memory_slots()
     }
 
-    /// One Algorithm-2 step, written into `out` — the allocation-free
-    /// primitive behind both `observe` and `observe_into`. Steady state
-    /// (default strategy) touches the heap zero times: tree releases land
-    /// in mechanism-owned scratch and the descent runs on preallocated
-    /// iteration buffers against a borrowed view of the statistics.
-    fn step_into(&mut self, z: &DataPoint, out: &mut [f64]) -> Result<()> {
+    /// The `t`-independent ingredients of Lemma 4.1's error bound —
+    /// `(me, α)`, functions of the tree geometry (σ, levels, d) only, so
+    /// the batch paths compute them once per batch.
+    fn error_ingredients(&self) -> (f64, f64) {
+        let beta_each = self.config.beta / (2.0 * self.t_max as f64);
+        let me = self.matrix_spectral_error(beta_each);
+        let alpha = self.gradient_alpha().max(1e-12);
+        (me, alpha)
+    }
+
+    /// Contract sweep + overflow check for a batch, before anything is
+    /// consumed (the atomic-rejection contract of `observe_batch`).
+    fn check_batch(&self, batch: &[DataPoint]) -> Result<()> {
         let d = self.set.dim();
-        if out.len() != d {
-            return Err(CoreError::InvalidConfig {
-                reason: format!("release buffer length {} != dimension {d}", out.len()),
-            });
+        for (i, z) in batch.iter().enumerate() {
+            z.validate(d)
+                .map_err(|e| CoreError::InvalidPoint { reason: format!("batch index {i}: {e}") })?;
         }
-        z.validate(d).map_err(|e| CoreError::InvalidPoint { reason: e.to_string() })?;
-        if self.t >= self.t_max {
+        if self.t + batch.len() > self.t_max {
             return Err(CoreError::StreamOverflow { t_max: self.t_max });
         }
-        self.t += 1;
+        Ok(())
+    }
 
-        // Tree updates (Steps 3–4 of Algorithm 2), releases written into
-        // scratch. The tree outputs are trusted internal data: every
-        // ingredient was validated on ingest (see Matrix::from_vec_trusted
-        // for the policy), so no per-step finiteness re-scan happens.
+    /// Consume one already-validated point (Steps 3–6 of Algorithm 2) and
+    /// write the release into `out` — the allocation-free per-point body
+    /// shared by the step and batch paths. The first-moment release is
+    /// *borrowed* from the tree via [`TreeMechanism::update_ref`] — read
+    /// where the tree maintains it instead of copied out — and the descent
+    /// runs on preallocated iteration buffers against borrowed views of
+    /// both statistics. (The second-moment release still lands in scratch:
+    /// it must be symmetrized, which the tree's internal accumulator may
+    /// not be.) The tree outputs are trusted internal data: every
+    /// ingredient was validated on ingest (see Matrix::from_vec_trusted
+    /// for the policy), so no per-step finiteness re-scan happens.
+    fn consume_into(&mut self, z: &DataPoint, me: f64, alpha: f64, out: &mut [f64]) -> Result<()> {
+        self.t += 1;
         vector::scaled_copy_into(z.y, &z.x, &mut self.scratch.xy);
-        self.tree_xy.update_into(&self.scratch.xy, &mut self.scratch.q_t)?;
+        let q_t = self.tree_xy.update_ref(&self.scratch.xy)?;
         self.scratch.outer.set_outer(&z.x, &z.x).map_err(CoreError::Linalg)?;
         self.tree_xx
             .update_into(self.scratch.outer.as_slice(), self.scratch.q_mat.as_mut_slice())?;
         // Step 5: the private gradient function g(θ) = 2(Q θ − q) over the
         // symmetrized release, with Lemma 4.1's α.
         self.scratch.q_mat.symmetrize_mut();
-        let beta_each = self.config.beta / (2.0 * self.t_max as f64);
-        let me = self.matrix_spectral_error(beta_each);
-        let ve = self.tree_xy.error_bound(beta_each);
-        let diameter = self.set.diameter();
-        let alpha = (2.0 * (me * diameter + ve)).max(1e-12);
-
         // Step 6: minimize over C — either the paper-literal NOISYPROJGRAD
         // or the (default) ridged-quadratic FISTA; both are post-processing
         // of the released statistics (see crate::descent).
-        let lipschitz = 2.0 * self.t as f64 * (1.0 + diameter);
+        let lipschitz = 2.0 * self.t as f64 * (1.0 + self.set.diameter());
         let warm: &[f64] =
             if self.config.warm_start { &self.last_theta } else { &self.scratch.zero_start };
         minimize_private_objective_into(
             self.config.strategy,
             &self.scratch.q_mat,
-            &self.scratch.q_t,
+            q_t,
             &self.set,
             me,
             alpha,
@@ -225,6 +231,27 @@ impl PrivIncReg1 {
         );
         self.last_theta.copy_from_slice(out);
         Ok(())
+    }
+
+    /// One Algorithm-2 step, written into `out` — the allocation-free
+    /// primitive behind both `observe` and `observe_into`. Steady state
+    /// (default strategy) touches the heap zero times: the first-moment
+    /// release is borrowed from the tree, the second lands in
+    /// mechanism-owned scratch, and the descent runs on preallocated
+    /// iteration buffers against borrowed views of the statistics.
+    fn step_into(&mut self, z: &DataPoint, out: &mut [f64]) -> Result<()> {
+        let d = self.set.dim();
+        if out.len() != d {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("release buffer length {} != dimension {d}", out.len()),
+            });
+        }
+        z.validate(d).map_err(|e| CoreError::InvalidPoint { reason: e.to_string() })?;
+        if self.t >= self.t_max {
+            return Err(CoreError::StreamOverflow { t_max: self.t_max });
+        }
+        let (me, alpha) = self.error_ingredients();
+        self.consume_into(z, me, alpha, out)
     }
 
     /// Shared validation for [`IncrementalMechanism::load_state`]: the
@@ -286,77 +313,59 @@ impl IncrementalMechanism for PrivIncReg1 {
     }
 
     /// Amortized batch path — release-for-release identical to the
-    /// sequential loop (the two trees hold independent forked noise
-    /// streams, so phase-splitting the updates preserves every draw):
+    /// sequential loop (each point runs the same per-point body, against
+    /// the same tree states, in the same order):
     ///
-    /// 1. one contract sweep over the batch (atomic rejection);
-    /// 2. the `x_t y_t` tree driven through
-    ///    [`TreeMechanism::update_batch_into`] into one flat release
-    ///    buffer;
-    /// 3. the `d²`-dimensional second-moment tree and the per-step
-    ///    descent in one loop on the mechanism's own step scratch, with
-    ///    the `t`-independent error bounds (`α` ingredients of Lemma 4.1)
-    ///    hoisted out — the only per-point allocation is the returned
-    ///    estimator.
+    /// 1. one contract sweep + overflow check over the batch (atomic
+    ///    rejection);
+    /// 2. the `t`-independent error bounds (`α` ingredients of Lemma 4.1)
+    ///    hoisted out of the loop;
+    /// 3. both trees and the per-step descent driven per point on the
+    ///    mechanism's own step scratch, the first-moment release borrowed
+    ///    from its tree — the only per-point allocation is the returned
+    ///    estimator (the flat-buffer
+    ///    [`observe_batch_into`](IncrementalMechanism::observe_batch_into)
+    ///    form performs none at all).
     fn observe_batch(&mut self, batch: &[DataPoint]) -> Result<Vec<Vec<f64>>> {
         if batch.is_empty() {
             return Ok(Vec::new());
         }
+        self.check_batch(batch)?;
+        let (me, alpha) = self.error_ingredients();
         let d = self.set.dim();
-        for (i, z) in batch.iter().enumerate() {
-            z.validate(d)
-                .map_err(|e| CoreError::InvalidPoint { reason: format!("batch index {i}: {e}") })?;
-        }
-        if self.t + batch.len() > self.t_max {
-            return Err(CoreError::StreamOverflow { t_max: self.t_max });
-        }
-
-        // Hoisted: the Lemma 4.1 error ingredients depend only on the tree
-        // geometry (σ, levels, d), never on t.
-        let beta_each = self.config.beta / (2.0 * self.t_max as f64);
-        let me = self.matrix_spectral_error(beta_each);
-        let ve = self.tree_xy.error_bound(beta_each);
-        let diameter = self.set.diameter();
-
-        // Phase A — all first-moment tree updates (Step 3 of Algorithm 2),
-        // released into one flat buffer.
-        let xys: Vec<Vec<f64>> = batch.iter().map(|z| vector::scale(&z.x, z.y)).collect();
-        let xy_refs: Vec<&[f64]> = xys.iter().map(Vec::as_slice).collect();
-        let mut q_ts = vec![0.0; batch.len() * d];
-        self.tree_xy.update_batch_into(&xy_refs, &mut q_ts)?;
-
-        // Phase B — second-moment tree + descent per point (Steps 4–6) on
-        // the step scratch: the only per-point allocation left is the
-        // released estimator itself.
-        let alpha = (2.0 * (me * diameter + ve)).max(1e-12);
         let mut out = Vec::with_capacity(batch.len());
-        for (i, z) in batch.iter().enumerate() {
-            self.t += 1;
-            self.scratch.outer.set_outer(&z.x, &z.x).map_err(CoreError::Linalg)?;
-            self.tree_xx
-                .update_into(self.scratch.outer.as_slice(), self.scratch.q_mat.as_mut_slice())?;
-            self.scratch.q_mat.symmetrize_mut();
-            let lipschitz = 2.0 * self.t as f64 * (1.0 + diameter);
-            let warm: &[f64] =
-                if self.config.warm_start { &self.last_theta } else { &self.scratch.zero_start };
+        for z in batch {
             let mut theta = vec![0.0; d];
-            minimize_private_objective_into(
-                self.config.strategy,
-                &self.scratch.q_mat,
-                &q_ts[i * d..(i + 1) * d],
-                &self.set,
-                me,
-                alpha,
-                lipschitz,
-                self.config.max_pgd_iters,
-                warm,
-                &mut self.scratch.descent,
-                &mut theta,
-            );
-            self.last_theta.copy_from_slice(&theta);
+            self.consume_into(z, me, alpha, &mut theta)?;
             out.push(theta);
         }
         Ok(out)
+    }
+
+    /// The zero-allocation batch primitive: identical consumption order
+    /// and releases as [`observe_batch`](IncrementalMechanism::observe_batch),
+    /// written into the caller's flat buffer. Steady state touches the
+    /// heap zero times for any batch size.
+    fn observe_batch_into(&mut self, batch: &[DataPoint], out: &mut [f64]) -> Result<()> {
+        let d = self.set.dim();
+        if out.len() != batch.len() * d {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "batch release buffer length {} != {} points x dimension {d}",
+                    out.len(),
+                    batch.len()
+                ),
+            });
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.check_batch(batch)?;
+        let (me, alpha) = self.error_ingredients();
+        for (z, chunk) in batch.iter().zip(out.chunks_exact_mut(d)) {
+            self.consume_into(z, me, alpha, chunk)?;
+        }
+        Ok(())
     }
 
     fn supports_state(&self) -> bool {

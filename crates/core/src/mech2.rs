@@ -21,7 +21,7 @@
 
 use crate::descent::{minimize_private_objective_into, DescentScratch, DescentStrategy};
 use crate::error::CoreError;
-use crate::lift::{lift_constrained_ls, lift_constrained_ls_into, sketch_smoothness, LiftScratch};
+use crate::lift::{lift_constrained_ls_into, sketch_smoothness, LiftScratch};
 use crate::state;
 use crate::stream::IncrementalMechanism;
 use crate::Result;
@@ -132,8 +132,6 @@ struct Reg2Scratch {
     embedded: Vec<f64>,
     /// `Φx̃·y` — the projected first-moment stream item.
     pxy: Vec<f64>,
-    /// First-moment tree release `q_t ∈ R^m`.
-    q_t: Vec<f64>,
     /// `(Φx̃)(Φx̃)ᵀ` — the projected second-moment stream item.
     outer: Matrix,
     /// Second-moment tree release `Q_t ∈ R^{m×m}` (symmetrized in place).
@@ -151,7 +149,6 @@ impl Reg2Scratch {
         Reg2Scratch {
             embedded: vec![0.0; m],
             pxy: vec![0.0; m],
-            q_t: vec![0.0; m],
             outer: Matrix::zeros(m, m),
             q_mat: Matrix::zeros(m, m),
             vartheta: vec![0.0; m],
@@ -292,25 +289,43 @@ impl PrivIncReg2 {
         2.0 * self.gradient_alpha() * self.proj_ball.diameter()
     }
 
-    /// One Algorithm-3 step, written into `out` — the primitive behind
-    /// both `observe` and `observe_into`. The whole step — embedding,
-    /// tree updates, descent, and the gauge lift back to `C` — runs
-    /// allocation-free on mechanism-owned scratch
-    /// (`tests/alloc_steady_state.rs` enforces this with a counting
-    /// global allocator).
-    fn step_into(&mut self, z: &DataPoint, out: &mut [f64]) -> Result<()> {
+    /// The `t`-independent ingredients of the projected-space error bound
+    /// — `(me, α)`, functions of the tree geometry (σ, levels, m) only,
+    /// so the batch paths compute them once per batch.
+    fn error_ingredients(&self) -> (f64, f64) {
+        let beta_each = self.config.beta / (2.0 * self.t_max as f64);
+        let levels = self.tree_xx.levels() as f64;
+        let me = self.tree_xx.sigma()
+            * levels.sqrt()
+            * (2.0 * (self.sketch.m() as f64).sqrt() + (2.0 * (1.0 / beta_each).ln()).sqrt());
+        let ve = self.tree_xy.error_bound(beta_each);
+        let alpha = (2.0 * (me * self.proj_ball.diameter() + ve)).max(1e-12);
+        (me, alpha)
+    }
+
+    /// Contract sweep + overflow check for a batch, before anything is
+    /// consumed (the atomic-rejection contract of `observe_batch`).
+    fn check_batch(&self, batch: &[DataPoint]) -> Result<()> {
         let d = self.set.dim();
-        if out.len() != d {
-            return Err(CoreError::InvalidConfig {
-                reason: format!("release buffer length {} != dimension {d}", out.len()),
-            });
+        for (i, z) in batch.iter().enumerate() {
+            z.validate(d)
+                .map_err(|e| CoreError::InvalidPoint { reason: format!("batch index {i}: {e}") })?;
         }
-        z.validate(d).map_err(|e| CoreError::InvalidPoint { reason: e.to_string() })?;
-        if self.t >= self.t_max {
+        if self.t + batch.len() > self.t_max {
             return Err(CoreError::StreamOverflow { t_max: self.t_max });
         }
+        Ok(())
+    }
+
+    /// Consume one already-validated point (Steps 4–9 of Algorithm 3) and
+    /// write the lifted release into `out` — the allocation-free per-point
+    /// body shared by the step and batch paths. The projected first-moment
+    /// release is *borrowed* from its tree via
+    /// [`TreeMechanism::update_ref`] (read where the tree maintains it
+    /// instead of copied out); the second-moment release still lands in
+    /// scratch because it must be symmetrized.
+    fn consume_into(&mut self, z: &DataPoint, me: f64, alpha: f64, out: &mut [f64]) -> Result<()> {
         self.t += 1;
-        let m = self.sketch.m();
 
         // Step 4: norm-preserving embedding (zero covariates contribute
         // zero statistics, matching the robust-extension convention; the
@@ -319,10 +334,10 @@ impl PrivIncReg2 {
             .embed_normalized_into(&z.x, &mut self.scratch.embedded)
             .map_err(CoreError::Linalg)?;
 
-        // Steps 5–6: tree updates in the projected space, released into
-        // scratch (trusted internal data — validated on ingest).
+        // Steps 5–6: tree updates in the projected space (trusted internal
+        // data — validated on ingest).
         vector::scaled_copy_into(z.y, &self.scratch.embedded, &mut self.scratch.pxy);
-        self.tree_xy.update_into(&self.scratch.pxy, &mut self.scratch.q_t)?;
+        let q_t = self.tree_xy.update_ref(&self.scratch.pxy)?;
         self.scratch
             .outer
             .set_outer(&self.scratch.embedded, &self.scratch.embedded)
@@ -331,25 +346,18 @@ impl PrivIncReg2 {
             .update_into(self.scratch.outer.as_slice(), self.scratch.q_mat.as_mut_slice())?;
 
         // Step 7: private gradient function over ΦC (here: its ball hull),
-        // as a borrowed view of the symmetrized release.
+        // as borrowed views of the symmetrized release and the tree's
+        // first-moment accumulator.
         self.scratch.q_mat.symmetrize_mut();
-        let beta_each = self.config.beta / (2.0 * self.t_max as f64);
-        let levels = self.tree_xx.levels() as f64;
-        let me = self.tree_xx.sigma()
-            * levels.sqrt()
-            * (2.0 * (m as f64).sqrt() + (2.0 * (1.0 / beta_each).ln()).sqrt());
-        let ve = self.tree_xy.error_bound(beta_each);
-        let proj_diameter = self.proj_ball.diameter();
-        let alpha = (2.0 * (me * proj_diameter + ve)).max(1e-12);
 
         // Step 8: constrained minimization in the projected space (the
         // paper's NOISYPROJGRAD or the default ridged-quadratic FISTA —
         // both post-processing; see crate::descent).
-        let lipschitz = 2.0 * self.t as f64 * (1.0 + proj_diameter);
+        let lipschitz = 2.0 * self.t as f64 * (1.0 + self.proj_ball.diameter());
         minimize_private_objective_into(
             self.config.strategy,
             &self.scratch.q_mat,
-            &self.scratch.q_t,
+            q_t,
             &self.proj_ball,
             me,
             alpha,
@@ -377,6 +385,27 @@ impl PrivIncReg2 {
         self.last_theta.copy_from_slice(out);
         Ok(())
     }
+
+    /// One Algorithm-3 step, written into `out` — the primitive behind
+    /// both `observe` and `observe_into`. The whole step — embedding,
+    /// tree updates, descent, and the gauge lift back to `C` — runs
+    /// allocation-free on mechanism-owned scratch
+    /// (`tests/alloc_steady_state.rs` enforces this with a counting
+    /// global allocator).
+    fn step_into(&mut self, z: &DataPoint, out: &mut [f64]) -> Result<()> {
+        let d = self.set.dim();
+        if out.len() != d {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("release buffer length {} != dimension {d}", out.len()),
+            });
+        }
+        z.validate(d).map_err(|e| CoreError::InvalidPoint { reason: e.to_string() })?;
+        if self.t >= self.t_max {
+            return Err(CoreError::StreamOverflow { t_max: self.t_max });
+        }
+        let (me, alpha) = self.error_ingredients();
+        self.consume_into(z, me, alpha, out)
+    }
 }
 
 impl IncrementalMechanism for PrivIncReg2 {
@@ -403,98 +432,59 @@ impl IncrementalMechanism for PrivIncReg2 {
     }
 
     /// Amortized batch path — release-for-release identical to the
-    /// sequential loop (the sketch is deterministic once sampled and the
-    /// two projected-space trees hold independent forked noise streams,
-    /// so phase-splitting preserves every draw):
+    /// sequential loop (each point runs the same per-point body, against
+    /// the same tree states and the deterministic sketch, in the same
+    /// order):
     ///
-    /// 1. one contract sweep over the batch (atomic rejection);
-    /// 2. all covariates embedded through
-    ///    [`GaussianSketch::embed_normalized_batch`] while `Φ` is hot in
-    ///    cache (Step 4 of Algorithm 3 across the batch);
-    /// 3. the projected `x y` tree driven through
-    ///    [`pir_continual::TreeMechanism::update_batch_into`] into one
-    ///    flat release buffer;
-    /// 4. the `m²` second-moment tree, descent, and gauge lift in one
-    ///    loop on the mechanism's own step scratch, with the
-    ///    `t`-independent error bounds hoisted out.
+    /// 1. one contract sweep + overflow check over the batch (atomic
+    ///    rejection);
+    /// 2. the `t`-independent error bounds hoisted out of the loop;
+    /// 3. embedding, both trees, descent, and the gauge lift driven per
+    ///    point on the mechanism's own step scratch, the projected
+    ///    first-moment release borrowed from its tree — the only per-point
+    ///    allocation is the returned estimator (the flat-buffer
+    ///    [`observe_batch_into`](IncrementalMechanism::observe_batch_into)
+    ///    form performs none at all).
     fn observe_batch(&mut self, batch: &[DataPoint]) -> Result<Vec<Vec<f64>>> {
         if batch.is_empty() {
             return Ok(Vec::new());
         }
+        self.check_batch(batch)?;
+        let (me, alpha) = self.error_ingredients();
         let d = self.set.dim();
-        for (i, z) in batch.iter().enumerate() {
-            z.validate(d)
-                .map_err(|e| CoreError::InvalidPoint { reason: format!("batch index {i}: {e}") })?;
-        }
-        if self.t + batch.len() > self.t_max {
-            return Err(CoreError::StreamOverflow { t_max: self.t_max });
-        }
-        let m = self.sketch.m();
-
-        // Phase A — batched norm-preserving embedding (Step 4).
-        let xrefs: Vec<&[f64]> = batch.iter().map(|z| z.x.as_slice()).collect();
-        let embedded: Vec<Vec<f64>> = self
-            .sketch
-            .embed_normalized_batch(&xrefs)
-            .map_err(CoreError::Linalg)?
-            .into_iter()
-            .map(|e| e.unwrap_or_else(|| vec![0.0; m]))
-            .collect();
-
-        // Phase B — all first-moment tree updates in projected space
-        // (Step 5), released into one flat buffer.
-        let pxys: Vec<Vec<f64>> =
-            embedded.iter().zip(batch).map(|(e, z)| vector::scale(e, z.y)).collect();
-        let pxy_refs: Vec<&[f64]> = pxys.iter().map(Vec::as_slice).collect();
-        let mut q_ts = vec![0.0; batch.len() * m];
-        self.tree_xy.update_batch_into(&pxy_refs, &mut q_ts)?;
-
-        // Hoisted: error-bound ingredients depend only on tree geometry.
-        let beta_each = self.config.beta / (2.0 * self.t_max as f64);
-        let levels = self.tree_xx.levels() as f64;
-        let me = self.tree_xx.sigma()
-            * levels.sqrt()
-            * (2.0 * (m as f64).sqrt() + (2.0 * (1.0 / beta_each).ln()).sqrt());
-        let ve = self.tree_xy.error_bound(beta_each);
-        let proj_diameter = self.proj_ball.diameter();
-        let alpha = (2.0 * (me * proj_diameter + ve)).max(1e-12);
-
-        // Phase C — second-moment tree, descent, and lift per point
-        // (Steps 6–9), on the mechanism's own step scratch.
         let mut out = Vec::with_capacity(batch.len());
-        for (i, e) in embedded.iter().enumerate() {
-            self.t += 1;
-            self.scratch.outer.set_outer(e, e).map_err(CoreError::Linalg)?;
-            self.tree_xx
-                .update_into(self.scratch.outer.as_slice(), self.scratch.q_mat.as_mut_slice())?;
-            self.scratch.q_mat.symmetrize_mut();
-            let lipschitz = 2.0 * self.t as f64 * (1.0 + proj_diameter);
-            minimize_private_objective_into(
-                self.config.strategy,
-                &self.scratch.q_mat,
-                &q_ts[i * m..(i + 1) * m],
-                &self.proj_ball,
-                me,
-                alpha,
-                lipschitz,
-                self.config.max_pgd_iters,
-                &self.last_vartheta,
-                &mut self.scratch.descent,
-                &mut self.scratch.vartheta,
-            );
-            self.last_vartheta.copy_from_slice(&self.scratch.vartheta);
-            let theta = lift_constrained_ls(
-                &self.sketch,
-                &self.scratch.vartheta,
-                &self.set,
-                self.lift_smoothness,
-                self.config.lift_iters,
-                &self.last_theta,
-            )?;
-            self.last_theta.copy_from_slice(&theta);
+        for z in batch {
+            let mut theta = vec![0.0; d];
+            self.consume_into(z, me, alpha, &mut theta)?;
             out.push(theta);
         }
         Ok(out)
+    }
+
+    /// The zero-allocation batch primitive: identical consumption order
+    /// and releases as [`observe_batch`](IncrementalMechanism::observe_batch),
+    /// written into the caller's flat buffer. Steady state touches the
+    /// heap zero times for any batch size.
+    fn observe_batch_into(&mut self, batch: &[DataPoint], out: &mut [f64]) -> Result<()> {
+        let d = self.set.dim();
+        if out.len() != batch.len() * d {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "batch release buffer length {} != {} points x dimension {d}",
+                    out.len(),
+                    batch.len()
+                ),
+            });
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.check_batch(batch)?;
+        let (me, alpha) = self.error_ingredients();
+        for (z, chunk) in batch.iter().zip(out.chunks_exact_mut(d)) {
+            self.consume_into(z, me, alpha, chunk)?;
+        }
+        Ok(())
     }
 
     fn supports_state(&self) -> bool {

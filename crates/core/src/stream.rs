@@ -123,6 +123,52 @@ pub trait IncrementalMechanism: Send {
         batch.iter().map(|z| self.observe(z)).collect()
     }
 
+    /// [`observe_batch`](IncrementalMechanism::observe_batch) writing the
+    /// releases into one caller-provided flat buffer of length
+    /// `batch.len() · dim`, point `i`'s estimator landing in
+    /// `out[i·d..(i+1)·d]` — **release-for-release identical** to the
+    /// allocating batch method (and hence, by the batched-equals-
+    /// sequential law, to the sequential loop).
+    ///
+    /// The default implementation validates the whole batch up front
+    /// (keeping the atomic-rejection contract for contract violations)
+    /// and then loops [`observe_into`](IncrementalMechanism::observe_into)
+    /// over the chunks. The paper mechanisms override it as their batch
+    /// *primitive*: per-batch constants hoisted, tree releases read where
+    /// the trees maintain them, and every release written straight into
+    /// the caller's buffer — so a steady-state call performs **zero heap
+    /// allocations** for any batch size (the invariant pinned by
+    /// `tests/alloc_steady_state.rs`).
+    ///
+    /// On error, `out` contents are unspecified; overriders additionally
+    /// guarantee atomic rejection for overflowing batches.
+    ///
+    /// # Errors
+    /// As [`observe_batch`](IncrementalMechanism::observe_batch); a
+    /// wrong-length `out` is rejected (with
+    /// [`crate::CoreError::InvalidConfig`]) before anything is consumed.
+    fn observe_batch_into(&mut self, batch: &[DataPoint], out: &mut [f64]) -> Result<()> {
+        let d = self.dim();
+        if out.len() != batch.len() * d {
+            return Err(crate::CoreError::InvalidConfig {
+                reason: format!(
+                    "batch release buffer length {} != {} points x dimension {d}",
+                    out.len(),
+                    batch.len()
+                ),
+            });
+        }
+        for (i, z) in batch.iter().enumerate() {
+            z.validate(d).map_err(|e| crate::CoreError::InvalidPoint {
+                reason: format!("batch index {i}: {e}"),
+            })?;
+        }
+        for (z, chunk) in batch.iter().zip(out.chunks_exact_mut(d)) {
+            self.observe_into(z, chunk)?;
+        }
+        Ok(())
+    }
+
     /// Whether this mechanism supports
     /// [`save_state`](IncrementalMechanism::save_state) /
     /// [`load_state`](IncrementalMechanism::load_state). The engine's

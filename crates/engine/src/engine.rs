@@ -4,7 +4,7 @@ use crate::error::EngineError;
 use crate::ingress::{Command, Reply};
 use crate::session::StreamSession;
 use crate::spec::MechanismSpec;
-use pir_dp::{NoiseRng, PrivacyParams};
+use pir_dp::PrivacyParams;
 use pir_erm::DataPoint;
 use std::collections::HashMap;
 
@@ -247,8 +247,7 @@ impl ShardedEngine {
         if self.contains(session_id) {
             return Err(EngineError::DuplicateSession { id: session_id });
         }
-        let mut rng = NoiseRng::seed_from_u64(session_seed(self.config.seed, session_id));
-        let session = StreamSession::spawn(session_id, spec, t_max, params, &mut rng)?;
+        let session = StreamSession::spawn(session_id, spec, t_max, params, self.config.seed)?;
         let idx = self.shard_index(session_id);
         self.shards[idx].sessions.insert(session_id, session);
         Ok(())
@@ -283,10 +282,7 @@ impl ShardedEngine {
         let engine_seed = self.config.seed;
         let build_shard = |ids: &[u64]| -> Result<Vec<StreamSession>, EngineError> {
             ids.iter()
-                .map(|&id| {
-                    let mut rng = NoiseRng::seed_from_u64(session_seed(engine_seed, id));
-                    StreamSession::spawn(id, spec, t_max, params, &mut rng)
-                })
+                .map(|&id| StreamSession::spawn(id, spec, t_max, params, engine_seed))
                 .collect()
         };
         let build_shard = &build_shard;
@@ -368,6 +364,35 @@ impl ShardedEngine {
             .get_mut(&session_id)
             .ok_or(EngineError::UnknownSession { id: session_id })?
             .observe_batch(batch)
+    }
+
+    /// [`observe_batch`](ShardedEngine::observe_batch) writing the
+    /// releases into one caller-provided flat buffer of length
+    /// `batch.len() · dim` (point `i`'s estimator lands in
+    /// `out[i·d..(i+1)·d]`) — release-for-release identical to it, and
+    /// allocation-free in steady state for the paper mechanisms: routing
+    /// is a hash and a map lookup, and the mechanism drives its whole
+    /// amortized batch on preallocated scratch. Callers that feed one
+    /// session in runs should hold one flat release buffer and drive this
+    /// entry point.
+    ///
+    /// On error, `out` contents are unspecified.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSession`], the mechanism's error (batches
+    /// are rejected atomically), or a wrong-length buffer.
+    pub fn observe_batch_into(
+        &mut self,
+        session_id: u64,
+        batch: &[DataPoint],
+        out: &mut [f64],
+    ) -> Result<(), EngineError> {
+        let idx = self.shard_index(session_id);
+        self.shards[idx]
+            .sessions
+            .get_mut(&session_id)
+            .ok_or(EngineError::UnknownSession { id: session_id })?
+            .observe_batch_into(batch, out)
     }
 
     /// Drive a mixed batch of arrivals across many sessions, in parallel

@@ -103,13 +103,13 @@
 //! assert_eq!(handle.close().sessions, 4);
 //! ```
 
-use crate::engine::{entropy_seed, session_seed, shard_of};
+use crate::engine::{entropy_seed, shard_of};
 use crate::error::EngineError;
 use crate::session::StreamSession;
 use crate::spec::MechanismSpec;
 use crate::sync::lock_or_recover;
 use crate::wal::{self, CheckpointReport, RecoveryReport, WalOptions, WalWriter};
-use pir_dp::{NoiseRng, PrivacyParams};
+use pir_dp::PrivacyParams;
 use pir_erm::DataPoint;
 use std::collections::{BTreeMap, HashMap};
 use std::fs;
@@ -1667,8 +1667,7 @@ fn exec_command(
             if sessions.contains_key(&session_id) {
                 return Reply::Err(EngineError::DuplicateSession { id: session_id });
             }
-            let mut rng = NoiseRng::seed_from_u64(session_seed(engine_seed, session_id));
-            match StreamSession::spawn(session_id, &spec, t_max, &params, &mut rng) {
+            match StreamSession::spawn(session_id, &spec, t_max, &params, engine_seed) {
                 Ok(s) => {
                     sessions.insert(session_id, s);
                     Reply::Opened { session_id }
@@ -1830,8 +1829,7 @@ mod tests {
 
     fn session(engine_seed: u64, sid: u64) -> StreamSession {
         let params = PrivacyParams::approx(1.0, 1e-6).unwrap();
-        let mut rng = NoiseRng::seed_from_u64(session_seed(engine_seed, sid));
-        StreamSession::spawn(sid, &MechanismSpec::reg1_l2(2), 64, &params, &mut rng).unwrap()
+        StreamSession::spawn(sid, &MechanismSpec::reg1_l2(2), 64, &params, engine_seed).unwrap()
     }
 
     /// The stale-depth regression, pinned deterministically: a session

@@ -17,6 +17,7 @@ use pir_erm::DataPoint;
 /// instead of a silent privacy failure.
 pub struct StreamSession {
     id: u64,
+    seed_fingerprint: u64,
     spec: MechanismSpec,
     t_max: usize,
     mech: Box<dyn IncrementalMechanism>,
@@ -35,10 +36,14 @@ impl std::fmt::Debug for StreamSession {
 }
 
 impl StreamSession {
-    /// Spawn a session: materialize the spec's mechanism for streams of
-    /// length up to `t_max` under `params`, and charge the accountant for
-    /// the whole release sequence (skipped for the non-private baselines,
-    /// which spend nothing).
+    /// Spawn a session: derive the per-session noise seed from
+    /// `engine_seed` (via `session_seed` in `engine.rs` — never shard
+    /// count or spawn order), materialize the spec's mechanism for
+    /// streams of length up to `t_max` under `params`, and charge the
+    /// accountant for the whole release sequence (skipped for the
+    /// non-private baselines, which spend nothing). The session also
+    /// records [`snapshot::seed_fingerprint`] so snapshots can prove
+    /// which engine seed they were taken under.
     ///
     /// # Errors
     /// [`EngineError::Mechanism`] if the mechanism constructor rejects
@@ -48,14 +53,22 @@ impl StreamSession {
         spec: &MechanismSpec,
         t_max: usize,
         params: &PrivacyParams,
-        rng: &mut NoiseRng,
+        engine_seed: u64,
     ) -> Result<Self, EngineError> {
-        let mech = spec.build(t_max, params, rng)?;
+        let mut rng = NoiseRng::seed_from_u64(crate::engine::session_seed(engine_seed, id));
+        let mech = spec.build(t_max, params, &mut rng)?;
         let mut accountant = PrivacyAccountant::new(*params);
         if spec.is_private() {
             accountant.charge(mech.name(), *params)?;
         }
-        Ok(StreamSession { id, spec: spec.clone(), t_max, mech, accountant })
+        Ok(StreamSession {
+            id,
+            seed_fingerprint: snapshot::seed_fingerprint(engine_seed, id),
+            spec: spec.clone(),
+            t_max,
+            mech,
+            accountant,
+        })
     }
 
     /// Session id.
@@ -123,6 +136,27 @@ impl StreamSession {
         Ok(self.mech.observe_batch(batch)?)
     }
 
+    /// [`observe_batch`](StreamSession::observe_batch) writing the
+    /// releases into one caller-provided flat buffer of length
+    /// `batch.len() · dim` — release-for-release identical to it. With a
+    /// paper mechanism behind it this is the zero-allocation batch entry
+    /// point: the mechanism hoists its per-batch constants and writes
+    /// every release straight into the caller's buffer (the invariant
+    /// pinned by `tests/alloc_steady_state.rs`).
+    ///
+    /// On error, `out` contents are unspecified.
+    ///
+    /// # Errors
+    /// [`EngineError::Mechanism`] on contract violations anywhere in the
+    /// batch (rejected atomically), overflow, or a wrong-length buffer.
+    pub fn observe_batch_into(
+        &mut self,
+        batch: &[DataPoint],
+        out: &mut [f64],
+    ) -> Result<(), EngineError> {
+        Ok(self.mech.observe_batch_into(batch, out)?)
+    }
+
     /// Whether this session can be captured by [`snapshot`]
     /// (StreamSession::snapshot): the mechanism exports resumable state
     /// and the spec is serializable. False for `PRIVINCERM` (its state is
@@ -152,6 +186,7 @@ impl StreamSession {
             out,
             &snapshot::SnapshotBody {
                 session_id: self.id,
+                seed_fingerprint: self.seed_fingerprint,
                 t_max: self.t_max as u64,
                 t: self.mech.t() as u64,
                 epsilon: budget.epsilon(),
@@ -183,19 +218,34 @@ impl StreamSession {
     /// the rebuilt session agrees with the snapshot's recorded step count
     /// and privacy ledger bit-for-bit.
     ///
-    /// Restoring under a *different* engine seed is undetectable here for
-    /// mechanisms whose noise state is fully serialized (the trees carry
-    /// their own RNG), but silently changes Mechanism 2's sketch — the
-    /// engine seed is part of the durability contract.
+    /// The engine seed is part of the durability contract: restoring
+    /// under a *different* seed would silently change construction-time
+    /// randomness such as Mechanism 2's sketch even though the trees
+    /// carry their own serialized RNG state. The snapshot's recorded
+    /// [`seed_fingerprint`](snapshot::seed_fingerprint) is therefore
+    /// checked against the one `engine_seed` implies before anything is
+    /// rebuilt, and a mismatch fails loudly as
+    /// [`SnapshotError::SeedMismatch`]. Legacy version-1 blobs predate
+    /// the fingerprint and restore under the old trust-the-caller
+    /// contract (see `docs/KNOWN_FAILURES.md`).
     ///
     /// # Errors
-    /// Any [`SnapshotError`] from decoding; [`SnapshotError::Restore`]
-    /// when the session cannot be rebuilt or disagrees with the recorded
-    /// `t`/ledger.
+    /// Any [`SnapshotError`] from decoding;
+    /// [`SnapshotError::SeedMismatch`] for a wrong-seeded engine;
+    /// [`SnapshotError::Restore`] when the session cannot be rebuilt or
+    /// disagrees with the recorded `t`/ledger.
     ///
     /// [`EngineConfig::seed`]: crate::engine::EngineConfig
     pub fn restore(bytes: &[u8], engine_seed: u64) -> Result<StreamSession, SnapshotError> {
         let snap = snapshot::decode(bytes)?;
+        // Legacy version-1 blobs carry no fingerprint (`None`) and fall
+        // back to the old trust-the-caller contract.
+        if let Some(got) = snap.seed_fingerprint {
+            let expected = snapshot::seed_fingerprint(engine_seed, snap.session_id);
+            if got != expected {
+                return Err(SnapshotError::SeedMismatch { expected, got });
+            }
+        }
         let t_max = usize::try_from(snap.t_max).map_err(|_| SnapshotError::Malformed {
             reason: format!("t_max {} overflows usize", snap.t_max),
         })?;
@@ -206,10 +256,8 @@ impl StreamSession {
         }
         let params = PrivacyParams::new(snap.epsilon, snap.delta)
             .map_err(|e| SnapshotError::Malformed { reason: format!("privacy params: {e}") })?;
-        let mut rng =
-            NoiseRng::seed_from_u64(crate::engine::session_seed(engine_seed, snap.session_id));
         let mut session =
-            StreamSession::spawn(snap.session_id, &snap.spec, t_max, &params, &mut rng)
+            StreamSession::spawn(snap.session_id, &snap.spec, t_max, &params, engine_seed)
                 .map_err(|e| SnapshotError::Restore { reason: e.to_string() })?;
         session
             .mech

@@ -10,12 +10,12 @@
 //! matrix without serializing it) and then overlays the dynamic state, so
 //! snapshots stay `O(d log T)` — never `O(m × d)`.
 //!
-//! ## Layout (version 1)
+//! ## Layout (version 2)
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  = "PIRS"
-//! 4       1     version = 1
+//! 4       1     version = 2
 //! 5       3     reserved, must be zero
 //! 8       4     body length N (LE u32, capped at MAX_SNAPSHOT_BODY)
 //! 12      N     body
@@ -28,6 +28,11 @@
 //!
 //! ```text
 //! 8   session id (u64)
+//! 8   seed fingerprint (u64) — one-way digest of the per-session seed
+//!     (see [`seed_fingerprint`]); restore recomputes it from the target
+//!     engine's seed and refuses a mismatch, so resuming a snapshot on a
+//!     wrong-seeded engine fails loudly instead of silently changing
+//!     construction-time randomness such as Mechanism 2's sketch
 //! 8   t_max      (u64)  — stream horizon the mechanism was built for
 //! 8   t          (u64)  — points consumed so far
 //! 8   budget epsilon (f64 bits)
@@ -47,6 +52,11 @@
 //! [`SnapshotError::ChecksumMismatch`], while a forged-but-checksummed
 //! body surfaces as a typed structural error. Trailing bytes after the
 //! checksum are rejected.
+//!
+//! Version-1 blobs (identical layout minus the seed fingerprint field)
+//! are still decoded — readers grow backwards, writers stay current —
+//! but their fingerprint is reported as absent, so restore cannot
+//! verify the engine seed for them.
 
 use crate::spec::MechanismSpec;
 use crate::wal::crc32;
@@ -55,8 +65,34 @@ use crate::wire;
 /// Magic bytes opening every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PIRS";
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u8 = 1;
+/// Current snapshot format version — what every encode writes. Version
+/// 2 added the seed fingerprint field. Per the migration policy
+/// (readers grow backwards, writers stay current), the decoder still
+/// accepts [`SNAPSHOT_OLDEST_READABLE`] blobs: spilled sessions and
+/// checkpoint manifests outlive process upgrades.
+pub const SNAPSHOT_VERSION: u8 = 2;
+
+/// Oldest snapshot version the decoder accepts. Version-1 blobs carry
+/// no seed fingerprint, so restore cannot verify the engine seed for
+/// them (the pre-fingerprint contract documented in
+/// `docs/KNOWN_FAILURES.md` applies).
+pub const SNAPSHOT_OLDEST_READABLE: u8 = 1;
+
+/// One-way fingerprint of the per-session noise seed derived from
+/// `engine_seed` and `session_id`. Stored in every version-2 snapshot
+/// and recomputed by restore from the *target* engine's seed: a mismatch
+/// means the snapshot is being resumed under a different engine seed,
+/// which would silently regenerate construction-time randomness (e.g.
+/// Mechanism 2's sketch matrix) and change every release thereafter.
+///
+/// The digest XOR-folds two independently-keyed bijective mixes of the
+/// session seed, so the seed is not recoverable from the snapshot — an
+/// operational tripwire, not a cryptographic commitment.
+pub fn seed_fingerprint(engine_seed: u64, session_id: u64) -> u64 {
+    use crate::engine::{mix64, session_seed};
+    let s = session_seed(engine_seed, session_id);
+    mix64(s ^ 0xA076_1D64_78BD_642F) ^ mix64(s.rotate_left(32) ^ 0xE703_7ED1_A0B4_28DB)
+}
 
 /// Fixed header length: magic (4) + version (1) + reserved (3) + body
 /// length (4).
@@ -104,7 +140,16 @@ pub enum SnapshotError {
         /// Checksum stored in the blob.
         got: u32,
     },
-    /// The checksummed body does not parse as a version-1 snapshot.
+    /// The snapshot's recorded seed fingerprint disagrees with the one
+    /// the restoring engine's seed implies for this session id — the
+    /// blob was taken under a different engine seed.
+    SeedMismatch {
+        /// Fingerprint the restoring engine's seed implies.
+        expected: u64,
+        /// Fingerprint recorded in the snapshot.
+        got: u64,
+    },
+    /// The checksummed body does not parse as a version-2 snapshot.
     Malformed {
         /// What was wrong.
         reason: String,
@@ -149,6 +194,15 @@ impl std::fmt::Display for SnapshotError {
                     "snapshot checksum mismatch: computed {expected:#010x}, stored {got:#010x}"
                 )
             }
+            SnapshotError::SeedMismatch { expected, got } => {
+                write!(
+                    f,
+                    "snapshot seed fingerprint mismatch: snapshot recorded {got:#018x}, \
+                     this engine's seed implies {expected:#018x} — restoring under a \
+                     different engine seed would silently change construction-time \
+                     randomness"
+                )
+            }
             SnapshotError::Malformed { reason } => write!(f, "malformed snapshot body: {reason}"),
             SnapshotError::Unsupported { reason } => {
                 write!(f, "session not snapshot-capable: {reason}")
@@ -160,9 +214,10 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-/// The fields a version-1 snapshot serializes, borrowed for encoding.
+/// The fields a version-2 snapshot serializes, borrowed for encoding.
 pub(crate) struct SnapshotBody<'a> {
     pub session_id: u64,
+    pub seed_fingerprint: u64,
     pub t_max: u64,
     pub t: u64,
     pub epsilon: f64,
@@ -176,6 +231,9 @@ pub(crate) struct SnapshotBody<'a> {
 /// The fields recovered from a decoded snapshot, owned.
 pub(crate) struct DecodedSnapshot {
     pub session_id: u64,
+    /// `None` for legacy version-1 blobs, which predate the field and
+    /// cannot prove what engine seed they were taken under.
+    pub seed_fingerprint: Option<u64>,
     pub t_max: u64,
     pub t: u64,
     pub epsilon: f64,
@@ -196,6 +254,7 @@ pub(crate) fn encode_into(out: &mut Vec<u8>, body: &SnapshotBody<'_>) -> Result<
     out.extend_from_slice(&[0u8; 4]); // body length, patched below
 
     out.extend_from_slice(&body.session_id.to_le_bytes());
+    out.extend_from_slice(&body.seed_fingerprint.to_le_bytes());
     out.extend_from_slice(&body.t_max.to_le_bytes());
     out.extend_from_slice(&body.t.to_le_bytes());
     out.extend_from_slice(&body.epsilon.to_bits().to_le_bytes());
@@ -297,8 +356,9 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<DecodedSnapshot, SnapshotError> {
     if bytes[0..4] != SNAPSHOT_MAGIC {
         return Err(SnapshotError::BadMagic { got: [bytes[0], bytes[1], bytes[2], bytes[3]] });
     }
-    if bytes[4] != SNAPSHOT_VERSION {
-        return Err(SnapshotError::UnsupportedVersion { got: bytes[4] });
+    let version = bytes[4];
+    if !(SNAPSHOT_OLDEST_READABLE..=SNAPSHOT_VERSION).contains(&version) {
+        return Err(SnapshotError::UnsupportedVersion { got: version });
     }
     if bytes[5..8] != [0u8; 3] {
         return Err(SnapshotError::NonZeroReserved);
@@ -330,6 +390,7 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<DecodedSnapshot, SnapshotError> {
 
     let mut c = Cursor::new(&bytes[SNAPSHOT_HEADER_LEN..crc_at]);
     let session_id = c.take_u64("session id")?;
+    let seed_fingerprint = if version >= 2 { Some(c.take_u64("seed fingerprint")?) } else { None };
     let t_max = c.take_u64("t_max")?;
     let t = c.take_u64("t")?;
     let epsilon = c.take_f64("budget epsilon")?;
@@ -346,6 +407,7 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<DecodedSnapshot, SnapshotError> {
 
     Ok(DecodedSnapshot {
         session_id,
+        seed_fingerprint,
         t_max,
         t,
         epsilon,
@@ -368,6 +430,7 @@ mod tests {
             &mut out,
             &SnapshotBody {
                 session_id: 0x1122_3344_5566_7788,
+                seed_fingerprint: seed_fingerprint(7, 0x1122_3344_5566_7788),
                 t_max: 1 << 20,
                 t: 17,
                 epsilon: 1.0,
@@ -393,6 +456,7 @@ mod tests {
         let blob = sample_blob();
         let d = decode(&blob).unwrap();
         assert_eq!(d.session_id, 0x1122_3344_5566_7788);
+        assert_eq!(d.seed_fingerprint, Some(seed_fingerprint(7, 0x1122_3344_5566_7788)));
         assert_eq!(d.t_max, 1 << 20);
         assert_eq!(d.t, 17);
         assert_eq!(d.epsilon.to_bits(), 1.0f64.to_bits());
@@ -408,6 +472,7 @@ mod tests {
             &mut again,
             &SnapshotBody {
                 session_id: d.session_id,
+                seed_fingerprint: d.seed_fingerprint.unwrap(),
                 t_max: d.t_max,
                 t: d.t,
                 epsilon: d.epsilon,
@@ -431,8 +496,12 @@ mod tests {
         assert!(matches!(decode(&forged), Err(SnapshotError::BadMagic { .. })));
 
         let mut forged = blob.clone();
-        forged[4] = 2;
-        assert!(matches!(decode(&forged), Err(SnapshotError::UnsupportedVersion { got: 2 })));
+        forged[4] = 3;
+        assert!(matches!(decode(&forged), Err(SnapshotError::UnsupportedVersion { got: 3 })));
+
+        let mut forged = blob.clone();
+        forged[4] = 0;
+        assert!(matches!(decode(&forged), Err(SnapshotError::UnsupportedVersion { got: 0 })));
 
         let mut forged = blob.clone();
         forged[6] = 1;
@@ -479,10 +548,47 @@ mod tests {
         // Forge the spec length to swallow the rest of the body, then fix
         // the checksum so decoding reaches the body parser.
         let mut blob = sample_blob();
-        let spec_len_at = SNAPSHOT_HEADER_LEN + 7 * 8;
+        let spec_len_at = SNAPSHOT_HEADER_LEN + 8 * 8;
         blob[spec_len_at..spec_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         refix_crc(&mut blob);
         assert!(matches!(decode(&blob), Err(SnapshotError::Malformed { .. })));
+    }
+
+    /// Strip the seed fingerprint out of a v2 blob, producing the exact
+    /// layout a pre-fingerprint (version 1) build would have written.
+    fn downgrade_to_v1(blob: &[u8]) -> Vec<u8> {
+        let mut v1 = Vec::with_capacity(blob.len() - 8);
+        v1.extend_from_slice(&blob[..SNAPSHOT_HEADER_LEN + 8]);
+        v1.extend_from_slice(&blob[SNAPSHOT_HEADER_LEN + 16..]);
+        v1[4] = 1;
+        let body_len = u32::from_le_bytes([v1[8], v1[9], v1[10], v1[11]]) - 8;
+        v1[8..12].copy_from_slice(&body_len.to_le_bytes());
+        refix_crc(&mut v1);
+        v1
+    }
+
+    #[test]
+    fn legacy_version_1_blobs_still_decode() {
+        // Readers grow backwards: spilled sessions and checkpoint
+        // manifests written before the fingerprint existed must keep
+        // decoding, with the fingerprint reported as absent.
+        let v1 = downgrade_to_v1(&sample_blob());
+        let d = decode(&v1).unwrap();
+        assert_eq!(d.seed_fingerprint, None);
+        assert_eq!(d.session_id, 0x1122_3344_5566_7788);
+        assert_eq!(d.t_max, 1 << 20);
+        assert_eq!(d.t, 17);
+        assert_eq!(d.state, vec![0xAB, 0xCD, 0xEF]);
+    }
+
+    #[test]
+    fn seed_fingerprint_separates_seeds_and_sessions() {
+        // The tripwire only works if nearby seeds and ids map to
+        // different fingerprints; and it must be a pure function.
+        assert_eq!(seed_fingerprint(7, 1), seed_fingerprint(7, 1));
+        assert_ne!(seed_fingerprint(7, 1), seed_fingerprint(8, 1));
+        assert_ne!(seed_fingerprint(7, 1), seed_fingerprint(7, 2));
+        assert_ne!(seed_fingerprint(0, 0), seed_fingerprint(1, 0));
     }
 
     #[test]
@@ -499,6 +605,7 @@ mod tests {
             &mut out,
             &SnapshotBody {
                 session_id: 1,
+                seed_fingerprint: seed_fingerprint(7, 1),
                 t_max: 8,
                 t: 0,
                 epsilon: 1.0,

@@ -1,0 +1,332 @@
+//! Blocked dense kernels for the mechanism hot paths.
+//!
+//! Every kernel here is a *flat-slice* primitive over row-major data, with
+//! two implementations:
+//!
+//! - the production form (`matvec`, `matvec_t`, `set_outer`,
+//!   `add_scaled_outer`) that [`Matrix`](crate::Matrix) methods and the
+//!   mechanisms drive — row-blocked where blocking measures faster
+//!   (`matvec_t`, the outer products below `OUTER_BLOCK_MAX_COLS`),
+//!   the plain row sweep where it does not (`matvec`, whose tiled
+//!   variant [`matvec_blocked`] is kept for the bench comparison);
+//! - a scalar reference (`*_ref`) defining the semantics, which the
+//!   proptest suite in `crates/linalg/tests/kernel_identity.rs` pins
+//!   every other form against **bit-for-bit**.
+//!
+//! Bit-identity is a design constraint, not an accident: released
+//! estimator sequences are reproducible across PRs only if the summation
+//! order never changes. Each blocked kernel therefore keeps the exact
+//! per-element operation order of its reference — row blocking reuses
+//! *loads*, never reassociates *adds*:
+//!
+//! - `matvec`/`matvec_blocked` accumulate each output row in the same
+//!   four lanes (and the same `(l0+l2)+(l1+l3)` reduction) as
+//!   [`vector::dot`];
+//! - `matvec_t` folds the rows of a block into the output in row order,
+//!   matching the sequential per-row [`vector::axpy`] sweeps;
+//! - the outer-product kernels are elementwise (one multiply per entry),
+//!   so blocking cannot reorder anything.
+//!
+//! To add a kernel: write the `*_ref` form first, add the blocked form
+//! that preserves its per-element operation order, extend
+//! `kernel_identity.rs` with a proptest comparing the two with `to_bits`
+//! equality (or a documented tolerance if reassociation is intentional),
+//! and give it a row in `crates/bench/benches/kernels.rs`. See
+//! `docs/ARCHITECTURE.md`, "The kernel layer".
+
+use crate::vector;
+
+/// Row width at which the outer-product kernels switch from the 4-row
+/// block to the row-sequential sweep (at or above the threshold).
+/// Interleaving four write streams wins while a block of rows stays
+/// register/store-buffer friendly (measured ~20% at d ≤ 64) but
+/// collapses once rows are wide enough that the streams thrash the
+/// write-combining buffers (measured 2.6× *slower* at d = 128 on the
+/// baseline x86-64 target). Both forms are elementwise, so the dispatch
+/// cannot change results.
+const OUTER_BLOCK_MAX_COLS: usize = 128;
+
+/// `out ← A·x` for a row-major `out.len() × cols` matrix `a`: one
+/// [`vector::dot`] sweep per row.
+///
+/// This *is* the reference form — deliberately. Row-blocking a
+/// row-major `A·x` (see [`matvec_blocked`]) must broadcast each element
+/// of `x` across the rows of the block, and the baseline x86-64 target
+/// (SSE2; `movddup` is SSE3) has no cheap lane splat: the autovectorizer
+/// falls back to scalar loads plus shuffles and the tiled form measures
+/// ~1.7× *slower* than this sweep at every benchmarked shape. Contrast
+/// [`matvec_t`], whose per-block broadcasts are loop-invariant and whose
+/// blocked form therefore wins. `kernels_matvec` in
+/// `crates/bench/benches/kernels.rs` tracks both so the choice can be
+/// retuned if the deployment target ever grows wider vectors.
+///
+/// # Panics
+/// Panics in debug builds on shape mismatch.
+pub fn matvec(cols: usize, a: &[f64], x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), out.len() * cols, "matvec: matrix/out mismatch");
+    debug_assert_eq!(x.len(), cols, "matvec: x mismatch");
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = vector::dot(&a[r * cols..(r + 1) * cols], x);
+    }
+}
+
+/// Row-pair tiled form of [`matvec`]: each 4-wide chunk of `x` is loaded
+/// once per row pair instead of once per row, every row keeping its own
+/// four accumulator lanes and the same `(l0+l2)+(l1+l3)` reduction as
+/// [`vector::dot`] — bit-identical to [`matvec_ref`], and pinned so by
+/// `kernel_identity.rs`.
+///
+/// **Measured slower than [`matvec`] on the current target** (no cheap
+/// SSE2 lane broadcast — see the [`matvec`] docs); kept as the tuned
+/// starting point for wider-vector targets, benchmarked alongside the
+/// production sweep.
+///
+/// # Panics
+/// Panics in debug builds on shape mismatch.
+pub fn matvec_blocked(cols: usize, a: &[f64], x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), out.len() * cols, "matvec_blocked: matrix/out mismatch");
+    debug_assert_eq!(x.len(), cols, "matvec_blocked: x mismatch");
+    let full = cols / 4 * 4;
+    let mut blocks = out.chunks_exact_mut(2);
+    let mut r = 0usize;
+    for ob in blocks.by_ref() {
+        let r0 = &a[r * cols..(r + 1) * cols];
+        let r1 = &a[(r + 1) * cols..(r + 2) * cols];
+        // Flat lane arrays with a fully unrolled body, mirroring
+        // [`vector::dot`]; chunks_exact gives the optimizer
+        // constant-length slices, so the body compiles without bounds
+        // checks.
+        let mut l0 = [0.0f64; 4];
+        let mut l1 = [0.0f64; 4];
+        let cx = x[..full].chunks_exact(4);
+        for (j, xc) in cx.enumerate() {
+            let b = 4 * j;
+            let k0: &[f64; 4] = r0[b..b + 4].try_into().expect("chunk is 4 wide");
+            let k1: &[f64; 4] = r1[b..b + 4].try_into().expect("chunk is 4 wide");
+            l0[0] += k0[0] * xc[0];
+            l0[1] += k0[1] * xc[1];
+            l0[2] += k0[2] * xc[2];
+            l0[3] += k0[3] * xc[3];
+            l1[0] += k1[0] * xc[0];
+            l1[1] += k1[1] * xc[1];
+            l1[2] += k1[2] * xc[2];
+            l1[3] += k1[3] * xc[3];
+        }
+        for (k, o) in ob.iter_mut().enumerate() {
+            let l = if k == 0 { l0 } else { l1 };
+            let mut s = (l[0] + l[2]) + (l[1] + l[3]);
+            let rk = if k == 0 { r0 } else { r1 };
+            for jj in full..cols {
+                s += rk[jj] * x[jj];
+            }
+            *o = s;
+        }
+        r += 2;
+    }
+    for o in blocks.into_remainder() {
+        *o = vector::dot(&a[r * cols..(r + 1) * cols], x);
+        r += 1;
+    }
+}
+
+/// Scalar reference for [`matvec`]: one [`vector::dot`] per row.
+pub fn matvec_ref(cols: usize, a: &[f64], x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), out.len() * cols, "matvec_ref: matrix/out mismatch");
+    debug_assert_eq!(x.len(), cols, "matvec_ref: x mismatch");
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = vector::dot(&a[r * cols..(r + 1) * cols], x);
+    }
+}
+
+/// `out ← Aᵀ·y` for a row-major `y.len() × out.len()` matrix `a`.
+///
+/// Rows are folded into `out` four at a time — one read-modify-write pass
+/// over `out` per row block instead of per row — with the per-element
+/// fold in row order, bit-identical to [`matvec_t_ref`].
+///
+/// # Panics
+/// Panics in debug builds on shape mismatch.
+pub fn matvec_t(cols: usize, a: &[f64], y: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), y.len() * cols, "matvec_t: matrix/y mismatch");
+    debug_assert_eq!(out.len(), cols, "matvec_t: out mismatch");
+    out.iter_mut().for_each(|o| *o = 0.0);
+    let mut blocks = y.chunks_exact(4);
+    let mut r = 0usize;
+    for yb in blocks.by_ref() {
+        let rb = r;
+        let row = move |k: usize| &a[(rb + k) * cols..(rb + k + 1) * cols];
+        let (r0, r1, r2, r3) = (row(0), row(1), row(2), row(3));
+        let (y0, y1, y2, y3) = (yb[0], yb[1], yb[2], yb[3]);
+        for ((((o, &e0), &e1), &e2), &e3) in out.iter_mut().zip(r0).zip(r1).zip(r2).zip(r3) {
+            let mut acc = *o;
+            acc += y0 * e0;
+            acc += y1 * e1;
+            acc += y2 * e2;
+            acc += y3 * e3;
+            *o = acc;
+        }
+        r += 4;
+    }
+    for &yr in blocks.remainder() {
+        vector::axpy(yr, &a[r * cols..(r + 1) * cols], out);
+        r += 1;
+    }
+}
+
+/// Scalar reference for [`matvec_t`]: zero then one [`vector::axpy`]
+/// sweep per row.
+pub fn matvec_t_ref(cols: usize, a: &[f64], y: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), y.len() * cols, "matvec_t_ref: matrix/y mismatch");
+    debug_assert_eq!(out.len(), cols, "matvec_t_ref: out mismatch");
+    out.iter_mut().for_each(|o| *o = 0.0);
+    for (r, &yr) in y.iter().enumerate() {
+        vector::axpy(yr, &a[r * cols..(r + 1) * cols], out);
+    }
+}
+
+/// `out ← u·vᵀ` (row-major `u.len() × v.len()`), overwriting `out`.
+///
+/// Four rows per block so each chunk of `v` is reused from registers
+/// across the block, falling back to the row-sequential sweep for rows
+/// at or beyond `OUTER_BLOCK_MAX_COLS`. One multiply per entry —
+/// elementwise, so trivially bit-identical to [`set_outer_ref`].
+///
+/// # Panics
+/// Panics in debug builds on shape mismatch.
+pub fn set_outer(u: &[f64], v: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(out.len(), u.len() * v.len(), "set_outer: shape mismatch");
+    let cols = v.len();
+    if cols >= OUTER_BLOCK_MAX_COLS {
+        set_outer_ref(u, v, out);
+        return;
+    }
+    let mut blocks = u.chunks_exact(4);
+    let mut r = 0usize;
+    for ub in blocks.by_ref() {
+        let (u0, u1, u2, u3) = (ub[0], ub[1], ub[2], ub[3]);
+        let (head, rest) = out[r * cols..].split_at_mut(cols);
+        let (row1, rest) = rest.split_at_mut(cols);
+        let (row2, row3) = rest.split_at_mut(cols);
+        let row3 = &mut row3[..cols];
+        for ((((o0, o1), o2), o3), &vl) in
+            head.iter_mut().zip(row1.iter_mut()).zip(row2.iter_mut()).zip(row3.iter_mut()).zip(v)
+        {
+            *o0 = u0 * vl;
+            *o1 = u1 * vl;
+            *o2 = u2 * vl;
+            *o3 = u3 * vl;
+        }
+        r += 4;
+    }
+    for &ur in blocks.remainder() {
+        vector::scaled_copy_into(ur, v, &mut out[r * cols..(r + 1) * cols]);
+        r += 1;
+    }
+}
+
+/// Scalar reference for [`set_outer`]: one [`vector::scaled_copy_into`]
+/// per row.
+pub fn set_outer_ref(u: &[f64], v: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(out.len(), u.len() * v.len(), "set_outer_ref: shape mismatch");
+    let cols = v.len();
+    for (r, &ur) in u.iter().enumerate() {
+        vector::scaled_copy_into(ur, v, &mut out[r * cols..(r + 1) * cols]);
+    }
+}
+
+/// Rank-1 update `out ← out + alpha·u·vᵀ` (row-major
+/// `u.len() × v.len()`), blocked like [`set_outer`] (including the
+/// `OUTER_BLOCK_MAX_COLS` fallback). Per entry the update is the
+/// single fused expression `out += (alpha·u_r)·v_c`, bit-identical to
+/// [`add_scaled_outer_ref`].
+///
+/// # Panics
+/// Panics in debug builds on shape mismatch.
+pub fn add_scaled_outer(alpha: f64, u: &[f64], v: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(out.len(), u.len() * v.len(), "add_scaled_outer: shape mismatch");
+    let cols = v.len();
+    if cols >= OUTER_BLOCK_MAX_COLS {
+        add_scaled_outer_ref(alpha, u, v, out);
+        return;
+    }
+    let mut blocks = u.chunks_exact(4);
+    let mut r = 0usize;
+    for ub in blocks.by_ref() {
+        let (a0, a1, a2, a3) = (alpha * ub[0], alpha * ub[1], alpha * ub[2], alpha * ub[3]);
+        let (row0, rest) = out[r * cols..].split_at_mut(cols);
+        let (row1, rest) = rest.split_at_mut(cols);
+        let (row2, row3) = rest.split_at_mut(cols);
+        let row3 = &mut row3[..cols];
+        for ((((o0, o1), o2), o3), &vl) in
+            row0.iter_mut().zip(row1.iter_mut()).zip(row2.iter_mut()).zip(row3.iter_mut()).zip(v)
+        {
+            *o0 += a0 * vl;
+            *o1 += a1 * vl;
+            *o2 += a2 * vl;
+            *o3 += a3 * vl;
+        }
+        r += 4;
+    }
+    for &ur in blocks.remainder() {
+        vector::axpy(alpha * ur, v, &mut out[r * cols..(r + 1) * cols]);
+        r += 1;
+    }
+}
+
+/// Scalar reference for [`add_scaled_outer`]: one [`vector::axpy`] with
+/// `alpha·u_r` per row.
+pub fn add_scaled_outer_ref(alpha: f64, u: &[f64], v: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(out.len(), u.len() * v.len(), "add_scaled_outer_ref: shape mismatch");
+    let cols = v.len();
+    for (r, &ur) in u.iter().enumerate() {
+        vector::axpy(alpha * ur, v, &mut out[r * cols..(r + 1) * cols]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize, phase: f64) -> Vec<f64> {
+        (0..n).map(|i| (0.37 * i as f64 + phase).sin() * 1.5).collect()
+    }
+
+    #[test]
+    fn blocked_kernels_match_references_at_awkward_shapes() {
+        // Every row/column tail length 0–3 in one sweep; the proptest
+        // suite in tests/kernel_identity.rs covers random contents.
+        for rows in [1usize, 3, 4, 5, 7, 8, 11] {
+            for cols in [1usize, 2, 4, 6, 8, 9, 13] {
+                let a = data(rows * cols, 0.1);
+                let x = data(cols, 0.7);
+                let y = data(rows, 1.3);
+                let mut got = vec![0.0; rows];
+                let mut got_blocked = vec![1.0; rows];
+                let mut want = vec![2.0; rows];
+                matvec(cols, &a, &x, &mut got);
+                matvec_blocked(cols, &a, &x, &mut got_blocked);
+                matvec_ref(cols, &a, &x, &mut want);
+                assert_eq!(got, want, "matvec {rows}x{cols}");
+                assert_eq!(got_blocked, want, "matvec_blocked {rows}x{cols}");
+
+                let mut got = vec![2.0; cols];
+                let mut want = vec![3.0; cols];
+                matvec_t(cols, &a, &y, &mut got);
+                matvec_t_ref(cols, &a, &y, &mut want);
+                assert_eq!(got, want, "matvec_t {rows}x{cols}");
+
+                let mut got = vec![9.0; rows * cols];
+                let mut want = vec![-9.0; rows * cols];
+                set_outer(&y, &x, &mut got);
+                set_outer_ref(&y, &x, &mut want);
+                assert_eq!(got, want, "set_outer {rows}x{cols}");
+
+                let mut got = a.clone();
+                let mut want = a.clone();
+                add_scaled_outer(-0.75, &y, &x, &mut got);
+                add_scaled_outer_ref(-0.75, &y, &x, &mut want);
+                assert_eq!(got, want, "add_scaled_outer {rows}x{cols}");
+            }
+        }
+    }
+}

@@ -20,6 +20,7 @@
 
 mod cholesky;
 mod error;
+pub mod kernels;
 mod matrix;
 pub mod vector;
 

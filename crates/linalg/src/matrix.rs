@@ -1,6 +1,7 @@
 //! Row-major dense matrices.
 
 use crate::error::LinalgError;
+use crate::kernels;
 use crate::vector;
 use crate::Result;
 
@@ -213,9 +214,7 @@ impl Matrix {
                 found: out.len(),
             });
         }
-        for (r, o) in out.iter_mut().enumerate() {
-            *o = vector::dot(&self.data[r * self.cols..(r + 1) * self.cols], x);
-        }
+        kernels::matvec(self.cols, &self.data, x, out);
         Ok(())
     }
 
@@ -250,10 +249,7 @@ impl Matrix {
                 found: out.len(),
             });
         }
-        out.iter_mut().for_each(|o| *o = 0.0);
-        for (r, &yr) in y.iter().enumerate() {
-            vector::axpy(yr, &self.data[r * self.cols..(r + 1) * self.cols], out);
-        }
+        kernels::matvec_t(self.cols, &self.data, y, out);
         Ok(())
     }
 
@@ -362,9 +358,35 @@ impl Matrix {
         }
         // Single overwrite pass (row r ← u_r·v) instead of zero-then-add:
         // half the memory traffic on the d² hot path of the mechanisms.
-        for (r, &ur) in u.iter().enumerate() {
-            vector::scaled_copy_into(ur, v, &mut self.data[r * self.cols..(r + 1) * self.cols]);
+        kernels::set_outer(u, v, &mut self.data);
+        Ok(())
+    }
+
+    /// Rank-1 update `A ← A + alpha·u vᵀ` through the register-blocked
+    /// kernel — the unconditional counterpart of [`Matrix::add_outer`]
+    /// for the mechanism hot paths. Unlike `add_outer` it does not skip
+    /// zero rows of `u`: every entry receives the elementwise update
+    /// `a_rc += (alpha·u_r)·v_c`, which is what the blocked kernel's
+    /// reference pins bit-for-bit.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn add_scaled_outer(&mut self, alpha: f64, u: &[f64], v: &[f64]) -> Result<()> {
+        if u.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add_scaled_outer(u)",
+                expected: self.rows,
+                found: u.len(),
+            });
         }
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add_scaled_outer(v)",
+                expected: self.cols,
+                found: v.len(),
+            });
+        }
+        kernels::add_scaled_outer(alpha, u, v, &mut self.data);
         Ok(())
     }
 

@@ -90,6 +90,79 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+/// Fused multi-vector `axpy`: `y ← y + alpha·Σₖ xₖ`, in one pass over `y`.
+///
+/// Bit-identical to `for x in xs { axpy(alpha, x, y) }` — per element the
+/// sources are folded into `y` in slice order, which is exactly the
+/// summation order of the sequential calls — but it reads and writes `y`
+/// once instead of `xs.len()` times. This is the tree-walk kernel: the
+/// mechanism retires all completed levels from its running sum in a
+/// single sweep (see `TreeMechanism::update_into`).
+///
+/// Generic over the source row type (`&[f64]`, `Vec<f64>`, …) so a
+/// caller holding `Vec<Vec<f64>>` rows — the tree's level buffers —
+/// can pass a subrange directly instead of materializing a `&[&[f64]]`
+/// table per call (building a fixed-size table every update measurably
+/// dominated the tree walk at small `d`).
+///
+/// # Panics
+/// Panics in debug builds if any source length differs from `y`.
+#[inline]
+pub fn axpy_n<S: AsRef<[f64]>>(alpha: f64, xs: &[S], y: &mut [f64]) {
+    match xs {
+        [] => {}
+        [x] => axpy(alpha, x.as_ref(), y),
+        [x0, x1] => axpy_2(alpha, x0.as_ref(), x1.as_ref(), y),
+        [x0, x1, x2] => axpy_3(alpha, x0.as_ref(), x1.as_ref(), x2.as_ref(), y),
+        _ => {
+            // Fold three lanes at a time (then the tail) so every fused
+            // pass is a monomorphized, bounds-check-free zip; the
+            // per-element accumulation order is exactly the sequential
+            // [`axpy`] order, keeping the result bit-identical to
+            // [`axpy_n_ref`].
+            let (head, tail) = xs.split_at(3);
+            axpy_3(alpha, head[0].as_ref(), head[1].as_ref(), head[2].as_ref(), y);
+            axpy_n(alpha, tail, y);
+        }
+    }
+}
+
+/// Two-lane fused fold `y ← (y + alpha·x0) + alpha·x1`, one pass over
+/// `y` with the per-element order of two sequential [`axpy`] calls.
+fn axpy_2(alpha: f64, x0: &[f64], x1: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x0.len(), y.len(), "axpy_n: length mismatch");
+    debug_assert_eq!(x1.len(), y.len(), "axpy_n: length mismatch");
+    for ((yi, &a), &b) in y.iter_mut().zip(x0).zip(x1) {
+        let mut acc = *yi;
+        acc += alpha * a;
+        acc += alpha * b;
+        *yi = acc;
+    }
+}
+
+/// Three-lane fused fold, one pass over `y` with the per-element order
+/// of three sequential [`axpy`] calls.
+fn axpy_3(alpha: f64, x0: &[f64], x1: &[f64], x2: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x0.len(), y.len(), "axpy_n: length mismatch");
+    debug_assert_eq!(x1.len(), y.len(), "axpy_n: length mismatch");
+    debug_assert_eq!(x2.len(), y.len(), "axpy_n: length mismatch");
+    for (((yi, &a), &b), &c) in y.iter_mut().zip(x0).zip(x1).zip(x2) {
+        let mut acc = *yi;
+        acc += alpha * a;
+        acc += alpha * b;
+        acc += alpha * c;
+        *yi = acc;
+    }
+}
+
+/// Scalar reference for [`axpy_n`]: the sequential-call definition it is
+/// pinned against (`tests/` proptests drive both).
+pub fn axpy_n_ref<S: AsRef<[f64]>>(alpha: f64, xs: &[S], y: &mut [f64]) {
+    for x in xs {
+        axpy(alpha, x.as_ref(), y);
+    }
+}
+
 /// Scaled copy `out ← alpha·x` — the buffer-reuse form of [`scale`],
 /// chunked like [`axpy`].
 ///

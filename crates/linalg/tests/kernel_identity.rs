@@ -1,0 +1,122 @@
+//! Bit-identity pins for the blocked kernels in `pir_linalg::kernels`.
+//!
+//! Each blocked kernel must produce **bit-for-bit** the same output as
+//! its scalar reference (`*_ref`) for every shape — including the 1–3
+//! element row/column tails where the blocked path falls back to the
+//! scalar one. This is what lets the `Matrix` methods switch to the
+//! blocked forms without perturbing any released estimator sequence:
+//! the blocking reuses loads but never reassociates floating-point adds.
+//! Comparisons use `to_bits` equality, not a tolerance.
+
+use pir_linalg::{kernels, vector};
+use proptest::prelude::*;
+
+fn buf(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, len)
+}
+
+/// Maximum rows/cols swept; data buffers are drawn at the max size and
+/// sliced down so the shapes can vary inside one proptest case.
+const MAX_R: usize = 19;
+const MAX_C: usize = 13;
+
+proptest! {
+    /// Covers both the production sweep and the tiled variant: either
+    /// may back `Matrix::matvec` depending on target retuning, so both
+    /// are pinned to the reference.
+    #[test]
+    fn matvec_forms_are_bit_identical_to_reference(
+        a in buf(MAX_R * MAX_C),
+        x in buf(MAX_C),
+        rows in 1usize..MAX_R,
+        cols in 1usize..MAX_C,
+    ) {
+        let a = &a[..rows * cols];
+        let x = &x[..cols];
+        let mut got = vec![f64::NAN; rows];
+        let mut got_blocked = vec![f64::NAN; rows];
+        let mut want = vec![0.0; rows];
+        kernels::matvec(cols, a, x, &mut got);
+        kernels::matvec_blocked(cols, a, x, &mut got_blocked);
+        kernels::matvec_ref(cols, a, x, &mut want);
+        for ((g, gb), w) in got.iter().zip(&got_blocked).zip(&want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+            prop_assert_eq!(gb.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn matvec_t_blocked_is_bit_identical_to_reference(
+        a in buf(MAX_R * MAX_C),
+        y in buf(MAX_R),
+        rows in 1usize..MAX_R,
+        cols in 1usize..MAX_C,
+    ) {
+        let a = &a[..rows * cols];
+        let y = &y[..rows];
+        let mut got = vec![f64::NAN; cols];
+        let mut want = vec![0.0; cols];
+        kernels::matvec_t(cols, a, y, &mut got);
+        kernels::matvec_t_ref(cols, a, y, &mut want);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn set_outer_blocked_is_bit_identical_to_reference(
+        u in buf(MAX_R),
+        v in buf(MAX_C),
+        rows in 1usize..MAX_R,
+        cols in 1usize..MAX_C,
+    ) {
+        let u = &u[..rows];
+        let v = &v[..cols];
+        let mut got = vec![f64::NAN; rows * cols];
+        let mut want = vec![7.0; rows * cols];
+        kernels::set_outer(u, v, &mut got);
+        kernels::set_outer_ref(u, v, &mut want);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn add_scaled_outer_blocked_is_bit_identical_to_reference(
+        init in buf(MAX_R * MAX_C),
+        u in buf(MAX_R),
+        v in buf(MAX_C),
+        alpha in -10.0f64..10.0,
+        rows in 1usize..MAX_R,
+        cols in 1usize..MAX_C,
+    ) {
+        let u = &u[..rows];
+        let v = &v[..cols];
+        let mut got = init[..rows * cols].to_vec();
+        let mut want = got.clone();
+        kernels::add_scaled_outer(alpha, u, v, &mut got);
+        kernels::add_scaled_outer_ref(alpha, u, v, &mut want);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn axpy_n_fused_is_bit_identical_to_sequential_axpys(
+        data in buf(6 * MAX_C),
+        y0 in buf(MAX_C),
+        alpha in -4.0f64..4.0,
+        n_src in 0usize..6,
+        len in 1usize..MAX_C,
+    ) {
+        let sources: Vec<&[f64]> =
+            (0..n_src).map(|k| &data[k * MAX_C..k * MAX_C + len]).collect();
+        let mut got = y0[..len].to_vec();
+        let mut want = got.clone();
+        vector::axpy_n(alpha, &sources, &mut got);
+        vector::axpy_n_ref(alpha, &sources, &mut want);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+}

@@ -33,13 +33,16 @@ pub const R1_FILES: [&str; 7] = [
     "crates/engine/src/session.rs",
 ];
 
-/// R2 scope: crates whose `*_into` kernels must not allocate.
-pub const R2_CRATES: [&str; 6] = [
+/// R2 scope: crates whose `*_into` kernels must not allocate. `dp` is
+/// in scope since the sampler-core rewrite: `fill_gaussian` and
+/// friends sit directly under every per-point noise draw.
+pub const R2_CRATES: [&str; 7] = [
     "crates/linalg/src",
     "crates/optim/src",
     "crates/geometry/src",
     "crates/continual/src",
     "crates/core/src",
+    "crates/dp/src",
     "crates/engine/src",
 ];
 

@@ -149,6 +149,66 @@ pub fn fista_into<O: Objective + ?Sized, C: ConvexSet + ?Sized>(
     }
 }
 
+/// [`fista_into`] with a relative-progress stopping rule: the loop exits
+/// early once the projected step moves the iterate by no more than
+/// `rel_tol · max(1, ‖θ_{k+1}‖)` in `ℓ₂`, with `iters` as a hard ceiling.
+/// Returns the number of iterations actually performed.
+///
+/// Every iteration it does perform is **bit-identical** to the
+/// corresponding [`fista_into`] iteration — the rule only decides when to
+/// stop, never how to step — so with `rel_tol = 0` the two are
+/// indistinguishable. A tight tolerance (the descent uses `1e-10`, the
+/// lift `1e-8` — each documented and property-tested at its call site)
+/// keeps the returned iterate within the tail movement of the truncated
+/// iterations: FISTA's momentum can amplify one step by at most the
+/// remaining-iteration count, so callers that need a value guarantee pick
+/// `rel_tol ≲ wanted_tolerance / iters`.
+///
+/// # Panics
+/// As [`fista_into`]; additionally `rel_tol` must be finite and `≥ 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn fista_into_adaptive<O: Objective + ?Sized, C: ConvexSet + ?Sized>(
+    obj: &O,
+    set: &C,
+    smoothness: f64,
+    iters: usize,
+    rel_tol: f64,
+    theta0: &[f64],
+    scratch: &mut FistaScratch,
+    out: &mut [f64],
+) -> usize {
+    assert!(smoothness > 0.0, "fista needs a positive smoothness constant");
+    assert!(rel_tol.is_finite() && rel_tol >= 0.0, "fista stop tolerance must be finite and >= 0");
+    assert_eq!(out.len(), theta0.len(), "fista_into_adaptive: output length mismatch");
+    assert_eq!(scratch.g.len(), theta0.len(), "fista_into_adaptive: scratch dimension mismatch");
+    let step = 1.0 / smoothness;
+    let FistaScratch { g, momentum, raw, next } = scratch;
+    set.project_into(theta0, out);
+    momentum.copy_from_slice(out);
+    let mut t_k = 1.0f64;
+    for k in 0..iters {
+        obj.gradient_into(momentum, g);
+        raw.copy_from_slice(momentum);
+        vector::axpy(-step, g, raw);
+        set.project_into(raw, next);
+        let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t_k * t_k).sqrt());
+        let beta = (t_k - 1.0) / t_next;
+        let mut moved_sq = 0.0;
+        for ((m, &n), &p) in momentum.iter_mut().zip(next.iter()).zip(out.iter()) {
+            let dp = n - p;
+            moved_sq += dp * dp;
+            *m = n + beta * dp;
+        }
+        out.copy_from_slice(next);
+        t_k = t_next;
+        let scale = vector::norm2(out).max(1.0);
+        if moved_sq.sqrt() <= rel_tol * scale {
+            return k + 1;
+        }
+    }
+    iters
+}
+
 /// Frank–Wolfe (conditional gradient) with the standard `2/(k+2)` step:
 /// projection-free; every iterate is a convex combination of support
 /// points, so it stays feasible by construction.
@@ -255,6 +315,64 @@ mod tests {
         let view = crate::objective::QuadraticView::new(&a2, &b2, 0.0);
         fista_into(&view, &set, 400.0, 200, &[1.5, -1.5], &mut scratch, &mut out);
         assert_eq!(out.to_vec(), expect);
+    }
+
+    #[test]
+    fn adaptive_with_zero_tolerance_is_bit_identical_to_fixed() {
+        // rel_tol = 0 never triggers (a projected FISTA step on a
+        // non-degenerate quadratic always moves), so the adaptive loop
+        // must replay the fixed loop exactly.
+        let a = Matrix::from_rows(&[&[400.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let obj = Quadratic::new(a, vec![0.0, 1.0], 0.0);
+        let set = L2Ball::new(2, 2.0);
+        let mut scratch = FistaScratch::new(2);
+        let mut fixed = [0.0; 2];
+        let mut adaptive = [0.0; 2];
+        for iters in [1, 7, 50] {
+            fista_into(&obj, &set, 400.0, iters, &[1.5, -1.5], &mut scratch, &mut fixed);
+            let used = fista_into_adaptive(
+                &obj,
+                &set,
+                400.0,
+                iters,
+                0.0,
+                &[1.5, -1.5],
+                &mut scratch,
+                &mut adaptive,
+            );
+            assert_eq!(used, iters);
+            assert_eq!(fixed.map(f64::to_bits), adaptive.map(f64::to_bits));
+        }
+    }
+
+    #[test]
+    fn adaptive_stop_saves_iterations_and_stays_near_the_fixed_answer() {
+        // Well-conditioned strongly convex problem: FISTA contracts fast,
+        // so a tight relative-progress stop fires long before the ceiling
+        // while staying within the documented tolerance of the fixed run.
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let obj = Quadratic::new(a, vec![1.0, -0.5], 0.0);
+        let set = L2Ball::new(2, 2.0);
+        let mut scratch = FistaScratch::new(2);
+        let iters = 400;
+        let mut fixed = [0.0; 2];
+        fista_into(&obj, &set, 5.0, iters, &[1.5, -1.5], &mut scratch, &mut fixed);
+        let mut adaptive = [0.0; 2];
+        let used = fista_into_adaptive(
+            &obj,
+            &set,
+            5.0,
+            iters,
+            1e-10,
+            &[1.5, -1.5],
+            &mut scratch,
+            &mut adaptive,
+        );
+        assert!(used < iters, "stop rule never fired ({used} iterations)");
+        assert!(
+            vector::distance(&fixed, &adaptive) <= 1e-8,
+            "adaptive {adaptive:?} vs fixed {fixed:?}"
+        );
     }
 
     #[test]

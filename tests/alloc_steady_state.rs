@@ -108,6 +108,38 @@ fn engine_observe_path_is_allocation_free_in_steady_state() {
         assert!(release.iter().all(|v| v.is_finite()), "{label} released a non-finite value");
     }
 
+    // Batch path: `observe_batch_into` must be zero-alloc for the whole
+    // batch, not just per point — the mechanism hoists its per-batch
+    // constants and writes every release into the caller's flat buffer.
+    const BATCH: usize = 32;
+    let batch1: Vec<DataPoint> = (0..BATCH).map(|_| z1.clone()).collect();
+    let batch2: Vec<DataPoint> = (0..BATCH).map(|_| z2.clone()).collect();
+    let mut flat1 = vec![0.0; BATCH * d1];
+    let mut flat2 = vec![0.0; BATCH * d2];
+    let mut flat3 = vec![0.0; BATCH * d2];
+    // Warmup: one batch per session (first call may complete new tree
+    // levels whose node buffers are allocated lazily on level growth).
+    engine.observe_batch_into(1, &batch1, &mut flat1).unwrap();
+    engine.observe_batch_into(2, &batch2, &mut flat2).unwrap();
+    engine.observe_batch_into(3, &batch2, &mut flat3).unwrap();
+    for (sid, batch, flat, label) in [
+        (1u64, &batch1, &mut flat1, "PrivIncReg1 d=8"),
+        (2, &batch2, &mut flat2, "PrivIncReg1 d=24"),
+        (3, &batch2, &mut flat3, "PrivIncReg2 d=24"),
+    ] {
+        let before = total_heap_events();
+        for _ in 0..8 {
+            engine.observe_batch_into(sid, batch, flat).unwrap();
+        }
+        let events = total_heap_events() - before;
+        assert_eq!(
+            events, 0,
+            "steady-state batch path for {label} performed {events} heap allocations \
+             over 8 batches of {BATCH}"
+        );
+        assert!(flat.iter().all(|v| v.is_finite()), "{label} released a non-finite value");
+    }
+
     // Contrast: the allocating observe() pays at least the release vector
     // per point — this pins that the measurement itself is meaningful.
     let before = total_heap_events();

@@ -23,21 +23,37 @@ fn stream(n: usize, d: usize, seed: u64) -> Vec<DataPoint> {
 }
 
 /// Drive `sequential` point-by-point and `batched` chunk-by-chunk over
-/// the same stream; the released sequences must agree exactly.
+/// the same stream; the released sequences must agree exactly. The
+/// flat-buffer `observe_batch_into` form is held to the same law on a
+/// third instance.
 fn assert_equivalent(
     mut sequential: Box<dyn IncrementalMechanism>,
     mut batched: Box<dyn IncrementalMechanism>,
+    mut batched_into: Box<dyn IncrementalMechanism>,
     points: &[DataPoint],
     chunk: usize,
 ) {
+    let d = sequential.dim();
     let seq: Vec<Vec<f64>> = points.iter().map(|z| sequential.observe(z).unwrap()).collect();
     let bat: Vec<Vec<f64>> =
         points.chunks(chunk).flat_map(|c| batched.observe_batch(c).unwrap()).collect();
+    let mut flat = vec![0.0; chunk * d];
+    let into: Vec<Vec<f64>> = points
+        .chunks(chunk)
+        .flat_map(|c| {
+            let out = &mut flat[..c.len() * d];
+            batched_into.observe_batch_into(c, out).unwrap();
+            out.chunks_exact(d).map(<[f64]>::to_vec).collect::<Vec<_>>()
+        })
+        .collect();
     assert_eq!(seq.len(), bat.len());
-    for (t, (s, b)) in seq.iter().zip(&bat).enumerate() {
+    assert_eq!(seq.len(), into.len());
+    for (t, (s, (b, f))) in seq.iter().zip(bat.iter().zip(&into)).enumerate() {
         assert_eq!(s, b, "release diverged at t={} (chunk={chunk})", t + 1);
+        assert_eq!(s, f, "flat-buffer release diverged at t={} (chunk={chunk})", t + 1);
     }
     assert_eq!(sequential.t(), batched.t());
+    assert_eq!(sequential.t(), batched_into.t());
 }
 
 proptest! {
@@ -58,7 +74,7 @@ proptest! {
             .unwrap()) as Box<dyn IncrementalMechanism>
         };
         let points = stream(24, 4, seed.wrapping_add(1));
-        assert_equivalent(build(), build(), &points, chunk);
+        assert_equivalent(build(), build(), build(), &points, chunk);
     }
 
     #[test]
@@ -83,7 +99,7 @@ proptest! {
             .unwrap()) as Box<dyn IncrementalMechanism>
         };
         let points = stream(12, 16, seed.wrapping_add(2));
-        assert_equivalent(build(), build(), &points, chunk);
+        assert_equivalent(build(), build(), build(), &points, chunk);
     }
 
     #[test]
@@ -102,7 +118,7 @@ proptest! {
             .unwrap()) as Box<dyn IncrementalMechanism>
         };
         let points = stream(16, 3, seed.wrapping_add(3));
-        assert_equivalent(build(), build(), &points, chunk);
+        assert_equivalent(build(), build(), build(), &points, chunk);
     }
 }
 

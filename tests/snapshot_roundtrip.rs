@@ -70,10 +70,12 @@ fn every_cut_point_restores_bit_identically() {
 
 /// Restoring under the wrong engine seed must not silently resume a
 /// `PRIVINCREG2` session: the sketch matrix is reproduced from the seed,
-/// so the engine-seed mismatch surfaces as diverged releases (it is part
-/// of the durability contract, documented on `StreamSession::restore`).
+/// so a wrong-seeded engine would diverge from the first release on.
+/// The snapshot's seed fingerprint turns that silent divergence into a
+/// loud, typed refusal (part of the durability contract documented on
+/// `StreamSession::restore`).
 #[test]
-fn reg2_restore_under_wrong_seed_diverges() {
+fn reg2_restore_under_wrong_seed_is_refused() {
     let spec = MechanismSpec::reg2_l1(4, 1.0);
     let (seed, sid, t_max) = (77, 5, 8);
     let mut engine = fresh_engine(1, seed);
@@ -82,18 +84,18 @@ fn reg2_restore_under_wrong_seed_diverges() {
         engine.observe(sid, &point(4, t, sid)).unwrap();
     }
     let blob = engine.with_session(sid, |s| s.snapshot().unwrap()).unwrap();
-    let mut wrong = StreamSession::restore(&blob, seed + 1).unwrap();
-    let mut diverged = false;
+    let err = StreamSession::restore(&blob, seed + 1).unwrap_err();
+    assert!(matches!(err, SnapshotError::SeedMismatch { .. }), "got {err:?}");
+    // The honest seed still restores and resumes the stream exactly.
+    let mut replica = StreamSession::restore(&blob, seed).unwrap();
     for t in 3..t_max {
         let z = point(4, t, sid);
         let live = engine.observe(sid, &z).unwrap();
-        let replica = wrong.observe(&z).unwrap();
-        if live.iter().zip(&replica).any(|(a, b)| a.to_bits() != b.to_bits()) {
-            diverged = true;
-            break;
-        }
+        let resumed = replica.observe(&z).unwrap();
+        let live_bits: Vec<u64> = live.iter().map(|v| v.to_bits()).collect();
+        let resumed_bits: Vec<u64> = resumed.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(live_bits, resumed_bits, "honest-seed restore diverged at t = {t}");
     }
-    assert!(diverged, "a wrong-seed restore of PRIVINCREG2 must not reproduce the stream");
 }
 
 /// `adopt_session` is the engine-side import half: a session restored
@@ -145,7 +147,7 @@ fn erm_sessions_report_unsupported() {
 }
 
 /// The worked example in `docs/PROTOCOL.md`, byte for byte: the
-/// 107-byte snapshot of a freshly opened `Trivial` session. If this
+/// 115-byte snapshot of a freshly opened `Trivial` session. If this
 /// test moves, the documentation is lying.
 #[test]
 fn snapshot_worked_example_matches_protocol_md() {
@@ -154,14 +156,21 @@ fn snapshot_worked_example_matches_protocol_md() {
         .spawn_session(7, &MechanismSpec::Trivial { set: SetSpec::unit_l2(2) }, 8, &params())
         .unwrap();
     let blob = engine.with_session(7, |s| s.snapshot().unwrap()).unwrap();
+    assert_eq!(
+        u64::from_le_bytes(blob[20..28].try_into().unwrap()),
+        pir_engine::snapshot::seed_fingerprint(7, 7),
+        "fingerprint field is the digest of (engine seed 7, session 7)"
+    );
     #[rustfmt::skip]
     let expected: Vec<u8> = vec![
-        // magic "PIRS", version 1, reserved
-        0x50, 0x49, 0x52, 0x53, 0x01, 0x00, 0x00, 0x00,
-        // body length = 91
-        0x5B, 0x00, 0x00, 0x00,
-        // session id = 7, t_max = 8, t = 0
+        // magic "PIRS", version 2, reserved
+        0x50, 0x49, 0x52, 0x53, 0x02, 0x00, 0x00, 0x00,
+        // body length = 99
+        0x63, 0x00, 0x00, 0x00,
+        // session id = 7, seed fingerprint of (engine seed 7, session 7)
         0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0xE5, 0xBA, 0xE3, 0x50, 0xED, 0xE3, 0x27, 0xB9,
+        // t_max = 8, t = 0
         0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
         0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
         // budget (1.0, 1e-6), spent (1.0, 1e-6)
@@ -178,7 +187,7 @@ fn snapshot_worked_example_matches_protocol_md() {
         0x09, 0x00, 0x00, 0x00,
         0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
         // CRC-32
-        0x9E, 0x0E, 0x4A, 0x3C,
+        0x14, 0xB7, 0xCC, 0x69,
     ];
     assert_eq!(blob, expected, "docs/PROTOCOL.md's PIRS worked example is stale");
 }
