@@ -158,10 +158,10 @@ fn bench_spill_restore_latency(c: &mut Criterion) {
             if let Some(d) = &dir {
                 let _ = std::fs::remove_dir_all(d);
             }
-            let spill = dir
-                .as_ref()
-                .zip(*cap)
-                .map(|(d, resident_cap)| SpillOptions { dir: d.clone(), resident_cap });
+            let spill = dir.as_ref().zip(*cap).map(|(d, resident_cap)| SpillOptions {
+                resident_cap,
+                ..SpillOptions::new(d.clone())
+            });
             let handle = build_handle_spill(2, spill.as_ref());
             let mut rng = NoiseRng::seed_from_u64(5);
             b.iter(|| {

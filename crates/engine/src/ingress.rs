@@ -107,17 +107,18 @@ use crate::engine::{entropy_seed, shard_of};
 use crate::error::EngineError;
 use crate::session::StreamSession;
 use crate::spec::MechanismSpec;
+use crate::storage::StorageHandle;
 use crate::sync::lock_or_recover;
-use crate::wal::{self, CheckpointReport, RecoveryReport, WalOptions, WalWriter};
+use crate::wal::{self, CheckpointPolicy, CheckpointReport, RecoveryReport, WalOptions, WalWriter};
 use pir_dp::PrivacyParams;
 use pir_erm::DataPoint;
 use std::collections::{BTreeMap, HashMap};
-use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Tuning knobs for the pipelined ingestion layer.
 #[derive(Debug, Clone, Copy)]
@@ -170,12 +171,16 @@ pub struct SpillOptions {
     /// spill write fails are all skipped, so a shard can transiently
     /// exceed the cap.
     pub resident_cap: usize,
+    /// The storage backend spill files go through. Defaults to the real
+    /// filesystem ([`crate::OsStorage`]); tests swap in a
+    /// [`crate::SimDisk`] to script crashes and I/O faults.
+    pub storage: StorageHandle,
 }
 
 impl SpillOptions {
     /// Spill into `dir` with the default per-shard resident cap (4096).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        SpillOptions { dir: dir.into(), resident_cap: 4096 }
+        SpillOptions { dir: dir.into(), resident_cap: 4096, storage: StorageHandle::os() }
     }
 
     fn validate(&self) -> Result<(), EngineError> {
@@ -198,6 +203,11 @@ pub struct SpillStats {
     /// Evictions abandoned because snapshotting or the disk write failed
     /// (cumulative). The victim stays resident; nothing is lost.
     pub spill_failures: u64,
+    /// Spill-file removals that failed (cumulative): a consumed restore
+    /// or an abandoned eviction left its file behind. Startup cleanup
+    /// reclaims the space; a climbing counter means the spill volume is
+    /// unhealthy.
+    pub remove_failures: u64,
     /// Sessions currently resident in memory, summed across shards.
     pub resident: usize,
     /// Sessions currently spilled to disk, summed across shards.
@@ -213,6 +223,7 @@ struct SpillShared {
     spills: AtomicU64,
     restores: AtomicU64,
     spill_failures: AtomicU64,
+    remove_failures: AtomicU64,
     resident: AtomicUsize,
     spilled: AtomicUsize,
     /// Per-shard `session id → queued-command count`. Incremented by the
@@ -233,6 +244,7 @@ impl SpillShared {
             spills: AtomicU64::new(0),
             restores: AtomicU64::new(0),
             spill_failures: AtomicU64::new(0),
+            remove_failures: AtomicU64::new(0),
             resident: AtomicUsize::new(0),
             spilled: AtomicUsize::new(0),
             pending: (0..num_shards).map(|_| Mutex::new(HashMap::new())).collect(),
@@ -244,6 +256,7 @@ impl SpillShared {
             spills: self.spills.load(Ordering::Relaxed),
             restores: self.restores.load(Ordering::Relaxed),
             spill_failures: self.spill_failures.load(Ordering::Relaxed),
+            remove_failures: self.remove_failures.load(Ordering::Relaxed),
             resident: self.resident.load(Ordering::Relaxed),
             spilled: self.spilled.load(Ordering::Relaxed),
         }
@@ -281,11 +294,122 @@ fn is_spill_file(name: &str) -> bool {
         .is_some_and(|mid| mid.len() == 16 && mid.bytes().all(|b| b.is_ascii_hexdigit()))
 }
 
+/// Write-ahead-log health counters, read through
+/// [`SubmitHandle::wal_stats`]. All zeros on an engine built without a
+/// WAL.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Transient append/sync attempts retried under
+    /// [`WalFailurePolicy::Retry`](crate::WalFailurePolicy::Retry) or
+    /// [`WalFailurePolicy::DegradeToUnlogged`](crate::WalFailurePolicy::DegradeToUnlogged)
+    /// (cumulative). A climbing count with zero degradations means the
+    /// policy is absorbing a flaky disk.
+    pub retries: u64,
+    /// Shards that exhausted their retry envelope and dropped their log
+    /// writer under `DegradeToUnlogged`. **Non-zero means part of the
+    /// fleet is serving without durability** — page the operator.
+    pub degraded_shards: u64,
+    /// Commands executed without logging by degraded shards
+    /// (cumulative). These commands will not replay after a crash.
+    pub unlogged_commands: u64,
+    /// Checkpoints triggered by a
+    /// [`CheckpointPolicy`] that completed
+    /// (cumulative).
+    pub auto_checkpoints: u64,
+    /// Auto-checkpoint attempts that failed (cumulative). The
+    /// coordinator backs off exponentially and retries; a failed attempt
+    /// never purges segments.
+    pub auto_checkpoint_failures: u64,
+}
+
+/// State shared between the shard workers, the auto-checkpoint
+/// coordinator, and submitters on a write-ahead-logged engine: the
+/// counters behind [`SubmitHandle::wal_stats`], the fleet-wide log-tail
+/// gauges, and the coordinator's doorbell.
+#[derive(Debug)]
+struct WalShared {
+    retries: AtomicU64,
+    degraded_shards: AtomicU64,
+    unlogged_commands: AtomicU64,
+    auto_checkpoints: AtomicU64,
+    auto_checkpoint_failures: AtomicU64,
+    /// Record bytes appended fleet-wide since the last auto checkpoint
+    /// consumed the gauge.
+    tail_bytes: AtomicU64,
+    /// Commands logged fleet-wide since the last auto checkpoint
+    /// consumed the gauge.
+    tail_commands: AtomicU64,
+    /// Auto-checkpoint trigger thresholds; `None` disables the
+    /// coordinator (tail gauges still accumulate, harmlessly).
+    policy: Option<CheckpointPolicy>,
+    /// Coordinator doorbell: workers set `due` and notify when `policy`
+    /// trips; [`EngineHandle::close`] (and drop) set `stop`.
+    signal: (Mutex<CoordState>, Condvar),
+}
+
+/// The doorbell state the auto-checkpoint coordinator parks on.
+#[derive(Debug, Default)]
+struct CoordState {
+    due: bool,
+    stop: bool,
+}
+
+impl WalShared {
+    fn new(policy: Option<CheckpointPolicy>) -> Self {
+        WalShared {
+            retries: AtomicU64::new(0),
+            degraded_shards: AtomicU64::new(0),
+            unlogged_commands: AtomicU64::new(0),
+            auto_checkpoints: AtomicU64::new(0),
+            auto_checkpoint_failures: AtomicU64::new(0),
+            tail_bytes: AtomicU64::new(0),
+            tail_commands: AtomicU64::new(0),
+            policy,
+            signal: (Mutex::new(CoordState::default()), Condvar::new()),
+        }
+    }
+
+    fn stats(&self) -> WalStats {
+        WalStats {
+            retries: self.retries.load(Ordering::Relaxed),
+            degraded_shards: self.degraded_shards.load(Ordering::Relaxed),
+            unlogged_commands: self.unlogged_commands.load(Ordering::Relaxed),
+            auto_checkpoints: self.auto_checkpoints.load(Ordering::Relaxed),
+            auto_checkpoint_failures: self.auto_checkpoint_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Worker-side: account freshly logged tail and ring the coordinator
+    /// if the policy trips.
+    fn note_appended(&self, bytes: u64, commands: u64) {
+        let b = self.tail_bytes.fetch_add(bytes, Ordering::Relaxed).saturating_add(bytes);
+        let c = self.tail_commands.fetch_add(commands, Ordering::Relaxed).saturating_add(commands);
+        if self.policy.is_some_and(|p| p.due(b, c)) {
+            self.ring(false);
+        }
+    }
+
+    /// Ring the coordinator's doorbell: `stop = false` marks a
+    /// checkpoint due, `stop = true` asks the coordinator to exit.
+    fn ring(&self, stop: bool) {
+        let (lock, cvar) = &self.signal;
+        let mut state = lock_or_recover(lock);
+        if stop {
+            state.stop = true;
+        } else {
+            state.due = true;
+        }
+        drop(state);
+        cvar.notify_all();
+    }
+}
+
 /// One shard worker's spill tier: an LRU over the shard's resident
 /// sessions plus the ledger of what it has written to disk. Owned by the
 /// worker thread; only the counters and pending maps are shared.
 struct SpillTier {
     dir: PathBuf,
+    storage: StorageHandle,
     cap: usize,
     shard: usize,
     shared: Arc<SpillShared>,
@@ -308,6 +432,7 @@ impl SpillTier {
     fn new(options: &SpillOptions, shard: usize, shared: Arc<SpillShared>) -> Self {
         SpillTier {
             dir: options.dir.clone(),
+            storage: options.storage.clone(),
             cap: options.resident_cap,
             shard,
             shared,
@@ -322,6 +447,15 @@ impl SpillTier {
 
     fn file(&self, session_id: u64) -> PathBuf {
         self.dir.join(spill_file_name(session_id))
+    }
+
+    /// Remove a spill file, counting (never surfacing) a failure: a
+    /// leftover file is re-swept at the next startup, but an uncounted
+    /// one would hide a sick disk from the stats snapshot.
+    fn remove_spill_file(&self, path: &Path) {
+        if self.storage.remove_file(path).is_err() {
+            self.shared.remove_failures.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Mark `session_id` most-recently-used.
@@ -357,13 +491,13 @@ impl SpillTier {
             return Ok(());
         }
         let path = self.file(session_id);
-        let bytes = fs::read(&path).map_err(|e| EngineError::Wal {
+        let bytes = self.storage.read(&path).map_err(|e| EngineError::Wal {
             reason: format!("spill restore {}: {e}", path.display()),
         })?;
         let session = StreamSession::restore(&bytes, engine_seed).map_err(|e| {
             EngineError::Wal { reason: format!("spill restore {}: {e}", path.display()) }
         })?;
-        let _ = fs::remove_file(&path);
+        self.remove_spill_file(&path);
         self.spilled.remove(&session_id);
         self.shared.spilled.fetch_sub(1, Ordering::Relaxed);
         self.shared.restores.fetch_add(1, Ordering::Relaxed);
@@ -404,15 +538,15 @@ impl SpillTier {
             // Not fsynced on purpose: the spill dir extends RAM and the
             // WAL owns durability. A torn spill file after a crash is
             // removed by the next startup's cleanup.
-            if fs::write(&path, &self.scratch).is_err() {
-                let _ = fs::remove_file(&path);
+            if self.storage.write(&path, &self.scratch).is_err() {
+                self.remove_spill_file(&path);
                 self.shared.spill_failures.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             let Some(session) = sessions.remove(&sid) else {
                 // Unreachable in practice (the id was fetched from this
                 // map above); treat as a failed spill rather than panic.
-                let _ = fs::remove_file(&path);
+                self.remove_spill_file(&path);
                 self.shared.spill_failures.fetch_add(1, Ordering::Relaxed);
                 continue;
             };
@@ -684,6 +818,9 @@ pub struct SubmitHandle {
     /// Present iff the engine was built with a spill tier: counters plus
     /// the pending-command maps that gate eviction.
     spill: Option<Arc<SpillShared>>,
+    /// Present iff the engine is write-ahead logged: health counters,
+    /// tail gauges, and the auto-checkpoint doorbell.
+    wal: Option<Arc<WalShared>>,
     /// Raised by [`EngineHandle::close`] / drop so surviving clones fail
     /// fast with [`EngineError::Closed`] — before any size or capacity
     /// verdict, which would otherwise mislead (a `CommandTooLarge` from
@@ -725,6 +862,15 @@ impl SubmitHandle {
     /// without a spill tier.
     pub fn spill_stats(&self) -> SpillStats {
         self.spill.as_ref().map(|s| s.stats()).unwrap_or_default()
+    }
+
+    /// Write-ahead-log health counters (observability:
+    /// `degraded_shards` non-zero means part of the fleet is serving
+    /// **without durability** under
+    /// [`WalFailurePolicy::DegradeToUnlogged`](crate::WalFailurePolicy::DegradeToUnlogged)
+    /// — page the operator). All zeros on an engine built without a WAL.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.as_ref().map(|w| w.stats()).unwrap_or_default()
     }
 
     /// The engine seed (for spawning a mirrored
@@ -1087,8 +1233,13 @@ pub struct EngineHandle {
     submit: SubmitHandle,
     workers: Vec<JoinHandle<()>>,
     /// Checkpoint coordinator state; present iff the engine is
-    /// write-ahead logged.
-    ckpt: Option<Mutex<CheckpointCtx>>,
+    /// write-ahead logged. Shared with the auto-checkpoint coordinator
+    /// thread when a [`CheckpointPolicy`](crate::CheckpointPolicy) is
+    /// configured.
+    ckpt: Option<Arc<Mutex<CheckpointCtx>>>,
+    /// The auto-checkpoint coordinator thread; present iff
+    /// [`WalOptions::auto_checkpoint`](crate::WalOptions) is set.
+    coordinator: Option<JoinHandle<()>>,
 }
 
 /// Coordinator-side bookkeeping for [`EngineHandle::checkpoint`]: where
@@ -1098,6 +1249,9 @@ pub struct EngineHandle {
 #[derive(Debug)]
 struct CheckpointCtx {
     dir: PathBuf,
+    /// The storage backend manifests are written through (the same one
+    /// the shard writers log through).
+    storage: StorageHandle,
     /// `shard → (next_seg_seq, next_record_seq)` for every chain the
     /// next manifest must cover. Live shards are refreshed by their cut
     /// on every checkpoint; historic shards carry forward unchanged.
@@ -1123,7 +1277,7 @@ impl EngineHandle {
     pub fn new(config: IngressConfig) -> Result<Self, EngineError> {
         validate_config(&config)?;
         let states = (0..config.num_shards).map(|_| (HashMap::new(), None)).collect();
-        Ok(EngineHandle::spawn_workers(config, states, None, None))
+        Ok(EngineHandle::spawn_workers(config, states, None, None, None))
     }
 
     /// [`new`](Self::new) with a session **spill tier**: each shard
@@ -1142,7 +1296,7 @@ impl EngineHandle {
         validate_config(&config)?;
         let shared = prepare_spill(&config, spill)?;
         let states = (0..config.num_shards).map(|_| (HashMap::new(), None)).collect();
-        Ok(EngineHandle::spawn_workers(config, states, Some((spill.clone(), shared)), None))
+        Ok(EngineHandle::spawn_workers(config, states, Some((spill.clone(), shared)), None, None))
     }
 
     /// Spawn a **write-ahead-logged** engine: replay whatever command
@@ -1206,7 +1360,7 @@ impl EngineHandle {
             None => None,
             Some(opts) => Some((opts.clone(), prepare_spill(&config, opts)?)),
         };
-        let log = wal::load_log(&options.dir).map_err(wal_engine_err)?;
+        let log = wal::load_log(&options.storage, &options.dir).map_err(wal_engine_err)?;
 
         // Replay into per-shard session tables under the *current* shard
         // count, through the same executor the workers run. Checkpointed
@@ -1239,6 +1393,7 @@ impl EngineHandle {
         let epoch = wal::next_epoch(log.max_epoch).map_err(wal_engine_err)?;
         let ckpt = CheckpointCtx {
             dir: options.dir.clone(),
+            storage: options.storage.clone(),
             chains: log
                 .chains
                 .iter()
@@ -1254,16 +1409,23 @@ impl EngineHandle {
                 .map_err(wal_engine_err)?;
             states.push((sessions, Some(writer)));
         }
-        Ok((EngineHandle::spawn_workers(config, states, spill, Some(ckpt)), report))
+        let wal_shared =
+            (Arc::new(WalShared::new(options.auto_checkpoint)), options.failure_policy.degrades());
+        Ok((
+            EngineHandle::spawn_workers(config, states, spill, Some(wal_shared), Some(ckpt)),
+            report,
+        ))
     }
 
     /// Bring up one worker per entry of `states`, each owning its
     /// prebuilt session table, optional log writer, and optional spill
-    /// tier.
+    /// tier — plus, when a [`CheckpointPolicy`](crate::CheckpointPolicy)
+    /// is configured, the auto-checkpoint coordinator thread.
     fn spawn_workers(
         config: IngressConfig,
         states: Vec<(HashMap<u64, StreamSession>, Option<WalWriter>)>,
         spill: Option<(SpillOptions, Arc<SpillShared>)>,
+        wal_shared: Option<(Arc<WalShared>, bool)>,
         ckpt: Option<CheckpointCtx>,
     ) -> Self {
         let mut lanes = Vec::with_capacity(states.len());
@@ -1276,8 +1438,16 @@ impl EngineHandle {
             let tier = spill
                 .as_ref()
                 .map(|(options, shared)| SpillTier::new(options, shard, Arc::clone(shared)));
+            let shard_wal = match (wal, wal_shared.as_ref()) {
+                (Some(writer), Some((shared, degrades))) => Some(ShardWal {
+                    writer: Some(writer),
+                    shared: Arc::clone(shared),
+                    degrades: *degrades,
+                }),
+                _ => None,
+            };
             workers.push(std::thread::spawn(move || {
-                worker_loop(rx, worker_depth, seed, sessions, wal, tier)
+                worker_loop(rx, worker_depth, seed, sessions, shard_wal, tier)
             }));
             lanes.push(Lane { tx, depth });
         }
@@ -1286,9 +1456,20 @@ impl EngineHandle {
             capacity: config.queue_depth,
             seed: config.seed,
             spill: spill.map(|(_, shared)| shared),
+            wal: wal_shared.as_ref().map(|(shared, _)| Arc::clone(shared)),
             closed: Arc::new(std::sync::atomic::AtomicBool::new(false)),
         };
-        EngineHandle { submit, workers, ckpt: ckpt.map(Mutex::new) }
+        let ckpt = ckpt.map(|c| Arc::new(Mutex::new(c)));
+        let coordinator = match (&ckpt, &wal_shared) {
+            (Some(ctx), Some((shared, _))) if shared.policy.is_some() => {
+                let submit = submit.clone();
+                let ctx = Arc::clone(ctx);
+                let shared = Arc::clone(shared);
+                Some(std::thread::spawn(move || coordinator_loop(&submit, &ctx, &shared)))
+            }
+            _ => None,
+        };
+        EngineHandle { submit, workers, ckpt, coordinator }
     }
 
     /// Compact the write-ahead log **while the engine serves traffic**:
@@ -1321,59 +1502,7 @@ impl EngineHandle {
                 reason: "checkpoint requires a write-ahead-logged engine (with_wal)".to_string(),
             });
         };
-        let mut ctx = lock_or_recover(ctx);
-        let mut acks = Vec::with_capacity(self.submit.lanes.len());
-        for lane in self.submit.lanes.iter() {
-            let (tx, rx) = mpsc::channel();
-            if lane.tx.send(Job::Checkpoint { ack: tx }).is_err() {
-                return Err(EngineError::Closed);
-            }
-            acks.push(rx);
-        }
-        let mut snapshots = Vec::new();
-        let mut first_err = None;
-        // Drain every ack even after an error: the cuts already taken are
-        // harmless (a rotation plus chain entries the next checkpoint
-        // refreshes), and leaving acks unconsumed would be untidy.
-        for rx in acks {
-            match rx.recv() {
-                Err(_) => first_err = first_err.or(Some(EngineError::Closed)),
-                Ok(Err(e)) => first_err = first_err.or(Some(e)),
-                Ok(Ok(cut)) => {
-                    ctx.chains.insert(cut.shard, (cut.next_seg_seq, cut.next_record_seq));
-                    ctx.max_epoch = Some(ctx.max_epoch.map_or(cut.epoch, |m| m.max(cut.epoch)));
-                    snapshots.extend(cut.snapshots);
-                }
-            }
-        }
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-        let generation = wal::next_generation(ctx.generation).map_err(wal_engine_err)?;
-        let manifest = wal::Manifest {
-            generation,
-            max_epoch: ctx.max_epoch,
-            chains: ctx
-                .chains
-                .iter()
-                .map(|(&shard, &(next_seg_seq, next_record_seq))| wal::ShardChain {
-                    shard,
-                    next_seg_seq,
-                    next_record_seq,
-                })
-                .collect(),
-            snapshots,
-        };
-        wal::write_manifest(&ctx.dir, &manifest).map_err(wal_engine_err)?;
-        let (segments_purged, manifests_removed) =
-            wal::purge_covered(&ctx.dir, &manifest).map_err(wal_engine_err)?;
-        ctx.generation = Some(generation);
-        Ok(CheckpointReport {
-            generation,
-            sessions: manifest.snapshots.len(),
-            segments_purged,
-            manifests_removed,
-        })
+        run_checkpoint(&self.submit, ctx)
     }
 
     /// Clone out a shareable [`SubmitHandle`] — `Clone + Send + Sync` —
@@ -1390,6 +1519,7 @@ impl EngineHandle {
     /// their submissions simply fail with [`EngineError::Closed`].
     pub fn close(mut self) -> IngressStats {
         self.submit.closed.store(true, Ordering::SeqCst);
+        self.stop_coordinator();
         let mut stats = IngressStats { sessions: 0, points: 0 };
         let acks: Vec<Receiver<(usize, usize)>> = self
             .submit
@@ -1411,6 +1541,17 @@ impl EngineHandle {
         }
         stats
     }
+
+    /// Stop and join the auto-checkpoint coordinator (if any). Must run
+    /// **before** worker shutdown: a checkpoint in flight needs live
+    /// shards to answer its cuts.
+    fn stop_coordinator(&mut self) {
+        let Some(handle) = self.coordinator.take() else { return };
+        if let Some(shared) = &self.submit.wal {
+            shared.ring(true);
+        }
+        let _ = handle.join();
+    }
 }
 
 impl Drop for EngineHandle {
@@ -1419,6 +1560,7 @@ impl Drop for EngineHandle {
             return; // already closed
         }
         self.submit.closed.store(true, Ordering::SeqCst);
+        self.stop_coordinator();
         for l in self.submit.lanes.iter() {
             let (tx, _rx) = mpsc::channel();
             let _ = l.tx.send(Job::Shutdown { ack: tx });
@@ -1450,6 +1592,136 @@ fn wal_engine_err(e: wal::WalError) -> EngineError {
     EngineError::Wal { reason: e.to_string() }
 }
 
+/// The checkpoint protocol behind [`EngineHandle::checkpoint`] and the
+/// auto-checkpoint coordinator: cut every shard at a job boundary, merge
+/// the cuts into one `PIRC` manifest, write it durably, purge covered
+/// segments. Serialized by the [`CheckpointCtx`] lock, so a manual call
+/// and the coordinator can never interleave.
+fn run_checkpoint(
+    submit: &SubmitHandle,
+    ctx: &Mutex<CheckpointCtx>,
+) -> Result<CheckpointReport, EngineError> {
+    let mut ctx = lock_or_recover(ctx);
+    let mut acks = Vec::with_capacity(submit.lanes.len());
+    for lane in submit.lanes.iter() {
+        let (tx, rx) = mpsc::channel();
+        if lane.tx.send(Job::Checkpoint { ack: tx }).is_err() {
+            return Err(EngineError::Closed);
+        }
+        acks.push(rx);
+    }
+    let mut snapshots = Vec::new();
+    let mut first_err = None;
+    // Drain every ack even after an error: the cuts already taken are
+    // harmless (a rotation plus chain entries the next checkpoint
+    // refreshes), and leaving acks unconsumed would be untidy.
+    for rx in acks {
+        match rx.recv() {
+            Err(_) => first_err = first_err.or(Some(EngineError::Closed)),
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Ok(Ok(cut)) => {
+                ctx.chains.insert(cut.shard, (cut.next_seg_seq, cut.next_record_seq));
+                ctx.max_epoch = Some(ctx.max_epoch.map_or(cut.epoch, |m| m.max(cut.epoch)));
+                snapshots.extend(cut.snapshots);
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let generation = wal::next_generation(ctx.generation).map_err(wal_engine_err)?;
+    let manifest = wal::Manifest {
+        generation,
+        max_epoch: ctx.max_epoch,
+        chains: ctx
+            .chains
+            .iter()
+            .map(|(&shard, &(next_seg_seq, next_record_seq))| wal::ShardChain {
+                shard,
+                next_seg_seq,
+                next_record_seq,
+            })
+            .collect(),
+        snapshots,
+    };
+    wal::write_manifest(&ctx.storage, &ctx.dir, &manifest).map_err(wal_engine_err)?;
+    let (segments_purged, manifests_removed) =
+        wal::purge_covered(&ctx.storage, &ctx.dir, &manifest).map_err(wal_engine_err)?;
+    ctx.generation = Some(generation);
+    Ok(CheckpointReport {
+        generation,
+        sessions: manifest.snapshots.len(),
+        segments_purged,
+        manifests_removed,
+    })
+}
+
+/// The auto-checkpoint coordinator thread: parked on the [`WalShared`]
+/// doorbell, it runs [`run_checkpoint`] whenever the configured
+/// [`CheckpointPolicy`](crate::CheckpointPolicy) trips, consumes the
+/// tail it observed on success, and backs off exponentially on failure.
+/// A failed attempt never purges segments — purge only ever follows a
+/// durably written manifest, by construction of [`run_checkpoint`].
+fn coordinator_loop(submit: &SubmitHandle, ctx: &Mutex<CheckpointCtx>, shared: &WalShared) {
+    const BACKOFF_FLOOR: Duration = Duration::from_millis(50);
+    const BACKOFF_CEIL: Duration = Duration::from_secs(5);
+    let Some(policy) = shared.policy else { return };
+    let (lock, cvar) = &shared.signal;
+    let mut backoff = BACKOFF_FLOOR;
+    loop {
+        // Park until a worker rings the doorbell (or close() stops us).
+        {
+            let mut state = lock_or_recover(lock);
+            loop {
+                if state.stop {
+                    return;
+                }
+                if state.due {
+                    state.due = false;
+                    break;
+                }
+                state = match cvar.wait(state) {
+                    Ok(s) => s,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+        // Double-check against the live gauges: the doorbell may be
+        // stale if a manual checkpoint already compacted the tail.
+        let tail_bytes = shared.tail_bytes.load(Ordering::Relaxed);
+        let tail_commands = shared.tail_commands.load(Ordering::Relaxed);
+        if !policy.due(tail_bytes, tail_commands) {
+            continue;
+        }
+        match run_checkpoint(submit, ctx) {
+            Ok(_) => {
+                shared.auto_checkpoints.fetch_add(1, Ordering::Relaxed);
+                // Consume only the tail this checkpoint observed; bytes
+                // logged while it ran stay in the gauges.
+                shared.tail_bytes.fetch_sub(tail_bytes, Ordering::Relaxed);
+                shared.tail_commands.fetch_sub(tail_commands, Ordering::Relaxed);
+                backoff = BACKOFF_FLOOR;
+            }
+            Err(EngineError::Closed) => return,
+            Err(_) => {
+                shared.auto_checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+                // Wait out the backoff (interruptible by stop), then
+                // re-arm: the tail is still over threshold.
+                let state = lock_or_recover(lock);
+                let (mut state, _) = match cvar.wait_timeout(state, backoff) {
+                    Ok(r) => r,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                if state.stop {
+                    return;
+                }
+                state.due = true;
+                backoff = backoff.saturating_mul(2).min(BACKOFF_CEIL);
+            }
+        }
+    }
+}
+
 /// Validate spill options, create the spill directory, and clear stale
 /// spill files from a previous process. The spill dir extends *this*
 /// process's memory: a session a previous run spilled is rebuilt from
@@ -1462,11 +1734,10 @@ fn prepare_spill(
     let dir_err = |e: &std::io::Error| EngineError::InvalidConfig {
         reason: format!("spill dir {}: {e}", options.dir.display()),
     };
-    fs::create_dir_all(&options.dir).map_err(|e| dir_err(&e))?;
-    for entry in fs::read_dir(&options.dir).map_err(|e| dir_err(&e))? {
-        let entry = entry.map_err(|e| dir_err(&e))?;
-        if entry.file_name().to_str().is_some_and(is_spill_file) {
-            fs::remove_file(entry.path()).map_err(|e| dir_err(&e))?;
+    options.storage.create_dir_all(&options.dir).map_err(|e| dir_err(&e))?;
+    for path in options.storage.read_dir(&options.dir).map_err(|e| dir_err(&e))? {
+        if path.file_name().and_then(|n| n.to_str()).is_some_and(is_spill_file) {
+            options.storage.remove_file(&path).map_err(|e| dir_err(&e))?;
         }
     }
     Ok(Arc::new(SpillShared::new(config.num_shards)))
@@ -1517,11 +1788,19 @@ fn settle_spill(
 fn shard_cut(
     sessions: &HashMap<u64, StreamSession>,
     spill: &Option<SpillTier>,
-    wal: &mut Option<WalWriter>,
+    wal: &mut Option<ShardWal>,
 ) -> Result<ShardCut, EngineError> {
-    let Some(w) = wal.as_mut() else {
+    let Some(sw) = wal.as_mut() else {
         return Err(EngineError::InvalidConfig {
             reason: "checkpoint requires a write-ahead-logged engine (with_wal)".to_string(),
+        });
+    };
+    let Some(w) = sw.writer.as_mut() else {
+        // The writer was dropped by DegradeToUnlogged: this shard's
+        // chain can no longer be cut, and a manifest claiming to cover
+        // its unlogged commands would be a lie.
+        return Err(EngineError::Wal {
+            reason: "checkpoint unavailable: shard degraded to unlogged ingestion".to_string(),
         });
     };
     let mut snapshots = Vec::with_capacity(sessions.len());
@@ -1534,7 +1813,7 @@ fn shard_cut(
     if let Some(tier) = spill {
         for &sid in tier.spilled.keys() {
             let path = tier.file(sid);
-            let blob = fs::read(&path).map_err(|e| EngineError::Wal {
+            let blob = tier.storage.read(&path).map_err(|e| EngineError::Wal {
                 reason: format!("spilled session {}: {e}", path.display()),
             })?;
             snapshots.push(blob);
@@ -1555,7 +1834,7 @@ fn worker_loop(
     depth: Arc<AtomicUsize>,
     engine_seed: u64,
     mut sessions: HashMap<u64, StreamSession>,
-    mut wal: Option<WalWriter>,
+    mut wal: Option<ShardWal>,
     mut spill: Option<SpillTier>,
 ) {
     // A recovered shard can come up over its resident cap: seed the LRU
@@ -1614,7 +1893,7 @@ fn worker_loop(
                 };
                 let mut executed = match wal.as_mut() {
                     None => run_ingest(&mut sessions, runs),
-                    Some(w) => run_ingest_logged(&mut sessions, w, runs),
+                    Some(sw) => run_ingest_logged(&mut sessions, sw, runs),
                 };
                 out.append(&mut executed);
                 settle_spill(&mut spill, &mut sessions, &touched);
@@ -1631,7 +1910,7 @@ fn worker_loop(
                 // Clean shutdown: force the log to stable storage
                 // regardless of fsync policy, so a post-close purge (or
                 // replica copy) sees everything.
-                if let Some(w) = wal.take() {
+                if let Some(w) = wal.take().and_then(|sw| sw.writer) {
                     let _ = w.finish();
                 }
                 let (spilled_sessions, spilled_points) = spill
@@ -1646,13 +1925,89 @@ fn worker_loop(
     }
 }
 
+/// A shard worker's log writer plus its failure-policy state: whether
+/// an exhausted retry envelope degrades the shard to unlogged ingestion
+/// (the writer is dropped, `writer = None`), and the shared counters
+/// that make either outcome observable through
+/// [`SubmitHandle::wal_stats`]. Retry itself lives inside
+/// [`WalWriter`]; this wrapper owns what happens *after* the envelope
+/// is exhausted.
+struct ShardWal {
+    /// `None` once the shard has degraded to unlogged ingestion.
+    writer: Option<WalWriter>,
+    shared: Arc<WalShared>,
+    /// Whether exhaustion degrades (drop the writer, keep serving)
+    /// instead of poisoning (every later append repeats the error).
+    degrades: bool,
+}
+
+impl ShardWal {
+    /// Log one command (log-before-execute). On a degraded shard this
+    /// counts the command as unlogged and succeeds — the engine keeps
+    /// serving, loudly.
+    fn log(&mut self, cmd: &Command) -> Result<(), EngineError> {
+        let Some(w) = self.writer.as_mut() else {
+            self.shared.unlogged_commands.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        };
+        let before = w.appended_bytes();
+        let outcome = w.append(cmd);
+        let retries = w.take_retries();
+        let logged = w.appended_bytes() - before;
+        self.shared.retries.fetch_add(retries, Ordering::Relaxed);
+        match outcome {
+            Ok(()) => {
+                self.shared.note_appended(logged, 1);
+                Ok(())
+            }
+            Err(e) => Err(self.exhausted(e)),
+        }
+    }
+
+    /// [`log`](Self::log) for a coalesced ingest batch: one
+    /// [`WalWriter::append_batch`], `cmds.len()` commands accounted.
+    fn log_batch(&mut self, cmds: &[Command]) -> Result<(), EngineError> {
+        let Some(w) = self.writer.as_mut() else {
+            self.shared.unlogged_commands.fetch_add(cmds.len() as u64, Ordering::Relaxed);
+            return Ok(());
+        };
+        let before = w.appended_bytes();
+        let outcome = w.append_batch(cmds);
+        let retries = w.take_retries();
+        let logged = w.appended_bytes() - before;
+        self.shared.retries.fetch_add(retries, Ordering::Relaxed);
+        match outcome {
+            Ok(()) => {
+                self.shared.note_appended(logged, cmds.len() as u64);
+                Ok(())
+            }
+            Err(e) => Err(self.exhausted(e)),
+        }
+    }
+
+    /// The retry envelope is exhausted. Under `DegradeToUnlogged` the
+    /// writer is dropped and the shard serves on without durability;
+    /// otherwise the poisoned writer stays, repeating the error. Either
+    /// way the triggering command is **not** executed — the caller
+    /// returns this error in-band, and log-before-execute holds.
+    fn exhausted(&mut self, e: wal::WalError) -> EngineError {
+        if self.degrades {
+            self.writer = None;
+            self.shared.degraded_shards.fetch_add(1, Ordering::Relaxed);
+            EngineError::Wal { reason: format!("wal degraded to unlogged ingestion: {e}") }
+        } else {
+            EngineError::Wal { reason: e.to_string() }
+        }
+    }
+}
+
 /// Append `cmd` to the shard's log, if it has one. An append failure
 /// becomes [`EngineError::Wal`] and the caller must **not** execute the
 /// command.
-fn log_command(wal: &mut Option<WalWriter>, cmd: &Command) -> Result<(), EngineError> {
+fn log_command(wal: &mut Option<ShardWal>, cmd: &Command) -> Result<(), EngineError> {
     match wal {
         None => Ok(()),
-        Some(w) => w.append(cmd).map_err(|e| EngineError::Wal { reason: e.to_string() }),
+        Some(sw) => sw.log(cmd),
     }
 }
 
@@ -1729,7 +2084,7 @@ fn run_ingest(
 /// every affected index without touching the session.
 fn run_ingest_logged(
     sessions: &mut HashMap<u64, StreamSession>,
-    wal: &mut WalWriter,
+    wal: &mut ShardWal,
     runs: Vec<SessionRun>,
 ) -> Vec<IndexedRelease> {
     // Wrap every run by move (no point is cloned) and log the whole job
@@ -1743,10 +2098,9 @@ fn run_ingest_logged(
         run_indices.push(indices);
     }
     let mut out = Vec::new();
-    if let Err(e) = wal.append_batch(&cmds) {
+    if let Err(err) = wal.log_batch(&cmds) {
         // Nothing (or a poisoned prefix) reached the log: the whole job
         // is un-executed, reported on every affected index.
-        let err = EngineError::Wal { reason: e.to_string() };
         for indices in run_indices {
             for i in indices {
                 out.push((i, Err(err.clone())));
@@ -1805,6 +2159,7 @@ fn ingest_run(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     struct TempDir(PathBuf);
 
@@ -1840,7 +2195,8 @@ mod tests {
     #[test]
     fn eviction_skips_sessions_with_pending_commands() {
         let dir = TempDir::new("pending-guard");
-        let options = SpillOptions { dir: dir.0.clone(), resident_cap: 1 };
+        let options =
+            SpillOptions { dir: dir.0.clone(), resident_cap: 1, storage: StorageHandle::os() };
         let shared = Arc::new(SpillShared::new(1));
         let mut tier = SpillTier::new(&options, 0, Arc::clone(&shared));
         let mut sessions = HashMap::new();
@@ -1871,7 +2227,8 @@ mod tests {
     #[test]
     fn spill_then_restore_round_trips_in_band() {
         let dir = TempDir::new("restore");
-        let options = SpillOptions { dir: dir.0.clone(), resident_cap: 1 };
+        let options =
+            SpillOptions { dir: dir.0.clone(), resident_cap: 1, storage: StorageHandle::os() };
         let shared = Arc::new(SpillShared::new(1));
         let mut tier = SpillTier::new(&options, 0, Arc::clone(&shared));
         let mut sessions = HashMap::new();
@@ -1898,7 +2255,8 @@ mod tests {
     #[test]
     fn corrupt_spill_file_is_a_typed_error() {
         let dir = TempDir::new("corrupt");
-        let options = SpillOptions { dir: dir.0.clone(), resident_cap: 1 };
+        let options =
+            SpillOptions { dir: dir.0.clone(), resident_cap: 1, storage: StorageHandle::os() };
         let shared = Arc::new(SpillShared::new(1));
         let mut tier = SpillTier::new(&options, 0, Arc::clone(&shared));
         let mut sessions = HashMap::new();

@@ -55,6 +55,7 @@ pub mod server;
 mod session;
 pub mod snapshot;
 mod spec;
+pub mod storage;
 mod sync;
 pub mod tcp;
 pub mod wal;
@@ -64,14 +65,16 @@ pub use engine::{EngineConfig, ShardedEngine};
 pub use error::EngineError;
 pub use ingress::{
     Command, EngineHandle, IngressConfig, IngressStats, Reply, SpillOptions, SpillStats,
-    SubmitHandle, Ticket,
+    SubmitHandle, Ticket, WalStats,
 };
 pub use server::{serve_connection, ServeStats};
 pub use session::StreamSession;
 pub use snapshot::SnapshotError;
 pub use spec::{LossSpec, MechanismSpec, SetSpec, SolverSpec};
+pub use storage::{CrashProfile, OsStorage, SimDisk, Storage, StorageFile, StorageHandle};
 pub use tcp::{serve_tcp, serve_tcp_with, TcpFront, TcpOptions, TcpStats};
 pub use wal::{
-    checkpoint, recover, CheckpointReport, FsyncPolicy, RecoveryReport, WalError, WalOptions,
+    checkpoint, checkpoint_with_storage, recover, recover_with_storage, CheckpointPolicy,
+    CheckpointReport, FsyncPolicy, RecoveryReport, WalError, WalFailurePolicy, WalOptions,
     WalWriter,
 };

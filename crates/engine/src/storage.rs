@@ -1,0 +1,949 @@
+//! Pluggable storage backend for the durability layer.
+//!
+//! Everything the WAL, checkpoint, and spill code does to a disk goes
+//! through the [`Storage`] trait: create/append/read/rename/remove,
+//! plus the three flavors of durability barrier (`sync_data`,
+//! `sync_all`, directory sync). Two implementations ship:
+//!
+//! - [`OsStorage`] — a thin passthrough to `std::fs`, the default
+//!   everywhere. Zero behavior change relative to calling `std::fs`
+//!   directly; the indirection costs one vtable hop per operation,
+//!   which is noise next to the syscall it wraps.
+//! - [`SimDisk`] — a deterministic in-memory disk for the
+//!   crash-consistency rig. It models the *buffered vs durable*
+//!   distinction a real kernel + platter pair has: written bytes are
+//!   visible to readers immediately but only survive [`SimDisk::crash`]
+//!   if a sync barrier covered them. Crash semantics are scripted by a
+//!   [`CrashProfile`] and a seed, so every torn/reordered/dropped-write
+//!   outcome is reproducible bit-for-bit. Typed transient or permanent
+//!   I/O faults can be injected at any operation index
+//!   ([`SimDisk::fail_op`], [`SimDisk::fail_from`]).
+//!
+//! The in-tree lint rule R6 (`pir-lint`) forbids direct `std::fs` /
+//! `File::` calls in `wal.rs`, `snapshot.rs`, and `ingress.rs` — this
+//! module is the only sanctioned doorway, so the fault rig sees every
+//! operation the durability stack performs.
+//!
+//! # Durability model (what `SimDisk` promises)
+//!
+//! - A byte written through [`StorageFile::append`] is *buffered*:
+//!   reads see it, a crash may drop, tear, or scramble it.
+//! - [`StorageFile::sync_data`] / [`StorageFile::sync_all`] make the
+//!   file's current bytes durable.
+//! - Creating, renaming, or removing a file updates the live directory
+//!   immediately, but the *entry* only survives a crash once the
+//!   containing directory has been synced ([`Storage::sync_dir`]) —
+//!   exactly the POSIX discipline the WAL's tmp+fsync+rename dance is
+//!   built around. Removed/renamed-away entries may be resurrected by
+//!   a crash until the directory sync lands.
+//! - Directories themselves are durable once created (losing the WAL
+//!   directory wholesale is indistinguishable from a pre-start disk).
+
+use crate::sync::lock_or_recover;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fs;
+use std::io::{self, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// An open, append-only file handle obtained from a [`Storage`].
+///
+/// The durability layer only ever appends to open files (segment
+/// records, manifest bodies) and truncates back to a known-good length
+/// when undoing a failed append — random-access writes are deliberately
+/// not in the vocabulary.
+pub trait StorageFile: Send {
+    /// Append `buf` at the end of the file.
+    ///
+    /// # Errors
+    /// Backend I/O failure; on error the on-disk suffix is unspecified
+    /// (a real `write` may land a prefix), which is why callers undo
+    /// with [`truncate`](Self::truncate) before retrying.
+    fn append(&mut self, buf: &[u8]) -> io::Result<()>;
+
+    /// Make the file's data durable (`fdatasync`).
+    ///
+    /// # Errors
+    /// Backend I/O failure; durability of recent appends is then unknown.
+    fn sync_data(&mut self) -> io::Result<()>;
+
+    /// Make the file's data and metadata durable (`fsync`).
+    ///
+    /// # Errors
+    /// Backend I/O failure; durability of recent appends is then unknown.
+    fn sync_all(&mut self) -> io::Result<()>;
+
+    /// Cut the file back to `len` bytes — the undo step for a failed
+    /// append before a retry.
+    ///
+    /// # Errors
+    /// Backend I/O failure; the file length is then unspecified.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// Every filesystem operation the durability layer performs.
+///
+/// Object-safe so a backend travels as one [`StorageHandle`] through
+/// [`WalOptions`](crate::WalOptions) and
+/// [`SpillOptions`](crate::SpillOptions). Method names deliberately
+/// mirror `std::fs` so call sites read the same as before the trait
+/// existed (and so the R3 fsync-before-rename lint keeps seeing its
+/// token patterns).
+pub trait Storage: Send + Sync {
+    /// Short backend name for diagnostics (`"os"`, `"simdisk"`).
+    fn name(&self) -> &'static str;
+
+    /// Create a new file for appending; fails if the path exists.
+    ///
+    /// # Errors
+    /// `AlreadyExists` when the path is taken, plus backend I/O failures.
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+
+    /// Create (or truncate) a file for appending.
+    ///
+    /// # Errors
+    /// Backend I/O failure.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+
+    /// Read a whole file.
+    ///
+    /// # Errors
+    /// `NotFound` or backend I/O failure.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Write a whole file in one shot (create or truncate). No
+    /// durability barrier is implied — callers that need one follow up
+    /// with a handle sync or use it only for rebuildable scratch (the
+    /// spill tier).
+    ///
+    /// # Errors
+    /// Backend I/O failure.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically rename `from` to `to` (replacing `to` if present).
+    ///
+    /// # Errors
+    /// `NotFound` or backend I/O failure.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Remove a file.
+    ///
+    /// # Errors
+    /// `NotFound` or backend I/O failure.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// The files directly inside `dir`, sorted by path for
+    /// deterministic iteration. Subdirectories are not listed.
+    ///
+    /// # Errors
+    /// `NotFound` when `dir` does not exist, plus backend I/O failures.
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Create `dir` and any missing ancestors.
+    ///
+    /// # Errors
+    /// Backend I/O failure.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Make `dir`'s entries durable — the barrier that commits
+    /// creations, renames, and removals inside it.
+    ///
+    /// # Errors
+    /// Backend I/O failure; entry durability is then unknown.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+
+    /// Whether a file or directory exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// A cloneable, comparable handle to a [`Storage`] backend.
+///
+/// Lives inside [`WalOptions`](crate::WalOptions) and
+/// [`SpillOptions`](crate::SpillOptions); the default is [`OsStorage`].
+/// Equality is identity (two handles are equal when they point at the
+/// *same* backend instance), which is what options comparison wants —
+/// two engines sharing one `SimDisk` have equal storage, two separate
+/// `SimDisk`s never do.
+#[derive(Clone)]
+pub struct StorageHandle(Arc<dyn Storage>);
+
+impl StorageHandle {
+    /// A handle to the real filesystem ([`OsStorage`]) — the default.
+    pub fn os() -> Self {
+        StorageHandle(Arc::new(OsStorage))
+    }
+
+    /// Wrap any backend.
+    pub fn new(storage: Arc<dyn Storage>) -> Self {
+        StorageHandle(storage)
+    }
+}
+
+impl std::ops::Deref for StorageHandle {
+    type Target = dyn Storage;
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl Default for StorageHandle {
+    fn default() -> Self {
+        StorageHandle::os()
+    }
+}
+
+impl fmt::Debug for StorageHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StorageHandle({})", self.0.name())
+    }
+}
+
+impl PartialEq for StorageHandle {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl From<SimDisk> for StorageHandle {
+    fn from(disk: SimDisk) -> Self {
+        StorageHandle(Arc::new(disk))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OsStorage — the std::fs passthrough
+// ---------------------------------------------------------------------------
+
+/// The real filesystem: every call forwards to `std::fs` unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OsStorage;
+
+/// [`std::fs::File`] behind the [`StorageFile`] vocabulary.
+struct OsFile(fs::File);
+
+impl StorageFile for OsFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)?;
+        // The handle is cursor-positioned, not O_APPEND: without the
+        // seek a later `append` would leave a zero-filled gap.
+        self.0.seek(SeekFrom::Start(len))?;
+        Ok(())
+    }
+}
+
+impl Storage for OsStorage {
+    fn name(&self) -> &'static str {
+        "os"
+    }
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let f = fs::File::options().write(true).create_new(true).open(path)?;
+        Ok(Box::new(OsFile(f)))
+    }
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        Ok(Box::new(OsFile(fs::File::create(path)?)))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.is_file() {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        fs::File::open(dir)?.sync_all()
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimDisk — the deterministic fault rig
+// ---------------------------------------------------------------------------
+
+/// Page granularity of simulated torn/reordered writes, mirroring a
+/// small disk sector.
+pub const SIM_PAGE: usize = 512;
+
+/// What happens to *unsynced* bytes and *unsynced directory entries*
+/// when the power goes out ([`SimDisk::crash`]). Synced state always
+/// survives, under every profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrashProfile {
+    /// Strict revert to the durable image: unsynced bytes vanish,
+    /// unsynced creations vanish, unsynced removals/renames are
+    /// resurrected. The pessimal-but-clean power cut; recovery must
+    /// reproduce exactly the durable prefix.
+    #[default]
+    DropUnsynced,
+    /// Everything buffered survives — kill-crash semantics (the kernel
+    /// kept the pages). Recovery must reproduce the full history.
+    KeepAll,
+    /// Unsynced appended bytes survive up to a seeded cut; the torn
+    /// page at the cut may be partially filled with garbage, as a
+    /// half-written sector would be. Unsynced entries survive or vanish
+    /// by seeded coin.
+    TornTail,
+    /// Unsynced appended pages survive as a seeded *subset* — later
+    /// pages may land while earlier ones are lost (write reordering in
+    /// the device queue), the lost ones reading back as zeros.
+    ScramblePages,
+}
+
+/// One scripted fault: operations with index in `start..end` fail with
+/// an [`io::Error`] of `kind`.
+#[derive(Debug, Clone, Copy)]
+struct Fault {
+    start: u64,
+    end: u64,
+    kind: io::ErrorKind,
+}
+
+/// One simulated file: live (buffered) content plus the durable image
+/// a crash falls back to.
+#[derive(Debug, Clone, Default)]
+struct FileNode {
+    /// What readers see now.
+    data: Vec<u8>,
+    /// Content guaranteed to survive a crash — set by file syncs (and,
+    /// for a create over an existing durable file, inherited from it
+    /// until the first sync).
+    durable_data: Vec<u8>,
+    /// Whether the directory entry pointing at this node survives a
+    /// crash (set by [`Storage::sync_dir`] on the parent).
+    entry_durable: bool,
+}
+
+/// Interior state behind the `SimDisk` handle.
+#[derive(Debug, Default)]
+struct SimState {
+    files: BTreeMap<PathBuf, FileNode>,
+    /// Durable entries whose live-view removal/rename-away has not been
+    /// committed by a directory sync: a crash may resurrect them with
+    /// this content.
+    ghosts: BTreeMap<PathBuf, Vec<u8>>,
+    dirs: BTreeSet<PathBuf>,
+    faults: Vec<Fault>,
+    ops: u64,
+    rng: u64,
+    profile: CrashProfile,
+}
+
+/// A deterministic in-memory disk with scripted faults and power-cut
+/// semantics. Cloning yields another handle to the *same* disk, so a
+/// test can hold one side while an engine's [`StorageHandle`] holds the
+/// other.
+#[derive(Clone, Debug)]
+pub struct SimDisk {
+    inner: Arc<Mutex<SimState>>,
+}
+
+impl SimDisk {
+    /// A fresh empty disk. `seed` drives every random choice a crash
+    /// resolution makes; the same seed and operation history produce
+    /// the same post-crash disk, byte for byte.
+    pub fn new(seed: u64, profile: CrashProfile) -> Self {
+        let state = SimState { rng: seed ^ 0x9e37_79b9_7f4a_7c15, profile, ..SimState::default() };
+        SimDisk { inner: Arc::new(Mutex::new(state)) }
+    }
+
+    /// The handle form most constructors want.
+    pub fn handle(&self) -> StorageHandle {
+        StorageHandle::new(Arc::new(self.clone()))
+    }
+
+    /// Operations performed so far (each trait call on the disk or on
+    /// one of its file handles counts one).
+    pub fn op_count(&self) -> u64 {
+        lock_or_recover(&self.inner).ops
+    }
+
+    /// Fail the single operation with index `index` with `kind` — a
+    /// transient fault: the retry at the next index succeeds.
+    pub fn fail_op(&self, index: u64, kind: io::ErrorKind) {
+        lock_or_recover(&self.inner).faults.push(Fault { start: index, end: index + 1, kind });
+    }
+
+    /// Fail every operation with index in `start..start + len` — a
+    /// transient burst.
+    pub fn fail_window(&self, start: u64, len: u64, kind: io::ErrorKind) {
+        lock_or_recover(&self.inner).faults.push(Fault {
+            start,
+            end: start.saturating_add(len),
+            kind,
+        });
+    }
+
+    /// Fail every operation from `start` on — a permanent fault (a
+    /// dead device), which is also how the crash harness freezes the
+    /// disk at an enumerated operation boundary.
+    pub fn fail_from(&self, start: u64, kind: io::ErrorKind) {
+        lock_or_recover(&self.inner).faults.push(Fault { start, end: u64::MAX, kind });
+    }
+
+    /// Drop every scripted fault.
+    pub fn clear_faults(&self) {
+        lock_or_recover(&self.inner).faults.clear();
+    }
+
+    /// Pull the power, then reboot: the live view is replaced by a
+    /// survivor view derived from the durable image and the configured
+    /// [`CrashProfile`]; scripted faults are cleared and the operation
+    /// counter restarts. Everything that survived is durable afterwards
+    /// (it is "on the platter").
+    pub fn crash(&self) {
+        let mut st = lock_or_recover(&self.inner);
+        let profile = st.profile;
+        let names: Vec<PathBuf> = st
+            .files
+            .keys()
+            .chain(st.ghosts.keys())
+            .cloned()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut survivors: BTreeMap<PathBuf, FileNode> = BTreeMap::new();
+        for name in names {
+            let ghost = st.ghosts.get(&name).cloned();
+            let node = st.files.get(&name).cloned();
+            let content = match node {
+                Some(node) if node.entry_durable => {
+                    Some(resolve_content(&node, profile, &mut st.rng))
+                }
+                Some(node) => {
+                    let keep_pending = match profile {
+                        CrashProfile::DropUnsynced => false,
+                        CrashProfile::KeepAll => true,
+                        CrashProfile::TornTail | CrashProfile::ScramblePages => coin(&mut st.rng),
+                    };
+                    if keep_pending {
+                        Some(resolve_content(&node, profile, &mut st.rng))
+                    } else {
+                        // The pending entry is lost; a durable entry the
+                        // name used to have may still be on the platter.
+                        ghost.clone()
+                    }
+                }
+                None => {
+                    // Ghost only: a durable entry removed/renamed away
+                    // without a committing directory sync.
+                    let resurrect = match profile {
+                        CrashProfile::DropUnsynced => true,
+                        CrashProfile::KeepAll => false,
+                        CrashProfile::TornTail | CrashProfile::ScramblePages => coin(&mut st.rng),
+                    };
+                    if resurrect {
+                        ghost.clone()
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(data) = content {
+                survivors.insert(
+                    name,
+                    FileNode { durable_data: data.clone(), data, entry_durable: true },
+                );
+            }
+        }
+        st.files = survivors;
+        st.ghosts.clear();
+        st.faults.clear();
+        st.ops = 0;
+    }
+
+    /// The live content of `path`, for test assertions.
+    pub fn peek(&self, path: &Path) -> Option<Vec<u8>> {
+        lock_or_recover(&self.inner).files.get(path).map(|n| n.data.clone())
+    }
+
+    /// One gated operation: consume an op index, fail if a scripted
+    /// fault covers it, otherwise run `f` on the state.
+    fn op<T>(&self, f: impl FnOnce(&mut SimState) -> io::Result<T>) -> io::Result<T> {
+        let mut st = lock_or_recover(&self.inner);
+        let idx = st.ops;
+        st.ops += 1;
+        if let Some(fault) = st.faults.iter().find(|x| x.start <= idx && idx < x.end) {
+            return Err(io::Error::new(fault.kind, format!("simdisk fault at op {idx}")));
+        }
+        f(&mut st)
+    }
+}
+
+/// Seeded coin flip (splitmix64 step).
+fn coin(rng: &mut u64) -> bool {
+    next_u64(rng) & 1 == 1
+}
+
+/// splitmix64: tiny, seedable, good enough to pick crash outcomes.
+fn next_u64(rng: &mut u64) -> u64 {
+    *rng = rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *rng;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeded choice in `0..=n`.
+fn next_below(rng: &mut u64, n: u64) -> u64 {
+    if n == u64::MAX {
+        return next_u64(rng);
+    }
+    next_u64(rng) % (n + 1)
+}
+
+/// What a crashed file's content resolves to under `profile`.
+fn resolve_content(node: &FileNode, profile: CrashProfile, rng: &mut u64) -> Vec<u8> {
+    let base = &node.durable_data;
+    if node.data == *base {
+        return base.clone();
+    }
+    if !node.data.starts_with(base) {
+        // Rewritten (create-truncate) without a sync: all or nothing.
+        return match profile {
+            CrashProfile::DropUnsynced => base.clone(),
+            CrashProfile::KeepAll => node.data.clone(),
+            _ if coin(rng) => node.data.clone(),
+            _ => base.clone(),
+        };
+    }
+    let suffix = node.data.get(base.len()..).unwrap_or(&[]);
+    match profile {
+        CrashProfile::DropUnsynced => base.clone(),
+        CrashProfile::KeepAll => node.data.clone(),
+        CrashProfile::TornTail => {
+            let cut = next_below(rng, suffix.len() as u64) as usize;
+            let mut out = base.clone();
+            out.extend_from_slice(suffix.get(..cut).unwrap_or(&[]));
+            if cut < suffix.len() && coin(rng) {
+                // The torn page: the sector at the cut was half-written;
+                // the remainder of it reads back as garbage.
+                let page_end = ((cut / SIM_PAGE) + 1) * SIM_PAGE;
+                let garbage = page_end.min(suffix.len()).saturating_sub(cut);
+                out.extend(std::iter::repeat_n(0xC7, garbage));
+            }
+            out
+        }
+        CrashProfile::ScramblePages => {
+            let pages = suffix.len().div_ceil(SIM_PAGE);
+            let kept_len = next_below(rng, suffix.len() as u64) as usize;
+            let mut out = base.clone();
+            for p in 0..pages {
+                let lo = p * SIM_PAGE;
+                let hi = ((p + 1) * SIM_PAGE).min(suffix.len());
+                if lo >= kept_len {
+                    break;
+                }
+                if coin(rng) {
+                    out.extend_from_slice(suffix.get(lo..hi.min(kept_len)).unwrap_or(&[]));
+                } else {
+                    // This page was still in the device queue: zeros.
+                    out.extend(std::iter::repeat_n(0u8, hi.min(kept_len) - lo));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// A `SimDisk` file handle: append/sync/truncate against the shared
+/// state, each call one gated operation.
+struct SimFile {
+    disk: SimDisk,
+    path: PathBuf,
+}
+
+impl SimFile {
+    fn with_node<T>(
+        disk: &SimDisk,
+        path: &Path,
+        f: impl FnOnce(&mut FileNode) -> T,
+    ) -> io::Result<T> {
+        disk.op(|st| match st.files.get_mut(path) {
+            Some(node) => Ok(f(node)),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("simdisk: {} vanished under an open handle", path.display()),
+            )),
+        })
+    }
+}
+
+impl StorageFile for SimFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        SimFile::with_node(&self.disk, &self.path, |node| node.data.extend_from_slice(buf))
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        SimFile::with_node(&self.disk, &self.path, |node| {
+            node.durable_data = node.data.clone();
+        })
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.sync_data()
+    }
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        SimFile::with_node(&self.disk, &self.path, |node| {
+            node.data.truncate(len as usize);
+            node.durable_data.truncate(len as usize);
+        })
+    }
+}
+
+impl Storage for SimDisk {
+    fn name(&self) -> &'static str {
+        "simdisk"
+    }
+
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let disk = self.clone();
+        self.op(|st| {
+            if st.files.contains_key(path) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    format!("simdisk: {} exists", path.display()),
+                ));
+            }
+            st.files.insert(path.to_path_buf(), FileNode::default());
+            Ok(())
+        })?;
+        Ok(Box::new(SimFile { disk, path: path.to_path_buf() }))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let disk = self.clone();
+        self.op(|st| {
+            let node = st.files.entry(path.to_path_buf()).or_default();
+            node.data.clear();
+            // Truncating an existing durable file does not make the
+            // truncation durable: until a sync, a crash falls back to
+            // the old durable content.
+            Ok(())
+        })?;
+        Ok(Box::new(SimFile { disk, path: path.to_path_buf() }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.op(|st| {
+            st.files.get(path).map(|n| n.data.clone()).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("simdisk: {} not found", path.display()),
+                )
+            })
+        })
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.op(|st| {
+            let node = st.files.entry(path.to_path_buf()).or_default();
+            node.data = bytes.to_vec();
+            Ok(())
+        })
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.op(|st| {
+            let mut node = st.files.remove(from).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("simdisk: {} not found", from.display()),
+                )
+            })?;
+            if node.entry_durable {
+                st.ghosts.insert(from.to_path_buf(), node.durable_data.clone());
+            }
+            // The new name is an unsynced entry until its directory is
+            // synced; an overwritten durable target may resurrect.
+            node.entry_durable = false;
+            if let Some(old) = st.files.insert(to.to_path_buf(), node) {
+                if old.entry_durable {
+                    st.ghosts.insert(to.to_path_buf(), old.durable_data);
+                }
+            }
+            Ok(())
+        })
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.op(|st| {
+            let node = st.files.remove(path).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("simdisk: {} not found", path.display()),
+                )
+            })?;
+            if node.entry_durable {
+                st.ghosts.insert(path.to_path_buf(), node.durable_data);
+            }
+            Ok(())
+        })
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.op(|st| {
+            if !st.dirs.contains(dir) {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("simdisk: dir {} not found", dir.display()),
+                ));
+            }
+            Ok(st.files.keys().filter(|p| p.parent() == Some(dir)).cloned().collect())
+        })
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.op(|st| {
+            let mut d = dir.to_path_buf();
+            loop {
+                st.dirs.insert(d.clone());
+                match d.parent() {
+                    Some(p) if !p.as_os_str().is_empty() => d = p.to_path_buf(),
+                    _ => break,
+                }
+            }
+            Ok(())
+        })
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.op(|st| {
+            if !st.dirs.contains(dir) {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("simdisk: dir {} not found", dir.display()),
+                ));
+            }
+            let children: Vec<PathBuf> =
+                st.files.keys().filter(|p| p.parent() == Some(dir)).cloned().collect();
+            for child in children {
+                if let Some(node) = st.files.get_mut(&child) {
+                    node.entry_durable = true;
+                }
+            }
+            let ghost_children: Vec<PathBuf> =
+                st.ghosts.keys().filter(|p| p.parent() == Some(dir)).cloned().collect();
+            for g in ghost_children {
+                st.ghosts.remove(&g);
+            }
+            Ok(())
+        })
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let st = lock_or_recover(&self.inner);
+        st.files.contains_key(path) || st.dirs.contains(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    fn disk(profile: CrashProfile) -> SimDisk {
+        let d = SimDisk::new(42, profile);
+        d.create_dir_all(&p("/wal")).unwrap();
+        d
+    }
+
+    #[test]
+    fn buffered_bytes_are_readable_but_not_durable() {
+        let d = disk(CrashProfile::DropUnsynced);
+        let mut f = d.create_new(&p("/wal/a")).unwrap();
+        f.append(b"hello").unwrap();
+        assert_eq!(d.read(&p("/wal/a")).unwrap(), b"hello");
+        d.sync_dir(&p("/wal")).unwrap(); // entry durable, content not
+        d.crash();
+        assert_eq!(d.read(&p("/wal/a")).unwrap(), b"", "unsynced bytes must drop");
+    }
+
+    #[test]
+    fn synced_bytes_survive_and_later_bytes_drop() {
+        let d = disk(CrashProfile::DropUnsynced);
+        let mut f = d.create_new(&p("/wal/a")).unwrap();
+        f.append(b"durable|").unwrap();
+        f.sync_data().unwrap();
+        d.sync_dir(&p("/wal")).unwrap();
+        f.append(b"buffered").unwrap();
+        d.crash();
+        assert_eq!(d.read(&p("/wal/a")).unwrap(), b"durable|");
+    }
+
+    #[test]
+    fn unsynced_creation_vanishes_and_unsynced_removal_resurrects() {
+        let d = disk(CrashProfile::DropUnsynced);
+        let mut f = d.create_new(&p("/wal/old")).unwrap();
+        f.append(b"keep me").unwrap();
+        f.sync_data().unwrap();
+        d.sync_dir(&p("/wal")).unwrap();
+        // Remove it, create a sibling, sync neither.
+        d.remove_file(&p("/wal/old")).unwrap();
+        let mut g = d.create_new(&p("/wal/new")).unwrap();
+        g.append(b"gone").unwrap();
+        g.sync_data().unwrap(); // content synced, entry not
+        d.crash();
+        assert_eq!(d.read(&p("/wal/old")).unwrap(), b"keep me", "removal must un-happen");
+        assert!(d.read(&p("/wal/new")).is_err(), "unsynced entry must vanish");
+    }
+
+    #[test]
+    fn rename_without_dir_sync_reverts_and_with_it_commits() {
+        let d = disk(CrashProfile::DropUnsynced);
+        let mut f = d.create_new(&p("/wal/m.tmp")).unwrap();
+        f.append(b"manifest").unwrap();
+        f.sync_all().unwrap();
+        d.sync_dir(&p("/wal")).unwrap();
+        d.rename(&p("/wal/m.tmp"), &p("/wal/m")).unwrap();
+
+        // Crash before the dir sync: the tmp name comes back.
+        let d2 = disk(CrashProfile::DropUnsynced);
+        let mut f2 = d2.create_new(&p("/wal/m.tmp")).unwrap();
+        f2.append(b"manifest").unwrap();
+        f2.sync_all().unwrap();
+        d2.sync_dir(&p("/wal")).unwrap();
+        d2.rename(&p("/wal/m.tmp"), &p("/wal/m")).unwrap();
+        d2.crash();
+        assert_eq!(d2.read(&p("/wal/m.tmp")).unwrap(), b"manifest");
+        assert!(d2.read(&p("/wal/m")).is_err());
+
+        // Dir sync commits the rename.
+        d.sync_dir(&p("/wal")).unwrap();
+        d.crash();
+        assert_eq!(d.read(&p("/wal/m")).unwrap(), b"manifest");
+        assert!(d.read(&p("/wal/m.tmp")).is_err());
+    }
+
+    #[test]
+    fn keep_all_preserves_buffered_state() {
+        let d = disk(CrashProfile::KeepAll);
+        let mut f = d.create_new(&p("/wal/a")).unwrap();
+        f.append(b"never synced").unwrap();
+        d.crash();
+        assert_eq!(d.read(&p("/wal/a")).unwrap(), b"never synced");
+    }
+
+    #[test]
+    fn torn_tail_keeps_durable_prefix_and_some_suffix() {
+        for seed in 0..32 {
+            let d = SimDisk::new(seed, CrashProfile::TornTail);
+            d.create_dir_all(&p("/wal")).unwrap();
+            let mut f = d.create_new(&p("/wal/a")).unwrap();
+            f.append(b"durable|").unwrap();
+            f.sync_data().unwrap();
+            d.sync_dir(&p("/wal")).unwrap();
+            f.append(&[0x11u8; 4 * SIM_PAGE]).unwrap();
+            d.crash();
+            let got = d.read(&p("/wal/a")).unwrap();
+            assert!(got.starts_with(b"durable|"), "durable prefix lost (seed {seed})");
+            assert!(got.len() <= 8 + 4 * SIM_PAGE);
+        }
+    }
+
+    #[test]
+    fn crash_outcomes_are_deterministic_per_seed() {
+        let run = |seed| {
+            let d = SimDisk::new(seed, CrashProfile::ScramblePages);
+            d.create_dir_all(&p("/wal")).unwrap();
+            let mut f = d.create_new(&p("/wal/a")).unwrap();
+            f.append(&[7u8; 3 * SIM_PAGE + 100]).unwrap();
+            f.sync_data().unwrap();
+            d.sync_dir(&p("/wal")).unwrap();
+            f.append(&[9u8; 5 * SIM_PAGE + 17]).unwrap();
+            d.crash();
+            d.read(&p("/wal/a")).unwrap()
+        };
+        assert_eq!(run(7), run(7));
+        assert_eq!(run(8), run(8));
+    }
+
+    #[test]
+    fn scripted_faults_fire_at_their_op_index() {
+        let d = disk(CrashProfile::DropUnsynced);
+        let base = d.op_count();
+        d.fail_op(base + 1, io::ErrorKind::Interrupted);
+        let mut f = d.create_new(&p("/wal/a")).unwrap(); // op base
+        let err = f.append(b"x").unwrap_err(); // op base+1: transient
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        f.append(b"x").unwrap(); // op base+2: recovered
+        d.fail_from(d.op_count(), io::ErrorKind::Other);
+        assert!(f.append(b"y").is_err(), "permanent fault");
+        assert!(f.sync_data().is_err(), "still dead");
+    }
+
+    #[test]
+    fn truncate_undoes_a_partial_append() {
+        let d = disk(CrashProfile::DropUnsynced);
+        let mut f = d.create_new(&p("/wal/a")).unwrap();
+        f.append(b"good").unwrap();
+        f.sync_data().unwrap();
+        f.append(b"partial").unwrap();
+        f.truncate(4).unwrap();
+        f.append(b"+more").unwrap();
+        assert_eq!(d.read(&p("/wal/a")).unwrap(), b"good+more");
+    }
+
+    #[test]
+    fn read_dir_lists_direct_children_sorted() {
+        let d = disk(CrashProfile::DropUnsynced);
+        d.create_dir_all(&p("/wal/sub")).unwrap();
+        d.write(&p("/wal/b"), b"1").unwrap();
+        d.write(&p("/wal/a"), b"2").unwrap();
+        d.write(&p("/wal/sub/c"), b"3").unwrap();
+        let names = d.read_dir(&p("/wal")).unwrap();
+        assert_eq!(names, vec![p("/wal/a"), p("/wal/b")]);
+    }
+
+    #[test]
+    fn os_storage_round_trips_through_the_trait() {
+        let dir = std::env::temp_dir().join(format!("pir-storage-test-{}", std::process::id()));
+        let storage = StorageHandle::os();
+        storage.create_dir_all(&dir).unwrap();
+        let file = dir.join("t.bin");
+        if storage.exists(&file) {
+            storage.remove_file(&file).unwrap();
+        }
+        let mut f = storage.create_new(&file).unwrap();
+        f.append(b"abc").unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        assert_eq!(storage.read(&file).unwrap(), b"abc");
+        let renamed = dir.join("t2.bin");
+        storage.rename(&file, &renamed).unwrap();
+        storage.sync_dir(&dir).unwrap();
+        assert!(storage.read_dir(&dir).unwrap().contains(&renamed));
+        storage.remove_file(&renamed).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -51,11 +51,12 @@
 use crate::ingress::SubmitHandle;
 use crate::server::serve_connection_counted;
 use crate::sync::lock_or_recover;
-use std::io;
+use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Deployment knobs for [`serve_tcp_with`].
 #[derive(Debug, Clone, Copy)]
@@ -66,11 +67,20 @@ pub struct TcpOptions {
     /// in [`TcpStats::refused`] — backpressure at the front door, before
     /// any queue space is spent on the newcomer.
     pub max_connections: usize,
+    /// Reap connections that deliver no bytes for this long: the
+    /// connection is ended exactly as if the peer had closed it (its
+    /// in-flight replies drain, its sessions survive engine-side) and
+    /// counted in [`TcpStats::idle_reaped`]. Each reaped connection
+    /// frees a thread and a slot under [`max_connections`](Self::max_connections),
+    /// so one dead-but-connected client fleet cannot brown-out the front
+    /// door. `None` (the default) lets idle connections sit forever —
+    /// the right call for trusted, long-lived ingestion firehoses.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for TcpOptions {
     fn default() -> Self {
-        TcpOptions { max_connections: 1024 }
+        TcpOptions { max_connections: 1024, idle_timeout: None }
     }
 }
 
@@ -90,6 +100,11 @@ pub struct TcpStats {
     /// — malformed frames, or sockets severed mid-conversation (which is
     /// how connections still live at [`TcpFront::shutdown`] are ended).
     pub protocol_errors: u64,
+    /// Connections reaped by [`TcpOptions::idle_timeout`]. A reaped
+    /// connection also counts in [`connections`](Self::connections); one
+    /// reaped mid-frame (silence after a half-sent frame) additionally
+    /// counts in [`protocol_errors`](Self::protocol_errors).
+    pub idle_reaped: u64,
 }
 
 /// One live connection as the front tracks it: the thread serving it, a
@@ -239,6 +254,31 @@ impl Drop for TcpFront {
     }
 }
 
+/// Reader adapter implementing [`TcpOptions::idle_timeout`]: a read
+/// that trips the socket's read timeout is reported as EOF, so the
+/// serve loop ends the connection exactly as if the peer had closed it
+/// — between frames that is a clean goodbye, mid-frame it is the usual
+/// truncation error. The flag lets the connection thread count the reap.
+struct IdleReader<'a> {
+    stream: &'a TcpStream,
+    timed_out: bool,
+}
+
+impl Read for IdleReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut stream = self.stream;
+        match stream.read(buf) {
+            // Unix reports a tripped read timeout as WouldBlock, Windows
+            // as TimedOut; both mean "idle past the deadline" here.
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                self.timed_out = true;
+                Ok(0)
+            }
+            r => r,
+        }
+    }
+}
+
 fn accept_loop(
     listener: &TcpListener,
     submit: &SubmitHandle,
@@ -291,8 +331,15 @@ fn accept_loop(
         };
         let submit = submit.clone();
         let shared_for_conn = Arc::clone(shared);
+        let idle_timeout = opts.idle_timeout;
         let thread = std::thread::spawn(move || {
-            let (served, error) = serve_connection_counted(&submit, &mut (&stream), &mut (&stream));
+            if idle_timeout.is_some() {
+                // Best-effort: a connection whose timeout cannot be set
+                // is served unreaped rather than turned away.
+                let _ = stream.set_read_timeout(idle_timeout);
+            }
+            let mut reader = IdleReader { stream: &stream, timed_out: false };
+            let (served, error) = serve_connection_counted(&submit, &mut reader, &mut (&stream));
             {
                 let mut stats = lock_or_recover(&shared_for_conn.stats);
                 stats.connections += 1;
@@ -303,6 +350,9 @@ fn accept_loop(
                 stats.replies += served.replies as u64;
                 if error.is_some() {
                     stats.protocol_errors += 1;
+                }
+                if reader.timed_out {
+                    stats.idle_reaped += 1;
                 }
             }
             // Self-reap: drop this connection's registry entry (and its

@@ -145,11 +145,11 @@
 use crate::engine::ShardedEngine;
 use crate::ingress::{Command, Reply};
 use crate::session::StreamSession;
+use crate::storage::{StorageFile, StorageHandle};
 use crate::wire::{self, WireError};
 use std::collections::BTreeMap;
-use std::fs::{self, File};
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// The four magic bytes opening every segment file.
 pub const WAL_MAGIC: [u8; 4] = *b"PIRL";
@@ -457,6 +457,104 @@ pub enum FsyncPolicy {
     Off,
 }
 
+/// What a [`WalWriter`] does when the disk says no.
+///
+/// Appends and syncs can fail transiently (a saturated device queue, a
+/// momentary `EINTR`/`EAGAIN` from a network filesystem) or permanently
+/// (a dead disk, a full volume). The policy decides how hard the writer
+/// fights before giving up, and what "giving up" means. Whatever the
+/// policy, the log itself is never left torn mid-chain: a failed append
+/// truncates the segment back to its last good byte before any retry,
+/// and exhaustion poisons the writer so later appends cannot bury the
+/// failure site under new records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalFailurePolicy {
+    /// First failure poisons the writer; every later append returns
+    /// [`WalError::Poisoned`]. Today's behavior, and the default:
+    /// loudest, simplest, never serves a command it could not log.
+    #[default]
+    Poison,
+    /// Retry the failed append/sync up to `attempts` times with linear
+    /// backoff (`backoff`, `2·backoff`, …) between tries; exhaustion
+    /// poisons the writer. Rides out transient device hiccups without
+    /// losing a single record.
+    Retry {
+        /// Extra tries after the initial failure (0 = same as `Poison`).
+        attempts: u32,
+        /// Base sleep between tries, scaled linearly per attempt.
+        backoff: Duration,
+    },
+    /// Retry like [`WalFailurePolicy::Retry`], but on exhaustion the
+    /// engine **drops logging and keeps serving**: the shard continues
+    /// unlogged, every affected command is counted in
+    /// [`WalStats`](crate::ingress::WalStats), and the command that
+    /// triggered the degradation is answered with an in-band
+    /// [`EngineError::Wal`](crate::EngineError::Wal) warning so clients
+    /// learn durability was surrendered. For deployments that prefer
+    /// availability over durability.
+    DegradeToUnlogged {
+        /// Extra tries after the initial failure before degrading.
+        attempts: u32,
+        /// Base sleep between tries, scaled linearly per attempt.
+        backoff: Duration,
+    },
+}
+
+impl WalFailurePolicy {
+    /// The retry envelope: (extra attempts, base backoff).
+    pub(crate) fn envelope(&self) -> (u32, Duration) {
+        match *self {
+            WalFailurePolicy::Poison => (0, Duration::ZERO),
+            WalFailurePolicy::Retry { attempts, backoff }
+            | WalFailurePolicy::DegradeToUnlogged { attempts, backoff } => (attempts, backoff),
+        }
+    }
+
+    /// Whether exhaustion degrades to unlogged ingestion instead of
+    /// poisoning the shard.
+    pub fn degrades(&self) -> bool {
+        matches!(self, WalFailurePolicy::DegradeToUnlogged { .. })
+    }
+}
+
+/// When the engine checkpoints itself, instead of waiting for an
+/// operator to call
+/// [`EngineHandle::checkpoint`](crate::EngineHandle::checkpoint).
+///
+/// The engine tracks the log tail (bytes and commands appended since
+/// the last successful checkpoint, summed across shards) and triggers a
+/// live checkpoint when **either** threshold is crossed. A failed
+/// auto-checkpoint backs off exponentially and never purges segments —
+/// the purge step only ever runs after the manifest is durably in
+/// place, so a flaky disk can delay compaction but cannot lose the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once this many bytes of WAL tail have accumulated
+    /// since the last checkpoint. `u64::MAX` disables the byte axis.
+    pub tail_bytes: u64,
+    /// Checkpoint once this many commands have been logged since the
+    /// last checkpoint. `u64::MAX` disables the count axis.
+    pub command_count: u64,
+}
+
+impl CheckpointPolicy {
+    /// A policy triggering on tail bytes alone.
+    pub fn by_tail_bytes(tail_bytes: u64) -> Self {
+        CheckpointPolicy { tail_bytes, command_count: u64::MAX }
+    }
+
+    /// A policy triggering on command count alone.
+    pub fn by_command_count(command_count: u64) -> Self {
+        CheckpointPolicy { tail_bytes: u64::MAX, command_count }
+    }
+
+    /// Whether `tail_bytes`/`commands` since the last checkpoint cross
+    /// either threshold.
+    pub(crate) fn due(&self, tail_bytes: u64, commands: u64) -> bool {
+        tail_bytes >= self.tail_bytes || commands >= self.command_count
+    }
+}
+
 /// Configuration for a write-ahead log.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WalOptions {
@@ -470,12 +568,26 @@ pub struct WalOptions {
     /// bytes (checked before each append; a segment always accepts at
     /// least one record, so an oversized command cannot wedge rotation).
     pub segment_bytes: u64,
+    /// The storage backend every file operation goes through. Defaults
+    /// to the real filesystem ([`crate::OsStorage`]); tests swap in a
+    /// [`crate::SimDisk`] to script crashes and I/O faults.
+    pub storage: StorageHandle,
+    /// What the writer does when an append or sync fails; see
+    /// [`WalFailurePolicy`].
+    pub failure_policy: WalFailurePolicy,
+    /// Auto-checkpoint thresholds, honored by the pipelined engine
+    /// ([`EngineHandle::with_wal`](crate::EngineHandle::with_wal));
+    /// `None` (the default) keeps checkpointing operator-driven. The
+    /// quiesced [`WalWriter`] path ignores this field.
+    pub auto_checkpoint: Option<CheckpointPolicy>,
 }
 
 impl WalOptions {
     /// Options with the defaults: interval fsync every 4096 records,
-    /// 64 MiB segments. (An `fdatasync` costs ~100–300 µs on commodity
-    /// disks; at 4096 records (≈40 ms of arrivals at 100k cmd/s) the sync tax stays in single-digit
+    /// 64 MiB segments, real-filesystem storage, poison-on-failure,
+    /// operator-driven checkpoints. (An `fdatasync` costs ~100–300 µs on
+    /// commodity disks; at 4096 records (≈40 ms of arrivals at 100k
+    /// cmd/s) the sync tax stays in single-digit
     /// percent of engine throughput while bounding *power-loss* exposure
     /// — process crashes lose nothing at any interval, because every
     /// record's `write` is issued before its command executes.)
@@ -484,6 +596,9 @@ impl WalOptions {
             dir: dir.into(),
             fsync: FsyncPolicy::Interval { every: 4096 },
             segment_bytes: 64 << 20,
+            storage: StorageHandle::os(),
+            failure_policy: WalFailurePolicy::Poison,
+            auto_checkpoint: None,
         }
     }
 
@@ -681,17 +796,15 @@ impl Manifest {
 /// Older generations are ignored (they are leftovers the next checkpoint
 /// removes); a corrupt newest manifest is a loud error — segments it
 /// covered may already be purged, so guessing would lose data.
-pub(crate) fn load_manifest(dir: &Path) -> Result<Option<Manifest>, WalError> {
-    if !dir.exists() {
+pub(crate) fn load_manifest(
+    storage: &StorageHandle,
+    dir: &Path,
+) -> Result<Option<Manifest>, WalError> {
+    if !storage.exists(dir) {
         return Ok(None);
     }
     let mut newest: Option<(u32, PathBuf)> = None;
-    for entry in fs::read_dir(dir).map_err(|e| io_err(dir, &e))? {
-        let entry = entry.map_err(|e| io_err(dir, &e))?;
-        let path = entry.path();
-        if !path.is_file() {
-            continue;
-        }
+    for path in storage.read_dir(dir).map_err(|e| io_err(dir, &e))? {
         let Some(generation) =
             path.file_name().and_then(|n| n.to_str()).and_then(parse_checkpoint_name)
         else {
@@ -704,7 +817,7 @@ pub(crate) fn load_manifest(dir: &Path) -> Result<Option<Manifest>, WalError> {
     let Some((generation, path)) = newest else {
         return Ok(None);
     };
-    let bytes = fs::read(&path).map_err(|e| io_err(&path, &e))?;
+    let bytes = storage.read(&path).map_err(|e| io_err(&path, &e))?;
     let manifest = Manifest::decode(&bytes)
         .map_err(|reason| WalError::CorruptManifest { file: path.display().to_string(), reason })?;
     if manifest.generation != generation {
@@ -723,19 +836,23 @@ pub(crate) fn load_manifest(dir: &Path) -> Result<Option<Manifest>, WalError> {
 /// into place, fsync the directory. A crash at any point leaves either
 /// the previous generation or the new one — never a torn manifest under
 /// the final name.
-pub(crate) fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<(), WalError> {
-    fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+pub(crate) fn write_manifest(
+    storage: &StorageHandle,
+    dir: &Path,
+    manifest: &Manifest,
+) -> Result<(), WalError> {
+    storage.create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
     let final_path = dir.join(checkpoint_file_name(manifest.generation));
     let tmp_path = dir.join(format!("{}.tmp", checkpoint_file_name(manifest.generation)));
     let bytes = manifest.encode();
-    let mut file = File::create(&tmp_path).map_err(|e| io_err(&tmp_path, &e))?;
-    file.write_all(&bytes).map_err(|e| io_err(&tmp_path, &e))?;
+    let mut file = storage.create(&tmp_path).map_err(|e| io_err(&tmp_path, &e))?;
+    file.append(&bytes).map_err(|e| io_err(&tmp_path, &e))?;
     // Always durable, regardless of the engine's fsync policy: segment
     // files are about to be deleted on the strength of this manifest.
     file.sync_all().map_err(|e| io_err(&tmp_path, &e))?;
     drop(file);
-    fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, &e))?;
-    File::open(dir).and_then(|d| d.sync_all()).map_err(|e| io_err(dir, &e))?;
+    storage.rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, &e))?;
+    storage.sync_dir(dir).map_err(|e| io_err(dir, &e))?;
     Ok(())
 }
 
@@ -743,18 +860,17 @@ pub(crate) fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<(), WalE
 /// chain's resume point, manifests of older generations, and stale
 /// temporary manifest files. Returns `(segments_purged,
 /// manifests_removed)`.
-pub(crate) fn purge_covered(dir: &Path, manifest: &Manifest) -> Result<(usize, usize), WalError> {
+pub(crate) fn purge_covered(
+    storage: &StorageHandle,
+    dir: &Path,
+    manifest: &Manifest,
+) -> Result<(usize, usize), WalError> {
     let mut segments_purged = 0usize;
     let mut manifests_removed = 0usize;
-    if !dir.exists() {
+    if !storage.exists(dir) {
         return Ok((0, 0));
     }
-    for entry in fs::read_dir(dir).map_err(|e| io_err(dir, &e))? {
-        let entry = entry.map_err(|e| io_err(dir, &e))?;
-        let path = entry.path();
-        if !path.is_file() {
-            continue;
-        }
+    for path in storage.read_dir(dir).map_err(|e| io_err(dir, &e))? {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
             continue;
         };
@@ -764,15 +880,15 @@ pub(crate) fn purge_covered(dir: &Path, manifest: &Manifest) -> Result<(usize, u
         let older_manifest = parse_checkpoint_name(name).is_some_and(|g| g < manifest.generation);
         let stale_tmp = name.starts_with("checkpoint-") && name.ends_with(".ckpt.tmp");
         if covered_segment {
-            fs::remove_file(&path).map_err(|e| io_err(&path, &e))?;
+            storage.remove_file(&path).map_err(|e| io_err(&path, &e))?;
             segments_purged += 1;
         } else if older_manifest {
-            fs::remove_file(&path).map_err(|e| io_err(&path, &e))?;
+            storage.remove_file(&path).map_err(|e| io_err(&path, &e))?;
             manifests_removed += 1;
         } else if stale_tmp
             && path != dir.join(format!("{}.tmp", checkpoint_file_name(manifest.generation)))
         {
-            fs::remove_file(&path).map_err(|e| io_err(&path, &e))?;
+            storage.remove_file(&path).map_err(|e| io_err(&path, &e))?;
         }
     }
     Ok((segments_purged, manifests_removed))
@@ -820,8 +936,17 @@ pub fn checkpoint(
     dir: impl AsRef<Path>,
     engine: &ShardedEngine,
 ) -> Result<CheckpointReport, WalError> {
-    let dir = dir.as_ref();
-    let log = load_log(dir)?;
+    checkpoint_with_storage(&StorageHandle::os(), dir.as_ref(), engine)
+}
+
+/// [`checkpoint`] against an explicit storage backend. See
+/// [`checkpoint`] for semantics and errors.
+pub fn checkpoint_with_storage(
+    storage: &StorageHandle,
+    dir: &Path,
+    engine: &ShardedEngine,
+) -> Result<CheckpointReport, WalError> {
+    let log = load_log(storage, dir)?;
     let mut snapshots = Vec::new();
     for session in engine.sessions() {
         snapshots.push(session.snapshot().map_err(|e| WalError::Snapshot {
@@ -831,8 +956,8 @@ pub fn checkpoint(
     let generation = next_generation(log.manifest_generation)?;
     let manifest =
         Manifest { generation, max_epoch: log.max_epoch, chains: log.chains.clone(), snapshots };
-    write_manifest(dir, &manifest)?;
-    let (segments_purged, manifests_removed) = purge_covered(dir, &manifest)?;
+    write_manifest(storage, dir, &manifest)?;
+    let (segments_purged, manifests_removed) = purge_covered(storage, dir, &manifest)?;
     Ok(CheckpointReport {
         generation,
         sessions: manifest.snapshots.len(),
@@ -929,6 +1054,14 @@ fn le_u32(buf: &[u8], at: usize) -> u32 {
 /// A torn tail is **not** an error here; [`decode_segment`] is the
 /// strict variant.
 pub fn scan_segment(path: &Path) -> Result<ScannedSegment, WalError> {
+    scan_segment_on(&StorageHandle::os(), path)
+}
+
+/// [`scan_segment`] against an explicit storage backend.
+pub(crate) fn scan_segment_on(
+    storage: &StorageHandle,
+    path: &Path,
+) -> Result<ScannedSegment, WalError> {
     let file = path.display().to_string();
     let name = path
         .file_name()
@@ -936,7 +1069,7 @@ pub fn scan_segment(path: &Path) -> Result<ScannedSegment, WalError> {
         .ok_or_else(|| WalError::UnrecognizedSegment { file: file.clone() })?;
     let (shard, seg_seq) = parse_segment_name(name)
         .ok_or_else(|| WalError::UnrecognizedSegment { file: file.clone() })?;
-    let buf = fs::read(path).map_err(|e| io_err(path, &e))?;
+    let buf = storage.read(path).map_err(|e| io_err(path, &e))?;
 
     // Shorter than a header: the segment's creation itself was torn.
     if buf.len() < SEGMENT_HEADER_LEN {
@@ -1147,8 +1280,8 @@ impl LoadedLog {
 /// applied anywhere: callers get either the complete committed state
 /// (snapshots + tail commands) or an error describing the first
 /// corruption found.
-pub(crate) fn load_log(dir: &Path) -> Result<LoadedLog, WalError> {
-    let manifest = load_manifest(dir)?;
+pub(crate) fn load_log(storage: &StorageHandle, dir: &Path) -> Result<LoadedLog, WalError> {
+    let manifest = load_manifest(storage, dir)?;
     let covered = |shard: u32| -> (u32, u32) {
         manifest
             .as_ref()
@@ -1159,14 +1292,9 @@ pub(crate) fn load_log(dir: &Path) -> Result<LoadedLog, WalError> {
     let mut per_shard: BTreeMap<u32, Vec<ScannedSegment>> = BTreeMap::new();
     let mut segments = 0usize;
     let mut torn_tails = 0usize;
-    if dir.exists() {
+    if storage.exists(dir) {
         let mut paths: Vec<PathBuf> = Vec::new();
-        for entry in fs::read_dir(dir).map_err(|e| io_err(dir, &e))? {
-            let entry = entry.map_err(|e| io_err(dir, &e))?;
-            let path = entry.path();
-            if !path.is_file() {
-                continue;
-            }
+        for path in storage.read_dir(dir).map_err(|e| io_err(dir, &e))? {
             match path.extension().and_then(|e| e.to_str()) {
                 Some("wal") => {
                     // A checkpointed-but-not-yet-purged segment (the
@@ -1188,7 +1316,7 @@ pub(crate) fn load_log(dir: &Path) -> Result<LoadedLog, WalError> {
         }
         paths.sort();
         for path in paths {
-            let s = scan_segment(&path)?;
+            let s = scan_segment_on(storage, &path)?;
             segments += 1;
             if s.torn_tail.is_some() {
                 torn_tails += 1;
@@ -1335,9 +1463,24 @@ pub fn recover(
 pub fn recover_with(
     dir: impl AsRef<Path>,
     engine: &mut ShardedEngine,
+    on_reply: impl FnMut(&Command, &Reply),
+) -> Result<RecoveryReport, WalError> {
+    recover_with_storage(&StorageHandle::os(), dir.as_ref(), engine, on_reply)
+}
+
+/// [`recover_with`] against an explicit storage backend — the entry
+/// point the crash-consistency harness uses to recover from a
+/// [`SimDisk`](crate::SimDisk) after a scripted crash.
+///
+/// # Errors
+/// Any [`WalError`] the log violates; nothing is applied on error.
+pub fn recover_with_storage(
+    storage: &StorageHandle,
+    dir: &Path,
+    engine: &mut ShardedEngine,
     mut on_reply: impl FnMut(&Command, &Reply),
 ) -> Result<RecoveryReport, WalError> {
-    let log = load_log(dir.as_ref())?;
+    let log = load_log(storage, dir)?;
 
     // Checkpointed sessions come back first — they are the state every
     // tail command assumes. Restore and cross-check *all* of them before
@@ -1378,18 +1521,23 @@ pub fn recover_with(
 /// # Errors
 /// [`WalError::Io`] if listing or removal fails.
 pub fn purge(dir: impl AsRef<Path>) -> Result<usize, WalError> {
-    let dir = dir.as_ref();
-    if !dir.exists() {
+    purge_with_storage(&StorageHandle::os(), dir.as_ref())
+}
+
+/// [`purge`] against an explicit storage backend.
+///
+/// # Errors
+/// [`WalError::Io`] if listing or removal fails.
+pub fn purge_with_storage(storage: &StorageHandle, dir: &Path) -> Result<usize, WalError> {
+    if !storage.exists(dir) {
         return Ok(0);
     }
     let mut removed = 0usize;
-    for entry in fs::read_dir(dir).map_err(|e| io_err(dir, &e))? {
-        let entry = entry.map_err(|e| io_err(dir, &e))?;
-        let path = entry.path();
+    for path in storage.read_dir(dir).map_err(|e| io_err(dir, &e))? {
         let is_segment = path.extension().and_then(|e| e.to_str()) == Some("wal")
             && path.file_name().and_then(|n| n.to_str()).and_then(parse_segment_name).is_some();
         if is_segment {
-            fs::remove_file(&path).map_err(|e| io_err(&path, &e))?;
+            storage.remove_file(&path).map_err(|e| io_err(&path, &e))?;
             removed += 1;
         }
     }
@@ -1416,16 +1564,27 @@ pub struct WalWriter {
     options: WalOptions,
     shard: u32,
     epoch: u32,
-    file: File,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
     seg_seq: u32,
     next_record_seq: u32,
     /// Bytes written to the current segment (header included).
     written: u64,
+    /// Bytes *physically* accepted by the current segment's file —
+    /// trails `written` inside a batch (whose counters advance before
+    /// the stretch write) and is the truncation point a failed append
+    /// rolls back to before a policy retry.
+    file_len: u64,
+    /// Record bytes appended over the writer's whole life (headers
+    /// excluded) — the tail-size signal auto-checkpointing watches.
+    appended_bytes: u64,
     /// Complete records in the current segment.
     records_in_segment: u64,
     appends_since_sync: usize,
     poisoned: bool,
+    /// Transient failures ridden out by the failure policy, not yet
+    /// drained by [`take_retries`](Self::take_retries).
+    retries: u64,
     scratch: Vec<u8>,
 }
 
@@ -1451,7 +1610,7 @@ impl WalWriter {
     /// Invalid options, any [`WalError`] the existing log violates, or
     /// I/O failures.
     pub fn create(options: &WalOptions, shard: u32) -> Result<Self, WalError> {
-        let log = load_log(&options.dir)?;
+        let log = load_log(&options.storage, &options.dir)?;
         let (next_seg_seq, next_record_seq) = log.resume_for(shard);
         let epoch = next_epoch(log.max_epoch)?;
         Self::resume(options, shard, epoch, next_seg_seq, next_record_seq)
@@ -1468,53 +1627,41 @@ impl WalWriter {
         next_record_seq: u32,
     ) -> Result<Self, WalError> {
         options.validate()?;
-        fs::create_dir_all(&options.dir).map_err(|e| io_err(&options.dir, &e))?;
-        let mut writer = WalWriter {
+        options.storage.create_dir_all(&options.dir).map_err(|e| io_err(&options.dir, &e))?;
+        let (file, path) = create_segment(options, shard, epoch, seg_seq, next_record_seq)?;
+        Ok(WalWriter {
             options: options.clone(),
             shard,
             epoch,
-            // Replaced by `open_segment` below; a closed placeholder
-            // would need platform tricks, so open the real file here.
-            file: File::open(&options.dir).map_err(|e| io_err(&options.dir, &e))?,
-            path: PathBuf::new(),
+            file,
+            path,
             seg_seq,
             next_record_seq,
-            written: 0,
+            written: SEGMENT_HEADER_LEN as u64,
+            file_len: SEGMENT_HEADER_LEN as u64,
+            appended_bytes: 0,
             records_in_segment: 0,
             appends_since_sync: 0,
             poisoned: false,
+            retries: 0,
             scratch: Vec::new(),
-        };
-        writer.open_segment()?;
-        Ok(writer)
+        })
     }
 
     /// Create and header-stamp the segment file for the current
     /// `seg_seq`, replacing `self.file`.
     fn open_segment(&mut self) -> Result<(), WalError> {
-        let path = self.options.dir.join(segment_file_name(self.shard, self.seg_seq));
-        let mut file = File::options()
-            .write(true)
-            .create_new(true)
-            .open(&path)
-            .map_err(|e| io_err(&path, &e))?;
-        let header = SegmentHeader {
-            epoch: self.epoch,
-            shard: self.shard,
-            seg_seq: self.seg_seq,
-            first_record_seq: self.next_record_seq,
-        };
-        file.write_all(&header.to_bytes()).map_err(|e| io_err(&path, &e))?;
-        if self.options.fsync != FsyncPolicy::Off {
-            file.sync_data().map_err(|e| io_err(&path, &e))?;
-            // Make the new directory entry itself durable.
-            File::open(&self.options.dir)
-                .and_then(|d| d.sync_all())
-                .map_err(|e| io_err(&self.options.dir, &e))?;
-        }
+        let (file, path) = create_segment(
+            &self.options,
+            self.shard,
+            self.epoch,
+            self.seg_seq,
+            self.next_record_seq,
+        )?;
         self.file = file;
         self.path = path;
         self.written = SEGMENT_HEADER_LEN as u64;
+        self.file_len = SEGMENT_HEADER_LEN as u64;
         self.records_in_segment = 0;
         self.appends_since_sync = 0;
         Ok(())
@@ -1655,6 +1802,7 @@ impl WalWriter {
             cursor += len;
             self.next_record_seq += 1;
             self.written += record_len;
+            self.appended_bytes += record_len;
             self.records_in_segment += 1;
             if let FsyncPolicy::Interval { .. } = self.options.fsync {
                 self.appends_since_sync += 1;
@@ -1670,18 +1818,43 @@ impl WalWriter {
         Ok(())
     }
 
-    /// Write one staged stretch to the current segment in one piece.
+    /// Write one staged stretch to the current segment in one piece,
+    /// riding out transient failures per the failure policy. Each
+    /// failed attempt first truncates the segment back to its last
+    /// known-good length, so a retry can never bury a partial record
+    /// mid-log; exhaustion poisons the writer (the truncated — or, if
+    /// truncation itself failed, torn — tail stays recoverable).
     fn write_stretch(&mut self, bytes: &[u8]) -> Result<(), WalError> {
         if bytes.is_empty() {
             return Ok(());
         }
-        if let Err(e) = self.file.write_all(bytes) {
-            // The kernel may have taken a prefix: a torn tail recovery
-            // will drop. Nothing may be appended after it.
-            self.poisoned = true;
-            return Err(io_err(&self.path, &e));
+        let (attempts, backoff) = self.options.failure_policy.envelope();
+        let mut attempt = 0u32;
+        loop {
+            match self.file.append(bytes) {
+                Ok(()) => {
+                    self.file_len += bytes.len() as u64;
+                    return Ok(());
+                }
+                Err(e) => {
+                    // The backend may have taken a prefix: roll it back
+                    // before deciding whether to try again.
+                    if let Err(t) = self.file.truncate(self.file_len) {
+                        self.poisoned = true;
+                        return Err(io_err(&self.path, &t));
+                    }
+                    if attempt >= attempts {
+                        self.poisoned = true;
+                        return Err(io_err(&self.path, &e));
+                    }
+                    attempt += 1;
+                    self.retries += 1;
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff.saturating_mul(attempt));
+                    }
+                }
+            }
         }
-        Ok(())
     }
 
     /// Wrap one pre-encoded wire frame in a record and write it.
@@ -1705,14 +1878,15 @@ impl WalWriter {
         let payload_crc = crc32(frame);
         self.scratch.extend_from_slice(&payload_crc.to_le_bytes());
 
-        if let Err(e) = self.file.write_all(&self.scratch) {
-            // The kernel may have taken a prefix: a torn tail recovery
-            // will drop. Nothing may be appended after it.
-            self.poisoned = true;
+        let record = std::mem::take(&mut self.scratch);
+        let outcome = self.write_stretch(&record);
+        self.scratch = record;
+        if let Err(e) = outcome {
             self.next_record_seq = seq;
-            return Err(io_err(&self.path, &e));
+            return Err(e);
         }
         self.written += record_len;
+        self.appended_bytes += record_len;
         self.records_in_segment += 1;
 
         match self.options.fsync {
@@ -1729,17 +1903,47 @@ impl WalWriter {
     }
 
     /// Force the current segment to stable storage (`fdatasync`)
-    /// regardless of policy.
+    /// regardless of policy, riding out transient failures per the
+    /// failure policy.
     ///
     /// # Errors
-    /// I/O failures (which poison the writer).
+    /// I/O failures outlasting the retry envelope (which poison the
+    /// writer).
     pub fn sync(&mut self) -> Result<(), WalError> {
-        if let Err(e) = self.file.sync_data() {
-            self.poisoned = true;
-            return Err(io_err(&self.path, &e));
+        let (attempts, backoff) = self.options.failure_policy.envelope();
+        let mut attempt = 0u32;
+        loop {
+            match self.file.sync_data() {
+                Ok(()) => {
+                    self.appends_since_sync = 0;
+                    return Ok(());
+                }
+                Err(e) => {
+                    if attempt >= attempts {
+                        self.poisoned = true;
+                        return Err(io_err(&self.path, &e));
+                    }
+                    attempt += 1;
+                    self.retries += 1;
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff.saturating_mul(attempt));
+                    }
+                }
+            }
         }
-        self.appends_since_sync = 0;
-        Ok(())
+    }
+
+    /// Transient append/sync failures the failure policy rode out since
+    /// the last call — drained by the engine's workers into
+    /// [`WalStats`](crate::ingress::WalStats).
+    pub fn take_retries(&mut self) -> u64 {
+        std::mem::take(&mut self.retries)
+    }
+
+    /// Record bytes appended over the writer's whole life — the
+    /// tail-size signal [`CheckpointPolicy`] watches.
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes
     }
 
     /// Close out the current segment and start the next one.
@@ -1788,6 +1992,28 @@ impl WalWriter {
     pub fn finish(mut self) -> Result<(), WalError> {
         self.sync()
     }
+}
+
+/// Create and header-stamp one segment file, returning the open handle
+/// and its path. Used for the writer's first segment and every
+/// rotation.
+fn create_segment(
+    options: &WalOptions,
+    shard: u32,
+    epoch: u32,
+    seg_seq: u32,
+    first_record_seq: u32,
+) -> Result<(Box<dyn StorageFile>, PathBuf), WalError> {
+    let path = options.dir.join(segment_file_name(shard, seg_seq));
+    let mut file = options.storage.create_new(&path).map_err(|e| io_err(&path, &e))?;
+    let header = SegmentHeader { epoch, shard, seg_seq, first_record_seq };
+    file.append(&header.to_bytes()).map_err(|e| io_err(&path, &e))?;
+    if options.fsync != FsyncPolicy::Off {
+        file.sync_data().map_err(|e| io_err(&path, &e))?;
+        // Make the new directory entry itself durable.
+        options.storage.sync_dir(&options.dir).map_err(|e| io_err(&options.dir, &e))?;
+    }
+    Ok((file, path))
 }
 
 pub(crate) fn next_epoch(max_epoch: Option<u32>) -> Result<u32, WalError> {

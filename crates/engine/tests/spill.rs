@@ -70,7 +70,7 @@ fn spill_churn_is_bit_identical_to_an_unbounded_engine() {
 
     let handle = EngineHandle::with_spill(
         IngressConfig { num_shards: 1, seed, queue_depth: 256 },
-        &SpillOptions { dir: tmp.path().to_path_buf(), resident_cap: 2 },
+        &SpillOptions { resident_cap: 2, ..SpillOptions::new(tmp.path()) },
     )
     .unwrap();
     for &sid in &sids {
@@ -138,7 +138,7 @@ fn wal_and_spill_compose_across_a_restart() {
     let seed = 4242;
     let config = IngressConfig { num_shards: 1, seed, queue_depth: 256 };
     let options = WalOptions::new(wal_dir.path());
-    let spill = SpillOptions { dir: spill_dir.path().to_path_buf(), resident_cap: 2 };
+    let spill = SpillOptions { resident_cap: 2, ..SpillOptions::new(spill_dir.path()) };
     let spec = MechanismSpec::reg1_l2(3);
     let sids: Vec<u64> = (0..6).collect();
     let mut live: Vec<Vec<f64>> = Vec::new();
@@ -216,7 +216,7 @@ fn unsnapshottable_sessions_stay_resident_over_the_cap() {
     let spec = MechanismSpec::erm_squared(2, TauRule::Fixed(4));
     let handle = EngineHandle::with_spill(
         IngressConfig { num_shards: 1, seed: 77, queue_depth: 64 },
-        &SpillOptions { dir: tmp.path().to_path_buf(), resident_cap: 1 },
+        &SpillOptions { resident_cap: 1, ..SpillOptions::new(tmp.path()) },
     )
     .unwrap();
     for sid in 0..3u64 {
@@ -241,7 +241,7 @@ fn zero_resident_cap_is_invalid_config() {
     let tmp = TempDir::new("zero");
     let err = EngineHandle::with_spill(
         IngressConfig { num_shards: 1, seed: 1, queue_depth: 8 },
-        &SpillOptions { dir: tmp.path().to_path_buf(), resident_cap: 0 },
+        &SpillOptions { resident_cap: 0, ..SpillOptions::new(tmp.path()) },
     )
     .unwrap_err();
     assert!(matches!(err, EngineError::InvalidConfig { .. }), "got {err:?}");

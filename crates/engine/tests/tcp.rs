@@ -219,8 +219,12 @@ fn connection_cap_refuses_excess_connections_at_the_door() {
     let handle =
         EngineHandle::new(IngressConfig { num_shards: 1, seed: 5, queue_depth: 16 }).unwrap();
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-    let front = serve_tcp_with(handle.submit_handle(), listener, TcpOptions { max_connections: 1 })
-        .unwrap();
+    let front = serve_tcp_with(
+        handle.submit_handle(),
+        listener,
+        TcpOptions { max_connections: 1, ..TcpOptions::default() },
+    )
+    .unwrap();
     let addr = front.local_addr();
 
     // First connection occupies the only slot (held open by not sending
@@ -325,5 +329,79 @@ fn sessions_survive_reconnects_across_connections() {
     );
 
     front.shutdown();
+    handle.close();
+}
+
+#[test]
+fn idle_connections_are_reaped_without_disturbing_active_ones() {
+    let d = 2;
+    let spec = MechanismSpec::reg1_l2(d);
+    let handle =
+        EngineHandle::new(IngressConfig { num_shards: 1, seed: 5, queue_depth: 32 }).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let front = serve_tcp_with(
+        handle.submit_handle(),
+        listener,
+        TcpOptions { max_connections: 8, idle_timeout: Some(Duration::from_millis(100)) },
+    )
+    .unwrap();
+    let addr = front.local_addr();
+
+    // The idler: connects, says nothing, and waits to be reaped. The
+    // front must end it as a clean goodbye (EOF on our read), not an
+    // abort.
+    let idler = TcpStream::connect(addr).unwrap();
+
+    // The active connection: works straight through several idle
+    // windows, pausing well under the timeout between commands.
+    let mut active = TcpStream::connect(addr).unwrap();
+    let mut request = Vec::new();
+    write_command(
+        &mut request,
+        &Command::Open { session_id: 1, spec: spec.clone(), t_max: 16, params: params() },
+    )
+    .unwrap();
+    std::io::Write::write_all(&mut active, &request).unwrap();
+    assert_eq!(read_reply(&mut active).unwrap().unwrap(), Reply::Opened { session_id: 1 });
+    for t in 0..4 {
+        std::thread::sleep(Duration::from_millis(60));
+        write_command(&mut active, &Command::Observe { session_id: 1, point: point(d, t, 1) })
+            .unwrap();
+        match read_reply(&mut active).unwrap().unwrap() {
+            Reply::Releases { session_id: 1, .. } => {}
+            other => panic!("expected Releases, got {other:?}"),
+        }
+    }
+
+    // By now (~240 ms of traffic) the idler has sat silent for more than
+    // twice its 100 ms budget: its socket must reach EOF without us
+    // sending a byte.
+    let mut idler = idler;
+    idler.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = [0u8; 1];
+    assert_eq!(idler.read(&mut buf).unwrap(), 0, "idler should see EOF once reaped");
+
+    // The active connection is still served after the reap.
+    let mut bye = Vec::new();
+    write_command(&mut bye, &Command::Close).unwrap();
+    std::io::Write::write_all(&mut active, &bye).unwrap();
+    assert_eq!(read_reply(&mut active).unwrap().unwrap(), Reply::Closed);
+    drop(active);
+
+    // Wait for both connection threads to finish their bookkeeping, then
+    // check the tallies: two connections, exactly one reaped, no
+    // protocol errors (idle-between-frames is a clean goodbye).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = front.stats();
+        if stats.connections >= 2 || std::time::Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let stats = front.shutdown();
+    assert_eq!(stats.connections, 2);
+    assert_eq!(stats.idle_reaped, 1);
+    assert_eq!(stats.protocol_errors, 0);
     handle.close();
 }

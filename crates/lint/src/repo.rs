@@ -11,6 +11,7 @@
 //! | R3   | the durability layer ([`R3_FILES`]) |
 //! | R4   | protocol sources ([`R4_SOURCES`]) vs `docs/PROTOCOL.md` |
 //! | R5   | every crate root ([`CRATE_ROOTS`]) |
+//! | R6   | files threaded through the `Storage` trait ([`R6_FILES`]) |
 //!
 //! A manifest path that no longer exists is an error, not a skip —
 //! renames must update the manifest, or the contract silently shrinks.
@@ -20,10 +21,10 @@ use std::io;
 use std::path::Path;
 
 use crate::baseline::{self, Baseline, BaselineError};
-use crate::rules::{durability, hygiene, panic_free, protocol, zero_alloc, Finding};
+use crate::rules::{durability, hygiene, panic_free, protocol, storage_layer, zero_alloc, Finding};
 
 /// R1 scope: files that run on shard-worker / connection threads.
-pub const R1_FILES: [&str; 7] = [
+pub const R1_FILES: [&str; 8] = [
     "crates/engine/src/ingress.rs",
     "crates/engine/src/wire.rs",
     "crates/engine/src/server.rs",
@@ -31,6 +32,7 @@ pub const R1_FILES: [&str; 7] = [
     "crates/engine/src/wal.rs",
     "crates/engine/src/snapshot.rs",
     "crates/engine/src/session.rs",
+    "crates/engine/src/storage.rs",
 ];
 
 /// R2 scope: crates whose `*_into` kernels must not allocate. `dp` is
@@ -55,6 +57,13 @@ pub const R4_SOURCES: [&str; 3] =
 
 /// R4 document side.
 pub const R4_DOC: &str = "docs/PROTOCOL.md";
+
+/// R6 scope: files whose filesystem access is threaded through the
+/// `Storage` trait so the crash-consistency harness can fault and
+/// crash every op. `storage.rs` itself is deliberately absent — it is
+/// the one place direct `std::fs` calls belong.
+pub const R6_FILES: [&str; 3] =
+    ["crates/engine/src/wal.rs", "crates/engine/src/snapshot.rs", "crates/engine/src/ingress.rs"];
 
 /// R5 manifest: every crate root and its `missing_docs` policy. The
 /// test shims are `DocPolicy::None` — their public surface is largely
@@ -124,6 +133,10 @@ pub fn collect_findings(root: &Path) -> io::Result<Vec<Finding>> {
     for (rel, policy) in CRATE_ROOTS {
         let src = read(root, rel)?;
         out.extend(hygiene::check_crate_root(rel, &src, policy));
+    }
+    for rel in R6_FILES {
+        let src = read(root, rel)?;
+        out.extend(storage_layer::check_file(rel, &src));
     }
     Ok(out)
 }
@@ -201,7 +214,9 @@ mod tests {
     #[test]
     fn every_manifest_path_exists() {
         let root = workspace_root();
-        for rel in R1_FILES.iter().chain(R3_FILES.iter()).chain(R4_SOURCES.iter()) {
+        for rel in
+            R1_FILES.iter().chain(R3_FILES.iter()).chain(R4_SOURCES.iter()).chain(R6_FILES.iter())
+        {
             assert!(root.join(rel).is_file(), "manifest path gone: {rel}");
         }
         for (rel, _) in CRATE_ROOTS {

@@ -1,7 +1,7 @@
-//! The rule engine: shared token-stream machinery and the five rules.
+//! The rule engine: shared token-stream machinery and the rules.
 //!
 //! Every rule is a pure function from source text (plus, for R4, the
-//! protocol document) to a list of [`Finding`]s — no filesystem access
+//! protocol document) to a list of [`Finding`]s (six rules, R1–R6) — no filesystem access
 //! inside the rules themselves, so the fixture suite can drive each rule
 //! on seeded violations and clean code alike. The repo driver in
 //! [`crate::repo`] maps real files into these functions.
@@ -10,6 +10,7 @@ pub mod durability;
 pub mod hygiene;
 pub mod panic_free;
 pub mod protocol;
+pub mod storage_layer;
 pub mod zero_alloc;
 
 use crate::lexer::{Token, TokenKind};
@@ -17,7 +18,7 @@ use crate::lexer::{Token, TokenKind};
 /// One rule violation at a specific site.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`"R1"` … `"R5"`).
+    /// Rule identifier (`"R1"` … `"R6"`).
     pub rule: &'static str,
     /// Short machine-readable tag for the specific check within the rule
     /// (`"unwrap"`, `"index"`, `"alloc"`, …) — baseline entries can match

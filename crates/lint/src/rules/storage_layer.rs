@@ -1,0 +1,120 @@
+//! R6 — storage abstraction: no direct filesystem calls in the
+//! durability layer.
+//!
+//! The storage fault rig (PR 10) threads every filesystem operation in
+//! the WAL, snapshot, and spill paths through the
+//! [`Storage`](../../engine/src/storage.rs) trait, so the
+//! crash-consistency harness can substitute a simulated power-loss
+//! disk and crash at every op boundary. One stray `std::fs::` or
+//! `File::` call re-opens a hole the harness cannot see into: the op
+//! happens for real, is never counted, never faulted, never crashed —
+//! and the bit-identical-recovery proof silently stops covering it.
+//!
+//! Per non-test function body in the threaded files, any call through
+//! `fs::…` (`std::fs`, `fs::write`, …), `File::…`, or `OpenOptions::…`
+//! is a finding. The `storage.rs` backend itself is exempt — it is the
+//! one place those calls belong — and test code may use the real
+//! filesystem freely.
+
+use super::{fn_bodies, line_excerpt, strip_test_code, Finding};
+use crate::lexer::lex;
+
+/// Run R6 over one file's source.
+pub fn check_file(rel_path: &str, src: &str) -> Vec<Finding> {
+    let tokens = lex(src);
+    let tokens = strip_test_code(&tokens);
+    let mut out = Vec::new();
+    for f in fn_bodies(&tokens) {
+        let body = &tokens[f.body.clone()];
+        for (i, t) in body.iter().enumerate() {
+            // An owner segment in a call path: `owner :: member`.
+            let path_sep = body.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && body.get(i + 2).is_some_and(|n| n.is_punct(':'));
+            if !path_sep {
+                continue;
+            }
+            let owner = if t.is_ident("fs") {
+                Some("fs")
+            } else if t.is_ident("File") {
+                Some("File")
+            } else if t.is_ident("OpenOptions") {
+                Some("OpenOptions")
+            } else {
+                None
+            };
+            if let Some(owner) = owner {
+                out.push(Finding {
+                    rule: "R6",
+                    token: owner.to_string(),
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "direct `{owner}::` call in `{}` bypasses the Storage trait — the \
+                         crash-consistency harness cannot fault or crash this op; route it \
+                         through the shard's StorageHandle",
+                        f.name
+                    ),
+                    excerpt: line_excerpt(src, t.line),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_fs_and_file_calls_are_flagged() {
+        let src = r#"
+fn persist(dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let f = File::create(dir.join("x"))?;
+    let g = OpenOptions::new().append(true).open(dir.join("y"))?;
+    drop((f, g));
+    Ok(())
+}
+"#;
+        let findings = check_file("f.rs", src);
+        assert_eq!(findings.len(), 3, "{findings:#?}");
+        assert_eq!(findings[0].token, "fs");
+        assert_eq!(findings[1].token, "File");
+        assert_eq!(findings[2].token, "OpenOptions");
+    }
+
+    #[test]
+    fn storage_trait_calls_pass() {
+        let src = r#"
+fn persist(storage: &StorageHandle, dir: &Path) -> io::Result<()> {
+    storage.create_dir_all(dir)?;
+    let mut f = storage.create_new(&dir.join("x"))?;
+    f.append(b"data")?;
+    f.sync_data()?;
+    storage.sync_dir(dir)?;
+    Ok(())
+}
+"#;
+        assert!(check_file("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_may_touch_the_real_filesystem() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn scratch() { std::fs::create_dir_all("/tmp/x").unwrap(); }
+}
+"#;
+        assert!(check_file("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_call_identifiers_named_fs_pass() {
+        // A variable named `fs`, or `fs` without a `::`, is not a call
+        // into std::fs.
+        let src = "fn f(fs: u32) -> u32 { fs + 1 }";
+        assert!(check_file("f.rs", src).is_empty());
+    }
+}

@@ -6,7 +6,7 @@
 //! finding count, so adding a seeded violation without updating the
 //! marker is impossible.
 
-use pir_lint::rules::{durability, hygiene, panic_free, protocol, zero_alloc};
+use pir_lint::rules::{durability, hygiene, panic_free, protocol, storage_layer, zero_alloc};
 
 const R1_VIOLATIONS: &str = include_str!("fixtures/r1_violations.rs");
 const R1_CLEAN: &str = include_str!("fixtures/r1_clean.rs");
@@ -15,6 +15,8 @@ const R2_CLEAN: &str = include_str!("fixtures/r2_clean.rs");
 const R3_VIOLATIONS: &str = include_str!("fixtures/r3_violations.rs");
 const R3_CLEAN: &str = include_str!("fixtures/r3_clean.rs");
 const R4_SOURCE: &str = include_str!("fixtures/r4_source.rs");
+const R6_VIOLATIONS: &str = include_str!("fixtures/r6_violations.rs");
+const R6_CLEAN: &str = include_str!("fixtures/r6_clean.rs");
 const R4_DOC_CLEAN: &str = include_str!("fixtures/r4_doc_clean.md");
 const R4_DOC_DRIFTED: &str = include_str!("fixtures/r4_doc_drifted.md");
 
@@ -93,6 +95,26 @@ fn r4_reports_every_seeded_drift() {
     assert!(has("opcode", "GHOST"), "doc-only opcode missed: {findings:#?}");
     assert!(has("spectag", "Trivial"), "missing spec tag missed: {findings:#?}");
     assert!(has("errkind", "engine stopped"), "error rewording missed: {findings:#?}");
+}
+
+#[test]
+fn r6_catches_every_seeded_violation() {
+    let findings = storage_layer::check_file("r6_violations.rs", R6_VIOLATIONS);
+    assert_eq!(findings.len(), seeded(R6_VIOLATIONS), "{findings:#?}");
+    // The marker comments name the expected owner token for each line.
+    for f in &findings {
+        let line = R6_VIOLATIONS.lines().nth(f.line as usize - 1).unwrap_or("");
+        assert!(
+            line.contains(&format!("VIOLATION {}", f.token)),
+            "finding {f} does not match its marker: {line}"
+        );
+    }
+}
+
+#[test]
+fn r6_accepts_storage_trait_code() {
+    let findings = storage_layer::check_file("r6_clean.rs", R6_CLEAN);
+    assert!(findings.is_empty(), "{findings:#?}");
 }
 
 #[test]

@@ -1,0 +1,35 @@
+//! R6 fixture: seeded direct-filesystem calls in a file that is
+//! supposed to route all I/O through the Storage trait. Never
+//! compiled — driven as text by tests/fixtures.rs.
+
+fn write_segment(dir: &Path, bytes: &[u8]) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?; // VIOLATION fs
+    let mut f = File::create(dir.join("seg.wal"))?; // VIOLATION File
+    f.write_all(bytes)?;
+    f.sync_data()?;
+    Ok(())
+}
+
+fn reopen_for_append(dir: &Path) -> io::Result<File> {
+    OpenOptions::new().append(true).open(dir.join("seg.wal")) // VIOLATION OpenOptions
+}
+
+fn scan(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? { // VIOLATION fs
+        out.push(entry?.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use the real filesystem freely — none of these are
+    // findings.
+    #[test]
+    fn scratch_dir() {
+        std::fs::create_dir_all("/tmp/r6-scratch").unwrap();
+        let _ = std::fs::remove_dir_all("/tmp/r6-scratch");
+    }
+}

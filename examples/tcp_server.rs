@@ -54,9 +54,12 @@ fn main() {
     );
     let addr = std::env::var("PIR_TCP_ADDR").unwrap_or_else(|_| "127.0.0.1:0".to_string());
     let listener = TcpListener::bind(&addr).unwrap();
-    let front =
-        serve_tcp_with(handle.submit_handle(), listener, TcpOptions { max_connections: 64 })
-            .unwrap();
+    let front = serve_tcp_with(
+        handle.submit_handle(),
+        listener,
+        TcpOptions { max_connections: 64, ..TcpOptions::default() },
+    )
+    .unwrap();
     println!(
         "serving on {} ({} shards, queue depth {})",
         front.local_addr(),

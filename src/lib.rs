@@ -126,11 +126,13 @@ pub mod prelude {
     };
     pub use pir_dp::{NoiseRng, PrivacyAccountant, PrivacyParams};
     pub use pir_engine::{
-        checkpoint, recover, serve_connection, serve_tcp, serve_tcp_with, CheckpointReport,
-        Command, EngineConfig, EngineError, EngineHandle, FsyncPolicy, IngressConfig, IngressStats,
-        LossSpec, MechanismSpec, RecoveryReport, Reply, ServeStats, SetSpec, ShardedEngine,
-        SnapshotError, SolverSpec, SpillOptions, SpillStats, StreamSession, SubmitHandle, TcpFront,
-        TcpOptions, TcpStats, Ticket, WalError, WalOptions, WalWriter,
+        checkpoint, checkpoint_with_storage, recover, recover_with_storage, serve_connection,
+        serve_tcp, serve_tcp_with, CheckpointPolicy, CheckpointReport, Command, CrashProfile,
+        EngineConfig, EngineError, EngineHandle, FsyncPolicy, IngressConfig, IngressStats,
+        LossSpec, MechanismSpec, OsStorage, RecoveryReport, Reply, ServeStats, SetSpec,
+        ShardedEngine, SimDisk, SnapshotError, SolverSpec, SpillOptions, SpillStats, Storage,
+        StorageFile, StorageHandle, StreamSession, SubmitHandle, TcpFront, TcpOptions, TcpStats,
+        Ticket, WalError, WalFailurePolicy, WalOptions, WalStats, WalWriter,
     };
     pub use pir_erm::{
         solve_exact, DataPoint, LogisticLoss, Loss, NoisyGdSolver, OutputPerturbationSolver,
